@@ -1,0 +1,845 @@
+//! Live accumulator instances: the combiner `⊕`, assignment, snapshots,
+//! and the multiplicity shortcut of Theorem 7.1.
+
+use crate::types::{AccumType, HeapField, SortDir};
+use crate::user::{UserAccum, UserAccumRegistry};
+use pgraph::bigcount::BigCount;
+use pgraph::value::{Value, ValueType};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors from accumulator operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccumError {
+    TypeMismatch { expected: &'static str, got: Value },
+    UnknownUserAccum(String),
+    /// An order-dependent / multiplicity-sensitive accumulator received a
+    /// binding with a multiplicity too large to expand — the query is
+    /// outside the tractable class (paper Section 7).
+    MultiplicityOverflow { accum: String, multiplicity: String },
+    ArityMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for AccumError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccumError::TypeMismatch { expected, got } => {
+                write!(f, "accumulator expected {expected} input, got `{got}`")
+            }
+            AccumError::UnknownUserAccum(n) => write!(f, "unregistered user accumulator `{n}`"),
+            AccumError::MultiplicityOverflow { accum, multiplicity } => write!(
+                f,
+                "{accum} cannot absorb binding multiplicity {multiplicity}: \
+                 query is outside the tractable class (use a multiplicity-\
+                 insensitive or Sum/Avg/Bag accumulator, or an enumerative \
+                 path semantics)"
+            ),
+            AccumError::ArityMismatch { expected, got } => {
+                write!(f, "expected a {expected}-tuple input, got arity {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccumError {}
+
+/// Expansion cap for multiplicity-sensitive accumulators: bindings with
+/// `μ` up to this bound are expanded by literal repetition; beyond it the
+/// operation errors instead of silently exploding.
+const EXPANSION_CAP: u64 = 1 << 20;
+
+/// A live accumulator instance.
+#[derive(Debug, Clone)]
+pub enum Accum {
+    SumInt(i64),
+    SumDouble(f64),
+    SumStr(String),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { sum: f64, count: u64 },
+    Or(bool),
+    And(bool),
+    Set(Vec<Value>),
+    Bag(BTreeMap<Value, BigCount>),
+    List(Vec<Value>),
+    Array(Vec<Value>),
+    Map { entries: BTreeMap<Value, Accum>, value_type: Box<AccumType> },
+    Heap { capacity: usize, fields: Vec<HeapField>, items: Vec<Value> },
+    GroupBy { key_arity: usize, nested: Vec<AccumType>, groups: BTreeMap<Value, Vec<Accum>> },
+    User(Box<dyn UserAccum>),
+}
+
+impl Accum {
+    /// Instantiates a fresh accumulator of declared type `ty` with its
+    /// neutral internal value.
+    pub fn new(ty: &AccumType, registry: &UserAccumRegistry) -> Result<Accum, AccumError> {
+        Ok(match ty {
+            AccumType::Sum(ValueType::Str) => Accum::SumStr(String::new()),
+            AccumType::Sum(ValueType::Int) => Accum::SumInt(0),
+            AccumType::Sum(_) => Accum::SumDouble(0.0),
+            AccumType::Min => Accum::Min(None),
+            AccumType::Max => Accum::Max(None),
+            AccumType::Avg => Accum::Avg { sum: 0.0, count: 0 },
+            AccumType::Or => Accum::Or(false),
+            AccumType::And => Accum::And(true),
+            AccumType::Set => Accum::Set(Vec::new()),
+            AccumType::Bag => Accum::Bag(BTreeMap::new()),
+            AccumType::List => Accum::List(Vec::new()),
+            AccumType::Array => Accum::Array(Vec::new()),
+            AccumType::Map(v) => {
+                Accum::Map { entries: BTreeMap::new(), value_type: v.clone() }
+            }
+            AccumType::Heap { capacity, fields } => Accum::Heap {
+                capacity: *capacity,
+                fields: fields.clone(),
+                items: Vec::new(),
+            },
+            AccumType::GroupBy { key_arity, nested } => Accum::GroupBy {
+                key_arity: *key_arity,
+                nested: nested.clone(),
+                groups: BTreeMap::new(),
+            },
+            AccumType::User(name) => Accum::User(
+                registry
+                    .instantiate(name)
+                    .ok_or_else(|| AccumError::UnknownUserAccum(name.clone()))?,
+            ),
+        })
+    }
+
+    /// The combiner `⊕` — folds one input into the internal value.
+    pub fn combine(&mut self, input: Value, registry: &UserAccumRegistry) -> Result<(), AccumError> {
+        match self {
+            Accum::SumInt(v) => {
+                let x = input.as_i64().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "integer",
+                    got: input.clone(),
+                })?;
+                *v = v.wrapping_add(x);
+            }
+            Accum::SumDouble(v) => {
+                let x = input.as_f64().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "numeric",
+                    got: input.clone(),
+                })?;
+                *v += x;
+            }
+            Accum::SumStr(v) => match input {
+                Value::Str(s) => v.push_str(&s),
+                other => {
+                    return Err(AccumError::TypeMismatch { expected: "string", got: other })
+                }
+            },
+            Accum::Min(slot) => {
+                if slot.as_ref().is_none_or(|cur| input < *cur) {
+                    *slot = Some(input);
+                }
+            }
+            Accum::Max(slot) => {
+                if slot.as_ref().is_none_or(|cur| input > *cur) {
+                    *slot = Some(input);
+                }
+            }
+            Accum::Avg { sum, count } => {
+                let x = input.as_f64().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "numeric",
+                    got: input.clone(),
+                })?;
+                *sum += x;
+                *count += 1;
+            }
+            Accum::Or(v) => {
+                let b = input.as_bool().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "boolean",
+                    got: input.clone(),
+                })?;
+                *v |= b;
+            }
+            Accum::And(v) => {
+                let b = input.as_bool().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "boolean",
+                    got: input.clone(),
+                })?;
+                *v &= b;
+            }
+            Accum::Set(items) => {
+                if let Err(pos) = items.binary_search(&input) {
+                    items.insert(pos, input);
+                }
+            }
+            Accum::Bag(counts) => {
+                counts.entry(input).or_insert_with(BigCount::zero).add_u64(1);
+            }
+            Accum::List(items) | Accum::Array(items) => items.push(input),
+            Accum::Map { entries, value_type } => {
+                let (k, v) = split_map_input(input)?;
+                let nested = match entries.entry(k) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(Accum::new(value_type, registry)?)
+                    }
+                };
+                nested.combine(v, registry)?;
+            }
+            Accum::Heap { capacity, fields, items } => {
+                heap_insert(items, input, fields, *capacity);
+            }
+            Accum::GroupBy { key_arity, nested, groups } => {
+                let (key, vals) = split_groupby_input(input, *key_arity, nested.len())?;
+                let slot = match groups.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        let mut fresh = Vec::with_capacity(nested.len());
+                        for ty in nested.iter() {
+                            fresh.push(Accum::new(ty, registry)?);
+                        }
+                        e.insert(fresh)
+                    }
+                };
+                for (a, v) in slot.iter_mut().zip(vals) {
+                    a.combine(v, registry)?;
+                }
+            }
+            Accum::User(u) => u.combine(input)?,
+        }
+        Ok(())
+    }
+
+    /// Combines an input carried by a binding row of multiplicity `mult`
+    /// — the Theorem 7.1 shortcut that replaces `μ` identical
+    /// ACCUM-clause executions with one:
+    ///
+    /// * multiplicity-insensitive accumulators combine once,
+    /// * `SumAccum<numeric>` receives `μ·i`, `AvgAccum` receives
+    ///   `(μ·i, +μ)`, `BagAccum` bumps the element count by `μ`,
+    /// * `Map`/`GroupBy` recurse into their nested accumulators,
+    /// * order-dependent accumulators fall back to literal expansion up
+    ///   to [`EXPANSION_CAP`], erroring beyond (outside the tractable
+    ///   class).
+    pub fn combine_with_multiplicity(
+        &mut self,
+        input: Value,
+        mult: &BigCount,
+        registry: &UserAccumRegistry,
+    ) -> Result<(), AccumError> {
+        if mult.is_zero() {
+            return Ok(());
+        }
+        if mult.is_one() {
+            return self.combine(input, registry);
+        }
+        match self {
+            // Multiplicity-insensitive: once is enough.
+            Accum::Min(_) | Accum::Max(_) | Accum::Or(_) | Accum::And(_) | Accum::Set(_) => {
+                self.combine(input, registry)
+            }
+            // A heap keeps at most `capacity` copies: inserting
+            // min(μ, capacity) copies is exactly μ-fold insertion.
+            Accum::Heap { capacity, .. } => {
+                let copies = BigCount::from(*capacity as u64).min(mult.clone());
+                let copies = copies.to_u64().unwrap_or(*capacity as u64);
+                for _ in 0..copies {
+                    self.combine(input.clone(), registry)?;
+                }
+                Ok(())
+            }
+            Accum::SumInt(v) => {
+                let x = input.as_i64().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "integer",
+                    got: input.clone(),
+                })?;
+                let m = mult.to_i64().ok_or_else(|| AccumError::MultiplicityOverflow {
+                    accum: "SumAccum<INT>".into(),
+                    multiplicity: mult.to_string(),
+                })?;
+                *v = v.wrapping_add(x.wrapping_mul(m));
+                Ok(())
+            }
+            Accum::SumDouble(v) => {
+                let x = input.as_f64().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "numeric",
+                    got: input.clone(),
+                })?;
+                *v += x * mult.to_f64();
+                Ok(())
+            }
+            Accum::Avg { sum, count } => {
+                let x = input.as_f64().ok_or_else(|| AccumError::TypeMismatch {
+                    expected: "numeric",
+                    got: input.clone(),
+                })?;
+                let m = mult.to_u64().ok_or_else(|| AccumError::MultiplicityOverflow {
+                    accum: "AvgAccum".into(),
+                    multiplicity: mult.to_string(),
+                })?;
+                *sum += x * m as f64;
+                *count += m;
+                Ok(())
+            }
+            Accum::Bag(counts) => {
+                counts
+                    .entry(input)
+                    .or_insert_with(BigCount::zero)
+                    .add_assign(mult);
+                Ok(())
+            }
+            Accum::Map { entries, value_type } => {
+                let (k, v) = split_map_input(input)?;
+                let nested = match entries.entry(k) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(Accum::new(value_type, registry)?)
+                    }
+                };
+                nested.combine_with_multiplicity(v, mult, registry)
+            }
+            Accum::GroupBy { key_arity, nested, groups } => {
+                let (key, vals) = split_groupby_input(input, *key_arity, nested.len())?;
+                let slot = match groups.entry(key) {
+                    std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        let mut fresh = Vec::with_capacity(nested.len());
+                        for ty in nested.iter() {
+                            fresh.push(Accum::new(ty, registry)?);
+                        }
+                        e.insert(fresh)
+                    }
+                };
+                for (a, v) in slot.iter_mut().zip(vals) {
+                    a.combine_with_multiplicity(v, mult, registry)?;
+                }
+                Ok(())
+            }
+            // Order-dependent: expand literally while tolerable.
+            Accum::SumStr(_) | Accum::List(_) | Accum::Array(_) | Accum::User(_) => {
+                let name = self.kind_name();
+                match mult.to_u64() {
+                    Some(m) if m <= EXPANSION_CAP => {
+                        for _ in 0..m {
+                            self.combine(input.clone(), registry)?;
+                        }
+                        Ok(())
+                    }
+                    _ => Err(AccumError::MultiplicityOverflow {
+                        accum: name.into(),
+                        multiplicity: mult.to_string(),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// The `=` operator: overwrite the internal value.
+    pub fn assign(&mut self, value: Value) -> Result<(), AccumError> {
+        match self {
+            Accum::SumInt(v) => {
+                *v = value.as_i64().ok_or(AccumError::TypeMismatch {
+                    expected: "integer",
+                    got: value.clone(),
+                })?
+            }
+            Accum::SumDouble(v) => {
+                *v = value.as_f64().ok_or(AccumError::TypeMismatch {
+                    expected: "numeric",
+                    got: value.clone(),
+                })?
+            }
+            Accum::SumStr(v) => match value {
+                Value::Str(s) => *v = s,
+                other => return Err(AccumError::TypeMismatch { expected: "string", got: other }),
+            },
+            Accum::Min(slot) | Accum::Max(slot) => *slot = Some(value),
+            Accum::Avg { sum, count } => {
+                *sum = value.as_f64().ok_or(AccumError::TypeMismatch {
+                    expected: "numeric",
+                    got: value.clone(),
+                })?;
+                *count = 1;
+            }
+            Accum::Or(v) | Accum::And(v) => {
+                *v = value.as_bool().ok_or(AccumError::TypeMismatch {
+                    expected: "boolean",
+                    got: value.clone(),
+                })?
+            }
+            Accum::Set(items) => match value {
+                Value::Set(xs) | Value::List(xs) => {
+                    let mut xs = xs;
+                    xs.sort();
+                    xs.dedup();
+                    *items = xs;
+                }
+                other => {
+                    *items = vec![other];
+                }
+            },
+            Accum::Bag(counts) => {
+                counts.clear();
+                match value {
+                    Value::Set(xs) | Value::List(xs) => {
+                        for x in xs {
+                            counts.entry(x).or_insert_with(BigCount::zero).add_u64(1);
+                        }
+                    }
+                    other => {
+                        counts.insert(other, BigCount::one());
+                    }
+                }
+            }
+            Accum::List(items) | Accum::Array(items) => match value {
+                Value::List(xs) | Value::Set(xs) => *items = xs,
+                other => *items = vec![other],
+            },
+            Accum::Map { entries, .. } => {
+                entries.clear();
+                if !matches!(value, Value::Null) {
+                    return Err(AccumError::TypeMismatch {
+                        expected: "null (maps can only be cleared)",
+                        got: value,
+                    });
+                }
+            }
+            Accum::Heap { items, .. } => {
+                items.clear();
+                if !matches!(value, Value::Null) {
+                    return Err(AccumError::TypeMismatch {
+                        expected: "null (heaps can only be cleared)",
+                        got: value,
+                    });
+                }
+            }
+            Accum::GroupBy { groups, .. } => {
+                groups.clear();
+                if !matches!(value, Value::Null) {
+                    return Err(AccumError::TypeMismatch {
+                        expected: "null (group-by accumulators can only be cleared)",
+                        got: value,
+                    });
+                }
+            }
+            Accum::User(u) => u.assign(value)?,
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the internal value.
+    pub fn value(&self) -> Value {
+        match self {
+            Accum::SumInt(v) => Value::Int(*v),
+            Accum::SumDouble(v) => Value::Double(*v),
+            Accum::SumStr(v) => Value::Str(v.clone()),
+            Accum::Min(slot) | Accum::Max(slot) => slot.clone().unwrap_or(Value::Null),
+            Accum::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Double(0.0)
+                } else {
+                    Value::Double(sum / *count as f64)
+                }
+            }
+            Accum::Or(v) | Accum::And(v) => Value::Bool(*v),
+            Accum::Set(items) => Value::Set(items.clone()),
+            Accum::Bag(counts) => {
+                // A bag surfaces as a map element -> count.
+                Value::Map(
+                    counts
+                        .iter()
+                        .map(|(k, c)| {
+                            let cv = c
+                                .to_i64()
+                                .map(Value::Int)
+                                .unwrap_or_else(|| Value::Str(c.to_string()));
+                            (k.clone(), cv)
+                        })
+                        .collect(),
+                )
+            }
+            Accum::List(items) | Accum::Array(items) => Value::List(items.clone()),
+            Accum::Map { entries, .. } => Value::Map(
+                entries
+                    .iter()
+                    .map(|(k, a)| (k.clone(), a.value()))
+                    .collect(),
+            ),
+            Accum::Heap { items, .. } => Value::List(items.clone()),
+            Accum::GroupBy { groups, .. } => Value::Map(
+                groups
+                    .iter()
+                    .map(|(k, accs)| {
+                        (k.clone(), Value::Tuple(accs.iter().map(Accum::value).collect()))
+                    })
+                    .collect(),
+            ),
+            Accum::User(u) => u.value(),
+        }
+    }
+
+    /// Short kind name for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Accum::SumInt(_) => "SumAccum<INT>",
+            Accum::SumDouble(_) => "SumAccum<DOUBLE>",
+            Accum::SumStr(_) => "SumAccum<STRING>",
+            Accum::Min(_) => "MinAccum",
+            Accum::Max(_) => "MaxAccum",
+            Accum::Avg { .. } => "AvgAccum",
+            Accum::Or(_) => "OrAccum",
+            Accum::And(_) => "AndAccum",
+            Accum::Set(_) => "SetAccum",
+            Accum::Bag(_) => "BagAccum",
+            Accum::List(_) => "ListAccum",
+            Accum::Array(_) => "ArrayAccum",
+            Accum::Map { .. } => "MapAccum",
+            Accum::Heap { .. } => "HeapAccum",
+            Accum::GroupBy { .. } => "GroupByAccum",
+            Accum::User(_) => "UserAccum",
+        }
+    }
+}
+
+/// Splits a `MapAccum` input `(k -> v)`, encoded as a 2-tuple.
+fn split_map_input(input: Value) -> Result<(Value, Value), AccumError> {
+    match input {
+        Value::Tuple(mut xs) if xs.len() == 2 => {
+            let v = xs.pop().unwrap();
+            let k = xs.pop().unwrap();
+            Ok((k, v))
+        }
+        other => Err(AccumError::TypeMismatch { expected: "(key -> value) pair", got: other }),
+    }
+}
+
+/// Splits a `GroupByAccum` input `(k1..kn -> a1..am)`, encoded as an
+/// `(n+m)`-tuple.
+fn split_groupby_input(
+    input: Value,
+    key_arity: usize,
+    value_arity: usize,
+) -> Result<(Value, Vec<Value>), AccumError> {
+    match input {
+        Value::Tuple(xs) if xs.len() == key_arity + value_arity => {
+            let mut xs = xs;
+            let vals = xs.split_off(key_arity);
+            Ok((Value::Tuple(xs), vals))
+        }
+        Value::Tuple(xs) => Err(AccumError::ArityMismatch {
+            expected: key_arity + value_arity,
+            got: xs.len(),
+        }),
+        other => Err(AccumError::TypeMismatch { expected: "group-by tuple", got: other }),
+    }
+}
+
+/// Compares heap tuples under the lexicographic sort spec. Non-tuple
+/// items compare directly by the first field direction.
+fn heap_cmp(a: &Value, b: &Value, fields: &[HeapField]) -> Ordering {
+    if fields.is_empty() {
+        return a.cmp(b);
+    }
+    let (ta, tb) = match (a, b) {
+        (Value::Tuple(x), Value::Tuple(y)) => (x.as_slice(), y.as_slice()),
+        _ => {
+            let o = a.cmp(b);
+            return if fields[0].dir == SortDir::Desc { o.reverse() } else { o };
+        }
+    };
+    for f in fields {
+        let xa = ta.get(f.index).unwrap_or(&Value::Null);
+        let xb = tb.get(f.index).unwrap_or(&Value::Null);
+        let o = xa.cmp(xb);
+        if o != Ordering::Equal {
+            return if f.dir == SortDir::Desc { o.reverse() } else { o };
+        }
+    }
+    Ordering::Equal
+}
+
+fn heap_insert(items: &mut Vec<Value>, input: Value, fields: &[HeapField], capacity: usize) {
+    let pos = items
+        .binary_search_by(|probe| heap_cmp(probe, &input, fields))
+        .unwrap_or_else(|p| p);
+    items.insert(pos, input);
+    items.truncate(capacity);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> UserAccumRegistry {
+        let mut r = UserAccumRegistry::new();
+        r.register("ProductAccum", || {
+            Box::<crate::user::ProductAccum>::default()
+        });
+        r
+    }
+
+    fn mk(ty: &AccumType) -> Accum {
+        Accum::new(ty, &reg()).unwrap()
+    }
+
+    #[test]
+    fn sum_int_and_double() {
+        let r = reg();
+        let mut a = mk(&AccumType::Sum(ValueType::Int));
+        a.combine(Value::Int(2), &r).unwrap();
+        a.combine(Value::Int(40), &r).unwrap();
+        assert_eq!(a.value(), Value::Int(42));
+        let mut d = mk(&AccumType::Sum(ValueType::Double));
+        d.combine(Value::Double(1.5), &r).unwrap();
+        d.combine(Value::Int(1), &r).unwrap();
+        assert_eq!(d.value(), Value::Double(2.5));
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let r = reg();
+        let mut lo = mk(&AccumType::Min);
+        let mut hi = mk(&AccumType::Max);
+        for v in [3, 1, 4, 1, 5] {
+            lo.combine(Value::Int(v), &r).unwrap();
+            hi.combine(Value::Int(v), &r).unwrap();
+        }
+        assert_eq!(lo.value(), Value::Int(1));
+        assert_eq!(hi.value(), Value::Int(5));
+        assert_eq!(mk(&AccumType::Min).value(), Value::Null);
+    }
+
+    #[test]
+    fn avg_is_order_invariant_pairwise() {
+        let r = reg();
+        let mut a = mk(&AccumType::Avg);
+        let mut b = mk(&AccumType::Avg);
+        for v in [1.0, 2.0, 6.0] {
+            a.combine(Value::Double(v), &r).unwrap();
+        }
+        for v in [6.0, 1.0, 2.0] {
+            b.combine(Value::Double(v), &r).unwrap();
+        }
+        assert_eq!(a.value(), b.value());
+        assert_eq!(a.value(), Value::Double(3.0));
+        assert_eq!(mk(&AccumType::Avg).value(), Value::Double(0.0));
+    }
+
+    #[test]
+    fn bool_accums() {
+        let r = reg();
+        let mut o = mk(&AccumType::Or);
+        o.combine(Value::Bool(false), &r).unwrap();
+        assert_eq!(o.value(), Value::Bool(false));
+        o.combine(Value::Bool(true), &r).unwrap();
+        assert_eq!(o.value(), Value::Bool(true));
+        let mut a = mk(&AccumType::And);
+        a.combine(Value::Bool(true), &r).unwrap();
+        assert_eq!(a.value(), Value::Bool(true));
+        a.combine(Value::Bool(false), &r).unwrap();
+        assert_eq!(a.value(), Value::Bool(false));
+    }
+
+    #[test]
+    fn set_deduplicates_bag_counts() {
+        let r = reg();
+        let mut s = mk(&AccumType::Set);
+        let mut b = mk(&AccumType::Bag);
+        for v in [1, 2, 2, 3, 2] {
+            s.combine(Value::Int(v), &r).unwrap();
+            b.combine(Value::Int(v), &r).unwrap();
+        }
+        assert_eq!(
+            s.value(),
+            Value::Set(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
+        );
+        assert_eq!(
+            b.value(),
+            Value::Map(vec![
+                (Value::Int(1), Value::Int(1)),
+                (Value::Int(2), Value::Int(3)),
+                (Value::Int(3), Value::Int(1)),
+            ])
+        );
+    }
+
+    #[test]
+    fn map_accum_nests() {
+        let r = reg();
+        let ty = AccumType::Map(Box::new(AccumType::Sum(ValueType::Int)));
+        let mut m = mk(&ty);
+        let pair = |k: &str, v: i64| Value::Tuple(vec![Value::from(k), Value::Int(v)]);
+        m.combine(pair("a", 1), &r).unwrap();
+        m.combine(pair("b", 10), &r).unwrap();
+        m.combine(pair("a", 2), &r).unwrap();
+        assert_eq!(
+            m.value(),
+            Value::Map(vec![
+                (Value::from("a"), Value::Int(3)),
+                (Value::from("b"), Value::Int(10)),
+            ])
+        );
+    }
+
+    #[test]
+    fn heap_keeps_top_k() {
+        let r = reg();
+        let ty = AccumType::Heap {
+            capacity: 2,
+            fields: vec![
+                HeapField { index: 0, dir: SortDir::Desc },
+                HeapField { index: 1, dir: SortDir::Asc },
+            ],
+        };
+        let mut h = mk(&ty);
+        let t = |score: i64, name: &str| Value::Tuple(vec![Value::Int(score), Value::from(name)]);
+        for (s, n) in [(5, "e"), (9, "b"), (9, "a"), (1, "x"), (7, "c")] {
+            h.combine(t(s, n), &r).unwrap();
+        }
+        // Top two by score DESC, name ASC tiebreak.
+        assert_eq!(h.value(), Value::List(vec![t(9, "a"), t(9, "b")]));
+    }
+
+    #[test]
+    fn groupby_accumulates_per_key() {
+        let r = reg();
+        let ty = AccumType::GroupBy {
+            key_arity: 1,
+            nested: vec![AccumType::Sum(ValueType::Int), AccumType::Max],
+        };
+        let mut g = mk(&ty);
+        let row = |k: &str, a: i64, b: i64| {
+            Value::Tuple(vec![Value::from(k), Value::Int(a), Value::Int(b)])
+        };
+        g.combine(row("x", 1, 5), &r).unwrap();
+        g.combine(row("x", 2, 3), &r).unwrap();
+        g.combine(row("y", 7, 1), &r).unwrap();
+        assert_eq!(
+            g.value(),
+            Value::Map(vec![
+                (
+                    Value::Tuple(vec![Value::from("x")]),
+                    Value::Tuple(vec![Value::Int(3), Value::Int(5)])
+                ),
+                (
+                    Value::Tuple(vec![Value::from("y")]),
+                    Value::Tuple(vec![Value::Int(7), Value::Int(1)])
+                ),
+            ])
+        );
+    }
+
+    #[test]
+    fn groupby_arity_checked() {
+        let r = reg();
+        let ty = AccumType::GroupBy { key_arity: 1, nested: vec![AccumType::Min] };
+        let mut g = mk(&ty);
+        let bad = Value::Tuple(vec![Value::Int(1)]);
+        assert!(matches!(
+            g.combine(bad, &r),
+            Err(AccumError::ArityMismatch { expected: 2, got: 1 })
+        ));
+    }
+
+    #[test]
+    fn multiplicity_shortcut_sum_and_avg() {
+        let r = reg();
+        let mu = BigCount::from(1000u64);
+        let mut s = mk(&AccumType::Sum(ValueType::Int));
+        s.combine_with_multiplicity(Value::Int(3), &mu, &r).unwrap();
+        assert_eq!(s.value(), Value::Int(3000));
+        let mut a = mk(&AccumType::Avg);
+        a.combine_with_multiplicity(Value::Double(2.0), &mu, &r).unwrap();
+        a.combine(Value::Double(4.0), &r).unwrap();
+        // (1000*2 + 4) / 1001
+        assert_eq!(a.value(), Value::Double(2004.0 / 1001.0));
+    }
+
+    #[test]
+    fn multiplicity_insensitive_once() {
+        let r = reg();
+        let mu = BigCount::pow2(100); // astronomically many paths
+        let mut m = mk(&AccumType::Max);
+        m.combine_with_multiplicity(Value::Int(7), &mu, &r).unwrap();
+        assert_eq!(m.value(), Value::Int(7));
+        let mut s = mk(&AccumType::Set);
+        s.combine_with_multiplicity(Value::Int(7), &mu, &r).unwrap();
+        assert_eq!(s.value(), Value::Set(vec![Value::Int(7)]));
+    }
+
+    #[test]
+    fn multiplicity_bag_stays_compressed() {
+        let r = reg();
+        let mu = BigCount::pow2(100);
+        let mut b = mk(&AccumType::Bag);
+        b.combine_with_multiplicity(Value::Int(1), &mu, &r).unwrap();
+        // Count exceeds i64 so it surfaces as a decimal string.
+        assert_eq!(
+            b.value(),
+            Value::Map(vec![(Value::Int(1), Value::Str(BigCount::pow2(100).to_string()))])
+        );
+    }
+
+    #[test]
+    fn multiplicity_overflow_on_list() {
+        let r = reg();
+        let mu = BigCount::pow2(64);
+        let mut l = mk(&AccumType::List);
+        assert!(matches!(
+            l.combine_with_multiplicity(Value::Int(1), &mu, &r),
+            Err(AccumError::MultiplicityOverflow { .. })
+        ));
+        // Small multiplicities expand literally.
+        let mut l2 = mk(&AccumType::List);
+        l2.combine_with_multiplicity(Value::Int(1), &BigCount::from(3u64), &r)
+            .unwrap();
+        assert_eq!(
+            l2.value(),
+            Value::List(vec![Value::Int(1), Value::Int(1), Value::Int(1)])
+        );
+    }
+
+    #[test]
+    fn multiplicity_recurses_into_map() {
+        let r = reg();
+        let ty = AccumType::Map(Box::new(AccumType::Sum(ValueType::Double)));
+        let mut m = mk(&ty);
+        let pair = Value::Tuple(vec![Value::from("k"), Value::Double(1.5)]);
+        m.combine_with_multiplicity(pair, &BigCount::from(4u64), &r)
+            .unwrap();
+        assert_eq!(m.value(), Value::Map(vec![(Value::from("k"), Value::Double(6.0))]));
+    }
+
+    #[test]
+    fn assign_overwrites() {
+        let r = reg();
+        let mut s = mk(&AccumType::Sum(ValueType::Double));
+        s.combine(Value::Double(5.0), &r).unwrap();
+        s.assign(Value::Double(1.0)).unwrap();
+        assert_eq!(s.value(), Value::Double(1.0));
+        let mut m = mk(&AccumType::Max);
+        m.combine(Value::Int(10), &r).unwrap();
+        m.assign(Value::Int(0)).unwrap();
+        assert_eq!(m.value(), Value::Int(0));
+        m.combine(Value::Int(3), &r).unwrap();
+        assert_eq!(m.value(), Value::Int(3));
+    }
+
+    #[test]
+    fn user_accum_via_registry() {
+        let r = reg();
+        let mut p = Accum::new(&AccumType::User("ProductAccum".into()), &r).unwrap();
+        p.combine(Value::Int(6), &r).unwrap();
+        p.combine(Value::Int(7), &r).unwrap();
+        assert_eq!(p.value(), Value::Double(42.0));
+        assert!(matches!(
+            Accum::new(&AccumType::User("Missing".into()), &r),
+            Err(AccumError::UnknownUserAccum(_))
+        ));
+    }
+
+    #[test]
+    fn sum_string_concatenates() {
+        let r = reg();
+        let mut s = mk(&AccumType::Sum(ValueType::Str));
+        s.combine(Value::from("ab"), &r).unwrap();
+        s.combine(Value::from("cd"), &r).unwrap();
+        assert_eq!(s.value(), Value::from("abcd"));
+    }
+}

@@ -1,0 +1,176 @@
+//! User-defined accumulators.
+//!
+//! GSQL lets users extend the accumulator library by implementing a small
+//! C++ interface declaring the combiner `⊕` ("Extensible Accumulator
+//! Library", Section 3). This module is the Rust equivalent: implement
+//! [`UserAccum`], register a factory under a type name, and the name
+//! becomes usable in accumulator declarations.
+
+use crate::instance::AccumError;
+use pgraph::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A user-defined accumulator instance. Implementations provide the
+/// combiner and snapshot; the engine drives Map/Reduce around them.
+pub trait UserAccum: Send + Sync {
+    /// The combiner `⊕`: folds one input into the internal value.
+    fn combine(&mut self, input: Value) -> Result<(), AccumError>;
+    /// Overwrites the internal value (the `=` operator).
+    fn assign(&mut self, value: Value) -> Result<(), AccumError>;
+    /// Snapshot of the internal value.
+    fn value(&self) -> Value;
+    /// Whether `⊕` is commutative + associative (enables deterministic
+    /// parallel reduction). Defaults to `false` (conservative).
+    fn order_invariant(&self) -> bool {
+        false
+    }
+    /// Whether combining the same input repeatedly is idempotent
+    /// (enables the multiplicity shortcut). Defaults to `false`.
+    fn multiplicity_insensitive(&self) -> bool {
+        false
+    }
+    /// Clones the instance (accumulator snapshots require cloning).
+    fn clone_box(&self) -> Box<dyn UserAccum>;
+}
+
+impl Clone for Box<dyn UserAccum> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl fmt::Debug for Box<dyn UserAccum> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "UserAccum({})", self.value())
+    }
+}
+
+type Factory = Arc<dyn Fn() -> Box<dyn UserAccum> + Send + Sync>;
+
+/// Registry mapping user accumulator type names to instance factories.
+#[derive(Clone, Default)]
+pub struct UserAccumRegistry {
+    factories: HashMap<String, Factory>,
+}
+
+impl UserAccumRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `name` with a factory; replaces any prior registration.
+    pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn() -> Box<dyn UserAccum> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.into(), Arc::new(factory));
+    }
+
+    /// Instantiates a registered accumulator.
+    pub fn instantiate(&self, name: &str) -> Option<Box<dyn UserAccum>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Order-invariance of a registered type (via a throwaway instance).
+    pub fn order_invariant(&self, name: &str) -> Option<bool> {
+        self.instantiate(name).map(|a| a.order_invariant())
+    }
+
+    /// Multiplicity-insensitivity of a registered type.
+    pub fn multiplicity_insensitive(&self, name: &str) -> Option<bool> {
+        self.instantiate(name).map(|a| a.multiplicity_insensitive())
+    }
+}
+
+impl fmt::Debug for UserAccumRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&String> = self.factories.keys().collect();
+        names.sort();
+        f.debug_struct("UserAccumRegistry").field("types", &names).finish()
+    }
+}
+
+/// Example user accumulator: a product of numeric inputs — commutative
+/// and associative, so it is declared order-invariant. Used by docs,
+/// tests and the quickstart example.
+#[derive(Debug, Clone)]
+pub struct ProductAccum {
+    value: f64,
+}
+
+impl Default for ProductAccum {
+    fn default() -> Self {
+        ProductAccum { value: 1.0 }
+    }
+}
+
+impl UserAccum for ProductAccum {
+    fn combine(&mut self, input: Value) -> Result<(), AccumError> {
+        let x = input
+            .as_f64()
+            .ok_or_else(|| AccumError::TypeMismatch { expected: "numeric", got: input.clone() })?;
+        self.value *= x;
+        Ok(())
+    }
+
+    fn assign(&mut self, value: Value) -> Result<(), AccumError> {
+        self.value = value
+            .as_f64()
+            .ok_or_else(|| AccumError::TypeMismatch { expected: "numeric", got: value.clone() })?;
+        Ok(())
+    }
+
+    fn value(&self) -> Value {
+        Value::Double(self.value)
+    }
+
+    fn order_invariant(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn UserAccum> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_instantiate() {
+        let mut reg = UserAccumRegistry::new();
+        reg.register("ProductAccum", || Box::<ProductAccum>::default());
+        assert!(reg.contains("ProductAccum"));
+        assert!(!reg.contains("Nope"));
+        let mut a = reg.instantiate("ProductAccum").unwrap();
+        a.combine(Value::Int(3)).unwrap();
+        a.combine(Value::Double(0.5)).unwrap();
+        assert_eq!(a.value(), Value::Double(1.5));
+        assert_eq!(reg.order_invariant("ProductAccum"), Some(true));
+        assert_eq!(reg.multiplicity_insensitive("ProductAccum"), Some(false));
+    }
+
+    #[test]
+    fn product_rejects_non_numeric() {
+        let mut a = ProductAccum::default();
+        assert!(a.combine(Value::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn boxed_clone_is_independent() {
+        let mut a: Box<dyn UserAccum> = Box::<ProductAccum>::default();
+        a.combine(Value::Int(2)).unwrap();
+        let mut b = a.clone();
+        b.combine(Value::Int(10)).unwrap();
+        assert_eq!(a.value(), Value::Double(2.0));
+        assert_eq!(b.value(), Value::Double(20.0));
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for accumulators: the algebraic laws the paper's
+//! determinism and tractability arguments rest on.
+//!
+//! * order-invariant accumulators produce the same value for any
+//!   permutation of their inputs (Section 4.3),
+//! * the multiplicity shortcut equals literal repetition (Theorem 7.1 /
+//!   Appendix A),
+//! * multiplicity-insensitive accumulators are idempotent under repeats.
+
+use accum::types::{HeapField, SortDir};
+use accum::{Accum, AccumType, UserAccumRegistry};
+use pgraph::bigcount::BigCount;
+use pgraph::value::{Value, ValueType};
+use proptest::prelude::*;
+
+fn reg() -> UserAccumRegistry {
+    UserAccumRegistry::new()
+}
+
+fn order_invariant_types() -> Vec<AccumType> {
+    vec![
+        AccumType::Sum(ValueType::Int),
+        AccumType::Sum(ValueType::Double),
+        AccumType::Min,
+        AccumType::Max,
+        AccumType::Avg,
+        AccumType::Or,
+        AccumType::And,
+        AccumType::Set,
+        AccumType::Bag,
+        AccumType::Heap {
+            capacity: 4,
+            fields: vec![HeapField { index: 0, dir: SortDir::Desc }],
+        },
+        AccumType::Map(Box::new(AccumType::Sum(ValueType::Int))),
+    ]
+}
+
+fn input_for(ty: &AccumType, x: i64) -> Value {
+    match ty {
+        AccumType::Or | AccumType::And => Value::Bool(x % 2 == 0),
+        AccumType::Map(_) => Value::Tuple(vec![Value::Int(x % 4), Value::Int(x)]),
+        AccumType::Heap { .. } => Value::Tuple(vec![Value::Int(x), Value::Int(x % 3)]),
+        _ => Value::Int(x),
+    }
+}
+
+proptest! {
+    /// Any permutation of inputs yields the same value for order-invariant
+    /// accumulator types. (Sum<double> is invariant up to FP rounding;
+    /// integer inputs keep it exact here.)
+    #[test]
+    fn order_invariance(xs in prop::collection::vec(-50i64..50, 0..24), swap_seed in 0usize..1000) {
+        let r = reg();
+        for ty in order_invariant_types() {
+            let mut a = Accum::new(&ty, &r).unwrap();
+            for &x in &xs {
+                a.combine(input_for(&ty, x), &r).unwrap();
+            }
+            // A pseudo-random permutation via rotation + adjacent swaps.
+            let mut ys = xs.clone();
+            if !ys.is_empty() {
+                let n = ys.len();
+                ys.rotate_left(swap_seed % n);
+                let k = swap_seed % n;
+                ys.swap(k, (k + 1) % n);
+            }
+            let mut b = Accum::new(&ty, &r).unwrap();
+            for &y in &ys {
+                b.combine(input_for(&ty, y), &r).unwrap();
+            }
+            prop_assert_eq!(a.value(), b.value(), "type {} order-sensitive", ty);
+        }
+    }
+
+    /// The multiplicity shortcut equals literal repetition for every
+    /// accumulator type that supports it.
+    #[test]
+    fn multiplicity_shortcut_equals_repetition(x in -30i64..30, mu in 1u64..200) {
+        let r = reg();
+        let mut types = order_invariant_types();
+        types.push(AccumType::List); // expands literally below the cap
+        for ty in types {
+            let input = input_for(&ty, x);
+            let mut shortcut = Accum::new(&ty, &r).unwrap();
+            shortcut
+                .combine_with_multiplicity(input.clone(), &BigCount::from(mu), &r)
+                .unwrap();
+            let mut repeated = Accum::new(&ty, &r).unwrap();
+            for _ in 0..mu {
+                repeated.combine(input.clone(), &r).unwrap();
+            }
+            prop_assert_eq!(
+                shortcut.value(),
+                repeated.value(),
+                "type {} multiplicity shortcut diverged (x={}, mu={})", ty, x, mu
+            );
+        }
+    }
+
+    /// Multiplicity-insensitive accumulators absorb arbitrarily huge
+    /// multiplicities as a single combine.
+    #[test]
+    fn insensitive_absorb_huge(x in -30i64..30, bits in 64usize..500) {
+        let r = reg();
+        for ty in [AccumType::Min, AccumType::Max, AccumType::Set, AccumType::Or, AccumType::And] {
+            let input = input_for(&ty, x);
+            let mut big = Accum::new(&ty, &r).unwrap();
+            big.combine_with_multiplicity(input.clone(), &BigCount::pow2(bits), &r).unwrap();
+            let mut once = Accum::new(&ty, &r).unwrap();
+            once.combine(input.clone(), &r).unwrap();
+            prop_assert_eq!(big.value(), once.value(), "type {}", ty);
+        }
+    }
+
+    /// Bag counts are exact under mixed unit and bulk insertion.
+    #[test]
+    fn bag_counts_exact(units in 0u64..50, bulk in 0u64..1_000_000) {
+        let r = reg();
+        let mut b = Accum::new(&AccumType::Bag, &r).unwrap();
+        for _ in 0..units {
+            b.combine(Value::Int(7), &r).unwrap();
+        }
+        b.combine_with_multiplicity(Value::Int(7), &BigCount::from(bulk), &r).unwrap();
+        let total = units + bulk;
+        let want = if total == 0 {
+            Value::Map(vec![])
+        } else {
+            Value::Map(vec![(Value::Int(7), Value::Int(total as i64))])
+        };
+        prop_assert_eq!(b.value(), want);
+    }
+
+    /// Heap truncation: the heap holds the top-capacity elements of the
+    /// input multiset, in sort order.
+    #[test]
+    fn heap_is_truncated_sort(xs in prop::collection::vec(-100i64..100, 0..40), cap in 1usize..8) {
+        let r = reg();
+        let ty = AccumType::Heap {
+            capacity: cap,
+            fields: vec![HeapField { index: 0, dir: SortDir::Desc }],
+        };
+        let mut h = Accum::new(&ty, &r).unwrap();
+        for &x in &xs {
+            h.combine(Value::Tuple(vec![Value::Int(x)]), &r).unwrap();
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        sorted.truncate(cap);
+        let want = Value::List(
+            sorted.into_iter().map(|x| Value::Tuple(vec![Value::Int(x)])).collect(),
+        );
+        prop_assert_eq!(h.value(), want);
+    }
+
+    /// Avg equals the arithmetic mean regardless of multiplicity mixing.
+    #[test]
+    fn avg_is_exact_mean(xs in prop::collection::vec(-100i64..100, 1..20), mu in 1u64..50) {
+        let r = reg();
+        let mut a = Accum::new(&AccumType::Avg, &r).unwrap();
+        let mut sum = 0f64;
+        let mut count = 0f64;
+        for (i, &x) in xs.iter().enumerate() {
+            if i % 2 == 0 {
+                a.combine(Value::Int(x), &r).unwrap();
+                sum += x as f64;
+                count += 1.0;
+            } else {
+                a.combine_with_multiplicity(Value::Int(x), &BigCount::from(mu), &r).unwrap();
+                sum += x as f64 * mu as f64;
+                count += mu as f64;
+            }
+        }
+        let got = a.value().as_f64().unwrap();
+        prop_assert!((got - sum / count).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion bench for experiment E1 (Table 1): `Q_n` on the diamond
+//! chain under counting vs enumerative strategies. Counting is benched
+//! at n up to the paper's full 30; enumeration only at small n (it
+//! doubles per step — the harness binary `table1` shows the blow-up).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsql_core::{stdlib, Engine, PathSemantics};
+use pgraph::generators::diamond_chain;
+use pgraph::value::Value;
+use std::hint::black_box;
+
+fn bench_counting(c: &mut Criterion) {
+    let (g, _) = diamond_chain(30);
+    let q = stdlib::qn("V", "E");
+    let mut group = c.benchmark_group("diamond_qn_counting");
+    for n in [10usize, 20, 30] {
+        let args = [
+            ("srcName", Value::from("v0")),
+            ("tgtName", Value::from(format!("v{n}"))),
+        ];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let eng = Engine::new(&g);
+            b.iter(|| black_box(eng.run_text(&q, &args).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let (g, _) = diamond_chain(30);
+    let q = stdlib::qn("V", "E");
+    let mut group = c.benchmark_group("diamond_qn_enumeration");
+    group.sample_size(10);
+    for n in [8usize, 10, 12] {
+        let args = [
+            ("srcName", Value::from("v0")),
+            ("tgtName", Value::from(format!("v{n}"))),
+        ];
+        for (label, sem) in [
+            ("nre", PathSemantics::NonRepeatedEdge),
+            ("asp_enum", PathSemantics::AllShortestPathsEnumerate),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, _| {
+                    let eng = Engine::new(&g).with_semantics(sem);
+                    b.iter(|| black_box(eng.run_text(&q, &args).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_counting, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for experiment E3 (Appendix B): `Q_gs` (GROUPING SETS
+//! simulation — all aggregates per grouping set) vs `Q_acc` (dedicated
+//! accumulators). The paper reports a 2.5–3× advantage for `Q_acc`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsql_core::Engine;
+use ldbc_snb::{generate, queries, SnbParams};
+use std::hint::black_box;
+
+fn bench_grouping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_b_grouping");
+    group.sample_size(10);
+    for sf in [0.03f64, 0.1] {
+        let g = generate(SnbParams::new(sf, 2024));
+        let q_gs = queries::q_gs();
+        let q_acc = queries::q_acc();
+        group.bench_with_input(BenchmarkId::new("q_gs", sf), &sf, |b, _| {
+            let eng = Engine::new(&g);
+            b.iter(|| black_box(eng.run_text(&q_gs, &[]).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("q_acc", sf), &sf, |b, _| {
+            let eng = Engine::new(&g);
+            b.iter(|| black_box(eng.run_text(&q_acc, &[]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grouping);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench for experiment E2 (Section 7.1 LDBC IC table): ic9
+//! and ic3 at hop radii 2 and 3, counting vs non-repeated-edge, on a
+//! small SNB-like graph. The full sweep lives in the `ldbc_ic` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsql_core::{Engine, PathSemantics};
+use ldbc_snb::{generate, queries, SnbParams};
+use pgraph::datetime::to_epoch;
+use pgraph::value::Value;
+use std::hint::black_box;
+
+fn bench_ic(c: &mut Criterion) {
+    let g = generate(SnbParams::new(0.03, 2024));
+    let pt = g.schema().vertex_type_id("Person").unwrap();
+    let p = Value::Vertex(g.vertices_of_type(pt)[0]);
+
+    let mut group = c.benchmark_group("ldbc_ic");
+    group.sample_size(10);
+    for hops in [2usize, 3] {
+        for (name, text, args) in [
+            (
+                "ic9",
+                queries::ic9(hops),
+                vec![("p", p.clone()), ("maxDate", Value::DateTime(to_epoch(2012, 6, 1)))],
+            ),
+            (
+                "ic3",
+                queries::ic3(hops),
+                vec![
+                    ("p", p.clone()),
+                    ("countryX", Value::from("country0")),
+                    ("countryY", Value::from("country1")),
+                ],
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_counting"), hops),
+                &hops,
+                |b, _| {
+                    let eng = Engine::new(&g);
+                    b.iter(|| black_box(eng.run_text(&text, &args).unwrap()));
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}_nre"), hops),
+                &hops,
+                |b, _| {
+                    let eng = Engine::new(&g)
+                        .with_semantics(PathSemantics::NonRepeatedEdge)
+                        .with_enum_budget(100_000_000);
+                    b.iter(|| black_box(eng.run_text(&text, &args).unwrap()));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ic);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation bench E4 (Section 3, claim i): single-pass tree-way
+//! aggregation via accumulators (Example 4) vs the same three aggregates
+//! computed in three separate passes — quantifying the value of
+//! multi-aggregation by distinct grouping criteria in one traversal.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsql_core::{stdlib, Engine};
+use pgraph::generators::random_sales_graph;
+use std::hint::black_box;
+
+/// Three separate single-aggregation passes over the same pattern.
+const THREE_PASS: &str = r#"
+CREATE QUERY RevenueThreePasses () FOR GRAPH SalesGraph {
+  SumAccum<float> @revenuePerToy, @revenuePerCust;
+  SumAccum<float> @@totalRevenue;
+  A = SELECT c
+      FROM  Customer:c -(Bought>:b)- Product:p
+      WHERE p.category == 'toy'
+      ACCUM c.@revenuePerCust += b.quantity * p.list_price * (1.0 - b.discount);
+  B = SELECT c
+      FROM  Customer:c -(Bought>:b)- Product:p
+      WHERE p.category == 'toy'
+      ACCUM p.@revenuePerToy += b.quantity * p.list_price * (1.0 - b.discount);
+  C = SELECT c
+      FROM  Customer:c -(Bought>:b)- Product:p
+      WHERE p.category == 'toy'
+      ACCUM @@totalRevenue += b.quantity * p.list_price * (1.0 - b.discount);
+}
+"#;
+
+fn bench_multiagg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multiagg_single_vs_three_pass");
+    group.sample_size(10);
+    for (label, nc) in [("small", 2_000usize), ("large", 20_000)] {
+        let g = random_sales_graph(nc, nc / 10, 10, 7);
+        group.bench_with_input(BenchmarkId::new("single_pass", label), &nc, |b, _| {
+            let eng = Engine::new(&g);
+            b.iter(|| black_box(eng.run_text(stdlib::example4_sales(), &[]).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("three_passes", label), &nc, |b, _| {
+            let eng = Engine::new(&g);
+            b.iter(|| black_box(eng.run_text(THREE_PASS, &[]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_multiagg);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Ablation bench E5 (Section 4.3, claim iii): the snapshot Map/Reduce
+//! semantics admits parallel Map execution. Benches the Example-4 style
+//! aggregation with 1, 2 and 4 Map threads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gsql_core::{stdlib, Engine};
+use pgraph::generators::random_sales_graph;
+use std::hint::black_box;
+
+fn bench_parallel(c: &mut Criterion) {
+    let g = random_sales_graph(30_000, 3_000, 12, 11);
+    let mut group = c.benchmark_group("parallel_map_phase");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let eng = Engine::new(&g).with_parallelism(t);
+            b.iter(|| black_box(eng.run_text(stdlib::example4_sales(), &[]).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

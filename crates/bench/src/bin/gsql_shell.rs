@@ -1,0 +1,180 @@
+//! `gsql_shell` — a small command-line front end for the engine.
+//!
+//! ```text
+//! gsql_shell <graph.pg> [--semantics <flavor>] [--explain] \
+//!            [--arg name=value ...] (<query.gsql> | -)
+//! ```
+//!
+//! * `<graph.pg>` — a graph in the `pgraph::loader` text format, or one
+//!   of the built-in fixtures `:sales`, `:linkedin`, `:diamond30`,
+//!   `:snb[=<sf>]`.
+//! * `--semantics` — all_shortest_paths (default), non_repeated_edge,
+//!   non_repeated_vertex, all_shortest_paths_enumerate, shortest_one.
+//! * `--explain` — print the static plan instead of executing.
+//! * `--arg k=v` — query arguments (int / float / true|false / string;
+//!   `vertex:<id>` for vertex arguments).
+//! * query file or `-` to read GSQL from stdin.
+
+use gsql_core::{explain, parse_query, parser::parse_semantics, Engine, ReturnValue};
+use pgraph::graph::{Graph, VertexId};
+use pgraph::value::Value;
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: gsql_shell <graph.pg|:sales|:linkedin|:diamond30|:snb[=sf]> \
+         [--semantics <flavor>] [--explain] [--arg k=v ...] (<query.gsql> | -)"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_arg_value(raw: &str) -> Value {
+    if let Some(id) = raw.strip_prefix("vertex:") {
+        if let Ok(v) = id.parse::<u32>() {
+            return Value::Vertex(VertexId(v));
+        }
+    }
+    if let Ok(i) = raw.parse::<i64>() {
+        return Value::Int(i);
+    }
+    if let Ok(f) = raw.parse::<f64>() {
+        return Value::Double(f);
+    }
+    match raw {
+        "true" => Value::Bool(true),
+        "false" => Value::Bool(false),
+        other => Value::Str(other.to_string()),
+    }
+}
+
+fn load_graph(spec: &str) -> Result<Graph, String> {
+    match spec {
+        ":sales" => Ok(pgraph::generators::sales_graph()),
+        ":linkedin" => Ok(pgraph::generators::linkedin_graph()),
+        ":diamond30" => Ok(pgraph::generators::diamond_chain(30).0),
+        s if s.starts_with(":snb") => {
+            let sf = s
+                .strip_prefix(":snb")
+                .and_then(|r| r.strip_prefix('='))
+                .map(|v| v.parse::<f64>().map_err(|e| e.to_string()))
+                .transpose()?
+                .unwrap_or(0.05);
+            Ok(ldbc_snb::generate(ldbc_snb::SnbParams::new(sf, 2024)))
+        }
+        path => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read graph `{path}`: {e}"))?;
+            pgraph::loader::load_from_string(&text).map_err(|e| e.to_string())
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut graph_spec: Option<String> = None;
+    let mut query_spec: Option<String> = None;
+    let mut semantics = gsql_core::PathSemantics::AllShortestPaths;
+    let mut do_explain = false;
+    let mut args: Vec<(String, Value)> = Vec::new();
+
+    let mut it = argv.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--semantics" => {
+                let Some(name) = it.next() else { return usage() };
+                let Some(s) = parse_semantics(&name) else {
+                    eprintln!("unknown semantics `{name}`");
+                    return ExitCode::from(2);
+                };
+                semantics = s;
+            }
+            "--explain" => do_explain = true,
+            "--arg" => {
+                let Some(kv) = it.next() else { return usage() };
+                let Some((k, v)) = kv.split_once('=') else {
+                    eprintln!("--arg expects k=v, got `{kv}`");
+                    return ExitCode::from(2);
+                };
+                args.push((k.to_string(), parse_arg_value(v)));
+            }
+            "--help" | "-h" => return usage(),
+            _ if graph_spec.is_none() => graph_spec = Some(a),
+            _ if query_spec.is_none() => query_spec = Some(a),
+            other => {
+                eprintln!("unexpected argument `{other}`");
+                return usage();
+            }
+        }
+    }
+    let (Some(graph_spec), Some(query_spec)) = (graph_spec, query_spec) else {
+        return usage();
+    };
+
+    let graph = match load_graph(&graph_spec) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let source = if query_spec == "-" {
+        let mut s = String::new();
+        if std::io::stdin().read_to_string(&mut s).is_err() {
+            eprintln!("cannot read query from stdin");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&query_spec) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read query `{query_spec}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let query = match parse_query(&source) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if do_explain {
+        match explain(&query, semantics) {
+            Ok(plan) => print!("{plan}"),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let engine = Engine::new(&graph).with_semantics(semantics);
+    let arg_refs: Vec<(&str, Value)> =
+        args.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    match engine.run(&query, &arg_refs) {
+        Ok(out) => {
+            for line in &out.prints {
+                println!("{line}");
+            }
+            for table in out.tables.values() {
+                print!("{table}");
+            }
+            match out.returned {
+                Some(ReturnValue::Value(v)) => println!("-> {v}"),
+                Some(ReturnValue::Table(t)) => print!("-> {t}"),
+                Some(ReturnValue::VSet(vs)) => println!("-> vertex set of {}", vs.len()),
+                None => {}
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}

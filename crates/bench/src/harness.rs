@@ -1,0 +1,21 @@
+//! Shared helpers for the table-regeneration binaries.
+
+use std::time::{Duration, Instant};
+
+/// Times a closure, returning (result, elapsed).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// Formats a duration like the paper's tables: ms below 10 s, else m/s.
+pub fn fmt_duration(d: Duration) -> String {
+    let ms = d.as_secs_f64() * 1e3;
+    if ms < 10_000.0 {
+        format!("{ms:.1}ms")
+    } else {
+        let s = d.as_secs();
+        format!("{}m{:02}s", s / 60, s % 60)
+    }
+}

@@ -1,0 +1,2 @@
+//! Benchmark-harness support crate; see `src/bin/*` and `benches/*`.
+pub mod harness;

@@ -1,0 +1,317 @@
+//! GSQL abstract syntax.
+
+use accum::AccumType;
+use pgraph::value::ValueType;
+
+/// A parsed `CREATE QUERY`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub name: String,
+    pub params: Vec<Param>,
+    /// `FOR GRAPH g` — informational in this engine (one graph per
+    /// [`crate::Engine`]), but parsed and kept.
+    pub graph: Option<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// A query parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    pub name: String,
+    pub ty: ParamType,
+}
+
+/// Parameter types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamType {
+    Scalar(ValueType),
+    /// `VERTEX` or `VERTEX<Type>`.
+    Vertex(Option<String>),
+    /// `SET<VERTEX>` — a set of vertices.
+    VertexSet,
+}
+
+/// A statement in a query body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `SumAccum<float> @a = 1, @@b;`
+    AccumDecl {
+        ty: AccumType,
+        decls: Vec<AccumDecl>,
+    },
+    /// `TYPEDEF TUPLE<f1 INT, f2 STRING> Name;`
+    TupleTypedef {
+        name: String,
+        fields: Vec<(String, ValueType)>,
+    },
+    /// `S = SELECT ...;` or `AllV = {Page.*};`
+    VSetAssign { name: String, source: VSetSource },
+    /// A bare `SELECT` block used for its side effects / INTO tables.
+    Select(Box<SelectBlock>),
+    /// `@@a = e;` / `@@a += e;` at statement level.
+    GAccAssign { name: String, combine: bool, expr: Expr },
+    /// `USE SEMANTICS 'non_repeated_edge';` — the per-query matching-
+    /// semantics selection the paper announces as planned syntax
+    /// (Section 6.1, "syntactic sugar for specifying semantic
+    /// alternatives"). Affects subsequent SELECT blocks.
+    UseSemantics(crate::semantics::PathSemantics),
+    While {
+        cond: Expr,
+        limit: Option<Expr>,
+        body: Vec<Stmt>,
+    },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    Foreach {
+        var: String,
+        iterable: Expr,
+        body: Vec<Stmt>,
+    },
+    Print(Vec<PrintItem>),
+    Return(Expr),
+}
+
+/// One accumulator declarator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumDecl {
+    pub global: bool,
+    pub name: String,
+    pub init: Option<Expr>,
+}
+
+/// Source of a vertex-set assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VSetSource {
+    /// `{Page.*, Person.*}` — all vertices of the listed types
+    /// (`{_}`/`{ANY}` = every vertex). An entry may also name a vertex
+    /// parameter (singleton set).
+    Literal(Vec<String>),
+    Select(Box<SelectBlock>),
+    /// `A UNION B` / `A INTERSECT B` / `A MINUS B` over vertex sets.
+    SetOp { op: SetOp, lhs: String, rhs: String },
+}
+
+/// Vertex-set algebra operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    Union,
+    Intersect,
+    Minus,
+}
+
+/// A `SELECT` query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectBlock {
+    pub outputs: Vec<OutputFragment>,
+    pub from: Vec<FromItem>,
+    pub where_clause: Option<Expr>,
+    pub accum: Vec<AccStmt>,
+    pub post_accum: Vec<AccStmt>,
+    pub group_by: Option<GroupBy>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<Expr>,
+}
+
+/// One output fragment of a (multi-output) SELECT clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputFragment {
+    pub distinct: bool,
+    pub items: Vec<SelectItem>,
+    pub into: Option<String>,
+}
+
+/// One projected column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// `ORDER BY` item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+/// `GROUP BY` clause: one or more grouping sets (plain GROUP BY is one
+/// set; `GROUPING SETS`, `CUBE` and `ROLLUP` expand to several — the
+/// expansion happens in the parser so the executor sees only sets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupBy {
+    /// Full list of distinct grouping expressions (output columns).
+    pub keys: Vec<Expr>,
+    /// Each set selects indices into `keys`.
+    pub sets: Vec<Vec<usize>>,
+}
+
+/// FROM-clause item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FromItem {
+    /// A path pattern, optionally graph-qualified:
+    /// `LinkedIn:(Person:p -(Connected:c)- Person:o)`.
+    Pattern {
+        graph: Option<String>,
+        start: VSpec,
+        hops: Vec<Hop>,
+    },
+    /// A relational-table scan: `Employee:e`.
+    Table { name: String, alias: String },
+}
+
+/// A vertex specifier: a name (vertex type, vertex-set variable, vertex
+/// parameter, or `_`/`ANY`) with an optional binding variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VSpec {
+    pub name: String,
+    pub var: Option<String>,
+}
+
+/// One hop of a path pattern: `-(DARPE[:edgeVar])- VSpec`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hop {
+    pub darpe: darpe::Darpe,
+    pub edge_var: Option<String>,
+    pub to: VSpec,
+}
+
+/// A statement inside ACCUM / POST_ACCUM.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccStmt {
+    /// `float salesPrice = e.quantity * p.list_price` (type optional).
+    LocalDecl { name: String, expr: Expr },
+    /// `v.@a += e` / `v.@a = e`.
+    VAcc { var: String, name: String, combine: bool, expr: Expr },
+    /// `@@a += e` / `@@a = e`.
+    GAcc { name: String, combine: bool, expr: Expr },
+}
+
+/// A PRINT item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrintItem {
+    Expr { expr: Expr, label: String },
+    /// `PRINT R[R.name, R.@cnt]` — project a vertex set; inside the
+    /// bracket the set name doubles as the per-vertex alias.
+    VSetProjection { set: String, items: Vec<SelectItem> },
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Null,
+    Int(i64),
+    Double(f64),
+    Str(String),
+    Bool(bool),
+    /// Variable / parameter / vertex-set reference.
+    Ident(String),
+    /// `base.field` — vertex/edge attribute or table column.
+    Attr { base: String, field: String },
+    /// `v.@name` (`prev` = trailing apostrophe: pre-block snapshot).
+    VAcc { var: String, name: String, prev: bool },
+    /// `@@name`.
+    GAcc(String),
+    /// `f(args)`; `star` marks `count(*)`.
+    Call { func: String, args: Vec<Expr>, star: bool },
+    /// `v.outdegree("Likes")`, `v.type()`, `s.size()`, ...
+    Method { base: Box<Expr>, method: String, args: Vec<Expr> },
+    Unary { op: UnOp, expr: Box<Expr> },
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `(k1, k2 -> a1, a2)` — accumulator input tuple; evaluates to a
+    /// `Value::Tuple` of keys followed by values.
+    ArrowTuple { keys: Vec<Expr>, vals: Vec<Expr> },
+    /// `(a, b, c)` — plain tuple (HeapAccum inputs).
+    Tuple(Vec<Expr>),
+    /// `CASE WHEN c1 THEN e1 ... ELSE e END`.
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        default: Option<Box<Expr>>,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl Expr {
+    /// Walks the expression tree, applying `f` to every node.
+    pub fn walk(&self, f: &mut impl FnMut(&Expr)) {
+        f(self);
+        match self {
+            Expr::Call { args, .. } | Expr::Tuple(args) => {
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Method { base, args, .. } => {
+                base.walk(f);
+                for a in args {
+                    a.walk(f);
+                }
+            }
+            Expr::Unary { expr, .. } => expr.walk(f),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk(f);
+                rhs.walk(f);
+            }
+            Expr::ArrowTuple { keys, vals } => {
+                for e in keys.iter().chain(vals) {
+                    e.walk(f);
+                }
+            }
+            Expr::Case { branches, default } => {
+                for (c, e) in branches {
+                    c.walk(f);
+                    e.walk(f);
+                }
+                if let Some(d) = default {
+                    d.walk(f);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// True if any sub-expression is an aggregate function call
+    /// (`count`/`sum`/`avg`/`min`/`max` with one argument or `count(*)`).
+    pub fn contains_aggregate(&self) -> bool {
+        let mut found = false;
+        self.walk(&mut |e| {
+            if let Expr::Call { func, args, star } = e {
+                let f = func.to_ascii_lowercase();
+                if *star
+                    || (args.len() == 1
+                        && matches!(f.as_str(), "count" | "sum" | "avg" | "min" | "max"))
+                {
+                    found = true;
+                }
+            }
+        });
+        found
+    }
+}

@@ -1,0 +1,4 @@
+//! Civil-calendar helpers — re-exported from [`pgraph::datetime`], where
+//! they live so that the data generator can share them.
+
+pub use pgraph::datetime::{civil_from_days, day, days_from_civil, month, to_epoch, year};

@@ -1,0 +1,63 @@
+//! Unified error type for parsing, compilation and execution.
+
+use pgraph::value::Value;
+use std::fmt;
+
+/// Any GSQL front-end or runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Lexing / parsing error with line and column.
+    Parse { line: usize, col: usize, msg: String },
+    /// Static (pre-execution) error: unknown types, bad accumulator
+    /// declarations, tractability violations, ...
+    Compile(String),
+    /// Runtime evaluation error.
+    Runtime(String),
+}
+
+impl Error {
+    pub fn compile(msg: impl Into<String>) -> Self {
+        Error::Compile(msg.into())
+    }
+
+    pub fn runtime(msg: impl Into<String>) -> Self {
+        Error::Runtime(msg.into())
+    }
+
+    pub fn type_error(expected: &str, got: &Value) -> Self {
+        Error::Runtime(format!("expected {expected}, got `{got}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
+            Error::Compile(m) => write!(f, "compile error: {m}"),
+            Error::Runtime(m) => write!(f, "runtime error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<accum::AccumError> for Error {
+    fn from(e: accum::AccumError) -> Self {
+        Error::Runtime(e.to_string())
+    }
+}
+
+impl From<darpe::ParseError> for Error {
+    fn from(e: darpe::ParseError) -> Self {
+        Error::Compile(e.to_string())
+    }
+}
+
+impl From<darpe::CompileError> for Error {
+    fn from(e: darpe::CompileError) -> Self {
+        Error::Compile(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,589 @@
+//! Expression evaluation.
+//!
+//! GSQL expressions are evaluated against an [`Env`] that layers (from
+//! innermost to outermost): ACCUM-local variables, the current binding
+//! row, statement-level locals (`FOREACH` variables), query parameters,
+//! and the accumulator stores. Vertex accumulator reads `v.@a` see the
+//! live store; `v.@a'` sees the snapshot taken at the start of the
+//! current query block (paper Section 5, PageRank's previous-iteration
+//! score).
+
+use crate::ast::{BinOp, Expr, UnOp};
+use crate::datetime;
+use crate::error::{Error, Result};
+use crate::table::Table;
+use accum::{Accum, AccumType, UserAccumRegistry};
+use pgraph::fxhash::FxHashMap;
+use pgraph::graph::{EdgeId, Graph, VertexId};
+use pgraph::value::Value;
+use std::cmp::Ordering;
+
+/// What a FROM-clause variable is bound to in one binding-table row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binding {
+    Vertex(VertexId),
+    Edge(EdgeId),
+    /// Row `row` of FROM table number `table` (index into the evaluated
+    /// block's table list).
+    Row { table: usize, row: usize },
+}
+
+impl Binding {
+    /// The value a binding denotes when used as a whole (comparisons,
+    /// projections).
+    pub fn to_value(&self, tables: &[&Table]) -> Value {
+        match self {
+            Binding::Vertex(v) => Value::Vertex(*v),
+            Binding::Edge(e) => Value::Edge(*e),
+            Binding::Row { table, row } => Value::Tuple(tables[*table].rows[*row].clone()),
+        }
+    }
+}
+
+/// Per-vertex accumulator storage for one declared `@name`.
+#[derive(Debug, Clone)]
+pub struct VAccStore {
+    pub ty: AccumType,
+    /// The freshly-initialized instance vertices start from (includes the
+    /// declaration initializer, e.g. `SumAccum<float> @score = 1`).
+    pub prototype: Accum,
+    /// Lazily-populated cells, indexed by `VertexId`.
+    pub cells: Vec<Option<Accum>>,
+}
+
+impl VAccStore {
+    /// Read the current value at `v` (prototype value if untouched).
+    pub fn value_at(&self, v: VertexId) -> Value {
+        match self.cells.get(v.0 as usize).and_then(|c| c.as_ref()) {
+            Some(a) => a.value(),
+            None => self.prototype.value(),
+        }
+    }
+
+    /// Mutable access, materializing the cell from the prototype.
+    pub fn cell_mut(&mut self, v: VertexId) -> &mut Accum {
+        let idx = v.0 as usize;
+        if idx >= self.cells.len() {
+            self.cells.resize(idx + 1, None);
+        }
+        self.cells[idx].get_or_insert_with(|| self.prototype.clone())
+    }
+}
+
+/// One row of a binding table: variable bindings plus the row's
+/// multiplicity (the number of legal path combinations witnessing it —
+/// the compressed representation of Appendix A).
+#[derive(Debug, Clone)]
+pub struct BindingRow {
+    pub bindings: Vec<Binding>,
+    pub mult: pgraph::bigcount::BigCount,
+}
+
+/// Borrowed view of one row during evaluation.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    pub vars: &'a FxHashMap<String, usize>,
+    pub bindings: &'a [Binding],
+    pub tables: &'a [&'a Table],
+}
+
+/// Aggregate resolver used during grouped SELECT evaluation.
+pub type AggResolver<'a> = &'a dyn Fn(&Expr) -> Option<Value>;
+
+/// The evaluation environment.
+#[derive(Clone, Copy)]
+pub struct Env<'a> {
+    pub graph: &'a Graph,
+    pub registry: &'a UserAccumRegistry,
+    pub params: &'a FxHashMap<String, Value>,
+    /// Statement-level locals (FOREACH variables).
+    pub locals: Option<&'a FxHashMap<String, Value>>,
+    /// The current binding row, if evaluating inside a block.
+    pub row: Option<RowRef<'a>>,
+    /// ACCUM-clause local declarations of the current acc-execution.
+    pub acc_locals: Option<&'a FxHashMap<String, Value>>,
+    pub vaccs: &'a FxHashMap<String, VAccStore>,
+    pub prev_vaccs: &'a FxHashMap<String, VAccStore>,
+    pub gaccs: &'a FxHashMap<String, Accum>,
+    pub prev_gaccs: &'a FxHashMap<String, Accum>,
+    pub vsets: &'a FxHashMap<String, Vec<VertexId>>,
+    /// Aggregate resolver for SELECT/HAVING/ORDER BY over groups.
+    pub agg: Option<AggResolver<'a>>,
+}
+
+impl<'a> Env<'a> {
+    fn lookup_binding(&self, name: &str) -> Option<&'a Binding> {
+        let row = self.row.as_ref()?;
+        let idx = *row.vars.get(name)?;
+        row.bindings.get(idx)
+    }
+
+    /// Resolves a bare identifier.
+    fn ident(&self, name: &str) -> Result<Value> {
+        if let Some(locals) = self.acc_locals {
+            if let Some(v) = locals.get(name) {
+                return Ok(v.clone());
+            }
+        }
+        if let Some(b) = self.lookup_binding(name) {
+            let tables = self.row.as_ref().unwrap().tables;
+            return Ok(b.to_value(tables));
+        }
+        if let Some(locals) = self.locals {
+            if let Some(v) = locals.get(name) {
+                return Ok(v.clone());
+            }
+        }
+        if let Some(v) = self.params.get(name) {
+            return Ok(v.clone());
+        }
+        if let Some(set) = self.vsets.get(name) {
+            return Ok(Value::new_set(set.iter().map(|v| Value::Vertex(*v)).collect()));
+        }
+        Err(Error::runtime(format!("unknown identifier `{name}`")))
+    }
+}
+
+/// Evaluates `expr` under `env`.
+pub fn eval(env: &Env, expr: &Expr) -> Result<Value> {
+    if let Some(agg) = env.agg {
+        if let Some(v) = agg(expr) {
+            return Ok(v);
+        }
+    }
+    match expr {
+        Expr::Null => Ok(Value::Null),
+        Expr::Int(v) => Ok(Value::Int(*v)),
+        Expr::Double(v) => Ok(Value::Double(*v)),
+        Expr::Str(s) => Ok(Value::Str(s.clone())),
+        Expr::Bool(b) => Ok(Value::Bool(*b)),
+        Expr::Ident(name) => env.ident(name),
+        Expr::Attr { base, field } => eval_attr(env, base, field),
+        Expr::VAcc { var, name, prev } => {
+            let v = resolve_vertex(env, var)?;
+            let stores = if *prev { env.prev_vaccs } else { env.vaccs };
+            let store = stores
+                .get(name)
+                .ok_or_else(|| Error::runtime(format!("undeclared accumulator `@{name}`")))?;
+            Ok(store.value_at(v))
+        }
+        Expr::GAcc(name) => {
+            let acc = env
+                .gaccs
+                .get(name)
+                .ok_or_else(|| Error::runtime(format!("undeclared accumulator `@@{name}`")))?;
+            Ok(acc.value())
+        }
+        Expr::Call { func, args, star } => eval_call(env, func, args, *star),
+        Expr::Method { base, method, args } => eval_method(env, base, method, args),
+        Expr::Unary { op, expr } => {
+            let v = eval(env, expr)?;
+            match op {
+                UnOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Double(d) => Ok(Value::Double(-d)),
+                    other => Err(Error::type_error("numeric", &other)),
+                },
+                UnOp::Not => match v {
+                    Value::Bool(b) => Ok(Value::Bool(!b)),
+                    other => Err(Error::type_error("boolean", &other)),
+                },
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => eval_binary(env, *op, lhs, rhs),
+        Expr::ArrowTuple { keys, vals } => {
+            let mut items = Vec::with_capacity(keys.len() + vals.len());
+            for e in keys.iter().chain(vals) {
+                items.push(eval(env, e)?);
+            }
+            Ok(Value::Tuple(items))
+        }
+        Expr::Tuple(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for e in items {
+                out.push(eval(env, e)?);
+            }
+            Ok(Value::Tuple(out))
+        }
+        Expr::Case { branches, default } => {
+            for (cond, val) in branches {
+                if truthy(&eval(env, cond)?)? {
+                    return eval(env, val);
+                }
+            }
+            match default {
+                Some(d) => eval(env, d),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+/// Resolves a variable that must denote a vertex (for `v.@acc`, `v.attr`
+/// on vertices, `v.outdegree()`, ...).
+pub fn resolve_vertex(env: &Env, var: &str) -> Result<VertexId> {
+    if let Some(b) = env.lookup_binding(var) {
+        if let Binding::Vertex(v) = b {
+            return Ok(*v);
+        }
+        return Err(Error::runtime(format!("variable `{var}` is not a vertex")));
+    }
+    if let Some(locals) = env.locals {
+        if let Some(Value::Vertex(v)) = locals.get(var) {
+            return Ok(*v);
+        }
+    }
+    match env.params.get(var) {
+        Some(Value::Vertex(v)) => Ok(*v),
+        _ => Err(Error::runtime(format!("`{var}` is not bound to a vertex"))),
+    }
+}
+
+fn eval_attr(env: &Env, base: &str, field: &str) -> Result<Value> {
+    // FOREACH variable or parameter holding a vertex also supports `.attr`.
+    if let Some(b) = env.lookup_binding(base) {
+        return match b {
+            Binding::Vertex(v) => env
+                .graph
+                .vertex_attr_by_name(*v, field)
+                .cloned()
+                .ok_or_else(|| attr_error(env.graph, *v, field)),
+            Binding::Edge(e) => env
+                .graph
+                .edge_attr_by_name(*e, field)
+                .cloned()
+                .ok_or_else(|| Error::runtime(format!("edge has no attribute `{field}`"))),
+            Binding::Row { table, row } => {
+                let t = env.row.as_ref().unwrap().tables[*table];
+                let idx = t
+                    .column_index(field)
+                    .ok_or_else(|| Error::runtime(format!("table `{}` has no column `{field}`", t.name)))?;
+                Ok(t.rows[*row][idx].clone())
+            }
+        };
+    }
+    // Fall back to locals / params that hold a vertex.
+    let v = resolve_vertex(env, base)?;
+    env.graph
+        .vertex_attr_by_name(v, field)
+        .cloned()
+        .ok_or_else(|| attr_error(env.graph, v, field))
+}
+
+fn attr_error(graph: &Graph, v: VertexId, field: &str) -> Error {
+    let ty = graph.schema().vertex_type(graph.vertex_type_of(v));
+    Error::runtime(format!("vertex type `{}` has no attribute `{field}`", ty.name))
+}
+
+fn eval_call(env: &Env, func: &str, args: &[Expr], star: bool) -> Result<Value> {
+    let f = func.to_ascii_lowercase();
+    let is_aggregate = star
+        || matches!(f.as_str(), "count" | "sum" | "avg")
+        || (args.len() == 1 && matches!(f.as_str(), "min" | "max"));
+    if is_aggregate {
+        return Err(Error::runtime(format!(
+            "aggregate `{func}` used outside SELECT/HAVING/ORDER BY context"
+        )));
+    }
+    let mut vals = Vec::with_capacity(args.len());
+    for a in args {
+        vals.push(eval(env, a)?);
+    }
+    let num = |v: &Value| -> Result<f64> {
+        v.as_f64().ok_or_else(|| Error::type_error("numeric", v))
+    };
+    let arity = |n: usize| -> Result<()> {
+        if vals.len() == n {
+            Ok(())
+        } else {
+            Err(Error::runtime(format!("`{func}` expects {n} argument(s), got {}", vals.len())))
+        }
+    };
+    match f.as_str() {
+        "log" | "ln" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.ln()))
+        }
+        "log2" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.log2()))
+        }
+        "log10" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.log10()))
+        }
+        "exp" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.exp()))
+        }
+        "sqrt" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.sqrt()))
+        }
+        "abs" => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                other => Ok(Value::Double(num(other)?.abs())),
+            }
+        }
+        "floor" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.floor()))
+        }
+        "ceil" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.ceil()))
+        }
+        "round" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?.round()))
+        }
+        "pow" => {
+            arity(2)?;
+            Ok(Value::Double(num(&vals[0])?.powf(num(&vals[1])?)))
+        }
+        // Scalar two-argument min/max (one-argument forms are aggregates).
+        "min" => {
+            arity(2)?;
+            Ok(if vals[0] <= vals[1] { vals[0].clone() } else { vals[1].clone() })
+        }
+        "max" => {
+            arity(2)?;
+            Ok(if vals[0] >= vals[1] { vals[0].clone() } else { vals[1].clone() })
+        }
+        "float" | "double" => {
+            arity(1)?;
+            Ok(Value::Double(num(&vals[0])?))
+        }
+        "int" => {
+            arity(1)?;
+            vals[0]
+                .as_i64()
+                .map(Value::Int)
+                .ok_or_else(|| Error::type_error("integer-convertible", &vals[0]))
+        }
+        "str" | "to_string" => {
+            arity(1)?;
+            Ok(Value::Str(vals[0].to_string()))
+        }
+        "lower" => {
+            arity(1)?;
+            Ok(Value::Str(str_arg(&vals[0])?.to_lowercase()))
+        }
+        "upper" => {
+            arity(1)?;
+            Ok(Value::Str(str_arg(&vals[0])?.to_uppercase()))
+        }
+        "length" => {
+            arity(1)?;
+            Ok(Value::Int(str_arg(&vals[0])?.chars().count() as i64))
+        }
+        // argmax/argmin over a map value: the key with the extreme value
+        // (ties break to the smallest key). NULL on empty maps.
+        "argmax" | "argmin" => {
+            arity(1)?;
+            match &vals[0] {
+                Value::Map(entries) => {
+                    let mut best: Option<(&Value, &Value)> = None;
+                    for (k, v) in entries {
+                        let better = match &best {
+                            None => true,
+                            Some((_, bv)) => {
+                                if f == "argmax" {
+                                    v > bv
+                                } else {
+                                    v < bv
+                                }
+                            }
+                        };
+                        if better {
+                            best = Some((k, v));
+                        }
+                    }
+                    Ok(best.map(|(k, _)| k.clone()).unwrap_or(Value::Null))
+                }
+                other => Err(Error::type_error("map", other)),
+            }
+        }
+        "coalesce" => {
+            for v in &vals {
+                if !matches!(v, Value::Null) {
+                    return Ok(v.clone());
+                }
+            }
+            Ok(Value::Null)
+        }
+        "year" => {
+            arity(1)?;
+            Ok(Value::Int(datetime::year(dt_arg(&vals[0])?)))
+        }
+        "month" => {
+            arity(1)?;
+            Ok(Value::Int(datetime::month(dt_arg(&vals[0])?)))
+        }
+        "day" => {
+            arity(1)?;
+            Ok(Value::Int(datetime::day(dt_arg(&vals[0])?)))
+        }
+        "to_datetime" => {
+            arity(3)?;
+            let y = vals[0].as_i64().ok_or_else(|| Error::type_error("int", &vals[0]))?;
+            let m = vals[1].as_i64().ok_or_else(|| Error::type_error("int", &vals[1]))? as u32;
+            let d = vals[2].as_i64().ok_or_else(|| Error::type_error("int", &vals[2]))? as u32;
+            Ok(Value::DateTime(datetime::to_epoch(y, m, d)))
+        }
+        other => Err(Error::runtime(format!("unknown function `{other}`"))),
+    }
+}
+
+fn str_arg(v: &Value) -> Result<&str> {
+    v.as_str().ok_or_else(|| Error::type_error("string", v))
+}
+
+fn dt_arg(v: &Value) -> Result<i64> {
+    match v {
+        Value::DateTime(t) | Value::Int(t) => Ok(*t),
+        other => Err(Error::type_error("datetime", other)),
+    }
+}
+
+fn eval_method(env: &Env, base: &Expr, method: &str, args: &[Expr]) -> Result<Value> {
+    let m = method.to_ascii_lowercase();
+    // Vertex methods work on the *variable* so we can reach the graph.
+    if let Expr::Ident(var) = base {
+        match m.as_str() {
+            "outdegree" | "indegree" | "degree" => {
+                let v = resolve_vertex(env, var)?;
+                let etype = match args.first() {
+                    None => None,
+                    Some(e) => {
+                        let name = eval(env, e)?;
+                        let name = str_arg(&name)?.to_string();
+                        Some(env.graph.schema().edge_type_id(&name).ok_or_else(|| {
+                            Error::runtime(format!("unknown edge type `{name}`"))
+                        })?)
+                    }
+                };
+                let d = match m.as_str() {
+                    "outdegree" => env.graph.outdegree(v, etype),
+                    "indegree" => env.graph.indegree(v, etype),
+                    _ => env.graph.degree(v),
+                };
+                return Ok(Value::Int(d as i64));
+            }
+            "type" => {
+                let v = resolve_vertex(env, var)?;
+                let t = env.graph.schema().vertex_type(env.graph.vertex_type_of(v));
+                return Ok(Value::Str(t.name.clone()));
+            }
+            "id" => {
+                let v = resolve_vertex(env, var)?;
+                return Ok(Value::Int(v.0 as i64));
+            }
+            _ => {}
+        }
+    }
+    // Collection methods evaluate the base as a value.
+    let b = eval(env, base)?;
+    match (m.as_str(), &b) {
+        ("size", Value::List(xs)) | ("size", Value::Set(xs)) | ("size", Value::Tuple(xs)) => {
+            Ok(Value::Int(xs.len() as i64))
+        }
+        ("size", Value::Map(xs)) => Ok(Value::Int(xs.len() as i64)),
+        ("size", Value::Str(s)) => Ok(Value::Int(s.chars().count() as i64)),
+        ("contains", Value::List(xs)) | ("contains", Value::Set(xs)) => {
+            let needle = eval(env, &args[0])?;
+            Ok(Value::Bool(xs.contains(&needle)))
+        }
+        ("get", Value::Map(entries)) => {
+            let key = eval(env, &args[0])?;
+            Ok(entries
+                .iter()
+                .find(|(k, _)| *k == key)
+                .map(|(_, v)| v.clone())
+                .unwrap_or(Value::Null))
+        }
+        _ => Err(Error::runtime(format!("unknown method `{method}` on `{b}`"))),
+    }
+}
+
+fn eval_binary(env: &Env, op: BinOp, lhs: &Expr, rhs: &Expr) -> Result<Value> {
+    // Short-circuit logicals.
+    match op {
+        BinOp::And => {
+            let l = truthy(&eval(env, lhs)?)?;
+            if !l {
+                return Ok(Value::Bool(false));
+            }
+            return Ok(Value::Bool(truthy(&eval(env, rhs)?)?));
+        }
+        BinOp::Or => {
+            let l = truthy(&eval(env, lhs)?)?;
+            if l {
+                return Ok(Value::Bool(true));
+            }
+            return Ok(Value::Bool(truthy(&eval(env, rhs)?)?));
+        }
+        _ => {}
+    }
+    let l = eval(env, lhs)?;
+    let r = eval(env, rhs)?;
+    match op {
+        BinOp::Add => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_add(*b))),
+            (Value::Str(a), b) => Ok(Value::Str(format!("{a}{b}"))),
+            (a, Value::Str(b)) => Ok(Value::Str(format!("{a}{b}"))),
+            _ => numeric_op(&l, &r, |a, b| a + b),
+        },
+        BinOp::Sub => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_sub(*b))),
+            _ => numeric_op(&l, &r, |a, b| a - b),
+        },
+        BinOp::Mul => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => Ok(Value::Int(a.wrapping_mul(*b))),
+            _ => numeric_op(&l, &r, |a, b| a * b),
+        },
+        BinOp::Div => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(Error::runtime("integer division by zero"))
+                } else {
+                    Ok(Value::Int(a / b))
+                }
+            }
+            _ => numeric_op(&l, &r, |a, b| a / b),
+        },
+        BinOp::Mod => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => {
+                if *b == 0 {
+                    Err(Error::runtime("modulo by zero"))
+                } else {
+                    Ok(Value::Int(a.rem_euclid(*b)))
+                }
+            }
+            _ => numeric_op(&l, &r, |a, b| a.rem_euclid(b)),
+        },
+        BinOp::Eq => Ok(Value::Bool(l == r)),
+        BinOp::Ne => Ok(Value::Bool(l != r)),
+        BinOp::Lt => Ok(Value::Bool(l.cmp(&r) == Ordering::Less)),
+        BinOp::Le => Ok(Value::Bool(l.cmp(&r) != Ordering::Greater)),
+        BinOp::Gt => Ok(Value::Bool(l.cmp(&r) == Ordering::Greater)),
+        BinOp::Ge => Ok(Value::Bool(l.cmp(&r) != Ordering::Less)),
+        BinOp::And | BinOp::Or => unreachable!("handled above"),
+    }
+}
+
+fn numeric_op(l: &Value, r: &Value, f: impl Fn(f64, f64) -> f64) -> Result<Value> {
+    let a = l.as_f64().ok_or_else(|| Error::type_error("numeric", l))?;
+    let b = r.as_f64().ok_or_else(|| Error::type_error("numeric", r))?;
+    Ok(Value::Double(f(a, b)))
+}
+
+/// Boolean coercion for WHERE / WHILE / IF conditions.
+pub fn truthy(v: &Value) -> Result<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        other => Err(Error::type_error("boolean condition", other)),
+    }
+}

@@ -1,0 +1,1712 @@
+//! The GSQL interpreter: engine, runtime state, statement execution, and
+//! the SELECT-block pipeline (FROM matching → WHERE → ACCUM Map/Reduce →
+//! POST_ACCUM → multi-output SELECT).
+
+use crate::ast::*;
+use crate::error::{Error, Result};
+use crate::eval::{eval, truthy, Binding, BindingRow, Env, RowRef, VAccStore};
+use crate::semantics::{reach, MatchStats, PathSemantics, ReachMap};
+use crate::table::Table;
+use crate::tractable;
+use accum::{Accum, AccumType, UserAccumRegistry};
+use darpe::{resolve_symbol, CompiledDarpe, SymbolSpec};
+use pgraph::bigcount::BigCount;
+use pgraph::fxhash::{FxHashMap, FxHashSet};
+use pgraph::graph::{Graph, VertexId};
+use pgraph::schema::VTypeId;
+use pgraph::value::Value;
+use std::collections::BTreeMap;
+
+/// Cap on literal row expansion when a non-aggregate projection meets a
+/// multiplicity > 1 (outside the compressed representation).
+const ROW_EXPANSION_CAP: u64 = 1 << 20;
+
+/// Threshold below which the Map phase stays sequential even when
+/// parallelism is enabled.
+const PARALLEL_THRESHOLD: usize = 512;
+
+/// The query engine: a graph, optional relational tables, a user-accum
+/// registry, and evaluation knobs.
+pub struct Engine<'g> {
+    graph: &'g Graph,
+    tables: FxHashMap<String, Table>,
+    registry: UserAccumRegistry,
+    semantics: PathSemantics,
+    /// Cap on paths materialized per enumerative kernel call (`None` =
+    /// unbounded — benchmarks measuring blow-up set their own watchdogs).
+    enum_budget: Option<u64>,
+    /// Map-phase threads (1 = sequential).
+    parallelism: usize,
+}
+
+impl<'g> Engine<'g> {
+    /// Engine with default settings: all-shortest-paths counting
+    /// semantics, sequential execution.
+    pub fn new(graph: &'g Graph) -> Self {
+        Engine {
+            graph,
+            tables: FxHashMap::default(),
+            registry: UserAccumRegistry::new(),
+            semantics: PathSemantics::AllShortestPaths,
+            enum_budget: None,
+            parallelism: 1,
+        }
+    }
+
+    /// Sets the pattern legality semantics.
+    pub fn with_semantics(mut self, s: PathSemantics) -> Self {
+        self.semantics = s;
+        self
+    }
+
+    /// Registers a relational input table (joinable in FROM, Example 1).
+    pub fn with_table(mut self, table: Table) -> Self {
+        self.tables.insert(table.name.clone(), table);
+        self
+    }
+
+    /// Caps enumerative kernels at `budget` materialized paths.
+    pub fn with_enum_budget(mut self, budget: u64) -> Self {
+        self.enum_budget = Some(budget);
+        self
+    }
+
+    /// Enables parallel Map-phase execution on `n` threads.
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
+    /// Mutable access to the user-defined accumulator registry.
+    pub fn registry_mut(&mut self) -> &mut UserAccumRegistry {
+        &mut self.registry
+    }
+
+    pub fn graph(&self) -> &'g Graph {
+        self.graph
+    }
+
+    pub fn semantics(&self) -> PathSemantics {
+        self.semantics
+    }
+
+    /// Parses and runs a query in one step.
+    pub fn run_text(&self, src: &str, args: &[(&str, Value)]) -> Result<QueryOutput> {
+        let q = crate::parser::parse_query(src)?;
+        self.run(&q, args)
+    }
+
+    /// Runs a parsed query with named arguments.
+    pub fn run(&self, query: &Query, args: &[(&str, Value)]) -> Result<QueryOutput> {
+        let mut params: FxHashMap<String, Value> = FxHashMap::default();
+        for p in &query.params {
+            let arg = args
+                .iter()
+                .find(|(n, _)| *n == p.name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| Error::runtime(format!("missing argument `{}`", p.name)))?;
+            // Light type checking; scalars coerce Int→Double.
+            let arg = match (&p.ty, arg) {
+                (ParamType::Vertex(_), v @ Value::Vertex(_)) => v,
+                (ParamType::Vertex(_), other) => {
+                    return Err(Error::runtime(format!(
+                        "parameter `{}` expects a vertex, got `{other}`",
+                        p.name
+                    )))
+                }
+                (ParamType::VertexSet, v @ Value::Set(_)) => v,
+                (ParamType::Scalar(pgraph::value::ValueType::Double), Value::Int(i)) => {
+                    Value::Double(i as f64)
+                }
+                (_, v) => v,
+            };
+            params.insert(p.name.clone(), arg);
+        }
+        let mut rt = Runtime {
+            eng: self,
+            semantics: self.semantics,
+            params,
+            locals: FxHashMap::default(),
+            vsets: FxHashMap::default(),
+            vaccs: FxHashMap::default(),
+            gaccs: FxHashMap::default(),
+            prev_vaccs: FxHashMap::default(),
+            prev_gaccs: FxHashMap::default(),
+            out_tables: BTreeMap::new(),
+            prints: Vec::new(),
+            returned: None,
+            stats: MatchStats::default(),
+        };
+        rt.exec_stmts(&query.body)?;
+        Ok(QueryOutput {
+            tables: rt.out_tables,
+            prints: rt.prints,
+            returned: rt.returned,
+            stats: rt.stats,
+        })
+    }
+}
+
+/// What `RETURN` produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReturnValue {
+    Value(Value),
+    Table(Table),
+    VSet(Vec<VertexId>),
+}
+
+/// The result of running a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutput {
+    /// Tables produced by `SELECT ... INTO`.
+    pub tables: BTreeMap<String, Table>,
+    /// `PRINT` output lines.
+    pub prints: Vec<String>,
+    /// `RETURN` value, if the query returned.
+    pub returned: Option<ReturnValue>,
+    /// Evaluation counters (how the query was executed).
+    pub stats: MatchStats,
+}
+
+impl QueryOutput {
+    /// Convenience accessor for an output table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+}
+
+enum Flow {
+    Normal,
+    Returned,
+}
+
+/// A resolved vertex specifier.
+enum Spec {
+    Any,
+    Type(VTypeId),
+    Set(FxHashSet<VertexId>),
+    Single(VertexId),
+}
+
+impl Spec {
+    fn matches(&self, graph: &Graph, v: VertexId) -> bool {
+        match self {
+            Spec::Any => true,
+            Spec::Type(t) => graph.vertex_type_of(v) == *t,
+            Spec::Set(s) => s.contains(&v),
+            Spec::Single(x) => *x == v,
+        }
+    }
+
+    fn candidates(&self, graph: &Graph) -> Vec<VertexId> {
+        match self {
+            Spec::Any => graph.vertices().collect(),
+            Spec::Type(t) => graph.vertices_of_type(*t).to_vec(),
+            Spec::Set(s) => {
+                let mut v: Vec<VertexId> = s.iter().copied().collect();
+                v.sort();
+                v
+            }
+            Spec::Single(x) => vec![*x],
+        }
+    }
+}
+
+/// One accumulator-input emission from the Map phase.
+struct Emission {
+    target: EmitTarget,
+    value: Value,
+    /// `true` = `+=` (combine), `false` = `=` (assign).
+    combine: bool,
+    mult: BigCount,
+}
+
+#[derive(Clone, Copy)]
+enum EmitTarget {
+    V { name: usize, vertex: VertexId },
+    G { name: usize },
+}
+
+struct Runtime<'e, 'g> {
+    eng: &'e Engine<'g>,
+    /// Active path semantics (engine default, overridable per query via
+    /// `USE SEMANTICS`).
+    semantics: PathSemantics,
+    params: FxHashMap<String, Value>,
+    locals: FxHashMap<String, Value>,
+    vsets: FxHashMap<String, Vec<VertexId>>,
+    vaccs: FxHashMap<String, VAccStore>,
+    gaccs: FxHashMap<String, Accum>,
+    prev_vaccs: FxHashMap<String, VAccStore>,
+    prev_gaccs: FxHashMap<String, Accum>,
+    out_tables: BTreeMap<String, Table>,
+    prints: Vec<String>,
+    returned: Option<ReturnValue>,
+    stats: MatchStats,
+}
+
+impl<'e, 'g> Runtime<'e, 'g> {
+    fn graph(&self) -> &'g Graph {
+        self.eng.graph
+    }
+
+    fn env<'a>(&'a self) -> Env<'a> {
+        Env {
+            graph: self.eng.graph,
+            registry: &self.eng.registry,
+            params: &self.params,
+            locals: Some(&self.locals),
+            row: None,
+            acc_locals: None,
+            vaccs: &self.vaccs,
+            prev_vaccs: &self.prev_vaccs,
+            gaccs: &self.gaccs,
+            prev_gaccs: &self.prev_gaccs,
+            vsets: &self.vsets,
+            agg: None,
+        }
+    }
+
+    // ---- statement execution --------------------------------------------
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> Result<Flow> {
+        for s in stmts {
+            if let Flow::Returned = self.exec_stmt(s)? {
+                return Ok(Flow::Returned);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow> {
+        match stmt {
+            Stmt::TupleTypedef { .. } => {}
+            Stmt::AccumDecl { ty, decls } => {
+                for d in decls {
+                    let mut proto = Accum::new(ty, &self.eng.registry)?;
+                    if let Some(init) = &d.init {
+                        let v = eval(&self.env(), init)?;
+                        proto.assign(v)?;
+                    }
+                    if d.global {
+                        self.gaccs.insert(d.name.clone(), proto);
+                    } else {
+                        self.vaccs.insert(
+                            d.name.clone(),
+                            VAccStore {
+                                ty: ty.clone(),
+                                prototype: proto,
+                                cells: vec![None; self.graph().vertex_count()],
+                            },
+                        );
+                    }
+                }
+            }
+            Stmt::VSetAssign { name, source } => match source {
+                VSetSource::Literal(entries) => {
+                    let mut set = Vec::new();
+                    for e in entries {
+                        set.extend(self.resolve_spec(e)?.candidates(self.graph()));
+                    }
+                    set.sort();
+                    set.dedup();
+                    self.vsets.insert(name.clone(), set);
+                }
+                VSetSource::SetOp { op, lhs, rhs } => {
+                    let l = self.resolve_spec(lhs)?.candidates(self.graph());
+                    let r: FxHashSet<VertexId> =
+                        self.resolve_spec(rhs)?.candidates(self.graph()).into_iter().collect();
+                    let mut out: Vec<VertexId> = match op {
+                        SetOp::Union => {
+                            let mut v = l;
+                            v.extend(r.iter().copied());
+                            v
+                        }
+                        SetOp::Intersect => l.into_iter().filter(|v| r.contains(v)).collect(),
+                        SetOp::Minus => l.into_iter().filter(|v| !r.contains(v)).collect(),
+                    };
+                    out.sort();
+                    out.dedup();
+                    self.vsets.insert(name.clone(), out);
+                }
+                VSetSource::Select(block) => {
+                    let vres = self.exec_select(block)?;
+                    let vres = vres.ok_or_else(|| {
+                        Error::runtime(format!(
+                            "SELECT assigned to `{name}` does not produce a vertex set \
+                             (its first output must be a bare pattern vertex variable)"
+                        ))
+                    })?;
+                    self.vsets.insert(name.clone(), vres);
+                }
+            },
+            Stmt::Select(block) => {
+                self.exec_select(block)?;
+            }
+            Stmt::UseSemantics(sem) => {
+                self.semantics = *sem;
+            }
+            Stmt::GAccAssign { name, combine, expr } => {
+                let v = eval(&self.env(), expr)?;
+                let acc = self
+                    .gaccs
+                    .get_mut(name)
+                    .ok_or_else(|| Error::runtime(format!("undeclared accumulator `@@{name}`")))?;
+                if *combine {
+                    acc.combine(v, &self.eng.registry)?;
+                } else {
+                    acc.assign(v)?;
+                }
+            }
+            Stmt::While { cond, limit, body } => {
+                let max_iter = match limit {
+                    Some(e) => {
+                        let v = eval(&self.env(), e)?;
+                        v.as_i64()
+                            .ok_or_else(|| Error::type_error("integer LIMIT", &v))?
+                            .max(0) as u64
+                    }
+                    None => u64::MAX,
+                };
+                let mut iters = 0u64;
+                while iters < max_iter {
+                    let c = eval(&self.env(), cond)?;
+                    if !truthy(&c)? {
+                        break;
+                    }
+                    if let Flow::Returned = self.exec_stmts(body)? {
+                        return Ok(Flow::Returned);
+                    }
+                    iters += 1;
+                }
+            }
+            Stmt::If { cond, then_branch, else_branch } => {
+                let c = eval(&self.env(), cond)?;
+                let branch = if truthy(&c)? { then_branch } else { else_branch };
+                if let Flow::Returned = self.exec_stmts(branch)? {
+                    return Ok(Flow::Returned);
+                }
+            }
+            Stmt::Foreach { var, iterable, body } => {
+                let it = eval(&self.env(), iterable)?;
+                let items: Vec<Value> = match it {
+                    Value::List(xs) | Value::Set(xs) | Value::Tuple(xs) => xs,
+                    Value::Map(entries) => entries
+                        .into_iter()
+                        .map(|(k, v)| Value::Tuple(vec![k, v]))
+                        .collect(),
+                    other => return Err(Error::type_error("iterable collection", &other)),
+                };
+                let shadowed = self.locals.remove(var);
+                for item in items {
+                    self.locals.insert(var.clone(), item);
+                    if let Flow::Returned = self.exec_stmts(body)? {
+                        return Ok(Flow::Returned);
+                    }
+                }
+                match shadowed {
+                    Some(v) => {
+                        self.locals.insert(var.clone(), v);
+                    }
+                    None => {
+                        self.locals.remove(var);
+                    }
+                }
+            }
+            Stmt::Print(items) => self.exec_print(items)?,
+            Stmt::Return(expr) => {
+                self.returned = Some(self.eval_return(expr)?);
+                return Ok(Flow::Returned);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn eval_return(&self, expr: &Expr) -> Result<ReturnValue> {
+        if let Expr::Ident(name) = expr {
+            if let Some(t) = self.out_tables.get(name) {
+                return Ok(ReturnValue::Table(t.clone()));
+            }
+            if let Some(s) = self.vsets.get(name) {
+                return Ok(ReturnValue::VSet(s.clone()));
+            }
+        }
+        Ok(ReturnValue::Value(eval(&self.env(), expr)?))
+    }
+
+    fn exec_print(&mut self, items: &[PrintItem]) -> Result<()> {
+        for item in items {
+            match item {
+                PrintItem::Expr { expr, label } => {
+                    // A bare identifier naming an INTO table prints the table.
+                    if let Expr::Ident(name) = expr {
+                        if let Some(t) = self.out_tables.get(name) {
+                            self.prints.push(t.to_string());
+                            continue;
+                        }
+                    }
+                    let v = eval(&self.env(), expr)?;
+                    self.prints.push(format!("{label} = {v}"));
+                }
+                PrintItem::VSetProjection { set, items } => {
+                    // The set name may also name an INTO table; prefer the
+                    // vertex set, since projections use per-vertex exprs.
+                    let vs = self
+                        .vsets
+                        .get(set)
+                        .cloned()
+                        .ok_or_else(|| Error::runtime(format!("unknown vertex set `{set}`")))?;
+                    let mut vars = FxHashMap::default();
+                    vars.insert(set.clone(), 0usize);
+                    for v in vs {
+                        let bindings = [Binding::Vertex(v)];
+                        let env = Env {
+                            row: Some(RowRef { vars: &vars, bindings: &bindings, tables: &[] }),
+                            ..self.env()
+                        };
+                        let mut cells = Vec::with_capacity(items.len());
+                        for it in items {
+                            cells.push(eval(&env, &it.expr)?.to_string());
+                        }
+                        self.prints.push(format!("{set}: {}", cells.join(", ")));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- FROM resolution --------------------------------------------------
+
+    fn resolve_spec(&self, name: &str) -> Result<Spec> {
+        if name == "_" || name.eq_ignore_ascii_case("any") {
+            return Ok(Spec::Any);
+        }
+        if let Some(set) = self.vsets.get(name) {
+            return Ok(Spec::Set(set.iter().copied().collect()));
+        }
+        if let Some(t) = self.graph().schema().vertex_type_id(name) {
+            return Ok(Spec::Type(t));
+        }
+        match self.params.get(name) {
+            Some(Value::Vertex(v)) => Ok(Spec::Single(*v)),
+            Some(Value::Set(items)) => {
+                let mut set = FxHashSet::default();
+                for it in items {
+                    match it {
+                        Value::Vertex(v) => {
+                            set.insert(*v);
+                        }
+                        other => {
+                            return Err(Error::runtime(format!(
+                                "`{name}` contains non-vertex `{other}`"
+                            )))
+                        }
+                    }
+                }
+                Ok(Spec::Set(set))
+            }
+            _ => Err(Error::runtime(format!(
+                "`{name}` is not a vertex type, vertex set, or vertex parameter"
+            ))),
+        }
+    }
+
+    /// Narrows a spec by a binding variable that is pre-anchored (a
+    /// vertex-valued parameter or FOREACH variable of the same name).
+    fn anchor_for(&self, var: &str) -> Option<VertexId> {
+        match self.locals.get(var).or_else(|| self.params.get(var)) {
+            Some(Value::Vertex(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    // ---- SELECT block -------------------------------------------------------
+
+    fn exec_select(&mut self, block: &SelectBlock) -> Result<Option<Vec<VertexId>>> {
+        // Static tractability check against the declared accumulators.
+        let vacc_types: FxHashMap<String, AccumType> = self
+            .vaccs
+            .iter()
+            .map(|(n, s)| (n.clone(), s.ty.clone()))
+            .collect();
+        let gacc_types: FxHashMap<String, AccumType> = self
+            .gaccs
+            .iter()
+            .map(|(n, a)| (n.clone(), proto_type(a)))
+            .collect();
+        tractable::check_block(
+            block,
+            self.semantics,
+            &vacc_types,
+            &gacc_types,
+            &self.eng.registry,
+        )?;
+
+        // 1. FROM + WHERE pushdown: build the (compressed) binding table,
+        // applying each WHERE conjunct as soon as every FROM variable it
+        // references is bound (classic selection pushdown — without it the
+        // Q_n query would run the reachability kernel from every vertex of
+        // the graph before filtering on `s.name`).
+        let will_bind = from_bound_vars(&block.from);
+        let mut pending: Vec<(Expr, Vec<String>)> = Vec::new();
+        if let Some(cond) = &block.where_clause {
+            let mut conjuncts = Vec::new();
+            split_conjuncts(cond, &mut conjuncts);
+            for c in conjuncts {
+                let mut refs = Vec::new();
+                collect_var_refs(&c, &mut refs);
+                refs.retain(|r| will_bind.contains(r));
+                refs.sort();
+                refs.dedup();
+                pending.push((c, refs));
+            }
+        }
+
+        let mut vars: FxHashMap<String, usize> = FxHashMap::default();
+        let mut table_refs: Vec<&Table> = Vec::new();
+        let mut rows: Vec<BindingRow> =
+            vec![BindingRow { bindings: Vec::new(), mult: BigCount::one() }];
+        let mut anon = 0usize;
+        for item in &block.from {
+            match item {
+                FromItem::Table { name, alias } => {
+                    if let Some(t) = self.eng.tables.get(name) {
+                        let tidx = table_refs.len();
+                        table_refs.push(t);
+                        let col = new_var(&mut vars, alias)?;
+                        let mut next = Vec::with_capacity(rows.len() * t.len());
+                        for row in &rows {
+                            for r in 0..t.len() {
+                                let mut b = row.bindings.clone();
+                                debug_assert_eq!(b.len(), col);
+                                b.push(Binding::Row { table: tidx, row: r });
+                                next.push(BindingRow { bindings: b, mult: row.mult.clone() });
+                            }
+                        }
+                        rows = next;
+                    } else {
+                        // Vertex scan (type / set / param named `name`).
+                        let spec = self.resolve_spec(name)?;
+                        rows = self.bind_vertex(rows, &mut vars, alias, &spec)?;
+                    }
+                    rows = self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                }
+                FromItem::Pattern { start, hops, .. } => {
+                    let spec = self.resolve_spec(&start.name)?;
+                    let var = start
+                        .var
+                        .clone()
+                        .unwrap_or_else(|| fresh_anon(&mut anon));
+                    rows = self.bind_vertex(rows, &mut vars, &var, &spec)?;
+                    rows = self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                    let mut prev_col = vars[&var];
+                    for hop in hops {
+                        let mut to_spec = self.resolve_spec(&hop.to.name)?;
+                        let to_var = hop
+                            .to
+                            .var
+                            .clone()
+                            .unwrap_or_else(|| fresh_anon(&mut anon));
+                        if !vars.contains_key(&to_var) {
+                            // Sargable pushdown: WHERE conjuncts that
+                            // reference only the hop's target variable
+                            // narrow the candidate set *before* the
+                            // reachability kernel runs — this is what lets
+                            // enumerative kernels anchor on the target
+                            // (Q_n's `t.name == tgtName`).
+                            to_spec =
+                                self.refine_spec(to_spec, &to_var, &mut pending)?;
+                        }
+                        rows = self.extend_hop(
+                            rows, &mut vars, prev_col, hop, &to_var, &to_spec,
+                        )?;
+                        rows =
+                            self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                        prev_col = vars[&to_var];
+                    }
+                }
+            }
+        }
+
+        // 2. Residual WHERE conjuncts (e.g. referencing no FROM variable).
+        for (cond, _) in pending.drain(..) {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                let env = Env {
+                    row: Some(RowRef {
+                        vars: &vars,
+                        bindings: &row.bindings,
+                        tables: &table_refs,
+                    }),
+                    ..self.env()
+                };
+                if truthy(&eval(&env, &cond)?)? {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+        self.stats.binding_rows += rows.len() as u64;
+
+        // 3. Snapshot for `@a'` reads.
+        self.prev_vaccs = self.vaccs.clone();
+        self.prev_gaccs = self.gaccs.clone();
+
+        // 4. ACCUM (Map phase + Reduce phase, snapshot semantics).
+        if !block.accum.is_empty() {
+            self.run_accum(&block.accum, &rows, &vars, &table_refs)?;
+        }
+
+        // 5. POST_ACCUM.
+        if !block.post_accum.is_empty() {
+            self.run_post_accum(&block.post_accum, &rows, &vars, &table_refs)?;
+        }
+
+        // 6. Outputs.
+        let mut vertex_result: Option<Vec<VertexId>> = None;
+        for frag in &block.outputs {
+            if let Some(var) = vertex_fragment_var(frag, &vars, &rows) {
+                let vs = self.eval_vertex_fragment(block, frag, &var, &vars, &rows, &table_refs)?;
+                if let Some(name) = &frag.into {
+                    self.vsets.insert(name.clone(), vs.clone());
+                }
+                if vertex_result.is_none() {
+                    vertex_result = Some(vs);
+                }
+            } else {
+                let table = self.eval_table_fragment(block, frag, &vars, &rows, &table_refs)?;
+                self.out_tables.insert(table.name.clone(), table);
+            }
+        }
+        Ok(vertex_result)
+    }
+
+    /// Narrows a vertex spec using pending WHERE conjuncts that reference
+    /// only `var`: each such conjunct is evaluated over the spec's
+    /// candidates and consumed. Returns the narrowed spec.
+    fn refine_spec(
+        &self,
+        spec: Spec,
+        var: &str,
+        pending: &mut Vec<(Expr, Vec<String>)>,
+    ) -> Result<Spec> {
+        let applicable: Vec<usize> = pending
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, refs))| refs.len() == 1 && refs[0] == var)
+            .map(|(i, _)| i)
+            .collect();
+        if applicable.is_empty() {
+            return Ok(spec);
+        }
+        let conds: Vec<Expr> = applicable
+            .iter()
+            .rev()
+            .map(|&i| pending.remove(i).0)
+            .collect();
+        let mut pvars = FxHashMap::default();
+        pvars.insert(var.to_string(), 0usize);
+        let mut keep = FxHashSet::default();
+        'cand: for v in spec.candidates(self.graph()) {
+            let bindings = [Binding::Vertex(v)];
+            let env = Env {
+                row: Some(RowRef { vars: &pvars, bindings: &bindings, tables: &[] }),
+                ..self.env()
+            };
+            for c in &conds {
+                if !truthy(&eval(&env, c)?)? {
+                    continue 'cand;
+                }
+            }
+            keep.insert(v);
+        }
+        Ok(Spec::Set(keep))
+    }
+
+    /// Applies every pending WHERE conjunct whose FROM variables are all
+    /// bound, removing it from `pending`.
+    fn apply_ready_filters(
+        &self,
+        mut rows: Vec<BindingRow>,
+        pending: &mut Vec<(Expr, Vec<String>)>,
+        vars: &FxHashMap<String, usize>,
+        tables: &[&Table],
+    ) -> Result<Vec<BindingRow>> {
+        let mut i = 0;
+        while i < pending.len() {
+            let ready = pending[i].1.iter().all(|v| vars.contains_key(v))
+                && !pending[i].1.is_empty();
+            if !ready {
+                i += 1;
+                continue;
+            }
+            let (cond, _) = pending.remove(i);
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                let env = Env {
+                    row: Some(RowRef { vars, bindings: &row.bindings, tables }),
+                    ..self.env()
+                };
+                if truthy(&eval(&env, &cond)?)? {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+        Ok(rows)
+    }
+
+    fn bind_vertex(
+        &mut self,
+        rows: Vec<BindingRow>,
+        vars: &mut FxHashMap<String, usize>,
+        var: &str,
+        spec: &Spec,
+    ) -> Result<Vec<BindingRow>> {
+        if let Some(&col) = vars.get(var) {
+            // Join on the existing column.
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if let Binding::Vertex(v) = row.bindings[col] {
+                    if spec.matches(self.graph(), v) {
+                        kept.push(row);
+                    }
+                } else {
+                    return Err(Error::runtime(format!("`{var}` is not a vertex variable")));
+                }
+            }
+            return Ok(kept);
+        }
+        let col = new_var(vars, var)?;
+        let anchored = self.anchor_for(var);
+        let candidates: Vec<VertexId> = match anchored {
+            Some(v) => {
+                if spec.matches(self.graph(), v) {
+                    vec![v]
+                } else {
+                    Vec::new()
+                }
+            }
+            None => spec.candidates(self.graph()),
+        };
+        let mut next = Vec::with_capacity(rows.len() * candidates.len().max(1));
+        for row in &rows {
+            for &v in &candidates {
+                let mut b = row.bindings.clone();
+                debug_assert_eq!(b.len(), col);
+                b.push(Binding::Vertex(v));
+                next.push(BindingRow { bindings: b, mult: row.mult.clone() });
+            }
+        }
+        Ok(next)
+    }
+
+    /// Extends the binding table across one pattern hop.
+    fn extend_hop(
+        &mut self,
+        rows: Vec<BindingRow>,
+        vars: &mut FxHashMap<String, usize>,
+        prev_col: usize,
+        hop: &Hop,
+        to_var: &str,
+        to_spec: &Spec,
+    ) -> Result<Vec<BindingRow>> {
+        let graph = self.graph();
+        let existing_to = vars.get(to_var).copied();
+        let anchored_to = if existing_to.is_none() { self.anchor_for(to_var) } else { None };
+
+        if let Some(sym) = hop.darpe.as_single_symbol() {
+            // Single-edge hop: enumerate adjacency, optionally binding the
+            // edge variable.
+            let spec: SymbolSpec = resolve_symbol(sym, graph.schema())?;
+            let edge_col = match &hop.edge_var {
+                Some(name) => Some(new_var(vars, name)?),
+                None => None,
+            };
+            let _to_col = match existing_to {
+                Some(c) => c,
+                None => new_var(vars, to_var)?,
+            };
+            let mut next = Vec::new();
+            for row in rows {
+                let src = vertex_at(&row, prev_col, to_var)?;
+                for a in graph.adjacency(src) {
+                    if !spec.matches(a.etype, a.dir) {
+                        continue;
+                    }
+                    if !to_spec.matches(graph, a.other) {
+                        continue;
+                    }
+                    if let Some(anchor) = anchored_to {
+                        if a.other != anchor {
+                            continue;
+                        }
+                    }
+                    if let Some(c) = existing_to {
+                        if row.bindings[c] != Binding::Vertex(a.other) {
+                            continue;
+                        }
+                    }
+                    let mut b = row.bindings.clone();
+                    if let Some(ec) = edge_col {
+                        debug_assert_eq!(b.len(), ec);
+                        b.push(Binding::Edge(a.edge));
+                    }
+                    if existing_to.is_none() {
+                        b.push(Binding::Vertex(a.other));
+                    }
+                    next.push(BindingRow { bindings: b, mult: row.mult.clone() });
+                }
+            }
+            return Ok(next);
+        }
+
+        // Kleene / composite hop: reachability kernel per distinct source,
+        // producing (target, multiplicity) pairs — never paths.
+        let nfa = CompiledDarpe::compile(&hop.darpe, graph.schema())?;
+        if existing_to.is_none() {
+            new_var(vars, to_var)?;
+        }
+        // Enumerative kernels with an anchored/bound target run **backward
+        // from the target** over the reversed automaton (path reversal is
+        // a bijection, so counts are identical). This mirrors what real
+        // planners do for bound-endpoint variable-length patterns and is
+        // what makes the Table-1 enumeration cost grow with the target's
+        // distance rather than with the whole graph's path population.
+        let target_bound = existing_to.is_some() || anchored_to.is_some();
+        // A small (spec-refined) target set also anchors the kernel: run
+        // backward once per target instead of forward once per source.
+        let spec_targets: Option<Vec<VertexId>> =
+            if self.semantics.is_enumerative() && !target_bound {
+                match &to_spec {
+                    Spec::Single(v) => Some(vec![*v]),
+                    Spec::Set(s) if s.len() <= 32 => {
+                        let mut v: Vec<VertexId> = s.iter().copied().collect();
+                        v.sort();
+                        Some(v)
+                    }
+                    _ => None,
+                }
+            } else {
+                None
+            };
+        let reverse_from_target =
+            self.semantics.is_enumerative() && (target_bound || spec_targets.is_some());
+        let rev_nfa = if reverse_from_target { Some(nfa.reversed()) } else { None };
+
+        let mut cache: FxHashMap<VertexId, ReachMap> = FxHashMap::default();
+        let mut next = Vec::new();
+        for row in rows {
+            let src = vertex_at(&row, prev_col, to_var)?;
+            let extend = |t: VertexId, cnt: &BigCount, next: &mut Vec<BindingRow>| {
+                let mut b = row.bindings.clone();
+                if existing_to.is_none() {
+                    b.push(Binding::Vertex(t));
+                }
+                next.push(BindingRow { bindings: b, mult: row.mult.mul(cnt) });
+            };
+            let bound_target = match (existing_to, anchored_to) {
+                (Some(c), _) => match row.bindings[c] {
+                    Binding::Vertex(v) => Some(v),
+                    _ => return Err(Error::runtime(format!("`{to_var}` is not a vertex"))),
+                },
+                (None, a) => a,
+            };
+            if let Some(rev) = &rev_nfa {
+                // Backward kernel(s) keyed by target vertex.
+                let targets: Vec<VertexId> = match (bound_target, &spec_targets) {
+                    (Some(t), _) => vec![t],
+                    (None, Some(ts)) => ts.clone(),
+                    (None, None) => unreachable!("reverse kernel requires a target anchor"),
+                };
+                for t in targets {
+                    if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(t) {
+                        e.insert(reach(
+                            graph,
+                            t,
+                            rev,
+                            self.semantics,
+                            self.eng.enum_budget,
+                            &mut self.stats,
+                        )?);
+                    }
+                    if let Some((_, cnt)) = cache[&t].get(&src) {
+                        if to_spec.matches(graph, t) {
+                            extend(t, cnt, &mut next);
+                        }
+                    }
+                }
+                continue;
+            }
+            // Forward kernel keyed by the source vertex.
+            if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(src) {
+                e.insert(reach(
+                    graph,
+                    src,
+                    &nfa,
+                    self.semantics,
+                    self.eng.enum_budget,
+                    &mut self.stats,
+                )?);
+            }
+            let m = &cache[&src];
+            match bound_target {
+                Some(t) => {
+                    if let Some((_, cnt)) = m.get(&t) {
+                        if to_spec.matches(graph, t) {
+                            extend(t, cnt, &mut next);
+                        }
+                    }
+                }
+                None => {
+                    // Deterministic order: sort targets.
+                    let mut targets: Vec<(&VertexId, &(u32, BigCount))> = m.iter().collect();
+                    targets.sort_by_key(|(v, _)| **v);
+                    for (t, (_, cnt)) in targets {
+                        if to_spec.matches(graph, *t) {
+                            extend(*t, cnt, &mut next);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(next)
+    }
+
+    // ---- ACCUM --------------------------------------------------------------
+
+    fn run_accum(
+        &mut self,
+        stmts: &[AccStmt],
+        rows: &[BindingRow],
+        vars: &FxHashMap<String, usize>,
+        tables: &[&Table],
+    ) -> Result<()> {
+        self.stats.acc_executions += rows.len() as u64;
+        // Intern target accumulator names.
+        let mut names: Vec<&str> = Vec::new();
+        for s in stmts {
+            if let AccStmt::VAcc { name, .. } | AccStmt::GAcc { name, .. } = s {
+                if !names.contains(&name.as_str()) {
+                    names.push(name);
+                }
+            }
+        }
+        let name_idx = |n: &str| names.iter().position(|x| *x == n).unwrap();
+
+        // Map phase.
+        let map_row = |row: &BindingRow| -> Result<Vec<Emission>> {
+            let mut acc_locals: FxHashMap<String, Value> = FxHashMap::default();
+            let mut out = Vec::with_capacity(stmts.len());
+            for stmt in stmts {
+                let env = Env {
+                    row: Some(RowRef { vars, bindings: &row.bindings, tables }),
+                    acc_locals: Some(&acc_locals),
+                    ..self.env()
+                };
+                match stmt {
+                    AccStmt::LocalDecl { name, expr } => {
+                        let v = eval(&env, expr)?;
+                        acc_locals.insert(name.clone(), v);
+                    }
+                    AccStmt::VAcc { var, name, combine, expr } => {
+                        let value = eval(&env, expr)?;
+                        let vertex = crate::eval::resolve_vertex(&env, var)?;
+                        out.push(Emission {
+                            target: EmitTarget::V { name: name_idx(name), vertex },
+                            value,
+                            combine: *combine,
+                            mult: row.mult.clone(),
+                        });
+                    }
+                    AccStmt::GAcc { name, combine, expr } => {
+                        let value = eval(&env, expr)?;
+                        out.push(Emission {
+                            target: EmitTarget::G { name: name_idx(name) },
+                            value,
+                            combine: *combine,
+                            mult: row.mult.clone(),
+                        });
+                    }
+                }
+            }
+            Ok(out)
+        };
+
+        let emissions: Vec<Emission> = if self.eng.parallelism > 1
+            && rows.len() >= PARALLEL_THRESHOLD
+        {
+            let chunk = rows.len().div_ceil(self.eng.parallelism);
+            let chunks: Vec<&[BindingRow]> = rows.chunks(chunk).collect();
+            let results: Vec<Result<Vec<Emission>>> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .map(|c| {
+                        s.spawn(move |_| -> Result<Vec<Emission>> {
+                            let mut out = Vec::new();
+                            for row in *c {
+                                out.extend(map_row(row)?);
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            })
+            .map_err(|_| Error::runtime("map-phase thread panicked"))?;
+            let mut all = Vec::new();
+            for r in results {
+                all.extend(r?);
+            }
+            all
+        } else {
+            let mut all = Vec::new();
+            for row in rows {
+                all.extend(map_row(row)?);
+            }
+            all
+        };
+
+        // Reduce phase: fold emissions into accumulators in row order.
+        for e in emissions {
+            match e.target {
+                EmitTarget::V { name, vertex } => {
+                    let store = self
+                        .vaccs
+                        .get_mut(names[name])
+                        .ok_or_else(|| {
+                            Error::runtime(format!("undeclared accumulator `@{}`", names[name]))
+                        })?;
+                    let cell = store.cell_mut(vertex);
+                    if e.combine {
+                        cell.combine_with_multiplicity(e.value, &e.mult, &self.eng.registry)?;
+                    } else {
+                        cell.assign(e.value)?;
+                    }
+                }
+                EmitTarget::G { name } => {
+                    let acc = self.gaccs.get_mut(names[name]).ok_or_else(|| {
+                        Error::runtime(format!("undeclared accumulator `@@{}`", names[name]))
+                    })?;
+                    if e.combine {
+                        acc.combine_with_multiplicity(e.value, &e.mult, &self.eng.registry)?;
+                    } else {
+                        acc.assign(e.value)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- POST_ACCUM -----------------------------------------------------------
+
+    fn run_post_accum(
+        &mut self,
+        stmts: &[AccStmt],
+        rows: &[BindingRow],
+        vars: &FxHashMap<String, usize>,
+        tables: &[&Table],
+    ) -> Result<()> {
+        let var = post_accum_var(stmts, vars)?;
+        let vertices: Vec<VertexId> = match &var {
+            None => Vec::new(),
+            Some(v) => {
+                let col = vars[v];
+                let mut set: Vec<VertexId> = rows
+                    .iter()
+                    .filter_map(|r| match r.bindings[col] {
+                        Binding::Vertex(x) => Some(x),
+                        _ => None,
+                    })
+                    .collect();
+                set.sort();
+                set.dedup();
+                set
+            }
+        };
+        let _ = tables;
+
+        let exec_one = |rt: &mut Self, bindings: &[Binding], pvars: &FxHashMap<String, usize>| -> Result<()> {
+            let mut acc_locals: FxHashMap<String, Value> = FxHashMap::default();
+            for stmt in stmts {
+                // POST_ACCUM applies each statement immediately (visible to
+                // the next statement), per distinct vertex.
+                let value = {
+                    let env = Env {
+                        row: Some(RowRef { vars: pvars, bindings, tables: &[] }),
+                        acc_locals: Some(&acc_locals),
+                        ..rt.env()
+                    };
+                    match stmt {
+                        AccStmt::LocalDecl { name, expr } => {
+                            let v = eval(&env, expr)?;
+                            acc_locals.insert(name.clone(), v);
+                            continue;
+                        }
+                        AccStmt::VAcc { expr, .. } | AccStmt::GAcc { expr, .. } => eval(&env, expr)?,
+                    }
+                };
+                match stmt {
+                    AccStmt::VAcc { var: v, name, combine, .. } => {
+                        let vertex = {
+                            let env = Env {
+                                row: Some(RowRef { vars: pvars, bindings, tables: &[] }),
+                                acc_locals: Some(&acc_locals),
+                                ..rt.env()
+                            };
+                            crate::eval::resolve_vertex(&env, v)?
+                        };
+                        let store = rt.vaccs.get_mut(name).ok_or_else(|| {
+                            Error::runtime(format!("undeclared accumulator `@{name}`"))
+                        })?;
+                        let cell = store.cell_mut(vertex);
+                        if *combine {
+                            cell.combine(value, &rt.eng.registry)?;
+                        } else {
+                            cell.assign(value)?;
+                        }
+                    }
+                    AccStmt::GAcc { name, combine, .. } => {
+                        let acc = rt.gaccs.get_mut(name).ok_or_else(|| {
+                            Error::runtime(format!("undeclared accumulator `@@{name}`"))
+                        })?;
+                        if *combine {
+                            acc.combine(value, &rt.eng.registry)?;
+                        } else {
+                            acc.assign(value)?;
+                        }
+                    }
+                    AccStmt::LocalDecl { .. } => unreachable!(),
+                }
+            }
+            Ok(())
+        };
+
+        match var {
+            None => {
+                if !rows.is_empty() {
+                    let pvars = FxHashMap::default();
+                    exec_one(self, &[], &pvars)?;
+                }
+            }
+            Some(v) => {
+                let mut pvars = FxHashMap::default();
+                pvars.insert(v.clone(), 0usize);
+                for vertex in vertices {
+                    exec_one(self, &[Binding::Vertex(vertex)], &pvars)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- outputs ----------------------------------------------------------------
+
+    fn eval_vertex_fragment(
+        &mut self,
+        block: &SelectBlock,
+        frag: &OutputFragment,
+        var: &str,
+        vars: &FxHashMap<String, usize>,
+        rows: &[BindingRow],
+        _tables: &[&Table],
+    ) -> Result<Vec<VertexId>> {
+        let col = vars[var];
+        let mut seen = FxHashSet::default();
+        let mut vs: Vec<VertexId> = Vec::new();
+        for row in rows {
+            if let Binding::Vertex(v) = row.bindings[col] {
+                if seen.insert(v) {
+                    vs.push(v);
+                }
+            }
+        }
+        let _ = frag;
+        // ORDER BY over the vertex variable.
+        if !block.order_by.is_empty() {
+            let mut pvars = FxHashMap::default();
+            pvars.insert(var.to_string(), 0usize);
+            let mut keyed: Vec<(Vec<Value>, VertexId)> = Vec::with_capacity(vs.len());
+            for v in vs {
+                let bindings = [Binding::Vertex(v)];
+                let env = Env {
+                    row: Some(RowRef { vars: &pvars, bindings: &bindings, tables: &[] }),
+                    ..self.env()
+                };
+                let mut keys = Vec::with_capacity(block.order_by.len());
+                for o in &block.order_by {
+                    keys.push(eval(&env, &o.expr)?);
+                }
+                keyed.push((keys, v));
+            }
+            sort_by_order_keys(&mut keyed, &block.order_by);
+            vs = keyed.into_iter().map(|(_, v)| v).collect();
+        }
+        if let Some(limit) = &block.limit {
+            let n = limit_value(&self.env(), limit)?;
+            vs.truncate(n);
+        }
+        Ok(vs)
+    }
+
+    fn eval_table_fragment(
+        &mut self,
+        block: &SelectBlock,
+        frag: &OutputFragment,
+        vars: &FxHashMap<String, usize>,
+        rows: &[BindingRow],
+        tables: &[&Table],
+    ) -> Result<Table> {
+        let name = frag.into.clone().unwrap_or_else(|| "RESULT".to_string());
+        let columns: Vec<String> = frag
+            .items
+            .iter()
+            .enumerate()
+            .map(|(i, it)| it.alias.clone().unwrap_or_else(|| column_label(&it.expr, i)))
+            .collect();
+        let mut out = Table::new(name, columns);
+
+        let grouped = block.group_by.is_some()
+            || frag.items.iter().any(|i| i.expr.contains_aggregate());
+        if grouped {
+            self.eval_grouped(block, frag, vars, rows, tables, &mut out)?;
+        } else {
+            // Plain projection (bag semantics: rows carry multiplicities).
+            let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
+            for row in rows {
+                let env = Env {
+                    row: Some(RowRef { vars, bindings: &row.bindings, tables }),
+                    ..self.env()
+                };
+                let mut cells = Vec::with_capacity(frag.items.len());
+                for it in &frag.items {
+                    cells.push(eval(&env, &it.expr)?);
+                }
+                let mut keys = Vec::with_capacity(block.order_by.len());
+                for o in &block.order_by {
+                    keys.push(eval(&env, &o.expr)?);
+                }
+                let copies = if frag.distinct {
+                    1
+                } else {
+                    row.mult.to_u64().filter(|m| *m <= ROW_EXPANSION_CAP).ok_or_else(|| {
+                        Error::runtime(
+                            "non-aggregate projection over a binding with huge multiplicity; \
+                             aggregate it or use an enumerative semantics",
+                        )
+                    })?
+                };
+                for _ in 0..copies {
+                    keyed.push((keys.clone(), cells.clone()));
+                }
+            }
+            if frag.distinct {
+                let mut seen = std::collections::BTreeSet::new();
+                keyed.retain(|(_, cells)| seen.insert(cells.clone()));
+            }
+            if !block.order_by.is_empty() {
+                sort_by_order_keys(&mut keyed, &block.order_by);
+            }
+            if let Some(limit) = &block.limit {
+                let n = limit_value(&self.env(), limit)?;
+                keyed.truncate(n);
+            }
+            for (_, cells) in keyed {
+                out.push(cells);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Grouped evaluation: grouping sets × aggregate computation.
+    fn eval_grouped(
+        &mut self,
+        block: &SelectBlock,
+        frag: &OutputFragment,
+        vars: &FxHashMap<String, usize>,
+        rows: &[BindingRow],
+        tables: &[&Table],
+        out: &mut Table,
+    ) -> Result<()> {
+        let default_gb = GroupBy { keys: Vec::new(), sets: vec![Vec::new()] };
+        let gb = block.group_by.as_ref().unwrap_or(&default_gb);
+
+        // Collect every aggregate sub-expression appearing in outputs,
+        // HAVING and ORDER BY.
+        let mut agg_exprs: Vec<Expr> = Vec::new();
+        {
+            let mut collect = |e: &Expr| {
+                e.walk(&mut |sub| {
+                    if is_aggregate_call(sub) && !agg_exprs.contains(sub) {
+                        agg_exprs.push(sub.clone());
+                    }
+                });
+            };
+            for it in &frag.items {
+                collect(&it.expr);
+            }
+            if let Some(h) = &block.having {
+                collect(h);
+            }
+            for o in &block.order_by {
+                collect(&o.expr);
+            }
+        }
+
+        // Evaluate group keys per row once.
+        let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let env = Env {
+                row: Some(RowRef { vars, bindings: &row.bindings, tables }),
+                ..self.env()
+            };
+            let mut keys = Vec::with_capacity(gb.keys.len());
+            for k in &gb.keys {
+                keys.push(eval(&env, k)?);
+            }
+            row_keys.push(keys);
+        }
+
+        let mut result_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (order keys, cells)
+        for set in &gb.sets {
+            // Group rows by the projection of keys onto this set.
+            let mut groups: BTreeMap<Vec<Value>, Vec<usize>> = BTreeMap::new();
+            for (i, keys) in row_keys.iter().enumerate() {
+                let k: Vec<Value> = set.iter().map(|&ki| keys[ki].clone()).collect();
+                groups.entry(k).or_default().push(i);
+            }
+            for (_gkey, members) in groups {
+                // Compute aggregates over the member rows.
+                let mut agg_values: Vec<Value> = Vec::with_capacity(agg_exprs.len());
+                for ae in &agg_exprs {
+                    agg_values.push(self.eval_aggregate(ae, &members, rows, vars, tables)?);
+                }
+                let rep = members[0];
+                // Resolver: grouped keys → their value; ungrouped keys →
+                // NULL; aggregates → computed value.
+                let resolver = |e: &Expr| -> Option<Value> {
+                    if let Some(pos) = agg_exprs.iter().position(|a| a == e) {
+                        return Some(agg_values[pos].clone());
+                    }
+                    if let Some(ki) = gb.keys.iter().position(|k| k == e) {
+                        return if set.contains(&ki) {
+                            Some(row_keys[rep][ki].clone())
+                        } else {
+                            Some(Value::Null)
+                        };
+                    }
+                    None
+                };
+                let env = Env {
+                    row: Some(RowRef { vars, bindings: &rows[rep].bindings, tables }),
+                    agg: Some(&resolver),
+                    ..self.env()
+                };
+                if let Some(h) = &block.having {
+                    if !truthy(&eval(&env, h)?)? {
+                        continue;
+                    }
+                }
+                let mut cells = Vec::with_capacity(frag.items.len());
+                for it in &frag.items {
+                    cells.push(eval(&env, &it.expr)?);
+                }
+                let mut okeys = Vec::with_capacity(block.order_by.len());
+                for o in &block.order_by {
+                    okeys.push(eval(&env, &o.expr)?);
+                }
+                result_rows.push((okeys, cells));
+            }
+        }
+        if frag.distinct {
+            let mut seen = std::collections::BTreeSet::new();
+            result_rows.retain(|(_, cells)| seen.insert(cells.clone()));
+        }
+        if !block.order_by.is_empty() {
+            sort_by_order_keys(&mut result_rows, &block.order_by);
+        }
+        if let Some(limit) = &block.limit {
+            let n = limit_value(&self.env(), limit)?;
+            result_rows.truncate(n);
+        }
+        for (_, cells) in result_rows {
+            out.push(cells);
+        }
+        Ok(())
+    }
+
+    /// Computes one aggregate over a group, multiplicity-weighted.
+    fn eval_aggregate(
+        &self,
+        expr: &Expr,
+        members: &[usize],
+        rows: &[BindingRow],
+        vars: &FxHashMap<String, usize>,
+        tables: &[&Table],
+    ) -> Result<Value> {
+        let Expr::Call { func, args, star } = expr else {
+            return Err(Error::runtime("not an aggregate expression"));
+        };
+        let f = func.to_ascii_lowercase();
+        if *star {
+            // count(*): sum of multiplicities.
+            let mut total = BigCount::zero();
+            for &i in members {
+                total.add_assign(&rows[i].mult);
+            }
+            return Ok(total
+                .to_i64()
+                .map(Value::Int)
+                .unwrap_or_else(|| Value::Str(total.to_string())));
+        }
+        let arg = &args[0];
+        let mut count = BigCount::zero();
+        let mut sum = 0.0f64;
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        for &i in members {
+            let env = Env {
+                row: Some(RowRef { vars, bindings: &rows[i].bindings, tables }),
+                ..self.env()
+            };
+            let v = eval(&env, arg)?;
+            if matches!(v, Value::Null) {
+                continue;
+            }
+            count.add_assign(&rows[i].mult);
+            match f.as_str() {
+                "sum" | "avg" => {
+                    let x = v.as_f64().ok_or_else(|| Error::type_error("numeric", &v))?;
+                    sum += x * rows[i].mult.to_f64();
+                }
+                "min"
+                    if min.as_ref().is_none_or(|m| v < *m) => {
+                        min = Some(v);
+                    }
+                "max"
+                    if max.as_ref().is_none_or(|m| v > *m) => {
+                        max = Some(v);
+                    }
+                _ => {}
+            }
+        }
+        Ok(match f.as_str() {
+            "count" => count
+                .to_i64()
+                .map(Value::Int)
+                .unwrap_or_else(|| Value::Str(count.to_string())),
+            "sum" => Value::Double(sum),
+            "avg" => {
+                if count.is_zero() {
+                    Value::Null
+                } else {
+                    Value::Double(sum / count.to_f64())
+                }
+            }
+            "min" => min.unwrap_or(Value::Null),
+            "max" => max.unwrap_or(Value::Null),
+            other => return Err(Error::runtime(format!("unknown aggregate `{other}`"))),
+        })
+    }
+}
+
+// ---- helpers -------------------------------------------------------------
+
+fn proto_type(acc: &Accum) -> AccumType {
+    // Recover a displayable type for diagnostics from the instance kind.
+    match acc {
+        Accum::SumInt(_) => AccumType::Sum(pgraph::value::ValueType::Int),
+        Accum::SumDouble(_) => AccumType::Sum(pgraph::value::ValueType::Double),
+        Accum::SumStr(_) => AccumType::Sum(pgraph::value::ValueType::Str),
+        Accum::Min(_) => AccumType::Min,
+        Accum::Max(_) => AccumType::Max,
+        Accum::Avg { .. } => AccumType::Avg,
+        Accum::Or(_) => AccumType::Or,
+        Accum::And(_) => AccumType::And,
+        Accum::Set(_) => AccumType::Set,
+        Accum::Bag(_) => AccumType::Bag,
+        Accum::List(_) => AccumType::List,
+        Accum::Array(_) => AccumType::Array,
+        Accum::Map { value_type, .. } => AccumType::Map(value_type.clone()),
+        Accum::Heap { capacity, fields, .. } => {
+            AccumType::Heap { capacity: *capacity, fields: fields.clone() }
+        }
+        Accum::GroupBy { key_arity, nested, .. } => {
+            AccumType::GroupBy { key_arity: *key_arity, nested: nested.clone() }
+        }
+        Accum::User(_) => AccumType::User("user".into()),
+    }
+}
+
+fn new_var(vars: &mut FxHashMap<String, usize>, name: &str) -> Result<usize> {
+    if vars.contains_key(name) {
+        return Err(Error::compile(format!("variable `{name}` bound twice in FROM")));
+    }
+    let idx = vars.len();
+    vars.insert(name.to_string(), idx);
+    Ok(idx)
+}
+
+fn fresh_anon(counter: &mut usize) -> String {
+    *counter += 1;
+    format!("$anon{counter}")
+}
+
+fn vertex_at(row: &BindingRow, col: usize, ctx: &str) -> Result<VertexId> {
+    match row.bindings[col] {
+        Binding::Vertex(v) => Ok(v),
+        _ => Err(Error::runtime(format!("pattern source for `{ctx}` is not a vertex"))),
+    }
+}
+
+/// Determines the single vertex variable a POST_ACCUM clause iterates
+/// over (paper Section 4.4 / real-GSQL restriction: POST_ACCUM statements
+/// may reference at most one vertex alias of the FROM clause).
+fn post_accum_var(
+    stmts: &[AccStmt],
+    vars: &FxHashMap<String, usize>,
+) -> Result<Option<String>> {
+    let mut found: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    for stmt in stmts {
+        match stmt {
+            AccStmt::VAcc { var, expr, .. } => {
+                names.push(var.clone());
+                collect_var_refs(expr, &mut names);
+            }
+            AccStmt::GAcc { expr, .. } | AccStmt::LocalDecl { expr, .. } => {
+                collect_var_refs(expr, &mut names);
+            }
+        }
+    }
+    for n in names {
+        if !vars.contains_key(&n) {
+            continue;
+        }
+        match &found {
+            None => found = Some(n),
+            Some(f) if *f == n => {}
+            Some(f) => {
+                return Err(Error::compile(format!(
+                    "POST_ACCUM references two FROM variables (`{f}` and `{n}`); \
+                     it may reference at most one vertex alias"
+                )))
+            }
+        }
+    }
+    Ok(found)
+}
+
+/// Splits an expression into its top-level AND-conjuncts.
+fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary { op: BinOp::And, lhs, rhs } = e {
+        split_conjuncts(lhs, out);
+        split_conjuncts(rhs, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// The set of variable names the FROM clause will bind (statically known
+/// from the AST), used to decide when a WHERE conjunct becomes ready.
+fn from_bound_vars(items: &[FromItem]) -> FxHashSet<String> {
+    let mut out = FxHashSet::default();
+    for item in items {
+        match item {
+            FromItem::Table { alias, .. } => {
+                out.insert(alias.clone());
+            }
+            FromItem::Pattern { start, hops, .. } => {
+                if let Some(v) = &start.var {
+                    out.insert(v.clone());
+                }
+                for h in hops {
+                    if let Some(v) = &h.edge_var {
+                        out.insert(v.clone());
+                    }
+                    if let Some(v) = &h.to.var {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn collect_var_refs(e: &Expr, out: &mut Vec<String>) {
+    e.walk(&mut |sub| match sub {
+        Expr::Ident(n) => out.push(n.clone()),
+        Expr::Attr { base, .. } => out.push(base.clone()),
+        Expr::VAcc { var, .. } => out.push(var.clone()),
+        _ => {}
+    });
+}
+
+fn is_aggregate_call(e: &Expr) -> bool {
+    match e {
+        Expr::Call { func, args, star } => {
+            let f = func.to_ascii_lowercase();
+            *star
+                || matches!(f.as_str(), "count" | "sum" | "avg")
+                || (args.len() == 1 && matches!(f.as_str(), "min" | "max"))
+        }
+        _ => false,
+    }
+}
+
+/// A fragment is a *vertex fragment* iff it is a single un-aliased bare
+/// identifier bound to a vertex column.
+fn vertex_fragment_var(
+    frag: &OutputFragment,
+    vars: &FxHashMap<String, usize>,
+    rows: &[BindingRow],
+) -> Option<String> {
+    if frag.items.len() != 1 || frag.items[0].alias.is_some() {
+        return None;
+    }
+    let Expr::Ident(name) = &frag.items[0].expr else { return None };
+    let col = *vars.get(name)?;
+    // Inspect any row to confirm the column holds vertices (all rows of a
+    // column share a binding kind).
+    match rows.first() {
+        Some(r) => matches!(r.bindings.get(col), Some(Binding::Vertex(_))).then(|| name.clone()),
+        None => Some(name.clone()), // empty result set: vacuously a vertex set
+    }
+}
+
+fn column_label(e: &Expr, i: usize) -> String {
+    match e {
+        Expr::Ident(s) => s.clone(),
+        Expr::Attr { base, field } => format!("{base}.{field}"),
+        Expr::VAcc { var, name, .. } => format!("{var}.@{name}"),
+        Expr::GAcc(name) => format!("@@{name}"),
+        Expr::Call { func, .. } => func.clone(),
+        _ => format!("col{i}"),
+    }
+}
+
+fn limit_value(env: &Env, e: &Expr) -> Result<usize> {
+    let v = eval(env, e)?;
+    v.as_i64()
+        .filter(|n| *n >= 0)
+        .map(|n| n as usize)
+        .ok_or_else(|| Error::type_error("non-negative integer LIMIT", &v))
+}
+
+/// Sorts `(keys, payload)` pairs by the ORDER BY specification using the
+/// total order on `Value`.
+fn sort_by_order_keys<T>(items: &mut [(Vec<Value>, T)], order: &[OrderItem]) {
+    items.sort_by(|(a, _), (b, _)| {
+        for (i, o) in order.iter().enumerate() {
+            let c = a[i].cmp(&b[i]);
+            let c = if o.desc { c.reverse() } else { c };
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+}

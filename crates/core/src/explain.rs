@@ -1,0 +1,345 @@
+//! `EXPLAIN`-style static query plans.
+//!
+//! Renders, for every SELECT block of a query, the evaluation strategy
+//! the engine will use: how each FROM item is scanned, which WHERE
+//! conjuncts are pushed down to which binding step, whether each pattern
+//! hop runs as an adjacency scan, a polynomial SDMC **counting** kernel,
+//! or an exponential **enumerative** kernel (and from which endpoint),
+//! and how each accumulator absorbs binding multiplicities. This makes
+//! the paper's tractability story *inspectable*: the plan names the
+//! exact mechanism that keeps (or fails to keep) a query polynomial.
+
+use crate::ast::*;
+use crate::error::Result;
+use crate::semantics::PathSemantics;
+use pgraph::fxhash::FxHashSet;
+use std::fmt::Write as _;
+
+/// Renders a static plan for `query` under `semantics`.
+pub fn explain(query: &Query, semantics: PathSemantics) -> Result<String> {
+    let mut out = String::new();
+    writeln!(out, "QUERY {} [{:?} semantics]", query.name, semantics).unwrap();
+    let mut block_no = 0usize;
+    explain_stmts(&query.body, semantics, &mut block_no, 0, &mut out);
+    Ok(out)
+}
+
+fn explain_stmts(
+    stmts: &[Stmt],
+    mut semantics: PathSemantics,
+    block_no: &mut usize,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth + 1);
+    for stmt in stmts {
+        match stmt {
+            Stmt::UseSemantics(s) => {
+                semantics = *s;
+                writeln!(out, "{pad}USE SEMANTICS -> {semantics:?}").unwrap();
+            }
+            Stmt::Select(block) => {
+                *block_no += 1;
+                explain_block(block, semantics, *block_no, depth, out);
+            }
+            Stmt::VSetAssign { name, source } => match source {
+                VSetSource::Select(block) => {
+                    *block_no += 1;
+                    writeln!(out, "{pad}{name} = <block {block_no}>").unwrap();
+                    explain_block(block, semantics, *block_no, depth, out);
+                }
+                VSetSource::Literal(entries) => {
+                    writeln!(out, "{pad}{name} = scan {{{}}}", entries.join(", ")).unwrap();
+                }
+                VSetSource::SetOp { op, lhs, rhs } => {
+                    writeln!(out, "{pad}{name} = {lhs} {op:?} {rhs}").unwrap();
+                }
+            },
+            Stmt::While { body, limit, .. } => {
+                writeln!(
+                    out,
+                    "{pad}WHILE loop{}:",
+                    if limit.is_some() { " (bounded)" } else { "" }
+                )
+                .unwrap();
+                explain_stmts(body, semantics, block_no, depth + 1, out);
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                writeln!(out, "{pad}IF:").unwrap();
+                explain_stmts(then_branch, semantics, block_no, depth + 1, out);
+                if !else_branch.is_empty() {
+                    writeln!(out, "{pad}ELSE:").unwrap();
+                    explain_stmts(else_branch, semantics, block_no, depth + 1, out);
+                }
+            }
+            Stmt::Foreach { var, body, .. } => {
+                writeln!(out, "{pad}FOREACH {var}:").unwrap();
+                explain_stmts(body, semantics, block_no, depth + 1, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn explain_block(
+    block: &SelectBlock,
+    semantics: PathSemantics,
+    no: usize,
+    depth: usize,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth + 1);
+    let pad2 = "  ".repeat(depth + 2);
+    writeln!(out, "{pad}BLOCK {no}:").unwrap();
+
+    // Conjunct bookkeeping mirrors the executor's pushdown.
+    let will_bind = from_bound_vars_pub(&block.from);
+    let mut conjuncts: Vec<(String, Vec<String>)> = Vec::new();
+    if let Some(w) = &block.where_clause {
+        let mut parts = Vec::new();
+        split_conjuncts_pub(w, &mut parts);
+        for c in parts {
+            let mut refs = Vec::new();
+            collect_refs(&c, &mut refs);
+            refs.retain(|r| will_bind.contains(r));
+            refs.sort();
+            refs.dedup();
+            conjuncts.push((expr_label(&c), refs));
+        }
+    }
+    let mut bound: FxHashSet<String> = FxHashSet::default();
+    let emit_ready = |bound: &FxHashSet<String>,
+                          conjuncts: &mut Vec<(String, Vec<String>)>,
+                          out: &mut String| {
+        let mut i = 0;
+        while i < conjuncts.len() {
+            let ready =
+                !conjuncts[i].1.is_empty() && conjuncts[i].1.iter().all(|v| bound.contains(v));
+            if ready {
+                let (label, _) = conjuncts.remove(i);
+                writeln!(out, "{pad2}  pushdown filter: {label}").unwrap();
+            } else {
+                i += 1;
+            }
+        }
+    };
+
+    for item in &block.from {
+        match item {
+            FromItem::Table { name, alias } => {
+                writeln!(out, "{pad2}scan {name} AS {alias} (table or vertex set)").unwrap();
+                bound.insert(alias.clone());
+                emit_ready(&bound, &mut conjuncts, out);
+            }
+            FromItem::Pattern { start, hops, .. } => {
+                writeln!(
+                    out,
+                    "{pad2}scan {}{}",
+                    start.name,
+                    start.var.as_ref().map(|v| format!(" AS {v}")).unwrap_or_default()
+                )
+                .unwrap();
+                if let Some(v) = &start.var {
+                    bound.insert(v.clone());
+                }
+                emit_ready(&bound, &mut conjuncts, out);
+                for hop in hops {
+                    let to = hop
+                        .to
+                        .var
+                        .as_ref()
+                        .map(|v| format!("{} AS {v}", hop.to.name))
+                        .unwrap_or_else(|| hop.to.name.clone());
+                    // Will the target be spec-anchored by a sargable conjunct?
+                    let sargable = hop.to.var.as_ref().is_some_and(|tv| {
+                        conjuncts.iter().any(|(_, refs)| refs.len() == 1 && refs[0] == *tv)
+                    });
+                    let strategy = if hop.darpe.as_single_symbol().is_some() {
+                        "adjacency scan".to_string()
+                    } else if !semantics.is_enumerative() {
+                        "SDMC counting kernel, forward (polynomial, Thm 6.1)".to_string()
+                    } else if sargable
+                        || hop.to.var.as_ref().is_some_and(|tv| bound.contains(tv))
+                    {
+                        "enumerative kernel, backward from anchored target (EXPONENTIAL)"
+                            .to_string()
+                    } else {
+                        "enumerative kernel, forward (EXPONENTIAL)".to_string()
+                    };
+                    writeln!(out, "{pad2}hop -({})-> {to}: {strategy}", hop.darpe).unwrap();
+                    if sargable {
+                        // Name the consumed conjuncts.
+                        if let Some(tv) = &hop.to.var {
+                            conjuncts.retain(|(label, refs)| {
+                                if refs.len() == 1 && refs[0] == *tv {
+                                    writeln!(out, "{pad2}  sargable anchor: {label}").unwrap();
+                                    false
+                                } else {
+                                    true
+                                }
+                            });
+                        }
+                    }
+                    if let Some(ev) = &hop.edge_var {
+                        bound.insert(ev.clone());
+                    }
+                    if let Some(tv) = &hop.to.var {
+                        bound.insert(tv.clone());
+                    }
+                    emit_ready(&bound, &mut conjuncts, out);
+                }
+            }
+        }
+    }
+    for (label, _) in &conjuncts {
+        writeln!(out, "{pad2}residual filter: {label}").unwrap();
+    }
+    if !block.accum.is_empty() {
+        writeln!(
+            out,
+            "{pad2}ACCUM: {} statement(s), snapshot Map/Reduce",
+            block.accum.len()
+        )
+        .unwrap();
+    }
+    if !block.post_accum.is_empty() {
+        writeln!(out, "{pad2}POST_ACCUM: {} statement(s)", block.post_accum.len()).unwrap();
+    }
+    if let Some(g) = &block.group_by {
+        writeln!(out, "{pad2}GROUP BY: {} grouping set(s)", g.sets.len()).unwrap();
+    }
+    for frag in &block.outputs {
+        let kind = if frag.items.len() == 1
+            && frag.items[0].alias.is_none()
+            && matches!(frag.items[0].expr, Expr::Ident(_))
+        {
+            "vertex set"
+        } else if frag.items.iter().any(|i| i.expr.contains_aggregate()) {
+            "aggregated table"
+        } else {
+            "projected table"
+        };
+        writeln!(
+            out,
+            "{pad2}output{}: {kind}",
+            frag.into.as_ref().map(|n| format!(" INTO {n}")).unwrap_or_default()
+        )
+        .unwrap();
+    }
+}
+
+fn expr_label(e: &Expr) -> String {
+    match e {
+        Expr::Binary { op, lhs, rhs } => {
+            format!("{} {op:?} {}", expr_label(lhs), expr_label(rhs))
+        }
+        Expr::Ident(n) => n.clone(),
+        Expr::Attr { base, field } => format!("{base}.{field}"),
+        Expr::VAcc { var, name, .. } => format!("{var}.@{name}"),
+        Expr::GAcc(n) => format!("@@{n}"),
+        Expr::Str(s) => format!("'{s}'"),
+        Expr::Int(i) => i.to_string(),
+        Expr::Double(d) => d.to_string(),
+        Expr::Call { func, .. } => format!("{func}(..)"),
+        _ => "<expr>".to_string(),
+    }
+}
+
+fn collect_refs(e: &Expr, out: &mut Vec<String>) {
+    e.walk(&mut |sub| match sub {
+        Expr::Ident(n) => out.push(n.clone()),
+        Expr::Attr { base, .. } => out.push(base.clone()),
+        Expr::VAcc { var, .. } => out.push(var.clone()),
+        _ => {}
+    });
+}
+
+fn split_conjuncts_pub(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary { op: BinOp::And, lhs, rhs } = e {
+        split_conjuncts_pub(lhs, out);
+        split_conjuncts_pub(rhs, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+fn from_bound_vars_pub(items: &[FromItem]) -> FxHashSet<String> {
+    let mut out = FxHashSet::default();
+    for item in items {
+        match item {
+            FromItem::Table { alias, .. } => {
+                out.insert(alias.clone());
+            }
+            FromItem::Pattern { start, hops, .. } => {
+                if let Some(v) = &start.var {
+                    out.insert(v.clone());
+                }
+                for h in hops {
+                    if let Some(v) = &h.edge_var {
+                        out.insert(v.clone());
+                    }
+                    if let Some(v) = &h.to.var {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::stdlib;
+
+    #[test]
+    fn qn_plan_names_the_counting_kernel_and_pushdowns() {
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = explain(&q, PathSemantics::AllShortestPaths).unwrap();
+        assert!(plan.contains("SDMC counting kernel"), "{plan}");
+        assert!(plan.contains("pushdown filter: s.name Eq srcName"), "{plan}");
+        // t.name filter becomes a sargable anchor or pushdown.
+        assert!(plan.contains("t.name"), "{plan}");
+        assert!(!plan.contains("EXPONENTIAL"), "{plan}");
+    }
+
+    #[test]
+    fn qn_plan_under_enumeration_warns_and_anchors_backward() {
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = explain(&q, PathSemantics::NonRepeatedEdge).unwrap();
+        assert!(plan.contains("EXPONENTIAL"), "{plan}");
+        assert!(plan.contains("backward from anchored target"), "{plan}");
+        assert!(plan.contains("sargable anchor: t.name Eq tgtName"), "{plan}");
+    }
+
+    #[test]
+    fn pagerank_plan_shows_loop_and_adjacency_scans() {
+        let q = parse_query(&stdlib::pagerank("Page", "LinkTo")).unwrap();
+        let plan = explain(&q, PathSemantics::AllShortestPaths).unwrap();
+        assert!(plan.contains("WHILE loop (bounded)"), "{plan}");
+        assert!(plan.contains("adjacency scan"), "{plan}");
+        assert!(plan.contains("POST_ACCUM: 3 statement(s)"), "{plan}");
+    }
+
+    #[test]
+    fn use_semantics_is_reflected_downstream() {
+        let q = parse_query(
+            "CREATE QUERY x() { USE SEMANTICS 'nre'; S = SELECT t FROM V:s -(E>*)- V:t; }",
+        )
+        .unwrap();
+        let plan = explain(&q, PathSemantics::AllShortestPaths).unwrap();
+        assert!(plan.contains("USE SEMANTICS -> NonRepeatedEdge"), "{plan}");
+        assert!(plan.contains("enumerative kernel, forward (EXPONENTIAL)"), "{plan}");
+    }
+
+    #[test]
+    fn multi_output_fragments_are_classified() {
+        let q = parse_query(&stdlib::example5_multi_output()).unwrap();
+        let plan = explain(&q, PathSemantics::AllShortestPaths).unwrap();
+        assert!(plan.contains("output INTO PerCust: projected table"), "{plan}");
+        assert!(plan.contains("output INTO Total: projected table"), "{plan}");
+        assert!(plan.contains("ACCUM: 4 statement(s)"), "{plan}");
+    }
+}

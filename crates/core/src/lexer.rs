@@ -1,0 +1,524 @@
+//! GSQL lexer.
+//!
+//! Keywords are case-insensitive (uppercased in the token stream);
+//! identifiers keep their case. Comments: `// line` and `/* block */`.
+//! `POST_ACCUM` and `POST-ACCUM` (the paper uses both spellings) lex to
+//! the same keyword token.
+
+use crate::error::{Error, Result};
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Keyword, uppercased (`SELECT`, `FROM`, `ACCUM`, ...).
+    Kw(&'static str),
+    /// Identifier (original case preserved).
+    Ident(String),
+    /// `@name` — vertex accumulator reference.
+    VAcc(String),
+    /// `@@name` — global accumulator reference.
+    GAcc(String),
+    Int(i64),
+    Double(f64),
+    Str(String),
+    // Punctuation / operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Dot,
+    DotDot,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,     // =
+    EqEq,   // ==
+    Ne,     // != or <>
+    PlusEq, // +=
+    Arrow,  // ->
+    Pipe,   // | (DARPE alternation)
+    Apostrophe,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Kw(k) => write!(f, "{k}"),
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::VAcc(s) => write!(f, "@{s}"),
+            Tok::GAcc(s) => write!(f, "@@{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Double(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Colon => write!(f, ":"),
+            Tok::Dot => write!(f, "."),
+            Tok::DotDot => write!(f, ".."),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eq => write!(f, "="),
+            Tok::EqEq => write!(f, "=="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::PlusEq => write!(f, "+="),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Pipe => write!(f, "|"),
+            Tok::Apostrophe => write!(f, "'"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// The recognized keywords (uppercase).
+const KEYWORDS: &[&str] = &[
+    "CREATE", "QUERY", "FOR", "GRAPH", "SELECT", "DISTINCT", "INTO", "FROM", "WHERE", "ACCUM",
+    "POST_ACCUM", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "ASC", "DESC", "WHILE", "DO", "END",
+    "IF", "THEN", "ELSE", "FOREACH", "IN", "PRINT", "RETURN", "TRUE", "FALSE", "NULL", "AND",
+    "OR", "NOT", "AS", "GROUPING", "SETS", "CUBE", "ROLLUP", "TYPEDEF", "TUPLE", "VERTEX", "EDGE",
+    "INT", "UINT", "FLOAT", "DOUBLE", "BOOL", "STRING", "DATETIME", "SET", "BAG", "LIST",
+    "USE", "SEMANTICS", "UNION", "INTERSECT", "MINUS", "CASE", "WHEN",
+];
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedTok {
+    pub tok: Tok,
+    pub line: usize,
+    pub col: usize,
+}
+
+/// Lexes GSQL source into tokens (with a trailing `Eof`).
+pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            toks.push(SpannedTok { tok: $tok, line, col });
+            i += $len;
+            col += $len;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            b' ' | b'\t' | b'\r' => {
+                i += 1;
+                col += 1;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                col += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(Error::Parse {
+                            line,
+                            col,
+                            msg: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        col += 2;
+                        break;
+                    }
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+            b'(' => push!(Tok::LParen, 1),
+            b')' => push!(Tok::RParen, 1),
+            b'{' => push!(Tok::LBrace, 1),
+            b'}' => push!(Tok::RBrace, 1),
+            b'[' => push!(Tok::LBracket, 1),
+            b']' => push!(Tok::RBracket, 1),
+            b',' => push!(Tok::Comma, 1),
+            b';' => push!(Tok::Semi, 1),
+            b':' => push!(Tok::Colon, 1),
+            b'%' => push!(Tok::Percent, 1),
+            b'|' => push!(Tok::Pipe, 1),
+            b'*' => push!(Tok::Star, 1),
+            b'/' => push!(Tok::Slash, 1),
+            b'+' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::PlusEq, 2);
+                } else {
+                    push!(Tok::Plus, 1);
+                }
+            }
+            b'-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::Arrow, 2);
+                } else {
+                    push!(Tok::Minus, 1);
+                }
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Le, 2);
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    push!(Tok::Ne, 2);
+                } else {
+                    push!(Tok::Lt, 1);
+                }
+            }
+            b'>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ge, 2);
+                } else {
+                    push!(Tok::Gt, 1);
+                }
+            }
+            b'=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::EqEq, 2);
+                } else {
+                    push!(Tok::Eq, 1);
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    push!(Tok::Ne, 2);
+                } else {
+                    return Err(Error::Parse { line, col, msg: "stray `!`".into() });
+                }
+            }
+            b'.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    push!(Tok::DotDot, 2);
+                } else {
+                    push!(Tok::Dot, 1);
+                }
+            }
+            b'@' => {
+                let global = bytes.get(i + 1) == Some(&b'@');
+                let start = i + if global { 2 } else { 1 };
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(Error::Parse {
+                        line,
+                        col,
+                        msg: "expected accumulator name after `@`".into(),
+                    });
+                }
+                let name = String::from_utf8_lossy(&bytes[start..j]).into_owned();
+                let len = j - i;
+                if global {
+                    push!(Tok::GAcc(name), len);
+                } else {
+                    push!(Tok::VAcc(name), len);
+                }
+            }
+            b'\'' | b'"' => {
+                // A quote directly after a VAcc token is the "previous
+                // snapshot" apostrophe (v.@score'), not a string.
+                if c == b'\''
+                    && matches!(toks.last().map(|t| &t.tok), Some(Tok::VAcc(_)))
+                {
+                    push!(Tok::Apostrophe, 1);
+                    continue;
+                }
+                let quote = c;
+                let mut j = i + 1;
+                let mut s = String::new();
+                let mut ok = false;
+                while j < bytes.len() {
+                    let b = bytes[j];
+                    if b == quote {
+                        ok = true;
+                        break;
+                    }
+                    if b == b'\\' && j + 1 < bytes.len() {
+                        match bytes[j + 1] {
+                            b'n' => s.push('\n'),
+                            b't' => s.push('\t'),
+                            other => s.push(other as char),
+                        }
+                        j += 2;
+                        continue;
+                    }
+                    s.push(b as char);
+                    j += 1;
+                }
+                if !ok {
+                    return Err(Error::Parse { line, col, msg: "unterminated string".into() });
+                }
+                let len = j + 1 - i;
+                push!(Tok::Str(s), len);
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                // Fractional part only if `.` is followed by a digit (so
+                // `1..3` bounds lex as Int DotDot Int).
+                let mut is_float = false;
+                if j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_digit() {
+                        j += 1;
+                    }
+                }
+                if j < bytes.len() && (bytes[j] == b'e' || bytes[j] == b'E') {
+                    let mut k = j + 1;
+                    if k < bytes.len() && (bytes[k] == b'+' || bytes[k] == b'-') {
+                        k += 1;
+                    }
+                    if k < bytes.len() && bytes[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < bytes.len() && bytes[j].is_ascii_digit() {
+                            j += 1;
+                        }
+                    }
+                }
+                let text = std::str::from_utf8(&bytes[start..j]).unwrap();
+                let tok = if is_float {
+                    Tok::Double(text.parse().map_err(|_| Error::Parse {
+                        line,
+                        col,
+                        msg: format!("bad number `{text}`"),
+                    })?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| Error::Parse {
+                        line,
+                        col,
+                        msg: format!("bad integer `{text}`"),
+                    })?)
+                };
+                let len = j - start;
+                push!(tok, len);
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..j]).unwrap();
+                let upper = word.to_ascii_uppercase();
+                let norm = if upper == "POST" {
+                    // POST_ACCUM / POST-ACCUM normalization.
+                    None
+                } else {
+                    KEYWORDS.iter().find(|k| **k == upper).copied()
+                };
+                let len = j - start;
+                if upper == "POST"
+                    && (bytes.get(j) == Some(&b'-') || bytes.get(j) == Some(&b'_'))
+                {
+                    // Check for ACCUM following.
+                    let k = j + 1;
+                    let mut m = k;
+                    while m < bytes.len() && bytes[m].is_ascii_alphabetic() {
+                        m += 1;
+                    }
+                    let next = std::str::from_utf8(&bytes[k..m]).unwrap().to_ascii_uppercase();
+                    if next == "ACCUM" {
+                        let total = m - start;
+                        push!(Tok::Kw("POST_ACCUM"), total);
+                        continue;
+                    }
+                }
+                if let Some(k) = norm {
+                    push!(Tok::Kw(k), len);
+                } else {
+                    push!(Tok::Ident(word.to_string()), len);
+                }
+            }
+            other => {
+                return Err(Error::Parse {
+                    line,
+                    col,
+                    msg: format!("unexpected character `{}`", other as char),
+                })
+            }
+        }
+    }
+    toks.push(SpannedTok { tok: Tok::Eof, line, col });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("select Select SELECT"),
+            vec![Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Kw("SELECT"), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn accumulator_tokens() {
+        assert_eq!(
+            toks("v.@score + @@total"),
+            vec![
+                Tok::Ident("v".into()),
+                Tok::Dot,
+                Tok::VAcc("score".into()),
+                Tok::Plus,
+                Tok::GAcc("total".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn prev_snapshot_apostrophe() {
+        assert_eq!(
+            toks("v.@score'"),
+            vec![
+                Tok::Ident("v".into()),
+                Tok::Dot,
+                Tok::VAcc("score".into()),
+                Tok::Apostrophe,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_both_quotes() {
+        assert_eq!(toks("'Toys'"), vec![Tok::Str("Toys".into()), Tok::Eof]);
+        assert_eq!(toks("\"a\\tb\""), vec![Tok::Str("a\tb".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 1.5 2e3"),
+            vec![Tok::Int(42), Tok::Double(1.5), Tok::Double(2000.0), Tok::Eof]
+        );
+        // Bounds syntax must not lex 1..3 as floats.
+        assert_eq!(
+            toks("1..3"),
+            vec![Tok::Int(1), Tok::DotDot, Tok::Int(3), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("+= -> <> != == <= >="),
+            vec![
+                Tok::PlusEq,
+                Tok::Arrow,
+                Tok::Ne,
+                Tok::Ne,
+                Tok::EqEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn post_accum_spellings() {
+        assert_eq!(toks("POST_ACCUM"), vec![Tok::Kw("POST_ACCUM"), Tok::Eof]);
+        assert_eq!(toks("POST-ACCUM"), vec![Tok::Kw("POST_ACCUM"), Tok::Eof]);
+        assert_eq!(toks("post-accum"), vec![Tok::Kw("POST_ACCUM"), Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a // comment\n b /* multi\nline */ c"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_positioned() {
+        match lex("ab\n  ~") {
+            Err(Error::Parse { line, col, .. }) => {
+                assert_eq!(line, 2);
+                assert_eq!(col, 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn minus_vs_arrow() {
+        assert_eq!(
+            toks("a - b -> c -(d)-"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Minus,
+                Tok::Ident("b".into()),
+                Tok::Arrow,
+                Tok::Ident("c".into()),
+                Tok::Minus,
+                Tok::LParen,
+                Tok::Ident("d".into()),
+                Tok::RParen,
+                Tok::Minus,
+                Tok::Eof
+            ]
+        );
+    }
+}

@@ -1,0 +1,497 @@
+//! Pattern-match legality semantics (paper Section 6) and the reachability
+//! kernels implementing them.
+//!
+//! Given a source vertex and a compiled DARPE, every semantics answers the
+//! same question — *for each target vertex, how many legal satisfying
+//! paths are there?* — but with different legality notions and wildly
+//! different complexities:
+//!
+//! | semantics                    | legal paths                   | kernel |
+//! |------------------------------|-------------------------------|--------|
+//! | `AllShortestPaths` (default) | shortest per endpoint pair    | product-DFA BFS **counting** (poly, Thm 6.1) |
+//! | `AllShortestPathsEnumerate`  | shortest per endpoint pair    | DFS enumeration of each shortest path (exp) — models Neo4j's ASP |
+//! | `NonRepeatedEdge`            | no edge repeated (Cypher)     | DFS enumeration (exp, #P-hard in general) |
+//! | `NonRepeatedVertex`          | no vertex repeated (Gremlin)  | DFS enumeration (exp) |
+//! | `ShortestOne`                | any path ⇒ multiplicity 1     | product-DFA BFS, counts clamped (SPARQL) |
+
+use crate::error::{Error, Result};
+use darpe::{CompiledDarpe, Dfa, DfaStateId};
+use pgraph::bigcount::BigCount;
+use pgraph::fxhash::FxHashMap;
+use pgraph::graph::{EdgeId, Graph, VertexId};
+use std::collections::VecDeque;
+
+/// The pattern-match legality flavor used for Kleene (multi-edge) DARPEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathSemantics {
+    /// GSQL's default: all shortest satisfying paths, evaluated by
+    /// counting — never materializes paths.
+    AllShortestPaths,
+    /// Same legal paths as `AllShortestPaths` but evaluated by explicit
+    /// enumeration — the strategy the paper measured in Neo4j (`Q^asp`),
+    /// exponential on the diamond chain.
+    AllShortestPathsEnumerate,
+    /// Cypher's default: paths with no repeated edge.
+    NonRepeatedEdge,
+    /// Gremlin-tutorial style: paths with no repeated vertex.
+    NonRepeatedVertex,
+    /// SPARQL 1.1 style: Kleene sub-patterns are existence tests; every
+    /// reachable endpoint pair has multiplicity 1.
+    ShortestOne,
+}
+
+impl PathSemantics {
+    /// Whether this semantics requires explicit path materialization
+    /// (exponential worst case).
+    pub fn is_enumerative(self) -> bool {
+        matches!(
+            self,
+            PathSemantics::AllShortestPathsEnumerate
+                | PathSemantics::NonRepeatedEdge
+                | PathSemantics::NonRepeatedVertex
+        )
+    }
+}
+
+/// Execution counters, surfaced through
+/// [`crate::exec::QueryOutput::stats`] so tests and benchmarks can assert
+/// *how* a query was evaluated, not just what it returned.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Number of reachability kernel invocations (one per distinct source
+    /// vertex per Kleene hop).
+    pub kernel_calls: u64,
+    /// Product states (vertex × DFA state) visited by BFS kernels.
+    pub product_states: u64,
+    /// Complete legal paths materialized by enumerative kernels.
+    pub paths_enumerated: u64,
+    /// Rows in binding tables after each FROM evaluation, summed.
+    pub binding_rows: u64,
+    /// ACCUM-clause executions (one per distinct binding row).
+    pub acc_executions: u64,
+}
+
+/// Per-target reachability result: shortest legal length and path count.
+pub type ReachMap = FxHashMap<VertexId, (u32, BigCount)>;
+
+/// Computes, for every target vertex reachable from `src` by a legal
+/// satisfying path, the pair `(shortest legal length, number of legal
+/// paths)` under `semantics`. `budget` caps the number of paths an
+/// enumerative kernel may materialize (an error signals timeout, exactly
+/// like the paper's 10-minute cap on Neo4j).
+pub fn reach(
+    graph: &Graph,
+    src: VertexId,
+    nfa: &CompiledDarpe,
+    semantics: PathSemantics,
+    budget: Option<u64>,
+    stats: &mut MatchStats,
+) -> Result<ReachMap> {
+    stats.kernel_calls += 1;
+    match semantics {
+        PathSemantics::AllShortestPaths => Ok(bfs_count(graph, src, nfa, false, stats)),
+        PathSemantics::ShortestOne => Ok(bfs_count(graph, src, nfa, true, stats)),
+        PathSemantics::AllShortestPathsEnumerate => {
+            let targets = bfs_count(graph, src, nfa, false, stats);
+            enumerate_shortest(graph, src, nfa, &targets, budget, stats)
+        }
+        PathSemantics::NonRepeatedEdge => {
+            enumerate_simple(graph, src, nfa, false, budget, stats)
+        }
+        PathSemantics::NonRepeatedVertex => {
+            enumerate_simple(graph, src, nfa, true, budget, stats)
+        }
+    }
+}
+
+/// The polynomial SDMC kernel (Theorem 6.1): BFS over the product of the
+/// graph with the lazily-determinized DARPE automaton, propagating
+/// shortest-path counts. Because the automaton is deterministic, each
+/// graph path has exactly one run, so run counts are path counts.
+fn bfs_count(
+    graph: &Graph,
+    src: VertexId,
+    nfa: &CompiledDarpe,
+    clamp_to_one: bool,
+    stats: &mut MatchStats,
+) -> ReachMap {
+    let mut dfa = Dfa::new(nfa);
+    // Product-state bookkeeping.
+    let mut index: FxHashMap<(VertexId, DfaStateId), usize> = FxHashMap::default();
+    let mut dist: Vec<u32> = Vec::new();
+    let mut cnt: Vec<BigCount> = Vec::new();
+    let mut states: Vec<(VertexId, DfaStateId)> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    let start = (src, dfa.start());
+    index.insert(start, 0);
+    states.push(start);
+    dist.push(0);
+    cnt.push(BigCount::one());
+    queue.push_back(0);
+
+    while let Some(i) = queue.pop_front() {
+        let (v, q) = states[i];
+        let d = dist[i];
+        let c = cnt[i].clone();
+        for a in graph.adjacency(v) {
+            let Some(nq) = dfa.next(q, a.etype, a.dir) else { continue };
+            let key = (a.other, nq);
+            match index.get(&key) {
+                None => {
+                    let j = states.len();
+                    index.insert(key, j);
+                    states.push(key);
+                    dist.push(d + 1);
+                    cnt.push(c.clone());
+                    queue.push_back(j);
+                }
+                Some(&j) => {
+                    if dist[j] == d + 1 {
+                        let add = c.clone();
+                        cnt[j].add_assign(&add);
+                    }
+                }
+            }
+        }
+    }
+    stats.product_states += states.len() as u64;
+
+    // Per target: min dist over accepting states, summed counts at it.
+    let mut out: ReachMap = FxHashMap::default();
+    for (i, &(v, q)) in states.iter().enumerate() {
+        if !dfa.is_accepting(q) {
+            continue;
+        }
+        match out.get_mut(&v) {
+            None => {
+                out.insert(v, (dist[i], cnt[i].clone()));
+            }
+            Some(slot) => {
+                if dist[i] < slot.0 {
+                    *slot = (dist[i], cnt[i].clone());
+                } else if dist[i] == slot.0 {
+                    let add = cnt[i].clone();
+                    slot.1.add_assign(&add);
+                }
+            }
+        }
+    }
+    if clamp_to_one {
+        for slot in out.values_mut() {
+            slot.1 = BigCount::one();
+        }
+    }
+    out
+}
+
+/// Enumerates every *shortest* legal path explicitly (the suboptimal
+/// all-shortest-paths strategy the paper observed in Neo4j). `targets`
+/// gives each target's shortest legal length; the DFS walks the product
+/// automaton without repetition constraints up to the maximum relevant
+/// depth and counts arrivals that hit a target at exactly its shortest
+/// length.
+fn enumerate_shortest(
+    graph: &Graph,
+    src: VertexId,
+    nfa: &CompiledDarpe,
+    targets: &ReachMap,
+    budget: Option<u64>,
+    stats: &mut MatchStats,
+) -> Result<ReachMap> {
+    let max_depth = targets.values().map(|(d, _)| *d).max().unwrap_or(0);
+    let mut dfa = Dfa::new(nfa);
+    let mut out: ReachMap = FxHashMap::default();
+    let mut enumerated = 0u64;
+
+    struct Frame {
+        v: VertexId,
+        q: DfaStateId,
+        next_edge: usize,
+    }
+    let mut stack = vec![Frame { v: src, q: dfa.start(), next_edge: 0 }];
+    while let Some(top) = stack.last() {
+        let depth = (stack.len() - 1) as u32;
+        let (v, q) = (top.v, top.q);
+        if top.next_edge == 0 {
+            // First visit of this walk position: check for a match.
+            if dfa.is_accepting(q) {
+                if let Some(&(short, _)) = targets.get(&v) {
+                    if short == depth {
+                        enumerated += 1;
+                        if let Some(b) = budget {
+                            if enumerated > b {
+                                return Err(Error::runtime(
+                                    "path enumeration budget exceeded (all-shortest-paths enumeration)",
+                                ));
+                            }
+                        }
+                        out.entry(v)
+                            .or_insert_with(|| (depth, BigCount::zero()))
+                            .1
+                            .add_u64(1);
+                    }
+                }
+            }
+        }
+        if depth == max_depth {
+            stack.pop();
+            continue;
+        }
+        let adj = graph.adjacency(v);
+        let mut advanced = false;
+        let start_edge = stack.last().unwrap().next_edge;
+        for (off, a) in adj[start_edge..].iter().enumerate() {
+            if let Some(nq) = dfa.next(q, a.etype, a.dir) {
+                let idx = start_edge + off;
+                stack.last_mut().unwrap().next_edge = idx + 1;
+                stack.push(Frame { v: a.other, q: nq, next_edge: 0 });
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            stack.pop();
+        }
+    }
+    stats.paths_enumerated += enumerated;
+    Ok(out)
+}
+
+/// Enumerates simple paths (non-repeated edge or vertex) through the
+/// product automaton by DFS — Cypher's / Gremlin's strategy, exponential
+/// in the worst case and the baseline of Table 1.
+fn enumerate_simple(
+    graph: &Graph,
+    src: VertexId,
+    nfa: &CompiledDarpe,
+    vertex_flavor: bool,
+    budget: Option<u64>,
+    stats: &mut MatchStats,
+) -> Result<ReachMap> {
+    let mut dfa = Dfa::new(nfa);
+    let mut out: ReachMap = FxHashMap::default();
+    let mut used_edges: FxHashMap<EdgeId, ()> = FxHashMap::default();
+    let mut used_vertices: FxHashMap<VertexId, ()> = FxHashMap::default();
+    let mut enumerated = 0u64;
+
+    struct Frame {
+        v: VertexId,
+        q: DfaStateId,
+        next_edge: usize,
+        /// Edge crossed to get here (to release on backtrack).
+        via: Option<EdgeId>,
+    }
+
+    if vertex_flavor {
+        used_vertices.insert(src, ());
+    }
+    let mut stack = vec![Frame { v: src, q: dfa.start(), next_edge: 0, via: None }];
+    while !stack.is_empty() {
+        let depth = (stack.len() - 1) as u32;
+        let (v, q, first_visit) = {
+            let top = stack.last().unwrap();
+            (top.v, top.q, top.next_edge == 0)
+        };
+        if first_visit && dfa.is_accepting(q) {
+            enumerated += 1;
+            if let Some(b) = budget {
+                if enumerated > b {
+                    return Err(Error::runtime(
+                        "path enumeration budget exceeded (non-repeating semantics)",
+                    ));
+                }
+            }
+            match out.get_mut(&v) {
+                None => {
+                    out.insert(v, (depth, BigCount::one()));
+                }
+                Some(slot) => {
+                    slot.0 = slot.0.min(depth);
+                    slot.1.add_u64(1);
+                }
+            }
+        }
+        let adj = graph.adjacency(v);
+        let start_edge = stack.last().unwrap().next_edge;
+        let mut advanced = false;
+        for (off, a) in adj[start_edge..].iter().enumerate() {
+            let idx = start_edge + off;
+            if vertex_flavor {
+                if used_vertices.contains_key(&a.other) {
+                    continue;
+                }
+            } else if used_edges.contains_key(&a.edge) {
+                continue;
+            }
+            if let Some(nq) = dfa.next(q, a.etype, a.dir) {
+                stack.last_mut().unwrap().next_edge = idx + 1;
+                if vertex_flavor {
+                    used_vertices.insert(a.other, ());
+                } else {
+                    used_edges.insert(a.edge, ());
+                }
+                stack.push(Frame { v: a.other, q: nq, next_edge: 0, via: Some(a.edge) });
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            let popped = stack.pop().unwrap();
+            if vertex_flavor {
+                if !stack.is_empty() {
+                    used_vertices.remove(&popped.v);
+                }
+            } else if let Some(e) = popped.via {
+                used_edges.remove(&e);
+            }
+        }
+    }
+    stats.paths_enumerated += enumerated;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use darpe::parse as dparse;
+    use pgraph::generators::{diamond_chain, example10_g2, example9_g1};
+
+    fn compiled(text: &str, g: &Graph) -> CompiledDarpe {
+        CompiledDarpe::compile(&dparse(text).unwrap(), g.schema()).unwrap()
+    }
+
+    fn count_for(
+        g: &Graph,
+        src: VertexId,
+        dst: VertexId,
+        darpe: &str,
+        sem: PathSemantics,
+    ) -> Option<u64> {
+        let nfa = compiled(darpe, g);
+        let mut stats = MatchStats::default();
+        let m = reach(g, src, &nfa, sem, Some(1_000_000), &mut stats).unwrap();
+        m.get(&dst).map(|(_, c)| c.to_u64().unwrap())
+    }
+
+    #[test]
+    fn example9_multiplicities() {
+        // Pattern :s -(E>*)- :t from vertex 1 to 5: multiplicity 3 / 4 / 2
+        // / 1 under NRV / NRE / ASP / SPARQL (paper Example 9).
+        let (g, v) = example9_g1();
+        assert_eq!(
+            count_for(&g, v[1], v[5], "E>*", PathSemantics::NonRepeatedVertex),
+            Some(3)
+        );
+        assert_eq!(
+            count_for(&g, v[1], v[5], "E>*", PathSemantics::NonRepeatedEdge),
+            Some(4)
+        );
+        assert_eq!(
+            count_for(&g, v[1], v[5], "E>*", PathSemantics::AllShortestPaths),
+            Some(2)
+        );
+        assert_eq!(
+            count_for(&g, v[1], v[5], "E>*", PathSemantics::AllShortestPathsEnumerate),
+            Some(2)
+        );
+        assert_eq!(
+            count_for(&g, v[1], v[5], "E>*", PathSemantics::ShortestOne),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn example10_only_asp_matches() {
+        // G2: E>*.F>.E>* matches 1→4 only under all-shortest-paths.
+        let (g, v) = example10_g2();
+        let darpe = "E>*.F>.E>*";
+        assert_eq!(
+            count_for(&g, v[1], v[4], darpe, PathSemantics::AllShortestPaths),
+            Some(1)
+        );
+        assert_eq!(count_for(&g, v[1], v[4], darpe, PathSemantics::NonRepeatedEdge), None);
+        assert_eq!(count_for(&g, v[1], v[4], darpe, PathSemantics::NonRepeatedVertex), None);
+        // The shortest length is 7 (1-2-3-5-6-2-3-4).
+        let nfa = compiled(darpe, &g);
+        let mut stats = MatchStats::default();
+        let m = reach(&g, v[1], &nfa, PathSemantics::AllShortestPaths, None, &mut stats).unwrap();
+        assert_eq!(m.get(&v[4]).map(|(d, _)| *d), Some(7));
+    }
+
+    #[test]
+    fn diamond_counts_match_all_semantics() {
+        // Example 11: all three semantics coincide on the diamond chain.
+        let (g, spine) = diamond_chain(6);
+        for sem in [
+            PathSemantics::AllShortestPaths,
+            PathSemantics::AllShortestPathsEnumerate,
+            PathSemantics::NonRepeatedEdge,
+            PathSemantics::NonRepeatedVertex,
+        ] {
+            assert_eq!(count_for(&g, spine[0], spine[6], "E>*", sem), Some(64), "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn counting_handles_exponential_counts() {
+        let (g, spine) = diamond_chain(100);
+        let nfa = compiled("E>*", &g);
+        let mut stats = MatchStats::default();
+        let m = reach(&g, spine[0], &nfa, PathSemantics::AllShortestPaths, None, &mut stats)
+            .unwrap();
+        assert_eq!(m.get(&spine[100]).unwrap().1, BigCount::pow2(100));
+        // Polynomial state count: O(V) product states for this DFA.
+        assert!(stats.product_states < 2 * g.vertex_count() as u64 + 10);
+    }
+
+    #[test]
+    fn enumeration_budget_trips() {
+        let (g, spine) = diamond_chain(30);
+        let nfa = compiled("E>*", &g);
+        let mut stats = MatchStats::default();
+        let r = reach(
+            &g,
+            spine[0],
+            &nfa,
+            PathSemantics::NonRepeatedEdge,
+            Some(10_000),
+            &mut stats,
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_pattern_matches_source() {
+        let (g, spine) = diamond_chain(2);
+        // E>* accepts the empty word: src itself has one legal path.
+        assert_eq!(
+            count_for(&g, spine[0], spine[0], "E>*", PathSemantics::AllShortestPaths),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn fixed_length_pattern_on_cycle() {
+        // Section 6 "fixed-unique-length" discussion: on cycle v-A>u-B>w-C>v,
+        // pattern A>.B>.C>.A> matches v→u by wrapping the cycle (length 4)
+        // under ASP, but not under non-repeating semantics.
+        let mut s = pgraph::schema::Schema::new();
+        s.add_vertex_type("V", vec![pgraph::schema::AttrDef::new("name", pgraph::value::ValueType::Str)]).unwrap();
+        s.add_edge_type("A", true, vec![]).unwrap();
+        s.add_edge_type("B", true, vec![]).unwrap();
+        s.add_edge_type("C", true, vec![]).unwrap();
+        let mut b = pgraph::graph::GraphBuilder::new(s);
+        let v = b.vertex("V", &[("name", pgraph::value::Value::from("v"))]).unwrap();
+        let u = b.vertex("V", &[("name", pgraph::value::Value::from("u"))]).unwrap();
+        let w = b.vertex("V", &[("name", pgraph::value::Value::from("w"))]).unwrap();
+        b.edge("A", v, u, &[]).unwrap();
+        b.edge("B", u, w, &[]).unwrap();
+        b.edge("C", w, v, &[]).unwrap();
+        let g = b.build();
+        let darpe = "A>.B>.C>.A>";
+        assert_eq!(count_for(&g, v, u, darpe, PathSemantics::AllShortestPaths), Some(1));
+        assert_eq!(count_for(&g, v, u, darpe, PathSemantics::NonRepeatedEdge), None);
+        assert_eq!(count_for(&g, v, u, darpe, PathSemantics::NonRepeatedVertex), None);
+    }
+}

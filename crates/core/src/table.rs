@@ -1,0 +1,108 @@
+//! Relational tables: inputs to graph↔table joins (paper Example 1) and
+//! outputs of `SELECT ... INTO`.
+
+use pgraph::value::Value;
+use std::fmt;
+
+/// A simple named-column table of [`Value`] rows.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    pub name: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
+        Table { name: name.into(), columns, rows: Vec::new() }
+    }
+
+    /// Builds a table from string column names and rows; panics on ragged
+    /// rows (test/fixture convenience).
+    pub fn from_rows(
+        name: impl Into<String>,
+        columns: &[&str],
+        rows: Vec<Vec<Value>>,
+    ) -> Self {
+        let columns: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+        for r in &rows {
+            assert_eq!(r.len(), columns.len(), "ragged row in table literal");
+        }
+        Table { name: name.into(), columns, rows }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    pub fn push(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.columns.len());
+        self.rows.push(row);
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single value of a 1×1 table, if it is one.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.columns.len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Sorted copy of the rows (for order-insensitive comparisons in
+    /// tests).
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows = self.rows.clone();
+        rows.sort();
+        rows
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}({})", self.name, self.columns.join(", "))?;
+        for r in &self.rows {
+            let cells: Vec<String> = r.iter().map(|v| v.to_string()).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let mut t = Table::new("T", vec!["a".into(), "b".into()]);
+        assert!(t.is_empty());
+        t.push(vec![Value::Int(1), Value::from("x")]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("z"), None);
+        assert!(t.scalar().is_none());
+    }
+
+    #[test]
+    fn scalar_table() {
+        let t = Table::from_rows("S", &["v"], vec![vec![Value::Int(7)]]);
+        assert_eq!(t.scalar(), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let t = Table::from_rows("T", &["x"], vec![vec![Value::Int(3)]]);
+        let s = t.to_string();
+        assert!(s.contains("T(x)"));
+        assert!(s.contains('3'));
+    }
+}

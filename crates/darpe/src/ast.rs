@@ -1,0 +1,461 @@
+//! DARPE abstract syntax and text parser.
+//!
+//! Grammar (paper Section 2, extended with direction adornments):
+//!
+//! ```text
+//! rpe    -> alt
+//! alt    -> cat ('|' cat)*
+//! cat    -> rep ('.' rep)*
+//! rep    -> atom ('*' bounds?)*
+//! atom   -> symbol | '(' rpe ')'
+//! symbol -> '<' name | name '>' | name          (name = EdgeType | '_')
+//! bounds -> N? '..' N?
+//! ```
+
+use std::fmt;
+
+/// The direction adornment of a DARPE symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DarpeDir {
+    /// `E>` — directed edge traversed forward.
+    Forward,
+    /// `<E` — directed edge traversed backward.
+    Reverse,
+    /// `E` — undirected edge.
+    Undirected,
+    /// Unadorned wildcard `_`: any edge, traversed any legal way. Only the
+    /// wildcard gets this adornment (a *named* unadorned type means
+    /// "undirected", per the paper's alphabet).
+    Any,
+}
+
+/// One alphabet symbol: an optional edge-type name (`None` = wildcard `_`)
+/// plus a direction adornment.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Symbol {
+    pub edge_type: Option<String>,
+    pub dir: DarpeDir,
+}
+
+/// A DARPE expression tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Darpe {
+    Symbol(Symbol),
+    Concat(Vec<Darpe>),
+    Alt(Vec<Darpe>),
+    /// `inner * min..max`; `max = None` means unbounded. Plain `*` is
+    /// `min = 0, max = None`.
+    Repeat {
+        inner: Box<Darpe>,
+        min: u32,
+        max: Option<u32>,
+    },
+}
+
+impl Darpe {
+    /// If the whole expression is one symbol (a single-edge hop that can
+    /// bind an edge variable), return it.
+    pub fn as_single_symbol(&self) -> Option<&Symbol> {
+        match self {
+            Darpe::Symbol(s) => Some(s),
+            Darpe::Concat(xs) | Darpe::Alt(xs) if xs.len() == 1 => xs[0].as_single_symbol(),
+            _ => None,
+        }
+    }
+
+    /// True if the expression contains an unbounded repetition.
+    pub fn has_unbounded_repeat(&self) -> bool {
+        match self {
+            Darpe::Symbol(_) => false,
+            Darpe::Concat(xs) | Darpe::Alt(xs) => xs.iter().any(Darpe::has_unbounded_repeat),
+            Darpe::Repeat { inner, max, .. } => max.is_none() || inner.has_unbounded_repeat(),
+        }
+    }
+
+    /// The unique length of all words in the language, when one exists —
+    /// the *fixed-unique-length* class of Section 6, for which
+    /// all-shortest-paths semantics coincides with unrestricted semantics.
+    pub fn fixed_unique_length(&self) -> Option<usize> {
+        match self {
+            Darpe::Symbol(_) => Some(1),
+            Darpe::Concat(xs) => xs.iter().map(Darpe::fixed_unique_length).sum(),
+            Darpe::Alt(xs) => {
+                let mut lens = xs.iter().map(Darpe::fixed_unique_length);
+                let first = lens.next()??;
+                for l in lens {
+                    if l? != first {
+                        return None;
+                    }
+                }
+                Some(first)
+            }
+            Darpe::Repeat { inner, min, max } => {
+                if *max == Some(*min) {
+                    Some(inner.fixed_unique_length()? * (*min as usize))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = self.edge_type.as_deref().unwrap_or("_");
+        match self.dir {
+            DarpeDir::Forward => write!(f, "{name}>"),
+            DarpeDir::Reverse => write!(f, "<{name}"),
+            DarpeDir::Undirected | DarpeDir::Any => write!(f, "{name}"),
+        }
+    }
+}
+
+impl fmt::Display for Darpe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Darpe::Symbol(s) => write!(f, "{s}"),
+            Darpe::Concat(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    if matches!(x, Darpe::Alt(_)) {
+                        write!(f, "({x})")?;
+                    } else {
+                        write!(f, "{x}")?;
+                    }
+                }
+                Ok(())
+            }
+            Darpe::Alt(xs) => {
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("|")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                Ok(())
+            }
+            Darpe::Repeat { inner, min, max } => {
+                if matches!(**inner, Darpe::Symbol(_)) {
+                    write!(f, "{inner}*")?;
+                } else {
+                    write!(f, "({inner})*")?;
+                }
+                match (min, max) {
+                    (0, None) => Ok(()),
+                    (m, None) => write!(f, "{m}.."),
+                    (m, Some(x)) => write!(f, "{m}..{x}"),
+                }
+            }
+        }
+    }
+}
+
+/// A DARPE text-parse error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DARPE parse error at offset {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { pos: self.pos, msg: msg.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Option<String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let c = self.src[self.pos];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            None
+        } else {
+            Some(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+        }
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            std::str::from_utf8(&self.src[start..self.pos])
+                .ok()?
+                .parse()
+                .ok()
+        }
+    }
+
+    fn alt(&mut self) -> Result<Darpe, ParseError> {
+        let mut parts = vec![self.cat()?];
+        while self.eat(b'|') {
+            parts.push(self.cat()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Darpe::Alt(parts)
+        })
+    }
+
+    fn cat(&mut self) -> Result<Darpe, ParseError> {
+        let mut parts = vec![self.rep()?];
+        while self.eat(b'.') {
+            // Guard against `..` of a bounds expression leaking here.
+            parts.push(self.rep()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            Darpe::Concat(parts)
+        })
+    }
+
+    fn rep(&mut self) -> Result<Darpe, ParseError> {
+        let mut node = self.atom()?;
+        while self.eat(b'*') {
+            let (min, max) = self.bounds()?;
+            node = Darpe::Repeat { inner: Box::new(node), min, max };
+        }
+        Ok(node)
+    }
+
+    /// Parses the optional `N?..N?` after `*`. With no bounds: `(0, None)`.
+    /// A single number with no `..` (e.g. `E>*3`) means exactly-N.
+    fn bounds(&mut self) -> Result<(u32, Option<u32>), ParseError> {
+        let lo = self.number();
+        self.skip_ws();
+        let has_dots = self.src[self.pos..].starts_with(b"..");
+        if has_dots {
+            self.pos += 2;
+            let hi = self.number();
+            let min = lo.unwrap_or(0);
+            if let Some(h) = hi {
+                if h < min {
+                    return self.err(format!("bounds {min}..{h} are empty"));
+                }
+            }
+            Ok((min, hi))
+        } else if let Some(n) = lo {
+            Ok((n, Some(n)))
+        } else {
+            Ok((0, None))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Darpe, ParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.bump();
+                let inner = self.alt()?;
+                if !self.eat(b')') {
+                    return self.err("expected `)`");
+                }
+                Ok(inner)
+            }
+            Some(b'<') => {
+                self.bump();
+                let name = match self.ident() {
+                    Some(n) => n,
+                    None => return self.err("expected edge type after `<`"),
+                };
+                Ok(Darpe::Symbol(mk_symbol(name, DarpeDir::Reverse)))
+            }
+            Some(c) if c.is_ascii_alphanumeric() || c == b'_' => {
+                let name = self.ident().unwrap();
+                if self.eat(b'>') {
+                    Ok(Darpe::Symbol(mk_symbol(name, DarpeDir::Forward)))
+                } else if name == "_" {
+                    Ok(Darpe::Symbol(Symbol { edge_type: None, dir: DarpeDir::Any }))
+                } else {
+                    Ok(Darpe::Symbol(mk_symbol(name, DarpeDir::Undirected)))
+                }
+            }
+            Some(c) => self.err(format!("unexpected character `{}`", c as char)),
+            None => self.err("unexpected end of DARPE"),
+        }
+    }
+}
+
+fn mk_symbol(name: String, dir: DarpeDir) -> Symbol {
+    if name == "_" {
+        Symbol { edge_type: None, dir }
+    } else {
+        Symbol { edge_type: Some(name), dir }
+    }
+}
+
+/// Parses a DARPE from text.
+pub fn parse(text: &str) -> Result<Darpe, ParseError> {
+    let mut p = Parser { src: text.as_bytes(), pos: 0 };
+    let d = p.alt()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return p.err("trailing input after DARPE");
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str, dir: DarpeDir) -> Darpe {
+        Darpe::Symbol(mk_symbol(name.to_string(), dir))
+    }
+
+    #[test]
+    fn single_symbols() {
+        assert_eq!(parse("E>").unwrap(), sym("E", DarpeDir::Forward));
+        assert_eq!(parse("<E").unwrap(), sym("E", DarpeDir::Reverse));
+        assert_eq!(parse("E").unwrap(), sym("E", DarpeDir::Undirected));
+        assert_eq!(
+            parse("_").unwrap(),
+            Darpe::Symbol(Symbol { edge_type: None, dir: DarpeDir::Any })
+        );
+        assert_eq!(parse("_>").unwrap(), sym("_", DarpeDir::Forward));
+        assert_eq!(parse("<_").unwrap(), sym("_", DarpeDir::Reverse));
+    }
+
+    #[test]
+    fn paper_example2_parses() {
+        // E> . (F> | <G)* . H . <J
+        let d = parse("E>.(F>|<G)*.H.<J").unwrap();
+        match &d {
+            Darpe::Concat(parts) => {
+                assert_eq!(parts.len(), 4);
+                assert_eq!(parts[0], sym("E", DarpeDir::Forward));
+                assert!(matches!(&parts[1], Darpe::Repeat { min: 0, max: None, .. }));
+                assert_eq!(parts[2], sym("H", DarpeDir::Undirected));
+                assert_eq!(parts[3], sym("J", DarpeDir::Reverse));
+            }
+            other => panic!("expected concat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn whitespace_tolerated() {
+        assert_eq!(parse(" E> . ( F> | <G )* ").unwrap(), parse("E>.(F>|<G)*").unwrap());
+    }
+
+    #[test]
+    fn bounds_forms() {
+        let d = parse("E>*2..5").unwrap();
+        assert!(matches!(d, Darpe::Repeat { min: 2, max: Some(5), .. }));
+        let d = parse("E>*..5").unwrap();
+        assert!(matches!(d, Darpe::Repeat { min: 0, max: Some(5), .. }));
+        let d = parse("E>*2..").unwrap();
+        assert!(matches!(d, Darpe::Repeat { min: 2, max: None, .. }));
+        let d = parse("E>*3").unwrap();
+        assert!(matches!(d, Darpe::Repeat { min: 3, max: Some(3), .. }));
+        assert!(parse("E>*5..2").is_err());
+    }
+
+    #[test]
+    fn alternation_precedence() {
+        // a>.b> | c> groups as (a.b) | c
+        let d = parse("a>.b>|c>").unwrap();
+        match d {
+            Darpe::Alt(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(&parts[0], Darpe::Concat(xs) if xs.len() == 2));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_report_position() {
+        let e = parse("E>.(F>").unwrap_err();
+        assert!(e.pos >= 6, "pos {} msg {}", e.pos, e.msg);
+        assert!(parse("").is_err());
+        assert!(parse("E> garbage~").is_err());
+        assert!(parse("<").is_err());
+    }
+
+    #[test]
+    fn fixed_unique_length_classification() {
+        assert_eq!(parse("A>.(B>|D>)._>.A>").unwrap().fixed_unique_length(), Some(4));
+        assert_eq!(parse("E>*").unwrap().fixed_unique_length(), None);
+        assert_eq!(parse("A>|B>.C>").unwrap().fixed_unique_length(), None);
+        assert_eq!(parse("E>*3").unwrap().fixed_unique_length(), Some(3));
+        assert_eq!(parse("(A>.B>)|(C>.D>)").unwrap().fixed_unique_length(), Some(2));
+    }
+
+    #[test]
+    fn unbounded_detection() {
+        assert!(parse("E>*").unwrap().has_unbounded_repeat());
+        assert!(parse("E>.(F>*2..)").unwrap().has_unbounded_repeat());
+        assert!(!parse("E>*1..4").unwrap().has_unbounded_repeat());
+        assert!(!parse("E>.F>").unwrap().has_unbounded_repeat());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in ["E>", "<E", "E", "E>.(F>|<G)*.H.<J", "E>*2..5", "A>.(B>|D>)._>.A>"] {
+            let d = parse(text).unwrap();
+            let d2 = parse(&d.to_string()).unwrap();
+            assert_eq!(d, d2, "round-trip failed for `{text}` -> `{d}`");
+        }
+    }
+
+    #[test]
+    fn single_symbol_detection() {
+        assert!(parse("E>").unwrap().as_single_symbol().is_some());
+        assert!(parse("(E>)").unwrap().as_single_symbol().is_some());
+        assert!(parse("E>.F>").unwrap().as_single_symbol().is_none());
+        assert!(parse("E>*").unwrap().as_single_symbol().is_none());
+    }
+}

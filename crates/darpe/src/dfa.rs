@@ -1,0 +1,210 @@
+//! Lazy subset-construction DFA over the adorned alphabet.
+//!
+//! Why determinize at all? The SDMC counting algorithm (Theorem 6.1)
+//! counts *automaton runs* of the product `graph × automaton`. With an
+//! NFA, one graph path can have several accepting runs and would be
+//! counted several times; with a DFA each path has **exactly one** run,
+//! so run counts equal path counts. Determinization is lazy: only the
+//! subsets actually reachable while traversing a given graph are
+//! materialized, and transitions are memoized per `(state, type,
+//! direction)` — the effective alphabet is the small set of adorned edge
+//! types occurring in the graph.
+
+use crate::nfa::CompiledDarpe;
+use pgraph::fxhash::FxHashMap;
+use pgraph::graph::Dir;
+use pgraph::schema::ETypeId;
+use std::collections::BTreeSet;
+
+/// Identifier of a lazily-materialized DFA state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DfaStateId(pub u32);
+
+/// A lazily determinized view of a [`CompiledDarpe`]. Holds a mutable
+/// memo table; create one per traversal (cheap) or share across
+/// traversals of the same graph for maximal reuse.
+pub struct Dfa<'a> {
+    nfa: &'a CompiledDarpe,
+    /// Interned NFA-state subsets.
+    subsets: Vec<Box<[u32]>>,
+    accepting: Vec<bool>,
+    index: FxHashMap<Box<[u32]>, DfaStateId>,
+    /// Memoized transitions; `None` = dead.
+    memo: FxHashMap<(DfaStateId, ETypeId, Dir), Option<DfaStateId>>,
+    start: DfaStateId,
+}
+
+impl<'a> Dfa<'a> {
+    /// Creates the DFA view with its start state materialized.
+    pub fn new(nfa: &'a CompiledDarpe) -> Self {
+        let mut dfa = Dfa {
+            nfa,
+            subsets: Vec::new(),
+            accepting: Vec::new(),
+            index: FxHashMap::default(),
+            memo: FxHashMap::default(),
+            start: DfaStateId(0),
+        };
+        let mut set = BTreeSet::from([nfa.start()]);
+        nfa.eps_close(&mut set);
+        dfa.start = dfa.intern(set);
+        dfa
+    }
+
+    fn intern(&mut self, set: BTreeSet<u32>) -> DfaStateId {
+        let key: Box<[u32]> = set.iter().copied().collect();
+        if let Some(&id) = self.index.get(&key) {
+            return id;
+        }
+        let id = DfaStateId(self.subsets.len() as u32);
+        self.accepting.push(set.contains(&self.nfa.accept()));
+        self.index.insert(key.clone(), id);
+        self.subsets.push(key);
+        id
+    }
+
+    /// The start state.
+    #[inline]
+    pub fn start(&self) -> DfaStateId {
+        self.start
+    }
+
+    /// Whether `s` is accepting.
+    #[inline]
+    pub fn is_accepting(&self, s: DfaStateId) -> bool {
+        self.accepting[s.0 as usize]
+    }
+
+    /// Number of DFA states materialized so far.
+    pub fn materialized_states(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Transition on the adorned symbol `(etype, dir)`; `None` means the
+    /// run dies.
+    pub fn next(&mut self, s: DfaStateId, etype: ETypeId, dir: Dir) -> Option<DfaStateId> {
+        if let Some(&hit) = self.memo.get(&(s, etype, dir)) {
+            return hit;
+        }
+        let mut out = BTreeSet::new();
+        for &ns in self.subsets[s.0 as usize].iter() {
+            for &(spec, t) in self.nfa.transitions(ns) {
+                if spec.matches(etype, dir) {
+                    out.insert(t);
+                }
+            }
+        }
+        let result = if out.is_empty() {
+            None
+        } else {
+            self.nfa.eps_close(&mut out);
+            Some(self.intern(out))
+        };
+        self.memo.insert((s, etype, dir), result);
+        result
+    }
+
+    /// Runs the DFA over an explicit word; used by tests to check
+    /// NFA/DFA agreement.
+    pub fn matches_word(&mut self, word: &[(ETypeId, Dir)]) -> bool {
+        let mut s = self.start();
+        for &(et, d) in word {
+            match self.next(s, et, d) {
+                Some(t) => s = t,
+                None => return false,
+            }
+        }
+        self.is_accepting(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+    use pgraph::schema::Schema;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_vertex_type("V", vec![]).unwrap();
+        s.add_edge_type("E", true, vec![]).unwrap();
+        s.add_edge_type("F", true, vec![]).unwrap();
+        s.add_edge_type("H", false, vec![]).unwrap();
+        s
+    }
+
+    fn words(s: &Schema, max_len: usize) -> Vec<Vec<(ETypeId, Dir)>> {
+        // All adorned words up to max_len over {E>, <E, F>, <F, H}.
+        let e = s.edge_type_id("E").unwrap();
+        let f = s.edge_type_id("F").unwrap();
+        let h = s.edge_type_id("H").unwrap();
+        let alphabet = [
+            (e, Dir::Out),
+            (e, Dir::In),
+            (f, Dir::Out),
+            (f, Dir::In),
+            (h, Dir::Und),
+        ];
+        let mut out: Vec<Vec<(ETypeId, Dir)>> = vec![vec![]];
+        let mut frontier = vec![vec![]];
+        for _ in 0..max_len {
+            let mut next = Vec::new();
+            for w in &frontier {
+                for &sym in &alphabet {
+                    let mut w2: Vec<(ETypeId, Dir)> = w.clone();
+                    w2.push(sym);
+                    next.push(w2);
+                }
+            }
+            out.extend(next.iter().cloned());
+            frontier = next;
+        }
+        out
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_exhaustively() {
+        let s = schema();
+        for text in ["E>", "E>*", "E>.(F>|<E)*.H", "E>*2..3", "(E>|F>).H", "H.H.H"] {
+            let nfa = CompiledDarpe::compile(&parse(text).unwrap(), &s).unwrap();
+            let mut dfa = Dfa::new(&nfa);
+            for w in words(&s, 4) {
+                assert_eq!(
+                    nfa.matches_word(&w),
+                    dfa.matches_word(&w),
+                    "disagreement on `{text}` for word {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dead_transitions_are_none() {
+        let s = schema();
+        let nfa = CompiledDarpe::compile(&parse("E>").unwrap(), &s).unwrap();
+        let mut dfa = Dfa::new(&nfa);
+        let f = s.edge_type_id("F").unwrap();
+        assert_eq!(dfa.next(dfa.start(), f, Dir::Out), None);
+    }
+
+    #[test]
+    fn kleene_start_is_accepting() {
+        let s = schema();
+        let nfa = CompiledDarpe::compile(&parse("E>*").unwrap(), &s).unwrap();
+        let dfa = Dfa::new(&nfa);
+        assert!(dfa.is_accepting(dfa.start()));
+    }
+
+    #[test]
+    fn memoization_reuses_states() {
+        let s = schema();
+        let e = s.edge_type_id("E").unwrap();
+        let nfa = CompiledDarpe::compile(&parse("E>*").unwrap(), &s).unwrap();
+        let mut dfa = Dfa::new(&nfa);
+        let s1 = dfa.next(dfa.start(), e, Dir::Out).unwrap();
+        let s2 = dfa.next(s1, e, Dir::Out).unwrap();
+        // E>* loops: after the first step the subset is stable.
+        assert_eq!(s1, s2);
+        assert!(dfa.materialized_states() <= 2);
+    }
+}

@@ -1,0 +1,326 @@
+//! Seeded SNB-like graph generator.
+//!
+//! Scale factor `sf` plays the role of LDBC's SF: entity counts grow
+//! linearly in it (persons ≈ 1000·sf). Distributions mimic the benchmark
+//! qualitatively: `Knows` degrees are preferential-attachment skewed,
+//! message counts per person are geometric-ish, message locations
+//! correlate with the author's country, and timestamps span 2009–2013
+//! (the Appendix-B workload filters on 2010–2012).
+
+use crate::schema::snb_schema;
+use pgraph::datetime::to_epoch;
+use pgraph::graph::{Graph, GraphBuilder, VertexId};
+use pgraph::value::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SnbParams {
+    /// Scale factor; persons ≈ `1000 · sf` (min 30).
+    pub sf: f64,
+    pub seed: u64,
+}
+
+impl SnbParams {
+    pub fn new(sf: f64, seed: u64) -> Self {
+        SnbParams { sf, seed }
+    }
+
+    /// Number of persons at this scale factor.
+    pub fn persons(&self) -> usize {
+        ((1000.0 * self.sf).round() as usize).max(30)
+    }
+}
+
+const BROWSERS: [&str; 4] = ["Firefox", "Chrome", "Safari", "IE"];
+
+/// Generates the graph; deterministic per `(sf, seed)`.
+pub fn generate(params: SnbParams) -> Graph {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut b = GraphBuilder::new(snb_schema());
+    let n_person = params.persons();
+    let n_country = 20usize;
+    let n_city = 60usize;
+    let n_company = 40usize;
+    let n_tag = 80usize;
+    let n_forum = (n_person / 3).max(4);
+
+    // Places and organizations.
+    let countries: Vec<VertexId> = (0..n_country)
+        .map(|i| b.vertex("Country", &[("name", Value::from(format!("country{i}")))]).unwrap())
+        .collect();
+    let cities: Vec<VertexId> = (0..n_city)
+        .map(|i| b.vertex("City", &[("name", Value::from(format!("city{i}")))]).unwrap())
+        .collect();
+    let city_country: Vec<usize> = (0..n_city).map(|i| i % n_country).collect();
+    for (i, &c) in cities.iter().enumerate() {
+        b.edge("PartOf", c, countries[city_country[i]], &[]).unwrap();
+    }
+    let companies: Vec<VertexId> = (0..n_company)
+        .map(|i| b.vertex("Company", &[("name", Value::from(format!("company{i}")))]).unwrap())
+        .collect();
+    let company_country: Vec<usize> = (0..n_company).map(|_| rng.gen_range(0..n_country)).collect();
+    for (i, &c) in companies.iter().enumerate() {
+        b.edge("CompanyIn", c, countries[company_country[i]], &[]).unwrap();
+    }
+    let tags: Vec<VertexId> = (0..n_tag)
+        .map(|i| b.vertex("Tag", &[("name", Value::from(format!("tag{i}")))]).unwrap())
+        .collect();
+
+    // Persons.
+    let mut person_city = Vec::with_capacity(n_person);
+    let persons: Vec<VertexId> = (0..n_person)
+        .map(|i| {
+            let gender = if rng.gen_bool(0.5) { "male" } else { "female" };
+            let browser = BROWSERS[zipf4(&mut rng)];
+            let by = rng.gen_range(1950..2000);
+            let bm = rng.gen_range(1..=12u32);
+            let bd = rng.gen_range(1..=28u32);
+            let v = b
+                .vertex(
+                    "Person",
+                    &[
+                        ("id", Value::Int(i as i64)),
+                        ("firstName", Value::from(format!("fn{i}"))),
+                        ("lastName", Value::from(format!("ln{}", i % 97))),
+                        ("gender", Value::from(gender)),
+                        ("browser", Value::from(browser)),
+                        ("birthday", Value::DateTime(to_epoch(by, bm, bd))),
+                        ("creationDate", Value::DateTime(to_epoch(2009, 1, 1))),
+                    ],
+                )
+                .unwrap();
+            let city = rng.gen_range(0..n_city);
+            person_city.push(city);
+            b.edge("LivesIn", v, cities[city], &[]).unwrap();
+            v
+        })
+        .collect();
+
+    // WorkAt: 0–2 companies per person.
+    for &p in &persons {
+        for _ in 0..rng.gen_range(0..=2usize) {
+            let c = rng.gen_range(0..n_company);
+            b.edge(
+                "WorkAt",
+                p,
+                companies[c],
+                &[("workFrom", Value::Int(rng.gen_range(1990..2015)))],
+            )
+            .unwrap();
+        }
+    }
+
+    // Knows: undirected, preferential-attachment skewed, avg degree ~8.
+    let mut pool: Vec<usize> = vec![0, 1];
+    b.edge(
+        "Knows",
+        persons[0],
+        persons[1],
+        &[("since", Value::DateTime(to_epoch(2009, 6, 1)))],
+    )
+    .unwrap();
+    for i in 2..n_person {
+        let k = 1 + (rng.gen::<f64>().powi(2) * 7.0) as usize; // skewed 1..8
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        while chosen.len() < k.min(i) {
+            let j = pool[rng.gen_range(0..pool.len())];
+            if j != i && !chosen.contains(&j) {
+                chosen.push(j);
+            }
+        }
+        for j in chosen {
+            let y = rng.gen_range(2009..2013);
+            let m = rng.gen_range(1..=12u32);
+            b.edge(
+                "Knows",
+                persons[i],
+                persons[j],
+                &[("since", Value::DateTime(to_epoch(y, m, 1)))],
+            )
+            .unwrap();
+            pool.push(j);
+            pool.push(i);
+        }
+    }
+
+    // Forums with members.
+    let forums: Vec<VertexId> = (0..n_forum)
+        .map(|i| {
+            b.vertex(
+                "Forum",
+                &[
+                    ("title", Value::from(format!("forum{i}"))),
+                    ("creationDate", Value::DateTime(to_epoch(2009, 2, 1))),
+                ],
+            )
+            .unwrap()
+        })
+        .collect();
+    for &f in &forums {
+        let members = rng.gen_range(4..=16usize).min(n_person);
+        for _ in 0..members {
+            let p = rng.gen_range(0..n_person);
+            let y = rng.gen_range(2009..2013);
+            let m = rng.gen_range(1..=12u32);
+            let d = rng.gen_range(1..=28u32);
+            b.edge(
+                "HasMember",
+                f,
+                persons[p],
+                &[("joinDate", Value::DateTime(to_epoch(y, m, d)))],
+            )
+            .unwrap();
+        }
+    }
+
+    // Messages: ~12 per person on average, geometric-ish.
+    let mut messages: Vec<VertexId> = Vec::new();
+    let mut msg_id = 0i64;
+    for (pi, &p) in persons.iter().enumerate() {
+        let count = sample_geometric(&mut rng, 12.0).min(60);
+        for _ in 0..count {
+            let y = rng.gen_range(2009..2014);
+            let m = rng.gen_range(1..=12u32);
+            let d = rng.gen_range(1..=28u32);
+            let length = 1 + (rng.gen::<f64>().powi(3) * 199.0) as i64;
+            let v = b
+                .vertex(
+                    "Message",
+                    &[
+                        ("id", Value::Int(msg_id)),
+                        ("creationDate", Value::DateTime(to_epoch(y, m, d))),
+                        ("length", Value::Int(length)),
+                        ("browser", Value::from(BROWSERS[zipf4(&mut rng)])),
+                        ("isPost", Value::Bool(rng.gen_bool(0.4))),
+                    ],
+                )
+                .unwrap();
+            msg_id += 1;
+            b.edge("HasCreator", v, p, &[]).unwrap();
+            // Location correlates with the author's country 70% of the time.
+            let country = if rng.gen_bool(0.7) {
+                city_country[person_city[pi]]
+            } else {
+                rng.gen_range(0..n_country)
+            };
+            b.edge("MsgIn", v, countries[country], &[]).unwrap();
+            for _ in 0..rng.gen_range(1..=3usize) {
+                let t = zipf_index(&mut rng, n_tag);
+                b.edge("HasTag", v, tags[t], &[]).unwrap();
+            }
+            if !messages.is_empty() && rng.gen_bool(0.3) {
+                let parent = messages[rng.gen_range(0..messages.len())];
+                b.edge("ReplyOf", v, parent, &[]).unwrap();
+            }
+            if rng.gen_bool(0.5) {
+                let f = forums[rng.gen_range(0..n_forum)];
+                b.edge("ContainerOf", f, v, &[]).unwrap();
+            }
+            messages.push(v);
+        }
+    }
+
+    // Likes: ~10 per person.
+    if !messages.is_empty() {
+        for &p in &persons {
+            for _ in 0..rng.gen_range(5..=15usize) {
+                let m = messages[rng.gen_range(0..messages.len())];
+                let y = rng.gen_range(2009..2014);
+                let mo = rng.gen_range(1..=12u32);
+                b.edge(
+                    "Likes",
+                    p,
+                    m,
+                    &[("creationDate", Value::DateTime(to_epoch(y, mo, 1)))],
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    b.build()
+}
+
+/// Zipf-ish pick among 4 browsers (rank-biased).
+fn zipf4(rng: &mut StdRng) -> usize {
+    let r: f64 = rng.gen();
+    if r < 0.48 {
+        0
+    } else if r < 0.72 {
+        1
+    } else if r < 0.88 {
+        2
+    } else {
+        3
+    }
+}
+
+/// Rank-biased tag index: low indices are much more popular.
+fn zipf_index(rng: &mut StdRng, n: usize) -> usize {
+    let r: f64 = rng.gen();
+    ((r * r) * n as f64) as usize % n
+}
+
+/// Geometric-ish sample with the given mean.
+fn sample_geometric(rng: &mut StdRng, mean: f64) -> usize {
+    let u: f64 = rng.gen::<f64>().max(1e-12);
+    (-u.ln() * mean) as usize + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(SnbParams::new(0.05, 7));
+        let c = generate(SnbParams::new(0.05, 7));
+        assert_eq!(a.vertex_count(), c.vertex_count());
+        assert_eq!(a.edge_count(), c.edge_count());
+    }
+
+    #[test]
+    fn scales_with_sf() {
+        let small = generate(SnbParams::new(0.03, 1));
+        let big = generate(SnbParams::new(0.1, 1));
+        assert!(big.vertex_count() > small.vertex_count());
+        assert!(big.edge_count() > small.edge_count());
+    }
+
+    #[test]
+    fn person_count_matches_params() {
+        let p = SnbParams::new(0.05, 3);
+        let g = generate(p);
+        let pt = g.schema().vertex_type_id("Person").unwrap();
+        assert_eq!(g.vertices_of_type(pt).len(), p.persons());
+    }
+
+    #[test]
+    fn knows_is_connected_enough() {
+        // Preferential attachment links every new person to someone.
+        let g = generate(SnbParams::new(0.05, 5));
+        let (_, comps) = pgraph::algo::weakly_connected_components(&g);
+        // Single giant component plus possibly isolated tags/places that
+        // happen to be untouched; persons themselves form one component.
+        assert!(comps < g.vertex_count() / 2);
+    }
+
+    #[test]
+    fn timestamps_span_the_workload_window() {
+        let g = generate(SnbParams::new(0.05, 9));
+        let mt = g.schema().vertex_type_id("Message").unwrap();
+        let mut years: std::collections::BTreeSet<i64> = Default::default();
+        for &m in g.vertices_of_type(mt) {
+            let ts = match g.vertex_attr_by_name(m, "creationDate").unwrap() {
+                Value::DateTime(t) => *t,
+                other => panic!("{other:?}"),
+            };
+            years.insert(pgraph::datetime::year(ts));
+        }
+        for y in 2010..=2012 {
+            assert!(years.contains(&y), "no messages in {y}");
+        }
+    }
+}

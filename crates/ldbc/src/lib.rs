@@ -1,0 +1,30 @@
+//! # ldbc-snb — an LDBC Social Network Benchmark-like workload
+//!
+//! The paper's large-scale experiments (Section 7.1 and Appendix B) run
+//! on LDBC SNB graphs at scale factors 1–1000 and on the benchmark's
+//! interactive-complex (IC) query family with the `KNOWS` radius widened
+//! from 2 to 3 and 4 hops. This crate provides a laptop-scale stand-in:
+//!
+//! * [`schema`] — an SNB-like property-graph schema (Person, City,
+//!   Country, Company, Forum, Message, Tag, with `Knows` **undirected**
+//!   as in SNB),
+//! * [`generator`] — a seeded synthetic generator parameterized by a
+//!   scale factor, with power-law-ish `Knows` degrees and correlated
+//!   message locations,
+//! * [`queries`] — the hop-parameterized IC queries (ic3, ic5, ic6, ic9,
+//!   ic11) rendered as GSQL text, plus the Appendix-B pair `Q_gs`
+//!   (GROUPING-SETS simulation: every aggregate computed for every
+//!   grouping set) and `Q_acc` (dedicated accumulator per grouping set).
+//!
+//! Substitution note (see DESIGN.md): the official generator and
+//! terabyte-scale datasets are replaced by this seeded generator because
+//! the experiments measure *shapes* — growth with hops/scale and the
+//! constant-factor speedup of targeted accumulation — which depend on
+//! schema and distribution, not absolute size.
+
+pub mod generator;
+pub mod queries;
+pub mod schema;
+
+pub use generator::{generate, SnbParams};
+pub use schema::snb_schema;

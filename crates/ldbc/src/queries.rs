@@ -1,0 +1,287 @@
+//! The paper's benchmark query workloads as GSQL text.
+//!
+//! * `ic3/ic5/ic6/ic9/ic11(hops)` — the LDBC interactive-complex queries
+//!   exercised in Section 7.1, with the `Knows` radius as a parameter
+//!   (the paper widened it from 2 to 3 and 4). Each query starts from a
+//!   person parameter `p`, expands friends via `Knows*1..H` (a Kleene
+//!   pattern — polynomial under counting semantics, exponential under
+//!   enumeration), then aggregates into multiplicity-insensitive
+//!   accumulators so results agree across semantics.
+//! * `q_gs()` / `q_acc()` — the Appendix-B pair: multi-grouping-set
+//!   aggregation in GROUPING-SETS style (all aggregates computed for
+//!   every grouping set) vs dedicated-accumulator style.
+
+/// IC3-like: friends within `hops` who authored messages located in both
+/// `countryX` and `countryY`; top 20 by total message count.
+pub fn ic3(hops: usize) -> String {
+    format!(
+        r#"
+CREATE QUERY ic3 (vertex<Person> p, string countryX, string countryY) {{
+  TYPEDEF TUPLE<INT total, INT xc, INT fid> Rec;
+  SumAccum<int> @xc, @yc;
+  HeapAccum<Rec>(20, total DESC, fid ASC) @@top;
+  F = SELECT f FROM Person:p -(Knows*1..{hops})- Person:f WHERE f <> p;
+  X = SELECT f FROM F:f -(<HasCreator)- Message:m -(MsgIn>)- Country:c
+      WHERE c.name == countryX
+      ACCUM f.@xc += 1;
+  Y = SELECT f FROM F:f -(<HasCreator)- Message:m -(MsgIn>)- Country:c
+      WHERE c.name == countryY
+      ACCUM f.@yc += 1;
+  Z = SELECT f FROM F:f
+      WHERE f.@xc > 0 AND f.@yc > 0
+      POST_ACCUM @@top += (f.@xc + f.@yc, f.@xc, f.id());
+  PRINT @@top;
+}}
+"#
+    )
+}
+
+/// IC5-like: forums that friends within `hops` joined after `minDate`;
+/// top 20 forums by joining-friend count.
+pub fn ic5(hops: usize) -> String {
+    format!(
+        r#"
+CREATE QUERY ic5 (vertex<Person> p, datetime minDate) {{
+  TYPEDEF TUPLE<INT cnt, INT fid> Rec;
+  SumAccum<int> @cnt;
+  HeapAccum<Rec>(20, cnt DESC, fid ASC) @@top;
+  F = SELECT f FROM Person:p -(Knows*1..{hops})- Person:f WHERE f <> p;
+  G = SELECT fo FROM F:f -(<HasMember:e)- Forum:fo
+      WHERE e.joinDate > minDate
+      ACCUM fo.@cnt += 1
+      POST_ACCUM @@top += (fo.@cnt, fo.id());
+  PRINT @@top;
+}}
+"#
+    )
+}
+
+/// IC6-like: tags co-occurring with `tagName` on messages authored by
+/// friends within `hops`; top 10 co-tags by message count.
+pub fn ic6(hops: usize) -> String {
+    format!(
+        r#"
+CREATE QUERY ic6 (vertex<Person> p, string tagName) {{
+  TYPEDEF TUPLE<INT cnt, INT tid> Rec;
+  SumAccum<int> @cnt;
+  HeapAccum<Rec>(10, cnt DESC, tid ASC) @@top;
+  F = SELECT f FROM Person:p -(Knows*1..{hops})- Person:f WHERE f <> p;
+  M = SELECT m FROM F:f -(<HasCreator)- Message:m -(HasTag>)- Tag:t
+      WHERE t.name == tagName;
+  T = SELECT t2 FROM M:m -(HasTag>)- Tag:t2
+      WHERE t2.name <> tagName
+      ACCUM t2.@cnt += 1
+      POST_ACCUM @@top += (t2.@cnt, t2.id());
+  PRINT @@top;
+}}
+"#
+    )
+}
+
+/// IC9-like: the 20 most recent messages by friends within `hops`
+/// created before `maxDate`.
+pub fn ic9(hops: usize) -> String {
+    format!(
+        r#"
+CREATE QUERY ic9 (vertex<Person> p, datetime maxDate) {{
+  TYPEDEF TUPLE<INT date, INT mid> Rec;
+  HeapAccum<Rec>(20, date DESC, mid ASC) @@top;
+  F = SELECT f FROM Person:p -(Knows*1..{hops})- Person:f WHERE f <> p;
+  M = SELECT m FROM F:f -(<HasCreator)- Message:m
+      WHERE m.creationDate < maxDate
+      ACCUM @@top += (m.creationDate, m.id());
+  PRINT @@top;
+}}
+"#
+    )
+}
+
+/// IC11-like: friends within `hops` working at companies in `country`
+/// since before `beforeYear`; top 10 by earliest start.
+pub fn ic11(hops: usize) -> String {
+    format!(
+        r#"
+CREATE QUERY ic11 (vertex<Person> p, string country, int beforeYear) {{
+  TYPEDEF TUPLE<INT yr, INT fid, INT cid> Rec;
+  HeapAccum<Rec>(10, yr ASC, fid ASC, cid ASC) @@top;
+  F = SELECT f FROM Person:p -(Knows*1..{hops})- Person:f WHERE f <> p;
+  W = SELECT f FROM F:f -(WorkAt>:w)- Company:co -(CompanyIn>)- Country:ct
+      WHERE ct.name == country AND w.workFrom < beforeYear
+      ACCUM @@top += (w.workFrom, f.id(), co.id());
+  PRINT @@top;
+}}
+"#
+    )
+}
+
+/// The shared FROM/WHERE body of the Appendix-B workload: persons, the
+/// city they live in, and the messages they liked, published 2010–2012.
+const APPENDIX_B_BODY: &str = r#"
+  S = SELECT pp
+  FROM  Person:pp -(LivesIn>)- City:ct, Person:pp -(Likes>)- Message:m
+  WHERE year(m.creationDate) >= 2010 AND year(m.creationDate) <= 2012
+"#;
+
+/// `Q_acc` (Appendix B): dedicated accumulators — each grouping set
+/// computes **only** the aggregates it needs.
+///
+/// * set (i) per publication year: six capacity-bounded heaps,
+/// * set (ii) per (city, browser, year, month, length): a count,
+/// * set (iii) per (city, gender, browser, year, month): average length.
+pub fn q_acc() -> String {
+    format!(
+        r#"
+CREATE QUERY QAcc () {{
+  TYPEDEF TUPLE<INT date, INT len, INT mid> DL;
+  TYPEDEF TUPLE<INT bday, INT len, INT mid> BL;
+  GroupByAccum<int y,
+    HeapAccum<DL>(20, date DESC, len DESC) recent,
+    HeapAccum<DL>(20, date ASC, len DESC) earliest,
+    HeapAccum<DL>(20, len DESC, date DESC) longest,
+    HeapAccum<DL>(20, len ASC, date DESC) shortest,
+    HeapAccum<BL>(10, bday ASC, len DESC) oldestAuth,
+    HeapAccum<BL>(10, bday DESC, len DESC) youngestAuth> @@perYear;
+  GroupByAccum<string city, string browser, int y, int mo, int len,
+    SumAccum<int> cnt> @@gs2;
+  GroupByAccum<string city, string gender, string browser, int y, int mo,
+    AvgAccum avgLen> @@gs3;
+{body}
+  ACCUM
+    @@perYear += (year(m.creationDate) ->
+        (m.creationDate, m.length, m.id()),
+        (m.creationDate, m.length, m.id()),
+        (m.creationDate, m.length, m.id()),
+        (m.creationDate, m.length, m.id()),
+        (pp.birthday, m.length, m.id()),
+        (pp.birthday, m.length, m.id())),
+    @@gs2 += (ct.name, m.browser, year(m.creationDate), month(m.creationDate), m.length -> 1),
+    @@gs3 += (ct.name, pp.gender, m.browser, year(m.creationDate), month(m.creationDate) -> m.length);
+  PRINT @@perYear.size(), @@gs2.size(), @@gs3.size();
+}}
+"#,
+        body = APPENDIX_B_BODY
+    )
+}
+
+/// `Q_gs` (Appendix B): GROUPING-SETS simulation per paper Example 12 —
+/// one wide `GroupByAccum` over the union of all grouping keys, with
+/// **all eight** aggregates nested, fed once per grouping set with NULLs
+/// in the unused key positions. Wasteful exactly as the paper describes:
+/// every grouping set pays for every aggregate.
+pub fn q_gs() -> String {
+    let all_aggs = "(m.creationDate, m.length, m.id()),
+        (m.creationDate, m.length, m.id()),
+        (m.creationDate, m.length, m.id()),
+        (m.creationDate, m.length, m.id()),
+        (pp.birthday, m.length, m.id()),
+        (pp.birthday, m.length, m.id()),
+        1,
+        m.length";
+    format!(
+        r#"
+CREATE QUERY QGs () {{
+  TYPEDEF TUPLE<INT date, INT len, INT mid> DL;
+  TYPEDEF TUPLE<INT bday, INT len, INT mid> BL;
+  GroupByAccum<int y, string city, string gender, string browser, int mo, int len,
+    HeapAccum<DL>(20, date DESC, len DESC) recent,
+    HeapAccum<DL>(20, date ASC, len DESC) earliest,
+    HeapAccum<DL>(20, len DESC, date DESC) longest,
+    HeapAccum<DL>(20, len ASC, date DESC) shortest,
+    HeapAccum<BL>(10, bday ASC, len DESC) oldestAuth,
+    HeapAccum<BL>(10, bday DESC, len DESC) youngestAuth,
+    SumAccum<int> cnt,
+    AvgAccum avgLen> @@gs;
+{body}
+  ACCUM
+    @@gs += (year(m.creationDate), NULL, NULL, NULL, NULL, NULL ->
+        {aggs}),
+    @@gs += (year(m.creationDate), ct.name, NULL, m.browser, month(m.creationDate), m.length ->
+        {aggs}),
+    @@gs += (year(m.creationDate), ct.name, pp.gender, m.browser, month(m.creationDate), NULL ->
+        {aggs});
+  PRINT @@gs.size();
+}}
+"#,
+        body = APPENDIX_B_BODY,
+        aggs = all_aggs
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_core::parser::parse_query;
+
+    #[test]
+    fn all_queries_parse() {
+        for hops in [2, 3, 4] {
+            for q in [ic3(hops), ic5(hops), ic6(hops), ic9(hops), ic11(hops)] {
+                parse_query(&q).unwrap_or_else(|e| panic!("{e}\n{q}"));
+            }
+        }
+        parse_query(&q_acc()).unwrap_or_else(|e| panic!("{e}\n{}", q_acc()));
+        parse_query(&q_gs()).unwrap_or_else(|e| panic!("{e}\n{}", q_gs()));
+    }
+}
+
+/// IS1-like: a person's profile (name, gender, browser, birthday, city).
+pub fn is1() -> String {
+    r#"
+CREATE QUERY is1 (vertex<Person> p) {
+  SELECT DISTINCT q.firstName, q.lastName, q.gender, q.browser, c.name AS city INTO Profile
+  FROM Person:q -(LivesIn>)- City:c
+  WHERE q == p;
+}
+"#
+    .to_string()
+}
+
+/// IS2-like: the 10 most recent messages created by a person.
+pub fn is2() -> String {
+    r#"
+CREATE QUERY is2 (vertex<Person> p) {
+  TYPEDEF TUPLE<INT date, INT mid> Rec;
+  HeapAccum<Rec>(10, date DESC, mid ASC) @@recent;
+  M = SELECT m FROM Person:p -(<HasCreator)- Message:m
+      ACCUM @@recent += (m.creationDate, m.id());
+  PRINT @@recent;
+}
+"#
+    .to_string()
+}
+
+/// IS3-like: a person's direct friends with friendship date, most recent
+/// friendships first.
+pub fn is3() -> String {
+    r#"
+CREATE QUERY is3 (vertex<Person> p) {
+  SELECT DISTINCT f.id AS fid, f.firstName, f.lastName, e.since AS since INTO Friends
+  FROM Person:p -(Knows:e)- Person:f
+  ORDER BY e.since DESC, f.id ASC;
+}
+"#
+    .to_string()
+}
+
+/// IS5-like: the creator of a message.
+pub fn is5() -> String {
+    r#"
+CREATE QUERY is5 (vertex<Message> m) {
+  SELECT DISTINCT q.id AS pid, q.firstName, q.lastName INTO Creator
+  FROM Message:m -(HasCreator>)- Person:q;
+}
+"#
+    .to_string()
+}
+
+/// IS7-like: direct replies to a message, with their authors.
+pub fn is7() -> String {
+    r#"
+CREATE QUERY is7 (vertex<Message> m) {
+  SELECT DISTINCT r.id AS rid, r.creationDate AS date, q.id AS author INTO Replies
+  FROM Message:m -(<ReplyOf)- Message:r -(HasCreator>)- Person:q
+  ORDER BY r.creationDate DESC, r.id ASC;
+}
+"#
+    .to_string()
+}

@@ -1,0 +1,87 @@
+//! The SNB-like schema.
+//!
+//! Entity and relationship names follow LDBC SNB, with two deliberate
+//! simplifications documented in DESIGN.md: `Post` and `Comment` are
+//! merged into a single `Message` vertex type (the IC queries under test
+//! treat them uniformly), and organization types are reduced to
+//! `Company`. `Knows` is **undirected**, which exercises the mixed
+//! directed/undirected data model DARPEs exist for.
+
+use pgraph::schema::{AttrDef, Schema};
+use pgraph::value::ValueType;
+
+/// Builds the SNB-like schema.
+pub fn snb_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_vertex_type(
+        "Person",
+        vec![
+            AttrDef::new("id", ValueType::Int),
+            AttrDef::new("firstName", ValueType::Str),
+            AttrDef::new("lastName", ValueType::Str),
+            AttrDef::new("gender", ValueType::Str),
+            AttrDef::new("browser", ValueType::Str),
+            AttrDef::new("birthday", ValueType::DateTime),
+            AttrDef::new("creationDate", ValueType::DateTime),
+        ],
+    )
+    .unwrap();
+    s.add_vertex_type("City", vec![AttrDef::new("name", ValueType::Str)]).unwrap();
+    s.add_vertex_type("Country", vec![AttrDef::new("name", ValueType::Str)]).unwrap();
+    s.add_vertex_type("Company", vec![AttrDef::new("name", ValueType::Str)]).unwrap();
+    s.add_vertex_type(
+        "Forum",
+        vec![
+            AttrDef::new("title", ValueType::Str),
+            AttrDef::new("creationDate", ValueType::DateTime),
+        ],
+    )
+    .unwrap();
+    s.add_vertex_type(
+        "Message",
+        vec![
+            AttrDef::new("id", ValueType::Int),
+            AttrDef::new("creationDate", ValueType::DateTime),
+            AttrDef::new("length", ValueType::Int),
+            AttrDef::new("browser", ValueType::Str),
+            AttrDef::new("isPost", ValueType::Bool),
+        ],
+    )
+    .unwrap();
+    s.add_vertex_type("Tag", vec![AttrDef::new("name", ValueType::Str)]).unwrap();
+
+    // Knows is undirected, as in SNB.
+    s.add_edge_type("Knows", false, vec![AttrDef::new("since", ValueType::DateTime)])
+        .unwrap();
+    s.add_edge_type("LivesIn", true, vec![]).unwrap(); // Person -> City
+    s.add_edge_type("PartOf", true, vec![]).unwrap(); // City -> Country
+    s.add_edge_type("WorkAt", true, vec![AttrDef::new("workFrom", ValueType::Int)])
+        .unwrap(); // Person -> Company
+    s.add_edge_type("CompanyIn", true, vec![]).unwrap(); // Company -> Country
+    s.add_edge_type("HasCreator", true, vec![]).unwrap(); // Message -> Person
+    s.add_edge_type("MsgIn", true, vec![]).unwrap(); // Message -> Country
+    s.add_edge_type("HasTag", true, vec![]).unwrap(); // Message -> Tag
+    s.add_edge_type("ReplyOf", true, vec![]).unwrap(); // Message -> Message
+    s.add_edge_type("HasMember", true, vec![AttrDef::new("joinDate", ValueType::DateTime)])
+        .unwrap(); // Forum -> Person
+    s.add_edge_type("ContainerOf", true, vec![]).unwrap(); // Forum -> Message
+    s.add_edge_type("Likes", true, vec![AttrDef::new("creationDate", ValueType::DateTime)])
+        .unwrap(); // Person -> Message
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_builds_with_expected_types() {
+        let s = snb_schema();
+        assert_eq!(s.vertex_type_count(), 7);
+        assert_eq!(s.edge_type_count(), 12);
+        let knows = s.edge_type_id("Knows").unwrap();
+        assert!(!s.is_directed(knows));
+        let likes = s.edge_type_id("Likes").unwrap();
+        assert!(s.is_directed(likes));
+    }
+}

@@ -1,0 +1,21 @@
+//! Native (non-GSQL) reference implementations of classic graph
+//! algorithms.
+//!
+//! These exist to **cross-validate the GSQL interpreter**: every iterative
+//! algorithm the paper expresses in GSQL (PageRank of Example 7, the path
+//! counting of Section 7.1, connected components, shortest paths) has a
+//! plain-Rust twin here, and the integration tests assert the two agree.
+
+pub mod bfs;
+pub mod pagerank;
+pub mod scc;
+pub mod sssp;
+pub mod triangles;
+pub mod wcc;
+
+pub use bfs::{count_paths_enumerated, count_shortest_paths, EnumerationPolicy};
+pub use pagerank::pagerank;
+pub use scc::strongly_connected_components;
+pub use sssp::bfs_distances;
+pub use triangles::triangle_count;
+pub use wcc::weakly_connected_components;

@@ -1,0 +1,113 @@
+//! Triangle counting on the undirected view of the graph (every edge is
+//! treated as a symmetric connection). Used by tests exercising
+//! multi-hop fixed-length patterns.
+
+use crate::fxhash::FxHashSet;
+use crate::graph::{Graph, VertexId};
+
+/// Counts unordered triangles {a, b, c} in the undirected view, ignoring
+/// self-loops and collapsing parallel edges.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let n = g.vertex_count();
+    // Neighbor sets restricted to higher-numbered vertices (orientation by
+    // id), the classic counting trick: each triangle is counted once at
+    // its smallest vertex.
+    let mut nbrs: Vec<FxHashSet<u32>> = vec![FxHashSet::default(); n];
+    for e in g.edges() {
+        let (s, t) = g.edge_endpoints(e);
+        if s == t {
+            continue;
+        }
+        let (lo, hi) = if s.0 < t.0 { (s.0, t.0) } else { (t.0, s.0) };
+        nbrs[lo as usize].insert(hi);
+    }
+    let mut count = 0u64;
+    for a in 0..n {
+        let na: Vec<u32> = nbrs[a].iter().copied().collect();
+        for (i, &b) in na.iter().enumerate() {
+            for &c in &na[i + 1..] {
+                let (lo, hi) = if b < c { (b, c) } else { (c, b) };
+                if nbrs[lo as usize].contains(&hi) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+/// Convenience: triangle count through a specific vertex.
+pub fn triangles_through(g: &Graph, v: VertexId) -> u64 {
+    let mut nbrs: FxHashSet<u32> = FxHashSet::default();
+    for a in g.adjacency(v) {
+        if a.other != v {
+            nbrs.insert(a.other.0);
+        }
+    }
+    let list: Vec<u32> = nbrs.iter().copied().collect();
+    let mut count = 0u64;
+    for (i, &b) in list.iter().enumerate() {
+        for &c in &list[i + 1..] {
+            let vb = VertexId(b);
+            if g.adjacency(vb).iter().any(|a| a.other.0 == c) {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::ve_schema;
+    use crate::graph::GraphBuilder;
+    use crate::value::Value;
+
+    fn clique(k: usize) -> Graph {
+        let mut b = GraphBuilder::new(ve_schema());
+        let vs: Vec<_> = (0..k)
+            .map(|i| b.vertex("V", &[("name", Value::from(format!("v{i}")))]).unwrap())
+            .collect();
+        for i in 0..k {
+            for j in (i + 1)..k {
+                b.edge("E", vs[i], vs[j], &[]).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_counts() {
+        assert_eq!(triangle_count(&clique(3)), 1);
+        assert_eq!(triangle_count(&clique(4)), 4);
+        assert_eq!(triangle_count(&clique(5)), 10);
+    }
+
+    #[test]
+    fn path_has_none() {
+        let (g, _) = crate::generators::directed_path(5);
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn parallel_edges_do_not_double_count() {
+        let mut b = GraphBuilder::new(ve_schema());
+        let a = b.vertex("V", &[("name", Value::from("a"))]).unwrap();
+        let c = b.vertex("V", &[("name", Value::from("b"))]).unwrap();
+        let d = b.vertex("V", &[("name", Value::from("c"))]).unwrap();
+        b.edge("E", a, c, &[]).unwrap();
+        b.edge("E", a, c, &[]).unwrap(); // parallel
+        b.edge("E", c, d, &[]).unwrap();
+        b.edge("E", d, a, &[]).unwrap();
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn through_vertex() {
+        let g = clique(4);
+        // Each vertex of K4 participates in C(3,2) = 3 triangles.
+        assert_eq!(triangles_through(&g, VertexId(0)), 3);
+    }
+}

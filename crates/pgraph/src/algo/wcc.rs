@@ -1,0 +1,110 @@
+//! Weakly connected components via union-find (path halving + union by
+//! size). Reference for the GSQL WCC query in the algorithm library.
+
+use crate::graph::Graph;
+
+/// Returns the component label of every vertex (labels are the smallest
+/// vertex id in the component, making the output canonical), plus the
+/// number of components.
+pub fn weakly_connected_components(g: &Graph) -> (Vec<u32>, usize) {
+    let n = g.vertex_count();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut size = vec![1u32; n];
+
+    fn find(parent: &mut [u32], mut x: u32) -> u32 {
+        while parent[x as usize] != x {
+            parent[x as usize] = parent[parent[x as usize] as usize];
+            x = parent[x as usize];
+        }
+        x
+    }
+
+    for e in g.edges() {
+        let (s, t) = g.edge_endpoints(e);
+        let (mut a, mut b) = (find(&mut parent, s.0), find(&mut parent, t.0));
+        if a == b {
+            continue;
+        }
+        if size[a as usize] < size[b as usize] {
+            std::mem::swap(&mut a, &mut b);
+        }
+        parent[b as usize] = a;
+        size[a as usize] += size[b as usize];
+    }
+
+    // Canonical labels: min vertex id per root.
+    let mut min_label = vec![u32::MAX; n];
+    for v in 0..n as u32 {
+        let r = find(&mut parent, v);
+        min_label[r as usize] = min_label[r as usize].min(v);
+    }
+    let mut labels = vec![0u32; n];
+    let mut count = 0usize;
+    for v in 0..n as u32 {
+        let r = find(&mut parent, v);
+        labels[v as usize] = min_label[r as usize];
+        if labels[v as usize] == v {
+            count += 1;
+        }
+    }
+    (labels, count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{directed_path, ve_schema};
+    use crate::graph::GraphBuilder;
+    use crate::value::Value;
+
+    #[test]
+    fn single_path_single_component() {
+        let (g, _) = directed_path(5);
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn isolated_vertices_are_own_components() {
+        let mut b = GraphBuilder::new(ve_schema());
+        for i in 0..4 {
+            b.vertex("V", &[("name", Value::from(format!("v{i}")))]).unwrap();
+        }
+        let g = b.build();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 4);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn two_components() {
+        let mut b = GraphBuilder::new(ve_schema());
+        let vs: Vec<_> = (0..6)
+            .map(|i| b.vertex("V", &[("name", Value::from(format!("v{i}")))]).unwrap())
+            .collect();
+        b.edge("E", vs[0], vs[1], &[]).unwrap();
+        b.edge("E", vs[1], vs[2], &[]).unwrap();
+        b.edge("E", vs[3], vs[4], &[]).unwrap();
+        b.edge("E", vs[4], vs[5], &[]).unwrap();
+        let g = b.build();
+        let (labels, count) = weakly_connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels[0..3], [0, 0, 0]);
+        assert_eq!(labels[3..6], [3, 3, 3]);
+    }
+
+    #[test]
+    fn direction_is_ignored() {
+        // x -> y and z -> y: weakly connected even though not strongly.
+        let mut b = GraphBuilder::new(ve_schema());
+        let x = b.vertex("V", &[("name", Value::from("x"))]).unwrap();
+        let y = b.vertex("V", &[("name", Value::from("y"))]).unwrap();
+        let z = b.vertex("V", &[("name", Value::from("z"))]).unwrap();
+        b.edge("E", x, y, &[]).unwrap();
+        b.edge("E", z, y, &[]).unwrap();
+        let g = b.build();
+        let (_, count) = weakly_connected_components(&g);
+        assert_eq!(count, 1);
+    }
+}

@@ -1,0 +1,337 @@
+//! Arbitrary-precision unsigned counters for path multiplicities.
+//!
+//! All-shortest-paths semantics can legalize **exponentially many** paths
+//! (Example 11 of the paper: `2^k` paths through a k-diamond chain), and
+//! Theorem 6.1 requires *counting* them without enumeration. A fixed-width
+//! integer would overflow beyond `2^64` paths on ~64 diamonds, so the
+//! engine carries multiplicities as [`BigCount`] — a little-endian base
+//! 2^64 unsigned integer supporting exactly the arithmetic the evaluator
+//! needs: addition (BFS count propagation), multiplication (join
+//! multiplicity products, Appendix A), conversion to `f64`/`u64` (for
+//! `μ·i` inputs into numeric accumulators) and decimal display.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer. Invariant: no trailing zero
+/// limbs (the canonical representation of zero is an empty limb vector).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigCount {
+    /// Little-endian base-2^64 limbs.
+    limbs: Vec<u64>,
+}
+
+impl BigCount {
+    /// The zero count.
+    #[inline]
+    pub fn zero() -> Self {
+        BigCount { limbs: Vec::new() }
+    }
+
+    /// The unit count.
+    #[inline]
+    pub fn one() -> Self {
+        BigCount::from(1u64)
+    }
+
+    /// True iff this count is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff this count is exactly one.
+    #[inline]
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// `self += other`.
+    pub fn add_assign(&mut self, other: &BigCount) {
+        let n = self.limbs.len().max(other.limbs.len());
+        self.limbs.resize(n, 0);
+        let mut carry = 0u64;
+        for i in 0..n {
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = self.limbs[i].overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            self.limbs[i] = s2;
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry != 0 {
+            self.limbs.push(carry);
+        }
+    }
+
+    /// `self += k` for a machine-word increment.
+    pub fn add_u64(&mut self, k: u64) {
+        if k == 0 {
+            return;
+        }
+        let mut carry = k;
+        for limb in &mut self.limbs {
+            let (s, c) = limb.overflowing_add(carry);
+            *limb = s;
+            if !c {
+                return;
+            }
+            carry = 1;
+        }
+        self.limbs.push(carry);
+    }
+
+    /// Returns `self * other` (schoolbook multiplication; multiplicity
+    /// products across pattern hops are small in limb count).
+    pub fn mul(&self, other: &BigCount) -> BigCount {
+        if self.is_zero() || other.is_zero() {
+            return BigCount::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            if a == 0 {
+                continue;
+            }
+            let mut carry = 0u128;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry != 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        let mut r = BigCount { limbs: out };
+        r.trim();
+        r
+    }
+
+    /// `self *= k` for a machine-word factor.
+    pub fn mul_u64(&mut self, k: u64) {
+        if k == 0 {
+            self.limbs.clear();
+            return;
+        }
+        if k == 1 {
+            return;
+        }
+        let mut carry = 0u128;
+        for limb in &mut self.limbs {
+            let cur = (*limb as u128) * (k as u128) + carry;
+            *limb = cur as u64;
+            carry = cur >> 64;
+        }
+        while carry != 0 {
+            self.limbs.push(carry as u64);
+            carry >>= 64;
+        }
+    }
+
+    /// Divides in place by a nonzero machine word, returning the remainder.
+    fn div_rem_u64(&mut self, d: u64) -> u64 {
+        debug_assert!(d != 0);
+        let mut rem = 0u128;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 64) | (*limb as u128);
+            *limb = (cur / d as u128) as u64;
+            rem = cur % d as u128;
+        }
+        self.trim();
+        rem as u64
+    }
+
+    /// Lossy conversion to `f64` (used for `μ·i` inputs to floating-point
+    /// accumulators). Saturates to `f64::INFINITY` far beyond any
+    /// realistic count.
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 1.8446744073709552e19 + limb as f64;
+        }
+        acc
+    }
+
+    /// Exact conversion to `u64` if the count fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Exact conversion to `i64` if the count fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        self.to_u64().and_then(|v| i64::try_from(v).ok())
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// `2^k`, the multiplicity of the k-diamond chain experiment.
+    pub fn pow2(k: usize) -> BigCount {
+        let mut limbs = vec![0u64; k / 64 + 1];
+        limbs[k / 64] = 1u64 << (k % 64);
+        let mut r = BigCount { limbs };
+        r.trim();
+        r
+    }
+}
+
+impl From<u64> for BigCount {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigCount::zero()
+        } else {
+            BigCount { limbs: vec![v] }
+        }
+    }
+}
+
+impl From<u128> for BigCount {
+    fn from(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut r = BigCount { limbs: vec![lo, hi] };
+        r.trim();
+        r
+    }
+}
+
+impl PartialOrd for BigCount {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigCount {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            o => o,
+        }
+    }
+}
+
+impl fmt::Display for BigCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel 19 decimal digits at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut work = self.clone();
+        let mut parts: Vec<u64> = Vec::new();
+        while !work.is_zero() {
+            parts.push(work.div_rem_u64(CHUNK));
+        }
+        let mut it = parts.iter().rev();
+        if let Some(first) = it.next() {
+            write!(f, "{first}")?;
+        }
+        for p in it {
+            write!(f, "{p:019}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for BigCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigCount({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigCount::zero().is_zero());
+        assert!(BigCount::one().is_one());
+        assert_eq!(BigCount::zero().to_string(), "0");
+        assert_eq!(BigCount::one().to_string(), "1");
+    }
+
+    #[test]
+    fn addition_with_carry() {
+        let mut a = BigCount::from(u64::MAX);
+        a.add_u64(1);
+        assert_eq!(a.to_string(), "18446744073709551616");
+        assert_eq!(a.bits(), 65);
+    }
+
+    #[test]
+    fn add_assign_big() {
+        let mut a = BigCount::pow2(100);
+        let b = BigCount::pow2(100);
+        a.add_assign(&b);
+        assert_eq!(a, BigCount::pow2(101));
+    }
+
+    #[test]
+    fn multiplication() {
+        let a = BigCount::pow2(70);
+        let b = BigCount::pow2(60);
+        assert_eq!(a.mul(&b), BigCount::pow2(130));
+        let mut c = BigCount::from(3u64);
+        c.mul_u64(5);
+        assert_eq!(c.to_u64(), Some(15));
+    }
+
+    #[test]
+    fn mul_by_zero_clears() {
+        let mut a = BigCount::pow2(200);
+        a.mul_u64(0);
+        assert!(a.is_zero());
+        assert!(BigCount::pow2(3).mul(&BigCount::zero()).is_zero());
+    }
+
+    #[test]
+    fn display_matches_known_powers() {
+        assert_eq!(BigCount::pow2(10).to_string(), "1024");
+        assert_eq!(BigCount::pow2(30).to_string(), "1073741824");
+        assert_eq!(
+            BigCount::pow2(128).to_string(),
+            "340282366920938463463374607431768211456"
+        );
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(BigCount::pow2(65) > BigCount::from(u64::MAX));
+        assert!(BigCount::from(2u64) < BigCount::from(3u64));
+        assert_eq!(BigCount::pow2(0), BigCount::one());
+    }
+
+    #[test]
+    fn f64_conversion_is_close() {
+        let v = BigCount::pow2(80);
+        let expect = (2f64).powi(80);
+        assert!((v.to_f64() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(BigCount::from(v).to_u64(), Some(v));
+        }
+        assert_eq!(BigCount::pow2(64).to_u64(), None);
+    }
+}

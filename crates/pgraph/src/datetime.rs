@@ -1,0 +1,98 @@
+//! Civil-calendar helpers for `DATETIME` values (epoch seconds).
+//!
+//! The LDBC-style workloads group by publication year and month, so the
+//! evaluator needs `year(ts)` / `month(ts)` / `day(ts)` and the inverse
+//! `to_epoch(y, m, d)`. Implemented with Howard Hinnant's proleptic-
+//! Gregorian `days_from_civil` algorithm — exact, allocation-free and
+//! dependency-free.
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    debug_assert!((1..=12).contains(&m));
+    debug_assert!((1..=31).contains(&d));
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400; // [0, 399]
+    let mp = (m + 9) % 12; // March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy as i64; // [0, 146096]
+    era * 146097 + doe - 719468
+}
+
+/// Civil date `(year, month, day)` from days since 1970-01-01.
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Epoch seconds at midnight of a civil date.
+pub fn to_epoch(y: i64, m: u32, d: u32) -> i64 {
+    days_from_civil(y, m, d) * 86_400
+}
+
+/// Year of an epoch-seconds timestamp.
+pub fn year(ts: i64) -> i64 {
+    civil_from_days(ts.div_euclid(86_400)).0
+}
+
+/// Month (1–12) of an epoch-seconds timestamp.
+pub fn month(ts: i64) -> i64 {
+    civil_from_days(ts.div_euclid(86_400)).1 as i64
+}
+
+/// Day of month (1–31) of an epoch-seconds timestamp.
+pub fn day(ts: i64) -> i64 {
+    civil_from_days(ts.div_euclid(86_400)).2 as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_1970_01_01() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn known_dates() {
+        // 2010-06-15 00:00:00 UTC = 1276560000
+        assert_eq!(to_epoch(2010, 6, 15), 1_276_560_000);
+        assert_eq!(year(1_276_560_000), 2010);
+        assert_eq!(month(1_276_560_000), 6);
+        assert_eq!(day(1_276_560_000), 15);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(civil_from_days(days_from_civil(2000, 2, 29)), (2000, 2, 29));
+        assert_eq!(civil_from_days(days_from_civil(2012, 2, 29)), (2012, 2, 29));
+        // 1900 was not a leap year: Feb 28 + 1 day = Mar 1.
+        assert_eq!(civil_from_days(days_from_civil(1900, 2, 28) + 1), (1900, 3, 1));
+    }
+
+    #[test]
+    fn round_trip_every_day_of_a_decade() {
+        let start = days_from_civil(2009, 12, 28);
+        let end = days_from_civil(2020, 1, 4);
+        for z in start..=end {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn negative_timestamps() {
+        assert_eq!(year(-86_400), 1969);
+        assert_eq!((year(-1), month(-1), day(-1)), (1969, 12, 31));
+    }
+}

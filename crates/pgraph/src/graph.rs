@@ -1,0 +1,502 @@
+//! In-memory property graph storage.
+//!
+//! Vertices and edges carry typed attribute rows; adjacency is stored per
+//! vertex as a flat, type-and-direction tagged list so the DARPE matcher
+//! can walk `(edge type, direction)`-labelled transitions in O(degree).
+
+use crate::schema::{ETypeId, Schema, SchemaError, VTypeId};
+use crate::value::Value;
+use std::fmt;
+
+/// Identifier of a vertex (dense, global across vertex types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VertexId(pub u32);
+
+/// Identifier of an edge (dense, global across edge types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+/// The direction in which an adjacency entry crosses its edge, viewed from
+/// the owning vertex:
+///
+/// * `Out` — a directed edge leaving the vertex (matches `E>`),
+/// * `In`  — a directed edge entering the vertex (matches `<E`),
+/// * `Und` — an undirected edge incident to the vertex (matches `E`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    Out,
+    In,
+    Und,
+}
+
+/// One adjacency record: crossing `edge` from the owning vertex reaches
+/// `other`, traversing in direction `dir`, and the edge has type `etype`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdjEntry {
+    pub etype: ETypeId,
+    pub dir: Dir,
+    pub edge: EdgeId,
+    pub other: VertexId,
+}
+
+#[derive(Debug, Clone)]
+struct VertexData {
+    vtype: VTypeId,
+    attrs: Box<[Value]>,
+}
+
+#[derive(Debug, Clone)]
+struct EdgeData {
+    etype: ETypeId,
+    src: VertexId,
+    dst: VertexId,
+    attrs: Box<[Value]>,
+}
+
+/// Errors raised by graph mutation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    Schema(SchemaError),
+    BadVertexId(VertexId),
+    BadEdgeId(EdgeId),
+    AttrArity { expected: usize, got: usize },
+    EndpointType { edge_type: String, endpoint: String },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Schema(e) => write!(f, "{e}"),
+            GraphError::BadVertexId(v) => write!(f, "vertex id {} out of range", v.0),
+            GraphError::BadEdgeId(e) => write!(f, "edge id {} out of range", e.0),
+            GraphError::AttrArity { expected, got } => {
+                write!(f, "expected {expected} attribute values, got {got}")
+            }
+            GraphError::EndpointType { edge_type, endpoint } => {
+                write!(f, "edge type `{edge_type}` does not allow endpoint type `{endpoint}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<SchemaError> for GraphError {
+    fn from(e: SchemaError) -> Self {
+        GraphError::Schema(e)
+    }
+}
+
+/// The property graph: schema + vertex/edge stores + adjacency.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    schema: Schema,
+    vertices: Vec<VertexData>,
+    edges: Vec<EdgeData>,
+    by_type: Vec<Vec<VertexId>>,
+    adjacency: Vec<Vec<AdjEntry>>,
+}
+
+impl Graph {
+    /// Creates an empty graph over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let nt = schema.vertex_type_count();
+        Graph {
+            schema,
+            vertices: Vec::new(),
+            edges: Vec::new(),
+            by_type: vec![Vec::new(); nt],
+            adjacency: Vec::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds a vertex of type `vt`. `attrs` must match the declared arity;
+    /// missing trailing values are *not* defaulted — use
+    /// [`GraphBuilder`] for name-based convenience.
+    pub fn add_vertex(&mut self, vt: VTypeId, attrs: Vec<Value>) -> Result<VertexId, GraphError> {
+        let def = self.schema.vertex_type(vt);
+        if attrs.len() != def.attrs.len() {
+            return Err(GraphError::AttrArity {
+                expected: def.attrs.len(),
+                got: attrs.len(),
+            });
+        }
+        let id = VertexId(self.vertices.len() as u32);
+        self.vertices.push(VertexData {
+            vtype: vt,
+            attrs: attrs.into_boxed_slice(),
+        });
+        self.by_type[vt.0 as usize].push(id);
+        self.adjacency.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds an edge of type `et` from `src` to `dst`. For undirected edge
+    /// types the (src, dst) order is storage-only; traversal treats both
+    /// endpoints symmetrically.
+    pub fn add_edge(
+        &mut self,
+        et: ETypeId,
+        src: VertexId,
+        dst: VertexId,
+        attrs: Vec<Value>,
+    ) -> Result<EdgeId, GraphError> {
+        if src.0 as usize >= self.vertices.len() {
+            return Err(GraphError::BadVertexId(src));
+        }
+        if dst.0 as usize >= self.vertices.len() {
+            return Err(GraphError::BadVertexId(dst));
+        }
+        let def = self.schema.edge_type(et);
+        if attrs.len() != def.attrs.len() {
+            return Err(GraphError::AttrArity {
+                expected: def.attrs.len(),
+                got: attrs.len(),
+            });
+        }
+        let src_t = self.vertices[src.0 as usize].vtype;
+        let dst_t = self.vertices[dst.0 as usize].vtype;
+        if !def.from_types.is_empty() && !def.from_types.contains(&src_t) {
+            return Err(GraphError::EndpointType {
+                edge_type: def.name.clone(),
+                endpoint: self.schema.vertex_type(src_t).name.clone(),
+            });
+        }
+        if !def.to_types.is_empty() && !def.to_types.contains(&dst_t) {
+            return Err(GraphError::EndpointType {
+                edge_type: def.name.clone(),
+                endpoint: self.schema.vertex_type(dst_t).name.clone(),
+            });
+        }
+        let directed = def.directed;
+        let id = EdgeId(self.edges.len() as u32);
+        self.edges.push(EdgeData { etype: et, src, dst, attrs: attrs.into_boxed_slice() });
+        if directed {
+            self.adjacency[src.0 as usize].push(AdjEntry { etype: et, dir: Dir::Out, edge: id, other: dst });
+            self.adjacency[dst.0 as usize].push(AdjEntry { etype: et, dir: Dir::In, edge: id, other: src });
+        } else {
+            self.adjacency[src.0 as usize].push(AdjEntry { etype: et, dir: Dir::Und, edge: id, other: dst });
+            if src != dst {
+                self.adjacency[dst.0 as usize].push(AdjEntry { etype: et, dir: Dir::Und, edge: id, other: src });
+            }
+        }
+        Ok(id)
+    }
+
+    /// The type of vertex `v`.
+    pub fn vertex_type_of(&self, v: VertexId) -> VTypeId {
+        self.vertices[v.0 as usize].vtype
+    }
+
+    /// The type of edge `e`.
+    pub fn edge_type_of(&self, e: EdgeId) -> ETypeId {
+        self.edges[e.0 as usize].etype
+    }
+
+    /// Source and target of edge `e` as stored.
+    pub fn edge_endpoints(&self, e: EdgeId) -> (VertexId, VertexId) {
+        let d = &self.edges[e.0 as usize];
+        (d.src, d.dst)
+    }
+
+    /// Vertex attribute by column index.
+    pub fn vertex_attr(&self, v: VertexId, idx: usize) -> &Value {
+        &self.vertices[v.0 as usize].attrs[idx]
+    }
+
+    /// Vertex attribute by name (schema lookup each call; the evaluator
+    /// caches indices instead).
+    pub fn vertex_attr_by_name(&self, v: VertexId, name: &str) -> Option<&Value> {
+        let vt = self.vertex_type_of(v);
+        let idx = self.schema.vertex_attr_index(vt, name)?;
+        Some(self.vertex_attr(v, idx))
+    }
+
+    /// Edge attribute by column index.
+    pub fn edge_attr(&self, e: EdgeId, idx: usize) -> &Value {
+        &self.edges[e.0 as usize].attrs[idx]
+    }
+
+    /// Edge attribute by name.
+    pub fn edge_attr_by_name(&self, e: EdgeId, name: &str) -> Option<&Value> {
+        let et = self.edge_type_of(e);
+        let idx = self.schema.edge_attr_index(et, name)?;
+        Some(self.edge_attr(e, idx))
+    }
+
+    /// Overwrites a vertex attribute (used by loaders and mutation tests).
+    pub fn set_vertex_attr(&mut self, v: VertexId, idx: usize, value: Value) {
+        self.vertices[v.0 as usize].attrs[idx] = value;
+    }
+
+    /// All adjacency entries of `v`.
+    pub fn adjacency(&self, v: VertexId) -> &[AdjEntry] {
+        &self.adjacency[v.0 as usize]
+    }
+
+    /// All vertices of type `vt`, in insertion order.
+    pub fn vertices_of_type(&self, vt: VTypeId) -> &[VertexId] {
+        &self.by_type[vt.0 as usize]
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.vertices.len() as u32).map(VertexId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// GSQL's `v.outdegree()`: number of edges leaving `v` (directed out
+    /// plus undirected incident). With `etype`, restricted to that type.
+    pub fn outdegree(&self, v: VertexId, etype: Option<ETypeId>) -> usize {
+        self.adjacency[v.0 as usize]
+            .iter()
+            .filter(|a| a.dir != Dir::In && etype.is_none_or(|t| a.etype == t))
+            .count()
+    }
+
+    /// Number of edges entering `v` (directed in plus undirected incident).
+    pub fn indegree(&self, v: VertexId, etype: Option<ETypeId>) -> usize {
+        self.adjacency[v.0 as usize]
+            .iter()
+            .filter(|a| a.dir != Dir::Out && etype.is_none_or(|t| a.etype == t))
+            .count()
+    }
+
+    /// Total degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.adjacency[v.0 as usize].len()
+    }
+}
+
+/// A convenience layer over [`Graph`] resolving type and attribute names
+/// once and defaulting unspecified attributes — the ergonomic way to build
+/// example graphs.
+pub struct GraphBuilder {
+    graph: Graph,
+}
+
+impl GraphBuilder {
+    pub fn new(schema: Schema) -> Self {
+        GraphBuilder { graph: Graph::new(schema) }
+    }
+
+    /// Adds a vertex by type name with `(attr name, value)` pairs; omitted
+    /// attributes take their type default.
+    pub fn vertex(
+        &mut self,
+        type_name: &str,
+        attrs: &[(&str, Value)],
+    ) -> Result<VertexId, GraphError> {
+        let vt = self
+            .graph
+            .schema
+            .vertex_type_id(type_name)
+            .ok_or_else(|| SchemaError::UnknownVertexType(type_name.to_string()))?;
+        let def = self.graph.schema.vertex_type(vt);
+        let mut row: Vec<Value> = def.attrs.iter().map(|a| a.ty.default_value()).collect();
+        for (name, value) in attrs {
+            let idx = self
+                .graph
+                .schema
+                .vertex_attr_index(vt, name)
+                .ok_or_else(|| SchemaError::UnknownAttribute {
+                    owner: type_name.to_string(),
+                    attr: name.to_string(),
+                })?;
+            row[idx] = value.clone();
+        }
+        self.graph.add_vertex(vt, row)
+    }
+
+    /// Adds an edge by type name with named attributes.
+    pub fn edge(
+        &mut self,
+        type_name: &str,
+        src: VertexId,
+        dst: VertexId,
+        attrs: &[(&str, Value)],
+    ) -> Result<EdgeId, GraphError> {
+        let et = self
+            .graph
+            .schema
+            .edge_type_id(type_name)
+            .ok_or_else(|| SchemaError::UnknownEdgeType(type_name.to_string()))?;
+        let def = self.graph.schema.edge_type(et);
+        let mut row: Vec<Value> = def.attrs.iter().map(|a| a.ty.default_value()).collect();
+        for (name, value) in attrs {
+            let idx = self
+                .graph
+                .schema
+                .edge_attr_index(et, name)
+                .ok_or_else(|| SchemaError::UnknownAttribute {
+                    owner: type_name.to_string(),
+                    attr: name.to_string(),
+                })?;
+            row[idx] = value.clone();
+        }
+        self.graph.add_edge(et, src, dst, row)
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> Graph {
+        self.graph
+    }
+
+    /// Read access to the graph under construction.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrDef;
+    use crate::value::ValueType;
+
+    fn mixed_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_vertex_type("Person", vec![AttrDef::new("name", ValueType::Str)])
+            .unwrap();
+        s.add_edge_type("Follows", true, vec![]).unwrap();
+        s.add_edge_type(
+            "Knows",
+            false,
+            vec![AttrDef::new("since", ValueType::Int)],
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn directed_adjacency_both_sides() {
+        let mut g = Graph::new(mixed_schema());
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let et = g.schema().edge_type_id("Follows").unwrap();
+        let a = g.add_vertex(vt, vec![Value::from("a")]).unwrap();
+        let b = g.add_vertex(vt, vec![Value::from("b")]).unwrap();
+        let e = g.add_edge(et, a, b, vec![]).unwrap();
+        assert_eq!(
+            g.adjacency(a),
+            &[AdjEntry { etype: et, dir: Dir::Out, edge: e, other: b }]
+        );
+        assert_eq!(
+            g.adjacency(b),
+            &[AdjEntry { etype: et, dir: Dir::In, edge: e, other: a }]
+        );
+        assert_eq!(g.outdegree(a, None), 1);
+        assert_eq!(g.outdegree(b, None), 0);
+        assert_eq!(g.indegree(b, None), 1);
+    }
+
+    #[test]
+    fn undirected_adjacency_symmetric() {
+        let mut g = Graph::new(mixed_schema());
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let et = g.schema().edge_type_id("Knows").unwrap();
+        let a = g.add_vertex(vt, vec![Value::from("a")]).unwrap();
+        let b = g.add_vertex(vt, vec![Value::from("b")]).unwrap();
+        g.add_edge(et, a, b, vec![Value::Int(2016)]).unwrap();
+        assert_eq!(g.adjacency(a)[0].dir, Dir::Und);
+        assert_eq!(g.adjacency(b)[0].dir, Dir::Und);
+        assert_eq!(g.adjacency(a)[0].other, b);
+        assert_eq!(g.adjacency(b)[0].other, a);
+        // Undirected edges count toward both out- and in-degree.
+        assert_eq!(g.outdegree(a, None), 1);
+        assert_eq!(g.indegree(a, None), 1);
+    }
+
+    #[test]
+    fn undirected_self_loop_recorded_once() {
+        let mut g = Graph::new(mixed_schema());
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let et = g.schema().edge_type_id("Knows").unwrap();
+        let a = g.add_vertex(vt, vec![Value::from("a")]).unwrap();
+        g.add_edge(et, a, a, vec![Value::Int(0)]).unwrap();
+        assert_eq!(g.adjacency(a).len(), 1);
+    }
+
+    #[test]
+    fn attribute_access() {
+        let mut g = Graph::new(mixed_schema());
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let et = g.schema().edge_type_id("Knows").unwrap();
+        let a = g.add_vertex(vt, vec![Value::from("alice")]).unwrap();
+        let b = g.add_vertex(vt, vec![Value::from("bob")]).unwrap();
+        let e = g.add_edge(et, a, b, vec![Value::Int(2016)]).unwrap();
+        assert_eq!(g.vertex_attr_by_name(a, "name"), Some(&Value::from("alice")));
+        assert_eq!(g.edge_attr_by_name(e, "since"), Some(&Value::Int(2016)));
+        assert_eq!(g.vertex_attr_by_name(a, "nope"), None);
+    }
+
+    #[test]
+    fn arity_and_id_errors() {
+        let mut g = Graph::new(mixed_schema());
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let et = g.schema().edge_type_id("Follows").unwrap();
+        assert!(matches!(
+            g.add_vertex(vt, vec![]),
+            Err(GraphError::AttrArity { expected: 1, got: 0 })
+        ));
+        let a = g.add_vertex(vt, vec![Value::from("a")]).unwrap();
+        assert!(matches!(
+            g.add_edge(et, a, VertexId(99), vec![]),
+            Err(GraphError::BadVertexId(_))
+        ));
+    }
+
+    #[test]
+    fn endpoint_constraints_enforced() {
+        let mut s = Schema::new();
+        let p = s.add_vertex_type("P", vec![]).unwrap();
+        let q = s.add_vertex_type("Q", vec![]).unwrap();
+        s.add_edge_type_between("PQ", true, vec![p], vec![q], vec![])
+            .unwrap();
+        let mut g = Graph::new(s);
+        let et = g.schema().edge_type_id("PQ").unwrap();
+        let vp = g.add_vertex(p, vec![]).unwrap();
+        let vq = g.add_vertex(q, vec![]).unwrap();
+        assert!(g.add_edge(et, vp, vq, vec![]).is_ok());
+        assert!(matches!(
+            g.add_edge(et, vq, vp, vec![]),
+            Err(GraphError::EndpointType { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_defaults_and_names() {
+        let mut b = GraphBuilder::new(mixed_schema());
+        let a = b.vertex("Person", &[("name", Value::from("a"))]).unwrap();
+        let c = b.vertex("Person", &[]).unwrap();
+        b.edge("Knows", a, c, &[("since", Value::Int(2020))]).unwrap();
+        let g = b.build();
+        assert_eq!(g.vertex_attr_by_name(c, "name"), Some(&Value::Str(String::new())));
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn vertices_of_type_tracks_insertion() {
+        let mut g = Graph::new(mixed_schema());
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let a = g.add_vertex(vt, vec![Value::from("a")]).unwrap();
+        let b = g.add_vertex(vt, vec![Value::from("b")]).unwrap();
+        assert_eq!(g.vertices_of_type(vt), &[a, b]);
+    }
+}

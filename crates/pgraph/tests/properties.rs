@@ -1,0 +1,134 @@
+//! Property-based tests for the pgraph substrate: BigCount arithmetic
+//! against u128 ground truth, loader round-trips on random graphs, and
+//! BFS-counting invariants.
+
+use pgraph::bigcount::BigCount;
+use pgraph::generators::{erdos_renyi, grid, ve_schema};
+use pgraph::graph::{Graph, GraphBuilder, VertexId};
+use pgraph::loader::{load_from_string, save_to_string};
+use pgraph::value::Value;
+use proptest::prelude::*;
+
+proptest! {
+    /// BigCount addition agrees with u128 on values that fit.
+    #[test]
+    fn bigcount_add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        let mut x = BigCount::from(a);
+        x.add_assign(&BigCount::from(b));
+        prop_assert_eq!(x, BigCount::from(a + b));
+    }
+
+    /// BigCount multiplication agrees with u128 on values that fit.
+    #[test]
+    fn bigcount_mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        let x = BigCount::from(a).mul(&BigCount::from(b));
+        prop_assert_eq!(x, BigCount::from(a as u128 * b as u128));
+    }
+
+    /// mul_u64 equals full mul.
+    #[test]
+    fn bigcount_mul_u64_matches_mul(a in 0u128..u128::MAX, k in 0u64..u64::MAX) {
+        let mut x = BigCount::from(a);
+        x.mul_u64(k);
+        prop_assert_eq!(x, BigCount::from(a).mul(&BigCount::from(k)));
+    }
+
+    /// Display produces the same decimal string as u128 formatting.
+    #[test]
+    fn bigcount_display_matches_u128(a in 0u128..u128::MAX) {
+        prop_assert_eq!(BigCount::from(a).to_string(), a.to_string());
+    }
+
+    /// Ordering agrees with u128 ordering.
+    #[test]
+    fn bigcount_ordering_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+        prop_assert_eq!(BigCount::from(a).cmp(&BigCount::from(b)), a.cmp(&b));
+    }
+
+    /// Addition is commutative even across very different magnitudes.
+    #[test]
+    fn bigcount_add_commutes(bits_a in 0usize..300, bits_b in 0usize..300) {
+        let a = BigCount::pow2(bits_a);
+        let b = BigCount::pow2(bits_b);
+        let mut x = a.clone();
+        x.add_assign(&b);
+        let mut y = b.clone();
+        y.add_assign(&a);
+        prop_assert_eq!(x, y);
+    }
+}
+
+fn random_graph(n: usize, p: f64, seed: u64) -> Graph {
+    erdos_renyi(n, p, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Loader round-trips random graphs byte-identically.
+    #[test]
+    fn loader_round_trips(n in 1usize..40, p in 0.0f64..0.3, seed in 0u64..1000) {
+        let g = random_graph(n, p, seed);
+        let text = save_to_string(&g);
+        let g2 = load_from_string(&text).unwrap();
+        prop_assert_eq!(g.vertex_count(), g2.vertex_count());
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        prop_assert_eq!(save_to_string(&g2), text);
+    }
+
+    /// BFS path counting is monotone under edge addition: adding an edge
+    /// never decreases the number of distinct shortest paths *unless* it
+    /// shortens the distance (in which case the distance drops).
+    #[test]
+    fn counting_monotonicity(n in 4usize..25, p in 0.05f64..0.3, seed in 0u64..500) {
+        let g = random_graph(n, p, seed);
+        let src = VertexId(0);
+        let dst = VertexId((n - 1) as u32);
+        let before = pgraph::algo::count_shortest_paths(&g, src, dst);
+        // Re-add an existing edge (a parallel edge): distance unchanged,
+        // count cannot shrink.
+        if g.edge_count() > 0 {
+            let mut g2 = g.clone();
+            let e0 = g2.edges().next().unwrap();
+            let (s, t) = g2.edge_endpoints(e0);
+            let et = g2.edge_type_of(e0);
+            g2.add_edge(et, s, t, vec![]).unwrap();
+            let after = pgraph::algo::count_shortest_paths(&g2, src, dst);
+            match (before, after) {
+                (Some((d1, c1)), Some((d2, c2))) => {
+                    prop_assert_eq!(d1, d2);
+                    prop_assert!(c2 >= c1);
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "reachability changed: {:?}", other),
+            }
+        }
+    }
+
+    /// Grid path counts are binomial coefficients for arbitrary small
+    /// grids.
+    #[test]
+    fn grid_counts_binomial(w in 2usize..7, h in 2usize..7) {
+        let (g, m) = grid(w, h);
+        let (len, cnt) =
+            pgraph::algo::count_shortest_paths(&g, m[0][0], m[h - 1][w - 1]).unwrap();
+        prop_assert_eq!(len, w + h - 2);
+        // C(w+h-2, w-1)
+        let mut expect = 1u128;
+        for i in 0..(w - 1) {
+            expect = expect * (h - 1 + i + 1) as u128 / (i + 1) as u128;
+        }
+        prop_assert_eq!(cnt, BigCount::from(expect));
+    }
+}
+
+/// Attribute mutation round-trips through the loader.
+#[test]
+fn set_vertex_attr_persists() {
+    let mut b = GraphBuilder::new(ve_schema());
+    let v = b.vertex("V", &[("name", Value::from("old"))]).unwrap();
+    let mut g = b.build();
+    g.set_vertex_attr(v, 0, Value::from("new"));
+    let g2 = load_from_string(&save_to_string(&g)).unwrap();
+    assert_eq!(g2.vertex_attr_by_name(v, "name"), Some(&Value::from("new")));
+}

@@ -1,0 +1,51 @@
+//! Quickstart: build the paper's SalesGraph, run the Example 4/5
+//! accumulator queries, and register a user-defined accumulator.
+//!
+//! ```sh
+//! cargo run -p bench --example quickstart
+//! ```
+
+use accum::user::ProductAccum;
+use gsql_core::{stdlib, Engine};
+use pgraph::generators::sales_graph;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A property graph with customers, products and purchases.
+    let graph = sales_graph();
+    println!(
+        "SalesGraph: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    // 2. Example 4: single-pass tree-way aggregation — revenue per
+    // customer, revenue per toy and total revenue, all in one traversal.
+    let engine = Engine::new(&graph);
+    let out = engine.run_text(stdlib::example5_multi_output(), &[])?;
+    for name in ["PerCust", "PerToy", "Total"] {
+        println!("\n{}", out.table(name).unwrap());
+    }
+
+    // 3. A user-defined accumulator: the product of all toy prices.
+    let mut engine = Engine::new(&graph);
+    engine
+        .registry_mut()
+        .register("ProductAccum", || Box::<ProductAccum>::default());
+    let out = engine.run_text(
+        r#"
+        CREATE QUERY PriceProduct () {
+          ProductAccum @@prod;
+          S = SELECT p FROM Product:p
+              WHERE p.category == 'toy'
+              ACCUM @@prod += p.list_price;
+          PRINT @@prod AS priceProduct;
+        }
+        "#,
+        &[],
+    )?;
+    println!();
+    for line in &out.prints {
+        println!("{line}");
+    }
+    Ok(())
+}

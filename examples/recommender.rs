@@ -1,0 +1,37 @@
+//! Example 6 (Figure 3): the two-pass TopKToys recommender. The first
+//! block computes log-cosine similarity into the `@lc` vertex
+//! accumulator; the second block reads it — composition via accumulators.
+//!
+//! ```sh
+//! cargo run -p bench --example recommender
+//! ```
+
+use gsql_core::exec::ReturnValue;
+use gsql_core::{stdlib, Engine};
+use pgraph::generators::sales_graph;
+use pgraph::value::Value;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = sales_graph();
+    let engine = Engine::new(&graph);
+    let customer_t = graph.schema().vertex_type_id("Customer").unwrap();
+
+    for &customer in graph.vertices_of_type(customer_t) {
+        let name = graph.vertex_attr_by_name(customer, "name").unwrap().clone();
+        let out = engine.run_text(
+            stdlib::example6_topk_toys(),
+            &[("c", Value::Vertex(customer)), ("k", Value::Int(3))],
+        )?;
+        let Some(ReturnValue::Table(recs)) = out.returned else {
+            panic!("TopKToys must return a table")
+        };
+        println!("recommendations for {name}:");
+        if recs.is_empty() {
+            println!("  (no co-liking customers)");
+        }
+        for row in &recs.rows {
+            println!("  {} (rank {})", row[0], row[1]);
+        }
+    }
+    Ok(())
+}

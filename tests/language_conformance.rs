@@ -1,0 +1,578 @@
+//! Language-conformance suite: every clause and accumulator type the
+//! engine supports, exercised end-to-end with hand-checkable answers on
+//! the fixed SalesGraph / LinkedIn fixtures.
+
+use gsql_core::exec::ReturnValue;
+use gsql_core::{Engine, Error, Table};
+use pgraph::generators::{sales_graph, ve_schema};
+use pgraph::graph::GraphBuilder;
+use pgraph::value::Value;
+
+fn run(src: &str) -> gsql_core::QueryOutput {
+    let g = sales_graph();
+    Engine::new(&g).run_text(src, &[]).unwrap_or_else(|e| panic!("{e}\n{src}"))
+}
+
+fn run_args(src: &str, args: &[(&str, Value)]) -> gsql_core::QueryOutput {
+    let g = sales_graph();
+    Engine::new(&g).run_text(src, args).unwrap_or_else(|e| panic!("{e}\n{src}"))
+}
+
+#[test]
+fn group_by_having_order_limit() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT p.category AS cat, count(*) AS cnt, sum(b.quantity) AS q INTO T
+          FROM  Customer:c -(Bought>:b)- Product:p
+          GROUP BY p.category
+          HAVING count(*) >= 2
+          ORDER BY sum(b.quantity) DESC
+          LIMIT 2;
+        }
+    "#);
+    // toys: 4 purchases, qty 2+1+1+4=8; books: 2 purchases, qty 3+1=4.
+    let t = out.table("T").unwrap();
+    assert_eq!(
+        t.rows,
+        vec![
+            vec![Value::from("toy"), Value::Int(4), Value::Double(8.0)],
+            vec![Value::from("book"), Value::Int(2), Value::Double(4.0)],
+        ]
+    );
+}
+
+#[test]
+fn grouping_sets_produce_null_padded_union() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT p.category AS cat, c.name AS cust, count(*) AS cnt INTO T
+          FROM  Customer:c -(Bought>)- Product:p
+          GROUP BY GROUPING SETS ((p.category), (c.name), ());
+        }
+    "#);
+    let t = out.table("T").unwrap();
+    // 2 category groups + 4 customer groups + 1 grand total.
+    assert_eq!(t.rows.len(), 7);
+    let grand: Vec<_> = t
+        .rows
+        .iter()
+        .filter(|r| r[0] == Value::Null && r[1] == Value::Null)
+        .collect();
+    assert_eq!(grand, vec![&vec![Value::Null, Value::Null, Value::Int(6)]]);
+    let toy = t
+        .rows
+        .iter()
+        .find(|r| r[0] == Value::from("toy"))
+        .unwrap();
+    assert_eq!(toy[2], Value::Int(4));
+}
+
+#[test]
+fn cube_has_all_subsets() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT p.category AS cat, c.name AS cust, count(*) AS cnt INTO T
+          FROM  Customer:c -(Bought>)- Product:p
+          GROUP BY CUBE (p.category, c.name);
+        }
+    "#);
+    // (): 1, (cat): 2, (cust): 4, (cat,cust): 5 distinct pairs
+    // (alice-toy, bob-toy, bob-book, carol-toy, dave-book).
+    assert_eq!(out.table("T").unwrap().rows.len(), 1 + 2 + 4 + 5);
+}
+
+#[test]
+fn avg_min_max_aggregates() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT avg(p.list_price) AS a, min(p.list_price) AS lo, max(p.list_price) AS hi INTO T
+          FROM Product:p;
+        }
+    "#);
+    let t = out.table("T").unwrap();
+    assert_eq!(
+        t.rows,
+        vec![vec![Value::Double(75.0 / 4.0), Value::Double(10.0), Value::Double(30.0)]]
+    );
+}
+
+#[test]
+fn while_loop_with_limit_and_if() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SumAccum<int> @@i, @@evens;
+          WHILE true LIMIT 10 DO
+            @@i += 1;
+            IF @@i % 2 == 0 THEN @@evens += 1; END;
+          END;
+          PRINT @@i, @@evens;
+        }
+    "#);
+    assert_eq!(out.prints, vec!["@@i = 10".to_string(), "@@evens = 5".to_string()]);
+}
+
+#[test]
+fn foreach_over_collections() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          ListAccum<int> @@xs;
+          SumAccum<int> @@sum;
+          @@xs += 3; @@xs += 4; @@xs += 5;
+          FOREACH x IN @@xs DO @@sum += x; END;
+          PRINT @@sum;
+        }
+    "#);
+    assert_eq!(out.prints, vec!["@@sum = 12".to_string()]);
+}
+
+#[test]
+fn set_bag_list_map_accums() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SetAccum<string> @@cats;
+          BagAccum<string> @@catBag;
+          MapAccum<string, SumAccum<int>> @@perCat;
+          S = SELECT p FROM Customer:c -(Bought>)- Product:p
+              ACCUM @@cats += p.category,
+                    @@catBag += p.category,
+                    @@perCat += (p.category -> 1);
+          PRINT @@cats, @@catBag, @@perCat;
+        }
+    "#);
+    assert_eq!(
+        out.prints,
+        vec![
+            "@@cats = {book, toy}".to_string(),
+            "@@catBag = {book -> 2, toy -> 4}".to_string(),
+            "@@perCat = {book -> 2, toy -> 4}".to_string(),
+        ]
+    );
+}
+
+#[test]
+fn heap_accum_with_typedef() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          TYPEDEF TUPLE<FLOAT price, STRING name> PN;
+          HeapAccum<PN>(2, price DESC, name ASC) @@expensive;
+          S = SELECT p FROM Product:p ACCUM @@expensive += (p.list_price, p.name);
+          PRINT @@expensive;
+        }
+    "#);
+    assert_eq!(
+        out.prints,
+        vec!["@@expensive = [(30.0, robot), (20.0, kite)]".to_string()]
+    );
+}
+
+#[test]
+fn or_and_accums_with_post_accum() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          OrAccum @@anyCheap;
+          AndAccum @@allCheap;
+          S = SELECT p FROM Product:p
+              ACCUM @@anyCheap += p.list_price < 12.0,
+                    @@allCheap += p.list_price < 12.0;
+          PRINT @@anyCheap, @@allCheap;
+        }
+    "#);
+    assert_eq!(
+        out.prints,
+        vec!["@@anyCheap = true".to_string(), "@@allCheap = false".to_string()]
+    );
+}
+
+#[test]
+fn string_and_math_functions() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          PRINT upper('abc'), lower('DeF'), length('hello'),
+                abs(0 - 5), sqrt(16.0), pow(2, 10), floor(2.7), ceil(2.1),
+                min(3, 7), max(3, 7), coalesce(NULL, 42);
+        }
+    "#);
+    assert_eq!(
+        out.prints,
+        vec![
+            "upper = ABC", "lower = def", "length = 5", "abs = 5", "sqrt = 4.0",
+            "pow = 1024.0", "floor = 2.0", "ceil = 3.0", "min = 3", "max = 7",
+            "coalesce = 42"
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn datetime_functions() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          PRINT year(to_datetime(2011, 7, 15)) AS y,
+                month(to_datetime(2011, 7, 15)) AS m,
+                day(to_datetime(2011, 7, 15)) AS d;
+        }
+    "#);
+    assert_eq!(out.prints, vec!["y = 2011", "m = 7", "d = 15"]);
+}
+
+#[test]
+fn vertex_methods() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT DISTINCT c.name, c.outdegree('Bought') AS bought,
+                 c.outdegree() AS total, c.type() AS ty INTO T
+          FROM Customer:c
+          ORDER BY c.name ASC;
+        }
+    "#);
+    let t = out.table("T").unwrap();
+    // alice: 2 bought + 2 likes; bob 2+2; carol 1+3; dave 1+1.
+    assert_eq!(
+        t.rows,
+        vec![
+            vec![Value::from("alice"), Value::Int(2), Value::Int(4), Value::from("Customer")],
+            vec![Value::from("bob"), Value::Int(2), Value::Int(4), Value::from("Customer")],
+            vec![Value::from("carol"), Value::Int(1), Value::Int(4), Value::from("Customer")],
+            vec![Value::from("dave"), Value::Int(1), Value::Int(2), Value::from("Customer")],
+        ]
+    );
+}
+
+#[test]
+fn vset_literals_and_composition() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          All = {Customer.*, Product.*};
+          Customers = {Customer.*};
+          PRINT All.size(), Customers.size();
+        }
+    "#);
+    assert_eq!(out.prints, vec!["All.size() = 8", "Customers.size() = 4"]);
+}
+
+#[test]
+fn params_of_every_scalar_type() {
+    let out = run_args(
+        r#"
+        CREATE QUERY G (int i, float f, string s, bool b) {
+          PRINT i + 1, f * 2, s + '!', NOT b;
+        }
+        "#,
+        &[
+            ("i", Value::Int(41)),
+            ("f", Value::Double(1.5)),
+            ("s", Value::from("hi")),
+            ("b", Value::Bool(false)),
+        ],
+    );
+    assert_eq!(out.prints, vec!["expr = 42", "expr = 3.0", "expr = hi!", "expr = true"]);
+}
+
+#[test]
+fn return_value_and_table_and_vset() {
+    let g = sales_graph();
+    let eng = Engine::new(&g);
+    let out = eng
+        .run_text("CREATE QUERY G () { RETURN 6 * 7; }", &[])
+        .unwrap();
+    assert_eq!(out.returned, Some(ReturnValue::Value(Value::Int(42))));
+
+    let out = eng
+        .run_text(
+            "CREATE QUERY G () { S = SELECT c FROM Customer:c; RETURN S; }",
+            &[],
+        )
+        .unwrap();
+    match out.returned {
+        Some(ReturnValue::VSet(vs)) => assert_eq!(vs.len(), 4),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn undirected_pattern_matching() {
+    // Knows is undirected: both endpoints see each other.
+    let mut s = pgraph::schema::Schema::new();
+    s.add_vertex_type("P", vec![pgraph::schema::AttrDef::new("name", pgraph::value::ValueType::Str)]).unwrap();
+    s.add_edge_type("Knows", false, vec![]).unwrap();
+    let mut b = GraphBuilder::new(s);
+    let a = b.vertex("P", &[("name", Value::from("a"))]).unwrap();
+    let c = b.vertex("P", &[("name", Value::from("c"))]).unwrap();
+    b.edge("Knows", a, c, &[]).unwrap();
+    let g = b.build();
+    let out = Engine::new(&g)
+        .run_text(
+            r#"
+            CREATE QUERY G () {
+              SELECT x.name AS a, y.name AS b INTO T
+              FROM P:x -(Knows)- P:y
+              ORDER BY x.name ASC;
+            }
+            "#,
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        out.table("T").unwrap().rows,
+        vec![
+            vec![Value::from("a"), Value::from("c")],
+            vec![Value::from("c"), Value::from("a")],
+        ]
+    );
+}
+
+#[test]
+fn multi_hop_join_on_repeated_variable() {
+    // Triangle query: x bought p and likes the same p.
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT DISTINCT c.name, p.name INTO T
+          FROM Customer:c -(Bought>)- Product:p, Customer:c -(Likes>)- Product:p
+          ORDER BY c.name, p.name;
+        }
+    "#);
+    // alice bought+likes robot, blocks; carol bought+likes kite; dave novel.
+    assert_eq!(
+        out.table("T").unwrap().rows,
+        vec![
+            vec![Value::from("alice"), Value::from("blocks")],
+            vec![Value::from("alice"), Value::from("robot")],
+            vec![Value::from("bob"), Value::from("robot")],
+            vec![Value::from("carol"), Value::from("kite")],
+            vec![Value::from("dave"), Value::from("novel")],
+        ]
+    );
+}
+
+#[test]
+fn accum_local_variables_are_per_execution() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SumAccum<float> @@total;
+          S = SELECT c FROM Customer:c -(Bought>:b)- Product:p
+              ACCUM float line = b.quantity * p.list_price,
+                    @@total += line;
+          PRINT @@total;
+        }
+    "#);
+    // 2*30 + 1*10 + 1*30 + 3*15 + 4*20 + 1*15 = 60+10+30+45+80+15 = 240.
+    assert_eq!(out.prints, vec!["@@total = 240.0".to_string()]);
+}
+
+#[test]
+fn table_join_cross_product_filtered() {
+    let g = sales_graph();
+    let budgets = Table::from_rows(
+        "Budget",
+        &["name", "cap"],
+        vec![
+            vec![Value::from("alice"), Value::Double(50.0)],
+            vec![Value::from("bob"), Value::Double(100.0)],
+        ],
+    );
+    let eng = Engine::new(&g).with_table(budgets);
+    let out = eng
+        .run_text(
+            r#"
+            CREATE QUERY G () {
+              SELECT c.name, t.cap AS cap INTO T
+              FROM Budget:t, Customer:c
+              WHERE c.name == t.name
+              ORDER BY c.name;
+            }
+            "#,
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        out.table("T").unwrap().rows,
+        vec![
+            vec![Value::from("alice"), Value::Double(50.0)],
+            vec![Value::from("bob"), Value::Double(100.0)],
+        ]
+    );
+}
+
+#[test]
+fn errors_are_reported_not_panicked() {
+    let g = sales_graph();
+    let eng = Engine::new(&g);
+    // Unknown accumulator.
+    let err = eng
+        .run_text("CREATE QUERY G () { @@nope += 1; }", &[])
+        .unwrap_err();
+    assert!(matches!(err, Error::Runtime(_)), "{err}");
+    // Unknown vertex type in FROM.
+    let err = eng
+        .run_text("CREATE QUERY G () { S = SELECT x FROM Nope:x; }", &[])
+        .unwrap_err();
+    assert!(matches!(err, Error::Runtime(_)), "{err}");
+    // Missing argument.
+    let err = eng.run_text("CREATE QUERY G (int k) { PRINT k; }", &[]).unwrap_err();
+    assert!(err.to_string().contains("missing argument"));
+    // Type error in arithmetic (booleans coerce, strings do not multiply).
+    let err = eng
+        .run_text("CREATE QUERY G () { PRINT 1 * 'x'; }", &[])
+        .unwrap_err();
+    assert!(matches!(err, Error::Runtime(_)), "{err}");
+    // Division by zero.
+    let err = eng
+        .run_text("CREATE QUERY G () { PRINT 1 / 0; }", &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("division by zero"));
+}
+
+#[test]
+fn empty_match_is_fine_everywhere() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SumAccum<int> @@n;
+          S = SELECT c FROM Customer:c WHERE c.name == 'nobody'
+              ACCUM @@n += 1
+              POST_ACCUM @@n += 100;
+          SELECT c.name INTO T FROM Customer:c WHERE c.name == 'nobody';
+          PRINT @@n, S.size();
+        }
+    "#);
+    assert_eq!(out.prints, vec!["@@n = 0", "S.size() = 0"]);
+    assert!(out.table("T").unwrap().is_empty());
+}
+
+#[test]
+fn bounded_repetition_pattern() {
+    // Path graph a->b->c->d: E>*2..3 from a reaches c and d.
+    let (g, vs) = pgraph::generators::directed_path(3);
+    let out = Engine::new(&g)
+        .run_text(
+            r#"
+            CREATE QUERY G (vertex src) {
+              R = SELECT t FROM V:s -(E>*2..3)- V:t WHERE s == src;
+              PRINT R[R.name];
+            }
+            "#,
+            &[("src", Value::Vertex(vs[0]))],
+        )
+        .unwrap();
+    assert_eq!(out.prints, vec!["R: v2".to_string(), "R: v3".to_string()]);
+}
+
+#[test]
+fn wildcard_edge_and_vertex_specs() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT DISTINCT p.name INTO T
+          FROM Customer:c -(_)- _:p
+          WHERE c.name == 'dave'
+          ORDER BY p.name;
+        }
+    "#);
+    // dave bought + likes novel.
+    assert_eq!(out.table("T").unwrap().rows, vec![vec![Value::from("novel")]]);
+}
+
+#[test]
+fn distinct_vs_bag_projection() {
+    let dup = run(r#"
+        CREATE QUERY G () {
+          SELECT p.category AS cat INTO T
+          FROM Customer:c -(Bought>)- Product:p
+          ORDER BY p.category;
+        }
+    "#);
+    assert_eq!(dup.table("T").unwrap().rows.len(), 6); // bag semantics
+    let dis = run(r#"
+        CREATE QUERY G () {
+          SELECT DISTINCT p.category AS cat INTO T
+          FROM Customer:c -(Bought>)- Product:p;
+        }
+    "#);
+    assert_eq!(dis.table("T").unwrap().rows.len(), 2);
+}
+
+#[test]
+fn ve_schema_smoke_for_builderless_graph() {
+    let g = pgraph::graph::Graph::new(ve_schema());
+    let out = Engine::new(&g)
+        .run_text("CREATE QUERY G () { S = SELECT v FROM V:v; PRINT S.size(); }", &[])
+        .unwrap();
+    assert_eq!(out.prints, vec!["S.size() = 0"]);
+}
+
+#[test]
+fn use_semantics_pragma_switches_per_query() {
+    // The per-query semantics selection the paper announces as planned
+    // syntax (Section 6.1). On G1 of Example 9 the same pattern yields
+    // different multiplicities under each semantics.
+    let (g, _) = pgraph::generators::example9_g1();
+    let count_under = |sem: &str| -> String {
+        let q = format!(
+            r#"
+            CREATE QUERY G () {{
+              USE SEMANTICS '{sem}';
+              SumAccum<int> @cnt;
+              R = SELECT t FROM V:s -(E>*)- V:t
+                  WHERE s.name == '1' AND t.name == '5'
+                  ACCUM t.@cnt += 1;
+              PRINT R[R.@cnt];
+            }}
+            "#
+        );
+        Engine::new(&g).run_text(&q, &[]).unwrap().prints[0].clone()
+    };
+    assert_eq!(count_under("non_repeated_vertex"), "R: 3");
+    assert_eq!(count_under("non_repeated_edge"), "R: 4");
+    assert_eq!(count_under("all_shortest_paths"), "R: 2");
+    assert_eq!(count_under("shortest_one"), "R: 1");
+    // Unknown names are compile errors.
+    let err = Engine::new(&g)
+        .run_text("CREATE QUERY G () { USE SEMANTICS 'bogus'; }", &[])
+        .unwrap_err();
+    assert!(matches!(err, Error::Compile(_)), "{err}");
+}
+
+#[test]
+fn vertex_set_algebra() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          All = {Customer.*, Product.*};
+          Customers = {Customer.*};
+          Products = All MINUS Customers;
+          Both = Customers UNION Products;
+          Nothing = Customers INTERSECT Products;
+          PRINT Products.size(), Both.size(), Nothing.size();
+        }
+    "#);
+    assert_eq!(
+        out.prints,
+        vec!["Products.size() = 4", "Both.size() = 8", "Nothing.size() = 0"]
+    );
+}
+
+#[test]
+fn case_expressions() {
+    let out = run(r#"
+        CREATE QUERY G () {
+          SELECT DISTINCT p.name,
+                 CASE WHEN p.list_price >= 25.0 THEN 'premium'
+                      WHEN p.list_price >= 15.0 THEN 'standard'
+                      ELSE 'budget' END AS tier
+          INTO T
+          FROM Product:p
+          ORDER BY p.name;
+        }
+    "#);
+    assert_eq!(
+        out.table("T").unwrap().rows,
+        vec![
+            vec![Value::from("blocks"), Value::from("budget")],
+            vec![Value::from("kite"), Value::from("standard")],
+            vec![Value::from("novel"), Value::from("standard")],
+            vec![Value::from("robot"), Value::from("premium")],
+        ]
+    );
+    // CASE without ELSE yields NULL when nothing matches.
+    let out = run("CREATE QUERY G () { PRINT CASE WHEN false THEN 1 END AS x; }");
+    assert_eq!(out.prints, vec!["x = null"]);
+}

@@ -1,0 +1,75 @@
+//! Section 4.3: the snapshot Map/Reduce semantics makes parallel ACCUM
+//! execution deterministic for order-invariant accumulators. These tests
+//! run the same queries with 1, 2 and 8 Map threads and require
+//! bit-identical outputs, including property-based randomized workloads.
+
+use gsql_core::{stdlib, Engine};
+use ldbc_snb::{generate, queries, SnbParams};
+use pgraph::generators::random_sales_graph;
+use pgraph::value::Value;
+use proptest::prelude::*;
+
+#[test]
+fn treeway_aggregation_is_thread_count_invariant() {
+    let g = random_sales_graph(3_000, 300, 8, 5);
+    let reference = Engine::new(&g)
+        .with_parallelism(1)
+        .run_text(stdlib::example5_multi_output(), &[])
+        .unwrap();
+    for threads in [2usize, 4, 8] {
+        let out = Engine::new(&g)
+            .with_parallelism(threads)
+            .run_text(stdlib::example5_multi_output(), &[])
+            .unwrap();
+        assert_eq!(out.tables, reference.tables, "threads={threads}");
+    }
+}
+
+#[test]
+fn pagerank_is_thread_count_invariant() {
+    let g = pgraph::generators::barabasi_albert(800, 4, 17);
+    let src = stdlib::pagerank("V", "E").replace(
+        "END;\n}",
+        "END;\n  SELECT DISTINCT v.name, v.@score AS score INTO Scores FROM V:v;\n}",
+    );
+    let args = [
+        ("maxChange", Value::Double(1e-9)),
+        ("maxIteration", Value::Int(50)),
+        ("dampingFactor", Value::Double(0.85)),
+    ];
+    let reference = Engine::new(&g).with_parallelism(1).run_text(&src, &args).unwrap();
+    let parallel = Engine::new(&g).with_parallelism(4).run_text(&src, &args).unwrap();
+    // Floating-point addition order differs between serial row order and
+    // chunked order only if the reduce order differed — it must not: the
+    // reduce phase is sequential in row order regardless of Map threads.
+    assert_eq!(reference.tables, parallel.tables);
+}
+
+#[test]
+fn grouping_workload_is_thread_count_invariant() {
+    let g = generate(SnbParams::new(0.05, 31));
+    let q = queries::q_acc();
+    let reference = Engine::new(&g).with_parallelism(1).run_text(&q, &[]).unwrap();
+    let parallel = Engine::new(&g).with_parallelism(8).run_text(&q, &[]).unwrap();
+    assert_eq!(reference.prints, parallel.prints);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property: for random sales graphs, any thread count produces the
+    /// same three aggregation tables.
+    #[test]
+    fn prop_parallel_equals_serial(nc in 600usize..1500, per in 3usize..10, seed in 0u64..1000, threads in 2usize..8) {
+        let g = random_sales_graph(nc, nc / 10 + 1, per, seed);
+        let serial = Engine::new(&g)
+            .with_parallelism(1)
+            .run_text(stdlib::example5_multi_output(), &[])
+            .unwrap();
+        let parallel = Engine::new(&g)
+            .with_parallelism(threads)
+            .run_text(stdlib::example5_multi_output(), &[])
+            .unwrap();
+        prop_assert_eq!(serial.tables, parallel.tables);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cross-validation of the five legality semantics against each other and
+//! against the native reference algorithms, including property-based
+//! tests on random graphs.
+
+use darpe::CompiledDarpe;
+use gsql_core::semantics::{reach, MatchStats, PathSemantics};
+use pgraph::bigcount::BigCount;
+use pgraph::generators::{diamond_chain, erdos_renyi, grid};
+use pgraph::graph::VertexId;
+use proptest::prelude::*;
+
+fn kernel_count(
+    g: &pgraph::graph::Graph,
+    src: VertexId,
+    dst: VertexId,
+    darpe: &str,
+    sem: PathSemantics,
+) -> Option<BigCount> {
+    let nfa = CompiledDarpe::compile(&darpe::parse(darpe).unwrap(), g.schema()).unwrap();
+    let mut stats = MatchStats::default();
+    reach(g, src, &nfa, sem, Some(5_000_000), &mut stats)
+        .unwrap()
+        .get(&dst)
+        .map(|(_, c)| c.clone())
+}
+
+/// On the monotone grid all semantics coincide, and counts are binomial
+/// coefficients — compare against the native BFS counter too.
+#[test]
+fn grid_counts_are_binomial_for_every_semantics() {
+    let (g, m) = grid(5, 4);
+    let (len, native) = pgraph::algo::count_shortest_paths(&g, m[0][0], m[3][4]).unwrap();
+    assert_eq!(len, 7);
+    assert_eq!(native.to_u64(), Some(35)); // C(7,3)
+    for sem in [
+        PathSemantics::AllShortestPaths,
+        PathSemantics::AllShortestPathsEnumerate,
+        PathSemantics::NonRepeatedEdge,
+        PathSemantics::NonRepeatedVertex,
+    ] {
+        assert_eq!(
+            kernel_count(&g, m[0][0], m[3][4], "E>*", sem),
+            Some(BigCount::from(35u64)),
+            "{sem:?}"
+        );
+    }
+    assert_eq!(
+        kernel_count(&g, m[0][0], m[3][4], "E>*", PathSemantics::ShortestOne),
+        Some(BigCount::one())
+    );
+}
+
+/// Counting agrees with the native BFS counter on every vertex pair of
+/// the diamond chain.
+#[test]
+fn diamond_all_pairs_match_native() {
+    let (g, _) = diamond_chain(8);
+    let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
+    for src in g.vertices() {
+        let mut stats = MatchStats::default();
+        let m = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut stats).unwrap();
+        for dst in g.vertices() {
+            let native = pgraph::algo::count_shortest_paths(&g, src, dst);
+            match (m.get(&dst), native) {
+                (Some((d, c)), Some((nd, nc))) => {
+                    assert_eq!(*d as usize, nd, "dist {src:?}->{dst:?}");
+                    assert_eq!(*c, nc, "count {src:?}->{dst:?}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("reachability mismatch {src:?}->{dst:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+/// The ASP-enumerating kernel agrees with the ASP-counting kernel
+/// everywhere (same legal paths, different evaluation strategy).
+#[test]
+fn asp_enumeration_agrees_with_counting() {
+    let g = erdos_renyi(24, 0.12, 99);
+    let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
+    for src in g.vertices().take(8) {
+        let mut s1 = MatchStats::default();
+        let mut s2 = MatchStats::default();
+        let counted =
+            reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut s1).unwrap();
+        let enumerated = reach(
+            &g,
+            src,
+            &nfa,
+            PathSemantics::AllShortestPathsEnumerate,
+            Some(10_000_000),
+            &mut s2,
+        )
+        .unwrap();
+        assert_eq!(counted.len(), enumerated.len(), "target sets differ from {src:?}");
+        for (t, (d, c)) in &counted {
+            let (ed, ec) = &enumerated[t];
+            assert_eq!(d, ed);
+            assert_eq!(c, ec);
+        }
+        assert_eq!(s1.paths_enumerated, 0);
+        assert!(s2.paths_enumerated > 0 || counted.len() == 1);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property: on random sparse digraphs, the number of shortest paths
+    /// computed by counting equals the number computed by explicitly
+    /// enumerating all shortest paths, for every reachable target.
+    #[test]
+    fn prop_counting_equals_shortest_enumeration(n in 6usize..28, p in 0.05f64..0.3, seed in 0u64..500) {
+        let g = erdos_renyi(n, p, seed);
+        let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
+        let src = VertexId(0);
+        let mut s1 = MatchStats::default();
+        let mut s2 = MatchStats::default();
+        let counted = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut s1).unwrap();
+        let enumerated = reach(&g, src, &nfa, PathSemantics::AllShortestPathsEnumerate, Some(2_000_000), &mut s2);
+        if let Ok(enumerated) = enumerated {
+            prop_assert_eq!(counted.len(), enumerated.len());
+            for (t, (d, c)) in &counted {
+                let (ed, ec) = &enumerated[t];
+                prop_assert_eq!(d, ed);
+                prop_assert_eq!(c, ec);
+            }
+        }
+    }
+
+    /// Property: ShortestOne reaches exactly the same targets as
+    /// AllShortestPaths and always reports multiplicity 1.
+    #[test]
+    fn prop_shortest_one_is_boolean_projection(n in 6usize..30, p in 0.05f64..0.3, seed in 0u64..500) {
+        let g = erdos_renyi(n, p, seed);
+        let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
+        let src = VertexId(0);
+        let mut s = MatchStats::default();
+        let asp = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut s).unwrap();
+        let one = reach(&g, src, &nfa, PathSemantics::ShortestOne, None, &mut s).unwrap();
+        prop_assert_eq!(asp.len(), one.len());
+        for (t, (d, _)) in &asp {
+            let (od, oc) = &one[t];
+            prop_assert_eq!(d, od);
+            prop_assert!(oc.is_one());
+        }
+    }
+
+    /// Property: non-repeated-vertex paths are a subset of
+    /// non-repeated-edge paths in count (every vertex-simple path is
+    /// edge-simple).
+    #[test]
+    fn prop_nrv_counts_at_most_nre(n in 5usize..18, p in 0.05f64..0.25, seed in 0u64..500) {
+        let g = erdos_renyi(n, p, seed);
+        let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
+        let src = VertexId(0);
+        let mut s = MatchStats::default();
+        let nre = reach(&g, src, &nfa, PathSemantics::NonRepeatedEdge, Some(500_000), &mut s);
+        let nrv = reach(&g, src, &nfa, PathSemantics::NonRepeatedVertex, Some(500_000), &mut s);
+        if let (Ok(nre), Ok(nrv)) = (nre, nrv) {
+            for (t, (_, c)) in &nrv {
+                let nrec = nre.get(t).map(|(_, c)| c.clone()).unwrap_or_else(BigCount::zero);
+                prop_assert!(*c <= nrec, "target {:?}", t);
+            }
+        }
+    }
+
+    /// Property: the diamond-chain count is exactly 2^k for arbitrary k,
+    /// including far beyond u64 range.
+    #[test]
+    fn prop_diamond_counts_exact(k in 1usize..200) {
+        let (g, spine) = diamond_chain(k);
+        let c = kernel_count(&g, spine[0], spine[k], "E>*", PathSemantics::AllShortestPaths);
+        prop_assert_eq!(c, Some(BigCount::pow2(k)));
+    }
+}

@@ -1,0 +1,226 @@
+//! Section 7: the tractable-class boundary is enforced, and stepping
+//! outside it is a reported error (or an explicit choice of enumerative
+//! semantics) — never a silent wrong answer.
+
+use gsql_core::{Engine, Error, PathSemantics};
+use pgraph::generators::diamond_chain;
+use pgraph::value::Value;
+
+/// Edge variables may not bind inside Kleene DARPEs (variables in the
+/// scope of a Kleene star are outside the tractable class).
+#[test]
+fn edge_var_in_kleene_is_compile_error() {
+    let (g, _) = diamond_chain(3);
+    let err = Engine::new(&g)
+        .run_text(
+            r#"
+            CREATE QUERY G () {
+              SumAccum<int> @@n;
+              S = SELECT t FROM V:s -(E>*:e)- V:t ACCUM @@n += 1;
+            }
+            "#,
+            &[],
+        )
+        .unwrap_err();
+    assert!(matches!(err, Error::Compile(_)), "{err}");
+    assert!(err.to_string().contains("Kleene"));
+}
+
+/// ListAccum fed from a Kleene pattern under counting semantics is
+/// rejected statically...
+#[test]
+fn list_accum_with_kleene_rejected_under_counting() {
+    let (g, _) = diamond_chain(3);
+    let q = r#"
+        CREATE QUERY G () {
+          ListAccum<int> @@paths;
+          S = SELECT t FROM V:s -(E>*)- V:t ACCUM @@paths += 1;
+        }
+    "#;
+    let err = Engine::new(&g).run_text(q, &[]).unwrap_err();
+    assert!(matches!(err, Error::Compile(_)), "{err}");
+    assert!(err.to_string().contains("multiplicity"), "{err}");
+}
+
+/// ...but allowed under an enumerative semantics, where each legal path
+/// is materialized anyway (the user has opted into exponential cost).
+#[test]
+fn list_accum_with_kleene_allowed_under_enumeration() {
+    let (g, _) = diamond_chain(3);
+    let q = r#"
+        CREATE QUERY G (string srcName, string tgtName) {
+          ListAccum<int> @@ones;
+          S = SELECT t FROM V:s -(E>*)- V:t
+              WHERE s.name == srcName AND t.name == tgtName
+              ACCUM @@ones += 1;
+          PRINT @@ones.size() AS paths;
+        }
+    "#;
+    let out = Engine::new(&g)
+        .with_semantics(PathSemantics::NonRepeatedEdge)
+        .run_text(
+            q,
+            &[("srcName", Value::from("v0")), ("tgtName", Value::from("v3"))],
+        )
+        .unwrap();
+    assert_eq!(out.prints, vec!["paths = 8".to_string()]);
+}
+
+/// Multiplicity-insensitive accumulators are fine with Kleene patterns —
+/// and give exact answers even with astronomically many legal paths.
+#[test]
+fn insensitive_accums_absorb_huge_multiplicities() {
+    let (g, _) = diamond_chain(120); // 2^120 paths end to end
+    let q = r#"
+        CREATE QUERY G (string srcName) {
+          MaxAccum<int> @@far;
+          SetAccum<string> @@reached;
+          S = SELECT t FROM V:s -(E>*)- V:t
+              WHERE s.name == srcName
+              ACCUM @@far += t.id(), @@reached += t.name;
+          PRINT @@reached.size() AS reached;
+        }
+    "#;
+    let out = Engine::new(&g)
+        .run_text(q, &[("srcName", Value::from("v0"))])
+        .unwrap();
+    // Every vertex is reachable from v0.
+    assert_eq!(out.prints, vec![format!("reached = {}", g.vertex_count())]);
+}
+
+/// SumAccum<INT> overflows (multiplicity beyond i64) are reported, not
+/// wrapped silently.
+#[test]
+fn sum_int_multiplicity_overflow_is_error() {
+    let (g, _) = diamond_chain(70); // 2^70 > i64::MAX
+    let q = r#"
+        CREATE QUERY G (string srcName, string tgtName) {
+          SumAccum<int> @@n;
+          S = SELECT t FROM V:s -(E>*)- V:t
+              WHERE s.name == srcName AND t.name == tgtName
+              ACCUM @@n += 1;
+        }
+    "#;
+    let err = Engine::new(&g)
+        .run_text(
+            q,
+            &[("srcName", Value::from("v0")), ("tgtName", Value::from("v70"))],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("multiplicity"), "{err}");
+}
+
+/// SumAccum<FLOAT> handles the same multiplicity approximately.
+#[test]
+fn sum_float_handles_huge_multiplicities() {
+    let (g, _) = diamond_chain(70);
+    let q = r#"
+        CREATE QUERY G (string srcName, string tgtName) {
+          SumAccum<float> @@n;
+          S = SELECT t FROM V:s -(E>*)- V:t
+              WHERE s.name == srcName AND t.name == tgtName
+              ACCUM @@n += 1;
+          PRINT @@n > 1.0e21 AS huge;
+        }
+    "#;
+    let out = Engine::new(&g)
+        .run_text(
+            q,
+            &[("srcName", Value::from("v0")), ("tgtName", Value::from("v70"))],
+        )
+        .unwrap();
+    assert_eq!(out.prints, vec!["huge = true".to_string()]);
+}
+
+/// The enumeration budget aborts runaway enumerative queries with a
+/// clear error (the stand-in for the paper's query timeouts).
+#[test]
+fn enumeration_budget_reports_timeout() {
+    let (g, _) = diamond_chain(30);
+    let q = gsql_core::stdlib::qn("V", "E");
+    let err = Engine::new(&g)
+        .with_semantics(PathSemantics::NonRepeatedEdge)
+        .with_enum_budget(1_000)
+        .run_text(
+            &q,
+            &[("srcName", Value::from("v0")), ("tgtName", Value::from("v30"))],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("budget"), "{err}");
+}
+
+/// Non-aggregate projections refuse to expand astronomic multiplicities
+/// into rows.
+#[test]
+fn projection_of_huge_multiplicity_is_error() {
+    let (g, _) = diamond_chain(80);
+    let q = r#"
+        CREATE QUERY G (string srcName, string tgtName) {
+          SELECT s.name, t.name INTO T
+          FROM V:s -(E>*)- V:t
+          WHERE s.name == srcName AND t.name == tgtName;
+        }
+    "#;
+    let err = Engine::new(&g)
+        .run_text(
+            q,
+            &[("srcName", Value::from("v0")), ("tgtName", Value::from("v80"))],
+        )
+        .unwrap_err();
+    assert!(err.to_string().contains("multiplicity"), "{err}");
+}
+
+/// ...while aggregated projections of the same pattern work fine: the
+/// compressed representation reaches the aggregate as a multiplicity.
+#[test]
+fn aggregated_projection_of_huge_multiplicity_works() {
+    let (g, _) = diamond_chain(80);
+    let q = r#"
+        CREATE QUERY G (string srcName, string tgtName) {
+          SELECT count(*) AS paths INTO T
+          FROM V:s -(E>*)- V:t
+          WHERE s.name == srcName AND t.name == tgtName;
+        }
+    "#;
+    let out = Engine::new(&g)
+        .run_text(
+            q,
+            &[("srcName", Value::from("v0")), ("tgtName", Value::from("v80"))],
+        )
+        .unwrap();
+    // 2^80 exceeds i64: surfaced as a decimal string.
+    assert_eq!(
+        out.table("T").unwrap().rows,
+        vec![vec![Value::Str("1208925819614629174706176".into())]]
+    );
+}
+
+/// Counting work is polynomial in n on the diamond chain: product states
+/// grow linearly even as path counts grow as 2^n.
+#[test]
+fn product_state_count_grows_linearly() {
+    // Float variant of Q_n: 2^80 exceeds SumAccum<INT>.
+    let q = r#"
+        CREATE QUERY Qf (string srcName, string tgtName) {
+          SumAccum<float> @pathCount;
+          R = SELECT t
+              FROM  V:s -(E>*)- V:t
+              WHERE s.name == srcName AND t.name == tgtName
+              ACCUM t.@pathCount += 1;
+        }
+    "#;
+    let mut states = Vec::new();
+    for n in [20usize, 40, 80] {
+        let (g, _) = diamond_chain(n);
+        let out = Engine::new(&g)
+            .run_text(
+                q,
+                &[("srcName", Value::from("v0")), ("tgtName", Value::from(format!("v{n}")))],
+            )
+            .unwrap();
+        states.push(out.stats.product_states as f64);
+    }
+    // Linear growth: doubling n roughly doubles the product states.
+    assert!(states[1] / states[0] < 2.6, "{states:?}");
+    assert!(states[2] / states[1] < 2.6, "{states:?}");
+}
