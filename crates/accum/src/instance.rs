@@ -108,6 +108,49 @@ impl Accum {
         })
     }
 
+    /// Estimated heap footprint in bytes (inline + owned allocations),
+    /// used by the query engine's accumulator memory budget. Collection
+    /// accumulators recurse into their contents via
+    /// [`pgraph::value::MemSize`].
+    pub fn estimated_bytes(&self) -> usize {
+        use pgraph::value::MemSize;
+        let inline = std::mem::size_of::<Accum>();
+        inline
+            + match self {
+                Accum::SumInt(_)
+                | Accum::SumDouble(_)
+                | Accum::Avg { .. }
+                | Accum::Or(_)
+                | Accum::And(_) => 0,
+                Accum::SumStr(s) => s.capacity(),
+                Accum::Min(v) | Accum::Max(v) => {
+                    v.as_ref().map_or(0, MemSize::estimated_bytes)
+                }
+                Accum::Set(xs) | Accum::List(xs) | Accum::Array(xs) => {
+                    xs.iter().map(MemSize::estimated_bytes).sum()
+                }
+                Accum::Bag(entries) => entries
+                    .keys()
+                    .map(|k| k.estimated_bytes() + std::mem::size_of::<BigCount>())
+                    .sum(),
+                Accum::Map { entries, .. } => entries
+                    .iter()
+                    .map(|(k, v)| k.estimated_bytes() + v.estimated_bytes())
+                    .sum(),
+                Accum::Heap { items, .. } => {
+                    items.iter().map(MemSize::estimated_bytes).sum()
+                }
+                Accum::GroupBy { groups, .. } => groups
+                    .iter()
+                    .map(|(k, accs)| {
+                        k.estimated_bytes()
+                            + accs.iter().map(Accum::estimated_bytes).sum::<usize>()
+                    })
+                    .sum(),
+                Accum::User(u) => u.estimated_bytes(),
+            }
+    }
+
     /// The combiner `⊕` — folds one input into the internal value.
     pub fn combine(&mut self, input: Value, registry: &UserAccumRegistry) -> Result<(), AccumError> {
         match self {

@@ -31,6 +31,12 @@ pub trait UserAccum: Send + Sync {
     fn multiplicity_insensitive(&self) -> bool {
         false
     }
+    /// Estimated heap footprint in bytes, used by the resource governor's
+    /// accumulator memory budget. The default is a fixed nominal size;
+    /// override for accumulators holding growing state.
+    fn estimated_bytes(&self) -> usize {
+        64
+    }
     /// Clones the instance (accumulator snapshots require cloning).
     fn clone_box(&self) -> Box<dyn UserAccum>;
 }

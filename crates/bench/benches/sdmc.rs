@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use darpe::CompiledDarpe;
+use gsql_core::governor::QueryGuard;
 use gsql_core::semantics::{reach, MatchStats, PathSemantics};
 use pgraph::generators::{diamond_chain, erdos_renyi};
 use std::hint::black_box;
@@ -16,12 +17,13 @@ fn bench_diamond_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut stats = MatchStats::default();
+                let guard = QueryGuard::unlimited();
                 let m = reach(
                     &g,
                     spine[0],
                     &nfa,
                     PathSemantics::AllShortestPaths,
-                    None,
+                    &guard,
                     &mut stats,
                 )
                 .unwrap();
@@ -42,8 +44,10 @@ fn bench_er_kernel(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
                 let mut stats = MatchStats::default();
-                let m = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut stats)
-                    .unwrap();
+                let guard = QueryGuard::unlimited();
+                let m =
+                    reach(&g, src, &nfa, PathSemantics::AllShortestPaths, &guard, &mut stats)
+                        .unwrap();
                 black_box(m.len())
             });
         });

@@ -14,8 +14,25 @@
 //! * `--arg k=v` — query arguments (int / float / true|false / string;
 //!   `vertex:<id>` for vertex arguments).
 //! * query file or `-` to read GSQL from stdin.
+//!
+//! Resource limits: the query source may start with `SET` directives
+//! (before `CREATE QUERY`), which configure the engine's resource
+//! governor:
+//!
+//! ```text
+//! SET timeout = 5s
+//! SET row_limit = 1000000
+//! SET path_budget = 10000000
+//! SET memory_limit = 256MB
+//! SET iteration_limit = 10000
+//! ```
+//!
+//! A query that trips a limit aborts with a structured report, e.g.
+//! `query aborted [deadline-exceeded]: deadline exceeded after 5.0s;
+//! 1.2M paths enumerated, ...`.
 
-use gsql_core::{explain, parse_query, parser::parse_semantics, Engine, ReturnValue};
+use bench::harness::parse_duration;
+use gsql_core::{explain, parse_query, parser::parse_semantics, Budget, Engine, ReturnValue};
 use pgraph::graph::{Graph, VertexId};
 use pgraph::value::Value;
 use std::io::Read as _;
@@ -46,6 +63,69 @@ fn parse_arg_value(raw: &str) -> Value {
         "false" => Value::Bool(false),
         other => Value::Str(other.to_string()),
     }
+}
+
+/// Parses a byte-size spec: plain bytes, or `KB`/`MB`/`GB` suffixes
+/// (binary multiples).
+fn parse_bytes(s: &str) -> Result<u64, String> {
+    let s = s.trim();
+    let (num, scale) = if let Some(n) = s.strip_suffix("GB") {
+        (n, 1u64 << 30)
+    } else if let Some(n) = s.strip_suffix("MB") {
+        (n, 1u64 << 20)
+    } else if let Some(n) = s.strip_suffix("KB") {
+        (n, 1u64 << 10)
+    } else {
+        (s, 1)
+    };
+    num.trim()
+        .parse::<u64>()
+        .map(|v| v * scale)
+        .map_err(|_| format!("invalid byte size `{s}` (try 1048576 or 256MB)"))
+}
+
+/// Strips leading `SET <key> = <value>` directives from the query source
+/// and folds them into a resource [`Budget`].
+fn extract_set_directives(source: &str) -> Result<(Budget, String), String> {
+    let mut budget = Budget::default();
+    let mut rest = Vec::new();
+    let mut in_header = true;
+    for line in source.lines() {
+        let trimmed = line.trim();
+        let lower = trimmed.to_ascii_lowercase();
+        if in_header && (trimmed.is_empty() || lower.starts_with("//") || lower.starts_with('#')) {
+            rest.push(line);
+            continue;
+        }
+        if in_header && lower.starts_with("set ") {
+            let body = trimmed[4..].trim().trim_end_matches(';');
+            let (key, value) = body
+                .split_once('=')
+                .map(|(k, v)| (k.trim(), v.trim()))
+                .ok_or_else(|| format!("SET expects `SET <key> = <value>`, got `{trimmed}`"))?;
+            let int = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|_| format!("SET {key} expects a non-negative integer, got `{v}`"))
+            };
+            match key.to_ascii_lowercase().as_str() {
+                "timeout" => budget.deadline = Some(parse_duration(value)?),
+                "row_limit" => budget.max_binding_rows = Some(int(value)?),
+                "path_budget" => budget.max_paths = Some(int(value)?),
+                "memory_limit" => budget.max_accum_bytes = Some(parse_bytes(value)?),
+                "iteration_limit" => budget.max_while_iters = Some(int(value)?),
+                other => {
+                    return Err(format!(
+                        "unknown SET key `{other}` (expected timeout, row_limit, \
+                         path_budget, memory_limit, iteration_limit)"
+                    ))
+                }
+            }
+            continue;
+        }
+        in_header = false;
+        rest.push(line);
+    }
+    Ok((budget, rest.join("\n")))
 }
 
 fn load_graph(spec: &str) -> Result<Graph, String> {
@@ -135,6 +215,13 @@ fn main() -> ExitCode {
         }
     };
 
+    let (budget, source) = match extract_set_directives(&source) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
     let query = match parse_query(&source) {
         Ok(q) => q,
         Err(e) => {
@@ -153,7 +240,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let engine = Engine::new(&graph).with_semantics(semantics);
+    let engine = Engine::new(&graph).with_semantics(semantics).with_budget(budget);
     let arg_refs: Vec<(&str, Value)> =
         args.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
     match engine.run(&query, &arg_refs) {
@@ -173,7 +260,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("{e}");
+            // Structured reporting: resource errors carry a machine-
+            // readable kind and a work report; other errors print as-is.
+            match e.resource_report() {
+                Some(report) => {
+                    eprintln!("query aborted [{}]: {e}; {report}", e.kind())
+                }
+                None => eprintln!("{e}"),
+            }
             ExitCode::FAILURE
         }
     }

@@ -7,13 +7,14 @@
 //!
 //! Enumeration cells abort (`timeout`) once they materialize more than
 //! `LDBC_IC_BUDGET` paths (default 30M — the stand-in for the paper's
-//! 60-minute timeout).
+//! 60-minute timeout). Pass `--timeout <dur>` (e.g. `2s`) to additionally
+//! impose a wall-clock deadline per query via the resource governor.
 //!
 //! Scale factors default to `0.05,0.1,0.2` (laptop stand-ins for the
 //! paper's 1/10/100 GB); override with `LDBC_IC_SFS=0.1,0.5`.
 
-use bench::harness::{fmt_duration, timed};
-use gsql_core::{Engine, PathSemantics};
+use bench::harness::{fmt_duration, parse_duration, timed};
+use gsql_core::{Budget, Engine, PathSemantics};
 use ldbc_snb::{generate, queries, SnbParams};
 use pgraph::datetime::to_epoch;
 use pgraph::value::Value;
@@ -56,10 +57,31 @@ fn main() {
         .split(',')
         .map(|s| s.trim().parse().expect("bad LDBC_IC_SFS"))
         .collect();
-    let budget: u64 = std::env::var("LDBC_IC_BUDGET")
+    let path_budget: u64 = std::env::var("LDBC_IC_BUDGET")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(30_000_000);
+    // Optional wall-clock deadline per query (`--timeout 2s`); the path
+    // budget alone already bounds enumeration work.
+    let mut deadline = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--timeout" => {
+                let spec = it.next().unwrap_or_default();
+                deadline = Some(parse_duration(&spec).unwrap_or_else(|e| {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("usage: ldbc_ic [--timeout <dur>] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut budget = Budget::default().with_max_paths(path_budget);
+    budget.deadline = deadline;
 
     for (label, sem) in [
         ("TG  (all-shortest-paths, counting)", PathSemantics::AllShortestPaths),
@@ -83,12 +105,13 @@ fn main() {
                     let (res, t) = timed(|| {
                         Engine::new(&g)
                             .with_semantics(sem)
-                            .with_enum_budget(budget)
+                            .with_budget(budget.clone())
                             .run_text(&text, &args)
                     });
                     cells.push(match res {
                         Ok(_) => fmt_duration(t),
-                        Err(_) => "timeout".to_string(),
+                        Err(e) if e.kind().is_resource() => "timeout".to_string(),
+                        Err(e) => format!("error: {}", e.kind()),
                     });
                 }
                 println!(

@@ -19,3 +19,42 @@ pub fn fmt_duration(d: Duration) -> String {
         format!("{}m{:02}s", s / 60, s % 60)
     }
 }
+
+/// Parses a human-friendly duration: `500ms`, `2s`, `1.5s`, `10m`, or a
+/// bare number (seconds).
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (num, scale) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60.0)
+    } else {
+        (s, 1.0)
+    };
+    let v: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("invalid duration `{s}` (try 500ms, 2s, 10m)"))?;
+    if !v.is_finite() || v < 0.0 {
+        return Err(format!("invalid duration `{s}`: must be non-negative"));
+    }
+    Ok(Duration::from_secs_f64(v * scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_parse() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("10m").unwrap(), Duration::from_secs(600));
+        assert_eq!(parse_duration("3").unwrap(), Duration::from_secs(3));
+        assert!(parse_duration("abc").is_err());
+        assert!(parse_duration("-1s").is_err());
+    }
+}

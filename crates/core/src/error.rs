@@ -1,7 +1,93 @@
-//! Unified error type for parsing, compilation and execution.
+//! Structured error taxonomy for parsing, compilation and execution.
+//!
+//! Every [`Error`] maps to a machine-readable [`ErrorKind`]; resource
+//! violations ([`Error::Resource`]) additionally carry a
+//! [`ResourceReport`](crate::governor::ResourceReport) snapshot of the
+//! work done before the limit fired, so clients can distinguish "your
+//! query is wrong" from "your query was too expensive" and say how
+//! expensive it got.
 
+use crate::governor::ResourceReport;
 use pgraph::value::Value;
 use std::fmt;
+
+/// Machine-readable classification of an [`Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorKind {
+    /// Lexer/parser rejection.
+    Parse,
+    /// Static (pre-execution) rejection: unknown names, bad accumulator
+    /// declarations, tractability violations, ...
+    Compile,
+    /// Dynamic evaluation failure.
+    Runtime,
+    /// Wall-clock deadline expired ([`crate::Budget::deadline`]).
+    DeadlineExceeded,
+    /// Estimated accumulator footprint exceeded
+    /// [`crate::Budget::max_accum_bytes`].
+    MemoryLimit,
+    /// Binding-table materialization exceeded
+    /// [`crate::Budget::max_binding_rows`].
+    RowLimit,
+    /// Enumerative path materialization exceeded
+    /// [`crate::Budget::max_paths`].
+    PathBudget,
+    /// WHILE-loop iterations exceeded [`crate::Budget::max_while_iters`].
+    IterationLimit,
+    /// Stopped via [`crate::CancelHandle::cancel`] (or a sibling worker's
+    /// poison signal).
+    Cancelled,
+    /// A Map-phase worker (or user-defined accumulator) panicked; the
+    /// panic was contained and the engine remains usable.
+    WorkerPanic,
+}
+
+impl ErrorKind {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::Compile => "compile",
+            ErrorKind::Runtime => "runtime",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
+            ErrorKind::MemoryLimit => "memory-limit",
+            ErrorKind::RowLimit => "row-limit",
+            ErrorKind::PathBudget => "path-budget",
+            ErrorKind::IterationLimit => "iteration-limit",
+            ErrorKind::Cancelled => "cancelled",
+            ErrorKind::WorkerPanic => "worker-panic",
+        }
+    }
+
+    /// True for the kinds produced by the resource governor (retrying with
+    /// a larger budget may succeed; the query itself is not at fault).
+    pub fn is_resource(&self) -> bool {
+        matches!(
+            self,
+            ErrorKind::DeadlineExceeded
+                | ErrorKind::MemoryLimit
+                | ErrorKind::RowLimit
+                | ErrorKind::PathBudget
+                | ErrorKind::IterationLimit
+                | ErrorKind::Cancelled
+                | ErrorKind::WorkerPanic
+        )
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A resource-governor violation: what tripped, a human-readable message,
+/// and a snapshot of the work performed up to the trip point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceError {
+    pub kind: ErrorKind,
+    pub message: String,
+    pub report: ResourceReport,
+}
 
 /// Any GSQL front-end or runtime error.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,6 +99,9 @@ pub enum Error {
     Compile(String),
     /// Runtime evaluation error.
     Runtime(String),
+    /// Resource-governor violation (boxed: cold path, but carries a full
+    /// [`ResourceReport`]).
+    Resource(Box<ResourceError>),
 }
 
 impl Error {
@@ -27,6 +116,25 @@ impl Error {
     pub fn type_error(expected: &str, got: &Value) -> Self {
         Error::Runtime(format!("expected {expected}, got `{got}`"))
     }
+
+    /// The machine-readable classification of this error.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            Error::Parse { .. } => ErrorKind::Parse,
+            Error::Compile(_) => ErrorKind::Compile,
+            Error::Runtime(_) => ErrorKind::Runtime,
+            Error::Resource(r) => r.kind,
+        }
+    }
+
+    /// The resource accounting attached to governor errors; `None` for
+    /// parse/compile/runtime errors.
+    pub fn resource_report(&self) -> Option<&ResourceReport> {
+        match self {
+            Error::Resource(r) => Some(&r.report),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -35,6 +143,7 @@ impl fmt::Display for Error {
             Error::Parse { line, col, msg } => write!(f, "parse error at {line}:{col}: {msg}"),
             Error::Compile(m) => write!(f, "compile error: {m}"),
             Error::Runtime(m) => write!(f, "runtime error: {m}"),
+            Error::Resource(r) => f.write_str(&r.message),
         }
     }
 }

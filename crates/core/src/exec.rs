@@ -5,6 +5,7 @@
 use crate::ast::*;
 use crate::error::{Error, Result};
 use crate::eval::{eval, truthy, Binding, BindingRow, Env, RowRef, VAccStore};
+use crate::governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
 use crate::semantics::{reach, MatchStats, PathSemantics, ReachMap};
 use crate::table::Table;
 use crate::tractable;
@@ -32,9 +33,12 @@ pub struct Engine<'g> {
     tables: FxHashMap<String, Table>,
     registry: UserAccumRegistry,
     semantics: PathSemantics,
-    /// Cap on paths materialized per enumerative kernel call (`None` =
-    /// unbounded — benchmarks measuring blow-up set their own watchdogs).
-    enum_budget: Option<u64>,
+    /// Resource envelope enforced across the whole execution stack
+    /// (deadline, row/path/memory/iteration caps).
+    budget: Budget,
+    /// Shared cancellation flag; clone via [`Engine::cancel_handle`] to
+    /// stop a running query from another thread.
+    cancel: CancelHandle,
     /// Map-phase threads (1 = sequential).
     parallelism: usize,
 }
@@ -48,7 +52,8 @@ impl<'g> Engine<'g> {
             tables: FxHashMap::default(),
             registry: UserAccumRegistry::new(),
             semantics: PathSemantics::AllShortestPaths,
-            enum_budget: None,
+            budget: Budget::default(),
+            cancel: CancelHandle::new(),
             parallelism: 1,
         }
     }
@@ -65,10 +70,29 @@ impl<'g> Engine<'g> {
         self
     }
 
-    /// Caps enumerative kernels at `budget` materialized paths.
+    /// Caps enumerative kernels at `budget` materialized paths (a budget
+    /// of 0 means *zero paths allowed*: the first materialization trips).
     pub fn with_enum_budget(mut self, budget: u64) -> Self {
-        self.enum_budget = Some(budget);
+        self.budget.max_paths = Some(budget);
         self
+    }
+
+    /// Installs a full resource [`Budget`] (deadline, row/path/memory/
+    /// iteration caps) enforced at every execution loop head.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The active resource budget.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// A handle that cancels the currently running (and any future) query
+    /// from another thread; `reset()` re-arms the engine.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
     }
 
     /// Enables parallel Map-phase execution on `n` threads.
@@ -97,7 +121,34 @@ impl<'g> Engine<'g> {
     }
 
     /// Runs a parsed query with named arguments.
+    ///
+    /// Execution is wrapped in the resource governor: the engine's
+    /// [`Budget`] is enforced at every loop head, cancellation via
+    /// [`Engine::cancel_handle`] is observed, and panics anywhere in the
+    /// interpreter (including user-defined accumulators) are contained
+    /// and surfaced as [`crate::ErrorKind::WorkerPanic`] — the engine
+    /// stays usable afterwards.
     pub fn run(&self, query: &Query, args: &[(&str, Value)]) -> Result<QueryOutput> {
+        let guard = QueryGuard::new(self.budget.clone(), self.cancel.clone());
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.run_inner(query, args, &guard)
+        }));
+        match outcome {
+            Ok(Ok(mut out)) => {
+                out.report = guard.report();
+                Ok(out)
+            }
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Err(guard.worker_panic_error(payload.as_ref())),
+        }
+    }
+
+    fn run_inner(
+        &self,
+        query: &Query,
+        args: &[(&str, Value)],
+        guard: &QueryGuard,
+    ) -> Result<QueryOutput> {
         let mut params: FxHashMap<String, Value> = FxHashMap::default();
         for p in &query.params {
             let arg = args
@@ -124,6 +175,7 @@ impl<'g> Engine<'g> {
         }
         let mut rt = Runtime {
             eng: self,
+            guard,
             semantics: self.semantics,
             params,
             locals: FxHashMap::default(),
@@ -143,6 +195,7 @@ impl<'g> Engine<'g> {
             prints: rt.prints,
             returned: rt.returned,
             stats: rt.stats,
+            report: ResourceReport::default(),
         })
     }
 }
@@ -166,6 +219,8 @@ pub struct QueryOutput {
     pub returned: Option<ReturnValue>,
     /// Evaluation counters (how the query was executed).
     pub stats: MatchStats,
+    /// Resource accounting from the governor (rows/paths/bytes/elapsed).
+    pub report: ResourceReport,
 }
 
 impl QueryOutput {
@@ -229,6 +284,8 @@ enum EmitTarget {
 
 struct Runtime<'e, 'g> {
     eng: &'e Engine<'g>,
+    /// Live resource-governor state for this execution.
+    guard: &'e QueryGuard,
     /// Active path semantics (engine default, overridable per query via
     /// `USE SEMANTICS`).
     semantics: PathSemantics,
@@ -357,19 +414,27 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 } else {
                     acc.assign(v)?;
                 }
+                self.guard.note_accum_bytes(self.accum_footprint())?;
             }
             Stmt::While { cond, limit, body } => {
                 let max_iter = match limit {
                     Some(e) => {
                         let v = eval(&self.env(), e)?;
-                        v.as_i64()
-                            .ok_or_else(|| Error::type_error("integer LIMIT", &v))?
-                            .max(0) as u64
+                        let n = v
+                            .as_i64()
+                            .ok_or_else(|| Error::type_error("integer LIMIT", &v))?;
+                        if n < 0 {
+                            return Err(Error::runtime(format!(
+                                "WHILE LIMIT must be non-negative, got {n}"
+                            )));
+                        }
+                        n as u64
                     }
                     None => u64::MAX,
                 };
                 let mut iters = 0u64;
                 while iters < max_iter {
+                    self.guard.tick_while()?;
                     let c = eval(&self.env(), cond)?;
                     if !truthy(&c)? {
                         break;
@@ -399,6 +464,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 };
                 let shadowed = self.locals.remove(var);
                 for item in items {
+                    self.guard.checkpoint()?;
                     self.locals.insert(var.clone(), item);
                     if let Flow::Returned = self.exec_stmts(body)? {
                         return Ok(Flow::Returned);
@@ -584,6 +650,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                                 next.push(BindingRow { bindings: b, mult: row.mult.clone() });
                             }
                         }
+                        self.guard.tick_rows(next.len() as u64)?;
                         rows = next;
                     } else {
                         // Vertex scan (type / set / param named `name`).
@@ -792,6 +859,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         };
         let mut next = Vec::with_capacity(rows.len() * candidates.len().max(1));
         for row in &rows {
+            self.guard.checkpoint()?;
             for &v in &candidates {
                 let mut b = row.bindings.clone();
                 debug_assert_eq!(b.len(), col);
@@ -799,6 +867,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 next.push(BindingRow { bindings: b, mult: row.mult.clone() });
             }
         }
+        self.guard.tick_rows(next.len() as u64)?;
         Ok(next)
     }
 
@@ -830,6 +899,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
             };
             let mut next = Vec::new();
             for row in rows {
+                let before = next.len();
                 let src = vertex_at(&row, prev_col, to_var)?;
                 for a in graph.adjacency(src) {
                     if !spec.matches(a.etype, a.dir) {
@@ -858,6 +928,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     }
                     next.push(BindingRow { bindings: b, mult: row.mult.clone() });
                 }
+                self.guard.tick_rows((next.len() - before) as u64)?;
             }
             return Ok(next);
         }
@@ -898,6 +969,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         let mut cache: FxHashMap<VertexId, ReachMap> = FxHashMap::default();
         let mut next = Vec::new();
         for row in rows {
+            let before = next.len();
             let src = vertex_at(&row, prev_col, to_var)?;
             let extend = |t: VertexId, cnt: &BigCount, next: &mut Vec<BindingRow>| {
                 let mut b = row.bindings.clone();
@@ -927,7 +999,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                             t,
                             rev,
                             self.semantics,
-                            self.eng.enum_budget,
+                            self.guard,
                             &mut self.stats,
                         )?);
                     }
@@ -937,6 +1009,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         }
                     }
                 }
+                self.guard.tick_rows((next.len() - before) as u64)?;
                 continue;
             }
             // Forward kernel keyed by the source vertex.
@@ -946,7 +1019,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     src,
                     &nfa,
                     self.semantics,
-                    self.eng.enum_budget,
+                    self.guard,
                     &mut self.stats,
                 )?);
             }
@@ -970,6 +1043,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     }
                 }
             }
+            self.guard.tick_rows((next.len() - before) as u64)?;
         }
         Ok(next)
     }
@@ -996,7 +1070,9 @@ impl<'e, 'g> Runtime<'e, 'g> {
         let name_idx = |n: &str| names.iter().position(|x| *x == n).unwrap();
 
         // Map phase.
+        let guard = self.guard;
         let map_row = |row: &BindingRow| -> Result<Vec<Emission>> {
+            guard.checkpoint()?;
             let mut acc_locals: FxHashMap<String, Value> = FxHashMap::default();
             let mut out = Vec::with_capacity(stmts.len());
             for stmt in stmts {
@@ -1039,25 +1115,65 @@ impl<'e, 'g> Runtime<'e, 'g> {
         {
             let chunk = rows.len().div_ceil(self.eng.parallelism);
             let chunks: Vec<&[BindingRow]> = rows.chunks(chunk).collect();
-            let results: Vec<Result<Vec<Emission>>> = crossbeam::thread::scope(|s| {
+            let results: Vec<Result<Vec<Emission>>> = std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
                     .iter()
                     .map(|c| {
-                        s.spawn(move |_| -> Result<Vec<Emission>> {
-                            let mut out = Vec::new();
-                            for row in *c {
-                                out.extend(map_row(row)?);
+                        s.spawn(move || -> Result<Vec<Emission>> {
+                            // Contain panics (e.g. from a user-defined
+                            // accumulator): poison the guard so sibling
+                            // workers stop at their next checkpoint, and
+                            // surface a structured WorkerPanic error.
+                            let caught = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| -> Result<Vec<Emission>> {
+                                    let mut out = Vec::new();
+                                    for row in *c {
+                                        out.extend(map_row(row)?);
+                                    }
+                                    Ok(out)
+                                }),
+                            );
+                            match caught {
+                                Ok(r) => r,
+                                Err(payload) => {
+                                    guard.poison();
+                                    Err(guard.worker_panic_error(payload.as_ref()))
+                                }
                             }
-                            Ok(out)
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            })
-            .map_err(|_| Error::runtime("map-phase thread panicked"))?;
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join()
+                            .unwrap_or_else(|_| Err(Error::runtime("map-phase thread panicked")))
+                    })
+                    .collect()
+            });
             let mut all = Vec::new();
+            // When one worker panics, siblings abort with Cancelled via the
+            // poison flag; report the root-cause WorkerPanic over those.
+            let mut first_err: Option<Error> = None;
             for r in results {
-                all.extend(r?);
+                match r {
+                    Ok(v) => all.extend(v),
+                    Err(e) => {
+                        let replace = match &first_err {
+                            None => true,
+                            Some(prev) => {
+                                prev.kind() != crate::error::ErrorKind::WorkerPanic
+                                    && e.kind() == crate::error::ErrorKind::WorkerPanic
+                            }
+                        };
+                        if replace {
+                            first_err = Some(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = first_err {
+                return Err(e);
             }
             all
         } else {
@@ -1097,7 +1213,23 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 }
             }
         }
+        self.guard.note_accum_bytes(self.accum_footprint())?;
         Ok(())
+    }
+
+    /// Estimated heap footprint of all live accumulator state, in bytes.
+    fn accum_footprint(&self) -> u64 {
+        let mut total = 0u64;
+        for acc in self.gaccs.values() {
+            total += acc.estimated_bytes() as u64;
+        }
+        for store in self.vaccs.values() {
+            total += store.prototype.estimated_bytes() as u64;
+            for cell in store.cells.iter().flatten() {
+                total += cell.estimated_bytes() as u64;
+            }
+        }
+        total
     }
 
     // ---- POST_ACCUM -----------------------------------------------------------
@@ -1195,10 +1327,12 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 let mut pvars = FxHashMap::default();
                 pvars.insert(v.clone(), 0usize);
                 for vertex in vertices {
+                    self.guard.checkpoint()?;
                     exec_one(self, &[Binding::Vertex(vertex)], &pvars)?;
                 }
             }
         }
+        self.guard.note_accum_bytes(self.accum_footprint())?;
         Ok(())
     }
 

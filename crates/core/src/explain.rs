@@ -336,7 +336,7 @@ mod tests {
 
     #[test]
     fn multi_output_fragments_are_classified() {
-        let q = parse_query(&stdlib::example5_multi_output()).unwrap();
+        let q = parse_query(stdlib::example5_multi_output()).unwrap();
         let plan = explain(&q, PathSemantics::AllShortestPaths).unwrap();
         assert!(plan.contains("output INTO PerCust: projected table"), "{plan}");
         assert!(plan.contains("output INTO Total: projected table"), "{plan}");

@@ -58,6 +58,7 @@ pub mod error;
 pub mod eval;
 pub mod exec;
 pub mod explain;
+pub mod governor;
 pub mod lexer;
 pub mod parser;
 pub mod semantics;
@@ -65,8 +66,9 @@ pub mod stdlib;
 pub mod table;
 pub mod tractable;
 
-pub use error::{Error, Result};
+pub use error::{Error, ErrorKind, ResourceError, Result};
 pub use exec::{Engine, QueryOutput, ReturnValue};
+pub use governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
 pub use explain::explain;
 pub use parser::parse_query;
 pub use semantics::PathSemantics;

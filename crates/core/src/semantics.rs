@@ -14,7 +14,8 @@
 //! | `NonRepeatedVertex`          | no vertex repeated (Gremlin)  | DFS enumeration (exp) |
 //! | `ShortestOne`                | any path ⇒ multiplicity 1     | product-DFA BFS, counts clamped (SPARQL) |
 
-use crate::error::{Error, Result};
+use crate::error::Result;
+use crate::governor::QueryGuard;
 use darpe::{CompiledDarpe, Dfa, DfaStateId};
 use pgraph::bigcount::BigCount;
 use pgraph::fxhash::FxHashMap;
@@ -76,30 +77,32 @@ pub type ReachMap = FxHashMap<VertexId, (u32, BigCount)>;
 
 /// Computes, for every target vertex reachable from `src` by a legal
 /// satisfying path, the pair `(shortest legal length, number of legal
-/// paths)` under `semantics`. `budget` caps the number of paths an
-/// enumerative kernel may materialize (an error signals timeout, exactly
-/// like the paper's 10-minute cap on Neo4j).
+/// paths)` under `semantics`. The [`QueryGuard`] enforces the caller's
+/// resource budget — path-materialization caps for the enumerative
+/// kernels plus deadline/cancellation checks at every loop head (a
+/// structured error signals the trip, exactly like the paper's 10-minute
+/// cap on Neo4j).
 pub fn reach(
     graph: &Graph,
     src: VertexId,
     nfa: &CompiledDarpe,
     semantics: PathSemantics,
-    budget: Option<u64>,
+    guard: &QueryGuard,
     stats: &mut MatchStats,
 ) -> Result<ReachMap> {
     stats.kernel_calls += 1;
     match semantics {
-        PathSemantics::AllShortestPaths => Ok(bfs_count(graph, src, nfa, false, stats)),
-        PathSemantics::ShortestOne => Ok(bfs_count(graph, src, nfa, true, stats)),
+        PathSemantics::AllShortestPaths => bfs_count(graph, src, nfa, false, guard, stats),
+        PathSemantics::ShortestOne => bfs_count(graph, src, nfa, true, guard, stats),
         PathSemantics::AllShortestPathsEnumerate => {
-            let targets = bfs_count(graph, src, nfa, false, stats);
-            enumerate_shortest(graph, src, nfa, &targets, budget, stats)
+            let targets = bfs_count(graph, src, nfa, false, guard, stats)?;
+            enumerate_shortest(graph, src, nfa, &targets, guard, stats)
         }
         PathSemantics::NonRepeatedEdge => {
-            enumerate_simple(graph, src, nfa, false, budget, stats)
+            enumerate_simple(graph, src, nfa, false, guard, stats)
         }
         PathSemantics::NonRepeatedVertex => {
-            enumerate_simple(graph, src, nfa, true, budget, stats)
+            enumerate_simple(graph, src, nfa, true, guard, stats)
         }
     }
 }
@@ -113,8 +116,9 @@ fn bfs_count(
     src: VertexId,
     nfa: &CompiledDarpe,
     clamp_to_one: bool,
+    guard: &QueryGuard,
     stats: &mut MatchStats,
-) -> ReachMap {
+) -> Result<ReachMap> {
     let mut dfa = Dfa::new(nfa);
     // Product-state bookkeeping.
     let mut index: FxHashMap<(VertexId, DfaStateId), usize> = FxHashMap::default();
@@ -131,6 +135,7 @@ fn bfs_count(
     queue.push_back(0);
 
     while let Some(i) = queue.pop_front() {
+        guard.checkpoint()?;
         let (v, q) = states[i];
         let d = dist[i];
         let c = cnt[i].clone();
@@ -182,7 +187,7 @@ fn bfs_count(
             slot.1 = BigCount::one();
         }
     }
-    out
+    Ok(out)
 }
 
 /// Enumerates every *shortest* legal path explicitly (the suboptimal
@@ -196,7 +201,7 @@ fn enumerate_shortest(
     src: VertexId,
     nfa: &CompiledDarpe,
     targets: &ReachMap,
-    budget: Option<u64>,
+    guard: &QueryGuard,
     stats: &mut MatchStats,
 ) -> Result<ReachMap> {
     let max_depth = targets.values().map(|(d, _)| *d).max().unwrap_or(0);
@@ -211,6 +216,7 @@ fn enumerate_shortest(
     }
     let mut stack = vec![Frame { v: src, q: dfa.start(), next_edge: 0 }];
     while let Some(top) = stack.last() {
+        guard.checkpoint()?;
         let depth = (stack.len() - 1) as u32;
         let (v, q) = (top.v, top.q);
         if top.next_edge == 0 {
@@ -219,13 +225,7 @@ fn enumerate_shortest(
                 if let Some(&(short, _)) = targets.get(&v) {
                     if short == depth {
                         enumerated += 1;
-                        if let Some(b) = budget {
-                            if enumerated > b {
-                                return Err(Error::runtime(
-                                    "path enumeration budget exceeded (all-shortest-paths enumeration)",
-                                ));
-                            }
-                        }
+                        guard.tick_path()?;
                         out.entry(v)
                             .or_insert_with(|| (depth, BigCount::zero()))
                             .1
@@ -266,7 +266,7 @@ fn enumerate_simple(
     src: VertexId,
     nfa: &CompiledDarpe,
     vertex_flavor: bool,
-    budget: Option<u64>,
+    guard: &QueryGuard,
     stats: &mut MatchStats,
 ) -> Result<ReachMap> {
     let mut dfa = Dfa::new(nfa);
@@ -288,6 +288,7 @@ fn enumerate_simple(
     }
     let mut stack = vec![Frame { v: src, q: dfa.start(), next_edge: 0, via: None }];
     while !stack.is_empty() {
+        guard.checkpoint()?;
         let depth = (stack.len() - 1) as u32;
         let (v, q, first_visit) = {
             let top = stack.last().unwrap();
@@ -295,13 +296,7 @@ fn enumerate_simple(
         };
         if first_visit && dfa.is_accepting(q) {
             enumerated += 1;
-            if let Some(b) = budget {
-                if enumerated > b {
-                    return Err(Error::runtime(
-                        "path enumeration budget exceeded (non-repeating semantics)",
-                    ));
-                }
-            }
+            guard.tick_path()?;
             match out.get_mut(&v) {
                 None => {
                     out.insert(v, (depth, BigCount::one()));
@@ -370,7 +365,8 @@ mod tests {
     ) -> Option<u64> {
         let nfa = compiled(darpe, g);
         let mut stats = MatchStats::default();
-        let m = reach(g, src, &nfa, sem, Some(1_000_000), &mut stats).unwrap();
+        let guard = QueryGuard::with_path_budget(Some(1_000_000));
+        let m = reach(g, src, &nfa, sem, &guard, &mut stats).unwrap();
         m.get(&dst).map(|(_, c)| c.to_u64().unwrap())
     }
 
@@ -415,7 +411,9 @@ mod tests {
         // The shortest length is 7 (1-2-3-5-6-2-3-4).
         let nfa = compiled(darpe, &g);
         let mut stats = MatchStats::default();
-        let m = reach(&g, v[1], &nfa, PathSemantics::AllShortestPaths, None, &mut stats).unwrap();
+        let guard = QueryGuard::unlimited();
+        let m =
+            reach(&g, v[1], &nfa, PathSemantics::AllShortestPaths, &guard, &mut stats).unwrap();
         assert_eq!(m.get(&v[4]).map(|(d, _)| *d), Some(7));
     }
 
@@ -438,7 +436,8 @@ mod tests {
         let (g, spine) = diamond_chain(100);
         let nfa = compiled("E>*", &g);
         let mut stats = MatchStats::default();
-        let m = reach(&g, spine[0], &nfa, PathSemantics::AllShortestPaths, None, &mut stats)
+        let guard = QueryGuard::unlimited();
+        let m = reach(&g, spine[0], &nfa, PathSemantics::AllShortestPaths, &guard, &mut stats)
             .unwrap();
         assert_eq!(m.get(&spine[100]).unwrap().1, BigCount::pow2(100));
         // Polynomial state count: O(V) product states for this DFA.
@@ -450,15 +449,17 @@ mod tests {
         let (g, spine) = diamond_chain(30);
         let nfa = compiled("E>*", &g);
         let mut stats = MatchStats::default();
+        let guard = QueryGuard::with_path_budget(Some(10_000));
         let r = reach(
             &g,
             spine[0],
             &nfa,
             PathSemantics::NonRepeatedEdge,
-            Some(10_000),
+            &guard,
             &mut stats,
         );
-        assert!(r.is_err());
+        assert_eq!(r.unwrap_err().kind(), crate::error::ErrorKind::PathBudget);
+        assert!(guard.report().paths_enumerated > 10_000);
     }
 
     #[test]

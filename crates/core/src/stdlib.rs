@@ -183,27 +183,6 @@ CREATE QUERY OutsideConnections () {
 "#
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::parser::parse_query;
-
-    #[test]
-    fn all_stdlib_queries_parse() {
-        for src in [
-            pagerank("Page", "LinkTo"),
-            wcc("V", "E"),
-            sssp("V", "E"),
-            qn("V", "E"),
-            example4_sales().to_string(),
-            example5_multi_output().to_string(),
-            example6_topk_toys().to_string(),
-            example1_join().to_string(),
-        ] {
-            parse_query(&src).unwrap_or_else(|e| panic!("{e}\nin query:\n{src}"));
-        }
-    }
-}
 
 /// Triangle counting via a fixed-unique-length pattern: every triangle
 /// is matched once per orientation and corner (6 times total), so the
@@ -326,4 +305,26 @@ CREATE QUERY WeightedSSSP (vertex src) {{
         et = edge_type,
         w = weight_attr
     )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn all_stdlib_queries_parse() {
+        for src in [
+            pagerank("Page", "LinkTo"),
+            wcc("V", "E"),
+            sssp("V", "E"),
+            qn("V", "E"),
+            example4_sales().to_string(),
+            example5_multi_output().to_string(),
+            example6_topk_toys().to_string(),
+            example1_join().to_string(),
+        ] {
+            parse_query(&src).unwrap_or_else(|e| panic!("{e}\nin query:\n{src}"));
+        }
+    }
 }

@@ -1,0 +1,150 @@
+//! Fuzz-style robustness property: no input, however malformed, may make
+//! the lexer → parser → executor pipeline panic. Bad input must surface
+//! as a structured `Err(_)` (or, rarely, parse by accident and run to a
+//! normal result) — never as an unwind.
+//!
+//! Two generators feed the pipeline:
+//! * arbitrary byte soup (lossily decoded to UTF-8), and
+//! * valid stdlib queries with random mutations applied (truncation,
+//!   deletion, splicing of metacharacters, byte swaps) — closer to the
+//!   parser's "almost valid" attack surface than pure noise.
+//!
+//! Every run executes inside `catch_unwind` so a panic is reported as a
+//! property failure with the offending input, and under a tight resource
+//! budget so an accidentally-valid infinite loop cannot hang the suite.
+
+use gsql_core::{stdlib, Budget, Engine};
+use pgraph::generators::sales_graph;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+/// Runs one source text through the full pipeline; returns the panic
+/// payload message if it unwound.
+fn pipeline_panics(source: &str) -> Option<String> {
+    let g = sales_graph();
+    let budget = Budget::default()
+        .with_deadline(Duration::from_secs(2))
+        .with_max_binding_rows(100_000)
+        .with_max_paths(100_000)
+        .with_max_accum_bytes(1 << 24)
+        .with_max_while_iters(10_000);
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // Engine::run_text covers lex + parse + execute; its own
+        // top-level catch_unwind converts executor panics into
+        // WorkerPanic errors, which is exactly the no-panic contract.
+        let _ = Engine::new(&g).with_budget(budget).run_text(source, &[]);
+    }));
+    outcome.err().map(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+/// The seed corpus of valid queries to mutate.
+fn corpus() -> Vec<String> {
+    vec![
+        stdlib::qn("V", "E"),
+        stdlib::example4_sales().to_string(),
+        stdlib::example5_multi_output().to_string(),
+        stdlib::example6_topk_toys().to_string(),
+        stdlib::pagerank("Person", "Knows"),
+        stdlib::sssp("Person", "Knows"),
+    ]
+}
+
+/// Characters the GSQL lexer treats as structure — spliced in to hit
+/// tokenizer and parser edges.
+const METACHARS: &[char] = &[
+    '(', ')', '{', '}', '<', '>', '@', '#', '"', '\'', ';', ',', '.', '+', '-', '*', '/', '=',
+    ':', '_', '\\', '\n', '\t', '\0', 'é', '🦀',
+];
+
+fn mutate(mut text: String, ops: &[(u8, usize, usize)]) -> String {
+    for &(kind, a, b) in ops {
+        if text.is_empty() {
+            break;
+        }
+        // Snap arbitrary offsets to char boundaries.
+        let clamp = |i: usize| {
+            let mut i = i % (text.len() + 1);
+            while !text.is_char_boundary(i) {
+                i -= 1;
+            }
+            i
+        };
+        let (i, j) = (clamp(a), clamp(b));
+        let (lo, hi) = (i.min(j), i.max(j));
+        match kind % 4 {
+            // Truncate at an arbitrary boundary.
+            0 => text.truncate(lo),
+            // Delete a span.
+            1 => text.replace_range(lo..hi, ""),
+            // Splice a metacharacter.
+            2 => text.insert(lo, METACHARS[b % METACHARS.len()]),
+            // Duplicate a span (repeated tokens, unbalanced brackets).
+            _ => {
+                let span = text[lo..hi].to_string();
+                text.insert_str(hi, &span);
+            }
+        }
+    }
+    text
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let source = String::from_utf8_lossy(&bytes).into_owned();
+        if let Some(msg) = pipeline_panics(&source) {
+            prop_assert!(false, "pipeline panicked ({msg}) on bytes {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn mutated_valid_queries_never_panic(
+        which in 0usize..6,
+        ops in prop::collection::vec((0u8..4, 0usize..4096, 0usize..4096), 1..8),
+    ) {
+        let source = mutate(corpus()[which].clone(), &ops);
+        if let Some(msg) = pipeline_panics(&source) {
+            prop_assert!(false, "pipeline panicked ({msg}) on mutated query:\n{source}");
+        }
+    }
+}
+
+/// Hand-picked regression inputs that historically crash naive parsers:
+/// unterminated strings, lone sigils, deep nesting, NUL bytes.
+#[test]
+fn pathological_inputs_never_panic() {
+    let cases = [
+        "",
+        "\"",
+        "\"unterminated",
+        "@@",
+        "@@;",
+        "CREATE",
+        "CREATE QUERY",
+        "CREATE QUERY q() {",
+        "CREATE QUERY q() { PRINT",
+        "CREATE QUERY q() { PRINT 1 +; }",
+        "CREATE QUERY q() { PRINT ((((((((((1)))))))))); }",
+        "CREATE QUERY q() { S = SELECT v FROM ; }",
+        "CREATE QUERY q() { WHILE DO END; }",
+        "CREATE QUERY q() { SumAccum<> @@x; }",
+        "\0\0\0",
+        "CREATE QUERY q() { PRINT \0; }",
+        "-- comment only",
+        "CREATE QUERY q(INT n) { PRINT n(); }",
+    ];
+    for source in cases {
+        if let Some(msg) = pipeline_panics(source) {
+            panic!("pipeline panicked ({msg}) on {source:?}");
+        }
+    }
+}

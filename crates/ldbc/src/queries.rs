@@ -207,23 +207,6 @@ CREATE QUERY QGs () {{
     )
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use gsql_core::parser::parse_query;
-
-    #[test]
-    fn all_queries_parse() {
-        for hops in [2, 3, 4] {
-            for q in [ic3(hops), ic5(hops), ic6(hops), ic9(hops), ic11(hops)] {
-                parse_query(&q).unwrap_or_else(|e| panic!("{e}\n{q}"));
-            }
-        }
-        parse_query(&q_acc()).unwrap_or_else(|e| panic!("{e}\n{}", q_acc()));
-        parse_query(&q_gs()).unwrap_or_else(|e| panic!("{e}\n{}", q_gs()));
-    }
-}
-
 /// IS1-like: a person's profile (name, gender, browser, birthday, city).
 pub fn is1() -> String {
     r#"
@@ -284,4 +267,21 @@ CREATE QUERY is7 (vertex<Message> m) {
 }
 "#
     .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsql_core::parser::parse_query;
+
+    #[test]
+    fn all_queries_parse() {
+        for hops in [2, 3, 4] {
+            for q in [ic3(hops), ic5(hops), ic6(hops), ic9(hops), ic11(hops)] {
+                parse_query(&q).unwrap_or_else(|e| panic!("{e}\n{q}"));
+            }
+        }
+        parse_query(&q_acc()).unwrap_or_else(|e| panic!("{e}\n{}", q_acc()));
+        parse_query(&q_gs()).unwrap_or_else(|e| panic!("{e}\n{}", q_gs()));
+    }
 }

@@ -20,14 +20,15 @@
 use crate::graph::{Graph, GraphError};
 use crate::schema::{AttrDef, Schema, SchemaError};
 use crate::value::{Value, ValueType};
-use std::fmt::Write as _;
 
-/// Errors from parsing the text format.
+/// Errors from parsing or serializing the text format.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LoadError {
     Syntax { line: usize, msg: String },
     Schema(SchemaError),
     Graph(String),
+    /// The output sink failed while serializing.
+    Write(String),
 }
 
 impl std::fmt::Display for LoadError {
@@ -36,6 +37,7 @@ impl std::fmt::Display for LoadError {
             LoadError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
             LoadError::Schema(e) => write!(f, "{e}"),
             LoadError::Graph(e) => write!(f, "{e}"),
+            LoadError::Write(e) => write!(f, "write failed: {e}"),
         }
     }
 }
@@ -51,6 +53,12 @@ impl From<SchemaError> for LoadError {
 impl From<GraphError> for LoadError {
     fn from(e: GraphError) -> Self {
         LoadError::Graph(e.to_string())
+    }
+}
+
+impl From<std::fmt::Error> for LoadError {
+    fn from(e: std::fmt::Error) -> Self {
+        LoadError::Write(e.to_string())
     }
 }
 
@@ -124,16 +132,18 @@ fn field_to_value(ty: ValueType, field: &str, line: usize) -> Result<Value, Load
     })
 }
 
-/// Serializes `g` (schema + data) to the text format.
-pub fn save_to_string(g: &Graph) -> String {
-    let mut out = String::new();
-    out.push_str("#SCHEMA\n");
+/// Serializes `g` (schema + data) into any [`std::fmt::Write`] sink.
+///
+/// Sink failures propagate as [`LoadError::Write`] instead of panicking,
+/// so a full disk or broken pipe behind the sink is a reported error.
+pub fn save_to_writer<W: std::fmt::Write>(g: &Graph, out: &mut W) -> Result<(), LoadError> {
+    out.write_str("#SCHEMA\n")?;
     for (_, vt) in g.schema().vertex_types() {
-        write!(out, "VTYPE {}", vt.name).unwrap();
+        write!(out, "VTYPE {}", vt.name)?;
         for a in &vt.attrs {
-            write!(out, " {}:{}", a.name, a.ty).unwrap();
+            write!(out, " {}:{}", a.name, a.ty)?;
         }
-        out.push('\n');
+        out.write_char('\n')?;
     }
     for (_, et) in g.schema().edge_types() {
         write!(
@@ -141,34 +151,40 @@ pub fn save_to_string(g: &Graph) -> String {
             "ETYPE {} {}",
             et.name,
             if et.directed { "DIRECTED" } else { "UNDIRECTED" }
-        )
-        .unwrap();
+        )?;
         for a in &et.attrs {
-            write!(out, " {}:{}", a.name, a.ty).unwrap();
+            write!(out, " {}:{}", a.name, a.ty)?;
         }
-        out.push('\n');
+        out.write_char('\n')?;
     }
-    out.push_str("#DATA\n");
+    out.write_str("#DATA\n")?;
     for v in g.vertices() {
         let vt = g.vertex_type_of(v);
         let def = g.schema().vertex_type(vt);
-        write!(out, "V\t{}", def.name).unwrap();
+        write!(out, "V\t{}", def.name)?;
         for i in 0..def.attrs.len() {
-            write!(out, "\t{}", value_to_field(g.vertex_attr(v, i))).unwrap();
+            write!(out, "\t{}", value_to_field(g.vertex_attr(v, i)))?;
         }
-        out.push('\n');
+        out.write_char('\n')?;
     }
     for e in g.edges() {
         let et = g.edge_type_of(e);
         let def = g.schema().edge_type(et);
         let (s, t) = g.edge_endpoints(e);
-        write!(out, "E\t{}\t{}\t{}", def.name, s.0, t.0).unwrap();
+        write!(out, "E\t{}\t{}\t{}", def.name, s.0, t.0)?;
         for i in 0..def.attrs.len() {
-            write!(out, "\t{}", value_to_field(g.edge_attr(e, i))).unwrap();
+            write!(out, "\t{}", value_to_field(g.edge_attr(e, i)))?;
         }
-        out.push('\n');
+        out.write_char('\n')?;
     }
-    out
+    Ok(())
+}
+
+/// Serializes `g` (schema + data) to the text format.
+pub fn save_to_string(g: &Graph) -> Result<String, LoadError> {
+    let mut out = String::new();
+    save_to_writer(g, &mut out)?;
+    Ok(out)
 }
 
 /// Parses the text format back into a [`Graph`].
@@ -309,17 +325,17 @@ mod tests {
     #[test]
     fn round_trip_sales_graph() {
         let g = sales_graph();
-        let text = save_to_string(&g);
+        let text = save_to_string(&g).unwrap();
         let g2 = load_from_string(&text).unwrap();
         assert_eq!(g.vertex_count(), g2.vertex_count());
         assert_eq!(g.edge_count(), g2.edge_count());
-        assert_eq!(save_to_string(&g2), text);
+        assert_eq!(save_to_string(&g2).unwrap(), text);
     }
 
     #[test]
     fn round_trip_undirected() {
         let g = linkedin_graph();
-        let g2 = load_from_string(&save_to_string(&g)).unwrap();
+        let g2 = load_from_string(&save_to_string(&g).unwrap()).unwrap();
         let et = g2.schema().edge_type_id("Connected").unwrap();
         assert!(!g2.schema().is_directed(et));
         assert_eq!(g2.edge_count(), 7);
@@ -333,7 +349,7 @@ mod tests {
         let mut g = Graph::new(s);
         let vt = g.schema().vertex_type_id("T").unwrap();
         g.add_vertex(vt, vec![Value::Str("a\tb\\c\nd".into())]).unwrap();
-        let g2 = load_from_string(&save_to_string(&g)).unwrap();
+        let g2 = load_from_string(&save_to_string(&g).unwrap()).unwrap();
         assert_eq!(
             g2.vertex_attr_by_name(crate::graph::VertexId(0), "v"),
             Some(&Value::Str("a\tb\\c\nd".into()))
@@ -355,6 +371,83 @@ mod tests {
         assert!(matches!(
             load_from_string(bad),
             Err(LoadError::Syntax { line: 6, .. })
+        ));
+    }
+
+    #[test]
+    fn bad_attribute_value_is_an_error_not_a_panic() {
+        let bad = "#SCHEMA\nVTYPE A n:INT\n#DATA\nV\tA\tnot_a_number\n";
+        match load_from_string(bad) {
+            Err(LoadError::Syntax { line, msg }) => {
+                assert_eq!(line, 4);
+                assert!(msg.contains("bad int"), "{msg}");
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_fields_is_an_error() {
+        let bad = "#SCHEMA\nVTYPE A x:INT y:INT\n#DATA\nV\tA\t1\n";
+        match load_from_string(bad) {
+            Err(LoadError::Syntax { line: 4, msg }) => {
+                assert!(msg.contains("too few"), "{msg}")
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_data_section_is_an_error() {
+        assert!(matches!(
+            load_from_string("#SCHEMA\nVTYPE A\n"),
+            Err(LoadError::Syntax { .. })
+        ));
+    }
+
+    #[test]
+    fn data_before_data_marker_is_an_error() {
+        let bad = "#SCHEMA\nVTYPE A\nV\tA\n";
+        match load_from_string(bad) {
+            Err(LoadError::Syntax { line: 3, msg }) => {
+                assert!(msg.contains("before #DATA"), "{msg}")
+            }
+            other => panic!("expected syntax error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_vertex_type_in_data_is_a_schema_error() {
+        let bad = "#SCHEMA\nVTYPE A\n#DATA\nV\tB\n";
+        assert!(matches!(
+            load_from_string(bad),
+            Err(LoadError::Schema(SchemaError::UnknownVertexType(_)))
+        ));
+    }
+
+    /// A sink that fails after a fixed number of bytes — models a full
+    /// disk behind the writer.
+    struct Choke {
+        left: usize,
+    }
+
+    impl std::fmt::Write for Choke {
+        fn write_str(&mut self, s: &str) -> std::fmt::Result {
+            if s.len() > self.left {
+                return Err(std::fmt::Error);
+            }
+            self.left -= s.len();
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failing_sink_reports_write_error() {
+        let g = sales_graph();
+        let mut sink = Choke { left: 16 };
+        assert!(matches!(
+            save_to_writer(&g, &mut sink),
+            Err(LoadError::Write(_))
         ));
     }
 }

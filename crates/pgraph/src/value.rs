@@ -381,6 +381,34 @@ impl From<VertexId> for Value {
     }
 }
 
+/// Cheap, conservative heap-footprint estimation — the basis of the
+/// query engine's accumulator memory budget. Estimates count the inline
+/// size plus owned heap allocations; they are approximations (allocator
+/// overhead and capacity slack are ignored), intended for budget
+/// enforcement rather than exact profiling.
+pub trait MemSize {
+    /// Estimated total size in bytes (inline + owned heap).
+    fn estimated_bytes(&self) -> usize;
+}
+
+impl MemSize for Value {
+    fn estimated_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        inline
+            + match self {
+                Value::Str(s) => s.capacity(),
+                Value::Tuple(xs) | Value::List(xs) | Value::Set(xs) => {
+                    xs.iter().map(MemSize::estimated_bytes).sum()
+                }
+                Value::Map(entries) => entries
+                    .iter()
+                    .map(|(k, v)| k.estimated_bytes() + v.estimated_bytes())
+                    .sum(),
+                _ => 0,
+            }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -69,11 +69,11 @@ proptest! {
     #[test]
     fn loader_round_trips(n in 1usize..40, p in 0.0f64..0.3, seed in 0u64..1000) {
         let g = random_graph(n, p, seed);
-        let text = save_to_string(&g);
+        let text = save_to_string(&g).unwrap();
         let g2 = load_from_string(&text).unwrap();
         prop_assert_eq!(g.vertex_count(), g2.vertex_count());
         prop_assert_eq!(g.edge_count(), g2.edge_count());
-        prop_assert_eq!(save_to_string(&g2), text);
+        prop_assert_eq!(save_to_string(&g2).unwrap(), text);
     }
 
     /// BFS path counting is monotone under edge addition: adding an edge
@@ -129,6 +129,6 @@ fn set_vertex_attr_persists() {
     let v = b.vertex("V", &[("name", Value::from("old"))]).unwrap();
     let mut g = b.build();
     g.set_vertex_attr(v, 0, Value::from("new"));
-    let g2 = load_from_string(&save_to_string(&g)).unwrap();
+    let g2 = load_from_string(&save_to_string(&g).unwrap()).unwrap();
     assert_eq!(g2.vertex_attr_by_name(v, "name"), Some(&Value::from("new")));
 }

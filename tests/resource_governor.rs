@@ -1,0 +1,379 @@
+//! Fault-injection suite for the resource governor: every budget limit
+//! must fire deterministically with the matching structured [`ErrorKind`]
+//! and a populated [`ResourceReport`]; cancellation must stop a running
+//! loop from another thread; a panicking user-defined accumulator must be
+//! contained without poisoning the engine; and a within-budget query must
+//! return results identical to an ungoverned run.
+
+use accum::{AccumError, UserAccum};
+use gsql_core::{stdlib, Budget, Engine, ErrorKind, PathSemantics};
+use pgraph::generators::{diamond_chain, sales_graph};
+use pgraph::value::Value;
+use std::time::Duration;
+
+/// The Table-1 query: count paths v0 → v<n> on the diamond chain.
+fn qn_args(n: usize) -> [(&'static str, Value); 2] {
+    [
+        ("srcName", Value::from("v0")),
+        ("tgtName", Value::from(format!("v{n}"))),
+    ]
+}
+
+// ---- deadlines --------------------------------------------------------------
+
+#[test]
+fn deadline_fires_mid_bfs() {
+    // Counting BFS on a large chain: polynomial, but not within 0 ns.
+    let (g, _) = diamond_chain(20_000);
+    let err = Engine::new(&g)
+        .with_budget(Budget::default().with_deadline(Duration::ZERO))
+        .run_text(&stdlib::qn("V", "E"), &qn_args(20_000))
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::DeadlineExceeded);
+    let report = err.resource_report().expect("deadline errors carry a report");
+    assert_eq!(report.paths_enumerated, 0, "counting BFS materializes no paths");
+}
+
+#[test]
+fn deadline_fires_mid_enumeration() {
+    // NRE enumeration on diamond_chain(35) would take ~2^35 steps; a short
+    // deadline must abort it from inside the DFS kernel.
+    let (g, _) = diamond_chain(35);
+    let err = Engine::new(&g)
+        .with_semantics(PathSemantics::NonRepeatedEdge)
+        .with_budget(Budget::default().with_deadline(Duration::from_millis(50)))
+        .run_text(&stdlib::qn("V", "E"), &qn_args(35))
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::DeadlineExceeded);
+    let report = err.resource_report().unwrap();
+    assert!(report.elapsed >= Duration::from_millis(50));
+    // Well under a second: the deadline interrupted the kernel mid-flight.
+    assert!(report.elapsed < Duration::from_secs(30));
+}
+
+// ---- deterministic budgets --------------------------------------------------
+
+#[test]
+fn path_budget_trips_deterministically() {
+    let (g, _) = diamond_chain(30);
+    for _ in 0..3 {
+        let err = Engine::new(&g)
+            .with_semantics(PathSemantics::NonRepeatedEdge)
+            .with_enum_budget(10_000)
+            .run_text(&stdlib::qn("V", "E"), &qn_args(30))
+            .unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::PathBudget);
+        // The counter trips at exactly limit + 1, every run.
+        assert_eq!(err.resource_report().unwrap().paths_enumerated, 10_001);
+    }
+}
+
+#[test]
+fn zero_path_budget_means_zero_paths() {
+    let (g, _) = diamond_chain(5);
+    let err = Engine::new(&g)
+        .with_semantics(PathSemantics::NonRepeatedEdge)
+        .with_enum_budget(0)
+        .run_text(&stdlib::qn("V", "E"), &qn_args(5))
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::PathBudget);
+    assert_eq!(err.resource_report().unwrap().paths_enumerated, 1);
+}
+
+#[test]
+fn row_limit_trips_with_structured_error() {
+    let g = sales_graph();
+    // Unconstrained 3-variable pattern: plenty of binding rows.
+    let q = r#"
+        CREATE QUERY Wide () {
+          SumAccum<int> @@n;
+          S = SELECT c
+              FROM Customer:c -(Bought>:b)- Product:p
+              ACCUM @@n += 1;
+          PRINT @@n;
+        }
+    "#;
+    let err = Engine::new(&g)
+        .with_budget(Budget::default().with_max_binding_rows(2))
+        .run_text(q, &[])
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::RowLimit);
+    assert!(err.resource_report().unwrap().rows_materialized > 2);
+}
+
+#[test]
+fn memory_limit_trips_on_growing_accumulator() {
+    let g = sales_graph();
+    let q = r#"
+        CREATE QUERY Hoard () {
+          ListAccum<string> @@all;
+          S = SELECT c
+              FROM Customer:c -(Bought>:b)- Product:p
+              ACCUM @@all += p.category;
+          PRINT @@all.size();
+        }
+    "#;
+    let err = Engine::new(&g)
+        .with_budget(Budget::default().with_max_accum_bytes(64))
+        .run_text(q, &[])
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::MemoryLimit);
+    assert!(err.resource_report().unwrap().peak_accum_bytes > 64);
+    // The same query under a generous limit succeeds.
+    let out = Engine::new(&g)
+        .with_budget(Budget::default().with_max_accum_bytes(1 << 20))
+        .run_text(q, &[])
+        .unwrap();
+    assert!(out.report.peak_accum_bytes > 64);
+}
+
+#[test]
+fn iteration_limit_stops_unbounded_while() {
+    let g = sales_graph();
+    let q = r#"
+        CREATE QUERY Spin () {
+          SumAccum<int> @@i;
+          WHILE true DO
+            @@i += 1;
+          END;
+          PRINT @@i;
+        }
+    "#;
+    let err = Engine::new(&g)
+        .with_budget(Budget::default().with_max_while_iters(1_000))
+        .run_text(q, &[])
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::IterationLimit);
+    assert_eq!(err.resource_report().unwrap().while_iterations, 1_001);
+}
+
+// ---- cancellation -----------------------------------------------------------
+
+#[test]
+fn cancellation_stops_running_while_loop() {
+    let g = sales_graph();
+    let engine = Engine::new(&g);
+    let handle = engine.cancel_handle();
+    let q = r#"
+        CREATE QUERY Spin () {
+          SumAccum<int> @@i;
+          WHILE true DO
+            @@i += 1;
+          END;
+          PRINT @@i;
+        }
+    "#;
+    let canceller = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(100));
+        handle.cancel();
+    });
+    let err = engine.run_text(q, &[]).unwrap_err();
+    canceller.join().unwrap();
+    assert_eq!(err.kind(), ErrorKind::Cancelled);
+    assert!(err.resource_report().unwrap().while_iterations > 0);
+
+    // After reset, the engine is usable again.
+    engine.cancel_handle().reset();
+    let ok = engine
+        .run_text("CREATE QUERY G () { PRINT 1 + 1; }", &[])
+        .unwrap();
+    assert_eq!(ok.prints, vec!["expr = 2"]);
+}
+
+// ---- worker-panic containment -----------------------------------------------
+
+/// A user accumulator that panics in its combiner once fed enough inputs
+/// — models a buggy user extension blowing up mid-Map-phase.
+#[derive(Debug, Clone, Default)]
+struct BombAccum {
+    count: u64,
+}
+
+impl UserAccum for BombAccum {
+    fn combine(&mut self, _input: Value) -> Result<(), AccumError> {
+        self.count += 1;
+        if self.count > 3 {
+            panic!("BombAccum exploded");
+        }
+        Ok(())
+    }
+
+    fn assign(&mut self, _value: Value) -> Result<(), AccumError> {
+        Ok(())
+    }
+
+    fn value(&self) -> Value {
+        Value::Int(self.count as i64)
+    }
+
+    fn order_invariant(&self) -> bool {
+        true
+    }
+
+    fn clone_box(&self) -> Box<dyn UserAccum> {
+        Box::new(self.clone())
+    }
+}
+
+#[test]
+fn panicking_user_accum_is_contained() {
+    // ≥512 customers so the Map phase actually goes parallel
+    // (PARALLEL_THRESHOLD), with panics raised on worker threads.
+    let g = pgraph::generators::random_sales_graph(2_000, 100, 4, 7);
+    let q = r#"
+        CREATE QUERY Boom () {
+          BombAccum @@b;
+          S = SELECT c
+              FROM Customer:c -(Bought>:b)- Product:p
+              ACCUM @@b += 1;
+          PRINT @@b;
+        }
+    "#;
+    for parallelism in [1usize, 4] {
+        let mut engine = Engine::new(&g).with_parallelism(parallelism);
+        engine
+            .registry_mut()
+            .register("BombAccum", || Box::<BombAccum>::default());
+        let err = engine.run_text(q, &[]).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WorkerPanic, "parallelism={parallelism}");
+        assert!(
+            err.to_string().contains("BombAccum exploded"),
+            "panic payload should be preserved: {err}"
+        );
+        assert!(err.resource_report().is_some());
+
+        // The panic must not poison the engine: the same engine keeps
+        // serving queries.
+        let ok = engine
+            .run_text("CREATE QUERY G () { PRINT 6 * 7; }", &[])
+            .unwrap();
+        assert_eq!(ok.prints, vec!["expr = 42"]);
+    }
+}
+
+// ---- governor transparency --------------------------------------------------
+
+#[test]
+fn within_budget_results_identical_with_and_without_governor() {
+    let generous = Budget::default()
+        .with_deadline(Duration::from_secs(120))
+        .with_max_binding_rows(10_000_000)
+        .with_max_paths(10_000_000)
+        .with_max_accum_bytes(1 << 30)
+        .with_max_while_iters(1_000_000);
+
+    // Aggregation workload on the sales graph + enumerative path workload
+    // on the diamond chain.
+    let sales = sales_graph();
+    let (chain, _) = diamond_chain(12);
+    let qn = stdlib::qn("V", "E");
+    type Case<'a> = (&'a pgraph::graph::Graph, PathSemantics, String, Vec<(&'a str, Value)>);
+    let cases: [Case; 2] = [
+        (
+            &sales,
+            PathSemantics::AllShortestPaths,
+            stdlib::example5_multi_output().to_string(),
+            vec![],
+        ),
+        (
+            &chain,
+            PathSemantics::NonRepeatedEdge,
+            qn,
+            qn_args(12).to_vec(),
+        ),
+    ];
+    for (g, sem, q, args) in &cases {
+        let free = Engine::new(g).with_semantics(*sem).run_text(q, args).unwrap();
+        let governed = Engine::new(g)
+            .with_semantics(*sem)
+            .with_budget(generous.clone())
+            .run_text(q, args)
+            .unwrap();
+        // Everything but the (timing-dependent) resource report must be
+        // bit-identical.
+        assert_eq!(free.tables, governed.tables);
+        assert_eq!(free.prints, governed.prints);
+        assert_eq!(free.returned, governed.returned);
+        assert_eq!(free.stats, governed.stats);
+        // Both reports counted the same materialization work.
+        assert_eq!(free.report.rows_materialized, governed.report.rows_materialized);
+        assert_eq!(free.report.paths_enumerated, governed.report.paths_enumerated);
+    }
+}
+
+#[test]
+fn success_reports_are_populated() {
+    let (g, _) = diamond_chain(10);
+    let out = Engine::new(&g)
+        .with_semantics(PathSemantics::NonRepeatedEdge)
+        .run_text(&stdlib::qn("V", "E"), &qn_args(10))
+        .unwrap();
+    assert!(out.report.rows_materialized > 0);
+    assert_eq!(out.report.paths_enumerated, out.stats.paths_enumerated);
+    assert!(out.report.elapsed > Duration::ZERO);
+}
+
+// ---- WHILE LIMIT edge cases -------------------------------------------------
+
+#[test]
+fn negative_while_limit_is_rejected() {
+    let g = sales_graph();
+    let err = Engine::new(&g)
+        .run_text(
+            "CREATE QUERY G () { SumAccum<int> @@i; WHILE true LIMIT -3 DO @@i += 1; END; }",
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Runtime);
+    assert!(err.to_string().contains("non-negative"), "{err}");
+}
+
+#[test]
+fn non_integer_while_limit_is_rejected() {
+    let g = sales_graph();
+    let err = Engine::new(&g)
+        .run_text(
+            "CREATE QUERY G () { SumAccum<int> @@i; WHILE true LIMIT 2.5 DO @@i += 1; END; }",
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Runtime);
+}
+
+#[test]
+fn negative_select_limit_is_rejected() {
+    let g = sales_graph();
+    let err = Engine::new(&g)
+        .run_text(
+            "CREATE QUERY G () { S = SELECT c FROM Customer:c LIMIT -1; PRINT S.size(); }",
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Runtime);
+    assert!(err.to_string().contains("non-negative integer LIMIT"), "{err}");
+}
+
+#[test]
+fn non_integer_select_limit_is_rejected() {
+    let g = sales_graph();
+    let err = Engine::new(&g)
+        .run_text(
+            "CREATE QUERY G () { S = SELECT c FROM Customer:c LIMIT 1.5; PRINT S.size(); }",
+            &[],
+        )
+        .unwrap_err();
+    assert_eq!(err.kind(), ErrorKind::Runtime);
+    assert!(err.to_string().contains("non-negative integer LIMIT"), "{err}");
+}
+
+#[test]
+fn zero_select_limit_yields_empty_set() {
+    let g = sales_graph();
+    let out = Engine::new(&g)
+        .run_text(
+            "CREATE QUERY G () { S = SELECT c FROM Customer:c LIMIT 0; PRINT S.size(); }",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(out.prints, vec!["S.size() = 0"]);
+}

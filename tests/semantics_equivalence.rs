@@ -3,6 +3,7 @@
 //! tests on random graphs.
 
 use darpe::CompiledDarpe;
+use gsql_core::governor::QueryGuard;
 use gsql_core::semantics::{reach, MatchStats, PathSemantics};
 use pgraph::bigcount::BigCount;
 use pgraph::generators::{diamond_chain, erdos_renyi, grid};
@@ -18,7 +19,7 @@ fn kernel_count(
 ) -> Option<BigCount> {
     let nfa = CompiledDarpe::compile(&darpe::parse(darpe).unwrap(), g.schema()).unwrap();
     let mut stats = MatchStats::default();
-    reach(g, src, &nfa, sem, Some(5_000_000), &mut stats)
+    reach(g, src, &nfa, sem, &QueryGuard::with_path_budget(Some(5_000_000)), &mut stats)
         .unwrap()
         .get(&dst)
         .map(|(_, c)| c.clone())
@@ -58,7 +59,8 @@ fn diamond_all_pairs_match_native() {
     let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
     for src in g.vertices() {
         let mut stats = MatchStats::default();
-        let m = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut stats).unwrap();
+        let m = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, &QueryGuard::unlimited(), &mut stats)
+            .unwrap();
         for dst in g.vertices() {
             let native = pgraph::algo::count_shortest_paths(&g, src, dst);
             match (m.get(&dst), native) {
@@ -83,13 +85,13 @@ fn asp_enumeration_agrees_with_counting() {
         let mut s1 = MatchStats::default();
         let mut s2 = MatchStats::default();
         let counted =
-            reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut s1).unwrap();
+            reach(&g, src, &nfa, PathSemantics::AllShortestPaths, &QueryGuard::unlimited(), &mut s1).unwrap();
         let enumerated = reach(
             &g,
             src,
             &nfa,
             PathSemantics::AllShortestPathsEnumerate,
-            Some(10_000_000),
+            &QueryGuard::with_path_budget(Some(10_000_000)),
             &mut s2,
         )
         .unwrap();
@@ -117,8 +119,8 @@ proptest! {
         let src = VertexId(0);
         let mut s1 = MatchStats::default();
         let mut s2 = MatchStats::default();
-        let counted = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut s1).unwrap();
-        let enumerated = reach(&g, src, &nfa, PathSemantics::AllShortestPathsEnumerate, Some(2_000_000), &mut s2);
+        let counted = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, &QueryGuard::unlimited(), &mut s1).unwrap();
+        let enumerated = reach(&g, src, &nfa, PathSemantics::AllShortestPathsEnumerate, &QueryGuard::with_path_budget(Some(2_000_000)), &mut s2);
         if let Ok(enumerated) = enumerated {
             prop_assert_eq!(counted.len(), enumerated.len());
             for (t, (d, c)) in &counted {
@@ -137,8 +139,8 @@ proptest! {
         let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
         let src = VertexId(0);
         let mut s = MatchStats::default();
-        let asp = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, None, &mut s).unwrap();
-        let one = reach(&g, src, &nfa, PathSemantics::ShortestOne, None, &mut s).unwrap();
+        let asp = reach(&g, src, &nfa, PathSemantics::AllShortestPaths, &QueryGuard::unlimited(), &mut s).unwrap();
+        let one = reach(&g, src, &nfa, PathSemantics::ShortestOne, &QueryGuard::unlimited(), &mut s).unwrap();
         prop_assert_eq!(asp.len(), one.len());
         for (t, (d, _)) in &asp {
             let (od, oc) = &one[t];
@@ -156,8 +158,8 @@ proptest! {
         let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g.schema()).unwrap();
         let src = VertexId(0);
         let mut s = MatchStats::default();
-        let nre = reach(&g, src, &nfa, PathSemantics::NonRepeatedEdge, Some(500_000), &mut s);
-        let nrv = reach(&g, src, &nfa, PathSemantics::NonRepeatedVertex, Some(500_000), &mut s);
+        let nre = reach(&g, src, &nfa, PathSemantics::NonRepeatedEdge, &QueryGuard::with_path_budget(Some(500_000)), &mut s);
+        let nrv = reach(&g, src, &nfa, PathSemantics::NonRepeatedVertex, &QueryGuard::with_path_budget(Some(500_000)), &mut s);
         if let (Ok(nre), Ok(nrv)) = (nre, nrv) {
             for (t, (_, c)) in &nrv {
                 let nrec = nre.get(t).map(|(_, c)| c.clone()).unwrap_or_else(BigCount::zero);

@@ -1,0 +1,192 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `criterion` cannot be fetched. This shim implements the subset of the API
+//! the workspace benches use (`Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_with_input`, `bench_function`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) as a plain wall-clock harness: each
+//! benchmark runs one warm-up iteration plus `sample_size` timed iterations
+//! and prints min/median/max to stdout. There is no statistical analysis,
+//! HTML report, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, e.g. `q_gs/0.3`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Runs the closure under measurement.
+pub struct Bencher {
+    samples: usize,
+    timings: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up, untimed
+        self.timings.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            self.timings.push(start.elapsed());
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(group: &str, label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, timings: Vec::new() };
+    f(&mut b);
+    b.timings.sort_unstable();
+    let (min, med, max) = if b.timings.is_empty() {
+        (Duration::ZERO, Duration::ZERO, Duration::ZERO)
+    } else {
+        (b.timings[0], b.timings[b.timings.len() / 2], b.timings[b.timings.len() - 1])
+    };
+    println!(
+        "{group}/{label}: median {} (min {}, max {}, {} samples)",
+        fmt_duration(med),
+        fmt_duration(min),
+        fmt_duration(max),
+        samples
+    );
+}
+
+/// A named collection of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.label, self.sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.to_string(), self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into(), sample_size: self.default_sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, "", self.default_sample_size, &mut f);
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+}
+
+/// Re-export for callers that import `black_box` from criterion rather than
+/// `std::hint`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags like `--bench`; nothing to parse in
+            // this shim.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &1, |b, &_| {
+            b.iter(|| calls += 1)
+        });
+        group.finish();
+        assert_eq!(calls, 4); // 1 warm-up + 3 samples
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,646 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the real crates-io
+//! `proptest` cannot be fetched. This vendored shim implements the subset of
+//! the API this workspace actually uses — `proptest!`, `prop_assert*!`,
+//! `Strategy` with `prop_map`/`prop_recursive`/`boxed`, `Just`, range and
+//! tuple strategies, `prop_oneof!`, `prop::collection::vec`, and
+//! `prop::option::of` — on top of a small deterministic PRNG.
+//!
+//! Differences from the real crate, by design:
+//! * no shrinking: a failing case reports its inputs but is not minimized;
+//! * generation is fully deterministic per test name, so CI runs are
+//!   reproducible (there is no `PROPTEST_` env handling);
+//! * `prop_recursive` builds the recursion eagerly to the requested depth
+//!   instead of probabilistically, which bounds tree size the same way.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic xoshiro256++ generator used to drive strategies.
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            let mut sm = seed;
+            Self {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+
+        /// Seed derived from the fully-qualified test name, so every test
+        /// gets its own reproducible stream.
+        pub fn for_test(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            Self::from_seed(h)
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+
+        pub fn next_u128(&mut self) -> u128 {
+            ((self.next_u64() as u128) << 64) | self.next_u64() as u128
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be nonzero.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u128() % n as u128) as usize
+        }
+    }
+
+    /// Subset of the real `ProptestConfig`: only `cases` matters here.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Error type returned by a failing property body.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Eagerly stacks `f` on top of the leaf strategy `depth` times.
+        /// `_desired_size` and `_expected_branch` are accepted for API
+        /// compatibility; tree size is bounded by construction depth.
+        fn prop_recursive<S, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            S: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+        {
+            let mut s = self.boxed();
+            for _ in 0..depth {
+                s = f(s).boxed();
+            }
+            s
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn dyn_generate(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<V>(Arc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.dyn_generate(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    // Integer ranges. Uniformity via 128-bit modulo is biased by at most
+    // span/2^128, irrelevant for test generation.
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                    let off = rng.next_u128() % span;
+                    (self.start as i128).wrapping_add(off as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<u128> {
+        type Value = u128;
+        fn generate(&self, rng: &mut TestRng) -> u128 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.next_u128() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.next_f64() * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            assert!(self.start < self.end, "empty range strategy");
+            let v = self.start + rng.next_f64() as f32 * (self.end - self.start);
+            if v >= self.end {
+                self.start
+            } else {
+                v
+            }
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($s:ident/$v:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A/a);
+    tuple_strategy!(A/a, B/b);
+    tuple_strategy!(A/a, B/b, C/c);
+    tuple_strategy!(A/a, B/b, C/c, D/d);
+    tuple_strategy!(A/a, B/b, C/c, D/d, E/e);
+    tuple_strategy!(A/a, B/b, C/c, D/d, E/e, F/f);
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty vec length range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.start + rng.below(self.size.end - self.size.start);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    pub struct OptionStrategy<S>(S);
+
+    /// `prop::option::of(inner)`: `None` half the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Full-domain strategy for `any::<T>()`.
+    pub struct Any<T>(PhantomData<T>);
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary() -> Any<Self> {
+            Any(PhantomData)
+        }
+        fn from_rng(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::from_rng(rng)
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn from_rng(rng: &mut TestRng) -> $t {
+                    rng.next_u128() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn from_rng(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 0
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn from_rng(rng: &mut TestRng) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        T::arbitrary()
+    }
+}
+
+pub use arbitrary::{any, Arbitrary};
+
+/// `use proptest::prelude::*;`
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirrors the real prelude's `prop` module path.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+), l, r
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left), stringify!($right), l
+                ),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);) => {};
+    (config = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            #[allow(unused_imports)]
+            use $crate::strategy::Strategy as _;
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                let __inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(Ok(())) => {}
+                    Ok(Err($crate::test_runner::TestCaseError::Reject(_))) => {}
+                    Ok(Err(e)) => panic!(
+                        "proptest `{}` failed at case {}/{}: {}\n  inputs: {}",
+                        stringify!($name), __case + 1, __config.cases, e, __inputs
+                    ),
+                    Err(payload) => {
+                        eprintln!(
+                            "proptest `{}` panicked at case {}/{}\n  inputs: {}",
+                            stringify!($name), __case + 1, __config.cases, __inputs
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::for_test("ranges_respect_bounds");
+        for _ in 0..10_000 {
+            let a = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&a));
+            let b = (-50i64..50).generate(&mut rng);
+            assert!((-50..50).contains(&b));
+            let c = (0.05f64..0.3).generate(&mut rng);
+            assert!((0.05..0.3).contains(&c));
+            let d = (0u128..u128::MAX).generate(&mut rng);
+            assert!(d < u128::MAX);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let gen_all = || {
+            let mut rng = TestRng::for_test("determinism");
+            crate::collection::vec(0u64..1000, 1..20).generate(&mut rng)
+        };
+        assert_eq!(gen_all(), gen_all());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_binds_multiple_args(x in 0i64..10, ys in prop::collection::vec(0u32..5, 0..4)) {
+            prop_assert!(x >= 0);
+            for y in ys {
+                prop_assert!(y < 5, "y out of range: {}", y);
+            }
+        }
+
+        #[test]
+        fn early_return_ok_is_supported(x in 0u32..10) {
+            if x > 3 {
+                return Ok(());
+            }
+            prop_assert!(x <= 3);
+        }
+    }
+
+    #[test]
+    fn oneof_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(u32),
+            Node(Vec<Tree>),
+        }
+        let strat = (0u32..10).prop_map(Tree::Leaf).prop_recursive(3, 24, 4, |inner| {
+            prop_oneof![
+                crate::collection::vec(inner.clone(), 1..4).prop_map(Tree::Node),
+                inner,
+            ]
+        });
+        let mut rng = TestRng::for_test("oneof_and_recursive_compose");
+        for _ in 0..200 {
+            let t = strat.generate(&mut rng);
+            fn depth(t: &Tree) -> usize {
+                match t {
+                    Tree::Leaf(_) => 0,
+                    Tree::Node(c) => 1 + c.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&t) <= 3);
+        }
+    }
+}
