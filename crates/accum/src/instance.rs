@@ -635,6 +635,28 @@ mod tests {
     }
 
     #[test]
+    fn min_max_mixed_numerics_compare_exactly() {
+        // Regression: with the lossy `i64 as f64` ordering, 2^53 + 1
+        // compared Equal to Double(2^53), so Max kept the wrong witness.
+        let r = reg();
+        let p53 = 1i64 << 53;
+        let mut hi = mk(&AccumType::Max);
+        hi.combine(Value::Double(p53 as f64), &r).unwrap();
+        hi.combine(Value::Int(p53 + 1), &r).unwrap();
+        assert_eq!(hi.value(), Value::Int(p53 + 1));
+        let mut lo = mk(&AccumType::Min);
+        lo.combine(Value::Double(-(p53 as f64)), &r).unwrap();
+        lo.combine(Value::Int(-(p53 + 1)), &r).unwrap();
+        assert_eq!(lo.value(), Value::Int(-(p53 + 1)));
+        // Ordinary mixed magnitudes still interleave.
+        let mut m = mk(&AccumType::Min);
+        for v in [Value::Int(3), Value::Double(2.5), Value::Int(2), Value::Double(2.25)] {
+            m.combine(v, &r).unwrap();
+        }
+        assert_eq!(m.value(), Value::Int(2));
+    }
+
+    #[test]
     fn min_max_track_extremes() {
         let r = reg();
         let mut lo = mk(&AccumType::Min);

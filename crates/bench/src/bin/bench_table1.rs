@@ -1,0 +1,131 @@
+//! Micro-benchmark behind `BENCH_table1.json`: wall-clock numbers for the
+//! SDMC counting kernel (Table 1's `TG(count)` strategy) at the paper's
+//! diamond depth 30, a deeper chain that stresses the adjacency layout,
+//! and a multi-source fan-out workload that exercises the parallel
+//! kernel dispatch.
+//!
+//! Usage: `bench_table1 --label before [--parallelism N]`
+//!
+//! Prints one JSON object for the given label; the checked-in
+//! `BENCH_table1.json` is assembled from a `before` run (pre-CSR
+//! baseline) and an `after` run on the same machine.
+
+use bench::harness::timed;
+use darpe::CompiledDarpe;
+use gsql_core::governor::QueryGuard;
+use gsql_core::semantics::{reach, MatchStats, PathSemantics};
+use gsql_core::{stdlib, Engine};
+use pgraph::generators::{diamond_chain, erdos_renyi};
+use pgraph::value::Value;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Best-of-`runs` wall time for `f`, in fractional milliseconds.
+fn best_of(runs: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = Duration::MAX;
+    for _ in 0..runs {
+        let ((), t) = timed(&mut f);
+        best = best.min(t);
+    }
+    best.as_secs_f64() * 1e3
+}
+
+fn main() {
+    let mut label = "before".to_string();
+    let mut parallelism: usize = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8);
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--label" => label = it.next().unwrap_or_default(),
+            "--parallelism" => {
+                parallelism = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or(parallelism)
+            }
+            other => {
+                eprintln!("usage: bench_table1 [--label L] [--parallelism N] (got `{other}`)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // 1. The paper's Table 1 cell: Q_30 counting on the 30-diamond chain.
+    let (g30, _) = diamond_chain(30);
+    let qn = stdlib::qn("V", "E");
+    let args30 = [("srcName", Value::from("v0")), ("tgtName", Value::from("v30"))];
+    let qn_n30_ms = best_of(200, || {
+        Engine::new(&g30).run_text(&qn, &args30).unwrap();
+    });
+
+    // 2. Deep chain, kernel-level: a single SDMC counting `reach` over a
+    // 2000-diamond chain (path counts handled by BigCount) — dominated by
+    // the adjacency walk, so it isolates the layout change.
+    let (g2k, spine) = diamond_chain(2000);
+    let nfa = CompiledDarpe::compile(&darpe::parse("E>*").unwrap(), g2k.schema()).unwrap();
+    let kernel_d2000_ms = best_of(25, || {
+        let mut stats = MatchStats::default();
+        let guard = QueryGuard::unlimited();
+        let m = reach(&g2k, spine[0], &nfa, PathSemantics::AllShortestPaths, &guard, &mut stats)
+            .unwrap();
+        black_box(m.len());
+    });
+
+    // 3. Multi-source fan-out: one counting kernel per vertex of an
+    // Erdős–Rényi digraph, sequential vs parallel dispatch.
+    let ger = erdos_renyi(1500, 4.0 / 1500.0, 3);
+    let fanout = r#"
+CREATE QUERY Fanout () {
+  SumAccum<int> @hits;
+  R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+  PRINT R.size();
+}
+"#;
+    let fanout_seq_ms = best_of(3, || {
+        Engine::new(&ger).with_parallelism(1).run_text(fanout, &[]).unwrap();
+    });
+    let fanout_par_ms = best_of(3, || {
+        Engine::new(&ger)
+            .with_parallelism(parallelism)
+            .run_text(fanout, &[])
+            .unwrap();
+    });
+
+    // 4. Kernel-dominated fan-out: the same per-source counting kernels,
+    // but with the target anchored to a vertex parameter so almost no
+    // binding rows materialize. Fanout (3) is bound by sequential row
+    // materialization (~2M rows); this one is bound by the kernels
+    // themselves, so it shows the parallel dispatch scaling.
+    let ga = erdos_renyi(3000, 4.0 / 3000.0, 3);
+    let reaches = r#"
+CREATE QUERY Reaches (VERTEX tgt) {
+  SumAccum<int> @@n;
+  R = SELECT s FROM V:s -(E>*)- V:tgt ACCUM @@n += 1;
+  PRINT @@n;
+}
+"#;
+    let tgt = ("tgt", Value::Vertex(pgraph::graph::VertexId(0)));
+    let anchored_seq_ms = best_of(3, || {
+        Engine::new(&ga)
+            .with_parallelism(1)
+            .run_text(reaches, std::slice::from_ref(&tgt))
+            .unwrap();
+    });
+    let anchored_par_ms = best_of(3, || {
+        Engine::new(&ga)
+            .with_parallelism(parallelism)
+            .run_text(reaches, std::slice::from_ref(&tgt))
+            .unwrap();
+    });
+
+    println!(
+        "\"{label}\": {{\n  \"qn_n30_ms\": {qn_n30_ms:.3},\n  \"kernel_d2000_ms\": {kernel_d2000_ms:.3},\n  \
+         \"fanout_er1500_seq_ms\": {fanout_seq_ms:.1},\n  \
+         \"fanout_er1500_par{parallelism}_ms\": {fanout_par_ms:.1},\n  \
+         \"anchored_er3000_seq_ms\": {anchored_seq_ms:.1},\n  \
+         \"anchored_er3000_par{parallelism}_ms\": {anchored_par_ms:.1}\n}}"
+    );
+}

@@ -85,9 +85,12 @@ fn parse_bytes(s: &str) -> Result<u64, String> {
 }
 
 /// Strips leading `SET <key> = <value>` directives from the query source
-/// and folds them into a resource [`Budget`].
-fn extract_set_directives(source: &str) -> Result<(Budget, String), String> {
+/// and folds them into a resource [`Budget`] plus an execution thread
+/// count (`SET parallelism = N`; when absent the engine default applies,
+/// including a `GSQL_PARALLELISM` environment override).
+fn extract_set_directives(source: &str) -> Result<(Budget, Option<usize>, String), String> {
     let mut budget = Budget::default();
+    let mut parallelism = None;
     let mut rest = Vec::new();
     let mut in_header = true;
     for line in source.lines() {
@@ -113,10 +116,16 @@ fn extract_set_directives(source: &str) -> Result<(Budget, String), String> {
                 "path_budget" => budget.max_paths = Some(int(value)?),
                 "memory_limit" => budget.max_accum_bytes = Some(parse_bytes(value)?),
                 "iteration_limit" => budget.max_while_iters = Some(int(value)?),
+                "parallelism" => {
+                    parallelism =
+                        Some(value.parse::<usize>().ok().filter(|&n| n >= 1).ok_or_else(
+                            || format!("SET parallelism expects a positive integer, got `{value}`"),
+                        )?)
+                }
                 other => {
                     return Err(format!(
                         "unknown SET key `{other}` (expected timeout, row_limit, \
-                         path_budget, memory_limit, iteration_limit)"
+                         path_budget, memory_limit, iteration_limit, parallelism)"
                     ))
                 }
             }
@@ -125,7 +134,7 @@ fn extract_set_directives(source: &str) -> Result<(Budget, String), String> {
         in_header = false;
         rest.push(line);
     }
-    Ok((budget, rest.join("\n")))
+    Ok((budget, parallelism, rest.join("\n")))
 }
 
 fn load_graph(spec: &str) -> Result<Graph, String> {
@@ -215,7 +224,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (budget, source) = match extract_set_directives(&source) {
+    let (budget, parallelism, source) = match extract_set_directives(&source) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -240,7 +249,10 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let engine = Engine::new(&graph).with_semantics(semantics).with_budget(budget);
+    let mut engine = Engine::new(&graph).with_semantics(semantics).with_budget(budget);
+    if let Some(n) = parallelism {
+        engine = engine.with_parallelism(n);
+    }
     let arg_refs: Vec<(&str, Value)> =
         args.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
     match engine.run(&query, &arg_refs) {

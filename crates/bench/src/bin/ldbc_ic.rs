@@ -64,6 +64,7 @@ fn main() {
     // Optional wall-clock deadline per query (`--timeout 2s`); the path
     // budget alone already bounds enumeration work.
     let mut deadline = None;
+    let mut parallelism: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -74,8 +75,19 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--parallelism" => {
+                parallelism = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--parallelism expects a positive integer");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             other => {
-                eprintln!("usage: ldbc_ic [--timeout <dur>] (got `{other}`)");
+                eprintln!("usage: ldbc_ic [--timeout <dur>] [--parallelism <k>] (got `{other}`)");
                 std::process::exit(2);
             }
         }
@@ -103,10 +115,13 @@ fn main() {
                     let text = ic_text(name, hops);
                     let args = ic_args(p.clone(), name);
                     let (res, t) = timed(|| {
-                        Engine::new(&g)
+                        let mut e = Engine::new(&g)
                             .with_semantics(sem)
-                            .with_budget(budget.clone())
-                            .run_text(&text, &args)
+                            .with_budget(budget.clone());
+                        if let Some(n) = parallelism {
+                            e = e.with_parallelism(n);
+                        }
+                        e.run_text(&text, &args)
                     });
                     cells.push(match res {
                         Ok(_) => fmt_duration(t),

@@ -36,6 +36,7 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(30);
 
+    let mut parallelism: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,12 +56,33 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--parallelism" => {
+                parallelism = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| {
+                            eprintln!("--parallelism expects a positive integer");
+                            std::process::exit(2);
+                        }),
+                );
+            }
             other => {
-                eprintln!("usage: table1 [--timeout <dur>] [--max-n <n>] (got `{other}`)");
+                eprintln!(
+                    "usage: table1 [--timeout <dur>] [--max-n <n>] [--parallelism <k>] \
+                     (got `{other}`)"
+                );
                 std::process::exit(2);
             }
         }
     }
+    let mk_engine = |g| {
+        let e = Engine::new(g);
+        match parallelism {
+            Some(n) => e.with_parallelism(n),
+            None => e,
+        }
+    };
 
     let (g, _) = diamond_chain(30);
     println!(
@@ -84,7 +106,7 @@ fn main() {
             ("tgtName", Value::from(format!("v{n}"))),
         ];
 
-        let (out, t_count) = timed(|| Engine::new(&g).run_text(&q, &args).unwrap());
+        let (out, t_count) = timed(|| mk_engine(&g).run_text(&q, &args).unwrap());
         let count = out.prints[0].rsplit(", ").next().unwrap().to_string();
 
         let run_enum = |sem: PathSemantics, dead: &mut bool| -> String {
@@ -94,7 +116,7 @@ fn main() {
                 return "timeout".to_string();
             }
             let (res, t) = timed(|| {
-                Engine::new(&g)
+                mk_engine(&g)
                     .with_semantics(sem)
                     .with_budget(Budget::default().with_deadline(cap))
                     .run_text(&q, &args)

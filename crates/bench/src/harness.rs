@@ -9,11 +9,15 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (r, t0.elapsed())
 }
 
-/// Formats a duration like the paper's tables: ms below 10 s, else m/s.
+/// Formats a duration like the paper's tables: ms below 10 s, seconds
+/// below a minute (`15.0s`, not `0m15s`), else m/s.
 pub fn fmt_duration(d: Duration) -> String {
-    let ms = d.as_secs_f64() * 1e3;
+    let secs = d.as_secs_f64();
+    let ms = secs * 1e3;
     if ms < 10_000.0 {
         format!("{ms:.1}ms")
+    } else if secs < 60.0 {
+        format!("{secs:.1}s")
     } else {
         let s = d.as_secs();
         format!("{}m{:02}s", s / 60, s % 60)
@@ -46,6 +50,17 @@ pub fn parse_duration(s: &str) -> Result<Duration, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn durations_format() {
+        assert_eq!(fmt_duration(Duration::from_millis(42)), "42.0ms");
+        assert_eq!(fmt_duration(Duration::from_millis(9_950)), "9950.0ms");
+        // 10–60 s must render as seconds, not zero minutes.
+        assert_eq!(fmt_duration(Duration::from_secs(15)), "15.0s");
+        assert_eq!(fmt_duration(Duration::from_millis(59_949)), "59.9s");
+        assert_eq!(fmt_duration(Duration::from_secs(60)), "1m00s");
+        assert_eq!(fmt_duration(Duration::from_secs(135)), "2m15s");
+    }
 
     #[test]
     fn durations_parse() {

@@ -126,7 +126,13 @@ impl<'a> Env<'a> {
             }
         }
         if let Some(b) = self.lookup_binding(name) {
-            let tables = self.row.as_ref().unwrap().tables;
+            let tables = self
+                .row
+                .as_ref()
+                .ok_or_else(|| {
+                    Error::runtime(format!("`{name}` referenced outside a binding row"))
+                })?
+                .tables;
             return Ok(b.to_value(tables));
         }
         if let Some(locals) = self.locals {
@@ -254,7 +260,15 @@ fn eval_attr(env: &Env, base: &str, field: &str) -> Result<Value> {
                 .cloned()
                 .ok_or_else(|| Error::runtime(format!("edge has no attribute `{field}`"))),
             Binding::Row { table, row } => {
-                let t = env.row.as_ref().unwrap().tables[*table];
+                let t = *env
+                    .row
+                    .as_ref()
+                    .and_then(|r| r.tables.get(*table))
+                    .ok_or_else(|| {
+                        Error::runtime(format!(
+                            "`{base}` is a table binding with no backing table in scope"
+                        ))
+                    })?;
                 let idx = t
                     .column_index(field)
                     .ok_or_else(|| Error::runtime(format!("table `{}` has no column `{field}`", t.name)))?;

@@ -22,6 +22,11 @@ use std::collections::BTreeMap;
 /// multiplicity > 1 (outside the compressed representation).
 const ROW_EXPANSION_CAP: u64 = 1 << 20;
 
+/// Minimum number of distinct reachability-kernel sources before a Kleene
+/// hop fans kernels across worker threads (below this, thread setup costs
+/// more than the kernels).
+const KERNEL_PARALLEL_THRESHOLD: usize = 2;
+
 /// Threshold below which the Map phase stays sequential even when
 /// parallelism is enabled.
 const PARALLEL_THRESHOLD: usize = 512;
@@ -45,8 +50,16 @@ pub struct Engine<'g> {
 
 impl<'g> Engine<'g> {
     /// Engine with default settings: all-shortest-paths counting
-    /// semantics, sequential execution.
+    /// semantics, sequential execution — unless the `GSQL_PARALLELISM`
+    /// environment variable names a thread count, which becomes the
+    /// default (an explicit [`Engine::with_parallelism`] still wins).
+    /// CI uses the variable to run the whole suite threaded.
     pub fn new(graph: &'g Graph) -> Self {
+        let parallelism = std::env::var("GSQL_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
         Engine {
             graph,
             tables: FxHashMap::default(),
@@ -54,7 +67,7 @@ impl<'g> Engine<'g> {
             semantics: PathSemantics::AllShortestPaths,
             budget: Budget::default(),
             cancel: CancelHandle::new(),
-            parallelism: 1,
+            parallelism,
         }
     }
 
@@ -966,7 +979,52 @@ impl<'e, 'g> Runtime<'e, 'g> {
             self.semantics.is_enumerative() && (target_bound || spec_targets.is_some());
         let rev_nfa = if reverse_from_target { Some(nfa.reversed()) } else { None };
 
+        // Multi-source fan-out: pre-compute the distinct kernel keys the
+        // row loop below will ask for (forward: source vertices; backward:
+        // target anchors), in first-appearance row order, and run the
+        // reachability kernels across scoped worker threads. The warmed
+        // cache is then consumed by the unchanged sequential row loop, so
+        // row order, multiplicities, and output bytes are identical to
+        // parallelism 1.
         let mut cache: FxHashMap<VertexId, ReachMap> = FxHashMap::default();
+        if self.eng.parallelism > 1 {
+            let mut keys: Vec<VertexId> = Vec::new();
+            let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+            'scan: for row in &rows {
+                // Any row the sequential loop would reject (non-vertex
+                // binding) ends the scan: kernels past that point are
+                // never reached sequentially, so don't compute them.
+                let Ok(src) = vertex_at(row, prev_col, to_var) else { break };
+                let bound_target = match (existing_to, anchored_to) {
+                    (Some(c), _) => match row.bindings[c] {
+                        Binding::Vertex(v) => Some(v),
+                        _ => break 'scan,
+                    },
+                    (None, a) => a,
+                };
+                if rev_nfa.is_some() {
+                    let single;
+                    let targets: &[VertexId] = match (bound_target, &spec_targets) {
+                        (Some(t), _) => {
+                            single = [t];
+                            &single
+                        }
+                        (None, Some(ts)) => ts,
+                        (None, None) => unreachable!("reverse kernel requires a target anchor"),
+                    };
+                    for &t in targets {
+                        if seen.insert(t) {
+                            keys.push(t);
+                        }
+                    }
+                } else if seen.insert(src) {
+                    keys.push(src);
+                }
+            }
+            if keys.len() >= KERNEL_PARALLEL_THRESHOLD {
+                cache = self.parallel_kernels(&keys, rev_nfa.as_ref().unwrap_or(&nfa))?;
+            }
+        }
         let mut next = Vec::new();
         for row in rows {
             let before = next.len();
@@ -1048,6 +1106,109 @@ impl<'e, 'g> Runtime<'e, 'g> {
         Ok(next)
     }
 
+    /// Runs one reachability kernel per key across `Engine::parallelism`
+    /// scoped worker threads (work-stealing over the shared key list) and
+    /// returns the per-key [`ReachMap`]s.
+    ///
+    /// Determinism: each worker collects into a local [`MatchStats`] and
+    /// the counters (all sums) merge into `self.stats` after the scope, so
+    /// totals match sequential execution exactly. The shared [`QueryGuard`]
+    /// is checkpointed inside every kernel loop, so cancellation and budget
+    /// exhaustion stop all workers. A panicking worker poisons the guard
+    /// (stopping siblings at their next checkpoint) and surfaces as a
+    /// structured `WorkerPanic`; otherwise the error for the smallest key
+    /// index wins, mirroring the order the sequential loop would fail in.
+    fn parallel_kernels(
+        &mut self,
+        keys: &[VertexId],
+        nfa: &CompiledDarpe,
+    ) -> Result<FxHashMap<VertexId, ReachMap>> {
+        let graph = self.graph();
+        let semantics = self.semantics;
+        let guard = self.guard;
+        let nworkers = self.eng.parallelism.min(keys.len());
+        let next_key = std::sync::atomic::AtomicUsize::new(0);
+        type WorkerOut = (MatchStats, Vec<(usize, Result<ReachMap>)>);
+        let worker_out: Vec<WorkerOut> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..nworkers)
+                .map(|_| {
+                    let next_key = &next_key;
+                    s.spawn(move || -> WorkerOut {
+                        let mut stats = MatchStats::default();
+                        let mut done: Vec<(usize, Result<ReachMap>)> = Vec::new();
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            || loop {
+                                let i =
+                                    next_key.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                if i >= keys.len() {
+                                    break;
+                                }
+                                let r =
+                                    reach(graph, keys[i], nfa, semantics, guard, &mut stats);
+                                let failed = r.is_err();
+                                done.push((i, r));
+                                if failed {
+                                    break;
+                                }
+                            },
+                        ));
+                        if let Err(payload) = caught {
+                            guard.poison();
+                            done.push((usize::MAX, Err(guard.worker_panic_error(payload.as_ref()))));
+                        }
+                        (stats, done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        (
+                            MatchStats::default(),
+                            vec![(usize::MAX, Err(Error::runtime("kernel thread panicked")))],
+                        )
+                    })
+                })
+                .collect()
+        });
+        let mut maps: Vec<Option<ReachMap>> = keys.iter().map(|_| None).collect();
+        let mut first_err: Option<(usize, Error)> = None;
+        for (stats, done) in worker_out {
+            self.stats.merge(&stats);
+            for (i, r) in done {
+                match r {
+                    Ok(m) => maps[i] = Some(m),
+                    Err(e) => {
+                        let replace = match &first_err {
+                            None => true,
+                            Some((pi, pe)) => {
+                                if pe.kind() == crate::error::ErrorKind::WorkerPanic {
+                                    false
+                                } else if e.kind() == crate::error::ErrorKind::WorkerPanic {
+                                    true
+                                } else {
+                                    i < *pi
+                                }
+                            }
+                        };
+                        if replace {
+                            first_err = Some((i, e));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        Ok(keys
+            .iter()
+            .zip(maps)
+            .map(|(k, m)| (*k, m.expect("kernel completed without result or error")))
+            .collect())
+    }
+
     // ---- ACCUM --------------------------------------------------------------
 
     fn run_accum(
@@ -1067,7 +1228,11 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 }
             }
         }
-        let name_idx = |n: &str| names.iter().position(|x| *x == n).unwrap();
+        let name_idx = |n: &str| -> Result<usize> {
+            names.iter().position(|x| *x == n).ok_or_else(|| {
+                Error::runtime(format!("accumulator `{n}` is not a target of this ACCUM clause"))
+            })
+        };
 
         // Map phase.
         let guard = self.guard;
@@ -1090,7 +1255,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         let value = eval(&env, expr)?;
                         let vertex = crate::eval::resolve_vertex(&env, var)?;
                         out.push(Emission {
-                            target: EmitTarget::V { name: name_idx(name), vertex },
+                            target: EmitTarget::V { name: name_idx(name)?, vertex },
                             value,
                             combine: *combine,
                             mult: row.mult.clone(),
@@ -1099,7 +1264,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     AccStmt::GAcc { name, combine, expr } => {
                         let value = eval(&env, expr)?;
                         out.push(Emission {
-                            target: EmitTarget::G { name: name_idx(name) },
+                            target: EmitTarget::G { name: name_idx(name)? },
                             value,
                             combine: *combine,
                             mult: row.mult.clone(),

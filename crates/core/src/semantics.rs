@@ -72,6 +72,20 @@ pub struct MatchStats {
     pub acc_executions: u64,
 }
 
+impl MatchStats {
+    /// Folds a worker thread's locally-collected counters into this one.
+    /// Every field is a sum, so the merged totals are independent of
+    /// worker count and merge order — parallelism never changes the
+    /// reported statistics.
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.kernel_calls += other.kernel_calls;
+        self.product_states += other.product_states;
+        self.paths_enumerated += other.paths_enumerated;
+        self.binding_rows += other.binding_rows;
+        self.acc_executions += other.acc_executions;
+    }
+}
+
 /// Per-target reachability result: shortest legal length and path count.
 pub type ReachMap = FxHashMap<VertexId, (u32, BigCount)>;
 
@@ -241,7 +255,7 @@ fn enumerate_shortest(
         let adj = graph.adjacency(v);
         let mut advanced = false;
         let start_edge = stack.last().unwrap().next_edge;
-        for (off, a) in adj[start_edge..].iter().enumerate() {
+        for (off, a) in adj.iter_from(start_edge).enumerate() {
             if let Some(nq) = dfa.next(q, a.etype, a.dir) {
                 let idx = start_edge + off;
                 stack.last_mut().unwrap().next_edge = idx + 1;
@@ -310,7 +324,7 @@ fn enumerate_simple(
         let adj = graph.adjacency(v);
         let start_edge = stack.last().unwrap().next_edge;
         let mut advanced = false;
-        for (off, a) in adj[start_edge..].iter().enumerate() {
+        for (off, a) in adj.iter_from(start_edge).enumerate() {
             let idx = start_edge + off;
             if vertex_flavor {
                 if used_vertices.contains_key(&a.other) {

@@ -141,6 +141,16 @@ fn pathological_inputs_never_panic() {
         "CREATE QUERY q() { PRINT \0; }",
         "-- comment only",
         "CREATE QUERY q(INT n) { PRINT n(); }",
+        // Accumulator/column name resolution paths that used to hide
+        // bare `unwrap()`s (exec.rs name interning, eval.rs row/table
+        // lookups) — all must surface as structured runtime errors.
+        "CREATE QUERY q() { R = SELECT c FROM Customer:c ACCUM c.@undeclared += 1; }",
+        "CREATE QUERY q() { R = SELECT c FROM Customer:c ACCUM @@ghost += 1; }",
+        "CREATE QUERY q() { R = SELECT c FROM Customer:c POST_ACCUM c.@nope += 1; }",
+        "CREATE QUERY q() { R = SELECT r FROM Orders:r WHERE r.nosuchcolumn == 1; }",
+        "CREATE QUERY q() { R = SELECT c FROM Customer:c WHERE c.nosuchattr > 0; }",
+        "CREATE QUERY q() { PRINT lonely.column; }",
+        "CREATE QUERY q() { SumAccum<int> @@t; R = SELECT c FROM Customer:c ACCUM @@t += c.missing; }",
     ];
     for source in cases {
         if let Some(msg) = pipeline_panics(source) {

@@ -1,12 +1,24 @@
 //! In-memory property graph storage.
 //!
-//! Vertices and edges carry typed attribute rows; adjacency is stored per
-//! vertex as a flat, type-and-direction tagged list so the DARPE matcher
-//! can walk `(edge type, direction)`-labelled transitions in O(degree).
+//! Vertices and edges carry typed attribute rows. Adjacency is stored in
+//! **compressed sparse row** (CSR) form: one flat `Vec<AdjEntry>` shared
+//! by all vertices, a per-vertex offset array, and a per-`(vertex, edge
+//! type)` offset array so typed traversal and degree queries are slice
+//! lookups instead of filtered scans. Within a vertex's CSR range entries
+//! are grouped by edge type and, inside each type group, ordered
+//! `Out < Und < In` (stable on insertion order), which is what lets
+//! `outdegree`/`indegree` answer with a binary partition point.
+//!
+//! Mutation stays cheap: `add_vertex`/`add_edge` append to a small
+//! per-vertex *overlay* that readers transparently chain after the CSR
+//! range. [`Graph::finalize`] (called by [`GraphBuilder::build`], the
+//! loaders and the generators) folds the overlay back into the flat
+//! arrays, so steady-state traversal touches only contiguous memory.
 
 use crate::schema::{ETypeId, Schema, SchemaError, VTypeId};
 use crate::value::Value;
 use std::fmt;
+use std::ops::Index;
 
 /// Identifier of a vertex (dense, global across vertex types).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -27,6 +39,18 @@ pub enum Dir {
     Out,
     In,
     Und,
+}
+
+/// CSR intra-group ordering rank: `Out < Und < In`, so the out-going
+/// prefix (`dir != In`) and in-coming suffix (`dir != Out`) of a type
+/// group are both contiguous.
+#[inline]
+fn dir_rank(d: Dir) -> u8 {
+    match d {
+        Dir::Out => 0,
+        Dir::Und => 1,
+        Dir::In => 2,
+    }
 }
 
 /// One adjacency record: crossing `edge` from the owning vertex reaches
@@ -87,14 +111,145 @@ impl From<SchemaError> for GraphError {
     }
 }
 
-/// The property graph: schema + vertex/edge stores + adjacency.
+/// The finalized flat adjacency arrays. `offsets` covers the vertices
+/// that existed at the last [`Graph::finalize`]; vertices added since
+/// live entirely in the overlay.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    /// All adjacency entries, grouped by vertex, then edge type, then
+    /// [`dir_rank`], stable on edge-insertion order.
+    adj: Vec<AdjEntry>,
+    /// `offsets[v]..offsets[v + 1]` is vertex `v`'s slice of `adj`.
+    /// Length `covered + 1` (empty when never finalized).
+    offsets: Vec<u32>,
+    /// `type_offsets[v * ntypes + t]` is the start of vertex `v`'s
+    /// type-`t` group; the group ends at the next element. Length
+    /// `covered * ntypes + 1` (empty when never finalized).
+    type_offsets: Vec<u32>,
+}
+
+impl Csr {
+    /// Number of vertices the finalized arrays cover.
+    fn covered(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Vertex `v`'s finalized adjacency slice (empty if not covered).
+    fn vertex_slice(&self, v: usize) -> &[AdjEntry] {
+        if v + 1 < self.offsets.len() {
+            &self.adj[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+
+    /// Vertex `v`'s finalized type-`t` group (empty if not covered).
+    fn type_slice(&self, v: usize, t: usize, ntypes: usize) -> &[AdjEntry] {
+        let i = v * ntypes + t;
+        if ntypes > 0 && i + 1 < self.type_offsets.len() {
+            &self.adj[self.type_offsets[i] as usize..self.type_offsets[i + 1] as usize]
+        } else {
+            &[]
+        }
+    }
+}
+
+/// A borrowed view of one vertex's adjacency: the finalized CSR slice
+/// chained with the mutation overlay's tail. Cheap to copy; iterates as
+/// `&AdjEntry` and supports positional indexing so enumeration kernels
+/// can suspend/resume at an edge offset.
+#[derive(Clone, Copy)]
+pub struct AdjView<'a> {
+    base: &'a [AdjEntry],
+    tail: &'a [AdjEntry],
+}
+
+/// Iterator over an [`AdjView`].
+pub type AdjIter<'a> =
+    std::iter::Chain<std::slice::Iter<'a, AdjEntry>, std::slice::Iter<'a, AdjEntry>>;
+
+impl<'a> AdjView<'a> {
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.base.len() + self.tail.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.tail.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&'a AdjEntry> {
+        if i < self.base.len() {
+            self.base.get(i)
+        } else {
+            self.tail.get(i - self.base.len())
+        }
+    }
+
+    #[inline]
+    pub fn iter(&self) -> AdjIter<'a> {
+        self.base.iter().chain(self.tail.iter())
+    }
+
+    /// Iterates entries starting at position `start` (O(1) setup — used
+    /// by the DFS kernels to resume a partially-walked vertex).
+    #[inline]
+    pub fn iter_from(&self, start: usize) -> AdjIter<'a> {
+        if start <= self.base.len() {
+            self.base[start..].iter().chain(self.tail.iter())
+        } else {
+            let t = (start - self.base.len()).min(self.tail.len());
+            self.base[self.base.len()..].iter().chain(self.tail[t..].iter())
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<AdjEntry> {
+        self.iter().copied().collect()
+    }
+}
+
+impl Index<usize> for AdjView<'_> {
+    type Output = AdjEntry;
+
+    #[inline]
+    fn index(&self, i: usize) -> &AdjEntry {
+        self.get(i).expect("adjacency index out of range")
+    }
+}
+
+impl<'a> IntoIterator for AdjView<'a> {
+    type Item = &'a AdjEntry;
+    type IntoIter = AdjIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &AdjView<'a> {
+    type Item = &'a AdjEntry;
+    type IntoIter = AdjIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+/// The property graph: schema + vertex/edge stores + CSR adjacency.
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
     schema: Schema,
     vertices: Vec<VertexData>,
     edges: Vec<EdgeData>,
     by_type: Vec<Vec<VertexId>>,
-    adjacency: Vec<Vec<AdjEntry>>,
+    csr: Csr,
+    /// Adjacency entries added since the last finalize, per vertex
+    /// (insertion order; readers chain these after the CSR slice).
+    overlay: Vec<Vec<AdjEntry>>,
+    /// Total entries across `overlay` (0 ⇔ fully finalized).
+    overlay_entries: usize,
 }
 
 impl Graph {
@@ -106,7 +261,9 @@ impl Graph {
             vertices: Vec::new(),
             edges: Vec::new(),
             by_type: vec![Vec::new(); nt],
-            adjacency: Vec::new(),
+            csr: Csr::default(),
+            overlay: Vec::new(),
+            overlay_entries: 0,
         }
     }
 
@@ -120,6 +277,12 @@ impl Graph {
 
     pub fn edge_count(&self) -> usize {
         self.edges.len()
+    }
+
+    /// Whether every adjacency entry lives in the flat CSR arrays (no
+    /// pending mutation overlay).
+    pub fn is_finalized(&self) -> bool {
+        self.overlay_entries == 0 && self.csr.covered() == self.vertices.len()
     }
 
     /// Adds a vertex of type `vt`. `attrs` must match the declared arity;
@@ -139,13 +302,14 @@ impl Graph {
             attrs: attrs.into_boxed_slice(),
         });
         self.by_type[vt.0 as usize].push(id);
-        self.adjacency.push(Vec::new());
+        self.overlay.push(Vec::new());
         Ok(id)
     }
 
     /// Adds an edge of type `et` from `src` to `dst`. For undirected edge
     /// types the (src, dst) order is storage-only; traversal treats both
-    /// endpoints symmetrically.
+    /// endpoints symmetrically. The new adjacency entries land in the
+    /// mutation overlay until the next [`Graph::finalize`].
     pub fn add_edge(
         &mut self,
         et: ETypeId,
@@ -184,15 +348,115 @@ impl Graph {
         let id = EdgeId(self.edges.len() as u32);
         self.edges.push(EdgeData { etype: et, src, dst, attrs: attrs.into_boxed_slice() });
         if directed {
-            self.adjacency[src.0 as usize].push(AdjEntry { etype: et, dir: Dir::Out, edge: id, other: dst });
-            self.adjacency[dst.0 as usize].push(AdjEntry { etype: et, dir: Dir::In, edge: id, other: src });
+            self.overlay[src.0 as usize]
+                .push(AdjEntry { etype: et, dir: Dir::Out, edge: id, other: dst });
+            self.overlay[dst.0 as usize]
+                .push(AdjEntry { etype: et, dir: Dir::In, edge: id, other: src });
+            self.overlay_entries += 2;
         } else {
-            self.adjacency[src.0 as usize].push(AdjEntry { etype: et, dir: Dir::Und, edge: id, other: dst });
+            self.overlay[src.0 as usize]
+                .push(AdjEntry { etype: et, dir: Dir::Und, edge: id, other: dst });
+            self.overlay_entries += 1;
             if src != dst {
-                self.adjacency[dst.0 as usize].push(AdjEntry { etype: et, dir: Dir::Und, edge: id, other: src });
+                self.overlay[dst.0 as usize]
+                    .push(AdjEntry { etype: et, dir: Dir::Und, edge: id, other: src });
+                self.overlay_entries += 1;
             }
         }
         Ok(id)
+    }
+
+    /// Rebuilds the flat CSR arrays from the edge store and clears the
+    /// mutation overlay. O(V + E); idempotent. Loaders, generators and
+    /// [`GraphBuilder::build`] call this so query execution sees flat,
+    /// type-grouped adjacency.
+    pub fn finalize(&mut self) {
+        let nv = self.vertices.len();
+        let nt = self.schema.edge_type_count();
+        let mut counts = vec![0u32; nv + 1];
+        let emit_counts = |e: &EdgeData, counts: &mut Vec<u32>| {
+            let directed = self.schema.edge_type(e.etype).directed;
+            counts[e.src.0 as usize + 1] += 1;
+            if directed || e.src != e.dst {
+                counts[e.dst.0 as usize + 1] += 1;
+            }
+        };
+        for e in &self.edges {
+            emit_counts(e, &mut counts);
+        }
+        // Prefix-sum into offsets.
+        for i in 0..nv {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts;
+        let total = *offsets.last().unwrap_or(&0) as usize;
+        let mut adj = vec![
+            AdjEntry { etype: ETypeId(0), dir: Dir::Out, edge: EdgeId(0), other: VertexId(0) };
+            total
+        ];
+        let mut cursor: Vec<u32> = offsets[..nv].to_vec();
+        for (i, e) in self.edges.iter().enumerate() {
+            let id = EdgeId(i as u32);
+            let directed = self.schema.edge_type(e.etype).directed;
+            let mut place = |v: VertexId, entry: AdjEntry, cursor: &mut Vec<u32>| {
+                let c = &mut cursor[v.0 as usize];
+                adj[*c as usize] = entry;
+                *c += 1;
+            };
+            if directed {
+                place(
+                    e.src,
+                    AdjEntry { etype: e.etype, dir: Dir::Out, edge: id, other: e.dst },
+                    &mut cursor,
+                );
+                place(
+                    e.dst,
+                    AdjEntry { etype: e.etype, dir: Dir::In, edge: id, other: e.src },
+                    &mut cursor,
+                );
+            } else {
+                place(
+                    e.src,
+                    AdjEntry { etype: e.etype, dir: Dir::Und, edge: id, other: e.dst },
+                    &mut cursor,
+                );
+                if e.src != e.dst {
+                    place(
+                        e.dst,
+                        AdjEntry { etype: e.etype, dir: Dir::Und, edge: id, other: e.src },
+                        &mut cursor,
+                    );
+                }
+            }
+        }
+        // Group each vertex's slice by (edge type, direction rank),
+        // stable on insertion order.
+        for v in 0..nv {
+            adj[offsets[v] as usize..offsets[v + 1] as usize]
+                .sort_by_key(|a| (a.etype.0, dir_rank(a.dir)));
+        }
+        // Per-(vertex, type) group boundaries.
+        let mut type_offsets = vec![0u32; nv * nt + 1];
+        for v in 0..nv {
+            let end = offsets[v + 1] as usize;
+            let mut cur = offsets[v] as usize;
+            for t in 0..nt {
+                type_offsets[v * nt + t] = cur as u32;
+                while cur < end && adj[cur].etype.0 as usize == t {
+                    cur += 1;
+                }
+            }
+            debug_assert_eq!(cur, end, "entry with out-of-range edge type");
+        }
+        if let Some(last) = type_offsets.last_mut() {
+            *last = total as u32;
+        }
+        self.csr = Csr { adj, offsets, type_offsets };
+        for o in &mut self.overlay {
+            o.clear();
+        }
+        self.overlay.resize(nv, Vec::new());
+        self.overlay_entries = 0;
     }
 
     /// The type of vertex `v`.
@@ -241,9 +505,31 @@ impl Graph {
         self.vertices[v.0 as usize].attrs[idx] = value;
     }
 
-    /// All adjacency entries of `v`.
-    pub fn adjacency(&self, v: VertexId) -> &[AdjEntry] {
-        &self.adjacency[v.0 as usize]
+    /// All adjacency entries of `v`: the finalized CSR slice chained with
+    /// any overlay tail. On a finalized graph the tail is empty and
+    /// iteration is a single contiguous scan.
+    #[inline]
+    pub fn adjacency(&self, v: VertexId) -> AdjView<'_> {
+        let i = v.0 as usize;
+        AdjView {
+            base: self.csr.vertex_slice(i),
+            tail: self.overlay.get(i).map(|o| o.as_slice()).unwrap_or(&[]),
+        }
+    }
+
+    /// Adjacency entries of `v` with edge type `etype` — a direct slice
+    /// lookup on a finalized graph (plus a filtered overlay tail
+    /// otherwise).
+    pub fn adjacency_of_type(
+        &self,
+        v: VertexId,
+        etype: ETypeId,
+    ) -> impl Iterator<Item = &AdjEntry> {
+        let i = v.0 as usize;
+        let nt = self.schema.edge_type_count();
+        let base = self.csr.type_slice(i, etype.0 as usize, nt);
+        let tail = self.overlay.get(i).map(|o| o.as_slice()).unwrap_or(&[]);
+        base.iter().chain(tail.iter().filter(move |a| a.etype == etype))
     }
 
     /// All vertices of type `vt`, in insertion order.
@@ -261,26 +547,71 @@ impl Graph {
         (0..self.edges.len() as u32).map(EdgeId)
     }
 
+    /// Count of entries in a dir-ranked group slice whose rank is below
+    /// `below` (the groups are sorted by [`dir_rank`], so this is a
+    /// binary partition point, not a scan).
+    fn rank_prefix(group: &[AdjEntry], below: u8) -> usize {
+        group.partition_point(|a| dir_rank(a.dir) < below)
+    }
+
     /// GSQL's `v.outdegree()`: number of edges leaving `v` (directed out
     /// plus undirected incident). With `etype`, restricted to that type.
     pub fn outdegree(&self, v: VertexId, etype: Option<ETypeId>) -> usize {
-        self.adjacency[v.0 as usize]
-            .iter()
-            .filter(|a| a.dir != Dir::In && etype.is_none_or(|t| a.etype == t))
-            .count()
+        let i = v.0 as usize;
+        let nt = self.schema.edge_type_count();
+        // CSR part: per type group, `Out` + `Und` entries form the prefix
+        // before the first `In` entry.
+        let base: usize = match etype {
+            Some(t) => Self::rank_prefix(self.csr.type_slice(i, t.0 as usize, nt), 2),
+            None => (0..nt)
+                .map(|t| Self::rank_prefix(self.csr.type_slice(i, t, nt), 2))
+                .sum(),
+        };
+        let tail = self
+            .overlay
+            .get(i)
+            .map(|o| {
+                o.iter()
+                    .filter(|a| a.dir != Dir::In && etype.is_none_or(|t| a.etype == t))
+                    .count()
+            })
+            .unwrap_or(0);
+        base + tail
     }
 
     /// Number of edges entering `v` (directed in plus undirected incident).
     pub fn indegree(&self, v: VertexId, etype: Option<ETypeId>) -> usize {
-        self.adjacency[v.0 as usize]
-            .iter()
-            .filter(|a| a.dir != Dir::Out && etype.is_none_or(|t| a.etype == t))
-            .count()
+        let i = v.0 as usize;
+        let nt = self.schema.edge_type_count();
+        // CSR part: `Und` + `In` entries form the suffix at and after the
+        // first non-`Out` entry.
+        let base: usize = match etype {
+            Some(t) => {
+                let g = self.csr.type_slice(i, t.0 as usize, nt);
+                g.len() - Self::rank_prefix(g, 1)
+            }
+            None => (0..nt)
+                .map(|t| {
+                    let g = self.csr.type_slice(i, t, nt);
+                    g.len() - Self::rank_prefix(g, 1)
+                })
+                .sum(),
+        };
+        let tail = self
+            .overlay
+            .get(i)
+            .map(|o| {
+                o.iter()
+                    .filter(|a| a.dir != Dir::Out && etype.is_none_or(|t| a.etype == t))
+                    .count()
+            })
+            .unwrap_or(0);
+        base + tail
     }
 
     /// Total degree of `v`.
     pub fn degree(&self, v: VertexId) -> usize {
-        self.adjacency[v.0 as usize].len()
+        self.adjacency(v).len()
     }
 }
 
@@ -353,8 +684,10 @@ impl GraphBuilder {
         self.graph.add_edge(et, src, dst, row)
     }
 
-    /// Finishes building.
-    pub fn build(self) -> Graph {
+    /// Finishes building: folds the mutation overlay into the flat CSR
+    /// arrays and returns the finalized graph.
+    pub fn build(mut self) -> Graph {
+        self.graph.finalize();
         self.graph
     }
 
@@ -393,12 +726,12 @@ mod tests {
         let b = g.add_vertex(vt, vec![Value::from("b")]).unwrap();
         let e = g.add_edge(et, a, b, vec![]).unwrap();
         assert_eq!(
-            g.adjacency(a),
-            &[AdjEntry { etype: et, dir: Dir::Out, edge: e, other: b }]
+            g.adjacency(a).to_vec(),
+            vec![AdjEntry { etype: et, dir: Dir::Out, edge: e, other: b }]
         );
         assert_eq!(
-            g.adjacency(b),
-            &[AdjEntry { etype: et, dir: Dir::In, edge: e, other: a }]
+            g.adjacency(b).to_vec(),
+            vec![AdjEntry { etype: et, dir: Dir::In, edge: e, other: a }]
         );
         assert_eq!(g.outdegree(a, None), 1);
         assert_eq!(g.outdegree(b, None), 0);
@@ -429,6 +762,8 @@ mod tests {
         let et = g.schema().edge_type_id("Knows").unwrap();
         let a = g.add_vertex(vt, vec![Value::from("a")]).unwrap();
         g.add_edge(et, a, a, vec![Value::Int(0)]).unwrap();
+        assert_eq!(g.adjacency(a).len(), 1);
+        g.finalize();
         assert_eq!(g.adjacency(a).len(), 1);
     }
 
@@ -486,6 +821,7 @@ mod tests {
         let c = b.vertex("Person", &[]).unwrap();
         b.edge("Knows", a, c, &[("since", Value::Int(2020))]).unwrap();
         let g = b.build();
+        assert!(g.is_finalized());
         assert_eq!(g.vertex_attr_by_name(c, "name"), Some(&Value::Str(String::new())));
         assert_eq!(g.vertex_count(), 2);
         assert_eq!(g.edge_count(), 1);
@@ -498,5 +834,166 @@ mod tests {
         let a = g.add_vertex(vt, vec![Value::from("a")]).unwrap();
         let b = g.add_vertex(vt, vec![Value::from("b")]).unwrap();
         assert_eq!(g.vertices_of_type(vt), &[a, b]);
+    }
+
+    /// Reference adjacency model: the exact entries `add_edge` used to
+    /// keep per vertex, in insertion order.
+    fn naive_adjacency(g: &Graph) -> Vec<Vec<AdjEntry>> {
+        let mut adj = vec![Vec::new(); g.vertex_count()];
+        for e in g.edges() {
+            let et = g.edge_type_of(e);
+            let (src, dst) = g.edge_endpoints(e);
+            if g.schema().edge_type(et).directed {
+                adj[src.0 as usize].push(AdjEntry { etype: et, dir: Dir::Out, edge: e, other: dst });
+                adj[dst.0 as usize].push(AdjEntry { etype: et, dir: Dir::In, edge: e, other: src });
+            } else {
+                adj[src.0 as usize].push(AdjEntry { etype: et, dir: Dir::Und, edge: e, other: dst });
+                if src != dst {
+                    adj[dst.0 as usize]
+                        .push(AdjEntry { etype: et, dir: Dir::Und, edge: e, other: src });
+                }
+            }
+        }
+        adj
+    }
+
+    fn scrambled_graph() -> Graph {
+        // Interleave edge types and directions so CSR grouping actually
+        // has to reorder entries.
+        let mut g = Graph::new(mixed_schema());
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let follows = g.schema().edge_type_id("Follows").unwrap();
+        let knows = g.schema().edge_type_id("Knows").unwrap();
+        let vs: Vec<VertexId> = (0..6)
+            .map(|i| g.add_vertex(vt, vec![Value::from(format!("p{i}"))]).unwrap())
+            .collect();
+        for (i, j) in [(0, 1), (2, 0), (0, 3), (4, 0), (1, 2), (3, 4), (5, 0), (0, 5)] {
+            g.add_edge(follows, vs[i], vs[j], vec![]).unwrap();
+            g.add_edge(knows, vs[j], vs[i], vec![Value::Int(0)]).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn finalize_preserves_entry_sets_and_degrees() {
+        let mut g = scrambled_graph();
+        let naive = naive_adjacency(&g);
+        // Pre-finalize: overlay order is exactly insertion order.
+        for v in g.vertices() {
+            assert_eq!(g.adjacency(v).to_vec(), naive[v.0 as usize]);
+        }
+        let degrees: Vec<(usize, usize, usize)> = g
+            .vertices()
+            .map(|v| (g.outdegree(v, None), g.indegree(v, None), g.degree(v)))
+            .collect();
+        g.finalize();
+        assert!(g.is_finalized());
+        for v in g.vertices() {
+            // Same entries (as a set) after grouping.
+            let mut got = g.adjacency(v).to_vec();
+            let mut want = naive[v.0 as usize].clone();
+            got.sort_by_key(|a| a.edge);
+            want.sort_by_key(|a| a.edge);
+            assert_eq!(got, want, "entries changed for {v:?}");
+            // Grouped by (etype, dir rank), stable within groups.
+            let keys: Vec<(u32, u8)> = g
+                .adjacency(v)
+                .iter()
+                .map(|a| (a.etype.0, dir_rank(a.dir)))
+                .collect();
+            let mut sorted = keys.clone();
+            sorted.sort();
+            assert_eq!(keys, sorted, "CSR slice not grouped for {v:?}");
+        }
+        let after: Vec<(usize, usize, usize)> = g
+            .vertices()
+            .map(|v| (g.outdegree(v, None), g.indegree(v, None), g.degree(v)))
+            .collect();
+        assert_eq!(degrees, after);
+    }
+
+    #[test]
+    fn typed_adjacency_is_exact() {
+        let mut g = scrambled_graph();
+        g.finalize();
+        let follows = g.schema().edge_type_id("Follows").unwrap();
+        let knows = g.schema().edge_type_id("Knows").unwrap();
+        for v in g.vertices() {
+            for et in [follows, knows] {
+                let typed: Vec<AdjEntry> = g.adjacency_of_type(v, et).copied().collect();
+                let filtered: Vec<AdjEntry> = g
+                    .adjacency(v)
+                    .iter()
+                    .filter(|a| a.etype == et)
+                    .copied()
+                    .collect();
+                assert_eq!(typed, filtered);
+                assert_eq!(
+                    g.outdegree(v, Some(et)),
+                    filtered.iter().filter(|a| a.dir != Dir::In).count()
+                );
+                assert_eq!(
+                    g.indegree(v, Some(et)),
+                    filtered.iter().filter(|a| a.dir != Dir::Out).count()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_after_finalize_lands_in_overlay() {
+        let mut g = scrambled_graph();
+        g.finalize();
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let follows = g.schema().edge_type_id("Follows").unwrap();
+        let nv = g.add_vertex(vt, vec![Value::from("late")]).unwrap();
+        let v0 = VertexId(0);
+        let before = g.adjacency(v0).len();
+        let e = g.add_edge(follows, v0, nv, vec![]).unwrap();
+        assert!(!g.is_finalized());
+        // Readers see the new entry chained after the CSR slice.
+        assert_eq!(g.adjacency(v0).len(), before + 1);
+        assert_eq!(g.adjacency(v0)[before], AdjEntry {
+            etype: follows,
+            dir: Dir::Out,
+            edge: e,
+            other: nv
+        });
+        assert_eq!(g.adjacency(nv).to_vec(), vec![AdjEntry {
+            etype: follows,
+            dir: Dir::In,
+            edge: e,
+            other: v0
+        }]);
+        assert_eq!(g.outdegree(v0, Some(follows)), {
+            let naive = naive_adjacency(&g);
+            naive[0].iter().filter(|a| a.dir != Dir::In && a.etype == follows).count()
+        });
+        // Re-finalize folds it in.
+        g.finalize();
+        assert!(g.is_finalized());
+        assert_eq!(g.adjacency(v0).len(), before + 1);
+        assert_eq!(g.adjacency(nv).len(), 1);
+    }
+
+    #[test]
+    fn adjview_indexing_and_iter_from() {
+        let mut g = scrambled_graph();
+        g.finalize();
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let follows = g.schema().edge_type_id("Follows").unwrap();
+        let nv = g.add_vertex(vt, vec![Value::from("late")]).unwrap();
+        g.add_edge(follows, VertexId(0), nv, vec![]).unwrap();
+        let view = g.adjacency(VertexId(0));
+        let all = view.to_vec();
+        assert_eq!(view.len(), all.len());
+        for i in 0..all.len() {
+            assert_eq!(view[i], all[i]);
+            let rest: Vec<AdjEntry> = view.iter_from(i).copied().collect();
+            assert_eq!(rest, all[i..].to_vec());
+        }
+        assert_eq!(view.iter_from(all.len()).count(), 0);
+        assert_eq!(view.iter_from(all.len() + 7).count(), 0);
+        assert!(view.get(all.len()).is_none());
     }
 }

@@ -292,7 +292,10 @@ pub fn load_from_string(text: &str) -> Result<Graph, LoadError> {
             });
         }
     }
-    graph.ok_or(LoadError::Syntax { line: 0, msg: "missing #DATA section".into() })
+    let mut graph =
+        graph.ok_or(LoadError::Syntax { line: 0, msg: "missing #DATA section".into() })?;
+    graph.finalize();
+    Ok(graph)
 }
 
 fn parse_attr_defs<'a>(

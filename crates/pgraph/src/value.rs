@@ -215,6 +215,48 @@ impl PartialOrd for Value {
     }
 }
 
+/// Compares an `i64` with an `f64` **exactly** (no lossy `as f64` cast,
+/// which collapses integers above 2^53 onto nearby doubles). The double
+/// side follows `f64::total_cmp`: NaNs sort by sign outside the
+/// infinities, and `Int(0)` sorts *above* `Double(-0.0)` (like `0.0`
+/// does), keeping the mixed order antisymmetric and transitive.
+fn cmp_int_double(a: i64, b: f64) -> Ordering {
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0;
+    if b.is_nan() {
+        // total_cmp places -NaN below -inf and +NaN above +inf.
+        return if b.is_sign_negative() { Ordering::Greater } else { Ordering::Less };
+    }
+    if b >= TWO_POW_63 {
+        // Covers +inf; every i64 is < 2^63.
+        return Ordering::Less;
+    }
+    if b < -TWO_POW_63 {
+        // Covers -inf; -2^63 itself is representable and handled below.
+        return Ordering::Greater;
+    }
+    // b is finite in [-2^63, 2^63), so its truncation converts exactly.
+    let t = b.trunc();
+    let ti = t as i64;
+    match a.cmp(&ti) {
+        Ordering::Equal => {
+            // Equal integer parts: the fractional part decides (the
+            // subtraction is exact, and x - y == 0 iff x == y in IEEE
+            // arithmetic, so the sign test is reliable).
+            let frac = b - t;
+            if frac > 0.0 {
+                Ordering::Less
+            } else if frac < 0.0 || (a == 0 && b.is_sign_negative()) {
+                // A negative fraction puts b below a; so does b == -0.0
+                // against Int(0) (total_cmp: -0.0 < 0.0).
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
+        }
+        unequal => unequal,
+    }
+}
+
 impl Ord for Value {
     fn cmp(&self, other: &Self) -> Ordering {
         use Value::*;
@@ -223,8 +265,8 @@ impl Ord for Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (Double(a), Double(b)) => a.total_cmp(b),
-            (Int(a), Double(b)) => (*a as f64).total_cmp(b),
-            (Double(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Int(a), Double(b)) => cmp_int_double(*a, *b),
+            (Double(a), Int(b)) => cmp_int_double(*b, *a).reverse(),
             (Str(a), Str(b)) => a.cmp(b),
             (DateTime(a), DateTime(b)) => a.cmp(b),
             (Vertex(a), Vertex(b)) => a.cmp(b),
@@ -425,6 +467,63 @@ mod tests {
         assert_eq!(Value::Int(3), Value::Double(3.0));
         assert_ne!(Value::Int(3), Value::Double(3.5));
         assert_eq!(hash_of(&Value::Int(3)), hash_of(&Value::Double(3.0)));
+    }
+
+    #[test]
+    fn large_magnitude_int_double_ordering_is_exact() {
+        // 2^53 + 1 is the first integer a double cannot represent; the old
+        // `i64 as f64` comparison collapsed it onto 2^53.
+        let p53 = 1i64 << 53;
+        assert_eq!(Value::Int(p53), Value::Double(p53 as f64));
+        assert!(Value::Int(p53 + 1) > Value::Double(p53 as f64));
+        assert!(Value::Double(p53 as f64) < Value::Int(p53 + 1));
+        assert!(Value::Int(-(p53 + 1)) < Value::Double(-(p53 as f64)));
+        // i64::MAX rounds up to 2^63 as a double; they must not be equal.
+        assert!(Value::Int(i64::MAX) < Value::Double(i64::MAX as f64));
+        assert!(Value::Int(i64::MIN) == Value::Double(i64::MIN as f64));
+        assert!(Value::Int(i64::MIN + 1) > Value::Double(i64::MIN as f64));
+    }
+
+    #[test]
+    fn int_double_ordering_extremes() {
+        assert!(Value::Int(i64::MAX) < Value::Double(f64::INFINITY));
+        assert!(Value::Int(i64::MIN) > Value::Double(f64::NEG_INFINITY));
+        // total_cmp semantics: +NaN above +inf, -NaN below -inf.
+        assert!(Value::Int(i64::MAX) < Value::Double(f64::NAN));
+        assert!(Value::Int(i64::MIN) > Value::Double(-f64::NAN));
+        // Fractional parts order correctly on both sides of zero.
+        assert!(Value::Int(-1) > Value::Double(-1.5));
+        assert!(Value::Int(2) < Value::Double(2.5));
+        // Int(0) sits with +0.0, above -0.0 (matching Double total order).
+        assert!(Value::Int(0) > Value::Double(-0.0));
+        assert_eq!(Value::Int(0), Value::Double(0.0));
+    }
+
+    #[test]
+    fn mixed_numeric_ordering_is_antisymmetric_and_transitive() {
+        let vals = [
+            Value::Double(-f64::NAN),
+            Value::Double(f64::NEG_INFINITY),
+            Value::Int(i64::MIN),
+            Value::Double(-0.0),
+            Value::Int(0),
+            Value::Double(0.5),
+            Value::Int(1 << 53),
+            Value::Int((1 << 53) + 1),
+            Value::Int(i64::MAX),
+            Value::Double(f64::INFINITY),
+            Value::Double(f64::NAN),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(a.cmp(b), b.cmp(a).reverse(), "{a:?} vs {b:?}");
+                match i.cmp(&j) {
+                    Ordering::Less => assert!(a < b, "{a:?} !< {b:?}"),
+                    Ordering::Equal => assert_eq!(a, b),
+                    Ordering::Greater => assert!(a > b, "{a:?} !> {b:?}"),
+                }
+            }
+        }
     }
 
     #[test]

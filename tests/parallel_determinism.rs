@@ -3,11 +3,31 @@
 //! run the same queries with 1, 2 and 8 Map threads and require
 //! bit-identical outputs, including property-based randomized workloads.
 
-use gsql_core::{stdlib, Engine};
+use gsql_core::{stdlib, Engine, ErrorKind, QueryOutput, ResourceReport};
 use ldbc_snb::{generate, queries, SnbParams};
-use pgraph::generators::random_sales_graph;
+use pgraph::generators::{diamond_chain, erdos_renyi, random_sales_graph};
 use pgraph::value::Value;
 use proptest::prelude::*;
+
+/// The governor counters that must be thread-count invariant (everything
+/// except wall-clock `elapsed`).
+fn report_counts(r: &ResourceReport) -> (u64, u64, u64, u64) {
+    (r.rows_materialized, r.paths_enumerated, r.peak_accum_bytes, r.while_iterations)
+}
+
+/// Asserts two runs are byte-identical: same tables, prints, return
+/// value, kernel statistics, and governor counters.
+fn assert_identical(reference: &QueryOutput, out: &QueryOutput, label: &str) {
+    assert_eq!(reference.tables, out.tables, "{label}: tables diverged");
+    assert_eq!(reference.prints, out.prints, "{label}: prints diverged");
+    assert_eq!(reference.returned, out.returned, "{label}: return diverged");
+    assert_eq!(reference.stats, out.stats, "{label}: MatchStats diverged");
+    assert_eq!(
+        report_counts(&reference.report),
+        report_counts(&out.report),
+        "{label}: governor counters diverged"
+    );
+}
 
 #[test]
 fn treeway_aggregation_is_thread_count_invariant() {
@@ -52,6 +72,90 @@ fn grouping_workload_is_thread_count_invariant() {
     let reference = Engine::new(&g).with_parallelism(1).run_text(&q, &[]).unwrap();
     let parallel = Engine::new(&g).with_parallelism(8).run_text(&q, &[]).unwrap();
     assert_eq!(reference.prints, parallel.prints);
+}
+
+// ---- reach-kernel fan-out ---------------------------------------------------
+
+#[test]
+fn qn_counting_is_thread_count_invariant() {
+    let (g, _) = diamond_chain(30);
+    let q = stdlib::qn("V", "E");
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v30"))];
+    let reference = Engine::new(&g).with_parallelism(1).run_text(&q, &args).unwrap();
+    for threads in [2usize, 8] {
+        let out = Engine::new(&g).with_parallelism(threads).run_text(&q, &args).unwrap();
+        assert_identical(&reference, &out, &format!("Qn threads={threads}"));
+    }
+}
+
+#[test]
+fn multi_source_kernel_fanout_is_thread_count_invariant() {
+    // Every vertex is a kernel source, so parallelism > 1 actually runs
+    // the threaded kernel dispatch (unlike single-anchor Qn).
+    let g = erdos_renyi(400, 5.0 / 400.0, 11);
+    let q = r#"
+        CREATE QUERY Fanout () {
+          SumAccum<int> @hits;
+          SumAccum<int> @@total;
+          R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+          S = SELECT t FROM R:t WHERE t.@hits > 1 POST_ACCUM @@total += t.@hits;
+          PRINT S.size();
+          PRINT @@total;
+        }
+    "#;
+    let reference = Engine::new(&g).with_parallelism(1).run_text(q, &[]).unwrap();
+    for threads in [2usize, 8] {
+        let out = Engine::new(&g).with_parallelism(threads).run_text(q, &[]).unwrap();
+        assert_identical(&reference, &out, &format!("fanout threads={threads}"));
+    }
+}
+
+#[test]
+fn ic5_is_thread_count_invariant() {
+    let g = generate(SnbParams::new(0.05, 31));
+    let pt = g.schema().vertex_type_id("Person").unwrap();
+    let p = Value::Vertex(g.vertices_of_type(pt)[0]);
+    let q = queries::ic5(3);
+    let args = [
+        ("p", p),
+        ("minDate", Value::DateTime(0)),
+    ];
+    let reference = Engine::new(&g).with_parallelism(1).run_text(&q, &args).unwrap();
+    for threads in [2usize, 8] {
+        let out = Engine::new(&g).with_parallelism(threads).run_text(&q, &args).unwrap();
+        assert_identical(&reference, &out, &format!("ic5 threads={threads}"));
+    }
+}
+
+#[test]
+fn mid_kernel_cancellation_is_honored_at_any_parallelism() {
+    // A fan-out heavy enough to run for a while: kernels from every
+    // vertex of a denser random digraph. Cancel mid-flight and require a
+    // structured Cancelled error — at every thread count, including the
+    // threaded kernel dispatch where workers observe the shared guard.
+    let g = erdos_renyi(1200, 6.0 / 1200.0, 7);
+    let q = r#"
+        CREATE QUERY Fanout () {
+          SumAccum<int> @hits;
+          R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+          PRINT R.size();
+        }
+    "#;
+    for threads in [1usize, 2, 8] {
+        let engine = Engine::new(&g).with_parallelism(threads);
+        let handle = engine.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            handle.cancel();
+        });
+        let result = engine.run_text(q, &[]);
+        canceller.join().unwrap();
+        // An Ok result is legitimate (a fast machine may finish before the
+        // cancel lands); an error must be the structured Cancelled kind.
+        if let Err(e) = result {
+            assert_eq!(e.kind(), ErrorKind::Cancelled, "threads={threads}");
+        }
+    }
 }
 
 proptest! {
