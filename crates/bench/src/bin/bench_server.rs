@@ -1,0 +1,456 @@
+//! Load generator and smoke driver for `gsql-serve` (EXPERIMENTS.md E8).
+//!
+//! Two modes:
+//!
+//! * **load** (default) — spawns an in-process server (or targets
+//!   `--addr`), runs a mixed prepared-statement workload (`Qn`, `KHop`,
+//!   `Triangles` over the 30-diamond graph) from `--connections`
+//!   keep-alive clients, once per entry in `--parallelism`. Every
+//!   response's `result` field is compared **byte-for-byte** against a
+//!   local `Engine::run_text` serialized through the same JSON writer,
+//!   and `GET /metrics` must reconcile exactly with the client-observed
+//!   counts. Prints the `BENCH_server.json` document (throughput +
+//!   client-measured p50/p99) to stdout or `--out`.
+//!
+//! * **--smoke --addr HOST:PORT** — drives an already-running server
+//!   through the full surface (healthz, prepare, execute, ad-hoc query,
+//!   oversized-body rejection, metrics reconciliation) and exits
+//!   non-zero on any failure; CI uses this against a `gsql-serve`
+//!   process it then SIGTERMs to check graceful drain.
+
+use gsql_core::{stdlib, Engine};
+use gsql_serve::client::Client;
+use gsql_serve::json::{parse, write_json, Json};
+use gsql_serve::{handlers, Server, ServerConfig};
+use pgraph::generators::diamond_chain;
+use pgraph::value::Value;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+const DIAMOND_N: usize = 30;
+
+struct Options {
+    smoke: bool,
+    addr: Option<SocketAddr>,
+    connections: usize,
+    requests: usize,
+    parallelism: Vec<usize>,
+    out: Option<String>,
+}
+
+fn parse_options() -> Options {
+    let mut o = Options {
+        smoke: false,
+        addr: None,
+        connections: 8,
+        requests: 200,
+        parallelism: vec![1, 4],
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| die(&format!("{flag} needs a value")));
+        match a.as_str() {
+            "--smoke" => o.smoke = true,
+            "--addr" => {
+                o.addr = Some(
+                    value("--addr")
+                        .parse()
+                        .unwrap_or_else(|_| die("--addr expects HOST:PORT")),
+                )
+            }
+            "--connections" => {
+                o.connections = value("--connections").parse().unwrap_or_else(|_| die("bad --connections"))
+            }
+            "--requests" => {
+                o.requests = value("--requests").parse().unwrap_or_else(|_| die("bad --requests"))
+            }
+            "--parallelism" => {
+                o.parallelism = value("--parallelism")
+                    .split(',')
+                    .map(|p| p.trim().parse().unwrap_or_else(|_| die("bad --parallelism")))
+                    .collect()
+            }
+            "--out" => o.out = Some(value("--out")),
+            other => die(&format!(
+                "unknown flag `{other}`\nusage: bench_server [--smoke] [--addr H:P] \
+                 [--connections N] [--requests N] [--parallelism 1,4] [--out FILE]"
+            )),
+        }
+    }
+    o
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("bench_server: {msg}");
+    std::process::exit(2)
+}
+
+/// One statement of the mixed workload: GSQL text plus the rotating
+/// argument sets it is executed with (server-wire JSON form and local
+/// `Engine` form side by side).
+struct Workload {
+    name: &'static str,
+    src: String,
+    /// (json args object text, local engine args)
+    arg_sets: Vec<(String, Vec<(&'static str, Value)>)>,
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut qn_args = Vec::new();
+    for i in (2..=DIAMOND_N).step_by(4) {
+        qn_args.push((
+            format!(r#"{{"srcName":"v0","tgtName":"v{i}"}}"#),
+            vec![("srcName", Value::from("v0")), ("tgtName", Value::from(format!("v{i}")))],
+        ));
+    }
+    // Vertex 0 is the spine head "v0"; a mid-spine vertex keeps KHop
+    // non-trivial in both directions.
+    let mut khop_args = Vec::new();
+    for vid in [0u32, 3, 9] {
+        khop_args.push((
+            format!(r#"{{"src":"vertex:{vid}"}}"#),
+            vec![("src", Value::Vertex(pgraph::graph::VertexId(vid)))],
+        ));
+    }
+    vec![
+        Workload { name: "Qn", src: stdlib::qn("V", "E"), arg_sets: qn_args },
+        Workload { name: "KHop", src: stdlib::khop("V", "E", 4), arg_sets: khop_args },
+        Workload {
+            name: "Triangles",
+            src: stdlib::triangle_count("V", "E"),
+            arg_sets: vec![("{}".to_string(), Vec::new())],
+        },
+    ]
+}
+
+/// Serializes the deterministic result of a local run through the same
+/// writer the server uses — the byte-identical oracle.
+fn expected_results(work: &[Workload]) -> Vec<Vec<String>> {
+    let graph = diamond_chain(DIAMOND_N).0;
+    let engine = Engine::new(&graph);
+    work.iter()
+        .map(|w| {
+            w.arg_sets
+                .iter()
+                .map(|(_, args)| {
+                    let out = engine
+                        .run_text(&w.src, args)
+                        .unwrap_or_else(|e| die(&format!("local {} run failed: {e}", w.name)));
+                    let mut s = String::new();
+                    write_json(&mut s, &handlers::result_json(&out));
+                    s
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::new();
+    write_json(&mut out, &Json::Str(s.to_string()));
+    out
+}
+
+fn check(cond: bool, what: &str) {
+    if !cond {
+        eprintln!("bench_server: FAILED: {what}");
+        std::process::exit(1);
+    }
+}
+
+fn get_i64(j: &Json, key: &str) -> i64 {
+    j.get(key)
+        .and_then(Json::as_i64)
+        .unwrap_or_else(|| die(&format!("metrics missing `{key}`")))
+}
+
+fn result_field(resp_body: &[u8]) -> String {
+    let j = parse(std::str::from_utf8(resp_body).expect("utf8 body")).expect("json body");
+    let mut s = String::new();
+    write_json(&mut s, j.get("result").unwrap_or(&Json::Null));
+    s
+}
+
+// ---- smoke mode ----------------------------------------------------------
+
+fn run_smoke(addr: SocketAddr) {
+    let work = workloads();
+    let expected = expected_results(&work);
+    let mut c = Client::connect(addr).unwrap_or_else(|e| die(&format!("connect {addr}: {e}")));
+
+    let health = c.get("/healthz").expect("healthz");
+    check(health.status == 200, "GET /healthz returns 200");
+
+    // Prepared flow: prepare Qn, execute it with every argument set.
+    let qn = &work[0];
+    let resp = c
+        .post_json("/prepare", &[], &format!(r#"{{"query":{}}}"#, json_str(&qn.src)))
+        .expect("prepare");
+    check(resp.status == 200, "POST /prepare returns 200");
+    let id = resp
+        .json()
+        .ok()
+        .and_then(|j| j.get("id").and_then(Json::as_str).map(str::to_string))
+        .unwrap_or_else(|| die("prepare response has no id"));
+    let mut ok_queries = 0i64;
+    for (i, (wire, _)) in qn.arg_sets.iter().enumerate() {
+        let resp = c
+            .post_json(&format!("/execute/{id}"), &[], &format!(r#"{{"args":{wire}}}"#))
+            .expect("execute");
+        check(resp.status == 200, "POST /execute returns 200");
+        check(
+            result_field(&resp.body) == expected[0][i],
+            "executed result is byte-identical to the local engine",
+        );
+        ok_queries += 1;
+    }
+
+    // Ad-hoc query with a per-request budget header.
+    let body = format!(
+        r#"{{"query":{},"args":{}}}"#,
+        json_str(&work[2].src),
+        work[2].arg_sets[0].0
+    );
+    let resp = c
+        .post_json("/query", &[("x-gsql-deadline-ms", "30000")], &body)
+        .expect("query");
+    check(resp.status == 200, "POST /query returns 200");
+    check(
+        result_field(&resp.body) == expected[2][0],
+        "ad-hoc result is byte-identical to the local engine",
+    );
+    ok_queries += 1;
+
+    // Oversized bodies are rejected up front (and the connection drops).
+    let huge = format!(r#"{{"query":"{}"}}"#, "x".repeat(2 << 20));
+    let resp = c.post_json("/query", &[], &huge).expect("oversized request");
+    check(resp.status == 413, "oversized body is rejected with 413");
+
+    // The 413 closed that connection; reconcile metrics on a fresh one.
+    let mut c = Client::connect(addr).expect("reconnect");
+    let m = c.get("/metrics").expect("metrics").json().expect("metrics json");
+    check(
+        get_i64(&m, "admitted")
+            == get_i64(&m, "completed") + get_i64(&m, "failed") + get_i64(&m, "cancelled"),
+        "metrics admission invariant holds",
+    );
+    check(get_i64(&m, "completed") == ok_queries, "completed matches client-observed 200s");
+    check(get_i64(&m, "rejected_body") == 1, "the 413 was counted");
+    check(get_i64(&m, "failed") == 0, "no failed queries in the smoke run");
+
+    println!("bench_server: smoke OK ({ok_queries} queries verified byte-identical)");
+}
+
+// ---- load mode -----------------------------------------------------------
+
+struct RunStats {
+    completed: u64,
+    shed_busy: u64,
+    latencies_us: Vec<u64>,
+    wall: std::time::Duration,
+}
+
+fn run_load_once(addr: SocketAddr, o: &Options, work: &Arc<Vec<Workload>>, expected: &Arc<Vec<Vec<String>>>) -> RunStats {
+    let started = Instant::now();
+    let handles: Vec<_> = (0..o.connections)
+        .map(|conn_idx| {
+            let work = work.clone();
+            let expected = expected.clone();
+            let requests = o.requests;
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("client connect");
+                // Prepare every statement once per connection (hits the
+                // shared plan cache after the first connection).
+                let ids: Vec<String> = work
+                    .iter()
+                    .map(|w| {
+                        let resp = c
+                            .post_json("/prepare", &[], &format!(r#"{{"query":{}}}"#, json_str(&w.src)))
+                            .expect("prepare");
+                        check(resp.status == 200, "prepare succeeds");
+                        resp.json()
+                            .ok()
+                            .and_then(|j| j.get("id").and_then(Json::as_str).map(str::to_string))
+                            .expect("prepare id")
+                    })
+                    .collect();
+
+                let mut completed = 0u64;
+                let mut shed = 0u64;
+                let mut latencies = Vec::with_capacity(requests);
+                for r in 0..requests {
+                    // Deterministic mixed schedule, offset per connection.
+                    let wi = (r + conn_idx) % work.len();
+                    let ai = (r / work.len() + conn_idx) % work[wi].arg_sets.len();
+                    let body = format!(r#"{{"args":{}}}"#, work[wi].arg_sets[ai].0);
+                    loop {
+                        let t0 = Instant::now();
+                        let resp = c
+                            .post_json(&format!("/execute/{}", ids[wi]), &[], &body)
+                            .expect("execute");
+                        match resp.status {
+                            200 => {
+                                latencies.push(t0.elapsed().as_micros() as u64);
+                                check(
+                                    result_field(&resp.body) == expected[wi][ai],
+                                    "load-mode result is byte-identical to the local engine",
+                                );
+                                completed += 1;
+                                break;
+                            }
+                            429 => {
+                                shed += 1;
+                                std::thread::sleep(std::time::Duration::from_micros(200));
+                            }
+                            s => die(&format!("unexpected status {s} under load")),
+                        }
+                    }
+                }
+                (completed, shed, latencies)
+            })
+        })
+        .collect();
+
+    let mut stats = RunStats {
+        completed: 0,
+        shed_busy: 0,
+        latencies_us: Vec::new(),
+        wall: std::time::Duration::ZERO,
+    };
+    for h in handles {
+        let (completed, shed, lat) = h.join().expect("client thread");
+        stats.completed += completed;
+        stats.shed_busy += shed;
+        stats.latencies_us.extend(lat);
+    }
+    stats.wall = started.elapsed();
+    stats
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run_load(o: &Options) {
+    let work = Arc::new(workloads());
+    let expected = Arc::new(expected_results(&work));
+    let mut runs = Vec::new();
+
+    for &par in &o.parallelism {
+        // Fresh server per parallelism level so metrics start at zero
+        // and reconcile exactly against this run's observations.
+        let cfg = ServerConfig {
+            parallelism: par,
+            workers: o.connections.max(2),
+            max_concurrent_queries: o.connections.max(2),
+            ..ServerConfig::default()
+        };
+        let graph = Arc::new(diamond_chain(DIAMOND_N).0);
+        let server = Server::start(cfg, graph).expect("server start");
+        let addr = server.local_addr();
+
+        let stats = run_load_once(addr, o, &work, &expected);
+
+        // Exact reconciliation against /metrics before shutdown.
+        let mut c = Client::connect(addr).expect("metrics connect");
+        let m = c.get("/metrics").expect("metrics").json().expect("metrics json");
+        check(
+            get_i64(&m, "completed") as u64 == stats.completed,
+            "server `completed` equals client-observed 200s",
+        );
+        check(
+            get_i64(&m, "rejected_busy") as u64 == stats.shed_busy,
+            "server `rejected_busy` equals client-observed 429s",
+        );
+        check(
+            get_i64(&m, "admitted")
+                == get_i64(&m, "completed") + get_i64(&m, "failed") + get_i64(&m, "cancelled"),
+            "metrics admission invariant holds",
+        );
+        check(get_i64(&m, "failed") == 0, "no failed queries under load");
+        let plan_misses = get_i64(&m, "plan_cache_misses");
+        check(
+            plan_misses as usize == work.len(),
+            "each statement is parsed exactly once across all connections",
+        );
+        server.shutdown();
+
+        let mut lat = stats.latencies_us.clone();
+        lat.sort_unstable();
+        let throughput = stats.completed as f64 / stats.wall.as_secs_f64();
+        eprintln!(
+            "parallelism {par}: {} ok, {} shed, {:.0} q/s, p50 {}us p99 {}us",
+            stats.completed,
+            stats.shed_busy,
+            throughput,
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.99)
+        );
+        runs.push((par, stats, lat, throughput));
+    }
+
+    // Assemble the BENCH_server.json document.
+    let mut doc = String::new();
+    doc.push_str("{\n  \"schema\": \"bench_server/v1\",\n");
+    doc.push_str(&format!(
+        "  \"graph\": \":diamond{DIAMOND_N}\",\n  \"workloads\": [\"Qn\", \"KHop\", \"Triangles\"],\n"
+    ));
+    doc.push_str(&format!(
+        "  \"connections\": {},\n  \"requests_per_connection\": {},\n  \"runs\": {{\n",
+        o.connections, o.requests
+    ));
+    for (i, (par, stats, lat, throughput)) in runs.iter().enumerate() {
+        doc.push_str(&format!(
+            "    \"parallelism_{par}\": {{\n      \"completed\": {},\n      \"shed_429\": {},\n      \
+             \"throughput_qps\": {:.1},\n      \"p50_us\": {},\n      \"p99_us\": {},\n      \
+             \"verified_byte_identical\": true,\n      \"metrics_reconciled\": true\n    }}{}\n",
+            stats.completed,
+            stats.shed_busy,
+            throughput,
+            percentile(lat, 0.50),
+            percentile(lat, 0.99),
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  }\n}\n");
+
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &doc).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        None => print!("{doc}"),
+    }
+}
+
+fn main() {
+    let o = parse_options();
+    if o.smoke {
+        let addr = o.addr.unwrap_or_else(|| die("--smoke requires --addr HOST:PORT"));
+        run_smoke(addr);
+    } else if let Some(addr) = o.addr {
+        // Load mode against an external server: run the workload but
+        // skip the fresh-metrics reconciliation (the server may have
+        // history); still verifies byte-identical results.
+        let work = Arc::new(workloads());
+        let expected = Arc::new(expected_results(&work));
+        let stats = run_load_once(addr, &o, &work, &expected);
+        let mut lat = stats.latencies_us;
+        lat.sort_unstable();
+        eprintln!(
+            "external {addr}: {} ok, {} shed, p50 {}us p99 {}us",
+            stats.completed,
+            stats.shed_busy,
+            percentile(&lat, 0.50),
+            percentile(&lat, 0.99)
+        );
+    } else {
+        run_load(&o);
+    }
+}

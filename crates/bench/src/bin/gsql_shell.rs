@@ -21,11 +21,20 @@
 //!
 //! ```text
 //! SET timeout = 5s
+//! SET deadline_ms = 250
 //! SET row_limit = 1000000
 //! SET path_budget = 10000000
 //! SET memory_limit = 256MB
 //! SET iteration_limit = 10000
+//! SET report = on
 //! ```
+//!
+//! `SET deadline_ms` is the millisecond twin of `SET timeout` (it maps
+//! to the same per-request deadline the server reads from the
+//! `x-gsql-deadline-ms` header). `SET report = on` prints the engine's
+//! [`ResourceReport`](gsql_core::ResourceReport) after each successful
+//! query — the same per-request accounting `gsql-serve` returns in its
+//! response `report` object.
 //!
 //! A query that trips a limit aborts with a structured report, e.g.
 //! `query aborted [deadline-exceeded]: deadline exceeded after 5.0s;
@@ -84,13 +93,23 @@ fn parse_bytes(s: &str) -> Result<u64, String> {
         .map_err(|_| format!("invalid byte size `{s}` (try 1048576 or 256MB)"))
 }
 
+/// Everything the `SET` header configures: the resource [`Budget`], an
+/// execution thread count (`SET parallelism = N`; when absent the engine
+/// default applies, including a `GSQL_PARALLELISM` environment
+/// override), and whether to print the per-query `ResourceReport`.
+struct ShellSettings {
+    budget: Budget,
+    parallelism: Option<usize>,
+    report: bool,
+}
+
 /// Strips leading `SET <key> = <value>` directives from the query source
-/// and folds them into a resource [`Budget`] plus an execution thread
-/// count (`SET parallelism = N`; when absent the engine default applies,
-/// including a `GSQL_PARALLELISM` environment override).
-fn extract_set_directives(source: &str) -> Result<(Budget, Option<usize>, String), String> {
+/// and folds them into [`ShellSettings`]. `SET <key> <value>` (no `=`)
+/// is accepted too, matching the interactive habit of `SET report on`.
+fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), String> {
     let mut budget = Budget::default();
     let mut parallelism = None;
+    let mut report = false;
     let mut rest = Vec::new();
     let mut in_header = true;
     for line in source.lines() {
@@ -104,6 +123,7 @@ fn extract_set_directives(source: &str) -> Result<(Budget, Option<usize>, String
             let body = trimmed[4..].trim().trim_end_matches(';');
             let (key, value) = body
                 .split_once('=')
+                .or_else(|| body.split_once(char::is_whitespace))
                 .map(|(k, v)| (k.trim(), v.trim()))
                 .ok_or_else(|| format!("SET expects `SET <key> = <value>`, got `{trimmed}`"))?;
             let int = |v: &str| {
@@ -112,6 +132,18 @@ fn extract_set_directives(source: &str) -> Result<(Budget, Option<usize>, String
             };
             match key.to_ascii_lowercase().as_str() {
                 "timeout" => budget.deadline = Some(parse_duration(value)?),
+                "deadline_ms" => {
+                    budget = budget.with_deadline(std::time::Duration::from_millis(int(value)?))
+                }
+                "report" => {
+                    report = match value.to_ascii_lowercase().as_str() {
+                        "on" | "true" | "1" => true,
+                        "off" | "false" | "0" => false,
+                        other => {
+                            return Err(format!("SET report expects on|off, got `{other}`"))
+                        }
+                    }
+                }
                 "row_limit" => budget.max_binding_rows = Some(int(value)?),
                 "path_budget" => budget.max_paths = Some(int(value)?),
                 "memory_limit" => budget.max_accum_bytes = Some(parse_bytes(value)?),
@@ -124,8 +156,9 @@ fn extract_set_directives(source: &str) -> Result<(Budget, Option<usize>, String
                 }
                 other => {
                     return Err(format!(
-                        "unknown SET key `{other}` (expected timeout, row_limit, \
-                         path_budget, memory_limit, iteration_limit, parallelism)"
+                        "unknown SET key `{other}` (expected timeout, deadline_ms, \
+                         row_limit, path_budget, memory_limit, iteration_limit, \
+                         parallelism, report)"
                     ))
                 }
             }
@@ -134,7 +167,7 @@ fn extract_set_directives(source: &str) -> Result<(Budget, Option<usize>, String
         in_header = false;
         rest.push(line);
     }
-    Ok((budget, parallelism, rest.join("\n")))
+    Ok((ShellSettings { budget, parallelism, report }, rest.join("\n")))
 }
 
 fn load_graph(spec: &str) -> Result<Graph, String> {
@@ -224,7 +257,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let (budget, parallelism, source) = match extract_set_directives(&source) {
+    let (settings, source) = match extract_set_directives(&source) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
@@ -249,8 +282,9 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let mut engine = Engine::new(&graph).with_semantics(semantics).with_budget(budget);
-    if let Some(n) = parallelism {
+    let mut engine =
+        Engine::new(&graph).with_semantics(semantics).with_budget(settings.budget);
+    if let Some(n) = settings.parallelism {
         engine = engine.with_parallelism(n);
     }
     let arg_refs: Vec<(&str, Value)> =
@@ -268,6 +302,11 @@ fn main() -> ExitCode {
                 Some(ReturnValue::Table(t)) => print!("-> {t}"),
                 Some(ReturnValue::VSet(vs)) => println!("-> vertex set of {}", vs.len()),
                 None => {}
+            }
+            if settings.report {
+                // On stderr so result output stays clean for pipelines;
+                // same accounting the server returns per request.
+                eprintln!("report: {}", out.report);
             }
             ExitCode::SUCCESS
         }

@@ -31,6 +31,20 @@ const KERNEL_PARALLEL_THRESHOLD: usize = 2;
 /// parallelism is enabled.
 const PARALLEL_THRESHOLD: usize = 512;
 
+/// `GSQL_PARALLELISM` is read once per process: engine construction sits
+/// on a server's per-request hot path, and the environment cannot change
+/// under a running process we'd want to react to.
+fn env_parallelism() -> usize {
+    static ENV_PARALLELISM: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_PARALLELISM.get_or_init(|| {
+        std::env::var("GSQL_PARALLELISM")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+    })
+}
+
 /// The query engine: a graph, optional relational tables, a user-accum
 /// registry, and evaluation knobs.
 pub struct Engine<'g> {
@@ -55,11 +69,7 @@ impl<'g> Engine<'g> {
     /// default (an explicit [`Engine::with_parallelism`] still wins).
     /// CI uses the variable to run the whole suite threaded.
     pub fn new(graph: &'g Graph) -> Self {
-        let parallelism = std::env::var("GSQL_PARALLELISM")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1);
+        let parallelism = env_parallelism();
         Engine {
             graph,
             tables: FxHashMap::default(),
@@ -131,6 +141,17 @@ impl<'g> Engine<'g> {
     pub fn run_text(&self, src: &str, args: &[(&str, Value)]) -> Result<QueryOutput> {
         let q = crate::parser::parse_query(src)?;
         self.run(&q, args)
+    }
+
+    /// Runs a [`crate::PreparedQuery`] (parsed once, executed many
+    /// times). Equivalent to `run(prepared.query(), args)`; the handle
+    /// form is what plan caches and prepared-statement registries hold.
+    pub fn run_prepared(
+        &self,
+        prepared: &crate::prepared::PreparedQuery,
+        args: &[(&str, Value)],
+    ) -> Result<QueryOutput> {
+        self.run(prepared.query(), args)
     }
 
     /// Runs a parsed query with named arguments.

@@ -113,6 +113,19 @@ pub struct SpannedTok {
     pub col: usize,
 }
 
+/// Decodes a byte slice the scanner believes is pure ASCII. The scanning
+/// loops only ever slice on `is_ascii_*` byte classes, so this cannot
+/// fail today — but the lexer fronts untrusted network input via
+/// `gsql-serve`, so a future slicing bug must surface as a structured
+/// parse error, never a panic.
+fn ascii_str(bytes: &[u8], line: usize, col: usize) -> Result<&str> {
+    std::str::from_utf8(bytes).map_err(|_| Error::Parse {
+        line,
+        col,
+        msg: "non-ASCII bytes inside a token".into(),
+    })
+}
+
 /// Lexes GSQL source into tokens (with a trailing `Eof`).
 pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
     let bytes = src.as_bytes();
@@ -323,7 +336,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                         }
                     }
                 }
-                let text = std::str::from_utf8(&bytes[start..j]).unwrap();
+                let text = ascii_str(&bytes[start..j], line, col)?;
                 let tok = if is_float {
                     Tok::Double(text.parse().map_err(|_| Error::Parse {
                         line,
@@ -346,7 +359,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                 while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
                     j += 1;
                 }
-                let word = std::str::from_utf8(&bytes[start..j]).unwrap();
+                let word = ascii_str(&bytes[start..j], line, col)?;
                 let upper = word.to_ascii_uppercase();
                 let norm = if upper == "POST" {
                     // POST_ACCUM / POST-ACCUM normalization.
@@ -364,7 +377,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>> {
                     while m < bytes.len() && bytes[m].is_ascii_alphabetic() {
                         m += 1;
                     }
-                    let next = std::str::from_utf8(&bytes[k..m]).unwrap().to_ascii_uppercase();
+                    let next = ascii_str(&bytes[k..m], line, col)?.to_ascii_uppercase();
                     if next == "ACCUM" {
                         let total = m - start;
                         push!(Tok::Kw("POST_ACCUM"), total);

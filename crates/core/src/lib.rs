@@ -61,6 +61,7 @@ pub mod explain;
 pub mod governor;
 pub mod lexer;
 pub mod parser;
+pub mod prepared;
 pub mod semantics;
 pub mod stdlib;
 pub mod table;
@@ -71,5 +72,6 @@ pub use exec::{Engine, QueryOutput, ReturnValue};
 pub use governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
 pub use explain::explain;
 pub use parser::parse_query;
+pub use prepared::PreparedQuery;
 pub use semantics::PathSemantics;
 pub use table::Table;

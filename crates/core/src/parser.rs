@@ -289,20 +289,21 @@ impl Parser {
         self.expect(Tok::Lt)?;
         let mut fields = Vec::new();
         loop {
-            // Accept both `INT score` and `score INT` orders.
+            // Accept both `INT score` and `score INT` orders. Destructure
+            // type and name in one match so no panicking re-extraction is
+            // needed (this path is reachable from untrusted server input).
             let (first, second) = (self.bump(), self.bump());
-            let (ty_tok, name_tok) = match (&first, &second) {
-                (Tok::Kw(k), Tok::Ident(_)) if ValueType::parse(k).is_some() => (first.clone(), second.clone()),
-                (Tok::Ident(_), Tok::Kw(k)) if ValueType::parse(k).is_some() => (second.clone(), first.clone()),
+            let (ty, name) = match (first, second) {
+                (Tok::Kw(k), Tok::Ident(name)) | (Tok::Ident(name), Tok::Kw(k)) => {
+                    match ValueType::parse(k) {
+                        Some(ty) => (ty, name),
+                        None => {
+                            return self
+                                .err(format!("`{k}` is not a value type in tuple typedef"))
+                        }
+                    }
+                }
                 _ => return self.err("expected `TYPE name` in tuple typedef"),
-            };
-            let ty = match &ty_tok {
-                Tok::Kw(k) => ValueType::parse(k).unwrap(),
-                _ => unreachable!(),
-            };
-            let name = match name_tok {
-                Tok::Ident(s) => s,
-                _ => unreachable!(),
             };
             fields.push((name, ty));
             if !self.eat(Tok::Comma) {

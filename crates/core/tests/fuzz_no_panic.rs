@@ -151,6 +151,26 @@ fn pathological_inputs_never_panic() {
         "CREATE QUERY q() { R = SELECT c FROM Customer:c WHERE c.nosuchattr > 0; }",
         "CREATE QUERY q() { PRINT lonely.column; }",
         "CREATE QUERY q() { SumAccum<int> @@t; R = SELECT c FROM Customer:c ACCUM @@t += c.missing; }",
+        // PR 3 audit: inputs aimed at the lexer's raw-byte token slicing
+        // (`ascii_str`) and the typedef type/name destructuring — the
+        // spots that held `unwrap()`/`unreachable!()` reachable from
+        // untrusted `gsql-serve` request bodies.
+        "CREATE QUERY q() { PRINT 1é2; }",
+        "CREATE QUERY q() { PRINT é1; }",
+        "CREATE QUERY q() { PRINT ident\u{0301}ifier; }",
+        "CREATE QUERY q() { PRINT 🦀 + 1; }",
+        "CREATE QUERY q() { PRINT 9e; }",
+        "CREATE QUERY q() { PRINT 99999999999999999999999999; }",
+        "CREATE QUERY q() { PRINT 1e999; }",
+        "CREATE QUERY q() { TYPEDEF TUPLE<SELECT x> T; }",
+        "CREATE QUERY q() { TYPEDEF TUPLE<INT INT> T; }",
+        "CREATE QUERY q() { TYPEDEF TUPLE<x y> T; }",
+        "CREATE QUERY q() { TYPEDEF TUPLE<WHILE score> T; }",
+        "CREATE QUERY q() { TYPEDEF TUPLE<> T; }",
+        "CREATE QUERY q() { TYPEDEF TUPLE<INT a,> T; }",
+        "POST_ACC\u{fe}UM",
+        "post-acc",
+        "CREATE QUERY q() { S = SELECT v FROM V:v POST-ACC; }",
     ];
     for source in cases {
         if let Some(msg) = pipeline_panics(source) {

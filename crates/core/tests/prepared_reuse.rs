@@ -1,0 +1,97 @@
+//! Regression suite for the serving hot path: a `Query` parsed once must
+//! be reusable for any number of executions with different `args`, with
+//! results identical to fresh parses.
+//!
+//! Audit notes (what could leak between runs of the same parsed query):
+//! * `Engine::run` takes `&self` and builds a fresh `Runtime` per call —
+//!   locals, vertex sets, accumulator stores and output tables all live
+//!   there, not on the engine or the AST.
+//! * The AST (`ast::Query`) is pure data with no interior mutability; no
+//!   name-index or pattern-compilation cache is written back into it
+//!   (DARPE compilation happens per SELECT block inside the run).
+//! * Engine-level state (`registry`, `tables`, `semantics`, `budget`)
+//!   is only mutable through `&mut self` builders, never during `run`.
+//!
+//! These tests pin that contract, since the plan cache in `gsql-serve`
+//! depends on it.
+
+use gsql_core::{stdlib, Engine, PreparedQuery};
+use pgraph::generators::{diamond_chain, sales_graph};
+use pgraph::value::Value;
+
+/// One parsed query, 100 executions with alternating argument bindings:
+/// every output must equal a fresh parse + run of the same text.
+#[test]
+fn hundred_reuses_match_fresh_parses() {
+    let (g, _) = diamond_chain(12);
+    let engine = Engine::new(&g);
+    let src = stdlib::qn("V", "E");
+    let prepared = PreparedQuery::prepare(&src).unwrap();
+
+    for i in 0..100 {
+        // Alternate both endpoints so consecutive runs bind different
+        // arguments (and some bind names that match nothing).
+        let tgt = format!("v{}", i % 14);
+        let args = [("srcName", Value::from("v0")), ("tgtName", Value::from(tgt.as_str()))];
+        let reused = engine.run_prepared(&prepared, &args).unwrap();
+        let fresh = Engine::new(&g).run_text(&src, &args).unwrap();
+        assert_eq!(reused.tables, fresh.tables, "iteration {i}: tables diverged");
+        assert_eq!(reused.prints, fresh.prints, "iteration {i}: prints diverged");
+        assert_eq!(reused.returned, fresh.returned, "iteration {i}: return diverged");
+        assert_eq!(reused.stats, fresh.stats, "iteration {i}: stats diverged");
+    }
+}
+
+/// Vertex-attached accumulators must reset between runs: `@pathCount`
+/// would double on the second run if the store leaked.
+#[test]
+fn vertex_accumulators_do_not_accumulate_across_runs() {
+    let (g, _) = diamond_chain(8);
+    let engine = Engine::new(&g);
+    let prepared = PreparedQuery::prepare(&stdlib::qn("V", "E")).unwrap();
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v8"))];
+    let first = engine.run_prepared(&prepared, &args).unwrap();
+    for _ in 0..5 {
+        let again = engine.run_prepared(&prepared, &args).unwrap();
+        assert_eq!(first.prints, again.prints);
+        assert_eq!(first.tables, again.tables);
+    }
+}
+
+/// One prepared handle shared across engines and threads (the server
+/// shape: one plan cache, many workers).
+#[test]
+fn prepared_handle_is_shareable_across_threads() {
+    let g = sales_graph();
+    let prepared = PreparedQuery::prepare(stdlib::example5_multi_output()).unwrap();
+    let reference = Engine::new(&g).run_prepared(&prepared, &[]).unwrap();
+
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let p = prepared.clone();
+            let g = &g;
+            let reference = &reference;
+            scope.spawn(move || {
+                let engine = Engine::new(g);
+                for _ in 0..10 {
+                    let out = engine.run_prepared(&p, &[]).unwrap();
+                    assert_eq!(out.tables, reference.tables);
+                    assert_eq!(out.prints, reference.prints);
+                }
+            });
+        }
+    });
+}
+
+/// A query that fails at runtime (missing argument) must leave the
+/// prepared handle and engine fully usable.
+#[test]
+fn failed_run_does_not_poison_the_handle() {
+    let (g, _) = diamond_chain(6);
+    let engine = Engine::new(&g);
+    let prepared = PreparedQuery::prepare(&stdlib::qn("V", "E")).unwrap();
+    assert!(engine.run_prepared(&prepared, &[]).is_err(), "missing args must fail");
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v6"))];
+    let ok = engine.run_prepared(&prepared, &args).unwrap();
+    assert!(!ok.prints.is_empty() || !ok.tables.is_empty());
+}

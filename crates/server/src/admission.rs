@@ -1,0 +1,249 @@
+//! Admission control: the two bounded resources that make the server
+//! shed load instead of queueing unboundedly.
+//!
+//! 1. [`ConnQueue`] — a bounded handoff between the acceptor and the
+//!    worker pool. When it is full the acceptor answers `503` inline
+//!    and drops the connection; nothing waits.
+//! 2. [`QueryGate`] — a cap on queries executing concurrently. A
+//!    request that cannot take a permit *immediately* is answered `429`
+//!    with `Retry-After`; workers never block on the gate, so cheap
+//!    endpoints (`/metrics`, `/healthz`) stay responsive while the gate
+//!    is saturated.
+//!
+//! Per-request [`Budget`]s are derived here too: server defaults from
+//! [`crate::config::ServerConfig`], tightened (never loosened beyond the
+//! configured ceiling) by `x-gsql-*` request headers.
+
+use crate::config::ServerConfig;
+use crate::http::Request;
+use gsql_core::Budget;
+use std::collections::VecDeque;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Bounded MPMC handoff of accepted connections.
+pub struct ConnQueue {
+    q: Mutex<QueueState>,
+    cv: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    items: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    pub fn new(capacity: usize) -> Self {
+        ConnQueue {
+            q: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            cv: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a connection, or returns it when the queue is full (the
+    /// caller sheds with 503) or closed (shutdown in progress).
+    pub fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.q.lock().unwrap();
+        if state.closed || state.items.len() >= self.capacity {
+            return Err(conn);
+        }
+        state.items.push_back(conn);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection. Returns `None` only once the
+    /// queue is closed *and* drained — a graceful shutdown still serves
+    /// everything already admitted.
+    pub fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.q.lock().unwrap();
+        loop {
+            if let Some(conn) = state.items.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).unwrap();
+        }
+    }
+
+    /// Begins drain: no new connections are admitted; blocked workers
+    /// wake and exit once the backlog is empty.
+    pub fn close(&self) {
+        self.q.lock().unwrap().closed = true;
+        self.cv.notify_all();
+    }
+
+    pub fn depth(&self) -> usize {
+        self.q.lock().unwrap().items.len()
+    }
+}
+
+/// Non-blocking cap on concurrently executing queries.
+pub struct QueryGate {
+    inflight: AtomicUsize,
+    max: usize,
+}
+
+/// RAII permit; dropping releases the slot.
+pub struct Permit<'a>(&'a QueryGate);
+
+impl QueryGate {
+    pub fn new(max: usize) -> Self {
+        QueryGate { inflight: AtomicUsize::new(0), max: max.max(1) }
+    }
+
+    /// Takes a slot if one is free, without waiting.
+    pub fn try_acquire(&self) -> Option<Permit<'_>> {
+        let mut current = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.max {
+                return None;
+            }
+            match self.inflight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(Permit(self)),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    pub fn inflight(&self) -> usize {
+        self.inflight.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        self.0.inflight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Builds the resource budget for one request: the server's default
+/// budget, with any `x-gsql-*` header overrides clamped to the server's
+/// ceilings (a client may tighten its envelope, never escape it).
+///
+/// Headers: `x-gsql-deadline-ms`, `x-gsql-max-rows`, `x-gsql-max-paths`,
+/// `x-gsql-max-accum-bytes`, `x-gsql-max-while-iters`.
+pub fn request_budget(cfg: &ServerConfig, req: &Request) -> Result<Budget, String> {
+    let mut budget = cfg.default_budget.clone();
+
+    fn parse_u64(req: &Request, name: &str) -> Result<Option<u64>, String> {
+        match req.header(name) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<u64>()
+                .map(Some)
+                .map_err(|_| format!("header {name} expects a non-negative integer, got `{v}`")),
+        }
+    }
+
+    if let Some(ms) = parse_u64(req, "x-gsql-deadline-ms")? {
+        let mut d = Duration::from_millis(ms);
+        if let Some(ceiling) = cfg.max_deadline {
+            d = d.min(ceiling);
+        }
+        budget.deadline = Some(d);
+    }
+    // For the countable caps, "min with the default" clamps: a header
+    // can only tighten the envelope the operator configured.
+    let clamp = |base: Option<u64>, v: Option<u64>| match (base, v) {
+        (Some(b), Some(v)) => Some(b.min(v)),
+        (None, v) => v,
+        (b, None) => b,
+    };
+    budget.max_binding_rows = clamp(budget.max_binding_rows, parse_u64(req, "x-gsql-max-rows")?);
+    budget.max_paths = clamp(budget.max_paths, parse_u64(req, "x-gsql-max-paths")?);
+    budget.max_accum_bytes =
+        clamp(budget.max_accum_bytes, parse_u64(req, "x-gsql-max-accum-bytes")?);
+    budget.max_while_iters =
+        clamp(budget.max_while_iters, parse_u64(req, "x-gsql-max-while-iters")?);
+    Ok(budget)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_with(headers: &[(&str, &str)]) -> Request {
+        Request {
+            method: "POST".into(),
+            path: "/query".into(),
+            headers: headers
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn gate_sheds_beyond_max() {
+        let gate = QueryGate::new(2);
+        let a = gate.try_acquire().unwrap();
+        let _b = gate.try_acquire().unwrap();
+        assert!(gate.try_acquire().is_none(), "third permit must shed");
+        drop(a);
+        assert!(gate.try_acquire().is_some(), "slot frees on drop");
+    }
+
+    #[test]
+    fn queue_sheds_when_full_and_drains_on_close() {
+        let q = ConnQueue::new(1);
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = l.local_addr().unwrap();
+        let c1 = TcpStream::connect(addr).unwrap();
+        let c2 = TcpStream::connect(addr).unwrap();
+        assert!(q.push(c1).is_ok());
+        assert!(q.push(c2).is_err(), "second push must bounce");
+        q.close();
+        assert!(q.pop().is_some(), "backlog still served after close");
+        assert!(q.pop().is_none(), "then drained");
+        let c3 = TcpStream::connect(addr).unwrap();
+        assert!(q.push(c3).is_err(), "closed queue admits nothing");
+    }
+
+    #[test]
+    fn headers_tighten_but_cannot_escape_ceilings() {
+        let cfg = ServerConfig {
+            default_budget: Budget::default()
+                .with_deadline(Duration::from_secs(30))
+                .with_max_binding_rows(1000),
+            max_deadline: Some(Duration::from_secs(60)),
+            ..ServerConfig::default()
+        };
+
+        let b = request_budget(&cfg, &request_with(&[])).unwrap();
+        assert_eq!(b.deadline, Some(Duration::from_secs(30)));
+        assert_eq!(b.max_binding_rows, Some(1000));
+
+        let b = request_budget(
+            &cfg,
+            &request_with(&[("x-gsql-deadline-ms", "100"), ("x-gsql-max-rows", "10")]),
+        )
+        .unwrap();
+        assert_eq!(b.deadline, Some(Duration::from_millis(100)));
+        assert_eq!(b.max_binding_rows, Some(10));
+
+        // Attempts to exceed the ceilings clamp instead.
+        let b = request_budget(
+            &cfg,
+            &request_with(&[("x-gsql-deadline-ms", "999999999"), ("x-gsql-max-rows", "999999")]),
+        )
+        .unwrap();
+        assert_eq!(b.deadline, Some(Duration::from_secs(60)));
+        assert_eq!(b.max_binding_rows, Some(1000));
+
+        assert!(request_budget(&cfg, &request_with(&[("x-gsql-max-rows", "lots")])).is_err());
+    }
+}

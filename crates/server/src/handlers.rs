@@ -1,0 +1,364 @@
+//! Request routing and the query-execution path.
+//!
+//! Response envelope (all endpoints):
+//! * success — `{"ok":true, ...}`; query endpoints put the
+//!   deterministic payload under `"result"` (prints/tables/returned)
+//!   and the run-dependent accounting under `"report"`/`"elapsed_us"`,
+//!   so clients can compare `result` byte-for-byte across runs.
+//! * failure — `{"ok":false,"error":{"kind","message"[,"report"]}}`.
+//!
+//! Status mapping: 200 success; 400 parse/compile/runtime (the query is
+//! wrong); 422 resource-budget trips (the query was too expensive —
+//! retry with a bigger envelope); 429 concurrency gate; 499 client
+//! disconnected mid-run; 500 contained worker panic; 503 accept-queue
+//! shed; 404/405/413 the usual HTTP meanings.
+
+use crate::admission::request_budget;
+use crate::http::{Request, Response};
+use crate::json::{self, write_json, Json};
+use crate::server::Shared;
+use gsql_core::exec::{QueryOutput, ReturnValue};
+use gsql_core::{Engine, ErrorKind, PreparedQuery, ResourceReport};
+use pgraph::value::Value;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Routes one parsed request. `stream` is the client socket, borrowed so
+/// long-running executions can register with the disconnect watchdog.
+pub fn handle(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => healthz(shared),
+        ("GET", "/metrics") => metrics(shared),
+        ("POST", "/query") => query(shared, req, stream),
+        ("POST", "/prepare") => prepare(shared, req),
+        ("POST", p) if p.starts_with("/execute/") => {
+            execute(shared, req, stream, &p["/execute/".len()..])
+        }
+        (_, "/query" | "/prepare") => error_response(405, "method-not-allowed", "use POST", None),
+        (_, "/healthz" | "/metrics") => error_response(405, "method-not-allowed", "use GET", None),
+        (_, p) if p.starts_with("/execute/") => {
+            error_response(405, "method-not-allowed", "use POST", None)
+        }
+        _ => error_response(404, "not-found", "no such endpoint", None),
+    }
+}
+
+fn healthz(shared: &Shared) -> Response {
+    let status = if shared.shutting_down() { "draining" } else { "ok" };
+    Response::json(200, format!(r#"{{"status":"{status}"}}"#))
+}
+
+fn metrics(shared: &Shared) -> Response {
+    let mut snapshot = shared.metrics.to_json();
+    if let Json::Obj(fields) = &mut snapshot {
+        let (total, pinned) = shared.plans.sizes();
+        fields.push((
+            "plan_cache".into(),
+            Json::Obj(vec![
+                ("entries".into(), Json::Int(total as i64)),
+                ("pinned".into(), Json::Int(pinned as i64)),
+            ]),
+        ));
+        fields.push(("queue_depth".into(), Json::Int(shared.queue.depth() as i64)));
+        fields.push(("inflight".into(), Json::Int(shared.gate.inflight() as i64)));
+    }
+    let mut body = String::new();
+    write_json(&mut body, &snapshot);
+    Response::json(200, body)
+}
+
+/// `POST /query` — ad-hoc text; parse-once via the plan cache.
+fn query(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return *resp,
+    };
+    let Some(src) = body.get("query").and_then(Json::as_str) else {
+        return error_response(400, "bad-request", "body must contain a string `query` field", None);
+    };
+    let args = match parse_call_args(&body) {
+        Ok(a) => a,
+        Err(resp) => return *resp,
+    };
+    let cached = match shared.plans.get_or_parse(src) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return query_error(shared, &e, false);
+        }
+    };
+    count_cache(shared, cached.hit);
+    run_query(shared, req, stream, &cached.prepared, &args, cached.hit)
+}
+
+/// `POST /prepare` — parse, pin, hand back a statement id.
+fn prepare(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return *resp,
+    };
+    let Some(src) = body.get("query").and_then(Json::as_str) else {
+        return error_response(400, "bad-request", "body must contain a string `query` field", None);
+    };
+    match shared.plans.prepare(src) {
+        Ok((id, cached)) => {
+            count_cache(shared, cached.hit);
+            let out = Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("id".into(), Json::Str(id)),
+                ("query".into(), Json::Str(cached.prepared.name().to_string())),
+                ("signature".into(), Json::Str(cached.prepared.signature())),
+                ("plan_cache".into(), Json::Str(cache_tag(cached.hit).into())),
+            ]);
+            let mut body = String::new();
+            write_json(&mut body, &out);
+            Response::json(200, body)
+        }
+        Err(e) => {
+            shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            query_error(shared, &e, false)
+        }
+    }
+}
+
+/// `POST /execute/{id}` — run a pinned prepared statement.
+fn execute(shared: &Shared, req: &Request, stream: &std::net::TcpStream, id: &str) -> Response {
+    let Some(prepared) = shared.plans.get_by_id(id) else {
+        return error_response(
+            404,
+            "unknown-statement",
+            &format!("no prepared statement `{id}` (expired or never prepared?)"),
+            None,
+        );
+    };
+    let args = if req.body.is_empty() {
+        Vec::new()
+    } else {
+        let body = match parse_body(req) {
+            Ok(b) => b,
+            Err(resp) => return *resp,
+        };
+        match parse_call_args(&body) {
+            Ok(a) => a,
+            Err(resp) => return *resp,
+        }
+    };
+    // Executing a resident plan is by definition a cache hit.
+    count_cache(shared, true);
+    run_query(shared, req, stream, &prepared, &args, true)
+}
+
+/// The shared execution path: admission gate → budget → engine run →
+/// metrics → response.
+fn run_query(
+    shared: &Shared,
+    req: &Request,
+    stream: &std::net::TcpStream,
+    prepared: &Arc<PreparedQuery>,
+    args: &[(String, Value)],
+    cache_hit: bool,
+) -> Response {
+    let Some(_permit) = shared.gate.try_acquire() else {
+        shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
+        return error_response(
+            429,
+            "too-many-queries",
+            "concurrent query limit reached; retry shortly",
+            None,
+        )
+        .with_header("retry-after", "1");
+    };
+    let budget = match request_budget(&shared.cfg, req) {
+        Ok(b) => b,
+        Err(msg) => return error_response(400, "bad-request", &msg, None),
+    };
+
+    shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let engine = Engine::new(&shared.graph)
+        .with_semantics(shared.cfg.semantics)
+        .with_parallelism(shared.cfg.parallelism)
+        .with_budget(budget);
+    let outcome = {
+        // Register with the watchdog only for the duration of the run:
+        // the token must drop before we touch the socket to respond.
+        let _watch = shared.watchdog.watch(stream, engine.cancel_handle());
+        let arg_refs: Vec<(&str, Value)> =
+            args.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+        engine.run_prepared(prepared, &arg_refs)
+    };
+    let elapsed = started.elapsed();
+    shared.metrics.latency.record(elapsed);
+
+    match outcome {
+        Ok(out) => {
+            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.absorb_report(&out.report);
+            let payload = Json::Obj(vec![
+                ("ok".into(), Json::Bool(true)),
+                ("query".into(), Json::Str(prepared.name().to_string())),
+                ("plan_cache".into(), Json::Str(cache_tag(cache_hit).into())),
+                ("result".into(), result_json(&out)),
+                ("report".into(), report_json(&out.report)),
+                ("elapsed_us".into(), Json::Int(elapsed.as_micros().min(i64::MAX as u128) as i64)),
+            ]);
+            let mut body = String::new();
+            write_json(&mut body, &payload);
+            Response::json(200, body)
+        }
+        Err(e) => query_error(shared, &e, true),
+    }
+}
+
+/// Maps an engine error to a response and bumps the outcome counters.
+/// `admitted` distinguishes execution failures (counted) from
+/// parse-at-the-door failures (never admitted, nothing to count).
+fn query_error(shared: &Shared, e: &gsql_core::Error, admitted: bool) -> Response {
+    let kind = e.kind();
+    if admitted {
+        if kind == ErrorKind::Cancelled {
+            shared.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(r) = e.resource_report() {
+            shared.metrics.absorb_report(r);
+        }
+    }
+    let status = match kind {
+        ErrorKind::Parse | ErrorKind::Compile | ErrorKind::Runtime => 400,
+        ErrorKind::Cancelled => 499,
+        ErrorKind::WorkerPanic => 500,
+        // Deadline/row/path/memory/iteration trips: the request was
+        // well-formed but exceeded its envelope.
+        _ => 422,
+    };
+    error_response(status, kind.as_str(), &e.to_string(), e.resource_report())
+}
+
+fn error_response(
+    status: u16,
+    kind: &str,
+    message: &str,
+    report: Option<&ResourceReport>,
+) -> Response {
+    let mut fields = vec![
+        ("kind".to_string(), Json::Str(kind.to_string())),
+        ("message".to_string(), Json::Str(message.to_string())),
+    ];
+    if let Some(r) = report {
+        fields.push(("report".into(), report_json(r)));
+    }
+    let payload = Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        ("error".into(), Json::Obj(fields)),
+    ]);
+    let mut body = String::new();
+    write_json(&mut body, &payload);
+    Response::json(status, body)
+}
+
+fn count_cache(shared: &Shared, hit: bool) {
+    let counter = if hit { &shared.metrics.plan_hits } else { &shared.metrics.plan_misses };
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn cache_tag(hit: bool) -> &'static str {
+    if hit {
+        "hit"
+    } else {
+        "miss"
+    }
+}
+
+// ---- body / argument parsing --------------------------------------------
+
+fn parse_body(req: &Request) -> Result<Json, Box<Response>> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| Box::new(error_response(400, "bad-request", "body is not UTF-8", None)))?;
+    let text = if text.trim().is_empty() { "{}" } else { text };
+    json::parse(text)
+        .map_err(|e| Box::new(error_response(400, "bad-request", &format!("invalid JSON body: {e}"), None)))
+}
+
+/// Extracts the `"args"` object into named engine arguments.
+fn parse_call_args(body: &Json) -> Result<Vec<(String, Value)>, Box<Response>> {
+    let Some(args) = body.get("args") else { return Ok(Vec::new()) };
+    let Some(pairs) = args.as_obj() else {
+        return Err(Box::new(error_response(
+            400,
+            "bad-request",
+            "`args` must be an object of name -> value",
+            None,
+        )));
+    };
+    pairs
+        .iter()
+        .map(|(name, j)| {
+            json::json_to_arg(j).map(|v| (name.clone(), v)).map_err(|e| {
+                Box::new(error_response(
+                    400,
+                    "bad-request",
+                    &format!("argument `{name}`: {e}"),
+                    None,
+                ))
+            })
+        })
+        .collect()
+}
+
+// ---- deterministic result serialization ----------------------------------
+
+/// The deterministic portion of a [`QueryOutput`]: prints, tables and the
+/// returned value — everything except timing. `bench_server` serializes
+/// the output of a local [`Engine::run_text`] through this same function
+/// and compares bytes against the server response.
+pub fn result_json(out: &QueryOutput) -> Json {
+    let tables = out
+        .tables
+        .iter()
+        .map(|(name, t)| (name.clone(), table_json(t)))
+        .collect();
+    let mut fields = vec![
+        ("prints".to_string(), Json::Arr(out.prints.iter().map(|p| Json::Str(p.clone())).collect())),
+        ("tables".to_string(), Json::Obj(tables)),
+    ];
+    let returned = match &out.returned {
+        None => Json::Null,
+        Some(ReturnValue::Value(v)) => json::value_to_json(v),
+        Some(ReturnValue::Table(t)) => Json::Obj(vec![("table".into(), table_json(t))]),
+        Some(ReturnValue::VSet(ids)) => Json::Obj(vec![(
+            "vset".into(),
+            Json::Arr(ids.iter().map(|id| Json::Int(id.0 as i64)).collect()),
+        )]),
+    };
+    fields.push(("returned".to_string(), returned));
+    Json::Obj(fields)
+}
+
+fn table_json(t: &gsql_core::Table) -> Json {
+    Json::Obj(vec![
+        ("columns".into(), Json::Arr(t.columns.iter().map(|c| Json::Str(c.clone())).collect())),
+        (
+            "rows".into(),
+            Json::Arr(
+                t.rows
+                    .iter()
+                    .map(|row| Json::Arr(row.iter().map(json::value_to_json).collect()))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Resource accounting (run-dependent: includes elapsed time).
+pub fn report_json(r: &ResourceReport) -> Json {
+    Json::Obj(vec![
+        ("rows_materialized".into(), Json::Int(r.rows_materialized as i64)),
+        ("paths_enumerated".into(), Json::Int(r.paths_enumerated as i64)),
+        ("peak_accum_bytes".into(), Json::Int(r.peak_accum_bytes as i64)),
+        ("while_iterations".into(), Json::Int(r.while_iterations as i64)),
+        ("elapsed_us".into(), Json::Int(r.elapsed.as_micros().min(i64::MAX as u128) as i64)),
+    ])
+}

@@ -1,0 +1,42 @@
+//! # gsql-serve — a concurrent query service over `gsql-core`
+//!
+//! A long-running, multi-client HTTP service for the GSQL-subset engine:
+//! accept queries over the wire, execute them against one shared
+//! in-memory graph, and stay predictable under load.
+//!
+//! Everything is built on `std` only (no external network crates):
+//! blocking sockets from [`std::net`], a hand-rolled minimal HTTP/1.1
+//! layer ([`http`]), and a hand-rolled JSON codec ([`json`]).
+//!
+//! The moving parts:
+//! * [`server`] — acceptor, bounded worker pool, disconnect watchdog,
+//!   graceful drain-then-shutdown;
+//! * [`admission`] — bounded connection queue (503 on overflow), a
+//!   non-blocking concurrent-query gate (429 when saturated), and
+//!   per-request [`gsql_core::Budget`]s derived from server defaults
+//!   clamped by `x-gsql-*` request headers;
+//! * [`plan_cache`] — parse-once plan cache keyed by source fingerprint,
+//!   LRU-evicted, with pinned prepared statements
+//!   (`POST /prepare` → `POST /execute/{id}`);
+//! * [`metrics`] — lock-free counters, a log₂ latency histogram and
+//!   aggregated [`gsql_core::ResourceReport`] totals, served by
+//!   `GET /metrics`;
+//! * [`handlers`] — endpoint routing and the error→status mapping.
+//!
+//! The graph is shared immutably (`Arc<pgraph::graph::Graph>`); each
+//! request builds a throwaway [`gsql_core::Engine`] view with its own
+//! budget and cancellation handle, which is cheap (the graph itself is
+//! borrowed, never copied).
+
+pub mod admission;
+pub mod client;
+pub mod config;
+pub mod handlers;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod plan_cache;
+pub mod server;
+
+pub use config::{load_graph, parse_args, ServerConfig};
+pub use server::{Server, Shared};

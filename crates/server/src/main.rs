@@ -1,0 +1,95 @@
+//! `gsql-serve` binary: parse flags, load the graph, run the server
+//! until SIGTERM or stdin EOF, then drain and exit 0.
+
+use gsql_serve::{load_graph, parse_args, Server};
+use std::io::Read as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+static STOP: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    // libc is already linked by std; declaring `signal` avoids a
+    // dependency while keeping the handler async-signal-safe (it only
+    // stores an atomic flag).
+    extern "C" fn on_term(_sig: i32) {
+        STOP.store(true, Ordering::Relaxed);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGTERM, on_term);
+        signal(SIGINT, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, graph_spec) = match parse_args(&argv) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("loading graph {graph_spec} ...");
+    let graph = match load_graph(&graph_spec) {
+        Ok(g) => Arc::new(g),
+        Err(e) => {
+            eprintln!("gsql-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "graph ready: {} vertices, {} edges",
+        graph.vertex_count(),
+        graph.edge_count()
+    );
+
+    install_sigterm_handler();
+
+    let server = match Server::start(cfg, graph) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gsql-serve: cannot start: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Scripts (and the CI smoke test) parse this exact line for the
+    // ephemeral port; keep it on stdout and flush immediately.
+    println!("gsql-serve listening on http://{}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Stdin EOF is the second shutdown trigger: a supervising process
+    // closing our stdin (or a Ctrl-D in a terminal) means "drain".
+    std::thread::spawn(|| {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => {
+                    STOP.store(true, Ordering::Relaxed);
+                    return;
+                }
+                Ok(_) => {}
+            }
+        }
+    });
+
+    while !STOP.load(Ordering::Relaxed) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("gsql-serve: draining ...");
+    server.shutdown();
+    eprintln!("gsql-serve: bye");
+}

@@ -1,0 +1,224 @@
+//! The prepared-statement plan cache.
+//!
+//! Every query text is parsed at most once per residency: `POST /query`
+//! consults the cache by source fingerprint before touching the lexer,
+//! and `POST /prepare` pins an entry and hands back its fingerprint as a
+//! statement id for `POST /execute/{id}`. Eviction is LRU over unpinned
+//! entries; pinned (explicitly prepared) statements get their own larger
+//! cap and only evict LRU-among-pinned beyond it, so a hot prepared
+//! workload cannot be flushed by a stream of ad-hoc queries.
+//!
+//! Safe to share: `Arc<PreparedQuery>` clones out of the lock, and
+//! re-execution of a parsed query is stateless (pinned by
+//! `crates/core/tests/prepared_reuse.rs`).
+
+use gsql_core::{prepared::fingerprint, PreparedQuery, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+struct Entry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+    pinned: bool,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<u64, Entry>,
+    pinned_count: usize,
+}
+
+pub struct PlanCache {
+    inner: Mutex<Inner>,
+    /// Max unpinned (ad-hoc) entries.
+    capacity: usize,
+    /// Max pinned (explicitly prepared) entries.
+    max_pinned: usize,
+    clock: AtomicU64,
+}
+
+/// Cache consultation outcome, so callers can bump hit/miss metrics.
+pub struct Cached {
+    pub prepared: Arc<PreparedQuery>,
+    pub hit: bool,
+}
+
+impl PlanCache {
+    pub fn new(capacity: usize, max_pinned: usize) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity.max(1),
+            max_pinned: max_pinned.max(1),
+            clock: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up `src` by fingerprint, parsing and inserting on miss.
+    /// `pin` marks the entry as an explicit prepared statement.
+    fn lookup(&self, src: &str, pin: bool) -> Result<Cached> {
+        let key = fingerprint(src);
+        let now = self.tick();
+        {
+            let mut guard = self.inner.lock().unwrap();
+            let inner = &mut *guard;
+            if let Some(e) = inner.map.get_mut(&key) {
+                // Guard against fingerprint collisions: the source text
+                // must match exactly, else fall through to a fresh parse
+                // replacing the colliding entry.
+                if e.prepared.source() == src {
+                    e.last_used = now;
+                    let prepared = e.prepared.clone();
+                    let newly_pinned = pin && !e.pinned;
+                    e.pinned |= pin;
+                    if newly_pinned {
+                        inner.pinned_count += 1;
+                    }
+                    return Ok(Cached { prepared, hit: true });
+                }
+            }
+        }
+        // Parse outside the lock: parsing is the expensive part, and a
+        // storm of distinct queries must not serialize on the cache.
+        let prepared = Arc::new(PreparedQuery::prepare(src)?);
+        let mut guard = self.inner.lock().unwrap();
+        let inner = &mut *guard;
+        if let Some(old) = inner
+            .map
+            .insert(key, Entry { prepared: prepared.clone(), last_used: now, pinned: pin })
+        {
+            if old.pinned {
+                inner.pinned_count -= 1;
+            }
+        }
+        if pin {
+            inner.pinned_count += 1;
+        }
+        self.evict(inner);
+        Ok(Cached { prepared, hit: false })
+    }
+
+    /// `POST /query` path: parse-once semantics for ad-hoc texts.
+    pub fn get_or_parse(&self, src: &str) -> Result<Cached> {
+        self.lookup(src, false)
+    }
+
+    /// `POST /prepare` path: pins the plan and returns its wire id.
+    pub fn prepare(&self, src: &str) -> Result<(String, Cached)> {
+        let cached = self.lookup(src, true)?;
+        Ok((format!("{:016x}", cached.prepared.fingerprint()), cached))
+    }
+
+    /// `POST /execute/{id}` path: resolves a wire id from `prepare`.
+    pub fn get_by_id(&self, id: &str) -> Option<Arc<PreparedQuery>> {
+        let key = u64::from_str_radix(id, 16).ok()?;
+        let now = self.tick();
+        let mut inner = self.inner.lock().unwrap();
+        let e = inner.map.get_mut(&key)?;
+        e.last_used = now;
+        Some(e.prepared.clone())
+    }
+
+    /// Evicts LRU entries: unpinned down to `capacity`, pinned down to
+    /// `max_pinned` (separately, so neither class starves the other).
+    fn evict(&self, inner: &mut Inner) {
+        let unpinned = inner.map.len() - inner.pinned_count;
+        for (over, pinned_class) in [
+            (unpinned.saturating_sub(self.capacity), false),
+            (inner.pinned_count.saturating_sub(self.max_pinned), true),
+        ] {
+            for _ in 0..over {
+                if let Some(&victim) = inner
+                    .map
+                    .iter()
+                    .filter(|(_, e)| e.pinned == pinned_class)
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k)
+                {
+                    if inner.map.remove(&victim).is_some_and(|e| e.pinned) {
+                        inner.pinned_count -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// (total entries, pinned entries) — for /metrics and tests.
+    pub fn sizes(&self) -> (usize, usize) {
+        let inner = self.inner.lock().unwrap();
+        (inner.map.len(), inner.pinned_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query(n: usize) -> String {
+        format!("CREATE QUERY q{n} () {{ PRINT {n}; }}")
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = PlanCache::new(8, 8);
+        let src = query(1);
+        assert!(!cache.get_or_parse(&src).unwrap().hit);
+        assert!(cache.get_or_parse(&src).unwrap().hit);
+        assert_eq!(cache.sizes(), (1, 0));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_unpinned() {
+        let cache = PlanCache::new(2, 8);
+        let (a, b, c) = (query(1), query(2), query(3));
+        cache.get_or_parse(&a).unwrap();
+        cache.get_or_parse(&b).unwrap();
+        cache.get_or_parse(&a).unwrap(); // refresh a
+        cache.get_or_parse(&c).unwrap(); // evicts b
+        assert!(cache.get_or_parse(&a).unwrap().hit);
+        assert!(!cache.get_or_parse(&b).unwrap().hit, "b must have been evicted");
+    }
+
+    #[test]
+    fn pinned_entries_survive_adhoc_storms() {
+        let cache = PlanCache::new(2, 8);
+        let hot = query(0);
+        let (id, _) = cache.prepare(&hot).unwrap();
+        for n in 1..50 {
+            cache.get_or_parse(&query(n)).unwrap();
+        }
+        assert!(cache.get_by_id(&id).is_some(), "pinned plan must survive");
+        let (total, pinned) = cache.sizes();
+        assert_eq!(pinned, 1);
+        assert!(total <= 3, "unpinned class stays bounded, got {total}");
+    }
+
+    #[test]
+    fn pinned_class_is_bounded_too() {
+        let cache = PlanCache::new(2, 3);
+        let ids: Vec<String> =
+            (0..6).map(|n| cache.prepare(&query(n)).unwrap().0).collect();
+        let (_, pinned) = cache.sizes();
+        assert_eq!(pinned, 3);
+        assert!(cache.get_by_id(&ids[0]).is_none(), "oldest pinned evicted");
+        assert!(cache.get_by_id(&ids[5]).is_some());
+    }
+
+    #[test]
+    fn parse_errors_do_not_cache() {
+        let cache = PlanCache::new(8, 8);
+        assert!(cache.get_or_parse("CREATE QUERY broken (").is_err());
+        assert_eq!(cache.sizes(), (0, 0));
+    }
+
+    #[test]
+    fn bad_ids_miss() {
+        let cache = PlanCache::new(8, 8);
+        assert!(cache.get_by_id("not-hex").is_none());
+        assert!(cache.get_by_id("00000000deadbeef").is_none());
+    }
+}

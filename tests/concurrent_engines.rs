@@ -1,0 +1,152 @@
+//! Concurrent engines over one shared `Arc<Graph>` — the invariant the
+//! server relies on: N threads each building their own `Engine` view of
+//! the same immutable graph, with their own budgets and cancel handles,
+//! must (a) produce exactly the results a single-threaded run produces
+//! and (b) be isolated — cancelling one mid-flight request must not
+//! perturb any other.
+
+use gsql_core::{Budget, Engine, ErrorKind};
+use ldbc_snb::{generate, queries, SnbParams};
+use pgraph::graph::Graph;
+use pgraph::value::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A Qn-flavored path-counting query over the SNB `Knows` network
+/// (Person has no `name` attribute, so the stdlib Qn text is anchored by
+/// vertex parameter instead of name equality).
+const QN_KNOWS: &str = "
+CREATE QUERY QnKnows (vertex<Person> src) {
+  SumAccum<int> @pathCount;
+  SumAccum<int> @@reached;
+  R = SELECT t FROM Person:src -(Knows*1..3)- Person:t
+      WHERE t <> src
+      ACCUM t.@pathCount += 1
+      POST_ACCUM @@reached += 1;
+  PRINT @@reached;
+}
+";
+
+fn snb() -> Graph {
+    generate(SnbParams::new(0.05, 2024))
+}
+
+fn persons(g: &Graph) -> Vec<Value> {
+    let pt = g.schema().vertex_type_id("Person").unwrap();
+    g.vertices_of_type(pt).iter().copied().map(Value::Vertex).collect()
+}
+
+#[test]
+fn eight_threads_of_mixed_queries_match_single_threaded_results() {
+    let graph = Arc::new(snb());
+    let people = persons(&graph);
+    assert!(people.len() >= 8, "fixture must have enough people");
+    let ic5 = queries::ic5(2);
+
+    // Reference results, computed single-threaded.
+    let reference: Vec<_> = (0..8)
+        .map(|i| {
+            let engine = Engine::new(&graph);
+            let qn = engine
+                .run_text(QN_KNOWS, &[("src", people[i].clone())])
+                .unwrap();
+            let ic = engine
+                .run_text(
+                    &ic5,
+                    &[("p", people[i].clone()), ("minDate", Value::DateTime(0))],
+                )
+                .unwrap();
+            (qn, ic)
+        })
+        .collect();
+
+    // The same work from 8 client threads sharing the Arc<Graph>, each
+    // with its own per-thread budget (generous, but present — exactly
+    // how the server hands budgets to concurrent requests).
+    let results: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let graph = graph.clone();
+                let person = people[i].clone();
+                let ic5 = ic5.clone();
+                scope.spawn(move || {
+                    let budget = Budget::default()
+                        .with_deadline(Duration::from_secs(60))
+                        .with_max_binding_rows(10_000_000);
+                    let engine = Engine::new(&graph).with_budget(budget);
+                    let qn = engine.run_text(QN_KNOWS, &[("src", person.clone())]).unwrap();
+                    let ic = engine
+                        .run_text(&ic5, &[("p", person), ("minDate", Value::DateTime(0))])
+                        .unwrap();
+                    (qn, ic)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (i, ((qn, ic), (rqn, ric))) in results.iter().zip(reference.iter()).enumerate() {
+        assert_eq!(qn.prints, rqn.prints, "QnKnows prints diverge on thread {i}");
+        assert_eq!(qn.tables, rqn.tables, "QnKnows tables diverge on thread {i}");
+        assert_eq!(ic.prints, ric.prints, "ic5 prints diverge on thread {i}");
+        assert_eq!(ic.tables, ric.tables, "ic5 tables diverge on thread {i}");
+    }
+}
+
+#[test]
+fn cancelling_one_engine_leaves_the_others_unaffected() {
+    let graph = Arc::new(snb());
+    let people = persons(&graph);
+    let ic5 = queries::ic5(2);
+
+    // The victim runs an effectively unbounded spin so the cancel always
+    // lands mid-flight; the bystanders run the real mixed workload.
+    let spin = "
+CREATE QUERY Spin () {
+  SumAccum<int> @@s;
+  WHILE @@s < 2000000000 LIMIT 2000000000 DO @@s += 1; END;
+  PRINT @@s;
+}
+";
+    let victim_engine = Engine::new(&graph);
+    let cancel = victim_engine.cancel_handle();
+
+    std::thread::scope(|scope| {
+        let victim = scope.spawn(move || victim_engine.run_text(spin, &[]));
+
+        let bystanders: Vec<_> = (0..4)
+            .map(|i| {
+                let graph = graph.clone();
+                let person = people[i].clone();
+                let ic5 = ic5.clone();
+                scope.spawn(move || {
+                    let engine = Engine::new(&graph);
+                    let reference = engine
+                        .run_text(&ic5, &[("p", person.clone()), ("minDate", Value::DateTime(0))])
+                        .unwrap();
+                    // Re-run while the victim is being cancelled.
+                    for _ in 0..5 {
+                        let again = engine
+                            .run_text(
+                                &ic5,
+                                &[("p", person.clone()), ("minDate", Value::DateTime(0))],
+                            )
+                            .unwrap();
+                        assert_eq!(again.prints, reference.prints);
+                        assert_eq!(again.tables, reference.tables);
+                    }
+                })
+            })
+            .collect();
+
+        // Let the victim get properly in flight, then cancel it.
+        std::thread::sleep(Duration::from_millis(50));
+        cancel.cancel();
+
+        let err = victim.join().unwrap().expect_err("victim must be cancelled");
+        assert_eq!(err.kind(), ErrorKind::Cancelled);
+        for b in bystanders {
+            b.join().unwrap();
+        }
+    });
+}
