@@ -12,13 +12,32 @@ use std::fmt;
 /// Errors from accumulator operations.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AccumError {
-    TypeMismatch { expected: &'static str, got: Value },
+    /// The combiner received an input of an incompatible type.
+    TypeMismatch {
+        /// Human-readable description of the expected input type.
+        expected: &'static str,
+        /// The offending input value.
+        got: Value,
+    },
+    /// Reference to a user accumulator type that was never registered.
     UnknownUserAccum(String),
     /// An order-dependent / multiplicity-sensitive accumulator received a
     /// binding with a multiplicity too large to expand — the query is
     /// outside the tractable class (paper Section 7).
-    MultiplicityOverflow { accum: String, multiplicity: String },
-    ArityMismatch { expected: usize, got: usize },
+    MultiplicityOverflow {
+        /// Name of the accumulator type that refused the binding.
+        accum: String,
+        /// The multiplicity that exceeded the expansion cap (rendered,
+        /// since it may not fit in a machine word).
+        multiplicity: String,
+    },
+    /// A tuple-structured input had the wrong number of fields.
+    ArityMismatch {
+        /// Arity the accumulator was declared with.
+        expected: usize,
+        /// Arity of the input actually received.
+        got: usize,
+    },
 }
 
 impl fmt::Display for AccumError {
@@ -52,21 +71,63 @@ const EXPANSION_CAP: u64 = 1 << 20;
 /// A live accumulator instance.
 #[derive(Debug, Clone)]
 pub enum Accum {
+    /// `SumAccum<int>`: integer addition.
     SumInt(i64),
+    /// `SumAccum<float/double>`: floating-point addition.
     SumDouble(f64),
+    /// `SumAccum<string>`: concatenation (order-dependent).
     SumStr(String),
+    /// `MinAccum`: running minimum (`None` until the first input).
     Min(Option<Value>),
+    /// `MaxAccum`: running maximum (`None` until the first input).
     Max(Option<Value>),
-    Avg { sum: f64, count: u64 },
+    /// `AvgAccum`: running mean, stored as a sum/count pair.
+    Avg {
+        /// Sum of all inputs so far.
+        sum: f64,
+        /// Number of inputs so far.
+        count: u64,
+    },
+    /// `OrAccum`: boolean disjunction.
     Or(bool),
+    /// `AndAccum`: boolean conjunction.
     And(bool),
+    /// `SetAccum`: deduplicated elements, kept sorted.
     Set(Vec<Value>),
+    /// `BagAccum`: element → occurrence count (counts are [`BigCount`]
+    /// so path multiplicities absorb without expansion).
     Bag(BTreeMap<Value, BigCount>),
+    /// `ListAccum`: ordered append (order-dependent).
     List(Vec<Value>),
+    /// `ArrayAccum`: ordered append; fixed-size semantics not modeled.
     Array(Vec<Value>),
-    Map { entries: BTreeMap<Value, Accum>, value_type: Box<AccumType> },
-    Heap { capacity: usize, fields: Vec<HeapField>, items: Vec<Value> },
-    GroupBy { key_arity: usize, nested: Vec<AccumType>, groups: BTreeMap<Value, Vec<Accum>> },
+    /// `MapAccum`: key → nested accumulator.
+    Map {
+        /// The live nested accumulator per key.
+        entries: BTreeMap<Value, Accum>,
+        /// Declared type used to instantiate nested accumulators on
+        /// first touch of a new key.
+        value_type: Box<AccumType>,
+    },
+    /// `HeapAccum`: capacity-bounded top-k of tuples.
+    Heap {
+        /// Maximum number of retained tuples.
+        capacity: usize,
+        /// Lexicographic sort specification.
+        fields: Vec<HeapField>,
+        /// Retained tuples, kept sorted best-first.
+        items: Vec<Value>,
+    },
+    /// `GroupByAccum`: SQL GROUP BY as an accumulator (paper Example 12).
+    GroupBy {
+        /// Number of leading key fields in each input tuple.
+        key_arity: usize,
+        /// Declared types of the nested per-group accumulators.
+        nested: Vec<AccumType>,
+        /// Key tuple → live nested accumulators for that group.
+        groups: BTreeMap<Value, Vec<Accum>>,
+    },
+    /// A user-defined accumulator behind the [`UserAccum`] trait object.
     User(Box<dyn UserAccum>),
 }
 
@@ -258,8 +319,8 @@ impl Accum {
     ///   `(μ·i, +μ)`, `BagAccum` bumps the element count by `μ`,
     /// * `Map`/`GroupBy` recurse into their nested accumulators,
     /// * order-dependent accumulators fall back to literal expansion up
-    ///   to [`EXPANSION_CAP`], erroring beyond (outside the tractable
-    ///   class).
+    ///   to `EXPANSION_CAP` (2^20), erroring beyond (outside the
+    ///   tractable class).
     pub fn combine_with_multiplicity(
         &mut self,
         input: Value,

@@ -26,6 +26,8 @@
 //! * [`user`] — the extensible accumulator interface (the paper's C++
 //!   extension point, as a Rust trait + registry).
 
+#![warn(missing_docs)]
+
 pub mod instance;
 pub mod types;
 pub mod user;

@@ -7,7 +7,9 @@ use std::fmt;
 /// Sort direction for a [`AccumType::Heap`] field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SortDir {
+    /// Ascending order.
     Asc,
+    /// Descending order.
     Desc,
 }
 
@@ -15,7 +17,9 @@ pub enum SortDir {
 /// field index and its direction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HeapField {
+    /// Tuple field index the comparison reads.
     pub index: usize,
+    /// Sort direction for that field.
     pub dir: SortDir,
 }
 
@@ -54,11 +58,21 @@ pub enum AccumType {
     Map(Box<AccumType>),
     /// `HeapAccum<T>(capacity, f1 ASC|DESC, ...)`: a capacity-bounded
     /// priority queue of tuples under a lexicographic order.
-    Heap { capacity: usize, fields: Vec<HeapField> },
+    Heap {
+        /// Maximum number of retained tuples.
+        capacity: usize,
+        /// Lexicographic sort specification.
+        fields: Vec<HeapField>,
+    },
     /// `GroupByAccum<K1...Kn, A1...Am>`: SQL GROUP BY as an accumulator
     /// (paper Example 12); inputs `(k1..kn -> a1..am)` route each `aj`
     /// into nested accumulator `Aj` of the group keyed by the key tuple.
-    GroupBy { key_arity: usize, nested: Vec<AccumType> },
+    GroupBy {
+        /// Number of leading key fields in each input tuple.
+        key_arity: usize,
+        /// Declared types of the per-group nested accumulators.
+        nested: Vec<AccumType>,
+    },
     /// A user-defined accumulator registered by name.
     User(String),
 }

@@ -62,6 +62,7 @@ pub struct UserAccumRegistry {
 }
 
 impl UserAccumRegistry {
+    /// Creates an empty registry.
     pub fn new() -> Self {
         Self::default()
     }

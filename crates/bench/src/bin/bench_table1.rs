@@ -61,6 +61,20 @@ fn main() {
         Engine::new(&g30).run_text(&qn, &args30).unwrap();
     });
 
+    // 1b. Experiment E9: PROFILE overhead on the same Table 1 workload.
+    // Both sides run the pre-parsed query so the delta isolates the
+    // operator-boundary instrumentation (profiling off costs one Option
+    // check per operator; on, it adds span bookkeeping).
+    let qn_parsed = gsql_core::parse_query(&qn).unwrap();
+    let qn_n30_plain_ms = best_of(200, || {
+        let e = Engine::new(&g30);
+        black_box(e.run(&qn_parsed, &args30).unwrap());
+    });
+    let qn_n30_profiled_ms = best_of(200, || {
+        let e = Engine::new(&g30);
+        black_box(e.run_profiled(&qn_parsed, &args30).unwrap());
+    });
+
     // 2. Deep chain, kernel-level: a single SDMC counting `reach` over a
     // 2000-diamond chain (path counts handled by BigCount) — dominated by
     // the adjacency walk, so it isolates the layout change.
@@ -86,6 +100,13 @@ CREATE QUERY Fanout () {
 "#;
     let fanout_seq_ms = best_of(3, || {
         Engine::new(&ger).with_parallelism(1).run_text(fanout, &[]).unwrap();
+    });
+    // E9 on a row-bound workload (~2M binding rows through the ACCUM
+    // Map/Reduce): the worst case for per-operator span bookkeeping.
+    let fanout_parsed = gsql_core::parse_query(fanout).unwrap();
+    let fanout_seq_profiled_ms = best_of(3, || {
+        let e = Engine::new(&ger).with_parallelism(1);
+        black_box(e.run_profiled(&fanout_parsed, &[]).unwrap());
     });
     let fanout_par_ms = best_of(3, || {
         Engine::new(&ger)
@@ -122,8 +143,12 @@ CREATE QUERY Reaches (VERTEX tgt) {
     });
 
     println!(
-        "\"{label}\": {{\n  \"qn_n30_ms\": {qn_n30_ms:.3},\n  \"kernel_d2000_ms\": {kernel_d2000_ms:.3},\n  \
+        "\"{label}\": {{\n  \"qn_n30_ms\": {qn_n30_ms:.3},\n  \
+         \"qn_n30_plain_ms\": {qn_n30_plain_ms:.3},\n  \
+         \"qn_n30_profiled_ms\": {qn_n30_profiled_ms:.3},\n  \
+         \"kernel_d2000_ms\": {kernel_d2000_ms:.3},\n  \
          \"fanout_er1500_seq_ms\": {fanout_seq_ms:.1},\n  \
+         \"fanout_er1500_seq_profiled_ms\": {fanout_seq_profiled_ms:.1},\n  \
          \"fanout_er1500_par{parallelism}_ms\": {fanout_par_ms:.1},\n  \
          \"anchored_er3000_seq_ms\": {anchored_seq_ms:.1},\n  \
          \"anchored_er3000_par{parallelism}_ms\": {anchored_par_ms:.1}\n}}"

@@ -1,8 +1,8 @@
 //! `gsql_shell` — a small command-line front end for the engine.
 //!
 //! ```text
-//! gsql_shell <graph.pg> [--semantics <flavor>] [--explain] \
-//!            [--arg name=value ...] (<query.gsql> | -)
+//! gsql_shell <graph.pg> [--semantics <flavor>] [--explain] [--profile] \
+//!            [--json] [--arg name=value ...] (<query.gsql> | -)
 //! ```
 //!
 //! * `<graph.pg>` — a graph in the `pgraph::loader` text format, or one
@@ -11,13 +11,22 @@
 //! * `--semantics` — all_shortest_paths (default), non_repeated_edge,
 //!   non_repeated_vertex, all_shortest_paths_enumerate, shortest_one.
 //! * `--explain` — print the static plan instead of executing.
+//! * `--profile` — run with per-operator profiling; the profile prints
+//!   to stderr after the results (same tree the server returns).
+//! * `--json` — render the EXPLAIN plan / PROFILE tree as JSON instead
+//!   of indented text (format documented in `docs/PLAN_FORMAT.md`).
 //! * `--arg k=v` — query arguments (int / float / true|false / string;
 //!   `vertex:<id>` for vertex arguments).
 //! * query file or `-` to read GSQL from stdin.
 //!
+//! The query text itself may also start with the keyword `EXPLAIN` or
+//! `PROFILE` (before `CREATE QUERY`), which behaves exactly like the
+//! corresponding flag — the same prefixes the HTTP server accepts.
+//!
 //! Resource limits: the query source may start with `SET` directives
 //! (before `CREATE QUERY`), which configure the engine's resource
-//! governor:
+//! governor and execution mode — run `gsql_shell --help` for the full
+//! directive list:
 //!
 //! ```text
 //! SET timeout = 5s
@@ -26,7 +35,9 @@
 //! SET path_budget = 10000000
 //! SET memory_limit = 256MB
 //! SET iteration_limit = 10000
+//! SET parallelism = 4
 //! SET report = on
+//! SET profile = on
 //! ```
 //!
 //! `SET deadline_ms` is the millisecond twin of `SET timeout` (it maps
@@ -34,14 +45,17 @@
 //! `x-gsql-deadline-ms` header). `SET report = on` prints the engine's
 //! [`ResourceReport`](gsql_core::ResourceReport) after each successful
 //! query — the same per-request accounting `gsql-serve` returns in its
-//! response `report` object.
+//! response `report` object. `SET profile = on` is the directive twin of
+//! `--profile` (and of the server's `x-gsql-profile: 1` header).
 //!
 //! A query that trips a limit aborts with a structured report, e.g.
 //! `query aborted [deadline-exceeded]: deadline exceeded after 5.0s;
 //! 1.2M paths enumerated, ...`.
 
 use bench::harness::parse_duration;
-use gsql_core::{explain, parse_query, parser::parse_semantics, Budget, Engine, ReturnValue};
+use gsql_core::{
+    parse_query_with_mode, parser::parse_semantics, Budget, Engine, QueryMode, ReturnValue,
+};
 use pgraph::graph::{Graph, VertexId};
 use pgraph::value::Value;
 use std::io::Read as _;
@@ -50,9 +64,53 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gsql_shell <graph.pg|:sales|:linkedin|:diamond30|:snb[=sf]> \
-         [--semantics <flavor>] [--explain] [--arg k=v ...] (<query.gsql> | -)"
+         [--semantics <flavor>] [--explain] [--profile] [--json] \
+         [--arg k=v ...] (<query.gsql> | -)\n\
+         run `gsql_shell --help` for the full option and SET-directive reference"
     );
     ExitCode::from(2)
+}
+
+fn help() -> ExitCode {
+    println!(
+        "gsql_shell — run, EXPLAIN or PROFILE a GSQL query against a graph\n\
+         \n\
+         usage: gsql_shell <graph> [options] (<query.gsql> | -)\n\
+         \n\
+         <graph>                a pgraph text file, or a built-in fixture:\n\
+         \x20 :sales | :linkedin | :diamond30 | :snb[=<scale-factor>]\n\
+         \n\
+         options:\n\
+         \x20 --semantics <s>      all_shortest_paths (default) | shortest_one |\n\
+         \x20                      non_repeated_edge | non_repeated_vertex |\n\
+         \x20                      all_shortest_paths_enumerate\n\
+         \x20 --explain            print the logical plan instead of executing\n\
+         \x20 --profile            execute with per-operator profiling; the profile\n\
+         \x20                      tree prints to stderr after the results\n\
+         \x20 --json               render the plan/profile as JSON (see\n\
+         \x20                      docs/PLAN_FORMAT.md for the schema)\n\
+         \x20 --arg k=v            bind a query parameter (repeatable);\n\
+         \x20                      int / float / true|false / string / vertex:<id>\n\
+         \x20 -h, --help           this help\n\
+         \n\
+         The query text may start with `EXPLAIN` or `PROFILE` (same effect as\n\
+         the flags), and/or with `SET` directives, one per line, before the\n\
+         CREATE QUERY:\n\
+         \n\
+         \x20 SET timeout = <dur>        wall-clock budget (e.g. 5s, 250ms)\n\
+         \x20 SET deadline_ms = <n>      same budget, in milliseconds\n\
+         \x20 SET row_limit = <n>        max binding rows materialized\n\
+         \x20 SET path_budget = <n>      max paths enumerated (enumerative kernels)\n\
+         \x20 SET memory_limit = <sz>    max accumulator bytes (e.g. 256MB, 1GB)\n\
+         \x20 SET iteration_limit = <n>  max WHILE iterations\n\
+         \x20 SET parallelism = <n>      Map-phase worker threads (>= 1)\n\
+         \x20 SET report = on|off        print the ResourceReport to stderr\n\
+         \x20 SET profile = on|off       per-operator profiling (same as --profile)\n\
+         \n\
+         Results print to stdout; the report and profile print to stderr so\n\
+         result output stays clean for pipelines."
+    );
+    ExitCode::SUCCESS
 }
 
 fn parse_arg_value(raw: &str) -> Value {
@@ -101,6 +159,7 @@ struct ShellSettings {
     budget: Budget,
     parallelism: Option<usize>,
     report: bool,
+    profile: bool,
 }
 
 /// Strips leading `SET <key> = <value>` directives from the query source
@@ -110,6 +169,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
     let mut budget = Budget::default();
     let mut parallelism = None;
     let mut report = false;
+    let mut profile = false;
     let mut rest = Vec::new();
     let mut in_header = true;
     for line in source.lines() {
@@ -130,20 +190,18 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
                 v.parse::<u64>()
                     .map_err(|_| format!("SET {key} expects a non-negative integer, got `{v}`"))
             };
+            let switch = |v: &str| match v.to_ascii_lowercase().as_str() {
+                "on" | "true" | "1" => Ok(true),
+                "off" | "false" | "0" => Ok(false),
+                other => Err(format!("SET {key} expects on|off, got `{other}`")),
+            };
             match key.to_ascii_lowercase().as_str() {
                 "timeout" => budget.deadline = Some(parse_duration(value)?),
                 "deadline_ms" => {
                     budget = budget.with_deadline(std::time::Duration::from_millis(int(value)?))
                 }
-                "report" => {
-                    report = match value.to_ascii_lowercase().as_str() {
-                        "on" | "true" | "1" => true,
-                        "off" | "false" | "0" => false,
-                        other => {
-                            return Err(format!("SET report expects on|off, got `{other}`"))
-                        }
-                    }
-                }
+                "report" => report = switch(value)?,
+                "profile" => profile = switch(value)?,
                 "row_limit" => budget.max_binding_rows = Some(int(value)?),
                 "path_budget" => budget.max_paths = Some(int(value)?),
                 "memory_limit" => budget.max_accum_bytes = Some(parse_bytes(value)?),
@@ -158,7 +216,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
                     return Err(format!(
                         "unknown SET key `{other}` (expected timeout, deadline_ms, \
                          row_limit, path_budget, memory_limit, iteration_limit, \
-                         parallelism, report)"
+                         parallelism, report, profile)"
                     ))
                 }
             }
@@ -167,7 +225,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
         in_header = false;
         rest.push(line);
     }
-    Ok((ShellSettings { budget, parallelism, report }, rest.join("\n")))
+    Ok((ShellSettings { budget, parallelism, report, profile }, rest.join("\n")))
 }
 
 fn load_graph(spec: &str) -> Result<Graph, String> {
@@ -198,6 +256,8 @@ fn main() -> ExitCode {
     let mut query_spec: Option<String> = None;
     let mut semantics = gsql_core::PathSemantics::AllShortestPaths;
     let mut do_explain = false;
+    let mut do_profile = false;
+    let mut json = false;
     let mut args: Vec<(String, Value)> = Vec::new();
 
     let mut it = argv.into_iter();
@@ -212,6 +272,8 @@ fn main() -> ExitCode {
                 semantics = s;
             }
             "--explain" => do_explain = true,
+            "--profile" => do_profile = true,
+            "--json" => json = true,
             "--arg" => {
                 let Some(kv) = it.next() else { return usage() };
                 let Some((k, v)) = kv.split_once('=') else {
@@ -220,7 +282,7 @@ fn main() -> ExitCode {
                 };
                 args.push((k.to_string(), parse_arg_value(v)));
             }
-            "--help" | "-h" => return usage(),
+            "--help" | "-h" => return help(),
             _ if graph_spec.is_none() => graph_spec = Some(a),
             _ if query_spec.is_none() => query_spec = Some(a),
             other => {
@@ -264,16 +326,27 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let query = match parse_query(&source) {
-        Ok(q) => q,
+    // An `EXPLAIN`/`PROFILE` keyword in the query text behaves exactly
+    // like the corresponding command-line flag.
+    let (mode, query) = match parse_query_with_mode(&source) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    let do_explain = do_explain || mode == QueryMode::Explain;
+    let do_profile =
+        (do_profile || settings.profile || mode == QueryMode::Profile) && !do_explain;
     if do_explain {
-        match explain(&query, semantics) {
-            Ok(plan) => print!("{plan}"),
+        match gsql_core::explain_plan(&query, semantics) {
+            Ok(plan) => {
+                if json {
+                    println!("{}", plan.to_json());
+                } else {
+                    print!("{}", plan.render());
+                }
+            }
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
@@ -289,8 +362,8 @@ fn main() -> ExitCode {
     }
     let arg_refs: Vec<(&str, Value)> =
         args.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
-    match engine.run(&query, &arg_refs) {
-        Ok(out) => {
+    match engine.run_with(&query, &arg_refs, do_profile) {
+        Ok((out, profile)) => {
             for line in &out.prints {
                 println!("{line}");
             }
@@ -307,6 +380,15 @@ fn main() -> ExitCode {
                 // On stderr so result output stays clean for pipelines;
                 // same accounting the server returns per request.
                 eprintln!("report: {}", out.report);
+            }
+            if let Some(profile) = profile {
+                // Same channel as the report, same tree as the server's
+                // `profile` response section.
+                if json {
+                    eprintln!("{}", profile.to_json());
+                } else {
+                    eprint!("{}", profile.render());
+                }
             }
             ExitCode::SUCCESS
         }

@@ -65,9 +65,11 @@ fn main() {
     // budget alone already bounds enumeration work.
     let mut deadline = None;
     let mut parallelism: Option<usize> = None;
+    let mut profile = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--profile" => profile = true,
             "--timeout" => {
                 let spec = it.next().unwrap_or_default();
                 deadline = Some(parse_duration(&spec).unwrap_or_else(|e| {
@@ -87,7 +89,10 @@ fn main() {
                 );
             }
             other => {
-                eprintln!("usage: ldbc_ic [--timeout <dur>] [--parallelism <k>] (got `{other}`)");
+                eprintln!(
+                    "usage: ldbc_ic [--timeout <dur>] [--parallelism <k>] [--profile] \
+                     (got `{other}`)"
+                );
                 std::process::exit(2);
             }
         }
@@ -142,4 +147,25 @@ fn main() {
          scale; under Neo, ic3/ic9 (and ic6 at scale) blow up with hops —\n\
          the paper saw repeated 60-minute timeouts on its largest graph."
     );
+
+    if profile {
+        // Per-operator breakdown of each IC query at the smallest scale
+        // factor, 3 hops, counting semantics — the same tree the shell
+        // and server produce (docs/PLAN_FORMAT.md).
+        let g = generate(SnbParams::new(sfs[0], 2024));
+        let pt = g.schema().vertex_type_id("Person").unwrap();
+        let p = Value::Vertex(g.vertices_of_type(pt)[0]);
+        for name in QUERIES {
+            let text = ic_text(name, 3);
+            let query = gsql_core::parse_query(&text).unwrap();
+            let mut e = Engine::new(&g).with_budget(budget.clone());
+            if let Some(n) = parallelism {
+                e = e.with_parallelism(n);
+            }
+            match e.run_profiled(&query, &ic_args(p.clone(), name)) {
+                Ok((_, prof)) => eprint!("\n{}", prof.render()),
+                Err(err) => eprintln!("\nPROFILE {name} failed: {err}"),
+            }
+        }
+    }
 }

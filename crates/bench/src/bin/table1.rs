@@ -37,9 +37,11 @@ fn main() {
         .unwrap_or(30);
 
     let mut parallelism: Option<usize> = None;
+    let mut profile = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--profile" => profile = true,
             "--timeout" => {
                 let spec = it.next().unwrap_or_default();
                 cap = parse_duration(&spec).unwrap_or_else(|e| {
@@ -70,7 +72,7 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: table1 [--timeout <dur>] [--max-n <n>] [--parallelism <k>] \
-                     (got `{other}`)"
+                     [--profile] (got `{other}`)"
                 );
                 std::process::exit(2);
             }
@@ -150,4 +152,17 @@ fn main() {
          NRE and ASP double per increment of n (paper: 2ms at n=8 doubling\n\
          to 6.95min at n=25, ASP timing out earlier at n=22)."
     );
+
+    if profile {
+        // Per-operator breakdown of the counting strategy at the largest
+        // n — the same tree `gsql_shell --profile` and the server's
+        // `x-gsql-profile` header produce (see docs/PLAN_FORMAT.md).
+        let args = [
+            ("srcName", Value::from("v0")),
+            ("tgtName", Value::from(format!("v{max_n}"))),
+        ];
+        let query = gsql_core::parse_query(&q).unwrap();
+        let (_, prof) = mk_engine(&g).run_profiled(&query, &args).unwrap();
+        eprint!("\n{}", prof.render());
+    }
 }

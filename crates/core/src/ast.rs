@@ -6,24 +6,30 @@ use pgraph::value::ValueType;
 /// A parsed `CREATE QUERY`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
+    /// Query name (`CREATE QUERY <name>`).
     pub name: String,
+    /// Declared parameters, in order.
     pub params: Vec<Param>,
     /// `FOR GRAPH g` — informational in this engine (one graph per
     /// [`crate::Engine`]), but parsed and kept.
     pub graph: Option<String>,
+    /// Statements of the query body.
     pub body: Vec<Stmt>,
 }
 
 /// A query parameter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Param {
+    /// Parameter name.
     pub name: String,
+    /// Declared type.
     pub ty: ParamType,
 }
 
 /// Parameter types.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParamType {
+    /// A scalar (`INT`, `STRING`, ...).
     Scalar(ValueType),
     /// `VERTEX` or `VERTEX<Type>`.
     Vertex(Option<String>),
@@ -36,49 +42,82 @@ pub enum ParamType {
 pub enum Stmt {
     /// `SumAccum<float> @a = 1, @@b;`
     AccumDecl {
+        /// Declared accumulator type.
         ty: AccumType,
+        /// One or more declarators sharing that type.
         decls: Vec<AccumDecl>,
     },
     /// `TYPEDEF TUPLE<f1 INT, f2 STRING> Name;`
     TupleTypedef {
+        /// Tuple type name.
         name: String,
+        /// Field names and types, in order.
         fields: Vec<(String, ValueType)>,
     },
     /// `S = SELECT ...;` or `AllV = {Page.*};`
-    VSetAssign { name: String, source: VSetSource },
+    VSetAssign {
+        /// Target vertex-set variable.
+        name: String,
+        /// Right-hand side.
+        source: VSetSource,
+    },
     /// A bare `SELECT` block used for its side effects / INTO tables.
     Select(Box<SelectBlock>),
     /// `@@a = e;` / `@@a += e;` at statement level.
-    GAccAssign { name: String, combine: bool, expr: Expr },
+    GAccAssign {
+        /// Global accumulator name (without `@@`).
+        name: String,
+        /// `true` for `+=` (combine), `false` for `=` (assign).
+        combine: bool,
+        /// Right-hand side.
+        expr: Expr,
+    },
     /// `USE SEMANTICS 'non_repeated_edge';` — the per-query matching-
     /// semantics selection the paper announces as planned syntax
     /// (Section 6.1, "syntactic sugar for specifying semantic
     /// alternatives"). Affects subsequent SELECT blocks.
     UseSemantics(crate::semantics::PathSemantics),
+    /// `WHILE cond [LIMIT n] DO ... END;`
     While {
+        /// Loop condition, re-evaluated before each iteration.
         cond: Expr,
+        /// Optional `LIMIT` iteration cap.
         limit: Option<Expr>,
+        /// Loop body.
         body: Vec<Stmt>,
     },
+    /// `IF cond THEN ... [ELSE ...] END;`
     If {
+        /// Branch condition.
         cond: Expr,
+        /// Statements run when the condition is true.
         then_branch: Vec<Stmt>,
+        /// Statements run otherwise (empty when no `ELSE`).
         else_branch: Vec<Stmt>,
     },
+    /// `FOREACH var IN iterable DO ... END;`
     Foreach {
+        /// Loop variable.
         var: String,
+        /// Collection expression iterated over.
         iterable: Expr,
+        /// Loop body.
         body: Vec<Stmt>,
     },
+    /// `PRINT e1, e2, ...;`
     Print(Vec<PrintItem>),
+    /// `RETURN e;`
     Return(Expr),
 }
 
 /// One accumulator declarator.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AccumDecl {
+    /// `true` for `@@global`, `false` for per-vertex `@local`.
     pub global: bool,
+    /// Accumulator name without the `@`/`@@` sigil.
     pub name: String,
+    /// Optional declaration initializer.
     pub init: Option<Expr>,
 }
 
@@ -89,52 +128,79 @@ pub enum VSetSource {
     /// (`{_}`/`{ANY}` = every vertex). An entry may also name a vertex
     /// parameter (singleton set).
     Literal(Vec<String>),
+    /// The vertices produced by a SELECT block.
     Select(Box<SelectBlock>),
     /// `A UNION B` / `A INTERSECT B` / `A MINUS B` over vertex sets.
-    SetOp { op: SetOp, lhs: String, rhs: String },
+    SetOp {
+        /// Which set operation.
+        op: SetOp,
+        /// Left operand (vertex-set variable).
+        lhs: String,
+        /// Right operand (vertex-set variable).
+        rhs: String,
+    },
 }
 
 /// Vertex-set algebra operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetOp {
+    /// `UNION`.
     Union,
+    /// `INTERSECT`.
     Intersect,
+    /// `MINUS`.
     Minus,
 }
 
 /// A `SELECT` query block.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectBlock {
+    /// SELECT-clause output fragments (multi-output SELECT has several).
     pub outputs: Vec<OutputFragment>,
+    /// FROM-clause items (patterns and/or tables).
     pub from: Vec<FromItem>,
+    /// Optional `WHERE` predicate over binding rows.
     pub where_clause: Option<Expr>,
+    /// `ACCUM` statements (Map phase, per binding row).
     pub accum: Vec<AccStmt>,
+    /// `POST-ACCUM` statements (per distinct bound vertex).
     pub post_accum: Vec<AccStmt>,
+    /// Optional `GROUP BY` clause.
     pub group_by: Option<GroupBy>,
+    /// Optional `HAVING` predicate over groups.
     pub having: Option<Expr>,
+    /// `ORDER BY` items.
     pub order_by: Vec<OrderItem>,
+    /// Optional `LIMIT` row count.
     pub limit: Option<Expr>,
 }
 
 /// One output fragment of a (multi-output) SELECT clause.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OutputFragment {
+    /// `SELECT DISTINCT`.
     pub distinct: bool,
+    /// Projected columns.
     pub items: Vec<SelectItem>,
+    /// Optional `INTO table` target.
     pub into: Option<String>,
 }
 
 /// One projected column.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SelectItem {
+    /// Projected expression.
     pub expr: Expr,
+    /// Optional `AS alias`.
     pub alias: Option<String>,
 }
 
 /// `ORDER BY` item.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OrderItem {
+    /// Sort key expression.
     pub expr: Expr,
+    /// `true` for `DESC`.
     pub desc: bool,
 }
 
@@ -155,27 +221,40 @@ pub enum FromItem {
     /// A path pattern, optionally graph-qualified:
     /// `LinkedIn:(Person:p -(Connected:c)- Person:o)`.
     Pattern {
+        /// Optional graph qualifier.
         graph: Option<String>,
+        /// The pattern's source vertex specifier.
         start: VSpec,
+        /// The hops walked from the source.
         hops: Vec<Hop>,
     },
     /// A relational-table scan: `Employee:e`.
-    Table { name: String, alias: String },
+    Table {
+        /// Table name.
+        name: String,
+        /// Binding variable.
+        alias: String,
+    },
 }
 
 /// A vertex specifier: a name (vertex type, vertex-set variable, vertex
 /// parameter, or `_`/`ANY`) with an optional binding variable.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VSpec {
+    /// Vertex type, vertex-set variable, vertex parameter, or `_`/`ANY`.
     pub name: String,
+    /// Optional binding variable (`:v`).
     pub var: Option<String>,
 }
 
 /// One hop of a path pattern: `-(DARPE[:edgeVar])- VSpec`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Hop {
+    /// The edge pattern (direction-aware regular path expression).
     pub darpe: darpe::Darpe,
+    /// Optional edge binding variable (single-edge patterns only).
     pub edge_var: Option<String>,
+    /// Target vertex specifier.
     pub to: VSpec,
 }
 
@@ -183,52 +262,137 @@ pub struct Hop {
 #[derive(Debug, Clone, PartialEq)]
 pub enum AccStmt {
     /// `float salesPrice = e.quantity * p.list_price` (type optional).
-    LocalDecl { name: String, expr: Expr },
+    LocalDecl {
+        /// Local variable name.
+        name: String,
+        /// Initializer expression.
+        expr: Expr,
+    },
     /// `v.@a += e` / `v.@a = e`.
-    VAcc { var: String, name: String, combine: bool, expr: Expr },
+    VAcc {
+        /// The bound vertex variable the accumulator belongs to.
+        var: String,
+        /// Vertex accumulator name (without `@`).
+        name: String,
+        /// `true` for `+=` (combine), `false` for `=` (assign).
+        combine: bool,
+        /// Right-hand side.
+        expr: Expr,
+    },
     /// `@@a += e` / `@@a = e`.
-    GAcc { name: String, combine: bool, expr: Expr },
+    GAcc {
+        /// Global accumulator name (without `@@`).
+        name: String,
+        /// `true` for `+=` (combine), `false` for `=` (assign).
+        combine: bool,
+        /// Right-hand side.
+        expr: Expr,
+    },
 }
 
 /// A PRINT item.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PrintItem {
-    Expr { expr: Expr, label: String },
+    /// A labeled expression (`PRINT e AS label`; label defaults to the
+    /// source text of `e`).
+    Expr {
+        /// The printed expression.
+        expr: Expr,
+        /// Output key in the PRINT result.
+        label: String,
+    },
     /// `PRINT R[R.name, R.@cnt]` — project a vertex set; inside the
     /// bracket the set name doubles as the per-vertex alias.
-    VSetProjection { set: String, items: Vec<SelectItem> },
+    VSetProjection {
+        /// Vertex-set variable being projected.
+        set: String,
+        /// Per-vertex projected columns.
+        items: Vec<SelectItem>,
+    },
 }
 
 /// Expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
+    /// `NULL`.
     Null,
+    /// Integer literal.
     Int(i64),
+    /// Floating-point literal.
     Double(f64),
+    /// String literal.
     Str(String),
+    /// `TRUE` / `FALSE`.
     Bool(bool),
     /// Variable / parameter / vertex-set reference.
     Ident(String),
     /// `base.field` — vertex/edge attribute or table column.
-    Attr { base: String, field: String },
+    Attr {
+        /// The bound variable owning the attribute.
+        base: String,
+        /// Attribute / column name.
+        field: String,
+    },
     /// `v.@name` (`prev` = trailing apostrophe: pre-block snapshot).
-    VAcc { var: String, name: String, prev: bool },
+    VAcc {
+        /// The bound vertex variable.
+        var: String,
+        /// Accumulator name (without `@`).
+        name: String,
+        /// `true` for `v.@name'` (previous-snapshot read).
+        prev: bool,
+    },
     /// `@@name`.
     GAcc(String),
     /// `f(args)`; `star` marks `count(*)`.
-    Call { func: String, args: Vec<Expr>, star: bool },
+    Call {
+        /// Function name.
+        func: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// `true` for `count(*)`.
+        star: bool,
+    },
     /// `v.outdegree("Likes")`, `v.type()`, `s.size()`, ...
-    Method { base: Box<Expr>, method: String, args: Vec<Expr> },
-    Unary { op: UnOp, expr: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Method {
+        /// Receiver expression.
+        base: Box<Expr>,
+        /// Method name.
+        method: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operator application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
     /// `(k1, k2 -> a1, a2)` — accumulator input tuple; evaluates to a
     /// `Value::Tuple` of keys followed by values.
-    ArrowTuple { keys: Vec<Expr>, vals: Vec<Expr> },
+    ArrowTuple {
+        /// Key expressions (left of `->`).
+        keys: Vec<Expr>,
+        /// Value expressions (right of `->`).
+        vals: Vec<Expr>,
+    },
     /// `(a, b, c)` — plain tuple (HeapAccum inputs).
     Tuple(Vec<Expr>),
     /// `CASE WHEN c1 THEN e1 ... ELSE e END`.
     Case {
+        /// `(condition, result)` pairs, tried in order.
         branches: Vec<(Expr, Expr)>,
+        /// `ELSE` result (NULL when absent).
         default: Option<Box<Expr>>,
     },
 }
@@ -236,25 +400,40 @@ pub enum Expr {
 /// Unary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnOp {
+    /// Arithmetic negation.
     Neg,
+    /// Boolean `NOT`.
     Not,
 }
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum BinOp {
+    /// `+` (also string/list concatenation).
     Add,
+    /// `-`.
     Sub,
+    /// `*`.
     Mul,
+    /// `/`.
     Div,
+    /// `%`.
     Mod,
+    /// `==`.
     Eq,
+    /// `!=`.
     Ne,
+    /// `<`.
     Lt,
+    /// `<=`.
     Le,
+    /// `>`.
     Gt,
+    /// `>=`.
     Ge,
+    /// Boolean `AND`.
     And,
+    /// Boolean `OR`.
     Or,
 }
 

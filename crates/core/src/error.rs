@@ -2,7 +2,7 @@
 //!
 //! Every [`Error`] maps to a machine-readable [`ErrorKind`]; resource
 //! violations ([`Error::Resource`]) additionally carry a
-//! [`ResourceReport`](crate::governor::ResourceReport) snapshot of the
+//! [`ResourceReport`] snapshot of the
 //! work done before the limit fired, so clients can distinguish "your
 //! query is wrong" from "your query was too expensive" and say how
 //! expensive it got.
@@ -43,6 +43,7 @@ pub enum ErrorKind {
 }
 
 impl ErrorKind {
+    /// Stable machine-readable name (the server uses it in error JSON).
     pub fn as_str(&self) -> &'static str {
         match self {
             ErrorKind::Parse => "parse",
@@ -84,8 +85,11 @@ impl fmt::Display for ErrorKind {
 /// and a snapshot of the work performed up to the trip point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ResourceError {
+    /// Which budget dimension tripped.
     pub kind: ErrorKind,
+    /// Human-readable description of the violation.
     pub message: String,
+    /// Work performed up to the trip point.
     pub report: ResourceReport,
 }
 
@@ -93,7 +97,14 @@ pub struct ResourceError {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// Lexing / parsing error with line and column.
-    Parse { line: usize, col: usize, msg: String },
+    Parse {
+        /// 1-based source line of the error.
+        line: usize,
+        /// 1-based source column of the error.
+        col: usize,
+        /// What went wrong.
+        msg: String,
+    },
     /// Static (pre-execution) error: unknown types, bad accumulator
     /// declarations, tractability violations, ...
     Compile(String),
@@ -105,14 +116,17 @@ pub enum Error {
 }
 
 impl Error {
+    /// Shorthand for a [`Error::Compile`] from any message type.
     pub fn compile(msg: impl Into<String>) -> Self {
         Error::Compile(msg.into())
     }
 
+    /// Shorthand for a [`Error::Runtime`] from any message type.
     pub fn runtime(msg: impl Into<String>) -> Self {
         Error::Runtime(msg.into())
     }
 
+    /// Runtime type-mismatch error with a uniform message shape.
     pub fn type_error(expected: &str, got: &Value) -> Self {
         Error::Runtime(format!("expected {expected}, got `{got}`"))
     }

@@ -21,11 +21,18 @@ use std::cmp::Ordering;
 /// What a FROM-clause variable is bound to in one binding-table row.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Binding {
+    /// A bound vertex.
     Vertex(VertexId),
+    /// A bound edge.
     Edge(EdgeId),
     /// Row `row` of FROM table number `table` (index into the evaluated
     /// block's table list).
-    Row { table: usize, row: usize },
+    Row {
+        /// Index into the evaluated block's table list.
+        table: usize,
+        /// Row index within that table.
+        row: usize,
+    },
 }
 
 impl Binding {
@@ -43,6 +50,7 @@ impl Binding {
 /// Per-vertex accumulator storage for one declared `@name`.
 #[derive(Debug, Clone)]
 pub struct VAccStore {
+    /// Declared accumulator type.
     pub ty: AccumType,
     /// The freshly-initialized instance vertices start from (includes the
     /// declaration initializer, e.g. `SumAccum<float> @score = 1`).
@@ -75,15 +83,22 @@ impl VAccStore {
 /// the compressed representation of Appendix A).
 #[derive(Debug, Clone)]
 pub struct BindingRow {
+    /// Variable bindings, positionally aligned with the block's variable
+    /// map.
     pub bindings: Vec<Binding>,
+    /// Multiplicity: number of legal path combinations witnessing this
+    /// row.
     pub mult: pgraph::bigcount::BigCount,
 }
 
 /// Borrowed view of one row during evaluation.
 #[derive(Clone, Copy)]
 pub struct RowRef<'a> {
+    /// Variable name → position in `bindings`.
     pub vars: &'a FxHashMap<String, usize>,
+    /// The row's bindings.
     pub bindings: &'a [Binding],
+    /// FROM-clause tables referenced by `Binding::Row`.
     pub tables: &'a [&'a Table],
 }
 
@@ -93,8 +108,11 @@ pub type AggResolver<'a> = &'a dyn Fn(&Expr) -> Option<Value>;
 /// The evaluation environment.
 #[derive(Clone, Copy)]
 pub struct Env<'a> {
+    /// The graph queried.
     pub graph: &'a Graph,
+    /// User-defined accumulator registry.
     pub registry: &'a UserAccumRegistry,
+    /// Query parameter values.
     pub params: &'a FxHashMap<String, Value>,
     /// Statement-level locals (FOREACH variables).
     pub locals: Option<&'a FxHashMap<String, Value>>,
@@ -102,10 +120,15 @@ pub struct Env<'a> {
     pub row: Option<RowRef<'a>>,
     /// ACCUM-clause local declarations of the current acc-execution.
     pub acc_locals: Option<&'a FxHashMap<String, Value>>,
+    /// Live vertex accumulator stores (`v.@a`).
     pub vaccs: &'a FxHashMap<String, VAccStore>,
+    /// Pre-block snapshots (`v.@a'`).
     pub prev_vaccs: &'a FxHashMap<String, VAccStore>,
+    /// Live global accumulators (`@@a`).
     pub gaccs: &'a FxHashMap<String, Accum>,
+    /// Pre-block global snapshots (`@@a'`).
     pub prev_gaccs: &'a FxHashMap<String, Accum>,
+    /// Named vertex sets in scope.
     pub vsets: &'a FxHashMap<String, Vec<VertexId>>,
     /// Aggregate resolver for SELECT/HAVING/ORDER BY over groups.
     pub agg: Option<AggResolver<'a>>,

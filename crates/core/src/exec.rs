@@ -6,6 +6,7 @@ use crate::ast::*;
 use crate::error::{Error, Result};
 use crate::eval::{eval, truthy, Binding, BindingRow, Env, RowRef, VAccStore};
 use crate::governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
+use crate::profile::{Profile, Profiler, Span, SpanExtra};
 use crate::semantics::{reach, MatchStats, PathSemantics, ReachMap};
 use crate::table::Table;
 use crate::tractable;
@@ -129,10 +130,13 @@ impl<'g> Engine<'g> {
         &mut self.registry
     }
 
+    /// The graph this engine queries.
     pub fn graph(&self) -> &'g Graph {
         self.graph
     }
 
+    /// The engine-default path semantics (overridable per query via
+    /// `USE SEMANTICS`).
     pub fn semantics(&self) -> PathSemantics {
         self.semantics
     }
@@ -163,18 +167,51 @@ impl<'g> Engine<'g> {
     /// and surfaced as [`crate::ErrorKind::WorkerPanic`] — the engine
     /// stays usable afterwards.
     pub fn run(&self, query: &Query, args: &[(&str, Value)]) -> Result<QueryOutput> {
+        self.run_with(query, args, false).map(|(out, _)| out)
+    }
+
+    /// Runs a parsed query with per-operator profiling enabled and
+    /// returns the results alongside the measured [`Profile`]. The query
+    /// executes through the identical pipeline as [`Engine::run`] —
+    /// results are byte-identical to an unprofiled run at any
+    /// parallelism; only operator-boundary measurements are added.
+    pub fn run_profiled(
+        &self,
+        query: &Query,
+        args: &[(&str, Value)],
+    ) -> Result<(QueryOutput, Profile)> {
+        self.run_with(query, args, true)
+            .map(|(out, prof)| (out, prof.expect("profiled run produces a profile")))
+    }
+
+    /// [`Engine::run`] / [`Engine::run_profiled`] in one entry point:
+    /// `profile` selects whether operator-boundary instrumentation is
+    /// active (when `false` the profiling branch costs one pointer-null
+    /// check per operator).
+    pub fn run_with(
+        &self,
+        query: &Query,
+        args: &[(&str, Value)],
+        profile: bool,
+    ) -> Result<(QueryOutput, Option<Profile>)> {
         let guard = QueryGuard::new(self.budget.clone(), self.cancel.clone());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.run_inner(query, args, &guard)
+            self.run_inner(query, args, &guard, profile)
         }));
         match outcome {
-            Ok(Ok(mut out)) => {
+            Ok(Ok((mut out, prof))) => {
                 out.report = guard.report();
-                Ok(out)
+                Ok((out, prof))
             }
             Ok(Err(e)) => Err(e),
             Err(payload) => Err(guard.worker_panic_error(payload.as_ref())),
         }
+    }
+
+    /// Builds the static query plan ([`crate::Plan`]) this engine would
+    /// execute `query` with, under the engine's configured semantics.
+    pub fn explain(&self, query: &Query) -> Result<crate::explain::Plan> {
+        crate::explain::explain_plan(query, self.semantics)
     }
 
     fn run_inner(
@@ -182,7 +219,8 @@ impl<'g> Engine<'g> {
         query: &Query,
         args: &[(&str, Value)],
         guard: &QueryGuard,
-    ) -> Result<QueryOutput> {
+        profile: bool,
+    ) -> Result<(QueryOutput, Option<Profile>)> {
         let mut params: FxHashMap<String, Value> = FxHashMap::default();
         for p in &query.params {
             let arg = args
@@ -222,23 +260,41 @@ impl<'g> Engine<'g> {
             prints: Vec::new(),
             returned: None,
             stats: MatchStats::default(),
+            prof: profile.then(Profiler::new),
+            prof_hop_cache: (0, 0),
+            prof_hop_workers: Vec::new(),
         };
         rt.exec_stmts(&query.body)?;
-        Ok(QueryOutput {
-            tables: rt.out_tables,
-            prints: rt.prints,
-            returned: rt.returned,
-            stats: rt.stats,
-            report: ResourceReport::default(),
-        })
+        let prof = rt.prof.take().map(|p| {
+            p.finish(
+                &query.name,
+                self.semantics,
+                self.parallelism,
+                &rt.stats,
+                guard.report().peak_accum_bytes,
+            )
+        });
+        Ok((
+            QueryOutput {
+                tables: rt.out_tables,
+                prints: rt.prints,
+                returned: rt.returned,
+                stats: rt.stats,
+                report: ResourceReport::default(),
+            },
+            prof,
+        ))
     }
 }
 
 /// What `RETURN` produced.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ReturnValue {
+    /// A scalar or collection value.
     Value(Value),
+    /// A relational table.
     Table(Table),
+    /// A vertex set.
     VSet(Vec<VertexId>),
 }
 
@@ -334,11 +390,43 @@ struct Runtime<'e, 'g> {
     prints: Vec<String>,
     returned: Option<ReturnValue>,
     stats: MatchStats,
+    /// `Some` only on profiled runs. Every operator boundary pays one
+    /// `Option` discriminant check when profiling is off; all detail
+    /// strings and snapshots are built only when on.
+    prof: Option<Profiler>,
+    /// Reach-cache (hits, misses) of the most recent Kleene hop,
+    /// consumed by the enclosing hop span.
+    prof_hop_cache: (u64, u64),
+    /// Per-worker kernel counts of the most recent parallel fan-out,
+    /// collected only when profiling.
+    prof_hop_workers: Vec<u64>,
 }
 
 impl<'e, 'g> Runtime<'e, 'g> {
     fn graph(&self) -> &'g Graph {
         self.eng.graph
+    }
+
+    /// Opens a profiling span for operator `(op, key)` — a no-op
+    /// returning `None` on unprofiled runs. `key` is the AST node's
+    /// address, so re-executions accumulate into one profile node.
+    fn prof_enter(
+        &mut self,
+        op: &'static str,
+        key: usize,
+        detail: impl FnOnce() -> String,
+    ) -> Option<Span> {
+        let stats = &self.stats;
+        self.prof.as_mut().map(|p| p.enter(op, key, detail, stats))
+    }
+
+    /// Closes a span opened by [`Runtime::prof_enter`] (no-op for `None`).
+    fn prof_exit(&mut self, span: Option<Span>, extra: SpanExtra) {
+        if let Some(span) = span {
+            if let Some(p) = self.prof.as_mut() {
+                p.exit(span, &self.stats, extra);
+            }
+        }
     }
 
     fn env<'a>(&'a self) -> Env<'a> {
@@ -451,33 +539,15 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 self.guard.note_accum_bytes(self.accum_footprint())?;
             }
             Stmt::While { cond, limit, body } => {
-                let max_iter = match limit {
-                    Some(e) => {
-                        let v = eval(&self.env(), e)?;
-                        let n = v
-                            .as_i64()
-                            .ok_or_else(|| Error::type_error("integer LIMIT", &v))?;
-                        if n < 0 {
-                            return Err(Error::runtime(format!(
-                                "WHILE LIMIT must be non-negative, got {n}"
-                            )));
-                        }
-                        n as u64
-                    }
-                    None => u64::MAX,
-                };
-                let mut iters = 0u64;
-                while iters < max_iter {
-                    self.guard.tick_while()?;
-                    let c = eval(&self.env(), cond)?;
-                    if !truthy(&c)? {
-                        break;
-                    }
-                    if let Flow::Returned = self.exec_stmts(body)? {
-                        return Ok(Flow::Returned);
-                    }
-                    iters += 1;
-                }
+                let span = self.prof_enter("while", stmt as *const Stmt as usize, || {
+                    format!(
+                        "WHILE loop{}",
+                        if limit.is_some() { " (bounded)" } else { "" }
+                    )
+                });
+                let flow = self.exec_while(cond, limit.as_ref(), body);
+                self.prof_exit(span, SpanExtra::default());
+                return flow;
             }
             Stmt::If { cond, then_branch, else_branch } => {
                 let c = eval(&self.env(), cond)?;
@@ -487,36 +557,80 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 }
             }
             Stmt::Foreach { var, iterable, body } => {
-                let it = eval(&self.env(), iterable)?;
-                let items: Vec<Value> = match it {
-                    Value::List(xs) | Value::Set(xs) | Value::Tuple(xs) => xs,
-                    Value::Map(entries) => entries
-                        .into_iter()
-                        .map(|(k, v)| Value::Tuple(vec![k, v]))
-                        .collect(),
-                    other => return Err(Error::type_error("iterable collection", &other)),
-                };
-                let shadowed = self.locals.remove(var);
-                for item in items {
-                    self.guard.checkpoint()?;
-                    self.locals.insert(var.clone(), item);
-                    if let Flow::Returned = self.exec_stmts(body)? {
-                        return Ok(Flow::Returned);
-                    }
-                }
-                match shadowed {
-                    Some(v) => {
-                        self.locals.insert(var.clone(), v);
-                    }
-                    None => {
-                        self.locals.remove(var);
-                    }
-                }
+                let span = self
+                    .prof_enter("foreach", stmt as *const Stmt as usize, || {
+                        format!("FOREACH {var}")
+                    });
+                let flow = self.exec_foreach(var, iterable, body);
+                self.prof_exit(span, SpanExtra::default());
+                return flow;
             }
             Stmt::Print(items) => self.exec_print(items)?,
             Stmt::Return(expr) => {
                 self.returned = Some(self.eval_return(expr)?);
                 return Ok(Flow::Returned);
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_while(
+        &mut self,
+        cond: &Expr,
+        limit: Option<&Expr>,
+        body: &[Stmt],
+    ) -> Result<Flow> {
+        let max_iter = match limit {
+            Some(e) => {
+                let v = eval(&self.env(), e)?;
+                let n = v.as_i64().ok_or_else(|| Error::type_error("integer LIMIT", &v))?;
+                if n < 0 {
+                    return Err(Error::runtime(format!(
+                        "WHILE LIMIT must be non-negative, got {n}"
+                    )));
+                }
+                n as u64
+            }
+            None => u64::MAX,
+        };
+        let mut iters = 0u64;
+        while iters < max_iter {
+            self.guard.tick_while()?;
+            let c = eval(&self.env(), cond)?;
+            if !truthy(&c)? {
+                break;
+            }
+            if let Flow::Returned = self.exec_stmts(body)? {
+                return Ok(Flow::Returned);
+            }
+            iters += 1;
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_foreach(&mut self, var: &str, iterable: &Expr, body: &[Stmt]) -> Result<Flow> {
+        let it = eval(&self.env(), iterable)?;
+        let items: Vec<Value> = match it {
+            Value::List(xs) | Value::Set(xs) | Value::Tuple(xs) => xs,
+            Value::Map(entries) => {
+                entries.into_iter().map(|(k, v)| Value::Tuple(vec![k, v])).collect()
+            }
+            other => return Err(Error::type_error("iterable collection", &other)),
+        };
+        let shadowed = self.locals.remove(var);
+        for item in items {
+            self.guard.checkpoint()?;
+            self.locals.insert(var.to_string(), item);
+            if let Flow::Returned = self.exec_stmts(body)? {
+                return Ok(Flow::Returned);
+            }
+        }
+        match shadowed {
+            Some(v) => {
+                self.locals.insert(var.to_string(), v);
+            }
+            None => {
+                self.locals.remove(var);
             }
         }
         Ok(Flow::Normal)
@@ -624,6 +738,15 @@ impl<'e, 'g> Runtime<'e, 'g> {
     // ---- SELECT block -------------------------------------------------------
 
     fn exec_select(&mut self, block: &SelectBlock) -> Result<Option<Vec<VertexId>>> {
+        let span = self.prof_enter("block", block as *const SelectBlock as usize, || {
+            crate::explain::block_label(block)
+        });
+        let result = self.exec_select_inner(block);
+        self.prof_exit(span, SpanExtra::default());
+        result
+    }
+
+    fn exec_select_inner(&mut self, block: &SelectBlock) -> Result<Option<Vec<VertexId>>> {
         // Static tractability check against the declared accumulators.
         let vacc_types: FxHashMap<String, AccumType> = self
             .vaccs
@@ -671,6 +794,10 @@ impl<'e, 'g> Runtime<'e, 'g> {
         for item in &block.from {
             match item {
                 FromItem::Table { name, alias } => {
+                    let span =
+                        self.prof_enter("scan", item as *const FromItem as usize, || {
+                            format!("scan {name} AS {alias}")
+                        });
                     if let Some(t) = self.eng.tables.get(name) {
                         let tidx = table_refs.len();
                         table_refs.push(t);
@@ -692,8 +819,14 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         rows = self.bind_vertex(rows, &mut vars, alias, &spec)?;
                     }
                     rows = self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                    let n = rows.len() as u64;
+                    self.prof_exit(span, SpanExtra { rows: n, ..SpanExtra::default() });
                 }
                 FromItem::Pattern { start, hops, .. } => {
+                    let span =
+                        self.prof_enter("scan", start as *const VSpec as usize, || {
+                            format!("scan {}", crate::explain::vspec_label(start))
+                        });
                     let spec = self.resolve_spec(&start.name)?;
                     let var = start
                         .var
@@ -701,8 +834,22 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         .unwrap_or_else(|| fresh_anon(&mut anon));
                     rows = self.bind_vertex(rows, &mut vars, &var, &spec)?;
                     rows = self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                    let n = rows.len() as u64;
+                    self.prof_exit(span, SpanExtra { rows: n, ..SpanExtra::default() });
                     let mut prev_col = vars[&var];
                     for hop in hops {
+                        let span =
+                            self.prof_enter("hop", hop as *const Hop as usize, || {
+                                format!(
+                                    "hop -({})-> {}",
+                                    hop.darpe,
+                                    crate::explain::vspec_label(&hop.to)
+                                )
+                            });
+                        if span.is_some() {
+                            self.prof_hop_cache = (0, 0);
+                            self.prof_hop_workers.clear();
+                        }
                         let mut to_spec = self.resolve_spec(&hop.to.name)?;
                         let to_var = hop
                             .to
@@ -725,28 +872,46 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         rows =
                             self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
                         prev_col = vars[&to_var];
+                        if span.is_some() {
+                            let extra = SpanExtra {
+                                rows: rows.len() as u64,
+                                cache_hits: self.prof_hop_cache.0,
+                                cache_misses: self.prof_hop_cache.1,
+                                workers: std::mem::take(&mut self.prof_hop_workers),
+                                ..SpanExtra::default()
+                            };
+                            self.prof_exit(span, extra);
+                        }
                     }
                 }
             }
         }
 
         // 2. Residual WHERE conjuncts (e.g. referencing no FROM variable).
-        for (cond, _) in pending.drain(..) {
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                let env = Env {
-                    row: Some(RowRef {
-                        vars: &vars,
-                        bindings: &row.bindings,
-                        tables: &table_refs,
-                    }),
-                    ..self.env()
-                };
-                if truthy(&eval(&env, &cond)?)? {
-                    kept.push(row);
+        if !pending.is_empty() {
+            let span = self
+                .prof_enter("residual-filter", block as *const SelectBlock as usize, || {
+                    format!("residual filters ({})", pending.len())
+                });
+            for (cond, _) in pending.drain(..) {
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let env = Env {
+                        row: Some(RowRef {
+                            vars: &vars,
+                            bindings: &row.bindings,
+                            tables: &table_refs,
+                        }),
+                        ..self.env()
+                    };
+                    if truthy(&eval(&env, &cond)?)? {
+                        kept.push(row);
+                    }
                 }
+                rows = kept;
             }
-            rows = kept;
+            let n = rows.len() as u64;
+            self.prof_exit(span, SpanExtra { rows: n, ..SpanExtra::default() });
         }
         self.stats.binding_rows += rows.len() as u64;
 
@@ -756,19 +921,40 @@ impl<'e, 'g> Runtime<'e, 'g> {
 
         // 4. ACCUM (Map phase + Reduce phase, snapshot semantics).
         if !block.accum.is_empty() {
+            let span = self
+                .prof_enter("accum", block.accum.as_ptr() as usize, || {
+                    format!("ACCUM: {} statement(s)", block.accum.len())
+                });
             self.run_accum(&block.accum, &rows, &vars, &table_refs)?;
+            let bytes = if span.is_some() { self.accum_footprint() } else { 0 };
+            self.prof_exit(span, SpanExtra { accum_bytes: bytes, ..SpanExtra::default() });
         }
 
         // 5. POST_ACCUM.
         if !block.post_accum.is_empty() {
+            let span = self
+                .prof_enter("post-accum", block.post_accum.as_ptr() as usize, || {
+                    format!("POST_ACCUM: {} statement(s)", block.post_accum.len())
+                });
             self.run_post_accum(&block.post_accum, &rows, &vars, &table_refs)?;
+            let bytes = if span.is_some() { self.accum_footprint() } else { 0 };
+            self.prof_exit(span, SpanExtra { accum_bytes: bytes, ..SpanExtra::default() });
         }
 
         // 6. Outputs.
         let mut vertex_result: Option<Vec<VertexId>> = None;
         for frag in &block.outputs {
+            let span = self
+                .prof_enter("output", frag as *const OutputFragment as usize, || {
+                    format!(
+                        "output{}",
+                        frag.into.as_ref().map(|n| format!(" INTO {n}")).unwrap_or_default()
+                    )
+                });
+            let produced;
             if let Some(var) = vertex_fragment_var(frag, &vars, &rows) {
                 let vs = self.eval_vertex_fragment(block, frag, &var, &vars, &rows, &table_refs)?;
+                produced = vs.len() as u64;
                 if let Some(name) = &frag.into {
                     self.vsets.insert(name.clone(), vs.clone());
                 }
@@ -777,8 +963,10 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 }
             } else {
                 let table = self.eval_table_fragment(block, frag, &vars, &rows, &table_refs)?;
+                produced = table.len() as u64;
                 self.out_tables.insert(table.name.clone(), table);
             }
+            self.prof_exit(span, SpanExtra { rows: produced, ..SpanExtra::default() });
         }
         Ok(vertex_result)
     }
@@ -902,6 +1090,8 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
         }
         self.guard.tick_rows(next.len() as u64)?;
+        self.stats.vertices_touched += next.len() as u64;
+        self.guard.note_visits(next.len() as u64, 0);
         Ok(next)
     }
 
@@ -932,10 +1122,13 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 None => new_var(vars, to_var)?,
             };
             let mut next = Vec::new();
+            let mut edges_scanned = 0u64;
             for row in rows {
                 let before = next.len();
                 let src = vertex_at(&row, prev_col, to_var)?;
-                for a in graph.adjacency(src) {
+                let adj = graph.adjacency(src);
+                edges_scanned += adj.len() as u64;
+                for a in adj {
                     if !spec.matches(a.etype, a.dir) {
                         continue;
                     }
@@ -964,6 +1157,9 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 }
                 self.guard.tick_rows((next.len() - before) as u64)?;
             }
+            self.stats.vertices_touched += next.len() as u64;
+            self.stats.edges_scanned += edges_scanned;
+            self.guard.note_visits(next.len() as u64, edges_scanned);
             return Ok(next);
         }
 
@@ -1047,6 +1243,8 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
         }
         let mut next = Vec::new();
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
         for row in rows {
             let before = next.len();
             let src = vertex_at(&row, prev_col, to_var)?;
@@ -1073,6 +1271,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 };
                 for t in targets {
                     if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(t) {
+                        cache_misses += 1;
                         e.insert(reach(
                             graph,
                             t,
@@ -1081,6 +1280,8 @@ impl<'e, 'g> Runtime<'e, 'g> {
                             self.guard,
                             &mut self.stats,
                         )?);
+                    } else {
+                        cache_hits += 1;
                     }
                     if let Some((_, cnt)) = cache[&t].get(&src) {
                         if to_spec.matches(graph, t) {
@@ -1093,6 +1294,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
             // Forward kernel keyed by the source vertex.
             if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(src) {
+                cache_misses += 1;
                 e.insert(reach(
                     graph,
                     src,
@@ -1101,6 +1303,8 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     self.guard,
                     &mut self.stats,
                 )?);
+            } else {
+                cache_hits += 1;
             }
             let m = &cache[&src];
             match bound_target {
@@ -1124,6 +1328,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
             self.guard.tick_rows((next.len() - before) as u64)?;
         }
+        self.prof_hop_cache = (cache_hits, cache_misses);
         Ok(next)
     }
 
@@ -1195,6 +1400,12 @@ impl<'e, 'g> Runtime<'e, 'g> {
         });
         let mut maps: Vec<Option<ReachMap>> = keys.iter().map(|_| None).collect();
         let mut first_err: Option<(usize, Error)> = None;
+        if self.prof.is_some() {
+            // Per-worker kernel distribution for the enclosing hop span —
+            // how evenly the work-stealing fan-out spread the kernels.
+            self.prof_hop_workers =
+                worker_out.iter().map(|(stats, _)| stats.kernel_calls).collect();
+        }
         for (stats, done) in worker_out {
             self.stats.merge(&stats);
             for (i, r) in done {

@@ -1,13 +1,27 @@
-//! `EXPLAIN`-style static query plans.
+//! `EXPLAIN` — static query plans as a structured, stable tree.
 //!
-//! Renders, for every SELECT block of a query, the evaluation strategy
-//! the engine will use: how each FROM item is scanned, which WHERE
-//! conjuncts are pushed down to which binding step, whether each pattern
-//! hop runs as an adjacency scan, a polynomial SDMC **counting** kernel,
-//! or an exponential **enumerative** kernel (and from which endpoint),
-//! and how each accumulator absorbs binding multiplicities. This makes
-//! the paper's tractability story *inspectable*: the plan names the
-//! exact mechanism that keeps (or fails to keep) a query polynomial.
+//! [`explain_plan`] compiles a parsed query into a [`Plan`]: a tree of
+//! [`PlanNode`]s describing, for every SELECT block, the evaluation
+//! strategy the engine will use — how each FROM item is scanned, which
+//! WHERE conjuncts are pushed down to which binding step, whether each
+//! pattern hop runs as an adjacency scan, a polynomial SDMC **counting**
+//! kernel, or an exponential **enumerative** kernel (and from which
+//! endpoint), and how each accumulator absorbs binding multiplicities.
+//! This makes the paper's tractability story *inspectable*: the plan
+//! names the exact mechanism that keeps (or fails to keep) a query
+//! polynomial.
+//!
+//! The tree renders two ways, both documented in `docs/PLAN_FORMAT.md`
+//! and pinned by the `explain_golden` test suite:
+//!
+//! * [`Plan::render`] — the indented text tree (`gsql_shell --explain`,
+//!   `EXPLAIN <query>`),
+//! * [`Plan::to_json`] — a JSON document (`POST /explain` on
+//!   `gsql-serve`, `gsql_shell --explain --json`).
+//!
+//! The same node vocabulary (the [`PlanNode::op`] strings) is shared by
+//! `PROFILE` ([`crate::profile::Profile`]), whose execution tree
+//! annotates these operators with measured counters.
 
 use crate::ast::*;
 use crate::error::Result;
@@ -15,82 +29,203 @@ use crate::semantics::PathSemantics;
 use pgraph::fxhash::FxHashSet;
 use std::fmt::Write as _;
 
-/// Renders a static plan for `query` under `semantics`.
-pub fn explain(query: &Query, semantics: PathSemantics) -> Result<String> {
-    let mut out = String::new();
-    writeln!(out, "QUERY {} [{:?} semantics]", query.name, semantics).unwrap();
+/// One operator of a static query plan.
+///
+/// `op` is a stable machine-readable tag drawn from the vocabulary
+/// documented in `docs/PLAN_FORMAT.md` (`"query"`, `"block"`, `"scan"`,
+/// `"hop"`, `"accum"`, ...); `detail` is the human-readable line the
+/// text rendering prints for this node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// Stable operator tag (see `docs/PLAN_FORMAT.md` for the full list).
+    pub op: &'static str,
+    /// Human-readable description; exactly the text-rendering line.
+    pub detail: String,
+    /// Child operators, in evaluation order.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        PlanNode { op, detail: detail.into(), children: Vec::new() }
+    }
+
+    /// Number of nodes in this subtree, including `self`.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+}
+
+/// A complete static plan for one query under one [`PathSemantics`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// The query's declared name.
+    pub query: String,
+    /// The semantics the plan was computed under (the engine default;
+    /// `USE SEMANTICS` switches are reflected inside the tree).
+    pub semantics: PathSemantics,
+    /// The plan tree; the root is always an `op == "query"` node.
+    pub root: PlanNode,
+}
+
+impl Plan {
+    /// Renders the plan as an indented text tree (two spaces per level).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        render_into(&self.root, 0, &mut out);
+        out
+    }
+
+    /// Renders the plan as a single-line JSON document:
+    /// `{"query":..,"semantics":..,"plan":{"op":..,"detail":..,"children":[..]}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\"query\":");
+        json_string(&mut out, &self.query);
+        write!(out, ",\"semantics\":\"{:?}\",\"plan\":", self.semantics).unwrap();
+        node_json(&mut out, &self.root);
+        out.push('}');
+        out
+    }
+}
+
+fn render_into(node: &PlanNode, depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+    out.push_str(&node.detail);
+    out.push('\n');
+    for c in &node.children {
+        render_into(c, depth + 1, out);
+    }
+}
+
+fn node_json(out: &mut String, node: &PlanNode) {
+    out.push_str("{\"op\":");
+    json_string(out, node.op);
+    out.push_str(",\"detail\":");
+    json_string(out, &node.detail);
+    out.push_str(",\"children\":[");
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        node_json(out, c);
+    }
+    out.push_str("]}");
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+pub(crate) fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds the static [`Plan`] for `query` under `semantics`.
+pub fn explain_plan(query: &Query, semantics: PathSemantics) -> Result<Plan> {
+    let mut root = PlanNode::new(
+        "query",
+        format!("QUERY {} [{:?} semantics]", query.name, semantics),
+    );
     let mut block_no = 0usize;
-    explain_stmts(&query.body, semantics, &mut block_no, 0, &mut out);
-    Ok(out)
+    explain_stmts(&query.body, semantics, &mut block_no, &mut root.children);
+    Ok(Plan { query: query.name.clone(), semantics, root })
+}
+
+/// Renders a static plan for `query` under `semantics` as text — the
+/// historical string-only entry point, equivalent to
+/// `explain_plan(query, semantics)?.render()`.
+pub fn explain(query: &Query, semantics: PathSemantics) -> Result<String> {
+    Ok(explain_plan(query, semantics)?.render())
 }
 
 fn explain_stmts(
     stmts: &[Stmt],
     mut semantics: PathSemantics,
     block_no: &mut usize,
-    depth: usize,
-    out: &mut String,
+    out: &mut Vec<PlanNode>,
 ) {
-    let pad = "  ".repeat(depth + 1);
     for stmt in stmts {
         match stmt {
             Stmt::UseSemantics(s) => {
                 semantics = *s;
-                writeln!(out, "{pad}USE SEMANTICS -> {semantics:?}").unwrap();
+                out.push(PlanNode::new(
+                    "use-semantics",
+                    format!("USE SEMANTICS -> {semantics:?}"),
+                ));
             }
             Stmt::Select(block) => {
                 *block_no += 1;
-                explain_block(block, semantics, *block_no, depth, out);
+                out.push(explain_block(block, semantics, *block_no));
             }
             Stmt::VSetAssign { name, source } => match source {
                 VSetSource::Select(block) => {
                     *block_no += 1;
-                    writeln!(out, "{pad}{name} = <block {block_no}>").unwrap();
-                    explain_block(block, semantics, *block_no, depth, out);
+                    out.push(PlanNode::new(
+                        "vset-assign",
+                        format!("{name} = <block {block_no}>"),
+                    ));
+                    out.push(explain_block(block, semantics, *block_no));
                 }
                 VSetSource::Literal(entries) => {
-                    writeln!(out, "{pad}{name} = scan {{{}}}", entries.join(", ")).unwrap();
+                    out.push(PlanNode::new(
+                        "vset-assign",
+                        format!("{name} = scan {{{}}}", entries.join(", ")),
+                    ));
                 }
                 VSetSource::SetOp { op, lhs, rhs } => {
-                    writeln!(out, "{pad}{name} = {lhs} {op:?} {rhs}").unwrap();
+                    out.push(PlanNode::new(
+                        "vset-assign",
+                        format!("{name} = {lhs} {op:?} {rhs}"),
+                    ));
                 }
             },
             Stmt::While { body, limit, .. } => {
-                writeln!(
-                    out,
-                    "{pad}WHILE loop{}:",
-                    if limit.is_some() { " (bounded)" } else { "" }
-                )
-                .unwrap();
-                explain_stmts(body, semantics, block_no, depth + 1, out);
+                let mut node = PlanNode::new(
+                    "while",
+                    format!(
+                        "WHILE loop{}:",
+                        if limit.is_some() { " (bounded)" } else { "" }
+                    ),
+                );
+                explain_stmts(body, semantics, block_no, &mut node.children);
+                out.push(node);
             }
             Stmt::If { then_branch, else_branch, .. } => {
-                writeln!(out, "{pad}IF:").unwrap();
-                explain_stmts(then_branch, semantics, block_no, depth + 1, out);
+                let mut node = PlanNode::new("if", "IF:");
+                explain_stmts(then_branch, semantics, block_no, &mut node.children);
+                out.push(node);
                 if !else_branch.is_empty() {
-                    writeln!(out, "{pad}ELSE:").unwrap();
-                    explain_stmts(else_branch, semantics, block_no, depth + 1, out);
+                    let mut node = PlanNode::new("else", "ELSE:");
+                    explain_stmts(else_branch, semantics, block_no, &mut node.children);
+                    out.push(node);
                 }
             }
             Stmt::Foreach { var, body, .. } => {
-                writeln!(out, "{pad}FOREACH {var}:").unwrap();
-                explain_stmts(body, semantics, block_no, depth + 1, out);
+                let mut node = PlanNode::new("foreach", format!("FOREACH {var}:"));
+                explain_stmts(body, semantics, block_no, &mut node.children);
+                out.push(node);
             }
             _ => {}
         }
     }
 }
 
-fn explain_block(
-    block: &SelectBlock,
-    semantics: PathSemantics,
-    no: usize,
-    depth: usize,
-    out: &mut String,
-) {
-    let pad = "  ".repeat(depth + 1);
-    let pad2 = "  ".repeat(depth + 2);
-    writeln!(out, "{pad}BLOCK {no}:").unwrap();
+fn explain_block(block: &SelectBlock, semantics: PathSemantics, no: usize) -> PlanNode {
+    let mut node = PlanNode::new("block", format!("BLOCK {no}:"));
 
     // Conjunct bookkeeping mirrors the executor's pushdown.
     let will_bind = from_bound_vars_pub(&block.from);
@@ -108,16 +243,21 @@ fn explain_block(
         }
     }
     let mut bound: FxHashSet<String> = FxHashSet::default();
+    // Every conjunct whose variables are all bound attaches to `parent`
+    // (the binding step that made it ready) as a pushdown-filter child.
     let emit_ready = |bound: &FxHashSet<String>,
-                          conjuncts: &mut Vec<(String, Vec<String>)>,
-                          out: &mut String| {
+                      conjuncts: &mut Vec<(String, Vec<String>)>,
+                      parent: &mut PlanNode| {
         let mut i = 0;
         while i < conjuncts.len() {
             let ready =
                 !conjuncts[i].1.is_empty() && conjuncts[i].1.iter().all(|v| bound.contains(v));
             if ready {
                 let (label, _) = conjuncts.remove(i);
-                writeln!(out, "{pad2}  pushdown filter: {label}").unwrap();
+                parent.children.push(PlanNode::new(
+                    "pushdown-filter",
+                    format!("pushdown filter: {label}"),
+                ));
             } else {
                 i += 1;
             }
@@ -127,22 +267,28 @@ fn explain_block(
     for item in &block.from {
         match item {
             FromItem::Table { name, alias } => {
-                writeln!(out, "{pad2}scan {name} AS {alias} (table or vertex set)").unwrap();
+                let mut scan = PlanNode::new(
+                    "scan",
+                    format!("scan {name} AS {alias} (table or vertex set)"),
+                );
                 bound.insert(alias.clone());
-                emit_ready(&bound, &mut conjuncts, out);
+                emit_ready(&bound, &mut conjuncts, &mut scan);
+                node.children.push(scan);
             }
             FromItem::Pattern { start, hops, .. } => {
-                writeln!(
-                    out,
-                    "{pad2}scan {}{}",
-                    start.name,
-                    start.var.as_ref().map(|v| format!(" AS {v}")).unwrap_or_default()
-                )
-                .unwrap();
+                let mut scan = PlanNode::new(
+                    "scan",
+                    format!(
+                        "scan {}{}",
+                        start.name,
+                        start.var.as_ref().map(|v| format!(" AS {v}")).unwrap_or_default()
+                    ),
+                );
                 if let Some(v) = &start.var {
                     bound.insert(v.clone());
                 }
-                emit_ready(&bound, &mut conjuncts, out);
+                emit_ready(&bound, &mut conjuncts, &mut scan);
+                node.children.push(scan);
                 for hop in hops {
                     let to = hop
                         .to
@@ -166,13 +312,19 @@ fn explain_block(
                     } else {
                         "enumerative kernel, forward (EXPONENTIAL)".to_string()
                     };
-                    writeln!(out, "{pad2}hop -({})-> {to}: {strategy}", hop.darpe).unwrap();
+                    let mut hop_node = PlanNode::new(
+                        "hop",
+                        format!("hop -({})-> {to}: {strategy}", hop.darpe),
+                    );
                     if sargable {
                         // Name the consumed conjuncts.
                         if let Some(tv) = &hop.to.var {
                             conjuncts.retain(|(label, refs)| {
                                 if refs.len() == 1 && refs[0] == *tv {
-                                    writeln!(out, "{pad2}  sargable anchor: {label}").unwrap();
+                                    hop_node.children.push(PlanNode::new(
+                                        "sargable-anchor",
+                                        format!("sargable anchor: {label}"),
+                                    ));
                                     false
                                 } else {
                                     true
@@ -186,27 +338,38 @@ fn explain_block(
                     if let Some(tv) = &hop.to.var {
                         bound.insert(tv.clone());
                     }
-                    emit_ready(&bound, &mut conjuncts, out);
+                    emit_ready(&bound, &mut conjuncts, &mut hop_node);
+                    node.children.push(hop_node);
                 }
             }
         }
     }
     for (label, _) in &conjuncts {
-        writeln!(out, "{pad2}residual filter: {label}").unwrap();
+        node.children.push(PlanNode::new(
+            "residual-filter",
+            format!("residual filter: {label}"),
+        ));
     }
     if !block.accum.is_empty() {
-        writeln!(
-            out,
-            "{pad2}ACCUM: {} statement(s), snapshot Map/Reduce",
-            block.accum.len()
-        )
-        .unwrap();
+        node.children.push(PlanNode::new(
+            "accum",
+            format!(
+                "ACCUM: {} statement(s), snapshot Map/Reduce",
+                block.accum.len()
+            ),
+        ));
     }
     if !block.post_accum.is_empty() {
-        writeln!(out, "{pad2}POST_ACCUM: {} statement(s)", block.post_accum.len()).unwrap();
+        node.children.push(PlanNode::new(
+            "post-accum",
+            format!("POST_ACCUM: {} statement(s)", block.post_accum.len()),
+        ));
     }
     if let Some(g) = &block.group_by {
-        writeln!(out, "{pad2}GROUP BY: {} grouping set(s)", g.sets.len()).unwrap();
+        node.children.push(PlanNode::new(
+            "group-by",
+            format!("GROUP BY: {} grouping set(s)", g.sets.len()),
+        ));
     }
     for frag in &block.outputs {
         let kind = if frag.items.len() == 1
@@ -219,12 +382,44 @@ fn explain_block(
         } else {
             "projected table"
         };
-        writeln!(
-            out,
-            "{pad2}output{}: {kind}",
-            frag.into.as_ref().map(|n| format!(" INTO {n}")).unwrap_or_default()
-        )
-        .unwrap();
+        node.children.push(PlanNode::new(
+            "output",
+            format!(
+                "output{}: {kind}",
+                frag.into.as_ref().map(|n| format!(" INTO {n}")).unwrap_or_default()
+            ),
+        ));
+    }
+    node
+}
+
+/// A compact one-line label for a SELECT block's FROM clause, shared
+/// with the `PROFILE` tree so the two displays line up.
+pub(crate) fn block_label(block: &SelectBlock) -> String {
+    let mut out = String::from("SELECT FROM ");
+    for (i, item) in block.from.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match item {
+            FromItem::Table { name, alias } => {
+                write!(out, "{name}:{alias}").unwrap();
+            }
+            FromItem::Pattern { start, hops, .. } => {
+                out.push_str(&vspec_label(start));
+                for hop in hops {
+                    write!(out, " -({})- {}", hop.darpe, vspec_label(&hop.to)).unwrap();
+                }
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn vspec_label(spec: &VSpec) -> String {
+    match &spec.var {
+        Some(v) => format!("{}:{v}", spec.name),
+        None => spec.name.clone(),
     }
 }
 
@@ -341,5 +536,41 @@ mod tests {
         assert!(plan.contains("output INTO PerCust: projected table"), "{plan}");
         assert!(plan.contains("output INTO Total: projected table"), "{plan}");
         assert!(plan.contains("ACCUM: 4 statement(s)"), "{plan}");
+    }
+
+    #[test]
+    fn plan_tree_structure_matches_text() {
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = explain_plan(&q, PathSemantics::AllShortestPaths).unwrap();
+        assert_eq!(plan.root.op, "query");
+        // One hop under the block, with the pushdown attached to the scan.
+        let block = plan
+            .root
+            .children
+            .iter()
+            .find(|n| n.op == "block")
+            .expect("block node");
+        assert!(block.children.iter().any(|n| n.op == "scan"));
+        assert!(block.children.iter().any(|n| n.op == "hop"));
+        // Text rendering and tree agree on node count (one line per node).
+        assert_eq!(plan.render().lines().count(), plan.root.size());
+    }
+
+    #[test]
+    fn plan_json_is_well_formed_and_escaped() {
+        let q = parse_query(
+            "CREATE QUERY j() { S = SELECT s FROM V:s WHERE s.name == 'a\"b'; }",
+        )
+        .unwrap();
+        let plan = explain_plan(&q, PathSemantics::AllShortestPaths).unwrap();
+        let json = plan.to_json();
+        assert!(json.starts_with("{\"query\":\"j\""), "{json}");
+        assert!(json.contains("\\\""), "escaped quote missing: {json}");
+        assert!(json.contains("\"semantics\":\"AllShortestPaths\""), "{json}");
+        // Balanced braces/brackets (JSON strings contain no braces here
+        // beyond the escaped quote content).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes, "{json}");
     }
 }

@@ -36,35 +36,42 @@ pub struct Budget {
 }
 
 impl Budget {
+    /// A budget that imposes nothing (same as `Budget::default()`).
     pub fn unlimited() -> Self {
         Self::default()
     }
 
+    /// Sets the wall-clock deadline.
     pub fn with_deadline(mut self, d: Duration) -> Self {
         self.deadline = Some(d);
         self
     }
 
+    /// Sets the cumulative binding-table row cap.
     pub fn with_max_binding_rows(mut self, n: u64) -> Self {
         self.max_binding_rows = Some(n);
         self
     }
 
+    /// Sets the cumulative path-materialization cap.
     pub fn with_max_paths(mut self, n: u64) -> Self {
         self.max_paths = Some(n);
         self
     }
 
+    /// Sets the accumulator heap-footprint cap.
     pub fn with_max_accum_bytes(mut self, n: u64) -> Self {
         self.max_accum_bytes = Some(n);
         self
     }
 
+    /// Sets the cumulative WHILE-iteration cap.
     pub fn with_max_while_iters(mut self, n: u64) -> Self {
         self.max_while_iters = Some(n);
         self
     }
 
+    /// `true` if no limit is set in any dimension.
     pub fn is_unlimited(&self) -> bool {
         self.deadline.is_none()
             && self.max_binding_rows.is_none()
@@ -81,18 +88,24 @@ impl Budget {
 pub struct CancelHandle(Arc<AtomicBool>);
 
 impl CancelHandle {
+    /// A fresh, un-cancelled handle.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Requests cancellation; the running query stops at its next
+    /// checkpoint.
     pub fn cancel(&self) {
         self.0.store(true, Ordering::Release);
     }
 
+    /// `true` once [`cancel`](Self::cancel) has been called (until
+    /// [`reset`](Self::reset)).
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::Acquire)
     }
 
+    /// Re-arms the handle so subsequent queries run normally.
     pub fn reset(&self) {
         self.0.store(false, Ordering::Release);
     }
@@ -107,6 +120,11 @@ pub struct ResourceReport {
     pub rows_materialized: u64,
     /// Paths materialized by enumerative kernels, cumulative.
     pub paths_enumerated: u64,
+    /// Vertex visits performed by scans and kernels, cumulative (a vertex
+    /// revisited in another kernel call or automaton state counts again).
+    pub vertices_touched: u64,
+    /// Adjacency entries examined by scans and kernels, cumulative.
+    pub edges_scanned: u64,
     /// Peak estimated accumulator heap footprint observed, in bytes.
     pub peak_accum_bytes: u64,
     /// WHILE-loop iterations executed, cumulative.
@@ -139,10 +157,13 @@ impl fmt::Display for ResourceReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} rows materialized, {} paths enumerated, {} peak accumulator memory, \
+            "{} rows materialized, {} paths enumerated, {} vertices touched, \
+             {} edges scanned, {} peak accumulator memory, \
              {} WHILE iterations, {:.3}s elapsed",
             fmt_count(self.rows_materialized),
             fmt_count(self.paths_enumerated),
+            fmt_count(self.vertices_touched),
+            fmt_count(self.edges_scanned),
             fmt_bytes(self.peak_accum_bytes),
             fmt_count(self.while_iterations),
             self.elapsed.as_secs_f64(),
@@ -168,11 +189,15 @@ pub struct QueryGuard {
     ticks: AtomicU64,
     rows: AtomicU64,
     paths: AtomicU64,
+    vertices: AtomicU64,
+    edges: AtomicU64,
     peak_bytes: AtomicU64,
     while_iters: AtomicU64,
 }
 
 impl QueryGuard {
+    /// A guard enforcing `budget`, observing `cancel`. The wall clock
+    /// starts here.
     pub fn new(budget: Budget, cancel: CancelHandle) -> Self {
         let start = Instant::now();
         let deadline_at = budget.deadline.map(|d| start + d);
@@ -185,6 +210,8 @@ impl QueryGuard {
             ticks: AtomicU64::new(0),
             rows: AtomicU64::new(0),
             paths: AtomicU64::new(0),
+            vertices: AtomicU64::new(0),
+            edges: AtomicU64::new(0),
             peak_bytes: AtomicU64::new(0),
             while_iters: AtomicU64::new(0),
         }
@@ -201,14 +228,18 @@ impl QueryGuard {
         Self::new(Budget { max_paths, ..Budget::default() }, CancelHandle::new())
     }
 
+    /// The budget this guard enforces.
     pub fn budget(&self) -> &Budget {
         &self.budget
     }
 
+    /// Snapshot of all counters plus elapsed wall-clock time.
     pub fn report(&self) -> ResourceReport {
         ResourceReport {
             rows_materialized: self.rows.load(Ordering::Relaxed),
             paths_enumerated: self.paths.load(Ordering::Relaxed),
+            vertices_touched: self.vertices.load(Ordering::Relaxed),
+            edges_scanned: self.edges.load(Ordering::Relaxed),
             peak_accum_bytes: self.peak_bytes.load(Ordering::Relaxed),
             while_iterations: self.while_iters.load(Ordering::Relaxed),
             elapsed: self.start.elapsed(),
@@ -236,7 +267,7 @@ impl QueryGuard {
     }
 
     /// Cheap check for hot loop heads: cancellation/poison flags every
-    /// call, the wall clock once per [`CLOCK_STRIDE`] calls.
+    /// call, the wall clock once per `CLOCK_STRIDE` (64) calls.
     #[inline]
     pub fn checkpoint(&self) -> Result<()> {
         if self.poisoned.load(Ordering::Relaxed) || self.cancel.is_cancelled() {
@@ -337,6 +368,20 @@ impl QueryGuard {
         Ok(())
     }
 
+    /// Accounts `vertices` vertex visits and `edges` adjacency-entry
+    /// examinations. Pure accounting — no budget dimension limits these,
+    /// so this never fails; the totals feed [`ResourceReport`] and the
+    /// PROFILE operator tree (which must reconcile with it exactly).
+    #[inline]
+    pub fn note_visits(&self, vertices: u64, edges: u64) {
+        if vertices != 0 {
+            self.vertices.fetch_add(vertices, Ordering::Relaxed);
+        }
+        if edges != 0 {
+            self.edges.fetch_add(edges, Ordering::Relaxed);
+        }
+    }
+
     /// Marks the execution poisoned after a Map worker panicked, stopping
     /// sibling workers at their next checkpoint without touching the
     /// engine-level cancellation flag.
@@ -434,6 +479,8 @@ mod tests {
         let r = ResourceReport {
             rows_materialized: 12,
             paths_enumerated: 1_200_000,
+            vertices_touched: 34_500,
+            edges_scanned: 7,
             peak_accum_bytes: 64 * 1024,
             while_iterations: 0,
             elapsed: Duration::from_millis(1500),
@@ -441,7 +488,23 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("12 rows"), "{s}");
         assert!(s.contains("1.2M paths"), "{s}");
+        assert!(s.contains("34.5k vertices touched"), "{s}");
+        assert!(s.contains("7 edges scanned"), "{s}");
         assert!(s.contains("64.0 KiB"), "{s}");
         assert!(s.contains("1.500s"), "{s}");
+    }
+
+    #[test]
+    fn note_visits_is_pure_accounting() {
+        // Even a fully limited budget never trips on visit accounting.
+        let g = QueryGuard::new(
+            Budget::default().with_max_binding_rows(1).with_max_paths(1),
+            CancelHandle::new(),
+        );
+        g.note_visits(1_000_000, 2_000_000);
+        g.note_visits(0, 0);
+        let r = g.report();
+        assert_eq!(r.vertices_touched, 1_000_000);
+        assert_eq!(r.edges_scanned, 2_000_000);
     }
 }

@@ -19,37 +19,67 @@ pub enum Tok {
     VAcc(String),
     /// `@@name` — global accumulator reference.
     GAcc(String),
+    /// Integer literal.
     Int(i64),
+    /// Floating-point literal.
     Double(f64),
+    /// String literal (quotes stripped, escapes decoded).
     Str(String),
-    // Punctuation / operators.
+    /// `(`
     LParen,
+    /// `)`
     RParen,
+    /// `{`
     LBrace,
+    /// `}`
     RBrace,
+    /// `[`
     LBracket,
+    /// `]`
     RBracket,
+    /// `,`
     Comma,
+    /// `;`
     Semi,
+    /// `:`
     Colon,
+    /// `.`
     Dot,
+    /// `..` (DARPE bounded repetition).
     DotDot,
+    /// `+`
     Plus,
+    /// `-`
     Minus,
+    /// `*`
     Star,
+    /// `/`
     Slash,
+    /// `%`
     Percent,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
-    Eq,     // =
-    EqEq,   // ==
-    Ne,     // != or <>
-    PlusEq, // +=
-    Arrow,  // ->
-    Pipe,   // | (DARPE alternation)
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=` or `<>`
+    Ne,
+    /// `+=`
+    PlusEq,
+    /// `->`
+    Arrow,
+    /// `|` (DARPE alternation).
+    Pipe,
+    /// `'` (previous-snapshot accumulator read).
     Apostrophe,
+    /// End of input.
     Eof,
 }
 
@@ -108,8 +138,11 @@ const KEYWORDS: &[&str] = &[
 /// A token with its source position.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SpannedTok {
+    /// The token.
     pub tok: Tok,
+    /// 1-based source line.
     pub line: usize,
+    /// 1-based source column.
     pub col: usize,
 }
 

@@ -52,6 +52,8 @@
 //! assert_eq!(out.prints, vec!["@@total = 144.0".to_string()]);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod ast;
 pub mod datetime;
 pub mod error;
@@ -62,6 +64,7 @@ pub mod governor;
 pub mod lexer;
 pub mod parser;
 pub mod prepared;
+pub mod profile;
 pub mod semantics;
 pub mod stdlib;
 pub mod table;
@@ -69,9 +72,10 @@ pub mod tractable;
 
 pub use error::{Error, ErrorKind, ResourceError, Result};
 pub use exec::{Engine, QueryOutput, ReturnValue};
+pub use explain::{explain, explain_plan, Plan, PlanNode};
 pub use governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
-pub use explain::explain;
-pub use parser::parse_query;
+pub use parser::{parse_query, parse_query_with_mode, QueryMode};
 pub use prepared::PreparedQuery;
-pub use semantics::PathSemantics;
+pub use profile::{Profile, ProfileNode};
+pub use semantics::{MatchStats, PathSemantics};
 pub use table::Table;

@@ -17,6 +17,48 @@ pub fn parse_query(src: &str) -> Result<Query> {
     Ok(q)
 }
 
+/// How a query text asked to be executed: run it, explain it, or profile it.
+///
+/// Produced by [`parse_query_with_mode`] when the query text starts with an
+/// optional `EXPLAIN` or `PROFILE` prefix keyword.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryMode {
+    /// No prefix — execute the query normally.
+    Run,
+    /// `EXPLAIN CREATE QUERY ...` — render the logical plan without running.
+    Explain,
+    /// `PROFILE CREATE QUERY ...` — run the query with per-operator profiling.
+    Profile,
+}
+
+/// Parses a `CREATE QUERY` definition that may carry an optional leading
+/// `EXPLAIN` or `PROFILE` keyword, returning the requested [`QueryMode`]
+/// alongside the parsed query.
+///
+/// [`parse_query`] remains strict (no prefix allowed) so that prepared-query
+/// fingerprints and the plan cache are unaffected.
+pub fn parse_query_with_mode(src: &str) -> Result<(QueryMode, Query)> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0, typedefs: HashMap::new() };
+    // EXPLAIN/PROFILE are deliberately NOT reserved words — `INTO
+    // Profile` must keep working — so the prefix is a leading
+    // identifier, recognized case-insensitively only in this position.
+    let mode = match p.peek() {
+        Tok::Ident(s) if s.eq_ignore_ascii_case("explain") => {
+            p.pos += 1;
+            QueryMode::Explain
+        }
+        Tok::Ident(s) if s.eq_ignore_ascii_case("profile") => {
+            p.pos += 1;
+            QueryMode::Profile
+        }
+        _ => QueryMode::Run,
+    };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok((mode, q))
+}
+
 /// Parses a standalone expression (used by tests and the REPL-style API).
 pub fn parse_expr(src: &str) -> Result<Expr> {
     let toks = lex(src)?;
@@ -1153,6 +1195,48 @@ fn print_label(e: &Expr) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn query_mode_prefixes() {
+        let src = "CREATE QUERY Q () { PRINT 1; }";
+        let (mode, q) = parse_query_with_mode(src).unwrap();
+        assert_eq!(mode, QueryMode::Run);
+        assert_eq!(q.name, "Q");
+        let (mode, q) = parse_query_with_mode(&format!("EXPLAIN {src}")).unwrap();
+        assert_eq!(mode, QueryMode::Explain);
+        assert_eq!(q.name, "Q");
+        let (mode, q) = parse_query_with_mode(&format!("profile {src}")).unwrap();
+        assert_eq!(mode, QueryMode::Profile);
+        assert_eq!(q.name, "Q");
+        // The strict entry point does not accept the prefix.
+        assert!(parse_query(&format!("EXPLAIN {src}")).is_err());
+    }
+
+    #[test]
+    fn explain_profile_are_not_reserved_words() {
+        // The mode prefixes must not steal `Profile`/`Explain` as
+        // identifiers — LDBC IS1 selects INTO a table named Profile.
+        let q = parse_query(
+            "CREATE QUERY Q () { R = SELECT p.name AS name INTO Profile FROM Person:p; \
+             T = SELECT e.name AS name INTO Plans FROM Explain:e; }",
+        )
+        .unwrap();
+        let frag = |s: &Stmt| match s {
+            Stmt::VSetAssign { source: VSetSource::Select(b), .. } => {
+                b.outputs[0].into.clone().unwrap()
+            }
+            other => panic!("unexpected stmt {other:?}"),
+        };
+        assert_eq!(frag(&q.body[0]), "Profile");
+        assert_eq!(frag(&q.body[1]), "Plans");
+        // And the prefix still composes with such queries.
+        let (mode, q2) = parse_query_with_mode(
+            "PROFILE CREATE QUERY Q () { R = SELECT p.name AS n INTO Profile FROM Person:p; }",
+        )
+        .unwrap();
+        assert_eq!(mode, QueryMode::Profile);
+        assert_eq!(q2.name, "Q");
+    }
 
     #[test]
     fn parses_pagerank_figure4() {

@@ -70,6 +70,12 @@ pub struct MatchStats {
     pub binding_rows: u64,
     /// ACCUM-clause executions (one per distinct binding row).
     pub acc_executions: u64,
+    /// Vertex visits performed by scans and kernels (BFS product states,
+    /// enumerative DFS frames, FROM-clause vertex bindings). A vertex
+    /// revisited in another kernel call or automaton state counts again.
+    pub vertices_touched: u64,
+    /// Adjacency entries examined by scans and kernels.
+    pub edges_scanned: u64,
 }
 
 impl MatchStats {
@@ -83,6 +89,8 @@ impl MatchStats {
         self.paths_enumerated += other.paths_enumerated;
         self.binding_rows += other.binding_rows;
         self.acc_executions += other.acc_executions;
+        self.vertices_touched += other.vertices_touched;
+        self.edges_scanned += other.edges_scanned;
     }
 }
 
@@ -148,12 +156,15 @@ fn bfs_count(
     cnt.push(BigCount::one());
     queue.push_back(0);
 
+    let mut edges_scanned = 0u64;
     while let Some(i) = queue.pop_front() {
         guard.checkpoint()?;
         let (v, q) = states[i];
         let d = dist[i];
         let c = cnt[i].clone();
-        for a in graph.adjacency(v) {
+        let adj = graph.adjacency(v);
+        edges_scanned += adj.len() as u64;
+        for a in adj {
             let Some(nq) = dfa.next(q, a.etype, a.dir) else { continue };
             let key = (a.other, nq);
             match index.get(&key) {
@@ -175,6 +186,9 @@ fn bfs_count(
         }
     }
     stats.product_states += states.len() as u64;
+    stats.vertices_touched += states.len() as u64;
+    stats.edges_scanned += edges_scanned;
+    guard.note_visits(states.len() as u64, edges_scanned);
 
     // Per target: min dist over accepting states, summed counts at it.
     let mut out: ReachMap = FxHashMap::default();
@@ -228,6 +242,8 @@ fn enumerate_shortest(
         q: DfaStateId,
         next_edge: usize,
     }
+    let mut vertices_touched = 1u64; // the root frame
+    let mut edges_scanned = 0u64;
     let mut stack = vec![Frame { v: src, q: dfa.start(), next_edge: 0 }];
     while let Some(top) = stack.last() {
         guard.checkpoint()?;
@@ -256,10 +272,12 @@ fn enumerate_shortest(
         let mut advanced = false;
         let start_edge = stack.last().unwrap().next_edge;
         for (off, a) in adj.iter_from(start_edge).enumerate() {
+            edges_scanned += 1;
             if let Some(nq) = dfa.next(q, a.etype, a.dir) {
                 let idx = start_edge + off;
                 stack.last_mut().unwrap().next_edge = idx + 1;
                 stack.push(Frame { v: a.other, q: nq, next_edge: 0 });
+                vertices_touched += 1;
                 advanced = true;
                 break;
             }
@@ -269,6 +287,9 @@ fn enumerate_shortest(
         }
     }
     stats.paths_enumerated += enumerated;
+    stats.vertices_touched += vertices_touched;
+    stats.edges_scanned += edges_scanned;
+    guard.note_visits(vertices_touched, edges_scanned);
     Ok(out)
 }
 
@@ -300,6 +321,8 @@ fn enumerate_simple(
     if vertex_flavor {
         used_vertices.insert(src, ());
     }
+    let mut vertices_touched = 1u64; // the root frame
+    let mut edges_scanned = 0u64;
     let mut stack = vec![Frame { v: src, q: dfa.start(), next_edge: 0, via: None }];
     while !stack.is_empty() {
         guard.checkpoint()?;
@@ -325,6 +348,7 @@ fn enumerate_simple(
         let start_edge = stack.last().unwrap().next_edge;
         let mut advanced = false;
         for (off, a) in adj.iter_from(start_edge).enumerate() {
+            edges_scanned += 1;
             let idx = start_edge + off;
             if vertex_flavor {
                 if used_vertices.contains_key(&a.other) {
@@ -341,6 +365,7 @@ fn enumerate_simple(
                     used_edges.insert(a.edge, ());
                 }
                 stack.push(Frame { v: a.other, q: nq, next_edge: 0, via: Some(a.edge) });
+                vertices_touched += 1;
                 advanced = true;
                 break;
             }
@@ -357,6 +382,9 @@ fn enumerate_simple(
         }
     }
     stats.paths_enumerated += enumerated;
+    stats.vertices_touched += vertices_touched;
+    stats.edges_scanned += edges_scanned;
+    guard.note_visits(vertices_touched, edges_scanned);
     Ok(out)
 }
 

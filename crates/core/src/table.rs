@@ -7,12 +7,16 @@ use std::fmt;
 /// A simple named-column table of [`Value`] rows.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Table {
+    /// Table name (the `INTO` target or the fixture's name).
     pub name: String,
+    /// Column names, in declaration order.
     pub columns: Vec<String>,
+    /// Row-major cell values; every row has `columns.len()` cells.
     pub rows: Vec<Vec<Value>>,
 }
 
 impl Table {
+    /// Creates an empty table with the given name and columns.
     pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
         Table { name: name.into(), columns, rows: Vec::new() }
     }
@@ -31,19 +35,23 @@ impl Table {
         Table { name: name.into(), columns, rows }
     }
 
+    /// Index of the named column, if present.
     pub fn column_index(&self, name: &str) -> Option<usize> {
         self.columns.iter().position(|c| c == name)
     }
 
+    /// Appends a row (must match the column count).
     pub fn push(&mut self, row: Vec<Value>) {
         debug_assert_eq!(row.len(), self.columns.len());
         self.rows.push(row);
     }
 
+    /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows.len()
     }
 
+    /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
         self.rows.is_empty()
     }

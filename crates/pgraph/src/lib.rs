@@ -7,7 +7,7 @@
 //!
 //! Contents:
 //!
-//! * [`value`] — the dynamically-typed attribute [`Value`](value::Value)
+//! * [`value`] — the dynamically-typed attribute [`value::Value`]
 //!   with total ordering and hashing (usable as grouping keys),
 //! * [`schema`] — vertex/edge type definitions with typed attributes,
 //! * [`graph`] — columnar vertex/edge storage plus per-vertex adjacency

@@ -241,7 +241,12 @@ usage: gsql-serve --graph <graph.pg|:sales|:linkedin|:diamond<n>|:snb[=sf]>
 
 The server drains and exits 0 on SIGTERM or stdin EOF.
 Per-request budget headers: x-gsql-deadline-ms, x-gsql-max-rows,
-x-gsql-max-paths, x-gsql-max-accum-bytes, x-gsql-max-while-iters.";
+x-gsql-max-paths, x-gsql-max-accum-bytes, x-gsql-max-while-iters.
+Introspection: POST /explain returns the logical plan without executing;
+`x-gsql-profile: 1` on /query or /execute (or a PROFILE-prefixed query
+text) adds a per-operator `profile` section to the response, and
+aggregated per-operator totals appear under `operators` in /metrics.
+The plan/profile formats are documented in docs/PLAN_FORMAT.md.";
 
 #[cfg(test)]
 mod tests {

@@ -31,11 +31,14 @@ pub fn handle(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> R
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics(shared),
         ("POST", "/query") => query(shared, req, stream),
+        ("POST", "/explain") => explain(shared, req),
         ("POST", "/prepare") => prepare(shared, req),
         ("POST", p) if p.starts_with("/execute/") => {
             execute(shared, req, stream, &p["/execute/".len()..])
         }
-        (_, "/query" | "/prepare") => error_response(405, "method-not-allowed", "use POST", None),
+        (_, "/query" | "/explain" | "/prepare") => {
+            error_response(405, "method-not-allowed", "use POST", None)
+        }
         (_, "/healthz" | "/metrics") => error_response(405, "method-not-allowed", "use GET", None),
         (_, p) if p.starts_with("/execute/") => {
             error_response(405, "method-not-allowed", "use POST", None)
@@ -68,7 +71,48 @@ fn metrics(shared: &Shared) -> Response {
     Response::json(200, body)
 }
 
-/// `POST /query` — ad-hoc text; parse-once via the plan cache.
+/// The execution-mode prefix a query text may carry, mirroring the
+/// `EXPLAIN`/`PROFILE` keywords the shell accepts.
+#[derive(PartialEq, Clone, Copy)]
+enum TextMode {
+    Run,
+    Explain,
+    Profile,
+}
+
+/// Splits an optional leading `EXPLAIN`/`PROFILE` word off the query
+/// text. Purely textual so the remaining source — the part whose plan is
+/// reusable across modes — is what the plan cache fingerprints. The
+/// remainder is left-trimmed in every case so `EXPLAIN <q>`, `PROFILE
+/// <q>` and `<q>` all share one cache entry.
+fn strip_mode_prefix(src: &str) -> (TextMode, &str) {
+    let trimmed = src.trim_start();
+    let word_len = trimmed
+        .find(|c: char| !c.is_ascii_alphanumeric() && c != '_')
+        .unwrap_or(trimmed.len());
+    let word = &trimmed[..word_len];
+    if word.eq_ignore_ascii_case("explain") {
+        (TextMode::Explain, trimmed[word_len..].trim_start())
+    } else if word.eq_ignore_ascii_case("profile") {
+        (TextMode::Profile, trimmed[word_len..].trim_start())
+    } else {
+        (TextMode::Run, trimmed)
+    }
+}
+
+/// Whether the request asked for per-operator profiling via the
+/// `x-gsql-profile` header (`1`/`true`/`on`).
+fn profile_requested(req: &Request) -> bool {
+    matches!(
+        req.header("x-gsql-profile").map(str::trim),
+        Some("1") | Some("true") | Some("on")
+    )
+}
+
+/// `POST /query` — ad-hoc text; parse-once via the plan cache. The text
+/// may start with `EXPLAIN` (returns the plan without executing) or
+/// `PROFILE` (executes with per-operator profiling, like the
+/// `x-gsql-profile: 1` header).
 fn query(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Response {
     let body = match parse_body(req) {
         Ok(b) => b,
@@ -77,6 +121,7 @@ fn query(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Respon
     let Some(src) = body.get("query").and_then(Json::as_str) else {
         return error_response(400, "bad-request", "body must contain a string `query` field", None);
     };
+    let (mode, src) = strip_mode_prefix(src);
     let args = match parse_call_args(&body) {
         Ok(a) => a,
         Err(resp) => return *resp,
@@ -89,7 +134,55 @@ fn query(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Respon
         }
     };
     count_cache(shared, cached.hit);
-    run_query(shared, req, stream, &cached.prepared, &args, cached.hit)
+    if mode == TextMode::Explain {
+        return explain_response(shared, &cached.prepared, cached.hit);
+    }
+    let profiled = mode == TextMode::Profile || profile_requested(req);
+    run_query(shared, req, stream, &cached.prepared, &args, cached.hit, profiled)
+}
+
+/// `POST /explain` — return the logical plan without executing. Accepts
+/// the same body as `/query` (an optional leading `EXPLAIN`/`PROFILE`
+/// word in the text is ignored) and shares its plan cache.
+fn explain(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return *resp,
+    };
+    let Some(src) = body.get("query").and_then(Json::as_str) else {
+        return error_response(400, "bad-request", "body must contain a string `query` field", None);
+    };
+    let (_, src) = strip_mode_prefix(src);
+    let cached = match shared.plans.get_or_parse(src) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return query_error(shared, &e, false);
+        }
+    };
+    count_cache(shared, cached.hit);
+    explain_response(shared, &cached.prepared, cached.hit)
+}
+
+/// Renders the plan envelope shared by `/explain` and `EXPLAIN`-prefixed
+/// `/query` texts: the core crate's plan JSON embedded verbatim under
+/// `"plan"`, plus the indented text rendering under `"text"` (identical
+/// bytes to `gsql_shell --explain`).
+fn explain_response(shared: &Shared, prepared: &Arc<PreparedQuery>, cache_hit: bool) -> Response {
+    let plan = match gsql_core::explain_plan(prepared.query(), shared.cfg.semantics) {
+        Ok(p) => p,
+        Err(e) => return query_error(shared, &e, false),
+    };
+    let payload = Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("query".into(), Json::Str(prepared.name().to_string())),
+        ("plan_cache".into(), Json::Str(cache_tag(cache_hit).into())),
+        ("plan".into(), Json::Raw(plan.to_json())),
+        ("text".into(), Json::Str(plan.render())),
+    ]);
+    let mut body = String::new();
+    write_json(&mut body, &payload);
+    Response::json(200, body)
 }
 
 /// `POST /prepare` — parse, pin, hand back a statement id.
@@ -146,7 +239,7 @@ fn execute(shared: &Shared, req: &Request, stream: &std::net::TcpStream, id: &st
     };
     // Executing a resident plan is by definition a cache hit.
     count_cache(shared, true);
-    run_query(shared, req, stream, &prepared, &args, true)
+    run_query(shared, req, stream, &prepared, &args, true, profile_requested(req))
 }
 
 /// The shared execution path: admission gate → budget → engine run →
@@ -158,6 +251,7 @@ fn run_query(
     prepared: &Arc<PreparedQuery>,
     args: &[(String, Value)],
     cache_hit: bool,
+    profiled: bool,
 ) -> Response {
     let Some(_permit) = shared.gate.try_acquire() else {
         shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
@@ -186,23 +280,30 @@ fn run_query(
         let _watch = shared.watchdog.watch(stream, engine.cancel_handle());
         let arg_refs: Vec<(&str, Value)> =
             args.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-        engine.run_prepared(prepared, &arg_refs)
+        engine.run_with(prepared.query(), &arg_refs, profiled)
     };
     let elapsed = started.elapsed();
     shared.metrics.latency.record(elapsed);
 
     match outcome {
-        Ok(out) => {
+        Ok((out, profile)) => {
             shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.absorb_report(&out.report);
-            let payload = Json::Obj(vec![
+            let mut fields = vec![
                 ("ok".into(), Json::Bool(true)),
                 ("query".into(), Json::Str(prepared.name().to_string())),
                 ("plan_cache".into(), Json::Str(cache_tag(cache_hit).into())),
                 ("result".into(), result_json(&out)),
                 ("report".into(), report_json(&out.report)),
                 ("elapsed_us".into(), Json::Int(elapsed.as_micros().min(i64::MAX as u128) as i64)),
-            ]);
+            ];
+            if let Some(profile) = profile {
+                shared.metrics.absorb_profile(&profile);
+                // The core crate's profile JSON verbatim — the same tree
+                // gsql_shell --profile --json prints.
+                fields.push(("profile".into(), Json::Raw(profile.to_json())));
+            }
+            let payload = Json::Obj(fields);
             let mut body = String::new();
             write_json(&mut body, &payload);
             Response::json(200, body)
@@ -357,6 +458,8 @@ pub fn report_json(r: &ResourceReport) -> Json {
     Json::Obj(vec![
         ("rows_materialized".into(), Json::Int(r.rows_materialized as i64)),
         ("paths_enumerated".into(), Json::Int(r.paths_enumerated as i64)),
+        ("vertices_touched".into(), Json::Int(r.vertices_touched as i64)),
+        ("edges_scanned".into(), Json::Int(r.edges_scanned as i64)),
         ("peak_accum_bytes".into(), Json::Int(r.peak_accum_bytes as i64)),
         ("while_iterations".into(), Json::Int(r.while_iterations as i64)),
         ("elapsed_us".into(), Json::Int(r.elapsed.as_micros().min(i64::MAX as u128) as i64)),

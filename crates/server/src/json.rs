@@ -22,6 +22,11 @@ pub enum Json {
     Arr(Vec<Json>),
     /// Insertion-ordered (we never need key lookup beyond linear scan).
     Obj(Vec<(String, Json)>),
+    /// Pre-serialized JSON emitted verbatim by the writer. Write-only:
+    /// the parser never produces it. Used to embed documents that
+    /// already know how to serialize themselves (e.g. the core crate's
+    /// `Plan`/`Profile` JSON) without re-parsing them.
+    Raw(String),
 }
 
 impl Json {
@@ -111,6 +116,7 @@ pub fn write_json(out: &mut String, j: &Json) {
             }
             out.push('}');
         }
+        Json::Raw(s) => out.push_str(s),
     }
 }
 
@@ -472,6 +478,8 @@ pub fn json_to_arg(j: &Json) -> Result<Value, String> {
                 Ok(Value::List(values))
             }
         }
+        // Write-only; the request parser never yields this variant.
+        Json::Raw(_) => Err("raw JSON cannot be an argument".into()),
     }
 }
 

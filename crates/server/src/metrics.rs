@@ -9,8 +9,10 @@
 //! `rejected_body` (413).
 
 use crate::json::Json;
-use gsql_core::ResourceReport;
+use gsql_core::{Profile, ResourceReport};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Power-of-two microsecond buckets: bucket `i` counts latencies in
@@ -103,7 +105,19 @@ pub struct Metrics {
     rows_total: AtomicU64,
     paths_total: AtomicU64,
     while_total: AtomicU64,
+    vertices_total: AtomicU64,
+    edges_total: AtomicU64,
     peak_accum_bytes: AtomicU64,
+    /// Per-operator totals folded from every profiled run (`x-gsql-profile`
+    /// requests): operator name → (calls, exclusive self wall-time µs).
+    /// BTreeMap keeps `/metrics` output sorted and stable.
+    ops: Mutex<BTreeMap<&'static str, OpTotals>>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct OpTotals {
+    calls: u64,
+    self_wall_us: u64,
 }
 
 impl Metrics {
@@ -111,7 +125,23 @@ impl Metrics {
         self.rows_total.fetch_add(r.rows_materialized, Ordering::Relaxed);
         self.paths_total.fetch_add(r.paths_enumerated, Ordering::Relaxed);
         self.while_total.fetch_add(r.while_iterations, Ordering::Relaxed);
+        self.vertices_total.fetch_add(r.vertices_touched, Ordering::Relaxed);
+        self.edges_total.fetch_add(r.edges_scanned, Ordering::Relaxed);
         self.peak_accum_bytes.fetch_max(r.peak_accum_bytes, Ordering::Relaxed);
+    }
+
+    /// Folds one profiled run into the per-operator totals. Uses each
+    /// node's *exclusive* wall time (`self_wall`) so the totals sum to
+    /// roughly the query's wall clock instead of multiply counting
+    /// nested spans.
+    pub fn absorb_profile(&self, p: &Profile) {
+        let mut ops = self.ops.lock().unwrap();
+        p.root.visit(&mut |n| {
+            let t = ops.entry(n.op).or_default();
+            t.calls += n.calls;
+            t.self_wall_us +=
+                u64::try_from(n.self_wall().as_micros()).unwrap_or(u64::MAX);
+        });
     }
 
     /// JSON snapshot served by `GET /metrics`.
@@ -142,8 +172,29 @@ impl Metrics {
                     ("rows_materialized".into(), load(&self.rows_total)),
                     ("paths_enumerated".into(), load(&self.paths_total)),
                     ("while_iterations".into(), load(&self.while_total)),
+                    ("vertices_touched".into(), load(&self.vertices_total)),
+                    ("edges_scanned".into(), load(&self.edges_total)),
                     ("peak_accum_bytes".into(), load(&self.peak_accum_bytes)),
                 ]),
+            ),
+            (
+                "operators".into(),
+                Json::Obj(
+                    self.ops
+                        .lock()
+                        .unwrap()
+                        .iter()
+                        .map(|(op, t)| {
+                            (
+                                (*op).to_string(),
+                                Json::Obj(vec![
+                                    ("calls".into(), Json::Int(t.calls as i64)),
+                                    ("self_wall_us".into(), Json::Int(t.self_wall_us as i64)),
+                                ]),
+                            )
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }

@@ -317,3 +317,116 @@ fn metrics_reconcile_and_drain_is_graceful() {
         c.get("/healthz").is_err()
     });
 }
+
+#[test]
+fn explain_endpoint_matches_core_plan_and_shares_the_cache() {
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect(addr).unwrap();
+
+    // The plan the core crate computes locally for the same text.
+    let src = stdlib::qn("V", "E");
+    let q = gsql_core::parse_query(&src).unwrap();
+    let plan =
+        gsql_core::explain_plan(&q, gsql_core::PathSemantics::AllShortestPaths).unwrap();
+
+    let resp = c.post_json("/explain", &[], &qn_body("v4")).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+    let j = resp.json().unwrap();
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(j.get("query").and_then(Json::as_str), Some("Qn"));
+    // Byte-identical to `gsql_shell --explain` / Engine::explain.
+    assert_eq!(j.get("text").and_then(Json::as_str), Some(plan.render().as_str()));
+    // The embedded plan JSON round-trips through the server's parser and
+    // carries one op object per rendered line.
+    let plan_j = j.get("plan").expect("has plan");
+    let ops = {
+        fn count_ops(j: &Json) -> usize {
+            match j {
+                Json::Obj(fields) => fields
+                    .iter()
+                    .map(|(k, v)| usize::from(k == "op") + count_ops(v))
+                    .sum(),
+                Json::Arr(items) => items.iter().map(count_ops).sum(),
+                _ => 0,
+            }
+        }
+        count_ops(plan_j)
+    };
+    assert_eq!(ops, plan.render().lines().count());
+
+    // An EXPLAIN-prefixed /query returns the same plan text, and the
+    // stripped text shares the /explain cache entry (hit, not miss).
+    let mut body = String::new();
+    write_json(&mut body, &Json::Str(format!("EXPLAIN {src}")));
+    let resp2 = c.post_json("/query", &[], &format!(r#"{{"query":{body}}}"#)).unwrap();
+    assert_eq!(resp2.status, 200);
+    let j2 = resp2.json().unwrap();
+    assert_eq!(j2.get("text"), j.get("text"));
+    let m = c.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(m.get("plan_cache_misses").and_then(Json::as_i64), Some(1));
+    assert_eq!(m.get("plan_cache_hits").and_then(Json::as_i64), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn profile_header_adds_a_reconciling_profile_section() {
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect(addr).unwrap();
+
+    // Unprofiled and profiled runs of the same query: identical results.
+    let plain = c.post_json("/query", &[], &qn_body("v6")).unwrap();
+    assert_eq!(plain.status, 200);
+    let profiled =
+        c.post_json("/query", &[("x-gsql-profile", "1")], &qn_body("v6")).unwrap();
+    assert_eq!(profiled.status, 200);
+    assert_eq!(
+        result_bytes(&plain),
+        result_bytes(&profiled),
+        "profiling must not change results"
+    );
+    let pj = profiled.json().unwrap();
+    let profile = pj.get("profile").expect("profiled response has a profile section");
+    let report = pj.get("report").expect("has report");
+
+    // The profile root's counters reconcile with the ResourceReport.
+    let root = profile.get("root").expect("profile has root");
+    for key in ["vertices_touched", "edges_scanned"] {
+        assert_eq!(
+            root.get(key).and_then(Json::as_i64),
+            report.get(key).and_then(Json::as_i64),
+            "{key} must reconcile between profile root and report"
+        );
+    }
+    assert!(root.get("vertices_touched").and_then(Json::as_i64).unwrap() > 0);
+
+    // The plain response carries no profile section.
+    assert!(plain.json().unwrap().get("profile").is_none());
+
+    // A PROFILE-prefixed query text behaves like the header.
+    let src = stdlib::qn("V", "E");
+    let mut body = String::new();
+    write_json(&mut body, &Json::Str(format!("PROFILE {src}")));
+    let resp = c
+        .post_json(
+            "/query",
+            &[],
+            &format!(r#"{{"query":{body},"args":{{"srcName":"v0","tgtName":"v6"}}}}"#),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.json().unwrap().get("profile").is_some());
+
+    // /metrics folds per-operator totals from the profiled runs.
+    let m = c.get("/metrics").unwrap().json().unwrap();
+    let operators = m.get("operators").expect("metrics has operators");
+    let query_calls = operators
+        .get("query")
+        .and_then(|o| o.get("calls"))
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    assert_eq!(query_calls, 2, "two profiled runs fold into operator totals");
+    let resources = m.get("resources").expect("metrics has resources");
+    assert!(resources.get("vertices_touched").and_then(Json::as_i64).unwrap() > 0);
+    assert!(resources.get("edges_scanned").and_then(Json::as_i64).unwrap() > 0);
+    server.shutdown();
+}

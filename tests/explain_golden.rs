@@ -1,0 +1,95 @@
+//! Golden tests pinning the EXPLAIN output format documented in
+//! `docs/PLAN_FORMAT.md`. The rendered plan text is a stable public
+//! surface — shell, server and bench all print the same renderer's
+//! output — so any change to it must be deliberate and must update both
+//! the golden files under `tests/golden/` and the format document.
+//!
+//! To regenerate the golden files after an intentional format change:
+//!
+//! ```sh
+//! GSQL_BLESS=1 cargo test -p bench --test explain_golden
+//! ```
+
+use gsql_core::{explain_plan, parse_query, PathSemantics};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden").join(name)
+}
+
+/// Compares `actual` against the golden file, or rewrites the file when
+/// `GSQL_BLESS=1` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GSQL_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with GSQL_BLESS=1 to create it", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "EXPLAIN output for {name} diverged from the golden file; \
+         if the change is intentional, regenerate with GSQL_BLESS=1 and update docs/PLAN_FORMAT.md"
+    );
+}
+
+fn explain_text(src: &str, semantics: PathSemantics) -> String {
+    let q = parse_query(src).unwrap();
+    explain_plan(&q, semantics).unwrap().render()
+}
+
+#[test]
+fn qn_diamond_counting_plan() {
+    let src = gsql_core::stdlib::qn("V", "E");
+    assert_golden("qn_counting.txt", &explain_text(&src, PathSemantics::AllShortestPaths));
+}
+
+#[test]
+fn qn_diamond_enumerative_plan() {
+    // The same query under an enumerative semantics chooses the
+    // backward enumerative kernel and flags it EXPONENTIAL.
+    let src = gsql_core::stdlib::qn("V", "E");
+    assert_golden("qn_enumerate.txt", &explain_text(&src, PathSemantics::NonRepeatedVertex));
+}
+
+#[test]
+fn ic5_plan() {
+    let src = ldbc_snb::queries::ic5(2);
+    assert_golden("ic5.txt", &explain_text(&src, PathSemantics::AllShortestPaths));
+}
+
+#[test]
+fn pagerank_plan() {
+    let src = gsql_core::stdlib::pagerank("Page", "LinkTo");
+    assert_golden("pagerank.txt", &explain_text(&src, PathSemantics::AllShortestPaths));
+}
+
+#[test]
+fn plan_json_matches_tree() {
+    // The JSON rendering carries exactly the same nodes as the text
+    // rendering: one line of text per JSON "op" object.
+    let src = ldbc_snb::queries::ic5(2);
+    let q = parse_query(&src).unwrap();
+    let plan = explain_plan(&q, PathSemantics::AllShortestPaths).unwrap();
+    let text_lines = plan.render().lines().count();
+    let json = plan.to_json();
+    let json_ops = json.matches("\"op\":").count();
+    assert_eq!(text_lines, json_ops);
+}
+
+#[test]
+fn explain_prefix_parses_and_matches_engine_explain() {
+    // `EXPLAIN <query>` through the mode-aware parser yields the same
+    // plan as calling Engine::explain on the bare query.
+    let src = gsql_core::stdlib::qn("V", "E");
+    let (mode, q) = gsql_core::parse_query_with_mode(&format!("EXPLAIN {src}")).unwrap();
+    assert_eq!(mode, gsql_core::QueryMode::Explain);
+    let (g, _) = pgraph::generators::diamond_chain(4);
+    let engine = gsql_core::Engine::new(&g);
+    let via_engine = engine.explain(&q).unwrap().render();
+    let direct = explain_plan(&q, PathSemantics::AllShortestPaths).unwrap().render();
+    assert_eq!(via_engine, direct);
+}

@@ -1,0 +1,132 @@
+//! End-to-end checks for `PROFILE`: the per-operator counters must
+//! reconcile with the resource governor's `ResourceReport`, and turning
+//! profiling on must not change query results — at any parallelism.
+
+use gsql_core::{parse_query, stdlib, Engine, Profile, QueryOutput};
+use ldbc_snb::{generate, queries, SnbParams};
+use pgraph::generators::{diamond_chain, erdos_renyi};
+use pgraph::value::Value;
+
+fn run_both(
+    engine: &Engine,
+    src: &str,
+    args: &[(&str, Value)],
+) -> (QueryOutput, QueryOutput, Profile) {
+    let q = parse_query(src).unwrap();
+    let plain = engine.run(&q, args).unwrap();
+    let (profiled, profile) = engine.run_profiled(&q, args).unwrap();
+    (plain, profiled, profile)
+}
+
+/// Everything observable about a query's result except wall-clock time.
+fn assert_results_identical(plain: &QueryOutput, profiled: &QueryOutput, label: &str) {
+    assert_eq!(plain.tables, profiled.tables, "{label}: tables diverged");
+    assert_eq!(plain.prints, profiled.prints, "{label}: prints diverged");
+    assert_eq!(plain.returned, profiled.returned, "{label}: return diverged");
+    assert_eq!(plain.stats, profiled.stats, "{label}: MatchStats diverged");
+}
+
+#[test]
+fn profiling_does_not_change_results() {
+    let (g, _) = diamond_chain(30);
+    let src = stdlib::qn("V", "E");
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v30"))];
+    for threads in [1usize, 4] {
+        let engine = Engine::new(&g).with_parallelism(threads);
+        let (plain, profiled, _) = run_both(&engine, &src, &args);
+        assert_results_identical(&plain, &profiled, &format!("Qn threads={threads}"));
+    }
+}
+
+#[test]
+fn profiling_does_not_change_results_on_ldbc() {
+    let g = generate(SnbParams::new(0.05, 31));
+    let pt = g.schema().vertex_type_id("Person").unwrap();
+    let p = Value::Vertex(g.vertices_of_type(pt)[0]);
+    let src = queries::ic5(3);
+    let args = [("p", p), ("minDate", Value::DateTime(0))];
+    for threads in [1usize, 4] {
+        let engine = Engine::new(&g).with_parallelism(threads);
+        let (plain, profiled, _) = run_both(&engine, &src, &args);
+        assert_results_identical(&plain, &profiled, &format!("ic5 threads={threads}"));
+    }
+}
+
+#[test]
+fn profile_root_reconciles_with_resource_report() {
+    let g = erdos_renyi(400, 5.0 / 400.0, 11);
+    let src = r#"
+        CREATE QUERY Fanout () {
+          SumAccum<int> @hits;
+          SumAccum<int> @@total;
+          R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+          S = SELECT t FROM R:t WHERE t.@hits > 1 POST_ACCUM @@total += t.@hits;
+          PRINT @@total;
+        }
+    "#;
+    for threads in [1usize, 4] {
+        let engine = Engine::new(&g).with_parallelism(threads);
+        let q = parse_query(src).unwrap();
+        let (out, profile) = engine.run_profiled(&q, &[]).unwrap();
+        // The profile root aggregates the same MatchStats the run ends
+        // with, and those counters are mirrored into the governor, so
+        // the three views of "work done" must agree exactly.
+        assert_eq!(profile.root.vertices_touched, out.stats.vertices_touched);
+        assert_eq!(profile.root.edges_scanned, out.stats.edges_scanned);
+        assert_eq!(profile.root.vertices_touched, out.report.vertices_touched);
+        assert_eq!(profile.root.edges_scanned, out.report.edges_scanned);
+        assert_eq!(profile.root.kernel_calls, out.stats.kernel_calls);
+        assert_eq!(profile.root.paths_enumerated, out.report.paths_enumerated);
+        assert!(profile.root.vertices_touched > 0, "threads={threads}: no vertices counted");
+        assert!(profile.root.edges_scanned > 0, "threads={threads}: no edges counted");
+    }
+}
+
+#[test]
+fn while_loop_operators_fold_into_one_node() {
+    // PageRank runs its block tens of times inside WHILE; the profile
+    // must fold every iteration into a single per-operator node whose
+    // `calls` records the iteration count.
+    let g = pgraph::generators::barabasi_albert(200, 3, 17);
+    let src = stdlib::pagerank("V", "E");
+    let args = [
+        ("maxChange", Value::Double(1e-9)),
+        ("maxIteration", Value::Int(10)),
+        ("dampingFactor", Value::Double(0.85)),
+    ];
+    let engine = Engine::new(&g);
+    let q = parse_query(&src).unwrap();
+    let (out, profile) = engine.run_profiled(&q, &args).unwrap();
+    let mut while_nodes = 0u32;
+    let mut block_calls = 0u64;
+    profile.root.visit(&mut |n| {
+        if n.op == "while" {
+            while_nodes += 1;
+        }
+        if n.op == "block" {
+            block_calls += n.calls;
+        }
+    });
+    assert_eq!(while_nodes, 1, "WHILE iterations must share one node");
+    assert_eq!(
+        block_calls, out.report.while_iterations,
+        "block calls must equal governor while_iterations"
+    );
+}
+
+#[test]
+fn profile_renderings_are_well_formed() {
+    let (g, _) = diamond_chain(10);
+    let src = stdlib::qn("V", "E");
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v10"))];
+    let engine = Engine::new(&g);
+    let q = parse_query(&src).unwrap();
+    let (_, profile) = engine.run_profiled(&q, &args).unwrap();
+    let text = profile.render();
+    assert!(text.starts_with("PROFILE Qn ["), "header: {text}");
+    assert!(text.contains("calls 1"), "per-node counters: {text}");
+    let json = profile.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    // One JSON op object per rendered line (the header is the root).
+    assert_eq!(json.matches("\"op\":").count(), text.lines().count());
+}
