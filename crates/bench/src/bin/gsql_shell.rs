@@ -19,9 +19,14 @@
 //!   `vertex:<id>` for vertex arguments).
 //! * query file or `-` to read GSQL from stdin.
 //!
-//! The query text itself may also start with the keyword `EXPLAIN` or
-//! `PROFILE` (before `CREATE QUERY`), which behaves exactly like the
-//! corresponding flag — the same prefixes the HTTP server accepts.
+//! The query text itself may also start with the keyword `EXPLAIN`,
+//! `PROFILE` or `CHECK` (before `CREATE QUERY`), which behaves exactly
+//! like the corresponding flag — the same prefixes the HTTP server
+//! accepts. `CHECK` runs the static analyzer (`gsql_core::lint`, rule
+//! catalog in `docs/LINTS.md`) and prints the diagnostics instead of
+//! executing; the exit code is nonzero iff any diagnostic is
+//! `Error`-severity. `SET lint = on|strict` lints before every plain
+//! run instead, refusing to execute on errors (strict: also warnings).
 //!
 //! Resource limits: the query source may start with `SET` directives
 //! (before `CREATE QUERY`), which configure the engine's resource
@@ -53,8 +58,10 @@
 //! 1.2M paths enumerated, ...`.
 
 use bench::harness::parse_duration;
+use gsql_core::lint::{has_errors, render_error_snippet, render_json, render_text};
 use gsql_core::{
-    parse_query_with_mode, parser::parse_semantics, Budget, Engine, QueryMode, ReturnValue,
+    lint_query, parse_query_with_mode, parser::parse_semantics, Budget, Engine, QueryMode,
+    ReturnValue, Severity,
 };
 use pgraph::graph::{Graph, VertexId};
 use pgraph::value::Value;
@@ -64,7 +71,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: gsql_shell <graph.pg|:sales|:linkedin|:diamond30|:snb[=sf]> \
-         [--semantics <flavor>] [--explain] [--profile] [--json] \
+         [--semantics <flavor>] [--explain] [--profile] [--check] [--json] \
          [--arg k=v ...] (<query.gsql> | -)\n\
          run `gsql_shell --help` for the full option and SET-directive reference"
     );
@@ -87,15 +94,18 @@ fn help() -> ExitCode {
          \x20 --explain            print the logical plan instead of executing\n\
          \x20 --profile            execute with per-operator profiling; the profile\n\
          \x20                      tree prints to stderr after the results\n\
-         \x20 --json               render the plan/profile as JSON (see\n\
+         \x20 --check              run the static analyzer instead of executing;\n\
+         \x20                      diagnostics print to stdout, exit 1 on errors\n\
+         \x20                      (rule catalog in docs/LINTS.md)\n\
+         \x20 --json               render the plan/profile/diagnostics as JSON (see\n\
          \x20                      docs/PLAN_FORMAT.md for the schema)\n\
          \x20 --arg k=v            bind a query parameter (repeatable);\n\
          \x20                      int / float / true|false / string / vertex:<id>\n\
          \x20 -h, --help           this help\n\
          \n\
-         The query text may start with `EXPLAIN` or `PROFILE` (same effect as\n\
-         the flags), and/or with `SET` directives, one per line, before the\n\
-         CREATE QUERY:\n\
+         The query text may start with `EXPLAIN`, `PROFILE` or `CHECK` (same\n\
+         effect as the flags), and/or with `SET` directives, one per line,\n\
+         before the CREATE QUERY:\n\
          \n\
          \x20 SET timeout = <dur>        wall-clock budget (e.g. 5s, 250ms)\n\
          \x20 SET deadline_ms = <n>      same budget, in milliseconds\n\
@@ -106,6 +116,9 @@ fn help() -> ExitCode {
          \x20 SET parallelism = <n>      Map-phase worker threads (>= 1)\n\
          \x20 SET report = on|off        print the ResourceReport to stderr\n\
          \x20 SET profile = on|off       per-operator profiling (same as --profile)\n\
+         \x20 SET lint = on|strict|off   lint before running: `on` prints findings\n\
+         \x20                            to stderr and refuses to run on errors;\n\
+         \x20                            `strict` also refuses on warnings\n\
          \n\
          Results print to stdout; the report and profile print to stderr so\n\
          result output stays clean for pipelines."
@@ -160,6 +173,18 @@ struct ShellSettings {
     parallelism: Option<usize>,
     report: bool,
     profile: bool,
+    lint: LintMode,
+}
+
+/// `SET lint = on|strict|off` — whether to run the static analyzer
+/// before executing, and how severe a finding must be to refuse the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LintMode {
+    Off,
+    /// Print findings to stderr; refuse to run on `Error` diagnostics.
+    On,
+    /// Like `On`, but warnings refuse the run too.
+    Strict,
 }
 
 /// Strips leading `SET <key> = <value>` directives from the query source
@@ -170,6 +195,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
     let mut parallelism = None;
     let mut report = false;
     let mut profile = false;
+    let mut lint = LintMode::Off;
     let mut rest = Vec::new();
     let mut in_header = true;
     for line in source.lines() {
@@ -202,6 +228,18 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
                 }
                 "report" => report = switch(value)?,
                 "profile" => profile = switch(value)?,
+                "lint" => {
+                    lint = match value.to_ascii_lowercase().as_str() {
+                        "on" | "true" | "1" => LintMode::On,
+                        "strict" => LintMode::Strict,
+                        "off" | "false" | "0" => LintMode::Off,
+                        other => {
+                            return Err(format!(
+                                "SET lint expects on|strict|off, got `{other}`"
+                            ))
+                        }
+                    }
+                }
                 "row_limit" => budget.max_binding_rows = Some(int(value)?),
                 "path_budget" => budget.max_paths = Some(int(value)?),
                 "memory_limit" => budget.max_accum_bytes = Some(parse_bytes(value)?),
@@ -216,7 +254,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
                     return Err(format!(
                         "unknown SET key `{other}` (expected timeout, deadline_ms, \
                          row_limit, path_budget, memory_limit, iteration_limit, \
-                         parallelism, report, profile)"
+                         parallelism, report, profile, lint)"
                     ))
                 }
             }
@@ -225,7 +263,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
         in_header = false;
         rest.push(line);
     }
-    Ok((ShellSettings { budget, parallelism, report, profile }, rest.join("\n")))
+    Ok((ShellSettings { budget, parallelism, report, profile, lint }, rest.join("\n")))
 }
 
 fn load_graph(spec: &str) -> Result<Graph, String> {
@@ -257,6 +295,7 @@ fn main() -> ExitCode {
     let mut semantics = gsql_core::PathSemantics::AllShortestPaths;
     let mut do_explain = false;
     let mut do_profile = false;
+    let mut do_check = false;
     let mut json = false;
     let mut args: Vec<(String, Value)> = Vec::new();
 
@@ -273,6 +312,7 @@ fn main() -> ExitCode {
             }
             "--explain" => do_explain = true,
             "--profile" => do_profile = true,
+            "--check" => do_check = true,
             "--json" => json = true,
             "--arg" => {
                 let Some(kv) = it.next() else { return usage() };
@@ -326,15 +366,47 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    // An `EXPLAIN`/`PROFILE` keyword in the query text behaves exactly
-    // like the corresponding command-line flag.
+    // An `EXPLAIN`/`PROFILE`/`CHECK` keyword in the query text behaves
+    // exactly like the corresponding command-line flag.
     let (mode, query) = match parse_query_with_mode(&source) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("{e}");
+            // Positioned errors get the same caret snippet as lint
+            // diagnostics; position-less errors print as-is.
+            eprintln!("{}", render_error_snippet(&source, &e));
             return ExitCode::FAILURE;
         }
     };
+    let do_check = do_check || mode == QueryMode::Check;
+    if do_check {
+        let diags = lint_query(&query, semantics);
+        if json {
+            println!("{}", render_json(&diags));
+        } else if diags.is_empty() {
+            println!("check: clean (0 diagnostics)");
+        } else {
+            println!("{}", render_text(&diags, Some(&source)));
+        }
+        return if has_errors(&diags) { ExitCode::FAILURE } else { ExitCode::SUCCESS };
+    }
+    if settings.lint != LintMode::Off {
+        let diags = lint_query(&query, semantics);
+        if !diags.is_empty() {
+            // Findings go to stderr so result output stays pipeline-clean.
+            eprintln!("{}", render_text(&diags, Some(&source)));
+        }
+        let refuse = has_errors(&diags)
+            || (settings.lint == LintMode::Strict
+                && diags.iter().any(|d| d.severity >= Severity::Warn));
+        if refuse {
+            eprintln!(
+                "query refused by `SET lint = {}` (fix the findings above, or run \
+                 with CHECK to inspect without executing)",
+                if settings.lint == LintMode::Strict { "strict" } else { "on" }
+            );
+            return ExitCode::FAILURE;
+        }
+    }
     let do_explain = do_explain || mode == QueryMode::Explain;
     let do_profile =
         (do_profile || settings.profile || mode == QueryMode::Profile) && !do_explain;

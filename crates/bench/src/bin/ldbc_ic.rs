@@ -66,10 +66,12 @@ fn main() {
     let mut deadline = None;
     let mut parallelism: Option<usize> = None;
     let mut profile = false;
+    let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--profile" => profile = true,
+            "--check" => check = true,
             "--timeout" => {
                 let spec = it.next().unwrap_or_default();
                 deadline = Some(parse_duration(&spec).unwrap_or_else(|e| {
@@ -91,12 +93,39 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: ldbc_ic [--timeout <dur>] [--parallelism <k>] [--profile] \
-                     (got `{other}`)"
+                     [--check] (got `{other}`)"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if check {
+        // `--check`: lint every IC query at every hop radius under the
+        // TG counting semantics instead of running the experiment. All
+        // must be clean — a lint finding here means the benchmark's own
+        // query set regressed.
+        let mut exit = 0;
+        for name in QUERIES {
+            for hops in [2usize, 3, 4] {
+                let text = ic_text(name, hops);
+                let query = gsql_core::parse_query(&text).unwrap();
+                let diags = gsql_core::lint_query(&query, PathSemantics::AllShortestPaths);
+                if diags.is_empty() {
+                    println!("{name} (hops={hops}): clean");
+                } else {
+                    println!(
+                        "{name} (hops={hops}):\n{}",
+                        gsql_core::lint::render_text(&diags, Some(&text))
+                    );
+                    if gsql_core::lint::has_errors(&diags) {
+                        exit = 1;
+                    }
+                }
+            }
+        }
+        std::process::exit(exit);
+    }
+
     let mut budget = Budget::default().with_max_paths(path_budget);
     budget.deadline = deadline;
 

@@ -38,10 +38,12 @@ fn main() {
 
     let mut parallelism: Option<usize> = None;
     let mut profile = false;
+    let mut check = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--profile" => profile = true,
+            "--check" => check = true,
             "--timeout" => {
                 let spec = it.next().unwrap_or_default();
                 cap = parse_duration(&spec).unwrap_or_else(|e| {
@@ -72,7 +74,7 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: table1 [--timeout <dur>] [--max-n <n>] [--parallelism <k>] \
-                     [--profile] (got `{other}`)"
+                     [--profile] [--check] (got `{other}`)"
                 );
                 std::process::exit(2);
             }
@@ -85,6 +87,32 @@ fn main() {
             None => e,
         }
     };
+
+    if check {
+        // `--check`: lint the experiment's query under each timed
+        // strategy's semantics instead of running it. Q_n must be clean
+        // under counting; under the enumerative strategies the linter
+        // predicts exactly the exponential blowup Table 1 measures.
+        let src = stdlib::qn("V", "E");
+        let query = gsql_core::parse_query(&src).unwrap();
+        let mut exit = 0;
+        for (tag, sem) in [
+            ("TG(count)", PathSemantics::AllShortestPaths),
+            ("NRE(enum)", PathSemantics::NonRepeatedEdge),
+            ("ASP(enum)", PathSemantics::AllShortestPathsEnumerate),
+        ] {
+            let diags = gsql_core::lint_query(&query, sem);
+            if diags.is_empty() {
+                println!("{tag:>10} Qn: clean");
+            } else {
+                println!("{tag:>10} Qn:\n{}", gsql_core::lint::render_text(&diags, Some(&src)));
+                if gsql_core::lint::has_errors(&diags) {
+                    exit = 1;
+                }
+            }
+        }
+        std::process::exit(exit);
+    }
 
     let (g, _) = diamond_chain(30);
     println!(

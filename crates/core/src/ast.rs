@@ -3,6 +3,40 @@
 use accum::AccumType;
 use pgraph::value::ValueType;
 
+/// A source position (1-based line/column) attached to the AST nodes
+/// the linter anchors diagnostics to.
+///
+/// Spans compare **equal to every other span** so that AST equality in
+/// tests stays structural: two parses of semantically identical text
+/// are `==` even when whitespace shifts positions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Span {
+    /// 1-based source line (0 = unknown).
+    pub line: usize,
+    /// 1-based source column (0 = unknown).
+    pub col: usize,
+}
+
+impl Span {
+    /// Builds a span from a known position.
+    pub fn at(line: usize, col: usize) -> Span {
+        Span { line, col }
+    }
+
+    /// True when the span carries a real position.
+    pub fn is_known(&self) -> bool {
+        self.line > 0
+    }
+}
+
+impl PartialEq for Span {
+    fn eq(&self, _other: &Span) -> bool {
+        true
+    }
+}
+
+impl Eq for Span {}
+
 /// A parsed `CREATE QUERY`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {
@@ -60,6 +94,8 @@ pub enum Stmt {
         name: String,
         /// Right-hand side.
         source: VSetSource,
+        /// Source position of the assignment target.
+        span: Span,
     },
     /// A bare `SELECT` block used for its side effects / INTO tables.
     Select(Box<SelectBlock>),
@@ -85,6 +121,8 @@ pub enum Stmt {
         limit: Option<Expr>,
         /// Loop body.
         body: Vec<Stmt>,
+        /// Source position of the `WHILE` keyword.
+        span: Span,
     },
     /// `IF cond THEN ... [ELSE ...] END;`
     If {
@@ -119,6 +157,8 @@ pub struct AccumDecl {
     pub name: String,
     /// Optional declaration initializer.
     pub init: Option<Expr>,
+    /// Source position of the declarator.
+    pub span: Span,
 }
 
 /// Source of a vertex-set assignment.
@@ -173,6 +213,8 @@ pub struct SelectBlock {
     pub order_by: Vec<OrderItem>,
     /// Optional `LIMIT` row count.
     pub limit: Option<Expr>,
+    /// Source position of the `SELECT` keyword.
+    pub span: Span,
 }
 
 /// One output fragment of a (multi-output) SELECT clause.

@@ -125,6 +125,13 @@ impl<'g> Engine<'g> {
         self
     }
 
+    /// Runs the static analyzer ([`crate::lint`]) over a parsed query
+    /// under this engine's ambient path semantics and user-accumulator
+    /// registry, without executing anything.
+    pub fn check(&self, q: &crate::ast::Query) -> Vec<crate::lint::Diagnostic> {
+        crate::lint::lint_query_with(q, self.semantics, &self.registry)
+    }
+
     /// Mutable access to the user-defined accumulator registry.
     pub fn registry_mut(&mut self) -> &mut UserAccumRegistry {
         &mut self.registry
@@ -481,7 +488,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     }
                 }
             }
-            Stmt::VSetAssign { name, source } => match source {
+            Stmt::VSetAssign { name, source, .. } => match source {
                 VSetSource::Literal(entries) => {
                     let mut set = Vec::new();
                     for e in entries {
@@ -538,7 +545,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 }
                 self.guard.note_accum_bytes(self.accum_footprint())?;
             }
-            Stmt::While { cond, limit, body } => {
+            Stmt::While { cond, limit, body, .. } => {
                 let span = self.prof_enter("while", stmt as *const Stmt as usize, || {
                     format!(
                         "WHILE loop{}",

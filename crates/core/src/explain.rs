@@ -171,7 +171,7 @@ fn explain_stmts(
                 *block_no += 1;
                 out.push(explain_block(block, semantics, *block_no));
             }
-            Stmt::VSetAssign { name, source } => match source {
+            Stmt::VSetAssign { name, source, .. } => match source {
                 VSetSource::Select(block) => {
                     *block_no += 1;
                     out.push(PlanNode::new(

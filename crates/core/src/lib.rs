@@ -62,6 +62,7 @@ pub mod exec;
 pub mod explain;
 pub mod governor;
 pub mod lexer;
+pub mod lint;
 pub mod parser;
 pub mod prepared;
 pub mod profile;
@@ -74,6 +75,7 @@ pub use error::{Error, ErrorKind, ResourceError, Result};
 pub use exec::{Engine, QueryOutput, ReturnValue};
 pub use explain::{explain, explain_plan, Plan, PlanNode};
 pub use governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
+pub use lint::{lint_query, lint_query_with, Diagnostic, Severity};
 pub use parser::{parse_query, parse_query_with_mode, QueryMode};
 pub use prepared::PreparedQuery;
 pub use profile::{Profile, ProfileNode};

@@ -1,0 +1,187 @@
+//! The diagnostic data model and its two renderers (human text with
+//! caret snippets, and JSON for `POST /lint` / `--json`).
+
+use crate::ast::Span;
+use crate::explain::json_string;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// `Error` marks queries the engine should refuse to run (nondeterminism
+/// under snapshot Map/Reduce, tractability-class violations, references
+/// to undeclared accumulators); `Warn` marks likely mistakes that still
+/// execute deterministically; `Info` is advisory (cost estimates,
+/// no-effect syntax).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Advisory only.
+    Info,
+    /// Likely mistake; the query still runs deterministically.
+    Warn,
+    /// The query should be rejected (nondeterministic or intractable).
+    Error,
+}
+
+impl Severity {
+    /// Lowercase stable name (`"error"` / `"warn"` / `"info"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warn => "warn",
+            Severity::Info => "info",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the static analyzer.
+///
+/// `code` is a stable rule identifier (`A003`, `P001`, ... — catalog in
+/// `docs/LINTS.md`); clients may match on it. `span` is `0:0` when the
+/// finding has no single anchor point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable rule code (see `docs/LINTS.md`).
+    pub code: &'static str,
+    /// Severity class.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Source anchor (1-based line/col; `0:0` = whole query).
+    pub span: Span,
+    /// Optional machine-applicable replacement / fix hint.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// An `Error`-severity diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, severity: Severity::Error, message: message.into(), span, suggestion: None }
+    }
+
+    /// A `Warn`-severity diagnostic.
+    pub fn warn(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, severity: Severity::Warn, message: message.into(), span, suggestion: None }
+    }
+
+    /// An `Info`-severity diagnostic.
+    pub fn info(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic { code, severity: Severity::Info, message: message.into(), span, suggestion: None }
+    }
+
+    /// Attaches a fix suggestion.
+    pub fn with_suggestion(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+
+    /// Renders the diagnostic as human-readable text; when the query
+    /// source is supplied and the span is known, a caret snippet of the
+    /// offending line is included.
+    pub fn render(&self, src: Option<&str>) -> String {
+        let mut out = format!("{}[{}]: {}", self.severity, self.code, self.message);
+        if self.span.is_known() {
+            out.push_str(&format!("\n  --> {}:{}", self.span.line, self.span.col));
+            if let Some(src) = src {
+                if let Some(snip) = caret_snippet(src, self.span.line, self.span.col) {
+                    out.push('\n');
+                    out.push_str(&snip);
+                }
+            }
+        }
+        if let Some(s) = &self.suggestion {
+            out.push_str(&format!("\n  = help: {s}"));
+        }
+        out
+    }
+
+    /// Appends the diagnostic as one JSON object to `out`.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"code\":");
+        json_string(out, self.code);
+        out.push_str(",\"severity\":");
+        json_string(out, self.severity.as_str());
+        out.push_str(",\"message\":");
+        json_string(out, &self.message);
+        out.push_str(&format!(",\"line\":{},\"col\":{}", self.span.line, self.span.col));
+        if let Some(s) = &self.suggestion {
+            out.push_str(",\"suggestion\":");
+            json_string(out, s);
+        }
+        out.push('}');
+    }
+}
+
+/// Renders a full diagnostic list as one JSON document:
+/// `{"diagnostics": [...], "errors": N, "warnings": N, "infos": N}`.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("{\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        d.write_json(&mut out);
+    }
+    let count = |sev| diags.iter().filter(|d| d.severity == sev).count();
+    out.push_str(&format!(
+        "],\"errors\":{},\"warnings\":{},\"infos\":{}}}",
+        count(Severity::Error),
+        count(Severity::Warn),
+        count(Severity::Info)
+    ));
+    out
+}
+
+/// Renders every diagnostic as text (one block per finding, blank-line
+/// separated), with caret snippets when `src` is given.
+pub fn render_text(diags: &[Diagnostic], src: Option<&str>) -> String {
+    diags.iter().map(|d| d.render(src)).collect::<Vec<_>>().join("\n\n")
+}
+
+/// True if any diagnostic is `Error`-severity.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+/// A two-line caret snippet pointing at `line:col` (1-based) of `src`:
+///
+/// ```text
+///    4 |     ACCUM t.@cnt = 1
+///      |             ^
+/// ```
+///
+/// Returns `None` when the position lies outside the source.
+pub fn caret_snippet(src: &str, line: usize, col: usize) -> Option<String> {
+    if line == 0 {
+        return None;
+    }
+    let text = src.lines().nth(line - 1)?;
+    // Tabs would desynchronize the caret column; render them as single
+    // spaces so the offset arithmetic stays truthful.
+    let text: String = text.chars().map(|c| if c == '\t' { ' ' } else { c }).collect();
+    let num = line.to_string();
+    let pad = " ".repeat(num.len());
+    let caret_at = col.saturating_sub(1).min(text.chars().count());
+    Some(format!(
+        "  {num} | {text}\n  {pad} | {}^",
+        " ".repeat(caret_at)
+    ))
+}
+
+/// Renders an [`crate::Error`] with a caret snippet when it carries a
+/// source position (parse errors do) — the same visual language as
+/// [`Diagnostic::render`], shared by the shell and the bench bins.
+pub fn render_error_snippet(src: &str, err: &crate::error::Error) -> String {
+    match err {
+        crate::error::Error::Parse { line, col, .. } => match caret_snippet(src, *line, *col) {
+            Some(snip) => format!("{err}\n{snip}"),
+            None => err.to_string(),
+        },
+        other => other.to_string(),
+    }
+}

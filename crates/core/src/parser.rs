@@ -29,6 +29,8 @@ pub enum QueryMode {
     Explain,
     /// `PROFILE CREATE QUERY ...` — run the query with per-operator profiling.
     Profile,
+    /// `CHECK CREATE QUERY ...` — lint the query without running it.
+    Check,
 }
 
 /// Parses a `CREATE QUERY` definition that may carry an optional leading
@@ -40,7 +42,7 @@ pub enum QueryMode {
 pub fn parse_query_with_mode(src: &str) -> Result<(QueryMode, Query)> {
     let toks = lex(src)?;
     let mut p = Parser { toks, pos: 0, typedefs: HashMap::new() };
-    // EXPLAIN/PROFILE are deliberately NOT reserved words — `INTO
+    // EXPLAIN/PROFILE/CHECK are deliberately NOT reserved words — `INTO
     // Profile` must keep working — so the prefix is a leading
     // identifier, recognized case-insensitively only in this position.
     let mode = match p.peek() {
@@ -51,6 +53,10 @@ pub fn parse_query_with_mode(src: &str) -> Result<(QueryMode, Query)> {
         Tok::Ident(s) if s.eq_ignore_ascii_case("profile") => {
             p.pos += 1;
             QueryMode::Profile
+        }
+        Tok::Ident(s) if s.eq_ignore_ascii_case("check") => {
+            p.pos += 1;
+            QueryMode::Check
         }
         _ => QueryMode::Run,
     };
@@ -95,6 +101,18 @@ impl Parser {
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
         let st = &self.toks[self.pos];
         Err(Error::Parse { line: st.line, col: st.col, msg: msg.into() })
+    }
+
+    /// Position of the token about to be consumed.
+    fn span(&self) -> Span {
+        let st = &self.toks[self.pos];
+        Span::at(st.line, st.col)
+    }
+
+    /// A parse error anchored at `sp` rather than the current token —
+    /// used when the offending token has already been consumed.
+    fn err_at<T>(sp: Span, msg: impl Into<String>) -> Result<T> {
+        Err(Error::Parse { line: sp.line, col: sp.col, msg: msg.into() })
     }
 
     fn expect(&mut self, tok: Tok) -> Result<()> {
@@ -247,18 +265,26 @@ impl Parser {
             Tok::Kw("USE") => {
                 self.bump();
                 self.expect_kw("SEMANTICS")?;
+                let sp = self.span();
                 let name = match self.bump() {
                     Tok::Str(s) => s,
                     other => {
-                        return self.err(format!("expected semantics name string, found `{other}`"))
+                        return Self::err_at(
+                            sp,
+                            format!("expected semantics name string, found `{other}`"),
+                        )
                     }
                 };
-                let sem = parse_semantics(&name)
-                    .ok_or_else(|| Error::compile(format!(
-                        "unknown semantics `{name}`; expected one of all_shortest_paths, \
-                         all_shortest_paths_enumerate, non_repeated_edge, non_repeated_vertex, \
-                         shortest_one"
-                    )))?;
+                let sem = match parse_semantics(&name) {
+                    Some(sem) => sem,
+                    None => {
+                        return Self::err_at(sp, format!(
+                            "unknown semantics `{name}`; expected one of all_shortest_paths, \
+                             all_shortest_paths_enumerate, non_repeated_edge, \
+                             non_repeated_vertex, shortest_one"
+                        ))
+                    }
+                };
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::UseSemantics(sem))
             }
@@ -292,6 +318,7 @@ impl Parser {
             Tok::Ident(_) | Tok::Kw(_) => {
                 // `Name = SELECT ...` / `Name = {...}` vertex-set assignment.
                 if *self.peek2() == Tok::Eq {
+                    let span = self.span();
                     let name = self.ident()?;
                     self.expect(Tok::Eq)?;
                     let source = match self.peek() {
@@ -316,7 +343,7 @@ impl Parser {
                         _ => return self.err("expected SELECT, `{...}` or a set expression after `=`"),
                     };
                     self.expect(Tok::Semi)?;
-                    Ok(Stmt::VSetAssign { name, source })
+                    Ok(Stmt::VSetAssign { name, source, span })
                 } else {
                     self.err(format!("unexpected token `{}` at statement start", self.peek()))
                 }
@@ -363,15 +390,19 @@ impl Parser {
         let ty = self.accum_type()?;
         let mut decls = Vec::new();
         loop {
+            let span = self.span();
             let (global, name) = match self.bump() {
                 Tok::VAcc(n) => (false, n),
                 Tok::GAcc(n) => (true, n),
                 other => {
-                    return self.err(format!("expected `@name` or `@@name`, found `{other}`"))
+                    return Self::err_at(
+                        span,
+                        format!("expected `@name` or `@@name`, found `{other}`"),
+                    )
                 }
             };
             let init = if self.eat(Tok::Eq) { Some(self.expr()?) } else { None };
-            decls.push(AccumDecl { global, name, init });
+            decls.push(AccumDecl { global, name, init, span });
             if !self.eat(Tok::Comma) {
                 break;
             }
@@ -441,11 +472,18 @@ impl Parser {
             "HeapAccum" => {
                 // HeapAccum<TupleName>(capacity, field dir, ...)
                 self.expect(Tok::Lt)?;
+                let tup_sp = self.span();
                 let tup = self.ident()?;
                 self.expect(Tok::Gt)?;
-                let fields_decl = self.typedefs.get(&tup).cloned().ok_or_else(|| {
-                    Error::compile(format!("unknown tuple type `{tup}` in HeapAccum"))
-                })?;
+                let fields_decl = match self.typedefs.get(&tup).cloned() {
+                    Some(f) => f,
+                    None => {
+                        return Self::err_at(
+                            tup_sp,
+                            format!("unknown tuple type `{tup}` in HeapAccum"),
+                        )
+                    }
+                };
                 self.expect(Tok::LParen)?;
                 let capacity = match self.bump() {
                     Tok::Int(n) if n >= 0 => n as usize,
@@ -453,13 +491,17 @@ impl Parser {
                 };
                 let mut fields = Vec::new();
                 while self.eat(Tok::Comma) {
+                    let fname_sp = self.span();
                     let fname = self.ident()?;
-                    let index = fields_decl
-                        .iter()
-                        .position(|(n, _)| *n == fname)
-                        .ok_or_else(|| {
-                            Error::compile(format!("tuple `{tup}` has no field `{fname}`"))
-                        })?;
+                    let index = match fields_decl.iter().position(|(n, _)| *n == fname) {
+                        Some(i) => i,
+                        None => {
+                            return Self::err_at(
+                                fname_sp,
+                                format!("tuple `{tup}` has no field `{fname}`"),
+                            )
+                        }
+                    };
                     let dir = if self.eat_kw("DESC") {
                         SortDir::Desc
                     } else {
@@ -510,13 +552,15 @@ impl Parser {
     }
 
     fn scalar_type(&mut self) -> Result<ValueType> {
+        let sp = self.span();
         match self.bump() {
-            Tok::Kw(k) => {
-                ValueType::parse(k).ok_or_else(|| Error::compile(format!("not a scalar type: {k}")))
-            }
+            Tok::Kw(k) => ValueType::parse(k)
+                .ok_or(())
+                .or_else(|()| Self::err_at(sp, format!("not a scalar type: {k}"))),
             Tok::Ident(s) => ValueType::parse(&s)
-                .ok_or_else(|| Error::compile(format!("not a scalar type: {s}"))),
-            other => Err(Error::compile(format!("expected type, found `{other}`"))),
+                .ok_or(())
+                .or_else(|()| Self::err_at(sp, format!("not a scalar type: {s}"))),
+            other => Self::err_at(sp, format!("expected type, found `{other}`")),
         }
     }
 
@@ -553,6 +597,7 @@ impl Parser {
     }
 
     fn while_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
         self.expect_kw("WHILE")?;
         let cond = self.expr()?;
         let limit = if self.eat_kw("LIMIT") { Some(self.expr()?) } else { None };
@@ -560,7 +605,7 @@ impl Parser {
         let body = self.block_stmts()?;
         self.expect_kw("END")?;
         self.eat(Tok::Semi);
-        Ok(Stmt::While { cond, limit, body })
+        Ok(Stmt::While { cond, limit, body, span })
     }
 
     fn if_stmt(&mut self) -> Result<Stmt> {
@@ -630,6 +675,7 @@ impl Parser {
     // ---- SELECT blocks -------------------------------------------------
 
     fn select_block(&mut self) -> Result<SelectBlock> {
+        let span = self.span();
         self.expect_kw("SELECT")?;
         let mut outputs = vec![self.output_fragment()?];
         while *self.peek() == Tok::Semi && *self.peek2() != Tok::Kw("FROM") {
@@ -682,6 +728,7 @@ impl Parser {
             having,
             order_by,
             limit,
+            span,
         })
     }
 
@@ -1267,7 +1314,7 @@ mod tests {
             Stmt::While { limit: Some(_), body, .. } => {
                 assert_eq!(body.len(), 2);
                 match &body[1] {
-                    Stmt::VSetAssign { name, source: VSetSource::Select(b) } => {
+                    Stmt::VSetAssign { name, source: VSetSource::Select(b), .. } => {
                         assert_eq!(name, "S");
                         assert_eq!(b.accum.len(), 1);
                         assert_eq!(b.post_accum.len(), 3);

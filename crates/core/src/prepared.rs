@@ -118,6 +118,17 @@ impl PreparedQuery {
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
     }
+
+    /// Runs the static analyzer ([`crate::lint`]) over the prepared AST
+    /// under the given ambient path semantics. Servers call this at
+    /// prepare time to reject `Error`-severity queries before any
+    /// execution budget is spent.
+    pub fn diagnostics(
+        &self,
+        semantics: crate::PathSemantics,
+    ) -> Vec<crate::lint::Diagnostic> {
+        crate::lint::lint_query(&self.query, semantics)
+    }
 }
 
 #[cfg(test)]

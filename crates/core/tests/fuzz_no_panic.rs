@@ -30,6 +30,12 @@ fn pipeline_panics(source: &str) -> Option<String> {
         .with_max_accum_bytes(1 << 24)
         .with_max_while_iters(10_000);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
+        // The static analyzer shares the no-panic contract with the
+        // pipeline: any parser-accepted input must lint without
+        // unwinding (the shell and server lint before every run).
+        if let Ok(q) = gsql_core::parse_query(source) {
+            let _ = gsql_core::lint_query(&q, gsql_core::PathSemantics::AllShortestPaths);
+        }
         // Engine::run_text covers lex + parse + execute; its own
         // top-level catch_unwind converts executor panics into
         // WorkerPanic errors, which is exactly the no-panic contract.

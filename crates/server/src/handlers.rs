@@ -32,11 +32,12 @@ pub fn handle(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> R
         ("GET", "/metrics") => metrics(shared),
         ("POST", "/query") => query(shared, req, stream),
         ("POST", "/explain") => explain(shared, req),
+        ("POST", "/lint") => lint(shared, req),
         ("POST", "/prepare") => prepare(shared, req),
         ("POST", p) if p.starts_with("/execute/") => {
             execute(shared, req, stream, &p["/execute/".len()..])
         }
-        (_, "/query" | "/explain" | "/prepare") => {
+        (_, "/query" | "/explain" | "/lint" | "/prepare") => {
             error_response(405, "method-not-allowed", "use POST", None)
         }
         (_, "/healthz" | "/metrics") => error_response(405, "method-not-allowed", "use GET", None),
@@ -78,6 +79,7 @@ enum TextMode {
     Run,
     Explain,
     Profile,
+    Check,
 }
 
 /// Splits an optional leading `EXPLAIN`/`PROFILE` word off the query
@@ -95,6 +97,8 @@ fn strip_mode_prefix(src: &str) -> (TextMode, &str) {
         (TextMode::Explain, trimmed[word_len..].trim_start())
     } else if word.eq_ignore_ascii_case("profile") {
         (TextMode::Profile, trimmed[word_len..].trim_start())
+    } else if word.eq_ignore_ascii_case("check") {
+        (TextMode::Check, trimmed[word_len..].trim_start())
     } else {
         (TextMode::Run, trimmed)
     }
@@ -136,6 +140,9 @@ fn query(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Respon
     count_cache(shared, cached.hit);
     if mode == TextMode::Explain {
         return explain_response(shared, &cached.prepared, cached.hit);
+    }
+    if mode == TextMode::Check {
+        return lint_response(shared, &cached.prepared, cached.hit);
     }
     let profiled = mode == TextMode::Profile || profile_requested(req);
     run_query(shared, req, stream, &cached.prepared, &args, cached.hit, profiled)
@@ -185,6 +192,93 @@ fn explain_response(shared: &Shared, prepared: &Arc<PreparedQuery>, cache_hit: b
     Response::json(200, body)
 }
 
+/// `POST /lint` — run the static analyzer without executing. Accepts the
+/// same body as `/query` (a leading `EXPLAIN`/`PROFILE`/`CHECK` word in
+/// the text is ignored) and shares its plan cache, so a query linted
+/// here and then run via `/query` parses exactly once.
+fn lint(shared: &Shared, req: &Request) -> Response {
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return *resp,
+    };
+    let Some(src) = body.get("query").and_then(Json::as_str) else {
+        return error_response(400, "bad-request", "body must contain a string `query` field", None);
+    };
+    let (_, src) = strip_mode_prefix(src);
+    let cached = match shared.plans.get_or_parse(src) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return query_error(shared, &e, false);
+        }
+    };
+    count_cache(shared, cached.hit);
+    lint_response(shared, &cached.prepared, cached.hit)
+}
+
+/// Renders the diagnostics envelope shared by `/lint` and
+/// `CHECK`-prefixed `/query` texts: the core crate's diagnostic JSON
+/// embedded verbatim under `"lint"` (the same object
+/// `gsql_shell --check --json` prints), plus the text rendering.
+fn lint_response(shared: &Shared, prepared: &Arc<PreparedQuery>, cache_hit: bool) -> Response {
+    shared.metrics.lint_checks.fetch_add(1, Ordering::Relaxed);
+    let diags = prepared.diagnostics(shared.cfg.semantics);
+    let payload = Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("query".into(), Json::Str(prepared.name().to_string())),
+        ("plan_cache".into(), Json::Str(cache_tag(cache_hit).into())),
+        ("lint".into(), Json::Raw(gsql_core::lint::render_json(&diags))),
+        ("text".into(), Json::Str(gsql_core::lint::render_text(&diags, Some(prepared.source())))),
+    ]);
+    let mut body = String::new();
+    write_json(&mut body, &payload);
+    Response::json(200, body)
+}
+
+/// The lint-on-prepare gate: a statement with `Error`-severity
+/// diagnostics is refused with 422 before it can be pinned — a client
+/// that prepares once and executes thousands of times should hear about
+/// an order-dependent accumulator or an exponential pattern at prepare
+/// time, not per request. `x-gsql-lint: strict` also refuses warnings;
+/// `x-gsql-lint: off` skips the gate entirely.
+fn lint_gate(shared: &Shared, req: &Request, prepared: &Arc<PreparedQuery>) -> Option<Response> {
+    let lint_header = req.header("x-gsql-lint").map(str::trim).unwrap_or("on");
+    if lint_header.eq_ignore_ascii_case("off") {
+        return None;
+    }
+    shared.metrics.lint_checks.fetch_add(1, Ordering::Relaxed);
+    let diags = prepared.diagnostics(shared.cfg.semantics);
+    let strict = lint_header.eq_ignore_ascii_case("strict");
+    let refuse = gsql_core::lint::has_errors(&diags)
+        || (strict && diags.iter().any(|d| d.severity >= gsql_core::Severity::Warn));
+    if !refuse {
+        return None;
+    }
+    shared.metrics.lint_rejected.fetch_add(1, Ordering::Relaxed);
+    let errors = diags.iter().filter(|d| d.severity == gsql_core::Severity::Error).count();
+    let payload = Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str("lint".into())),
+                (
+                    "message".into(),
+                    Json::Str(format!(
+                        "query refused by static analysis ({errors} error(s){}); see \
+                         `lint.diagnostics`, or re-send with `x-gsql-lint: off` to bypass",
+                        if strict { ", strict mode" } else { "" }
+                    )),
+                ),
+            ]),
+        ),
+        ("lint".into(), Json::Raw(gsql_core::lint::render_json(&diags))),
+    ]);
+    let mut body = String::new();
+    write_json(&mut body, &payload);
+    Some(Response::json(422, body))
+}
+
 /// `POST /prepare` — parse, pin, hand back a statement id.
 fn prepare(shared: &Shared, req: &Request) -> Response {
     let body = match parse_body(req) {
@@ -194,9 +288,22 @@ fn prepare(shared: &Shared, req: &Request) -> Response {
     let Some(src) = body.get("query").and_then(Json::as_str) else {
         return error_response(400, "bad-request", "body must contain a string `query` field", None);
     };
+    // Parse without pinning first so a lint-refused statement never
+    // becomes executable via `/execute/{id}`.
+    match shared.plans.get_or_parse(src) {
+        Ok(parsed) => {
+            count_cache(shared, parsed.hit);
+            if let Some(resp) = lint_gate(shared, req, &parsed.prepared) {
+                return resp;
+            }
+        }
+        Err(e) => {
+            shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return query_error(shared, &e, false);
+        }
+    }
     match shared.plans.prepare(src) {
         Ok((id, cached)) => {
-            count_cache(shared, cached.hit);
             let out = Json::Obj(vec![
                 ("ok".into(), Json::Bool(true)),
                 ("id".into(), Json::Str(id)),

@@ -98,6 +98,12 @@ pub struct Metrics {
     /// Plan-cache hits / misses across /query, /prepare and /execute.
     pub plan_hits: AtomicU64,
     pub plan_misses: AtomicU64,
+    /// Static-analyzer runs (`POST /lint`, `CHECK`-prefixed query texts,
+    /// and the lint-on-prepare gate).
+    pub lint_checks: AtomicU64,
+    /// Prepares refused with 422 by the lint gate (`Error`-severity
+    /// diagnostics, or warnings under `x-gsql-lint: strict`).
+    pub lint_rejected: AtomicU64,
     /// End-to-end query latency (admission to response serialization).
     pub latency: Histogram,
     // Aggregated ResourceReport totals over all executed queries
@@ -157,6 +163,13 @@ impl Metrics {
             ("cancelled".into(), load(&self.cancelled)),
             ("plan_cache_hits".into(), load(&self.plan_hits)),
             ("plan_cache_misses".into(), load(&self.plan_misses)),
+            (
+                "lint".into(),
+                Json::Obj(vec![
+                    ("checks".into(), load(&self.lint_checks)),
+                    ("rejected".into(), load(&self.lint_rejected)),
+                ]),
+            ),
             (
                 "latency".into(),
                 Json::Obj(vec![

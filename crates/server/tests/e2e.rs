@@ -369,6 +369,100 @@ fn explain_endpoint_matches_core_plan_and_shares_the_cache() {
 }
 
 #[test]
+fn lint_endpoint_and_prepare_gate() {
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect(addr).unwrap();
+
+    // A clean query lints clean via POST /lint and shares the plan cache.
+    let resp = c.post_json("/lint", &[], &qn_body("v4")).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+    let j = resp.json().unwrap();
+    assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(j.get("query").and_then(Json::as_str), Some("Qn"));
+    let lint = j.get("lint").expect("has lint section");
+    assert_eq!(lint.get("errors").and_then(Json::as_i64), Some(0));
+    assert_eq!(lint.get("warnings").and_then(Json::as_i64), Some(0));
+
+    // The same text via /query is a cache hit: /lint parsed it already.
+    let resp = c.post_json("/query", &[], &qn_body("v4")).unwrap();
+    assert_eq!(resp.status, 200);
+    let m = c.get("/metrics").unwrap().json().unwrap();
+    assert_eq!(m.get("plan_cache_misses").and_then(Json::as_i64), Some(1));
+    assert_eq!(m.get("plan_cache_hits").and_then(Json::as_i64), Some(1));
+
+    // A multi-binding `=` write in ACCUM: A003 (Error) via /lint...
+    let bad = "CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@cnt = 1;
+  PRINT S[S.@cnt];
+}";
+    let mut q = String::new();
+    write_json(&mut q, &Json::Str(bad.to_string()));
+    let resp = c.post_json("/lint", &[], &format!(r#"{{"query":{q}}}"#)).unwrap();
+    assert_eq!(resp.status, 200);
+    let j = resp.json().unwrap();
+    let lint = j.get("lint").expect("has lint section");
+    assert_eq!(lint.get("errors").and_then(Json::as_i64), Some(1));
+    let code = lint
+        .get("diagnostics")
+        .and_then(|d| match d {
+            Json::Arr(items) => items.first(),
+            _ => None,
+        })
+        .and_then(|d| d.get("code"))
+        .and_then(Json::as_str);
+    assert_eq!(code, Some("A003"));
+
+    // ...the same via a CHECK-prefixed /query text...
+    let mut qc = String::new();
+    write_json(&mut qc, &Json::Str(format!("CHECK {bad}")));
+    let resp = c.post_json("/query", &[], &format!(r#"{{"query":{qc}}}"#)).unwrap();
+    assert_eq!(resp.status, 200, "CHECK reports, it does not fail the request");
+    let j = resp.json().unwrap();
+    assert_eq!(
+        j.get("lint").and_then(|l| l.get("errors")).and_then(Json::as_i64),
+        Some(1)
+    );
+
+    // ...and /prepare refuses it with 422 so the broken statement is
+    // never pinned for /execute.
+    let resp = c.post_json("/prepare", &[], &format!(r#"{{"query":{q}}}"#)).unwrap();
+    assert_eq!(resp.status, 422, "body: {}", String::from_utf8_lossy(&resp.body));
+    let j = resp.json().unwrap();
+    assert_eq!(
+        j.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("lint")
+    );
+    assert!(j.get("lint").is_some(), "422 carries the diagnostics");
+
+    // `x-gsql-lint: off` bypasses the gate (power users own the risk).
+    let resp =
+        c.post_json("/prepare", &[("x-gsql-lint", "off")], &format!(r#"{{"query":{q}}}"#)).unwrap();
+    assert_eq!(resp.status, 200);
+
+    // A warning-only query prepares by default but is refused under
+    // `x-gsql-lint: strict` (A001: result discarded).
+    let warn_q = "CREATE QUERY q2 () {
+  SumAccum<int> @@n;
+  S = SELECT v FROM V:v ACCUM @@n += 1;
+}";
+    let mut qw = String::new();
+    write_json(&mut qw, &Json::Str(warn_q.to_string()));
+    let resp = c.post_json("/prepare", &[], &format!(r#"{{"query":{qw}}}"#)).unwrap();
+    assert_eq!(resp.status, 200, "warnings alone do not refuse a prepare");
+    let resp = c
+        .post_json("/prepare", &[("x-gsql-lint", "strict")], &format!(r#"{{"query":{qw}}}"#))
+        .unwrap();
+    assert_eq!(resp.status, 422, "strict mode refuses warnings");
+
+    let m = c.get("/metrics").unwrap().json().unwrap();
+    let lint_m = m.get("lint").expect("metrics has lint section");
+    assert_eq!(lint_m.get("rejected").and_then(Json::as_i64), Some(2));
+    assert!(lint_m.get("checks").and_then(Json::as_i64).unwrap() >= 4);
+    server.shutdown();
+}
+
+#[test]
 fn profile_header_adds_a_reconciling_profile_section() {
     let (server, addr) = start(|_| {});
     let mut c = Client::connect(addr).unwrap();

@@ -525,11 +525,12 @@ fn use_semantics_pragma_switches_per_query() {
     assert_eq!(count_under("non_repeated_edge"), "R: 4");
     assert_eq!(count_under("all_shortest_paths"), "R: 2");
     assert_eq!(count_under("shortest_one"), "R: 1");
-    // Unknown names are compile errors.
+    // Unknown names are rejected at parse time, with a position.
     let err = Engine::new(&g)
         .run_text("CREATE QUERY G () { USE SEMANTICS 'bogus'; }", &[])
         .unwrap_err();
-    assert!(matches!(err, Error::Compile(_)), "{err}");
+    assert!(matches!(err, Error::Parse { .. }), "{err}");
+    assert!(err.to_string().contains("unknown semantics `bogus`"), "{err}");
 }
 
 #[test]

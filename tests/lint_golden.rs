@@ -1,0 +1,581 @@
+//! Golden tests pinning the `gsql check` diagnostic output, one positive
+//! trigger and one clean near-miss per rule code (catalog in
+//! `docs/LINTS.md`), plus the paper's running examples which must stay
+//! diagnostic-free.
+//!
+//! To regenerate after an intentional message change:
+//!
+//! ```sh
+//! GSQL_BLESS=1 cargo test -p bench --test lint_golden
+//! ```
+
+use gsql_core::lint::{render_json, render_text};
+use gsql_core::{lint_query, parse_query, PathSemantics, Severity};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden").join(name)
+}
+
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GSQL_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with GSQL_BLESS=1 to create it", path.display())
+    });
+    assert_eq!(
+        actual, expected,
+        "lint output for {name} diverged from the golden file; if the change is \
+         intentional, regenerate with GSQL_BLESS=1 and update docs/LINTS.md"
+    );
+}
+
+fn lint_text(src: &str, semantics: PathSemantics) -> String {
+    let q = parse_query(src).unwrap();
+    let diags = lint_query(&q, semantics);
+    if diags.is_empty() {
+        "clean\n".to_string()
+    } else {
+        render_text(&diags, Some(src)) + "\n"
+    }
+}
+
+/// Asserts `src` triggers `code` (under counting semantics unless noted)
+/// and pins the full rendered output.
+fn positive(name: &str, code: &str, src: &str, semantics: PathSemantics) {
+    let q = parse_query(src).unwrap();
+    let diags = lint_query(&q, semantics);
+    assert!(
+        diags.iter().any(|d| d.code == code),
+        "{name}: expected rule {code} to fire, got: {:?}",
+        diags.iter().map(|d| d.code).collect::<Vec<_>>()
+    );
+    assert_golden(&format!("lint_{name}.txt"), &lint_text(src, semantics));
+}
+
+/// Asserts the near-miss variant produces no diagnostic with `code`.
+fn near_miss(name: &str, code: &str, src: &str, semantics: PathSemantics) {
+    let q = parse_query(src).unwrap();
+    let diags = lint_query(&q, semantics);
+    assert!(
+        !diags.iter().any(|d| d.code == code),
+        "{name}: near-miss unexpectedly triggered {code}: {}",
+        render_text(&diags, Some(src))
+    );
+}
+
+const COUNTING: PathSemantics = PathSemantics::AllShortestPaths;
+
+// ---- A001 written-never-read -------------------------------------------
+
+#[test]
+fn a001_unread_accumulator() {
+    positive(
+        "a001",
+        "A001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@cnt;
+  S = SELECT p FROM Page:p ACCUM @@cnt += 1;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "a001",
+        "A001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@cnt;
+  S = SELECT p FROM Page:p ACCUM @@cnt += 1;
+  PRINT @@cnt;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- A002 read-never-written -------------------------------------------
+
+#[test]
+fn a002_unwritten_accumulator() {
+    positive(
+        "a002",
+        "A002",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@cnt;
+  PRINT @@cnt;
+}"#,
+        COUNTING,
+    );
+    // An initializer makes the read meaningful.
+    near_miss(
+        "a002",
+        "A002",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@cnt = 42;
+  PRINT @@cnt;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- A003 multi-binding `=` write in ACCUM ------------------------------
+
+#[test]
+fn a003_assignment_race() {
+    positive(
+        "a003",
+        "A003",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  S = SELECT t FROM Page:s -(Link>)- Page:t ACCUM t.@cnt = 1;
+  PRINT S[S.@cnt];
+}"#,
+        COUNTING,
+    );
+    // A hopless scan binds each vertex exactly once: `=` is deterministic.
+    near_miss(
+        "a003",
+        "A003",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  S = SELECT p FROM Page:p ACCUM p.@cnt = 1;
+  PRINT S[S.@cnt];
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- A004 global assignment in ACCUM ------------------------------------
+
+#[test]
+fn a004_global_assign_race() {
+    positive(
+        "a004",
+        "A004",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@last;
+  S = SELECT p FROM Page:p ACCUM @@last = 7;
+  PRINT @@last;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "a004",
+        "A004",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@last;
+  S = SELECT p FROM Page:p ACCUM @@last += 7;
+  PRINT @@last;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- A005 no-effect snapshot read ---------------------------------------
+
+#[test]
+fn a005_no_effect_snapshot() {
+    positive(
+        "a005",
+        "A005",
+        r#"CREATE QUERY q () {
+  SumAccum<float> @score = 1;
+  SumAccum<float> @copy;
+  S = SELECT p FROM Page:p POST_ACCUM p.@copy += p.@score';
+  PRINT S[S.@copy];
+}"#,
+        COUNTING,
+    );
+    // PageRank's idiom: the block writes @score, so `'` is load-bearing.
+    near_miss(
+        "a005",
+        "A005",
+        r#"CREATE QUERY q () {
+  SumAccum<float> @score = 1;
+  S = SELECT p FROM Page:p POST_ACCUM p.@score = p.@score' * 2;
+  PRINT S[S.@score];
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- A006 undeclared accumulator ----------------------------------------
+
+#[test]
+fn a006_undeclared_accumulator() {
+    positive(
+        "a006",
+        "A006",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@cnt;
+  S = SELECT p FROM Page:p ACCUM @@cont += 1;
+  PRINT @@cnt;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "a006",
+        "A006",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@cnt;
+  S = SELECT p FROM Page:p ACCUM @@cnt += 1;
+  PRINT @@cnt;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- T001 combine operand type mismatch ---------------------------------
+
+#[test]
+fn t001_type_mismatch() {
+    positive(
+        "t001",
+        "T001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@total;
+  S = SELECT p FROM Page:p ACCUM @@total += "one";
+  PRINT @@total;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "t001",
+        "T001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@total;
+  S = SELECT p FROM Page:p ACCUM @@total += 1;
+  PRINT @@total;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- T002 lossy integer literal -----------------------------------------
+
+#[test]
+fn t002_lossy_literal() {
+    positive(
+        "t002",
+        "T002",
+        r#"CREATE QUERY q () {
+  SumAccum<float> @@total;
+  S = SELECT p FROM Page:p ACCUM @@total += 9007199254740995;
+  PRINT @@total;
+}"#,
+        COUNTING,
+    );
+    // 2^53 itself is exactly representable.
+    near_miss(
+        "t002",
+        "T002",
+        r#"CREATE QUERY q () {
+  SumAccum<float> @@total;
+  S = SELECT p FROM Page:p ACCUM @@total += 9007199254740992;
+  PRINT @@total;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- T003 Min/Max over unordered values ---------------------------------
+
+#[test]
+fn t003_minmax_over_bool() {
+    positive(
+        "t003",
+        "T003",
+        r#"CREATE QUERY q () {
+  MaxAccum @@any;
+  S = SELECT p FROM Page:p ACCUM @@any += true;
+  PRINT @@any;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "t003",
+        "T003",
+        r#"CREATE QUERY q () {
+  MaxAccum @@best;
+  S = SELECT p FROM Page:p ACCUM @@best += 3;
+  PRINT @@best;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- P001 unbounded Kleene under enumerative semantics ------------------
+
+#[test]
+fn p001_enumerative_kleene() {
+    // Inline USE SEMANTICS → the query text itself opts into the
+    // exponential strategy → Error severity.
+    positive(
+        "p001",
+        "P001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  USE SEMANTICS 'non_repeated_edge';
+  R = SELECT t FROM Page:s -(Link>*)- Page:t ACCUM t.@cnt += 1;
+  PRINT R[R.@cnt];
+}"#,
+        COUNTING,
+    );
+    {
+        // Ambient (engine-default) enumerative semantics → Warn severity.
+        let src = r#"CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  R = SELECT t FROM Page:s -(Link>*)- Page:t ACCUM t.@cnt += 1;
+  PRINT R[R.@cnt];
+}"#;
+        let q = parse_query(src).unwrap();
+        let diags = lint_query(&q, PathSemantics::NonRepeatedEdge);
+        let d = diags.iter().find(|d| d.code == "P001").expect("P001 under ambient semantics");
+        assert_eq!(d.severity, Severity::Warn);
+    }
+    // Counting semantics: the same pattern is polynomial, no P001.
+    near_miss(
+        "p001",
+        "P001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  R = SELECT t FROM Page:s -(Link>*)- Page:t ACCUM t.@cnt += 1;
+  PRINT R[R.@cnt];
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- P002 edge variable in Kleene scope ---------------------------------
+
+#[test]
+fn p002_edge_var_in_kleene() {
+    positive(
+        "p002",
+        "P002",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@n;
+  S = SELECT t FROM Page:s -(Link>*1..2:e)- Page:t ACCUM @@n += 1;
+  PRINT @@n;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "p002",
+        "P002",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@n;
+  S = SELECT t FROM Page:s -(Link>:e)- Page:t ACCUM @@n += 1;
+  PRINT @@n;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- P003 multiplicity-sensitive accumulator under counting -------------
+
+#[test]
+fn p003_multiplicity_sensitive() {
+    positive(
+        "p003",
+        "P003",
+        r#"CREATE QUERY q () {
+  ListAccum<int> @@paths;
+  S = SELECT t FROM Page:s -(Link>*)- Page:t ACCUM @@paths += 1;
+  PRINT @@paths;
+}"#,
+        COUNTING,
+    );
+    // SetAccum is multiplicity-insensitive: fine under counting.
+    near_miss(
+        "p003",
+        "P003",
+        r#"CREATE QUERY q () {
+  SetAccum<int> @@seen;
+  S = SELECT t FROM Page:s -(Link>*)- Page:t ACCUM @@seen += 1;
+  PRINT @@seen;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- P004 bounded fan-out estimate under enumeration --------------------
+
+#[test]
+fn p004_fanout_estimate() {
+    positive(
+        "p004",
+        "P004",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  USE SEMANTICS 'non_repeated_edge';
+  S = SELECT t FROM Page:s -(Link>*1..3)- Page:t ACCUM t.@cnt += 1;
+  PRINT S[S.@cnt];
+}"#,
+        COUNTING,
+    );
+    // Under counting semantics no estimate is emitted.
+    near_miss(
+        "p004",
+        "P004",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  S = SELECT t FROM Page:s -(Link>*1..3)- Page:t ACCUM t.@cnt += 1;
+  PRINT S[S.@cnt];
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- H001 unused vertex set ---------------------------------------------
+
+#[test]
+fn h001_unused_vset() {
+    positive(
+        "h001",
+        "H001",
+        r#"CREATE QUERY q () {
+  S = SELECT p FROM Page:p;
+  PRINT 1;
+}"#,
+        COUNTING,
+    );
+    // A block with ACCUM side effects is not dead even if unused (ic5's
+    // G-block idiom).
+    near_miss(
+        "h001",
+        "H001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@n;
+  S = SELECT p FROM Page:p ACCUM @@n += 1;
+  PRINT @@n;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- H002 shadowed names ------------------------------------------------
+
+#[test]
+fn h002_shadowed_binding() {
+    positive(
+        "h002",
+        "H002",
+        r#"CREATE QUERY q () {
+  S = SELECT p FROM Page:p;
+  T = SELECT S FROM Page:S WHERE S.rank > 0;
+  PRINT T;
+}"#,
+        COUNTING,
+    );
+    // Binding variables shadowing *parameters* are idiomatic — not flagged.
+    near_miss(
+        "h002",
+        "H002",
+        r#"CREATE QUERY q (VERTEX p) {
+  S = SELECT p FROM Person:p;
+  PRINT S;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- H003 constant-false WHERE ------------------------------------------
+
+#[test]
+fn h003_constant_false_where() {
+    positive(
+        "h003",
+        "H003",
+        r#"CREATE QUERY q () {
+  S = SELECT p FROM Page:p WHERE 1 == 2;
+  PRINT S;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "h003",
+        "H003",
+        r#"CREATE QUERY q () {
+  S = SELECT p FROM Page:p WHERE p.rank == 2;
+  PRINT S;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- H004 loop-invariant WHILE ------------------------------------------
+
+#[test]
+fn h004_invariant_while() {
+    positive(
+        "h004",
+        "H004",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@rounds;
+  S = {Page.*};
+  WHILE @@rounds < 10 DO
+    S = SELECT p FROM S:p;
+  END;
+  PRINT S;
+}"#,
+        COUNTING,
+    );
+    // WCC's idiom: the body updates the condition's accumulator.
+    near_miss(
+        "h004",
+        "H004",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@rounds;
+  S = {Page.*};
+  WHILE @@rounds < 10 DO
+    S = SELECT p FROM S:p ACCUM @@rounds += 1;
+  END;
+  PRINT S;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- the paper's running examples stay clean ----------------------------
+
+#[test]
+fn paper_examples_check_clean() {
+    use gsql_core::stdlib;
+    for (name, src) in [
+        ("pagerank", stdlib::pagerank("Page", "Link")),
+        ("qn", stdlib::qn("Page", "Link")),
+        ("ic5", ldbc_snb::queries::ic5(2)),
+    ] {
+        let q = parse_query(&src).unwrap();
+        let diags = lint_query(&q, COUNTING);
+        assert!(
+            diags.is_empty(),
+            "{name} must CHECK clean, got:\n{}",
+            render_text(&diags, Some(&src))
+        );
+    }
+    assert_golden("lint_clean_pagerank.txt", &lint_text(&stdlib::pagerank("Page", "Link"), COUNTING));
+    assert_golden("lint_clean_qn.txt", &lint_text(&stdlib::qn("Page", "Link"), COUNTING));
+    assert_golden("lint_clean_ic5.txt", &lint_text(&ldbc_snb::queries::ic5(2), COUNTING));
+}
+
+// ---- JSON rendering ------------------------------------------------------
+
+#[test]
+fn json_rendering_is_stable() {
+    let src = r#"CREATE QUERY q () {
+  SumAccum<int> @@cnt;
+  S = SELECT p FROM Page:p ACCUM @@cnt += 1;
+}"#;
+    let q = parse_query(src).unwrap();
+    let diags = lint_query(&q, COUNTING);
+    assert_golden("lint_json_a001.json", &(render_json(&diags) + "\n"));
+    // Structural sanity independent of the golden file.
+    let json = render_json(&diags);
+    assert!(json.starts_with("{\"diagnostics\":["));
+    assert!(json.contains("\"code\":\"A001\""));
+    assert!(json.contains("\"errors\":0"));
+}
