@@ -337,6 +337,114 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[idx.min(sorted.len() - 1)]
 }
 
+// ---- durability bench ----------------------------------------------------
+
+/// Measures durable-write throughput per WAL fsync policy, plus cold
+/// recovery time, against a scratch data directory (EXPERIMENTS.md E10).
+/// Each batch is 4 inserts or 4 deletes (alternating, so the graph stays
+/// the seed's size); the `always` run's directory is then reopened
+/// without a final checkpoint to time a full 1000-frame replay.
+fn run_durability() -> String {
+    use pgraph::mutate::MutationOp;
+    use pgraph::wal::{FlushPolicy, LiveGraph};
+
+    const BATCHES: usize = 1000;
+    const OPS_PER_BATCH: usize = 4;
+
+    let base = std::env::temp_dir().join(format!("gsql-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    let seed = || diamond_chain(DIAMOND_N).0;
+    let vt = seed().schema().vertex_type_id("V").unwrap();
+    let attrs: Vec<Value> = seed()
+        .schema()
+        .vertex_type(vt)
+        .attrs
+        .iter()
+        .map(|a| a.ty.default_value())
+        .collect();
+
+    let mut sections = Vec::new();
+    let mut always_dir = None;
+    for (name, policy) in [
+        ("fsync_always", FlushPolicy::Always),
+        ("fsync_every_64", FlushPolicy::EveryN(64)),
+        ("fsync_on_flush", FlushPolicy::OnFlushOnly),
+    ] {
+        let dir = base.join(name);
+        // u64::MAX commits between checkpoints: the run never compacts,
+        // so the WAL holds every frame for the recovery measurement.
+        let (live, _) = LiveGraph::open(&dir, seed(), policy, u64::MAX)
+            .unwrap_or_else(|e| die(&format!("open {}: {e}", dir.display())));
+        let start = Instant::now();
+        for b in 0..BATCHES {
+            let ops: Vec<MutationOp> = if b % 2 == 0 {
+                (0..OPS_PER_BATCH)
+                    .map(|_| MutationOp::AddVertex { vtype: vt, attrs: attrs.clone() })
+                    .collect()
+            } else {
+                let n = live.snapshot().vertex_count();
+                (0..OPS_PER_BATCH)
+                    .map(|k| MutationOp::DeleteVertex {
+                        v: pgraph::graph::VertexId((n - OPS_PER_BATCH + k) as u32),
+                    })
+                    .collect()
+            };
+            live.commit(&ops).unwrap_or_else(|e| die(&format!("commit: {e}")));
+        }
+        live.flush().unwrap_or_else(|e| die(&format!("flush: {e}")));
+        let wall = start.elapsed();
+        let stats = live.stats();
+        let fsyncs = stats.fsyncs.load(std::sync::atomic::Ordering::Relaxed);
+        let bytes = stats.bytes.load(std::sync::atomic::Ordering::Relaxed);
+        let per_sec = BATCHES as f64 / wall.as_secs_f64();
+        eprintln!(
+            "durability {name}: {per_sec:.0} commits/s ({fsyncs} fsyncs, {bytes} WAL bytes)"
+        );
+        sections.push(format!(
+            "    \"{name}\": {{\n      \"commits_per_sec\": {per_sec:.1},\n      \
+             \"ops_per_sec\": {:.1},\n      \"fsyncs\": {fsyncs},\n      \"wal_bytes\": {bytes}\n    }}",
+            per_sec * OPS_PER_BATCH as f64,
+        ));
+        if name == "fsync_always" {
+            always_dir = Some(dir);
+        }
+        // Drop without a final checkpoint: the WAL tail stays populated.
+        drop(live);
+    }
+
+    // Cold recovery: reopen the fsync_always directory; every frame of
+    // the run replays against the checkpoint.
+    let dir = always_dir.expect("always run executed");
+    let start = Instant::now();
+    let (live, report) = LiveGraph::open(&dir, seed(), FlushPolicy::Always, u64::MAX)
+        .unwrap_or_else(|e| die(&format!("recovery open: {e}")));
+    let recovery = start.elapsed();
+    if live.snapshot().vertex_count() != seed().vertex_count() {
+        die("recovered graph does not match the writer's final state");
+    }
+    eprintln!(
+        "durability recovery: {} frame(s) / {} op(s) in {:.1} ms",
+        report.frames_replayed,
+        report.ops_replayed,
+        recovery.as_secs_f64() * 1e3
+    );
+    sections.push(format!(
+        "    \"recovery\": {{\n      \"frames_replayed\": {},\n      \"ops_replayed\": {},\n      \
+         \"recovery_ms\": {:.2},\n      \"state_verified\": true\n    }}",
+        report.frames_replayed,
+        report.ops_replayed,
+        recovery.as_secs_f64() * 1e3,
+    ));
+    drop(live);
+    let _ = std::fs::remove_dir_all(&base);
+
+    format!(
+        "  \"durability\": {{\n    \"batches\": {BATCHES},\n    \"ops_per_batch\": {OPS_PER_BATCH},\n{}\n  }}",
+        sections.join(",\n")
+    )
+}
+
 fn run_load(o: &Options) {
     let work = Arc::new(workloads());
     let expected = Arc::new(expected_results(&work));
@@ -351,8 +459,8 @@ fn run_load(o: &Options) {
             max_concurrent_queries: o.connections.max(2),
             ..ServerConfig::default()
         };
-        let graph = Arc::new(diamond_chain(DIAMOND_N).0);
-        let server = Server::start(cfg, graph).expect("server start");
+        let server = Server::start(cfg, pgraph::wal::LiveGraph::in_memory(diamond_chain(DIAMOND_N).0))
+            .expect("server start");
         let addr = server.local_addr();
 
         let stats = run_load_once(addr, o, &work, &expected);
@@ -418,7 +526,9 @@ fn run_load(o: &Options) {
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
-    doc.push_str("  }\n}\n");
+    doc.push_str("  },\n");
+    doc.push_str(&run_durability());
+    doc.push_str("\n}\n");
 
     match &o.out {
         Some(path) => {

@@ -119,6 +119,9 @@ fn help() -> ExitCode {
          \x20 SET lint = on|strict|off   lint before running: `on` prints findings\n\
          \x20                            to stderr and refuses to run on errors;\n\
          \x20                            `strict` also refuses on warnings\n\
+         \x20 SET autosave = <path>|off  after a mutating query (INSERT/UPDATE/\n\
+         \x20                            DELETE), apply the batch and atomically\n\
+         \x20                            save the graph to <path> (loader format)\n\
          \n\
          Results print to stdout; the report and profile print to stderr so\n\
          result output stays clean for pipelines."
@@ -174,6 +177,10 @@ struct ShellSettings {
     report: bool,
     profile: bool,
     lint: LintMode,
+    /// `SET autosave = <path>`: after a query that mutates the graph
+    /// (INSERT/UPDATE/DELETE), apply the batch and atomically save the
+    /// resulting graph to `<path>` in the loader text format.
+    autosave: Option<String>,
 }
 
 /// `SET lint = on|strict|off` — whether to run the static analyzer
@@ -196,6 +203,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
     let mut report = false;
     let mut profile = false;
     let mut lint = LintMode::Off;
+    let mut autosave = None;
     let mut rest = Vec::new();
     let mut in_header = true;
     for line in source.lines() {
@@ -240,6 +248,12 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
                         }
                     }
                 }
+                "autosave" => {
+                    autosave = match value.to_ascii_lowercase().as_str() {
+                        "off" | "false" | "0" => None,
+                        _ => Some(value.to_string()),
+                    }
+                }
                 "row_limit" => budget.max_binding_rows = Some(int(value)?),
                 "path_budget" => budget.max_paths = Some(int(value)?),
                 "memory_limit" => budget.max_accum_bytes = Some(parse_bytes(value)?),
@@ -254,7 +268,7 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
                     return Err(format!(
                         "unknown SET key `{other}` (expected timeout, deadline_ms, \
                          row_limit, path_budget, memory_limit, iteration_limit, \
-                         parallelism, report, profile, lint)"
+                         parallelism, report, profile, lint, autosave)"
                     ))
                 }
             }
@@ -263,7 +277,10 @@ fn extract_set_directives(source: &str) -> Result<(ShellSettings, String), Strin
         in_header = false;
         rest.push(line);
     }
-    Ok((ShellSettings { budget, parallelism, report, profile, lint }, rest.join("\n")))
+    Ok((
+        ShellSettings { budget, parallelism, report, profile, lint, autosave },
+        rest.join("\n"),
+    ))
 }
 
 fn load_graph(spec: &str) -> Result<Graph, String> {
@@ -447,6 +464,38 @@ fn main() -> ExitCode {
                 Some(ReturnValue::Table(t)) => print!("-> {t}"),
                 Some(ReturnValue::VSet(vs)) => println!("-> vertex set of {}", vs.len()),
                 None => {}
+            }
+            if !out.mutations.is_empty() {
+                match &settings.autosave {
+                    Some(path) => {
+                        // The engine ran against a snapshot; apply its
+                        // batch now and persist atomically
+                        // (write-to-temp + fsync + rename).
+                        let mut mutated = graph.clone();
+                        if let Err(e) = pgraph::mutate::apply_batch(&mut mutated, &out.mutations)
+                        {
+                            eprintln!("cannot apply mutation batch: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                        let path = std::path::Path::new(path);
+                        if let Err(e) = pgraph::loader::save_to_file(&mutated, path) {
+                            eprintln!("cannot save graph to `{}`: {e}", path.display());
+                            return ExitCode::FAILURE;
+                        }
+                        eprintln!(
+                            "applied {} mutation op(s); saved {} vertices / {} edges to `{}`",
+                            out.mutations.len(),
+                            mutated.vertex_count(),
+                            mutated.edge_count(),
+                            path.display()
+                        );
+                    }
+                    None => eprintln!(
+                        "note: query produced {} mutation op(s), discarded (shell graphs \
+                         are in-memory; add `SET autosave = <path>` to persist)",
+                        out.mutations.len()
+                    ),
+                }
             }
             if settings.report {
                 // On stderr so result output stays clean for pipelines;

@@ -146,6 +146,57 @@ pub enum Stmt {
     Print(Vec<PrintItem>),
     /// `RETURN e;`
     Return(Expr),
+    /// `INSERT VERTEX Type [(attr, ...)] VALUES (e, ...);` — omitted
+    /// attributes take their type defaults; with no column list the
+    /// values are positional over the declared attributes.
+    InsertVertex {
+        /// Vertex type name.
+        vtype: String,
+        /// Named columns (empty = positional over all attributes).
+        columns: Vec<String>,
+        /// Value expressions, evaluated against the pre-write snapshot.
+        values: Vec<Expr>,
+        /// Source position of the `INSERT` keyword.
+        span: Span,
+    },
+    /// `INSERT EDGE Type FROM e1 TO e2 [[(attr, ...)] VALUES (e, ...)];`
+    /// Endpoint expressions must evaluate to a vertex, or to an integer
+    /// id (which may address a vertex inserted earlier in this query).
+    InsertEdge {
+        /// Edge type name.
+        etype: String,
+        /// Source endpoint expression.
+        src: Expr,
+        /// Target endpoint expression.
+        dst: Expr,
+        /// Named columns (empty = positional).
+        columns: Vec<String>,
+        /// Attribute value expressions.
+        values: Vec<Expr>,
+        /// Source position of the `INSERT` keyword.
+        span: Span,
+    },
+    /// `UPDATE VType:v SET v.attr = e, ... [WHERE cond];`
+    Update {
+        /// Candidate vertices (type, set variable, parameter, or ANY).
+        target: VSpec,
+        /// `(var, attr, expr)` assignments applied per matching vertex.
+        sets: Vec<(String, String, Expr)>,
+        /// Optional row filter, evaluated per candidate vertex.
+        where_clause: Option<Expr>,
+        /// Source position of the `UPDATE` keyword.
+        span: Span,
+    },
+    /// `DELETE FROM VType:v [WHERE cond];` — deletes matching vertices
+    /// and (transitively) their incident edges.
+    Delete {
+        /// Candidate vertices.
+        target: VSpec,
+        /// Optional row filter; **absent means full wipe** (lint M001).
+        where_clause: Option<Expr>,
+        /// Source position of the `DELETE` keyword.
+        span: Span,
+    },
 }
 
 /// One accumulator declarator.

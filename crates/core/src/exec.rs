@@ -15,8 +15,9 @@ use darpe::{resolve_symbol, CompiledDarpe, SymbolSpec};
 use pgraph::bigcount::BigCount;
 use pgraph::fxhash::{FxHashMap, FxHashSet};
 use pgraph::graph::{Graph, VertexId};
-use pgraph::schema::VTypeId;
-use pgraph::value::Value;
+use pgraph::mutate::MutationOp;
+use pgraph::schema::{AttrDef, VTypeId};
+use pgraph::value::{Value, ValueType};
 use std::collections::BTreeMap;
 
 /// Cap on literal row expansion when a non-aggregate projection meets a
@@ -270,6 +271,8 @@ impl<'g> Engine<'g> {
             prof: profile.then(Profiler::new),
             prof_hop_cache: (0, 0),
             prof_hop_workers: Vec::new(),
+            mutations: Vec::new(),
+            pending_vertices: 0,
         };
         rt.exec_stmts(&query.body)?;
         let prof = rt.prof.take().map(|p| {
@@ -288,6 +291,7 @@ impl<'g> Engine<'g> {
                 returned: rt.returned,
                 stats: rt.stats,
                 report: ResourceReport::default(),
+                mutations: rt.mutations,
             },
             prof,
         ))
@@ -318,6 +322,14 @@ pub struct QueryOutput {
     pub stats: MatchStats,
     /// Resource accounting from the governor (rows/paths/bytes/elapsed).
     pub report: ResourceReport,
+    /// Mutation ops collected from INSERT/UPDATE/DELETE statements.
+    ///
+    /// The engine reads a **pinned snapshot** and never mutates it:
+    /// mutation statements evaluate their expressions against the
+    /// pre-write view (the paper's snapshot semantics, applied to
+    /// isolation) and emit ops here for the graph owner — a
+    /// `pgraph::LiveGraph`, the shell, or a test — to commit atomically.
+    pub mutations: Vec<MutationOp>,
 }
 
 impl QueryOutput {
@@ -330,6 +342,25 @@ impl QueryOutput {
 enum Flow {
     Normal,
     Returned,
+}
+
+/// Coerces an INSERT/UPDATE value to the declared attribute type.
+/// Int widens to Double/DateTime (and DateTime narrows back to Int);
+/// anything else must match exactly — collections are never storable.
+fn coerce_attr(v: Value, ty: ValueType, attr: &str) -> Result<Value> {
+    match (v, ty) {
+        (v @ Value::Bool(_), ValueType::Bool)
+        | (v @ Value::Int(_), ValueType::Int)
+        | (v @ Value::Double(_), ValueType::Double)
+        | (v @ Value::Str(_), ValueType::Str)
+        | (v @ Value::DateTime(_), ValueType::DateTime) => Ok(v),
+        (Value::Int(i), ValueType::Double) => Ok(Value::Double(i as f64)),
+        (Value::Int(i), ValueType::DateTime) => Ok(Value::DateTime(i)),
+        (Value::DateTime(t), ValueType::Int) => Ok(Value::Int(t)),
+        (v, ty) => {
+            Err(Error::runtime(format!("attribute `{attr}` expects {ty}, got `{v}`")))
+        }
+    }
 }
 
 /// A resolved vertex specifier.
@@ -407,6 +438,11 @@ struct Runtime<'e, 'g> {
     /// Per-worker kernel counts of the most recent parallel fan-out,
     /// collected only when profiling.
     prof_hop_workers: Vec<u64>,
+    /// Mutation ops emitted by INSERT/UPDATE/DELETE, in statement order.
+    mutations: Vec<MutationOp>,
+    /// Vertices inserted so far this query: `INSERT EDGE` endpoints may
+    /// address them by provisional id (`graph.vertex_count() + k`).
+    pending_vertices: usize,
 }
 
 impl<'e, 'g> Runtime<'e, 'g> {
@@ -577,8 +613,199 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 self.returned = Some(self.eval_return(expr)?);
                 return Ok(Flow::Returned);
             }
+            Stmt::InsertVertex { vtype, columns, values, .. } => {
+                self.exec_insert_vertex(vtype, columns, values)?;
+            }
+            Stmt::InsertEdge { etype, src, dst, columns, values, .. } => {
+                self.exec_insert_edge(etype, src, dst, columns, values)?;
+            }
+            Stmt::Update { target, sets, where_clause, .. } => {
+                self.exec_update(target, sets, where_clause.as_ref())?;
+            }
+            Stmt::Delete { target, where_clause, .. } => {
+                self.exec_delete(target, where_clause.as_ref())?;
+            }
         }
         Ok(Flow::Normal)
+    }
+
+    // ---- mutation statements --------------------------------------------
+
+    /// Evaluates an INSERT value row into a full-arity attribute vector:
+    /// positional when `columns` is empty, else by name with unnamed
+    /// attributes defaulted.
+    fn eval_attr_row(
+        &mut self,
+        columns: &[String],
+        values: &[Expr],
+        attrs: &[AttrDef],
+        what: &str,
+    ) -> Result<Vec<Value>> {
+        let mut row: Vec<Value> = attrs.iter().map(|a| a.ty.default_value()).collect();
+        if columns.is_empty() {
+            if values.len() != attrs.len() {
+                return Err(Error::runtime(format!(
+                    "{what} declares {} attribute(s), INSERT supplies {}",
+                    attrs.len(),
+                    values.len()
+                )));
+            }
+            for (i, e) in values.iter().enumerate() {
+                let v = eval(&self.env(), e)?;
+                row[i] = coerce_attr(v, attrs[i].ty, &attrs[i].name)?;
+            }
+        } else {
+            if columns.len() != values.len() {
+                return Err(Error::runtime(format!(
+                    "INSERT names {} column(s) but supplies {} value(s)",
+                    columns.len(),
+                    values.len()
+                )));
+            }
+            for (c, e) in columns.iter().zip(values) {
+                let idx = attrs.iter().position(|a| &a.name == c).ok_or_else(|| {
+                    Error::runtime(format!("{what} has no attribute `{c}`"))
+                })?;
+                let v = eval(&self.env(), e)?;
+                row[idx] = coerce_attr(v, attrs[idx].ty, c)?;
+            }
+        }
+        Ok(row)
+    }
+
+    fn exec_insert_vertex(
+        &mut self,
+        vtype: &str,
+        columns: &[String],
+        values: &[Expr],
+    ) -> Result<()> {
+        let vt = self
+            .graph()
+            .schema()
+            .vertex_type_id(vtype)
+            .ok_or_else(|| Error::runtime(format!("unknown vertex type `{vtype}`")))?;
+        let attrs = &self.graph().schema().vertex_type(vt).attrs;
+        let row = self.eval_attr_row(columns, values, attrs, &format!("vertex type `{vtype}`"))?;
+        self.mutations.push(MutationOp::AddVertex { vtype: vt, attrs: row });
+        self.pending_vertices += 1;
+        Ok(())
+    }
+
+    /// Resolves an INSERT EDGE endpoint: a vertex value, or an integer id
+    /// — which may address a vertex inserted earlier in this query
+    /// (provisional ids follow the snapshot's vertex count).
+    fn endpoint_vertex(&mut self, e: &Expr) -> Result<VertexId> {
+        let total = self.graph().vertex_count() + self.pending_vertices;
+        match eval(&self.env(), e)? {
+            Value::Vertex(v) if (v.0 as usize) < total => Ok(v),
+            Value::Vertex(v) => Err(Error::runtime(format!(
+                "endpoint vertex id {} out of range (graph + this query's inserts = {total})",
+                v.0
+            ))),
+            Value::Int(i) if i >= 0 && (i as usize) < total => Ok(VertexId(i as u32)),
+            Value::Int(i) => Err(Error::runtime(format!(
+                "endpoint vertex id {i} out of range (graph + this query's inserts = {total})"
+            ))),
+            other => Err(Error::type_error("vertex (or integer vertex id)", &other)),
+        }
+    }
+
+    fn exec_insert_edge(
+        &mut self,
+        etype: &str,
+        src: &Expr,
+        dst: &Expr,
+        columns: &[String],
+        values: &[Expr],
+    ) -> Result<()> {
+        let et = self
+            .graph()
+            .schema()
+            .edge_type_id(etype)
+            .ok_or_else(|| Error::runtime(format!("unknown edge type `{etype}`")))?;
+        let s = self.endpoint_vertex(src)?;
+        let d = self.endpoint_vertex(dst)?;
+        let attrs = &self.graph().schema().edge_type(et).attrs;
+        let row = self.eval_attr_row(columns, values, attrs, &format!("edge type `{etype}`"))?;
+        self.mutations.push(MutationOp::AddEdge { etype: et, src: s, dst: d, attrs: row });
+        Ok(())
+    }
+
+    /// Shared UPDATE/DELETE candidate loop: resolves the target spec,
+    /// binds `var` to each candidate vertex (snapshot order), applies the
+    /// optional WHERE filter, and calls `apply` for survivors.
+    fn for_each_target(
+        &mut self,
+        target: &VSpec,
+        where_clause: Option<&Expr>,
+        mut apply: impl FnMut(&mut Self, VertexId) -> Result<()>,
+    ) -> Result<()> {
+        let var = target.var.clone().unwrap_or_else(|| target.name.clone());
+        let candidates = self.resolve_spec(&target.name)?.candidates(self.graph());
+        let saved = self.locals.remove(&var);
+        let run = || -> Result<()> {
+            for v in candidates {
+                self.guard.note_visits(1, 0);
+                self.locals.insert(var.clone(), Value::Vertex(v));
+                if let Some(cond) = where_clause {
+                    let keep = truthy(&eval(&self.env(), cond)?)?;
+                    if !keep {
+                        continue;
+                    }
+                }
+                apply(self, v)?;
+            }
+            Ok(())
+        };
+        let result = run();
+        match saved {
+            Some(old) => {
+                self.locals.insert(var, old);
+            }
+            None => {
+                self.locals.remove(&var);
+            }
+        }
+        result
+    }
+
+    fn exec_update(
+        &mut self,
+        target: &VSpec,
+        sets: &[(String, String, Expr)],
+        where_clause: Option<&Expr>,
+    ) -> Result<()> {
+        let var = target.var.clone().unwrap_or_else(|| target.name.clone());
+        for (svar, _, _) in sets {
+            if svar != &var {
+                return Err(Error::runtime(format!(
+                    "UPDATE SET references `{svar}` but the target binds `{var}`"
+                )));
+            }
+        }
+        self.for_each_target(target, where_clause, |rt, v| {
+            for (_, attr, expr) in sets {
+                let vt = rt.graph().vertex_type_of(v);
+                let idx =
+                    rt.graph().schema().vertex_attr_index(vt, attr).ok_or_else(|| {
+                        Error::runtime(format!(
+                            "vertex type `{}` has no attribute `{attr}`",
+                            rt.graph().schema().vertex_type(vt).name
+                        ))
+                    })?;
+                let ty = rt.graph().schema().vertex_type(vt).attrs[idx].ty;
+                let val = coerce_attr(eval(&rt.env(), expr)?, ty, attr)?;
+                rt.mutations.push(MutationOp::SetVertexAttr { v, attr: idx, value: val });
+            }
+            Ok(())
+        })
+    }
+
+    fn exec_delete(&mut self, target: &VSpec, where_clause: Option<&Expr>) -> Result<()> {
+        self.for_each_target(target, where_clause, |rt, v| {
+            rt.mutations.push(MutationOp::DeleteVertex { v });
+            Ok(())
+        })
     }
 
     fn exec_while(

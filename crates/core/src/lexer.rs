@@ -133,6 +133,7 @@ const KEYWORDS: &[&str] = &[
     "OR", "NOT", "AS", "GROUPING", "SETS", "CUBE", "ROLLUP", "TYPEDEF", "TUPLE", "VERTEX", "EDGE",
     "INT", "UINT", "FLOAT", "DOUBLE", "BOOL", "STRING", "DATETIME", "SET", "BAG", "LIST",
     "USE", "SEMANTICS", "UNION", "INTERSECT", "MINUS", "CASE", "WHEN",
+    "INSERT", "VALUES", "UPDATE", "DELETE", "TO",
 ];
 
 /// A token with its source position.

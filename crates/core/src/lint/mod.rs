@@ -8,7 +8,7 @@
 //! those invariants — plus ordinary hygiene — *before* execution and
 //! reports structured [`Diagnostic`]s with stable rule codes.
 //!
-//! Four passes (catalog with examples in `docs/LINTS.md`):
+//! Five passes (catalog with examples in `docs/LINTS.md`):
 //!
 //! | pass | codes | checks |
 //! |------|-------|--------|
@@ -16,6 +16,7 @@
 //! | typecheck | `T001`–`T003` | combine operand vs. element type, lossy numeric literals, Min/Max over unordered values |
 //! | tractability | `P001`–`P004` | Kleene patterns under enumerative semantics (Theorem 7.1), edge variables inside Kleene scope, multiplicity-sensitive accumulators under counting, per-hop fan-out estimates |
 //! | hygiene | `H001`–`H004` | unused vertex sets, shadowed names, constant-false WHERE, loop-invariant WHILE conditions |
+//! | mutation | `M001` | DELETE statements with no WHERE clause (full-wipe hazard) |
 //!
 //! Entry points: [`lint_query`] (default accumulator registry) and
 //! [`lint_query_with`] (engine-supplied registry, used by
@@ -26,6 +27,7 @@
 mod dataflow;
 mod diag;
 mod hygiene;
+mod mutation;
 mod tractability;
 mod typecheck;
 
@@ -65,6 +67,7 @@ pub fn lint_query_with(
     typecheck::run(&cx, &mut diags);
     tractability::run(&cx, &mut diags);
     hygiene::run(&cx, &mut diags);
+    mutation::run(&q.body, &mut diags);
     // Deterministic order: by source position, then rule code.
     diags.sort_by(|a, b| {
         (a.span.line, a.span.col, a.code).cmp(&(b.span.line, b.span.col, b.code))
@@ -251,6 +254,31 @@ fn stmts_exprs(stmts: &[Stmt], outer: Span, f: &mut impl FnMut(&Expr, Span)) {
                 }
             }
             Stmt::Return(e) => f(e, outer),
+            Stmt::InsertVertex { values, span, .. } => {
+                for e in values {
+                    f(e, *span);
+                }
+            }
+            Stmt::InsertEdge { src, dst, values, span, .. } => {
+                f(src, *span);
+                f(dst, *span);
+                for e in values {
+                    f(e, *span);
+                }
+            }
+            Stmt::Update { sets, where_clause, span, .. } => {
+                for (_, _, e) in sets {
+                    f(e, *span);
+                }
+                if let Some(w) = where_clause {
+                    f(w, *span);
+                }
+            }
+            Stmt::Delete { where_clause, span, .. } => {
+                if let Some(w) = where_clause {
+                    f(w, *span);
+                }
+            }
         }
     }
 }

@@ -1,0 +1,42 @@
+//! Pass 5 — mutation safety (`M001`): DELETE statements with no WHERE
+//! clause.
+//!
+//! A bare `DELETE FROM T;` is legal and occasionally intended (clearing
+//! a staging type before a reload), but far more often it is a missing
+//! filter: it tombstones every vertex of the target set *and every
+//! incident edge* in one batch. The engine executes it deterministically
+//! either way, so this is a warning, not an error.
+
+use super::Diagnostic;
+use crate::ast::Stmt;
+
+pub(super) fn run(stmts: &[Stmt], out: &mut Vec<Diagnostic>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Delete { target, where_clause: None, span } => {
+                out.push(
+                    Diagnostic::warn(
+                        "M001",
+                        *span,
+                        format!(
+                            "DELETE FROM {} has no WHERE clause: it deletes every vertex in \
+                             `{}` and all of their incident edges",
+                            target.name, target.name
+                        ),
+                    )
+                    .with_suggestion(format!(
+                        "add a WHERE filter, e.g. `DELETE FROM {t}:v WHERE v.attr == ...;`, \
+                         if a full wipe is not intended",
+                        t = target.name
+                    )),
+                );
+            }
+            Stmt::While { body, .. } | Stmt::Foreach { body, .. } => run(body, out),
+            Stmt::If { then_branch, else_branch, .. } => {
+                run(then_branch, out);
+                run(else_branch, out);
+            }
+            _ => {}
+        }
+    }
+}

@@ -288,6 +288,9 @@ impl Parser {
                 self.expect(Tok::Semi)?;
                 Ok(Stmt::UseSemantics(sem))
             }
+            Tok::Kw("INSERT") => self.insert_stmt(),
+            Tok::Kw("UPDATE") => self.update_stmt(),
+            Tok::Kw("DELETE") => self.delete_stmt(),
             Tok::Kw("WHILE") => self.while_stmt(),
             Tok::Kw("IF") => self.if_stmt(),
             Tok::Kw("FOREACH") => self.foreach_stmt(),
@@ -350,6 +353,97 @@ impl Parser {
             }
             other => self.err(format!("unexpected token `{other}` at statement start")),
         }
+    }
+
+    /// Optional `(col, col, ...)` column list (INSERT statements).
+    fn opt_column_list(&mut self) -> Result<Vec<String>> {
+        if *self.peek() != Tok::LParen {
+            return Ok(Vec::new());
+        }
+        self.bump();
+        let mut cols = vec![self.ident()?];
+        while self.eat(Tok::Comma) {
+            cols.push(self.ident()?);
+        }
+        self.expect(Tok::RParen)?;
+        Ok(cols)
+    }
+
+    /// `INSERT VERTEX T [(cols)] VALUES (exprs);` or
+    /// `INSERT EDGE T FROM e TO e [[(cols)] VALUES (exprs)];`
+    fn insert_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        self.expect_kw("INSERT")?;
+        match self.bump() {
+            Tok::Kw("VERTEX") => {
+                let vtype = self.ident()?;
+                let columns = self.opt_column_list()?;
+                self.expect_kw("VALUES")?;
+                self.expect(Tok::LParen)?;
+                let values =
+                    if *self.peek() == Tok::RParen { Vec::new() } else { self.expr_list()? };
+                self.expect(Tok::RParen)?;
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::InsertVertex { vtype, columns, values, span })
+            }
+            Tok::Kw("EDGE") => {
+                let etype = self.ident()?;
+                self.expect_kw("FROM")?;
+                let src = self.expr()?;
+                self.expect_kw("TO")?;
+                let dst = self.expr()?;
+                let (columns, values) = if *self.peek() == Tok::Semi {
+                    (Vec::new(), Vec::new())
+                } else {
+                    let columns = self.opt_column_list()?;
+                    self.expect_kw("VALUES")?;
+                    self.expect(Tok::LParen)?;
+                    let values =
+                        if *self.peek() == Tok::RParen { Vec::new() } else { self.expr_list()? };
+                    self.expect(Tok::RParen)?;
+                    (columns, values)
+                };
+                self.expect(Tok::Semi)?;
+                Ok(Stmt::InsertEdge { etype, src, dst, columns, values, span })
+            }
+            other => {
+                Self::err_at(span, format!("expected VERTEX or EDGE after INSERT, found `{other}`"))
+            }
+        }
+    }
+
+    /// `UPDATE VType:v SET v.attr = e, ... [WHERE cond];`
+    fn update_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        self.expect_kw("UPDATE")?;
+        let target = self.vspec()?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let var = self.ident()?;
+            self.expect(Tok::Dot)?;
+            let attr = self.ident()?;
+            self.expect(Tok::Eq)?;
+            let expr = self.expr()?;
+            sets.push((var, attr, expr));
+            if !self.eat(Tok::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        self.expect(Tok::Semi)?;
+        Ok(Stmt::Update { target, sets, where_clause, span })
+    }
+
+    /// `DELETE FROM VType:v [WHERE cond];`
+    fn delete_stmt(&mut self) -> Result<Stmt> {
+        let span = self.span();
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let target = self.vspec()?;
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        self.expect(Tok::Semi)?;
+        Ok(Stmt::Delete { target, where_clause, span })
     }
 
     fn typedef(&mut self) -> Result<Stmt> {
@@ -1257,6 +1351,77 @@ mod tests {
         assert_eq!(q.name, "Q");
         // The strict entry point does not accept the prefix.
         assert!(parse_query(&format!("EXPLAIN {src}")).is_err());
+    }
+
+    #[test]
+    fn parses_mutation_statements() {
+        let q = parse_query(
+            r#"CREATE QUERY M () {
+  INSERT VERTEX Person (name, age) VALUES ("ada", 36);
+  INSERT VERTEX Person VALUES ("bob", 2);
+  INSERT EDGE Knows FROM 0 TO 1 (since) VALUES (2024);
+  INSERT EDGE Knows FROM 1 TO 0;
+  UPDATE Person:p SET p.age = p.age + 1, p.name = "eve" WHERE p.age > 30;
+  DELETE FROM Person:p WHERE p.age > 100;
+  DELETE FROM Person;
+}"#,
+        )
+        .unwrap();
+        assert_eq!(q.body.len(), 7);
+        match &q.body[0] {
+            Stmt::InsertVertex { vtype, columns, values, .. } => {
+                assert_eq!(vtype, "Person");
+                assert_eq!(columns, &["name".to_string(), "age".to_string()]);
+                assert_eq!(values.len(), 2);
+            }
+            other => panic!("expected InsertVertex, got {other:?}"),
+        }
+        match &q.body[1] {
+            Stmt::InsertVertex { columns, values, .. } => {
+                assert!(columns.is_empty(), "positional insert has no column list");
+                assert_eq!(values.len(), 2);
+            }
+            other => panic!("expected InsertVertex, got {other:?}"),
+        }
+        match &q.body[3] {
+            Stmt::InsertEdge { etype, columns, values, .. } => {
+                assert_eq!(etype, "Knows");
+                assert!(columns.is_empty() && values.is_empty(), "attr-less edge insert");
+            }
+            other => panic!("expected InsertEdge, got {other:?}"),
+        }
+        match &q.body[4] {
+            Stmt::Update { target, sets, where_clause, .. } => {
+                assert_eq!(target.name, "Person");
+                assert_eq!(target.var.as_deref(), Some("p"));
+                assert_eq!(sets.len(), 2);
+                assert_eq!(sets[1].1, "name");
+                assert!(where_clause.is_some());
+            }
+            other => panic!("expected Update, got {other:?}"),
+        }
+        match (&q.body[5], &q.body[6]) {
+            (
+                Stmt::Delete { where_clause: Some(_), .. },
+                Stmt::Delete { target, where_clause: None, .. },
+            ) => assert_eq!(target.name, "Person"),
+            other => panic!("expected two Deletes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mutation_parse_errors_are_errors_not_panics() {
+        for src in [
+            "CREATE QUERY M () { INSERT Person VALUES (1); }",
+            "CREATE QUERY M () { INSERT VERTEX Person (name VALUES (1); }",
+            "CREATE QUERY M () { INSERT EDGE Knows FROM 0; }",
+            "CREATE QUERY M () { UPDATE Person:p SET WHERE true; }",
+            "CREATE QUERY M () { UPDATE Person:p SET p.age += 1; }",
+            "CREATE QUERY M () { DELETE Person; }",
+            "CREATE QUERY M () { DELETE FROM; }",
+        ] {
+            assert!(parse_query(src).is_err(), "`{src}` must be a parse error");
+        }
     }
 
     #[test]

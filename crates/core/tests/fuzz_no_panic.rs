@@ -184,3 +184,125 @@ fn pathological_inputs_never_panic() {
         }
     }
 }
+
+// ---- WAL replayer robustness ---------------------------------------------
+//
+// The crash-recovery path shares the no-panic contract: a WAL file is
+// untrusted input (torn tails, bit rot, truncation at any byte), so
+// `decode_frames` must classify whatever it finds as a structured
+// `FrameStop` — and replaying decodable-but-nonsensical ops through
+// `apply_batch` must surface `GraphError`s, never unwind.
+
+use pgraph::mutate::{apply_batch, MutationOp};
+use pgraph::schema::VTypeId;
+use pgraph::value::Value;
+use pgraph::wal::{checkpoint_from_str, decode_frames, encode_frame, FrameStop};
+
+/// Runs arbitrary bytes through the full recovery surface: frame
+/// decoding, then batch application of whatever decoded, then checkpoint
+/// parsing of the same bytes as text.
+fn wal_recovery_panics(bytes: &[u8]) -> Option<String> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let (batches, good_end, stop) = decode_frames(bytes);
+        assert!(good_end <= bytes.len());
+        // A clean stop must consume the whole buffer or end exactly at
+        // the last complete frame boundary.
+        if matches!(stop, FrameStop::Eof) {
+            assert_eq!(good_end, bytes.len());
+        }
+        let mut g = sales_graph();
+        for b in batches {
+            let _ = apply_batch(&mut g, &b.ops);
+        }
+        let _ = checkpoint_from_str(&String::from_utf8_lossy(bytes));
+    }));
+    outcome.err().map(|payload| {
+        payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string())
+    })
+}
+
+/// A small valid WAL image to mutate: three frames of real ops.
+fn valid_wal_image() -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&encode_frame(
+        1,
+        &[MutationOp::AddVertex {
+            vtype: VTypeId(0),
+            attrs: vec![Value::Str("erin".into())],
+        }],
+    ));
+    buf.extend_from_slice(&encode_frame(
+        2,
+        &[
+            MutationOp::SetVertexAttr { v: pgraph::graph::VertexId(0), attr: 0, value: Value::Int(7) },
+            MutationOp::DeleteVertex { v: pgraph::graph::VertexId(1) },
+        ],
+    ));
+    buf.extend_from_slice(&encode_frame(3, &[MutationOp::DeleteEdge { e: pgraph::graph::EdgeId(0) }]));
+    buf
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn wal_replay_never_panics_on_byte_soup(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        if let Some(msg) = wal_recovery_panics(&bytes) {
+            prop_assert!(false, "WAL recovery panicked ({msg}) on bytes {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn wal_replay_never_panics_on_mutated_framings(
+        flips in prop::collection::vec((0usize..4096, 0u8..8), 0..6),
+        cut in 0usize..4096,
+        splice in prop::collection::vec(any::<u8>(), 0..32),
+        at in 0usize..4096,
+    ) {
+        // Start from a valid image and corrupt it the way real storage
+        // fails: bit flips, truncation, and foreign bytes spliced in.
+        let mut img = valid_wal_image();
+        for &(pos, bit) in &flips {
+            let len = img.len();
+            if len > 0 {
+                img[pos % len] ^= 1 << bit;
+            }
+        }
+        img.truncate(cut.min(img.len()).max(1));
+        let at = at % (img.len() + 1);
+        img.splice(at..at, splice.iter().copied());
+        if let Some(msg) = wal_recovery_panics(&img) {
+            prop_assert!(false, "WAL recovery panicked ({msg}) on mutated image {img:?}");
+        }
+    }
+}
+
+/// Deterministic torn/corrupt framings every recovery must classify:
+/// each one decodes to a prefix of good frames plus a structured stop —
+/// never a panic, and never a claim of cleanliness for a damaged tail.
+#[test]
+fn torn_and_corrupt_framings_classify_cleanly() {
+    let img = valid_wal_image();
+    // Every truncation point of a valid image is a torn tail (or clean
+    // at exact frame boundaries).
+    for cut in 0..img.len() {
+        let (batches, good_end, stop) = decode_frames(&img[..cut]);
+        assert!(good_end <= cut);
+        assert!(
+            matches!(stop, FrameStop::Eof | FrameStop::TornTail),
+            "cut at {cut}: unexpected stop {stop:?}"
+        );
+        assert!(batches.len() <= 3);
+    }
+    // A flipped payload byte in the last frame must be caught by CRC.
+    let mut bad = img.clone();
+    let n = bad.len();
+    bad[n - 1] ^= 0x40;
+    let (batches, _, stop) = decode_frames(&bad);
+    assert_eq!(batches.len(), 2, "first two frames still replay");
+    assert!(matches!(stop, FrameStop::BadCrc), "got {stop:?}");
+}

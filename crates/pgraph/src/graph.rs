@@ -505,6 +505,12 @@ impl Graph {
         self.vertices[v.0 as usize].attrs[idx] = value;
     }
 
+    /// Overwrites an edge attribute (the edge twin of
+    /// [`Graph::set_vertex_attr`], used by the mutation batch applier).
+    pub fn set_edge_attr(&mut self, e: EdgeId, idx: usize, value: Value) {
+        self.edges[e.0 as usize].attrs[idx] = value;
+    }
+
     /// All adjacency entries of `v`: the finalized CSR slice chained with
     /// any overlay tail. On a finalized graph the tail is empty and
     /// iteration is a single contiguous scan.

@@ -47,10 +47,14 @@ pub mod fxhash;
 pub mod generators;
 pub mod graph;
 pub mod loader;
+pub mod mutate;
 pub mod schema;
 pub mod value;
+pub mod wal;
 
 pub use bigcount::BigCount;
 pub use graph::{Dir, EdgeId, Graph, GraphBuilder, VertexId};
+pub use mutate::{BatchSummary, MutationOp};
+pub use wal::{CommitError, FlushPolicy, LiveGraph, RecoveryError, RecoveryReport};
 pub use schema::{AttrDef, ETypeId, EdgeTypeDef, Schema, VTypeId, VertexTypeDef};
 pub use value::{Value, ValueType};

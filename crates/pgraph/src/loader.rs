@@ -187,6 +187,40 @@ pub fn save_to_string(g: &Graph) -> Result<String, LoadError> {
     Ok(out)
 }
 
+/// Writes `bytes` to `path` atomically: write to a sibling temp file,
+/// fsync it, rename over the target, then fsync the directory so the
+/// rename itself is durable. A crash at any point leaves either the old
+/// file or the new one — never a truncated hybrid.
+pub fn atomic_write_bytes(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        // Directory fsync makes the rename durable on POSIX filesystems;
+        // best-effort elsewhere (opening a directory may not be allowed).
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `g` to `path` atomically (fsync + rename): a crash mid-save
+/// cannot leave a truncated file that a later load would misparse.
+pub fn save_to_file(g: &Graph, path: &std::path::Path) -> Result<(), LoadError> {
+    let text = save_to_string(g)?;
+    atomic_write_bytes(path, text.as_bytes())
+        .map_err(|e| LoadError::Write(format!("{}: {e}", path.display())))
+}
+
 /// Parses the text format back into a [`Graph`].
 pub fn load_from_string(text: &str) -> Result<Graph, LoadError> {
     let mut schema = Schema::new();

@@ -1,0 +1,305 @@
+//! Mutation batches over an immutable snapshot.
+//!
+//! A [`MutationOp`] describes one primitive change; a batch of ops is the
+//! unit of atomicity, durability (one WAL frame) and publication (one new
+//! snapshot). Every id inside a batch refers to the **batch-start**
+//! graph: `AddVertex` assigns provisional ids sequentially from the
+//! starting vertex count, so an op later in the same batch can reference
+//! a vertex the batch itself inserted, and no op ever observes the id
+//! compaction that deletions trigger.
+//!
+//! Deletion is tombstone-then-compact: adds and attribute writes apply
+//! immediately, delete marks accumulate, and — only if the batch deleted
+//! anything — the graph is rebuilt once at the end with dead vertices,
+//! dead edges, and edges touching a dead endpoint dropped and ids
+//! re-densified. The rebuild is deterministic (insertion order is
+//! preserved), which is what makes WAL replay reproduce byte-identical
+//! query results.
+
+use crate::graph::{EdgeId, Graph, GraphError, VertexId};
+use crate::schema::{ETypeId, VTypeId};
+use crate::value::Value;
+
+/// One primitive change, with ids interpreted against the batch-start
+/// snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MutationOp {
+    AddVertex { vtype: VTypeId, attrs: Vec<Value> },
+    AddEdge { etype: ETypeId, src: VertexId, dst: VertexId, attrs: Vec<Value> },
+    SetVertexAttr { v: VertexId, attr: usize, value: Value },
+    SetEdgeAttr { e: EdgeId, attr: usize, value: Value },
+    DeleteVertex { v: VertexId },
+    DeleteEdge { e: EdgeId },
+}
+
+/// What a successfully applied batch did (for `POST /mutate` responses
+/// and shell feedback).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSummary {
+    pub inserted_vertices: usize,
+    pub inserted_edges: usize,
+    pub updated_attrs: usize,
+    pub deleted_vertices: usize,
+    pub deleted_edges: usize,
+}
+
+impl BatchSummary {
+    pub fn is_empty(&self) -> bool {
+        *self == BatchSummary::default()
+    }
+}
+
+/// Applies `ops` to `g` (a private clone of the published snapshot) as
+/// one atomic batch. On error the graph must be discarded — it may hold
+/// a prefix of the batch.
+///
+/// The returned graph is always finalized: readers of the next published
+/// snapshot pay zero overlay-chasing cost.
+pub fn apply_batch(g: &mut Graph, ops: &[MutationOp]) -> Result<BatchSummary, GraphError> {
+    let mut summary = BatchSummary::default();
+    let mut dead_vertices: Vec<bool> = Vec::new();
+    let mut dead_edges: Vec<bool> = Vec::new();
+
+    for op in ops {
+        match op {
+            MutationOp::AddVertex { vtype, attrs } => {
+                if vtype.0 as usize >= g.schema().vertex_type_count() {
+                    return Err(GraphError::Schema(
+                        crate::schema::SchemaError::UnknownVertexType(format!("#{}", vtype.0)),
+                    ));
+                }
+                g.add_vertex(*vtype, attrs.clone())?;
+                summary.inserted_vertices += 1;
+            }
+            MutationOp::AddEdge { etype, src, dst, attrs } => {
+                if etype.0 as usize >= g.schema().edge_type_count() {
+                    return Err(GraphError::Schema(
+                        crate::schema::SchemaError::UnknownEdgeType(format!("#{}", etype.0)),
+                    ));
+                }
+                g.add_edge(*etype, *src, *dst, attrs.clone())?;
+                summary.inserted_edges += 1;
+            }
+            MutationOp::SetVertexAttr { v, attr, value } => {
+                let def = vertex_def(g, *v)?;
+                if *attr >= def {
+                    return Err(GraphError::AttrArity { expected: def, got: *attr + 1 });
+                }
+                g.set_vertex_attr(*v, *attr, value.clone());
+                summary.updated_attrs += 1;
+            }
+            MutationOp::SetEdgeAttr { e, attr, value } => {
+                let def = edge_def(g, *e)?;
+                if *attr >= def {
+                    return Err(GraphError::AttrArity { expected: def, got: *attr + 1 });
+                }
+                g.set_edge_attr(*e, *attr, value.clone());
+                summary.updated_attrs += 1;
+            }
+            MutationOp::DeleteVertex { v } => {
+                if v.0 as usize >= g.vertex_count() {
+                    return Err(GraphError::BadVertexId(*v));
+                }
+                mark(&mut dead_vertices, v.0 as usize);
+            }
+            MutationOp::DeleteEdge { e } => {
+                if e.0 as usize >= g.edge_count() {
+                    return Err(GraphError::BadEdgeId(*e));
+                }
+                mark(&mut dead_edges, e.0 as usize);
+            }
+        }
+    }
+
+    if dead_vertices.iter().any(|&d| d) || dead_edges.iter().any(|&d| d) {
+        let (compacted, dv, de) = compact(g, &dead_vertices, &dead_edges);
+        summary.deleted_vertices = dv;
+        summary.deleted_edges = de;
+        *g = compacted;
+    } else {
+        g.finalize();
+    }
+    Ok(summary)
+}
+
+fn vertex_def(g: &Graph, v: VertexId) -> Result<usize, GraphError> {
+    if v.0 as usize >= g.vertex_count() {
+        return Err(GraphError::BadVertexId(v));
+    }
+    Ok(g.schema().vertex_type(g.vertex_type_of(v)).attrs.len())
+}
+
+fn edge_def(g: &Graph, e: EdgeId) -> Result<usize, GraphError> {
+    if e.0 as usize >= g.edge_count() {
+        return Err(GraphError::BadEdgeId(e));
+    }
+    Ok(g.schema().edge_type(g.edge_type_of(e)).attrs.len())
+}
+
+fn mark(flags: &mut Vec<bool>, idx: usize) {
+    if flags.len() <= idx {
+        flags.resize(idx + 1, false);
+    }
+    flags[idx] = true;
+}
+
+/// Rebuilds `g` without tombstoned vertices/edges. Edges with a dead
+/// endpoint are dropped too (referential integrity). Surviving elements
+/// keep their relative order, so the result is deterministic.
+fn compact(g: &Graph, dead_vertices: &[bool], dead_edges: &[bool]) -> (Graph, usize, usize) {
+    let vdead = |v: VertexId| dead_vertices.get(v.0 as usize).copied().unwrap_or(false);
+    let edead = |e: EdgeId| dead_edges.get(e.0 as usize).copied().unwrap_or(false);
+
+    let mut out = Graph::new(g.schema().clone());
+    let mut vmap: Vec<Option<VertexId>> = Vec::with_capacity(g.vertex_count());
+    let mut deleted_vertices = 0usize;
+    for v in g.vertices() {
+        if vdead(v) {
+            vmap.push(None);
+            deleted_vertices += 1;
+            continue;
+        }
+        let nattrs = g.schema().vertex_type(g.vertex_type_of(v)).attrs.len();
+        let attrs: Vec<Value> = (0..nattrs).map(|i| g.vertex_attr(v, i).clone()).collect();
+        // Same schema, arity verified by construction: cannot fail.
+        let nv = out
+            .add_vertex(g.vertex_type_of(v), attrs)
+            .expect("compact add_vertex");
+        vmap.push(Some(nv));
+    }
+    let mut deleted_edges = 0usize;
+    for e in g.edges() {
+        let (s, t) = g.edge_endpoints(e);
+        if edead(e) || vdead(s) || vdead(t) {
+            deleted_edges += 1;
+            continue;
+        }
+        let nattrs = g.schema().edge_type(g.edge_type_of(e)).attrs.len();
+        let attrs: Vec<Value> = (0..nattrs).map(|i| g.edge_attr(e, i).clone()).collect();
+        let (Some(ns), Some(nt)) = (vmap[s.0 as usize], vmap[t.0 as usize]) else {
+            unreachable!("live endpoints have mappings")
+        };
+        out.add_edge(g.edge_type_of(e), ns, nt, attrs).expect("compact add_edge");
+    }
+    out.finalize();
+    (out, deleted_vertices, deleted_edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::sales_graph;
+    use crate::loader::save_to_string;
+
+    fn vt(g: &Graph, name: &str) -> VTypeId {
+        g.schema().vertex_type_id(name).unwrap()
+    }
+
+    #[test]
+    fn insert_vertex_and_edge_in_one_batch() {
+        let mut g = sales_graph();
+        let base_v = g.vertex_count();
+        let person = vt(&g, "Customer");
+        let prod = vt(&g, "Product");
+        let bought = g.schema().edge_type_id("Bought").unwrap();
+        let nattrs_p = g.schema().vertex_type(person).attrs.len();
+        let nattrs_prod = g.schema().vertex_type(prod).attrs.len();
+        let nattrs_b = g.schema().edge_type(bought).attrs.len();
+        let mk = |n: usize, seed: i64| -> Vec<Value> {
+            (0..n)
+                .map(|i| match i {
+                    0 => Value::Str(format!("new{seed}")),
+                    _ => Value::Int(seed),
+                })
+                .collect()
+        };
+        let ops = vec![
+            MutationOp::AddVertex { vtype: person, attrs: mk(nattrs_p, 7) },
+            MutationOp::AddVertex { vtype: prod, attrs: mk(nattrs_prod, 8) },
+            // References the two vertices inserted above by provisional id.
+            MutationOp::AddEdge {
+                etype: bought,
+                src: VertexId(base_v as u32),
+                dst: VertexId(base_v as u32 + 1),
+                attrs: (0..nattrs_b).map(|_| Value::Int(1)).collect(),
+            },
+        ];
+        let s = apply_batch(&mut g, &ops).unwrap();
+        assert_eq!(s.inserted_vertices, 2);
+        assert_eq!(s.inserted_edges, 1);
+        assert_eq!(g.vertex_count(), base_v + 2);
+        assert!(g.is_finalized());
+    }
+
+    #[test]
+    fn delete_vertex_drops_incident_edges_and_redensifies() {
+        let mut g = sales_graph();
+        let v0 = VertexId(0);
+        let base_v = g.vertex_count();
+        let base_e = g.edge_count();
+        let incident = g.adjacency(v0).len();
+        assert!(incident > 0, "fixture vertex 0 must have edges");
+        let s = apply_batch(&mut g, &[MutationOp::DeleteVertex { v: v0 }]).unwrap();
+        assert_eq!(s.deleted_vertices, 1);
+        assert!(s.deleted_edges > 0);
+        assert_eq!(g.vertex_count(), base_v - 1);
+        assert!(g.edge_count() < base_e);
+        // Dense ids: every id below the new count is addressable.
+        for v in g.vertices() {
+            let _ = g.vertex_type_of(v);
+        }
+        assert!(g.is_finalized());
+    }
+
+    #[test]
+    fn compaction_is_deterministic() {
+        let ops = [
+            MutationOp::DeleteVertex { v: VertexId(1) },
+            MutationOp::DeleteEdge { e: EdgeId(0) },
+        ];
+        let mut a = sales_graph();
+        let mut b = sales_graph();
+        apply_batch(&mut a, &ops).unwrap();
+        apply_batch(&mut b, &ops).unwrap();
+        assert_eq!(save_to_string(&a).unwrap(), save_to_string(&b).unwrap());
+    }
+
+    #[test]
+    fn bad_ids_are_errors_not_panics() {
+        let mut g = sales_graph();
+        assert!(apply_batch(&mut g, &[MutationOp::DeleteVertex { v: VertexId(9999) }]).is_err());
+        let mut g = sales_graph();
+        assert!(apply_batch(&mut g, &[MutationOp::DeleteEdge { e: EdgeId(9999) }]).is_err());
+        let mut g = sales_graph();
+        assert!(apply_batch(
+            &mut g,
+            &[MutationOp::SetVertexAttr { v: VertexId(0), attr: 99, value: Value::Int(1) }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn update_attrs_apply_in_order() {
+        let mut g = sales_graph();
+        let ops = [
+            MutationOp::SetVertexAttr { v: VertexId(0), attr: 0, value: Value::Str("x".into()) },
+            MutationOp::SetVertexAttr { v: VertexId(0), attr: 0, value: Value::Str("y".into()) },
+        ];
+        let s = apply_batch(&mut g, &ops).unwrap();
+        assert_eq!(s.updated_attrs, 2);
+        assert_eq!(g.vertex_attr(VertexId(0), 0), &Value::Str("y".into()));
+    }
+
+    #[test]
+    fn double_delete_is_idempotent_within_a_batch() {
+        let mut g = sales_graph();
+        let base_v = g.vertex_count();
+        let ops = [
+            MutationOp::DeleteVertex { v: VertexId(2) },
+            MutationOp::DeleteVertex { v: VertexId(2) },
+        ];
+        let s = apply_batch(&mut g, &ops).unwrap();
+        assert_eq!(s.deleted_vertices, 1);
+        assert_eq!(g.vertex_count(), base_v - 1);
+    }
+}

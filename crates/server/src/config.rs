@@ -2,6 +2,8 @@
 
 use gsql_core::{Budget, PathSemantics};
 use pgraph::graph::Graph;
+use pgraph::wal::FlushPolicy;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// All tunables of one `gsql-serve` instance.
@@ -33,6 +35,14 @@ pub struct ServerConfig {
     pub max_deadline: Option<Duration>,
     /// Idle keep-alive read timeout before a worker drops a connection.
     pub idle_timeout: Duration,
+    /// Durability directory (WAL + checkpoints). `None` = in-memory
+    /// only: mutations work but nothing survives a restart.
+    pub data_dir: Option<PathBuf>,
+    /// WAL fsync policy for committed mutation batches.
+    pub wal_fsync: FlushPolicy,
+    /// Mutation batches between automatic checkpoints (0 = checkpoint
+    /// only at clean shutdown).
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +67,9 @@ impl Default for ServerConfig {
                 .with_max_while_iters(1_000_000),
             max_deadline: Some(Duration::from_secs(120)),
             idle_timeout: Duration::from_secs(30),
+            data_dir: None,
+            wal_fsync: FlushPolicy::Always,
+            checkpoint_every: 256,
         }
     }
 }
@@ -199,6 +212,16 @@ pub fn parse_args(argv: &[String]) -> Result<(ServerConfig, String), String> {
                     Some(parse_bytes(&value("--default-max-accum-bytes")?)?)
             }
             "--idle-timeout" => cfg.idle_timeout = parse_duration(&value("--idle-timeout")?)?,
+            "--data-dir" => cfg.data_dir = Some(PathBuf::from(value("--data-dir")?)),
+            "--wal-fsync" => {
+                let v = value("--wal-fsync")?;
+                cfg.wal_fsync = FlushPolicy::parse(&v)
+                    .ok_or_else(|| format!("--wal-fsync expects always|never|every=N, got `{v}`"))?;
+            }
+            "--checkpoint-every" => {
+                cfg.checkpoint_every =
+                    parse_u64(&value("--checkpoint-every")?, "--checkpoint-every")?
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
         }
@@ -238,6 +261,15 @@ usage: gsql-serve --graph <graph.pg|:sales|:linkedin|:diamond<n>|:snb[=sf]>
                   [--default-max-rows N] [--default-max-paths N]
                   [--default-max-accum-bytes N|MB]   governor defaults
                   [--idle-timeout D]                 keep-alive idle cutoff (30s)
+                  [--data-dir PATH]                  durability dir: WAL + checkpoints
+                  [--wal-fsync always|never|every=N] fsync cadence for commits (always)
+                  [--checkpoint-every N]             batches between checkpoints (256)
+
+With --data-dir the graph is durable: every POST /mutate batch is
+WAL-logged before it is visible, checkpoints compact the log, and a
+restart recovers checkpoint + WAL suffix (the --graph spec only seeds
+an empty directory). A WAL write error flips the server read-only
+(mutations 503) while queries keep serving; see docs/DURABILITY.md.
 
 The server drains and exits 0 on SIGTERM or stdin EOF.
 Per-request budget headers: x-gsql-deadline-ms, x-gsql-max-rows,
@@ -274,6 +306,19 @@ mod tests {
         assert_eq!(cfg.parallelism, 4);
         assert_eq!(cfg.default_budget.deadline, Some(Duration::from_secs(5)));
         assert_eq!(cfg.max_deadline, Some(Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn parses_durability_flags() {
+        let (cfg, _) = parse_args(&args(&[
+            "--graph", ":sales", "--data-dir", "/tmp/gsql-data", "--wal-fsync", "every=8",
+            "--checkpoint-every", "32",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.data_dir.as_deref(), Some(std::path::Path::new("/tmp/gsql-data")));
+        assert_eq!(cfg.wal_fsync, FlushPolicy::EveryN(8));
+        assert_eq!(cfg.checkpoint_every, 32);
+        assert!(parse_args(&args(&["--graph", ":sales", "--wal-fsync", "sometimes"])).is_err());
     }
 
     #[test]

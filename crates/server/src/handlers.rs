@@ -19,7 +19,9 @@ use crate::json::{self, write_json, Json};
 use crate::server::Shared;
 use gsql_core::exec::{QueryOutput, ReturnValue};
 use gsql_core::{Engine, ErrorKind, PreparedQuery, ResourceReport};
+use pgraph::mutate::BatchSummary;
 use pgraph::value::Value;
+use pgraph::wal::CommitError;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -31,13 +33,14 @@ pub fn handle(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> R
         ("GET", "/healthz") => healthz(shared),
         ("GET", "/metrics") => metrics(shared),
         ("POST", "/query") => query(shared, req, stream),
+        ("POST", "/mutate") => mutate(shared, req, stream),
         ("POST", "/explain") => explain(shared, req),
         ("POST", "/lint") => lint(shared, req),
         ("POST", "/prepare") => prepare(shared, req),
         ("POST", p) if p.starts_with("/execute/") => {
             execute(shared, req, stream, &p["/execute/".len()..])
         }
-        (_, "/query" | "/explain" | "/lint" | "/prepare") => {
+        (_, "/query" | "/mutate" | "/explain" | "/lint" | "/prepare") => {
             error_response(405, "method-not-allowed", "use POST", None)
         }
         (_, "/healthz" | "/metrics") => error_response(405, "method-not-allowed", "use GET", None),
@@ -49,7 +52,13 @@ pub fn handle(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> R
 }
 
 fn healthz(shared: &Shared) -> Response {
-    let status = if shared.shutting_down() { "draining" } else { "ok" };
+    let status = if shared.shutting_down() {
+        "draining"
+    } else if shared.read_only() {
+        "read-only"
+    } else {
+        "ok"
+    };
     Response::json(200, format!(r#"{{"status":"{status}"}}"#))
 }
 
@@ -66,6 +75,19 @@ fn metrics(shared: &Shared) -> Response {
         ));
         fields.push(("queue_depth".into(), Json::Int(shared.queue.depth() as i64)));
         fields.push(("inflight".into(), Json::Int(shared.gate.inflight() as i64)));
+        let wal = shared.live.stats();
+        let load = |c: &std::sync::atomic::AtomicU64| Json::Int(c.load(Ordering::Relaxed) as i64);
+        fields.push((
+            "wal".into(),
+            Json::Obj(vec![
+                ("appends".into(), load(&wal.appends)),
+                ("fsyncs".into(), load(&wal.fsyncs)),
+                ("replayed".into(), load(&wal.replayed)),
+                ("bytes".into(), load(&wal.bytes)),
+                ("durable".into(), Json::Bool(shared.live.is_durable())),
+                ("read_only".into(), Json::Bool(shared.read_only())),
+            ]),
+        ));
     }
     let mut body = String::new();
     write_json(&mut body, &snapshot);
@@ -145,7 +167,45 @@ fn query(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Respon
         return lint_response(shared, &cached.prepared, cached.hit);
     }
     let profiled = mode == TextMode::Profile || profile_requested(req);
-    run_query(shared, req, stream, &cached.prepared, &args, cached.hit, profiled)
+    run_query(shared, req, stream, &cached.prepared, &args, cached.hit, profiled, false)
+}
+
+/// `POST /mutate` — like `/query`, but the batch of mutation ops the
+/// query produced (INSERT/UPDATE/DELETE statements) is committed through
+/// the WAL after a successful run. The query executes against a pinned
+/// pre-write snapshot; its batch becomes visible atomically on commit.
+/// Refused with 503 while the server is degraded read-only.
+fn mutate(shared: &Shared, req: &Request, stream: &std::net::TcpStream) -> Response {
+    if shared.read_only() {
+        return error_response(
+            503,
+            "read-only",
+            "a WAL write failed earlier; the server is serving reads only (restart to recover)",
+            None,
+        )
+        .with_header("retry-after", "5");
+    }
+    let body = match parse_body(req) {
+        Ok(b) => b,
+        Err(resp) => return *resp,
+    };
+    let Some(src) = body.get("query").and_then(Json::as_str) else {
+        return error_response(400, "bad-request", "body must contain a string `query` field", None);
+    };
+    let (_, src) = strip_mode_prefix(src);
+    let args = match parse_call_args(&body) {
+        Ok(a) => a,
+        Err(resp) => return *resp,
+    };
+    let cached = match shared.plans.get_or_parse(src) {
+        Ok(c) => c,
+        Err(e) => {
+            shared.metrics.plan_misses.fetch_add(1, Ordering::Relaxed);
+            return query_error(shared, &e, false);
+        }
+    };
+    count_cache(shared, cached.hit);
+    run_query(shared, req, stream, &cached.prepared, &args, cached.hit, false, true)
 }
 
 /// `POST /explain` — return the logical plan without executing. Accepts
@@ -346,11 +406,14 @@ fn execute(shared: &Shared, req: &Request, stream: &std::net::TcpStream, id: &st
     };
     // Executing a resident plan is by definition a cache hit.
     count_cache(shared, true);
-    run_query(shared, req, stream, &prepared, &args, true, profile_requested(req))
+    run_query(shared, req, stream, &prepared, &args, true, profile_requested(req), false)
 }
 
 /// The shared execution path: admission gate → budget → engine run →
-/// metrics → response.
+/// (optional WAL commit) → metrics → response. `commit_mutations` is
+/// true only for `POST /mutate`; read endpoints refuse mutating queries
+/// with 422 instead.
+#[allow(clippy::too_many_arguments)]
 fn run_query(
     shared: &Shared,
     req: &Request,
@@ -359,6 +422,7 @@ fn run_query(
     args: &[(String, Value)],
     cache_hit: bool,
     profiled: bool,
+    commit_mutations: bool,
 ) -> Response {
     let Some(_permit) = shared.gate.try_acquire() else {
         shared.metrics.rejected_busy.fetch_add(1, Ordering::Relaxed);
@@ -377,7 +441,11 @@ fn run_query(
 
     shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();
-    let engine = Engine::new(&shared.graph)
+    // Pin this request's snapshot: concurrent commits publish new
+    // Arcs without disturbing it, so the whole run sees one consistent
+    // pre-write view of the graph.
+    let snapshot = shared.live.snapshot();
+    let engine = Engine::new(&snapshot)
         .with_semantics(shared.cfg.semantics)
         .with_parallelism(shared.cfg.parallelism)
         .with_budget(budget);
@@ -394,8 +462,29 @@ fn run_query(
 
     match outcome {
         Ok((out, profile)) => {
-            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.absorb_report(&out.report);
+            if !out.mutations.is_empty() && !commit_mutations {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                return error_response(
+                    422,
+                    "mutating-query",
+                    &format!(
+                        "query produces {} mutation op(s); this endpoint is read-only — \
+                         POST it to /mutate",
+                        out.mutations.len()
+                    ),
+                    None,
+                );
+            }
+            let mutation = if commit_mutations {
+                match commit_batch(shared, &out) {
+                    Ok(j) => Some(j),
+                    Err(resp) => return *resp,
+                }
+            } else {
+                None
+            };
+            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
             let mut fields = vec![
                 ("ok".into(), Json::Bool(true)),
                 ("query".into(), Json::Str(prepared.name().to_string())),
@@ -410,6 +499,9 @@ fn run_query(
                 // gsql_shell --profile --json prints.
                 fields.push(("profile".into(), Json::Raw(profile.to_json())));
             }
+            if let Some(m) = mutation {
+                fields.push(("mutation".into(), m));
+            }
             let payload = Json::Obj(fields);
             let mut body = String::new();
             write_json(&mut body, &payload);
@@ -417,6 +509,64 @@ fn run_query(
         }
         Err(e) => query_error(shared, &e, true),
     }
+}
+
+/// Commits a successful `/mutate` run's batch through the WAL. Returns
+/// the `"mutation"` response field, or the error response: 400 for a
+/// batch the graph rejected (stale ids — the query raced another
+/// writer), 503 + read-only degradation when the WAL device failed.
+fn commit_batch(shared: &Shared, out: &QueryOutput) -> Result<Json, Box<Response>> {
+    match shared.live.commit(&out.mutations) {
+        Ok((summary, seq)) => {
+            if !out.mutations.is_empty() {
+                shared.metrics.mutation_batches.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .mutation_ops
+                    .fetch_add(out.mutations.len() as u64, Ordering::Relaxed);
+            }
+            Ok(mutation_json(&summary, out.mutations.len(), seq, shared.live.is_durable()))
+        }
+        Err(CommitError::Graph(msg)) => {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            Err(Box::new(error_response(
+                409,
+                "mutation-conflict",
+                &format!("batch rejected at commit (a concurrent writer changed the graph?): {msg}"),
+                None,
+            )))
+        }
+        Err(CommitError::Wal(msg)) => {
+            // Write-ahead failed, so nothing was published: readers
+            // still see the last durable state. Degrade to read-only
+            // rather than risk diverging memory from the log.
+            shared.read_only.store(true, Ordering::Relaxed);
+            shared.metrics.wal_errors.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            Err(Box::new(
+                error_response(
+                    503,
+                    "wal-error",
+                    &format!("WAL append failed ({msg}); server degraded to read-only"),
+                    None,
+                )
+                .with_header("retry-after", "5"),
+            ))
+        }
+    }
+}
+
+fn mutation_json(s: &BatchSummary, ops: usize, seq: u64, durable: bool) -> Json {
+    Json::Obj(vec![
+        ("ops".into(), Json::Int(ops as i64)),
+        ("seq".into(), Json::Int(seq as i64)),
+        ("durable".into(), Json::Bool(durable)),
+        ("inserted_vertices".into(), Json::Int(s.inserted_vertices as i64)),
+        ("inserted_edges".into(), Json::Int(s.inserted_edges as i64)),
+        ("updated_attrs".into(), Json::Int(s.updated_attrs as i64)),
+        ("deleted_vertices".into(), Json::Int(s.deleted_vertices as i64)),
+        ("deleted_edges".into(), Json::Int(s.deleted_edges as i64)),
+    ])
 }
 
 /// Maps an engine error to a response and bumps the outcome counters.

@@ -23,10 +23,13 @@
 //!   `GET /metrics`;
 //! * [`handlers`] — endpoint routing and the error→status mapping.
 //!
-//! The graph is shared immutably (`Arc<pgraph::graph::Graph>`); each
-//! request builds a throwaway [`gsql_core::Engine`] view with its own
-//! budget and cancellation handle, which is cheap (the graph itself is
-//! borrowed, never copied).
+//! The graph is a [`pgraph::wal::LiveGraph`]: every request pins an
+//! immutable snapshot (`Arc<Graph>`) and builds a throwaway
+//! [`gsql_core::Engine`] view with its own budget and cancellation
+//! handle, which is cheap (the snapshot is borrowed, never copied).
+//! `POST /mutate` commits INSERT/UPDATE/DELETE batches through the
+//! write-ahead log; with `--data-dir` they survive crashes
+//! (docs/DURABILITY.md).
 
 pub mod admission;
 pub mod client;

@@ -2,9 +2,9 @@
 //! until SIGTERM or stdin EOF, then drain and exit 0.
 
 use gsql_serve::{load_graph, parse_args, Server};
+use pgraph::wal::LiveGraph;
 use std::io::Read as _;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 static STOP: AtomicBool = AtomicBool::new(false);
@@ -51,22 +51,53 @@ fn main() {
     };
 
     eprintln!("loading graph {graph_spec} ...");
-    let graph = match load_graph(&graph_spec) {
-        Ok(g) => Arc::new(g),
+    let seed = match load_graph(&graph_spec) {
+        Ok(g) => g,
         Err(e) => {
             eprintln!("gsql-serve: {e}");
             std::process::exit(2);
         }
     };
-    eprintln!(
-        "graph ready: {} vertices, {} edges",
-        graph.vertex_count(),
-        graph.edge_count()
-    );
+
+    // With --data-dir the durable state wins over the seed: an existing
+    // checkpoint + WAL suffix is recovered; the seed only initializes an
+    // empty directory.
+    let live = match &cfg.data_dir {
+        Some(dir) => {
+            match LiveGraph::open(dir, seed, cfg.wal_fsync, cfg.checkpoint_every) {
+                Ok((live, report)) => {
+                    eprintln!(
+                        "recovered from {}: checkpoint `{}` (seq {}), {} frame(s) / {} op(s) \
+                         replayed, {} skipped, {} byte(s) truncated",
+                        dir.display(),
+                        report.checkpoint,
+                        report.checkpoint_seq,
+                        report.frames_replayed,
+                        report.ops_replayed,
+                        report.frames_skipped,
+                        report.truncated_bytes,
+                    );
+                    for w in &report.warnings {
+                        eprintln!("gsql-serve: recovery warning: {w}");
+                    }
+                    live
+                }
+                Err(e) => {
+                    eprintln!("gsql-serve: cannot recover {}: {e}", dir.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => LiveGraph::in_memory(seed),
+    };
+    {
+        let g = live.snapshot();
+        eprintln!("graph ready: {} vertices, {} edges", g.vertex_count(), g.edge_count());
+    }
 
     install_sigterm_handler();
 
-    let server = match Server::start(cfg, graph) {
+    let server = match Server::start(cfg, live) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("gsql-serve: cannot start: {e}");
@@ -99,6 +130,14 @@ fn main() {
         std::thread::sleep(Duration::from_millis(50));
     }
     eprintln!("gsql-serve: draining ...");
+    let shared = server.shared().clone();
     server.shutdown();
+    // Clean shutdown: fsync any tail and fold the WAL into a fresh
+    // checkpoint so the next start replays nothing.
+    if shared.live.is_durable() && !shared.read_only() {
+        if let Err(e) = shared.live.flush().and_then(|()| shared.live.checkpoint_now()) {
+            eprintln!("gsql-serve: final checkpoint failed: {e}");
+        }
+    }
     eprintln!("gsql-serve: bye");
 }

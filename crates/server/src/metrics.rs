@@ -104,6 +104,12 @@ pub struct Metrics {
     /// Prepares refused with 422 by the lint gate (`Error`-severity
     /// diagnostics, or warnings under `x-gsql-lint: strict`).
     pub lint_rejected: AtomicU64,
+    /// Non-empty mutation batches committed via `POST /mutate`.
+    pub mutation_batches: AtomicU64,
+    /// Individual mutation ops inside those batches.
+    pub mutation_ops: AtomicU64,
+    /// WAL write failures (each flips the server read-only).
+    pub wal_errors: AtomicU64,
     /// End-to-end query latency (admission to response serialization).
     pub latency: Histogram,
     // Aggregated ResourceReport totals over all executed queries
@@ -168,6 +174,14 @@ impl Metrics {
                 Json::Obj(vec![
                     ("checks".into(), load(&self.lint_checks)),
                     ("rejected".into(), load(&self.lint_rejected)),
+                ]),
+            ),
+            (
+                "mutate".into(),
+                Json::Obj(vec![
+                    ("batches".into(), load(&self.mutation_batches)),
+                    ("ops".into(), load(&self.mutation_ops)),
+                    ("wal_errors".into(), load(&self.wal_errors)),
                 ]),
             ),
             (

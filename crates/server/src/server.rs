@@ -24,7 +24,7 @@ use crate::http::{self, RecvError, Response};
 use crate::metrics::Metrics;
 use crate::plan_cache::PlanCache;
 use gsql_core::CancelHandle;
-use pgraph::graph::Graph;
+use pgraph::wal::LiveGraph;
 use std::io::{self, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -35,13 +35,19 @@ use std::time::Duration;
 /// State shared by every server thread.
 pub struct Shared {
     pub cfg: ServerConfig,
-    pub graph: Arc<Graph>,
+    /// The mutable graph. Each request pins a snapshot
+    /// ([`LiveGraph::snapshot`]) and runs against that immutable view;
+    /// `POST /mutate` commits write batches through the WAL.
+    pub live: LiveGraph,
     pub metrics: Metrics,
     pub plans: PlanCache,
     pub gate: QueryGate,
     pub queue: ConnQueue,
     pub watchdog: Watchdog,
     pub shutdown: AtomicBool,
+    /// Set on the first WAL write failure: mutations are refused with
+    /// 503 while reads keep serving the last durable snapshot.
+    pub read_only: AtomicBool,
     conns: ConnRegistry,
 }
 
@@ -77,6 +83,10 @@ impl ConnRegistry {
 impl Shared {
     pub fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Relaxed)
+    }
+
+    pub fn read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
     }
 }
 
@@ -161,7 +171,9 @@ pub struct Server {
 
 impl Server {
     /// Binds and starts all threads; returns once the listener is live.
-    pub fn start(cfg: ServerConfig, graph: Arc<Graph>) -> io::Result<Server> {
+    /// `live` is the (possibly durable) graph; tests pass
+    /// [`LiveGraph::in_memory`].
+    pub fn start(cfg: ServerConfig, live: LiveGraph) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
@@ -173,8 +185,9 @@ impl Server {
             metrics: Metrics::default(),
             watchdog: Watchdog::default(),
             shutdown: AtomicBool::new(false),
+            read_only: AtomicBool::new(false),
             conns: ConnRegistry::default(),
-            graph,
+            live,
             cfg,
         });
 

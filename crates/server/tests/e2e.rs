@@ -13,7 +13,6 @@ use gsql_core::Engine;
 use pgraph::generators::diamond_chain;
 use pgraph::value::Value;
 use std::sync::atomic::Ordering;
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A query whose runtime scales with `n` (one governed WHILE iteration
@@ -28,8 +27,8 @@ const SPIN: &str = "CREATE QUERY Spin (int n) {
 fn start(tweak: impl FnOnce(&mut ServerConfig)) -> (Server, std::net::SocketAddr) {
     let mut cfg = ServerConfig::default();
     tweak(&mut cfg);
-    let graph = Arc::new(diamond_chain(12).0);
-    let server = Server::start(cfg, graph).expect("server starts");
+    let server =
+        Server::start(cfg, pgraph::wal::LiveGraph::in_memory(diamond_chain(12).0)).expect("server starts");
     let addr = server.local_addr();
     (server, addr)
 }
@@ -523,4 +522,158 @@ fn profile_header_adds_a_reconciling_profile_section() {
     assert!(resources.get("vertices_touched").and_then(Json::as_i64).unwrap() > 0);
     assert!(resources.get("edges_scanned").and_then(Json::as_i64).unwrap() > 0);
     server.shutdown();
+}
+
+/// A mutation statement batch: one vertex, one edge hanging it off v0.
+/// diamond_chain(12) has 37 vertices (ids 0..=36), so the provisional id
+/// of the inserted vertex is 37.
+const MUTATE_SRC: &str = "CREATE QUERY AddW () {
+  INSERT VERTEX V (name) VALUES (\"w0\");
+  INSERT EDGE E FROM 0 TO 37;
+}";
+
+fn mutate_body() -> String {
+    let mut q = String::new();
+    write_json(&mut q, &Json::Str(MUTATE_SRC.to_string()));
+    format!(r#"{{"query":{q}}}"#)
+}
+
+#[test]
+fn mutate_commits_while_query_rejects_mutating_statements() {
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect(addr).unwrap();
+
+    // A mutating query through the read path is refused before commit...
+    let resp = c.post_json("/query", &[], &mutate_body()).unwrap();
+    assert_eq!(resp.status, 422, "body: {}", String::from_utf8_lossy(&resp.body));
+    let j = resp.json().unwrap();
+    assert_eq!(
+        j.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str),
+        Some("mutating-query")
+    );
+    // ...and nothing changed.
+    let before = server.shared().live.snapshot();
+    assert_eq!(before.vertex_count(), diamond_chain(12).0.vertex_count());
+
+    // The same text through /mutate commits and reports the batch.
+    let resp = c.post_json("/mutate", &[], &mutate_body()).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+    let j = resp.json().unwrap();
+    let m = j.get("mutation").expect("mutate response carries a mutation section");
+    assert_eq!(m.get("ops").and_then(Json::as_i64), Some(2));
+    assert_eq!(m.get("inserted_vertices").and_then(Json::as_i64), Some(1));
+    assert_eq!(m.get("inserted_edges").and_then(Json::as_i64), Some(1));
+    assert_eq!(m.get("durable"), Some(&Json::Bool(false)), "in-memory server");
+
+    // Readers now see the new snapshot: Qn finds a path v0 -> w0, and
+    // the result is byte-identical to a local engine run on a locally
+    // mutated copy of the same seed graph.
+    let resp = c.post_json("/query", &[], &qn_body("w0")).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+    let expected = {
+        let mut graph = diamond_chain(12).0;
+        let out = Engine::new(&graph).run_text(MUTATE_SRC, &[]).unwrap();
+        pgraph::mutate::apply_batch(&mut graph, &out.mutations).unwrap();
+        let out = Engine::new(&graph)
+            .run_text(
+                &stdlib::qn("V", "E"),
+                &[("srcName", Value::Str("v0".into())), ("tgtName", Value::Str("w0".into()))],
+            )
+            .unwrap();
+        let mut s = String::new();
+        write_json(&mut s, &handlers::result_json(&out));
+        s
+    };
+    assert_eq!(result_bytes(&resp), expected);
+
+    // Metrics: the mutate section counts the batch, the wal section
+    // reports the non-durable backend, and the admission invariant
+    // still reconciles (the 422 counted as failed).
+    let m = c.get("/metrics").unwrap().json().unwrap();
+    let mutate = m.get("mutate").expect("metrics has mutate section");
+    assert_eq!(mutate.get("batches").and_then(Json::as_i64), Some(1));
+    assert_eq!(mutate.get("ops").and_then(Json::as_i64), Some(2));
+    assert_eq!(mutate.get("wal_errors").and_then(Json::as_i64), Some(0));
+    let wal = m.get("wal").expect("metrics has wal section");
+    assert_eq!(wal.get("durable"), Some(&Json::Bool(false)));
+    assert_eq!(wal.get("read_only"), Some(&Json::Bool(false)));
+    let get = |k: &str| m.get(k).and_then(Json::as_i64).unwrap();
+    assert_eq!(get("admitted"), get("completed") + get("failed") + get("cancelled"));
+    server.shutdown();
+}
+
+/// Spawns the real `gsql-serve` binary, returns (child, addr). The
+/// child's stdin is kept open (closing it triggers a graceful drain).
+#[cfg(unix)]
+fn spawn_serve(data_dir: &std::path::Path) -> (std::process::Child, std::net::SocketAddr) {
+    use std::io::BufRead as _;
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_gsql-serve"))
+        .arg("--graph")
+        .arg(":diamond12")
+        .arg("--data-dir")
+        .arg(data_dir)
+        .arg("--wal-fsync")
+        .arg("always")
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("spawn gsql-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = std::io::BufReader::new(stdout).lines();
+    let addr = loop {
+        let line = lines
+            .next()
+            .expect("server exited before announcing its port")
+            .expect("read stdout");
+        if let Some(rest) = line.strip_prefix("gsql-serve listening on http://") {
+            break rest.trim().parse().expect("addr parses");
+        }
+    };
+    (child, addr)
+}
+
+#[test]
+#[cfg(unix)]
+fn kill_nine_then_restart_recovers_byte_identical_results() {
+    let dir = std::env::temp_dir().join(format!("gsql-e2e-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Generation 1: seed, mutate durably, record query bytes, kill -9.
+    let (mut child, addr) = spawn_serve(&dir);
+    let before_crash = {
+        let mut c = Client::connect(addr).unwrap();
+        let resp = c.post_json("/mutate", &[], &mutate_body()).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+        let j = resp.json().unwrap();
+        let m = j.get("mutation").expect("mutation section");
+        assert_eq!(m.get("durable"), Some(&Json::Bool(true)), "--data-dir commits are durable");
+        let resp = c.post_json("/query", &[], &qn_body("w0")).unwrap();
+        assert_eq!(resp.status, 200);
+        result_bytes(&resp)
+    };
+    child.kill().unwrap(); // SIGKILL: no drain, no final checkpoint
+    child.wait().unwrap();
+
+    // Generation 2: recovery replays the WAL suffix; the same query is
+    // byte-identical to the pre-crash answer.
+    let (mut child, addr) = spawn_serve(&dir);
+    {
+        let mut c = Client::connect(addr).unwrap();
+        let resp = c.post_json("/query", &[], &qn_body("w0")).unwrap();
+        assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+        assert_eq!(result_bytes(&resp), before_crash, "recovery must be byte-identical");
+        // The replay is visible in the wal metrics.
+        let m = c.get("/metrics").unwrap().json().unwrap();
+        let wal = m.get("wal").expect("wal section");
+        assert_eq!(wal.get("durable"), Some(&Json::Bool(true)));
+        assert!(
+            wal.get("replayed").and_then(Json::as_i64).unwrap() >= 1,
+            "the crash left a WAL suffix to replay: {m}"
+        );
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
 }

@@ -577,3 +577,152 @@ fn case_expressions() {
     let out = run("CREATE QUERY G () { PRINT CASE WHEN false THEN 1 END AS x; }");
     assert_eq!(out.prints, vec!["x = null"]);
 }
+
+// ---- mutation statements (INSERT / UPDATE / DELETE) ----------------------
+//
+// The engine never mutates the graph it runs against: mutation
+// statements evaluate their expressions against the pinned snapshot and
+// emit a `MutationOp` batch in `QueryOutput::mutations`. The graph owner
+// (server /mutate, shell autosave, `LiveGraph::commit`) applies it.
+
+#[test]
+fn insert_statements_emit_ops_and_leave_the_snapshot_untouched() {
+    use pgraph::mutate::{apply_batch, MutationOp};
+
+    let g = sales_graph();
+    let out = Engine::new(&g)
+        .run_text(
+            r#"CREATE QUERY M () {
+          INSERT VERTEX Customer (name) VALUES ("erin");
+          INSERT VERTEX Product (name, category, list_price)
+                 VALUES ("drone", "toy", 99.5);
+          // Provisional ids: 8 and 9 are the two vertices inserted above.
+          INSERT EDGE Bought FROM 8 TO 9 (quantity, discount) VALUES (1, 0.0);
+          PRINT "done";
+        }"#,
+            &[],
+        )
+        .unwrap();
+    assert_eq!(out.prints, vec!["expr = done"]);
+    assert_eq!(out.mutations.len(), 3);
+    assert!(matches!(&out.mutations[0], MutationOp::AddVertex { .. }));
+    assert!(matches!(&out.mutations[2], MutationOp::AddEdge { .. }));
+    // Snapshot semantics: the source graph is untouched.
+    assert_eq!(g.vertex_count(), 8);
+    assert_eq!(g.edge_count(), 14);
+
+    // Applying the batch yields the mutated graph.
+    let mut g2 = g.clone();
+    apply_batch(&mut g2, &out.mutations).unwrap();
+    assert_eq!(g2.vertex_count(), 10);
+    assert_eq!(g2.edge_count(), 15);
+    let out2 = Engine::new(&g2)
+        .run_text(
+            r#"CREATE QUERY Q () {
+          SELECT c.name AS who, p.name AS what INTO T
+          FROM Customer:c -(Bought>)- Product:p
+          WHERE p.name == "drone";
+        }"#,
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        out2.table("T").unwrap().rows,
+        vec![vec![Value::from("erin"), Value::from("drone")]]
+    );
+}
+
+#[test]
+fn update_and_delete_filter_with_where() {
+    use pgraph::mutate::apply_batch;
+
+    let g = sales_graph();
+    let out = Engine::new(&g)
+        .run_text(
+            r#"CREATE QUERY M () {
+          UPDATE Product:p SET p.list_price = p.list_price * 2.0
+          WHERE p.category == "toy";
+          DELETE FROM Customer:c WHERE c.name == "dave";
+        }"#,
+            &[],
+        )
+        .unwrap();
+    // 3 toys updated + 1 customer deleted.
+    assert_eq!(out.mutations.len(), 4);
+    let mut g2 = g.clone();
+    let summary = apply_batch(&mut g2, &out.mutations).unwrap();
+    assert_eq!(summary.updated_attrs, 3);
+    assert_eq!(summary.deleted_vertices, 1);
+    assert_eq!(g2.vertex_count(), 7);
+    let out2 = Engine::new(&g2)
+        .run_text(
+            r#"CREATE QUERY Q () {
+          SELECT DISTINCT p.name, p.list_price INTO T FROM Product:p
+          WHERE p.category == "toy" ORDER BY p.name;
+        }"#,
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        out2.table("T").unwrap().rows,
+        vec![
+            vec![Value::from("blocks"), Value::Double(20.0)],
+            vec![Value::from("kite"), Value::Double(40.0)],
+            vec![Value::from("robot"), Value::Double(60.0)],
+        ]
+    );
+}
+
+#[test]
+fn mutation_runtime_errors_are_structured() {
+    let g = sales_graph();
+    let run = |src: &str| Engine::new(&g).run_text(src, &[]).unwrap_err().to_string();
+    // Unknown vertex type.
+    assert!(run(r#"CREATE QUERY M () { INSERT VERTEX Robot VALUES ("x"); }"#)
+        .contains("Robot"));
+    // Arity mismatch on a positional insert.
+    assert!(run(r#"CREATE QUERY M () { INSERT VERTEX Customer VALUES ("a", 1); }"#)
+        .contains("declares 1"));
+    // Unknown attribute in UPDATE.
+    assert!(run(r#"CREATE QUERY M () { UPDATE Customer:c SET c.age = 4; }"#).contains("age"));
+    // Type mismatch that cannot be coerced.
+    assert!(
+        run(r#"CREATE QUERY M () { UPDATE Product:p SET p.list_price = "free"; }"#)
+            .contains("expects"),
+    );
+    // Edge endpoint that is not a vertex.
+    assert!(run(r#"CREATE QUERY M () { INSERT EDGE Likes FROM -3 TO 0; }"#).contains("-3"));
+}
+
+#[test]
+fn update_sees_the_snapshot_not_its_own_writes() {
+    use pgraph::mutate::apply_batch;
+
+    // Both updates read list_price from the pinned snapshot: the +5
+    // reads the pre-double price, so the net effect is deterministic
+    // regardless of op order within the batch... but ops apply in
+    // order, so the second SET overwrites the first (last-write-wins
+    // per attribute), both computed against the snapshot.
+    let g = sales_graph();
+    let out = Engine::new(&g)
+        .run_text(
+            r#"CREATE QUERY M () {
+          UPDATE Product:p SET p.list_price = p.list_price * 2.0 WHERE p.name == "robot";
+          UPDATE Product:p SET p.list_price = p.list_price + 5.0 WHERE p.name == "robot";
+        }"#,
+            &[],
+        )
+        .unwrap();
+    let mut g2 = g.clone();
+    apply_batch(&mut g2, &out.mutations).unwrap();
+    let out2 = Engine::new(&g2)
+        .run_text(
+            r#"CREATE QUERY Q () {
+          SELECT DISTINCT p.list_price INTO T FROM Product:p WHERE p.name == "robot";
+        }"#,
+            &[],
+        )
+        .unwrap();
+    // Snapshot price 30.0: the last write is 30 + 5 = 35.
+    assert_eq!(out2.table("T").unwrap().rows, vec![vec![Value::Double(35.0)]]);
+}

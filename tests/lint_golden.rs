@@ -539,6 +539,28 @@ fn h004_invariant_while() {
     );
 }
 
+// ---- M001 DELETE without WHERE -------------------------------------------
+
+#[test]
+fn m001_unfiltered_delete() {
+    positive(
+        "m001",
+        "M001",
+        r#"CREATE QUERY q () {
+  DELETE FROM Page:p;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "m001",
+        "M001",
+        r#"CREATE QUERY q () {
+  DELETE FROM Page:p WHERE p.rank == 0;
+}"#,
+        COUNTING,
+    );
+}
+
 // ---- the paper's running examples stay clean ----------------------------
 
 #[test]
