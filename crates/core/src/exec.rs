@@ -662,10 +662,17 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     values.len()
                 )));
             }
+            let mut seen = vec![false; attrs.len()];
             for (c, e) in columns.iter().zip(values) {
                 let idx = attrs.iter().position(|a| &a.name == c).ok_or_else(|| {
                     Error::runtime(format!("{what} has no attribute `{c}`"))
                 })?;
+                if seen[idx] {
+                    return Err(Error::runtime(format!(
+                        "attribute `{c}` appears more than once in the INSERT column list"
+                    )));
+                }
+                seen[idx] = true;
                 let v = eval(&self.env(), e)?;
                 row[idx] = coerce_attr(v, attrs[idx].ty, c)?;
             }

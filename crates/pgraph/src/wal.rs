@@ -405,20 +405,38 @@ pub struct WalWriter {
     policy: FlushPolicy,
     unsynced: u32,
     stats: Arc<WalStats>,
+    /// Set by the first append/fsync failure. A failed `write_all` may
+    /// leave a partial frame on disk; a later successful append would
+    /// land after that garbage and be silently dropped by recovery's
+    /// truncate-at-first-defect rule. So one failure poisons the writer:
+    /// every subsequent append refuses until the file is reopened.
+    failed: bool,
 }
 
 impl WalWriter {
     fn open(path: &Path, policy: FlushPolicy, stats: Arc<WalStats>) -> std::io::Result<WalWriter> {
         let mut file = OpenOptions::new().create(true).append(true).open(path)?;
         file.seek(SeekFrom::End(0))?;
-        Ok(WalWriter { file, policy, unsynced: 0, stats })
+        Ok(WalWriter { file, policy, unsynced: 0, stats, failed: false })
+    }
+
+    fn poisoned_err() -> std::io::Error {
+        std::io::Error::other(
+            "WAL writer poisoned by an earlier write failure; reopen the data dir to resume",
+        )
     }
 
     /// Appends one batch frame; write-ahead means this must succeed (and
     /// per policy, be fsynced) before the in-memory graph is published.
     pub fn append(&mut self, seq: u64, ops: &[MutationOp]) -> std::io::Result<()> {
+        if self.failed {
+            return Err(Self::poisoned_err());
+        }
         let frame = encode_frame(seq, ops);
-        self.file.write_all(&frame)?;
+        if let Err(e) = self.file.write_all(&frame) {
+            self.failed = true;
+            return Err(e);
+        }
         self.stats.appends.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes.fetch_add(frame.len() as u64, Ordering::Relaxed);
         self.unsynced += 1;
@@ -435,8 +453,16 @@ impl WalWriter {
 
     /// fsyncs any unsynced appends (drain / checkpoint barrier).
     pub fn sync(&mut self) -> std::io::Result<()> {
+        if self.failed {
+            return Err(Self::poisoned_err());
+        }
         if self.unsynced > 0 {
-            self.file.sync_all()?;
+            if let Err(e) = self.file.sync_all() {
+                // Post-fsync-failure page-cache state is undefined
+                // (kernel may drop the dirty pages): poison.
+                self.failed = true;
+                return Err(e);
+            }
             self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
             self.unsynced = 0;
         }
@@ -526,6 +552,17 @@ pub struct RecoveryReport {
 pub enum CommitError {
     /// The batch itself was invalid (bad id, arity, endpoint type).
     Graph(String),
+    /// Optimistic-concurrency check failed: the batch was built against
+    /// the snapshot at `pinned` but another writer has since published
+    /// `committed`. The batch's vertex/edge ids may no longer name the
+    /// entities the query matched (compaction re-densifies ids), so it
+    /// must be rebuilt against a fresh snapshot, never applied.
+    Conflict {
+        /// The sequence number the batch was pinned at.
+        pinned: u64,
+        /// The sequence number actually published at commit time.
+        committed: u64,
+    },
     /// The WAL append/fsync failed — durability can no longer be
     /// guaranteed, so the writer should degrade to read-only.
     Wal(String),
@@ -535,6 +572,11 @@ impl fmt::Display for CommitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CommitError::Graph(e) => write!(f, "{e}"),
+            CommitError::Conflict { pinned, committed } => write!(
+                f,
+                "snapshot conflict: batch pinned at seq {pinned} but seq {committed} is \
+                 published; re-run the query against a fresh snapshot"
+            ),
             CommitError::Wal(e) => write!(f, "WAL write failed: {e}"),
         }
     }
@@ -558,7 +600,9 @@ struct WriterState {
 /// batch, append it to the WAL (write-**ahead**: durable before visible),
 /// then publish the new snapshot atomically.
 pub struct LiveGraph {
-    published: RwLock<Arc<Graph>>,
+    /// The current snapshot and the seq of the last batch folded into
+    /// it, published together so readers can pin both atomically.
+    published: RwLock<(Arc<Graph>, u64)>,
     writer: Mutex<WriterState>,
     stats: Arc<WalStats>,
 }
@@ -567,7 +611,7 @@ impl LiveGraph {
     /// In-memory only: mutations work, nothing is durable.
     pub fn in_memory(graph: Graph) -> LiveGraph {
         LiveGraph {
-            published: RwLock::new(Arc::new(graph)),
+            published: RwLock::new((Arc::new(graph), 0)),
             writer: Mutex::new(WriterState {
                 seq: 0,
                 wal: None,
@@ -603,6 +647,21 @@ impl LiveGraph {
 
         let mut report = RecoveryReport::default();
         let (graph, ckpt_seq) = if !cur.exists() && !prev.exists() {
+            // No checkpoint at all. A non-empty WAL here is an orphan —
+            // its ops were recorded against a base graph we no longer
+            // have, so replaying them onto `seed` would produce either a
+            // confusing Apply error or a silently wrong state. Refuse.
+            if let Ok(m) = std::fs::metadata(&wal_path) {
+                if m.len() > 0 {
+                    return Err(RecoveryError::Checkpoint(format!(
+                        "no checkpoint found but a non-empty wal.log ({} bytes) exists; \
+                         refusing to replay an orphan WAL onto the seed graph — move or \
+                         delete {} to reinitialize",
+                        m.len(),
+                        wal_path.display()
+                    )));
+                }
+            }
             // Fresh directory: seed it so the state is self-contained.
             let mut seed = seed;
             seed.finalize();
@@ -691,7 +750,7 @@ impl LiveGraph {
             .map_err(|e| RecoveryError::Io(e.to_string()))?;
         Ok((
             LiveGraph {
-                published: RwLock::new(Arc::new(graph)),
+                published: RwLock::new((Arc::new(graph), seq)),
                 writer: Mutex::new(WriterState {
                     seq,
                     wal: Some(wal),
@@ -708,7 +767,16 @@ impl LiveGraph {
     /// Pins the current snapshot. Cheap (one Arc clone); the returned
     /// graph never changes.
     pub fn snapshot(&self) -> Arc<Graph> {
-        self.published.read().unwrap().clone()
+        self.published.read().unwrap().0.clone()
+    }
+
+    /// Pins the current snapshot together with the seq of the last batch
+    /// folded into it. Pass that seq to [`LiveGraph::commit_checked`] to
+    /// reject a batch whose ids were resolved against a snapshot a
+    /// concurrent writer has since superseded.
+    pub fn snapshot_pinned(&self) -> (Arc<Graph>, u64) {
+        let p = self.published.read().unwrap();
+        (p.0.clone(), p.1)
     }
 
     /// WAL counters for `/metrics`.
@@ -718,17 +786,41 @@ impl LiveGraph {
 
     /// Whether commits are durable (opened with a data dir).
     pub fn is_durable(&self) -> bool {
-        self.writer.lock().unwrap().wal.is_some()
+        self.writer.lock().unwrap().dir.is_some()
     }
 
     /// Applies `ops` as one atomic, durable batch and publishes the new
     /// snapshot. Readers holding older snapshots are unaffected.
+    ///
+    /// No concurrency check: the batch's ids are trusted to be current.
+    /// Use [`LiveGraph::commit_checked`] when the batch was built by
+    /// resolving ids against a pinned snapshot that concurrent writers
+    /// may have superseded.
     pub fn commit(&self, ops: &[MutationOp]) -> Result<(BatchSummary, u64), CommitError> {
+        self.commit_checked(ops, None)
+    }
+
+    /// Like [`LiveGraph::commit`], but first verifies (inside the writer
+    /// lock) that the published seq still equals `expected_seq` from
+    /// [`LiveGraph::snapshot_pinned`]. A mismatch means another commit
+    /// landed after the batch's ids were resolved — deletions re-densify
+    /// ids and insertions shift the provisional-id base, so stale ids
+    /// can silently name the wrong entities even when still in range —
+    /// and the batch is rejected with [`CommitError::Conflict`].
+    pub fn commit_checked(
+        &self,
+        ops: &[MutationOp],
+        expected_seq: Option<u64>,
+    ) -> Result<(BatchSummary, u64), CommitError> {
+        let mut w = self.writer.lock().unwrap();
+        if let Some(pinned) = expected_seq {
+            if w.seq != pinned {
+                return Err(CommitError::Conflict { pinned, committed: w.seq });
+            }
+        }
         if ops.is_empty() {
-            let w = self.writer.lock().unwrap();
             return Ok((BatchSummary::default(), w.seq));
         }
-        let mut w = self.writer.lock().unwrap();
         // Apply to a private clone; the published snapshot stays intact
         // until the batch is durable.
         let mut next = Graph::clone(&self.snapshot());
@@ -737,14 +829,24 @@ impl LiveGraph {
         let seq = w.seq + 1;
         if let Some(wal) = w.wal.as_mut() {
             wal.append(seq, ops).map_err(|e| CommitError::Wal(e.to_string()))?;
+        } else if w.dir.is_some() {
+            // Durable store whose writer was lost (failed trim reopen):
+            // refuse rather than silently committing without durability.
+            return Err(CommitError::Wal(
+                "WAL writer unavailable after an earlier failure; reopen the data dir".into(),
+            ));
         }
         w.seq = seq;
-        *self.published.write().unwrap() = Arc::new(next);
+        *self.published.write().unwrap() = (Arc::new(next), seq);
         w.batches_since_ckpt += 1;
         if w.checkpoint_every > 0 && w.batches_since_ckpt >= w.checkpoint_every {
-            // Best-effort: a failed periodic checkpoint leaves a longer
-            // WAL, not an inconsistent store.
-            let _ = Self::checkpoint_locked(&mut w, &self.snapshot());
+            // A failed periodic checkpoint leaves a longer WAL, not an
+            // inconsistent store — but say so instead of hiding it. (A
+            // trim/reopen failure also drops the writer, so the next
+            // commit fails loudly and the server degrades to read-only.)
+            if let Err(e) = Self::checkpoint_locked(&mut w, &self.snapshot()) {
+                eprintln!("gsql: warning: periodic checkpoint failed (WAL retained): {e}");
+            }
         }
         Ok((summary, seq))
     }
@@ -816,12 +918,23 @@ impl LiveGraph {
                 }
             }
             if kept.len() < buf.len() {
-                loader::atomic_write_bytes(&wal_path, &kept).map_err(io)?;
-                let stats = w.wal.as_ref().map(|wal| wal.stats.clone());
-                let policy = w.wal.as_ref().map(|wal| wal.policy);
-                if let (Some(stats), Some(policy)) = (stats, policy) {
-                    w.wal = Some(WalWriter::open(&wal_path, policy, stats).map_err(io)?);
-                }
+                let Some(old) = w.wal.take() else { return Ok(()) };
+                let policy = old.policy;
+                let stats = old.stats.clone();
+                // Close the old fd BEFORE the rename lands: once the new
+                // wal.log is in place, the old fd names an unlinked inode
+                // and any append through it would be acknowledged yet
+                // unrecoverable. Everything is already fsynced (step 1)
+                // and we hold the writer lock, so no append can slip in.
+                drop(old);
+                let trim = loader::atomic_write_bytes(&wal_path, &kept);
+                // Always reopen from the path — whether or not the trim
+                // rename happened, the path names the authoritative log.
+                // On reopen failure leave `w.wal` empty: commit() then
+                // refuses durable writes instead of silently appending
+                // nowhere or dropping durability.
+                w.wal = Some(WalWriter::open(&wal_path, policy, stats).map_err(io)?);
+                trim.map_err(io)?;
             }
         }
         Ok(())
@@ -1058,6 +1171,77 @@ mod tests {
         assert_eq!(after.vertex_count(), before.vertex_count() + 2);
         // The pinned pre-commit snapshot is untouched.
         assert_eq!(before.vertex_count() + 2, after.vertex_count());
+    }
+
+    #[test]
+    fn commit_checked_rejects_stale_pins() {
+        let live = LiveGraph::in_memory(sales_graph());
+        let (snap, pinned) = live.snapshot_pinned();
+        assert_eq!(pinned, 0);
+        let ops = mk_ops(&snap, 1);
+        // A racing writer lands first.
+        live.commit(&ops).unwrap();
+        // The batch built against the pinned snapshot must be rejected —
+        // its ids were resolved against seq 0, not seq 1.
+        match live.commit_checked(&ops, Some(pinned)) {
+            Err(CommitError::Conflict { pinned: 0, committed: 1 }) => {}
+            other => panic!("expected Conflict, got {other:?}"),
+        }
+        // The rejection published nothing.
+        let (_, seq) = live.snapshot_pinned();
+        assert_eq!(seq, 1);
+        // A fresh pin commits fine.
+        let (snap2, pinned2) = live.snapshot_pinned();
+        live.commit_checked(&mk_ops(&snap2, 1), Some(pinned2)).unwrap();
+        assert_eq!(live.snapshot_pinned().1, 2);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // real filesystem
+    fn orphan_wal_without_checkpoint_is_a_recovery_error() {
+        let dir = std::env::temp_dir().join(format!("gsql-wal-orphan-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let seed = sales_graph();
+        let (live, _) = LiveGraph::open(&dir, seed.clone(), FlushPolicy::Always, 0).unwrap();
+        live.commit(&mk_ops(&live.snapshot(), 1)).unwrap();
+        drop(live);
+
+        // Lose both checkpoints but keep the WAL: its frames were
+        // recorded against a base we no longer have.
+        std::fs::remove_file(dir.join(CKPT_CUR)).unwrap();
+        assert!(!dir.join(CKPT_PREV).exists());
+        match LiveGraph::open(&dir, seed.clone(), FlushPolicy::Always, 0) {
+            Err(RecoveryError::Checkpoint(msg)) => assert!(msg.contains("orphan")),
+            other => panic!("expected Checkpoint error, got {:?}", other.map(|(_, r)| r)),
+        }
+
+        // An empty wal.log is fine: that's a genuinely fresh store.
+        std::fs::write(dir.join(WAL_FILE), b"").unwrap();
+        let (_, rep) = LiveGraph::open(&dir, seed, FlushPolicy::Always, 0).unwrap();
+        assert_eq!(rep.checkpoint, "fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore)] // real filesystem + /dev/full
+    fn failed_append_poisons_the_writer() {
+        // /dev/full accepts the open but fails every write with ENOSPC.
+        let dev_full = Path::new("/dev/full");
+        if !dev_full.exists() {
+            return; // non-Linux host: nothing to exercise
+        }
+        let g = sales_graph();
+        let ops = mk_ops(&g, 1);
+        let stats = Arc::new(WalStats::default());
+        let mut w = WalWriter::open(dev_full, FlushPolicy::Always, stats).unwrap();
+        let first = w.append(1, &ops).unwrap_err();
+        assert!(!first.to_string().contains("poisoned"));
+        // A partial frame may be on disk: the writer must refuse further
+        // appends (a later success would land after the garbage and be
+        // silently dropped by recovery) until reopened.
+        let second = w.append(2, &ops).unwrap_err();
+        assert!(second.to_string().contains("poisoned"), "{second}");
+        assert!(w.sync().unwrap_err().to_string().contains("poisoned"));
     }
 
     #[test]

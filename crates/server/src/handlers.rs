@@ -443,8 +443,10 @@ fn run_query(
     let started = Instant::now();
     // Pin this request's snapshot: concurrent commits publish new
     // Arcs without disturbing it, so the whole run sees one consistent
-    // pre-write view of the graph.
-    let snapshot = shared.live.snapshot();
+    // pre-write view of the graph. The seq pinned alongside it guards
+    // the commit below: a batch's vertex/edge ids are only meaningful
+    // against this exact snapshot.
+    let (snapshot, pinned_seq) = shared.live.snapshot_pinned();
     let engine = Engine::new(&snapshot)
         .with_semantics(shared.cfg.semantics)
         .with_parallelism(shared.cfg.parallelism)
@@ -477,7 +479,7 @@ fn run_query(
                 );
             }
             let mutation = if commit_mutations {
-                match commit_batch(shared, &out) {
+                match commit_batch(shared, &out, pinned_seq) {
                     Ok(j) => Some(j),
                     Err(resp) => return *resp,
                 }
@@ -512,11 +514,19 @@ fn run_query(
 }
 
 /// Commits a successful `/mutate` run's batch through the WAL. Returns
-/// the `"mutation"` response field, or the error response: 400 for a
-/// batch the graph rejected (stale ids — the query raced another
-/// writer), 503 + read-only degradation when the WAL device failed.
-fn commit_batch(shared: &Shared, out: &QueryOutput) -> Result<Json, Box<Response>> {
-    match shared.live.commit(&out.mutations) {
+/// the `"mutation"` response field, or the error response: 409 when
+/// another writer published a commit after this query pinned its
+/// snapshot (the batch's ids were resolved against the pinned view, so
+/// they may silently name different entities in the newer graph —
+/// optimistic concurrency rejects the whole batch) or when the graph
+/// itself rejects the batch, 503 + read-only degradation when the WAL
+/// device failed.
+fn commit_batch(
+    shared: &Shared,
+    out: &QueryOutput,
+    pinned_seq: u64,
+) -> Result<Json, Box<Response>> {
+    match shared.live.commit_checked(&out.mutations, Some(pinned_seq)) {
         Ok((summary, seq)) => {
             if !out.mutations.is_empty() {
                 shared.metrics.mutation_batches.fetch_add(1, Ordering::Relaxed);
@@ -527,12 +537,27 @@ fn commit_batch(shared: &Shared, out: &QueryOutput) -> Result<Json, Box<Response
             }
             Ok(mutation_json(&summary, out.mutations.len(), seq, shared.live.is_durable()))
         }
+        Err(CommitError::Conflict { pinned, committed }) => {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            Err(Box::new(
+                error_response(
+                    409,
+                    "mutation-conflict",
+                    &format!(
+                        "a concurrent writer committed seq {committed} after this query \
+                         pinned seq {pinned}; retry the mutation against the new state"
+                    ),
+                    None,
+                )
+                .with_header("retry-after", "0"),
+            ))
+        }
         Err(CommitError::Graph(msg)) => {
             shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
             Err(Box::new(error_response(
                 409,
                 "mutation-conflict",
-                &format!("batch rejected at commit (a concurrent writer changed the graph?): {msg}"),
+                &format!("batch rejected at commit: {msg}"),
                 None,
             )))
         }

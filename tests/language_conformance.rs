@@ -692,6 +692,12 @@ fn mutation_runtime_errors_are_structured() {
     );
     // Edge endpoint that is not a vertex.
     assert!(run(r#"CREATE QUERY M () { INSERT EDGE Likes FROM -3 TO 0; }"#).contains("-3"));
+    // Duplicate column in the INSERT column list: rejected, not
+    // last-value-wins.
+    assert!(run(
+        r#"CREATE QUERY M () { INSERT VERTEX Customer (name, name) VALUES ("a", "b"); }"#
+    )
+    .contains("more than once"));
 }
 
 #[test]
