@@ -197,7 +197,7 @@ fn run_smoke(addr: SocketAddr) {
     let mut ok_queries = 0i64;
     for (i, (wire, _)) in qn.arg_sets.iter().enumerate() {
         let resp = c
-            .post_json(&format!("/execute/{id}"), &[], &format!(r#"{{"args":{wire}}}"#))
+            .post_json(&format!("/execute/{id}"), &[], &format!(r#"{{"params":{wire}}}"#))
             .expect("execute");
         check(resp.status == 200, "POST /execute returns 200");
         check(
@@ -206,6 +206,26 @@ fn run_smoke(addr: SocketAddr) {
         );
         ok_queries += 1;
     }
+
+    // Bad bindings are refused before admission: 422 with a structured
+    // `bad-param` error naming the parameter at fault.
+    let resp = c
+        .post_json(
+            &format!("/execute/{id}"),
+            &[],
+            r#"{"params":{"srcName":7,"tgtName":"v2"}}"#,
+        )
+        .expect("execute bad binding");
+    check(resp.status == 422, "type-mismatched binding returns 422");
+    let err = resp.json().expect("bad-param json");
+    check(
+        err.get("error").and_then(|e| e.get("kind")).and_then(Json::as_str) == Some("bad-param"),
+        "422 body carries kind=bad-param",
+    );
+    check(
+        err.get("error").and_then(|e| e.get("param")).and_then(Json::as_str) == Some("srcName"),
+        "422 body names the offending parameter",
+    );
 
     // Ad-hoc query with a per-request budget header.
     let body = format!(

@@ -91,7 +91,9 @@ fn help() -> ExitCode {
          \x20 --semantics <s>      all_shortest_paths (default) | shortest_one |\n\
          \x20                      non_repeated_edge | non_repeated_vertex |\n\
          \x20                      all_shortest_paths_enumerate\n\
-         \x20 --explain            print the logical plan instead of executing\n\
+         \x20 --explain            print the optimized plan instead of executing;\n\
+         \x20                      operators carry `est_rows`/`est_cost` from the\n\
+         \x20                      loaded graph's statistics\n\
          \x20 --profile            execute with per-operator profiling; the profile\n\
          \x20                      tree prints to stderr after the results\n\
          \x20 --check              run the static analyzer instead of executing;\n\
@@ -428,7 +430,11 @@ fn main() -> ExitCode {
     let do_profile =
         (do_profile || settings.profile || mode == QueryMode::Profile) && !do_explain;
     if do_explain {
-        match gsql_core::explain_plan(&query, semantics) {
+        // Explaining through the engine (not the graph-less
+        // `explain_plan`) annotates each operator with `est_rows` /
+        // `est_cost` from the loaded graph's statistics — the same plan
+        // the executor would run.
+        match Engine::new(&graph).with_semantics(semantics).explain(&query) {
             Ok(plan) => {
                 if json {
                     println!("{}", plan.to_json());

@@ -466,9 +466,22 @@ fn eval_call(env: &Env, func: &str, args: &[Expr], star: bool) -> Result<Value> 
         "to_datetime" => {
             arity(3)?;
             let y = vals[0].as_i64().ok_or_else(|| Error::type_error("int", &vals[0]))?;
-            let m = vals[1].as_i64().ok_or_else(|| Error::type_error("int", &vals[1]))? as u32;
-            let d = vals[2].as_i64().ok_or_else(|| Error::type_error("int", &vals[2]))? as u32;
-            Ok(Value::DateTime(datetime::to_epoch(y, m, d)))
+            let m = vals[1].as_i64().ok_or_else(|| Error::type_error("int", &vals[1]))?;
+            let d = vals[2].as_i64().ok_or_else(|| Error::type_error("int", &vals[2]))?;
+            // Range-check before the u32 narrowing: a negative Int would
+            // otherwise wrap to a huge month/day and flow into the epoch
+            // math unvalidated.
+            if !(1..=12).contains(&m) {
+                return Err(Error::runtime(format!(
+                    "to_datetime: month out of range: {m} (expected 1..=12)"
+                )));
+            }
+            if !(1..=31).contains(&d) {
+                return Err(Error::runtime(format!(
+                    "to_datetime: day out of range: {d} (expected 1..=31)"
+                )));
+            }
+            Ok(Value::DateTime(datetime::to_epoch(y, m as u32, d as u32)))
         }
         other => Err(Error::runtime(format!("unknown function `{other}`"))),
     }

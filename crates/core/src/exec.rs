@@ -6,6 +6,7 @@ use crate::ast::*;
 use crate::error::{Error, Result};
 use crate::eval::{eval, truthy, Binding, BindingRow, Env, RowRef, VAccStore};
 use crate::governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
+use crate::plan::{BlockPlan, HopStrategy, LowerCtx, QueryPlan};
 use crate::profile::{Profile, Profiler, Span, SpanExtra};
 use crate::semantics::{reach, MatchStats, PathSemantics, ReachMap};
 use crate::table::Table;
@@ -156,14 +157,31 @@ impl<'g> Engine<'g> {
     }
 
     /// Runs a [`crate::PreparedQuery`] (parsed once, executed many
-    /// times). Equivalent to `run(prepared.query(), args)`; the handle
-    /// form is what plan caches and prepared-statement registries hold.
+    /// times). Unlike `run(prepared.query(), args)`, the prepared
+    /// handle's cached optimized [`QueryPlan`] is reused across
+    /// executions (and re-lowered only when the graph is re-finalized
+    /// or the engine semantics change), so arbitrarily many bindings
+    /// are served by one plan.
     pub fn run_prepared(
         &self,
         prepared: &crate::prepared::PreparedQuery,
         args: &[(&str, Value)],
     ) -> Result<QueryOutput> {
-        self.run(prepared.query(), args)
+        self.run_prepared_with(prepared, args, false).map(|(out, _)| out)
+    }
+
+    /// [`Engine::run_prepared`] with optional profiling — the serving
+    /// hot path: plan-cache lookup, then execution over the cached IR.
+    pub fn run_prepared_with(
+        &self,
+        prepared: &crate::prepared::PreparedQuery,
+        args: &[(&str, Value)],
+        profile: bool,
+    ) -> Result<(QueryOutput, Option<Profile>)> {
+        let plan = prepared.plan_for(self.graph.stats().epoch(), self.semantics, || {
+            self.plan(prepared.query())
+        });
+        self.run_planned(prepared.query(), args, profile, &plan)
     }
 
     /// Runs a parsed query with named arguments.
@@ -202,9 +220,23 @@ impl<'g> Engine<'g> {
         args: &[(&str, Value)],
         profile: bool,
     ) -> Result<(QueryOutput, Option<Profile>)> {
+        let plan = self.plan(query);
+        self.run_planned(query, args, profile, &plan)
+    }
+
+    /// Executes `query` over an already-lowered [`QueryPlan`] — the
+    /// common tail of [`Engine::run_with`] (fresh plan) and
+    /// [`Engine::run_prepared_with`] (cached plan).
+    fn run_planned(
+        &self,
+        query: &Query,
+        args: &[(&str, Value)],
+        profile: bool,
+        plan: &QueryPlan,
+    ) -> Result<(QueryOutput, Option<Profile>)> {
         let guard = QueryGuard::new(self.budget.clone(), self.cancel.clone());
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            self.run_inner(query, args, &guard, profile)
+            self.run_inner(query, args, &guard, profile, plan)
         }));
         match outcome {
             Ok(Ok((mut out, prof))) => {
@@ -216,10 +248,23 @@ impl<'g> Engine<'g> {
         }
     }
 
-    /// Builds the static query plan ([`crate::Plan`]) this engine would
-    /// execute `query` with, under the engine's configured semantics.
+    /// Lowers `query` into the optimized [`QueryPlan`] this engine
+    /// executes: cost-based (per-type cardinalities, average degrees,
+    /// kernel-direction choices) against the graph's `finalize()`-time
+    /// statistics. This is the plan [`Engine::run`] runs and
+    /// [`Engine::explain`] renders.
+    pub fn plan(&self, query: &Query) -> std::sync::Arc<QueryPlan> {
+        let ctx = LowerCtx { graph: self.graph, tables: &self.tables };
+        std::sync::Arc::new(crate::plan::lower_query(query, self.semantics, Some(&ctx)))
+    }
+
+    /// Builds the query plan ([`crate::Plan`]) this engine executes
+    /// `query` with, under the engine's configured semantics —
+    /// cost-annotated (`est_rows`/`est_cost`) from the graph's
+    /// statistics. This is the same lowering execution uses, so EXPLAIN
+    /// renders the plan that actually runs.
     pub fn explain(&self, query: &Query) -> Result<crate::explain::Plan> {
-        crate::explain::explain_plan(query, self.semantics)
+        Ok(self.plan(query).plan.clone())
     }
 
     fn run_inner(
@@ -228,6 +273,7 @@ impl<'g> Engine<'g> {
         args: &[(&str, Value)],
         guard: &QueryGuard,
         profile: bool,
+        plan: &QueryPlan,
     ) -> Result<(QueryOutput, Option<Profile>)> {
         let mut params: FxHashMap<String, Value> = FxHashMap::default();
         for p in &query.params {
@@ -256,6 +302,7 @@ impl<'g> Engine<'g> {
         let mut rt = Runtime {
             eng: self,
             guard,
+            plan,
             semantics: self.semantics,
             params,
             locals: FxHashMap::default(),
@@ -414,6 +461,9 @@ struct Runtime<'e, 'g> {
     eng: &'e Engine<'g>,
     /// Live resource-governor state for this execution.
     guard: &'e QueryGuard,
+    /// The lowered plan this execution runs over (pushdown assignment
+    /// and hop strategies are read from here, not re-derived).
+    plan: &'e QueryPlan,
     /// Active path semantics (engine default, overridable per query via
     /// `USE SEMANTICS`).
     semantics: PathSemantics,
@@ -1011,21 +1061,24 @@ impl<'e, 'g> Runtime<'e, 'g> {
         // applying each WHERE conjunct as soon as every FROM variable it
         // references is bound (classic selection pushdown — without it the
         // Q_n query would run the reachability kernel from every vertex of
-        // the graph before filtering on `s.name`).
-        let will_bind = from_bound_vars(&block.from);
-        let mut pending: Vec<(Expr, Vec<String>)> = Vec::new();
-        if let Some(cond) = &block.where_clause {
-            let mut conjuncts = Vec::new();
-            split_conjuncts(cond, &mut conjuncts);
-            for c in conjuncts {
-                let mut refs = Vec::new();
-                collect_var_refs(&c, &mut refs);
-                refs.retain(|r| will_bind.contains(r));
-                refs.sort();
-                refs.dedup();
-                pending.push((c, refs));
+        // the graph before filtering on `s.name`). The conjunct split and
+        // per-step assignment come from the lowered plan; the per-run
+        // worklist is just the not-yet-applied indices into it.
+        let bp: std::sync::Arc<BlockPlan> = match self.plan.block_for(block) {
+            Some(bp) if bp.semantics == self.semantics => bp.clone(),
+            // The static walk mispredicted the runtime semantics (an
+            // IF-guarded USE SEMANTICS) or the block reached us outside
+            // the planned query: lower it on the fly.
+            _ => {
+                let ctx = LowerCtx { graph: self.graph(), tables: &self.eng.tables };
+                std::sync::Arc::new(crate::plan::lower_block_only(
+                    block,
+                    self.semantics,
+                    Some(&ctx),
+                ))
             }
-        }
+        };
+        let mut pending: Vec<usize> = (0..bp.conjuncts.len()).collect();
 
         let mut vars: FxHashMap<String, usize> = FxHashMap::default();
         let mut table_refs: Vec<&Table> = Vec::new();
@@ -1059,7 +1112,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         let spec = self.resolve_spec(name)?;
                         rows = self.bind_vertex(rows, &mut vars, alias, &spec)?;
                     }
-                    rows = self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                    rows = self.apply_ready_filters(rows, &mut pending, &bp.conjuncts, &vars, &table_refs)?;
                     let n = rows.len() as u64;
                     self.prof_exit(span, SpanExtra { rows: n, ..SpanExtra::default() });
                 }
@@ -1074,7 +1127,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         .clone()
                         .unwrap_or_else(|| fresh_anon(&mut anon));
                     rows = self.bind_vertex(rows, &mut vars, &var, &spec)?;
-                    rows = self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                    rows = self.apply_ready_filters(rows, &mut pending, &bp.conjuncts, &vars, &table_refs)?;
                     let n = rows.len() as u64;
                     self.prof_exit(span, SpanExtra { rows: n, ..SpanExtra::default() });
                     let mut prev_col = vars[&var];
@@ -1104,14 +1157,17 @@ impl<'e, 'g> Runtime<'e, 'g> {
                             // reachability kernel runs — this is what lets
                             // enumerative kernels anchor on the target
                             // (Q_n's `t.name == tgtName`).
-                            to_spec =
-                                self.refine_spec(to_spec, &to_var, &mut pending)?;
+                            to_spec = self.refine_spec(
+                                to_spec, &to_var, &mut pending, &bp.conjuncts,
+                            )?;
                         }
                         rows = self.extend_hop(
                             rows, &mut vars, prev_col, hop, &to_var, &to_spec,
+                            bp.strategy_for(hop),
                         )?;
-                        rows =
-                            self.apply_ready_filters(rows, &mut pending, &vars, &table_refs)?;
+                        rows = self.apply_ready_filters(
+                            rows, &mut pending, &bp.conjuncts, &vars, &table_refs,
+                        )?;
                         prev_col = vars[&to_var];
                         if span.is_some() {
                             let extra = SpanExtra {
@@ -1134,7 +1190,8 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 .prof_enter("residual-filter", block as *const SelectBlock as usize, || {
                     format!("residual filters ({})", pending.len())
                 });
-            for (cond, _) in pending.drain(..) {
+            for idx in pending.drain(..) {
+                let cond = &bp.conjuncts[idx].0;
                 let mut kept = Vec::with_capacity(rows.len());
                 for row in rows {
                     let env = Env {
@@ -1145,7 +1202,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         }),
                         ..self.env()
                     };
-                    if truthy(&eval(&env, &cond)?)? {
+                    if truthy(&eval(&env, cond)?)? {
                         kept.push(row);
                     }
                 }
@@ -1219,21 +1276,25 @@ impl<'e, 'g> Runtime<'e, 'g> {
         &self,
         spec: Spec,
         var: &str,
-        pending: &mut Vec<(Expr, Vec<String>)>,
+        pending: &mut Vec<usize>,
+        conjuncts: &[(Expr, Vec<String>)],
     ) -> Result<Spec> {
         let applicable: Vec<usize> = pending
             .iter()
             .enumerate()
-            .filter(|(_, (_, refs))| refs.len() == 1 && refs[0] == var)
+            .filter(|(_, &ci)| {
+                let refs = &conjuncts[ci].1;
+                refs.len() == 1 && refs[0] == var
+            })
             .map(|(i, _)| i)
             .collect();
         if applicable.is_empty() {
             return Ok(spec);
         }
-        let conds: Vec<Expr> = applicable
+        let conds: Vec<&Expr> = applicable
             .iter()
             .rev()
-            .map(|&i| pending.remove(i).0)
+            .map(|&i| &conjuncts[pending.remove(i)].0)
             .collect();
         let mut pvars = FxHashMap::default();
         pvars.insert(var.to_string(), 0usize);
@@ -1259,26 +1320,27 @@ impl<'e, 'g> Runtime<'e, 'g> {
     fn apply_ready_filters(
         &self,
         mut rows: Vec<BindingRow>,
-        pending: &mut Vec<(Expr, Vec<String>)>,
+        pending: &mut Vec<usize>,
+        conjuncts: &[(Expr, Vec<String>)],
         vars: &FxHashMap<String, usize>,
         tables: &[&Table],
     ) -> Result<Vec<BindingRow>> {
         let mut i = 0;
         while i < pending.len() {
-            let ready = pending[i].1.iter().all(|v| vars.contains_key(v))
-                && !pending[i].1.is_empty();
+            let refs = &conjuncts[pending[i]].1;
+            let ready = refs.iter().all(|v| vars.contains_key(v)) && !refs.is_empty();
             if !ready {
                 i += 1;
                 continue;
             }
-            let (cond, _) = pending.remove(i);
+            let cond = &conjuncts[pending.remove(i)].0;
             let mut kept = Vec::with_capacity(rows.len());
             for row in rows {
                 let env = Env {
                     row: Some(RowRef { vars, bindings: &row.bindings, tables }),
                     ..self.env()
                 };
-                if truthy(&eval(&env, &cond)?)? {
+                if truthy(&eval(&env, cond)?)? {
                     kept.push(row);
                 }
             }
@@ -1337,6 +1399,13 @@ impl<'e, 'g> Runtime<'e, 'g> {
     }
 
     /// Extends the binding table across one pattern hop.
+    ///
+    /// `plan_strategy` is the planner's cost-based choice for this hop;
+    /// it is advisory — runtime conditions (is the target actually
+    /// anchored? how large did the spec-refined set turn out?) always
+    /// gate the backward kernels, so a stale or missing hint degrades
+    /// to the syntax-driven default, never to a wrong answer.
+    #[allow(clippy::too_many_arguments)]
     fn extend_hop(
         &mut self,
         rows: Vec<BindingRow>,
@@ -1345,6 +1414,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         hop: &Hop,
         to_var: &str,
         to_spec: &Spec,
+        plan_strategy: Option<HopStrategy>,
     ) -> Result<Vec<BindingRow>> {
         let graph = self.graph();
         let existing_to = vars.get(to_var).copied();
@@ -1417,24 +1487,28 @@ impl<'e, 'g> Runtime<'e, 'g> {
         // what makes the Table-1 enumeration cost grow with the target's
         // distance rather than with the whole graph's path population.
         let target_bound = existing_to.is_some() || anchored_to.is_some();
+        // Counting kernels reverse only when the cost model asked for it
+        // (fewer estimated targets than sources); enumerative kernels
+        // always prefer the anchored side, hint or no hint.
+        let backward_capable = self.semantics.is_enumerative()
+            || matches!(plan_strategy, Some(HopStrategy::CountingBackward));
         // A small (spec-refined) target set also anchors the kernel: run
         // backward once per target instead of forward once per source.
-        let spec_targets: Option<Vec<VertexId>> =
-            if self.semantics.is_enumerative() && !target_bound {
-                match &to_spec {
-                    Spec::Single(v) => Some(vec![*v]),
-                    Spec::Set(s) if s.len() <= 32 => {
-                        let mut v: Vec<VertexId> = s.iter().copied().collect();
-                        v.sort();
-                        Some(v)
-                    }
-                    _ => None,
+        let spec_targets: Option<Vec<VertexId>> = if backward_capable && !target_bound {
+            match &to_spec {
+                Spec::Single(v) => Some(vec![*v]),
+                Spec::Set(s) if s.len() <= 32 => {
+                    let mut v: Vec<VertexId> = s.iter().copied().collect();
+                    v.sort();
+                    Some(v)
                 }
-            } else {
-                None
-            };
+                _ => None,
+            }
+        } else {
+            None
+        };
         let reverse_from_target =
-            self.semantics.is_enumerative() && (target_bound || spec_targets.is_some());
+            backward_capable && (target_bound || spec_targets.is_some());
         let rev_nfa = if reverse_from_target { Some(nfa.reversed()) } else { None };
 
         // Multi-source fan-out: pre-compute the distinct kernel keys the
@@ -2369,43 +2443,6 @@ fn post_accum_var(
         }
     }
     Ok(found)
-}
-
-/// Splits an expression into its top-level AND-conjuncts.
-fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
-    if let Expr::Binary { op: BinOp::And, lhs, rhs } = e {
-        split_conjuncts(lhs, out);
-        split_conjuncts(rhs, out);
-    } else {
-        out.push(e.clone());
-    }
-}
-
-/// The set of variable names the FROM clause will bind (statically known
-/// from the AST), used to decide when a WHERE conjunct becomes ready.
-fn from_bound_vars(items: &[FromItem]) -> FxHashSet<String> {
-    let mut out = FxHashSet::default();
-    for item in items {
-        match item {
-            FromItem::Table { alias, .. } => {
-                out.insert(alias.clone());
-            }
-            FromItem::Pattern { start, hops, .. } => {
-                if let Some(v) = &start.var {
-                    out.insert(v.clone());
-                }
-                for h in hops {
-                    if let Some(v) = &h.edge_var {
-                        out.insert(v.clone());
-                    }
-                    if let Some(v) = &h.to.var {
-                        out.insert(v.clone());
-                    }
-                }
-            }
-        }
-    }
-    out
 }
 
 fn collect_var_refs(e: &Expr, out: &mut Vec<String>) {

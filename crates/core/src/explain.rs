@@ -26,7 +26,6 @@
 use crate::ast::*;
 use crate::error::Result;
 use crate::semantics::PathSemantics;
-use pgraph::fxhash::FxHashSet;
 use std::fmt::Write as _;
 
 /// One operator of a static query plan.
@@ -39,15 +38,29 @@ use std::fmt::Write as _;
 pub struct PlanNode {
     /// Stable operator tag (see `docs/PLAN_FORMAT.md` for the full list).
     pub op: &'static str,
-    /// Human-readable description; exactly the text-rendering line.
+    /// Human-readable description; the text rendering prints this line
+    /// (plus the estimate suffix when estimates are present).
     pub detail: String,
     /// Child operators, in evaluation order.
     pub children: Vec<PlanNode>,
+    /// Planner cardinality estimate — rows flowing out of this operator.
+    /// `None` when the plan was lowered without graph statistics (the
+    /// graph-less [`explain_plan`] entry point).
+    pub est_rows: Option<u64>,
+    /// Planner cost estimate — an order-of-magnitude work unit count
+    /// (rows touched, CSR entries scanned, kernel edge traversals).
+    pub est_cost: Option<u64>,
 }
 
 impl PlanNode {
-    fn new(op: &'static str, detail: impl Into<String>) -> Self {
-        PlanNode { op, detail: detail.into(), children: Vec::new() }
+    pub(crate) fn new(op: &'static str, detail: impl Into<String>) -> Self {
+        PlanNode {
+            op,
+            detail: detail.into(),
+            children: Vec::new(),
+            est_rows: None,
+            est_cost: None,
+        }
     }
 
     /// Number of nodes in this subtree, including `self`.
@@ -94,6 +107,9 @@ fn render_into(node: &PlanNode, depth: usize, out: &mut String) {
         out.push_str("  ");
     }
     out.push_str(&node.detail);
+    if let (Some(r), Some(c)) = (node.est_rows, node.est_cost) {
+        write!(out, " [est_rows={r} est_cost={c}]").unwrap();
+    }
     out.push('\n');
     for c in &node.children {
         render_into(c, depth + 1, out);
@@ -105,6 +121,9 @@ fn node_json(out: &mut String, node: &PlanNode) {
     json_string(out, node.op);
     out.push_str(",\"detail\":");
     json_string(out, &node.detail);
+    if let (Some(r), Some(c)) = (node.est_rows, node.est_cost) {
+        write!(out, ",\"est_rows\":{r},\"est_cost\":{c}").unwrap();
+    }
     out.push_str(",\"children\":[");
     for (i, c) in node.children.iter().enumerate() {
         if i > 0 {
@@ -135,14 +154,15 @@ pub(crate) fn json_string(out: &mut String, s: &str) {
 }
 
 /// Builds the static [`Plan`] for `query` under `semantics`.
+///
+/// This graph-less entry point lowers through the same planner as
+/// execution (`crate::plan::lower_query`) but without graph
+/// statistics, so `est_rows`/`est_cost` are absent and every cost-based
+/// choice falls back to the syntax-driven default. Use
+/// [`crate::Engine::explain`] to see the cost-annotated plan the engine
+/// actually executes against its graph.
 pub fn explain_plan(query: &Query, semantics: PathSemantics) -> Result<Plan> {
-    let mut root = PlanNode::new(
-        "query",
-        format!("QUERY {} [{:?} semantics]", query.name, semantics),
-    );
-    let mut block_no = 0usize;
-    explain_stmts(&query.body, semantics, &mut block_no, &mut root.children);
-    Ok(Plan { query: query.name.clone(), semantics, root })
+    Ok(crate::plan::lower_query(query, semantics, None).plan)
 }
 
 /// Renders a static plan for `query` under `semantics` as text — the
@@ -150,247 +170,6 @@ pub fn explain_plan(query: &Query, semantics: PathSemantics) -> Result<Plan> {
 /// `explain_plan(query, semantics)?.render()`.
 pub fn explain(query: &Query, semantics: PathSemantics) -> Result<String> {
     Ok(explain_plan(query, semantics)?.render())
-}
-
-fn explain_stmts(
-    stmts: &[Stmt],
-    mut semantics: PathSemantics,
-    block_no: &mut usize,
-    out: &mut Vec<PlanNode>,
-) {
-    for stmt in stmts {
-        match stmt {
-            Stmt::UseSemantics(s) => {
-                semantics = *s;
-                out.push(PlanNode::new(
-                    "use-semantics",
-                    format!("USE SEMANTICS -> {semantics:?}"),
-                ));
-            }
-            Stmt::Select(block) => {
-                *block_no += 1;
-                out.push(explain_block(block, semantics, *block_no));
-            }
-            Stmt::VSetAssign { name, source, .. } => match source {
-                VSetSource::Select(block) => {
-                    *block_no += 1;
-                    out.push(PlanNode::new(
-                        "vset-assign",
-                        format!("{name} = <block {block_no}>"),
-                    ));
-                    out.push(explain_block(block, semantics, *block_no));
-                }
-                VSetSource::Literal(entries) => {
-                    out.push(PlanNode::new(
-                        "vset-assign",
-                        format!("{name} = scan {{{}}}", entries.join(", ")),
-                    ));
-                }
-                VSetSource::SetOp { op, lhs, rhs } => {
-                    out.push(PlanNode::new(
-                        "vset-assign",
-                        format!("{name} = {lhs} {op:?} {rhs}"),
-                    ));
-                }
-            },
-            Stmt::While { body, limit, .. } => {
-                let mut node = PlanNode::new(
-                    "while",
-                    format!(
-                        "WHILE loop{}:",
-                        if limit.is_some() { " (bounded)" } else { "" }
-                    ),
-                );
-                explain_stmts(body, semantics, block_no, &mut node.children);
-                out.push(node);
-            }
-            Stmt::If { then_branch, else_branch, .. } => {
-                let mut node = PlanNode::new("if", "IF:");
-                explain_stmts(then_branch, semantics, block_no, &mut node.children);
-                out.push(node);
-                if !else_branch.is_empty() {
-                    let mut node = PlanNode::new("else", "ELSE:");
-                    explain_stmts(else_branch, semantics, block_no, &mut node.children);
-                    out.push(node);
-                }
-            }
-            Stmt::Foreach { var, body, .. } => {
-                let mut node = PlanNode::new("foreach", format!("FOREACH {var}:"));
-                explain_stmts(body, semantics, block_no, &mut node.children);
-                out.push(node);
-            }
-            _ => {}
-        }
-    }
-}
-
-fn explain_block(block: &SelectBlock, semantics: PathSemantics, no: usize) -> PlanNode {
-    let mut node = PlanNode::new("block", format!("BLOCK {no}:"));
-
-    // Conjunct bookkeeping mirrors the executor's pushdown.
-    let will_bind = from_bound_vars_pub(&block.from);
-    let mut conjuncts: Vec<(String, Vec<String>)> = Vec::new();
-    if let Some(w) = &block.where_clause {
-        let mut parts = Vec::new();
-        split_conjuncts_pub(w, &mut parts);
-        for c in parts {
-            let mut refs = Vec::new();
-            collect_refs(&c, &mut refs);
-            refs.retain(|r| will_bind.contains(r));
-            refs.sort();
-            refs.dedup();
-            conjuncts.push((expr_label(&c), refs));
-        }
-    }
-    let mut bound: FxHashSet<String> = FxHashSet::default();
-    // Every conjunct whose variables are all bound attaches to `parent`
-    // (the binding step that made it ready) as a pushdown-filter child.
-    let emit_ready = |bound: &FxHashSet<String>,
-                      conjuncts: &mut Vec<(String, Vec<String>)>,
-                      parent: &mut PlanNode| {
-        let mut i = 0;
-        while i < conjuncts.len() {
-            let ready =
-                !conjuncts[i].1.is_empty() && conjuncts[i].1.iter().all(|v| bound.contains(v));
-            if ready {
-                let (label, _) = conjuncts.remove(i);
-                parent.children.push(PlanNode::new(
-                    "pushdown-filter",
-                    format!("pushdown filter: {label}"),
-                ));
-            } else {
-                i += 1;
-            }
-        }
-    };
-
-    for item in &block.from {
-        match item {
-            FromItem::Table { name, alias } => {
-                let mut scan = PlanNode::new(
-                    "scan",
-                    format!("scan {name} AS {alias} (table or vertex set)"),
-                );
-                bound.insert(alias.clone());
-                emit_ready(&bound, &mut conjuncts, &mut scan);
-                node.children.push(scan);
-            }
-            FromItem::Pattern { start, hops, .. } => {
-                let mut scan = PlanNode::new(
-                    "scan",
-                    format!(
-                        "scan {}{}",
-                        start.name,
-                        start.var.as_ref().map(|v| format!(" AS {v}")).unwrap_or_default()
-                    ),
-                );
-                if let Some(v) = &start.var {
-                    bound.insert(v.clone());
-                }
-                emit_ready(&bound, &mut conjuncts, &mut scan);
-                node.children.push(scan);
-                for hop in hops {
-                    let to = hop
-                        .to
-                        .var
-                        .as_ref()
-                        .map(|v| format!("{} AS {v}", hop.to.name))
-                        .unwrap_or_else(|| hop.to.name.clone());
-                    // Will the target be spec-anchored by a sargable conjunct?
-                    let sargable = hop.to.var.as_ref().is_some_and(|tv| {
-                        conjuncts.iter().any(|(_, refs)| refs.len() == 1 && refs[0] == *tv)
-                    });
-                    let strategy = if hop.darpe.as_single_symbol().is_some() {
-                        "adjacency scan".to_string()
-                    } else if !semantics.is_enumerative() {
-                        "SDMC counting kernel, forward (polynomial, Thm 6.1)".to_string()
-                    } else if sargable
-                        || hop.to.var.as_ref().is_some_and(|tv| bound.contains(tv))
-                    {
-                        "enumerative kernel, backward from anchored target (EXPONENTIAL)"
-                            .to_string()
-                    } else {
-                        "enumerative kernel, forward (EXPONENTIAL)".to_string()
-                    };
-                    let mut hop_node = PlanNode::new(
-                        "hop",
-                        format!("hop -({})-> {to}: {strategy}", hop.darpe),
-                    );
-                    if sargable {
-                        // Name the consumed conjuncts.
-                        if let Some(tv) = &hop.to.var {
-                            conjuncts.retain(|(label, refs)| {
-                                if refs.len() == 1 && refs[0] == *tv {
-                                    hop_node.children.push(PlanNode::new(
-                                        "sargable-anchor",
-                                        format!("sargable anchor: {label}"),
-                                    ));
-                                    false
-                                } else {
-                                    true
-                                }
-                            });
-                        }
-                    }
-                    if let Some(ev) = &hop.edge_var {
-                        bound.insert(ev.clone());
-                    }
-                    if let Some(tv) = &hop.to.var {
-                        bound.insert(tv.clone());
-                    }
-                    emit_ready(&bound, &mut conjuncts, &mut hop_node);
-                    node.children.push(hop_node);
-                }
-            }
-        }
-    }
-    for (label, _) in &conjuncts {
-        node.children.push(PlanNode::new(
-            "residual-filter",
-            format!("residual filter: {label}"),
-        ));
-    }
-    if !block.accum.is_empty() {
-        node.children.push(PlanNode::new(
-            "accum",
-            format!(
-                "ACCUM: {} statement(s), snapshot Map/Reduce",
-                block.accum.len()
-            ),
-        ));
-    }
-    if !block.post_accum.is_empty() {
-        node.children.push(PlanNode::new(
-            "post-accum",
-            format!("POST_ACCUM: {} statement(s)", block.post_accum.len()),
-        ));
-    }
-    if let Some(g) = &block.group_by {
-        node.children.push(PlanNode::new(
-            "group-by",
-            format!("GROUP BY: {} grouping set(s)", g.sets.len()),
-        ));
-    }
-    for frag in &block.outputs {
-        let kind = if frag.items.len() == 1
-            && frag.items[0].alias.is_none()
-            && matches!(frag.items[0].expr, Expr::Ident(_))
-        {
-            "vertex set"
-        } else if frag.items.iter().any(|i| i.expr.contains_aggregate()) {
-            "aggregated table"
-        } else {
-            "projected table"
-        };
-        node.children.push(PlanNode::new(
-            "output",
-            format!(
-                "output{}: {kind}",
-                frag.into.as_ref().map(|n| format!(" INTO {n}")).unwrap_or_default()
-            ),
-        ));
-    }
-    node
 }
 
 /// A compact one-line label for a SELECT block's FROM clause, shared
@@ -423,65 +202,9 @@ pub(crate) fn vspec_label(spec: &VSpec) -> String {
     }
 }
 
-fn expr_label(e: &Expr) -> String {
-    match e {
-        Expr::Binary { op, lhs, rhs } => {
-            format!("{} {op:?} {}", expr_label(lhs), expr_label(rhs))
-        }
-        Expr::Ident(n) => n.clone(),
-        Expr::Attr { base, field } => format!("{base}.{field}"),
-        Expr::VAcc { var, name, .. } => format!("{var}.@{name}"),
-        Expr::GAcc(n) => format!("@@{n}"),
-        Expr::Str(s) => format!("'{s}'"),
-        Expr::Int(i) => i.to_string(),
-        Expr::Double(d) => d.to_string(),
-        Expr::Call { func, .. } => format!("{func}(..)"),
-        _ => "<expr>".to_string(),
-    }
-}
 
-fn collect_refs(e: &Expr, out: &mut Vec<String>) {
-    e.walk(&mut |sub| match sub {
-        Expr::Ident(n) => out.push(n.clone()),
-        Expr::Attr { base, .. } => out.push(base.clone()),
-        Expr::VAcc { var, .. } => out.push(var.clone()),
-        _ => {}
-    });
-}
 
-fn split_conjuncts_pub(e: &Expr, out: &mut Vec<Expr>) {
-    if let Expr::Binary { op: BinOp::And, lhs, rhs } = e {
-        split_conjuncts_pub(lhs, out);
-        split_conjuncts_pub(rhs, out);
-    } else {
-        out.push(e.clone());
-    }
-}
 
-fn from_bound_vars_pub(items: &[FromItem]) -> FxHashSet<String> {
-    let mut out = FxHashSet::default();
-    for item in items {
-        match item {
-            FromItem::Table { alias, .. } => {
-                out.insert(alias.clone());
-            }
-            FromItem::Pattern { start, hops, .. } => {
-                if let Some(v) = &start.var {
-                    out.insert(v.clone());
-                }
-                for h in hops {
-                    if let Some(v) = &h.edge_var {
-                        out.insert(v.clone());
-                    }
-                    if let Some(v) = &h.to.var {
-                        out.insert(v.clone());
-                    }
-                }
-            }
-        }
-    }
-    out
-}
 
 #[cfg(test)]
 mod tests {

@@ -64,6 +64,7 @@ pub mod governor;
 pub mod lexer;
 pub mod lint;
 pub mod parser;
+pub mod plan;
 pub mod prepared;
 pub mod profile;
 pub mod semantics;
@@ -77,7 +78,8 @@ pub use explain::{explain, explain_plan, Plan, PlanNode};
 pub use governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
 pub use lint::{lint_query, lint_query_with, Diagnostic, Severity};
 pub use parser::{parse_query, parse_query_with_mode, QueryMode};
-pub use prepared::PreparedQuery;
+pub use plan::{BlockPlan, HopStrategy, QueryPlan};
+pub use prepared::{BindError, BindErrorKind, PreparedQuery};
 pub use profile::{Profile, ProfileNode};
 pub use semantics::{MatchStats, PathSemantics};
 pub use table::Table;

@@ -1,0 +1,939 @@
+//! Lowering + cost-based planning: the typed AST becomes an executable
+//! plan IR before anything runs.
+//!
+//! `lower_query` compiles a parsed [`Query`] into a [`QueryPlan`]:
+//! the renderable [`Plan`] tree `EXPLAIN` prints **and** the per-block
+//! [`BlockPlan`]s the executor consumes. The executor no longer
+//! re-derives pushdown decisions per run — WHERE conjuncts are split
+//! once at plan time, each conjunct is assigned to the earliest binding
+//! step that can evaluate it, and every pattern hop carries a
+//! [`HopStrategy`] chosen by the cost model. `EXPLAIN` therefore renders
+//! the plan that actually executes.
+//!
+//! Planning is *cost-based* when graph statistics are available
+//! ([`pgraph::graph::GraphStats`], collected at `finalize()` time):
+//! per-type cardinalities and average degrees drive `est_rows` /
+//! `est_cost` annotations on every data-producing node, and decide the
+//! kernel direction for Kleene hops — a counting kernel runs **backward
+//! from an anchored target** when the estimated number of distinct
+//! targets is strictly smaller than the estimated number of sources
+//! (path reversal is a bijection, so shortest-path counts are
+//! identical). Without statistics (`ctx = None`, the graph-less
+//! `EXPLAIN` entry point) the same lowering runs with estimates omitted
+//! and every choice falling back to the syntax-driven default, so plan
+//! *shape* is independent of statistics.
+//!
+//! Estimator constants are deliberately coarse (equality conjuncts are
+//! point lookups clamped to ~1 row, other predicates keep half their
+//! input, reachability fraction 0.5): the point is order-of-magnitude
+//! steering, and the `PROFILE` counters are the feedback loop —
+//! `tests/planner_estimates.rs` flags any node whose `est_rows` is more
+//! than 10x off the measured rows on the bench workloads.
+//!
+//! Determinism contract: hops execute in pattern order (the cost model
+//! annotates but never reorders them), so results stay byte-identical
+//! across plans, parallelism levels, and statistics refreshes.
+
+use crate::ast::*;
+use crate::explain::{Plan, PlanNode};
+use crate::semantics::PathSemantics;
+use crate::table::Table;
+use darpe::{Darpe, DarpeDir, Symbol};
+use pgraph::fxhash::{FxHashMap, FxHashSet};
+use pgraph::graph::Graph;
+use pgraph::schema::ETypeId;
+use std::sync::Arc;
+
+/// Rows an equality conjunct (`x.a == c`) is assumed to keep: a point
+/// lookup, independent of input cardinality.
+const EQ_POINT_ROWS: f64 = 1.0;
+/// Selectivity assumed for any other conjunct.
+const SEL_OTHER: f64 = 0.5;
+/// Fraction of the candidate target set a reachability kernel is assumed
+/// to reach from one source.
+const REACH_FRACTION: f64 = 0.5;
+/// Default cardinality guess for a `SET<VERTEX>` parameter.
+const VSET_PARAM_EST: f64 = 8.0;
+
+/// Everything the planner may consult about the execution environment.
+/// `graph` supplies schema + [`pgraph::graph::GraphStats`]; `tables`
+/// supplies relational input cardinalities.
+pub(crate) struct LowerCtx<'a> {
+    /// The graph the plan will run against.
+    pub graph: &'a Graph,
+    /// Registered relational input tables.
+    pub tables: &'a FxHashMap<String, Table>,
+}
+
+/// The execution strategy the planner chose for one pattern hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopStrategy {
+    /// Single-edge hop: enumerate the CSR adjacency of each source.
+    Adjacency,
+    /// Polynomial SDMC counting kernel, forward from each source.
+    CountingForward,
+    /// Polynomial SDMC counting kernel, run backward from the anchored
+    /// target over the reversed automaton (chosen when the estimated
+    /// target count is strictly smaller than the source count; path
+    /// reversal is a bijection so counts are identical).
+    CountingBackward,
+    /// Enumerative kernel, forward from each source (exponential).
+    EnumForward,
+    /// Enumerative kernel, backward from the anchored target
+    /// (exponential, but bounded by the target's path population).
+    EnumBackward,
+}
+
+impl HopStrategy {
+    /// The stable human-readable strategy phrase used in plan details.
+    pub fn describe(self) -> &'static str {
+        match self {
+            HopStrategy::Adjacency => "adjacency scan",
+            HopStrategy::CountingForward => {
+                "SDMC counting kernel, forward (polynomial, Thm 6.1)"
+            }
+            HopStrategy::CountingBackward => {
+                "SDMC counting kernel, backward from anchored target (polynomial, Thm 6.1)"
+            }
+            HopStrategy::EnumForward => "enumerative kernel, forward (EXPONENTIAL)",
+            HopStrategy::EnumBackward => {
+                "enumerative kernel, backward from anchored target (EXPONENTIAL)"
+            }
+        }
+    }
+}
+
+/// The executable plan for one SELECT block: the split WHERE conjuncts
+/// (with the FROM variables each references) and the per-hop strategy
+/// choices. The executor's pushdown worklist is a list of *indices*
+/// into [`BlockPlan::conjuncts`], so per-execution bookkeeping never
+/// clones or re-walks the AST.
+#[derive(Debug, Clone)]
+pub struct BlockPlan {
+    /// The path semantics this block was lowered under. The executor
+    /// re-lowers on the fly if the runtime semantics diverge (an
+    /// `IF`-guarded `USE SEMANTICS` the static walk could not predict).
+    pub semantics: PathSemantics,
+    /// Split WHERE conjuncts in source order, each with the sorted,
+    /// deduplicated FROM variables it references.
+    pub conjuncts: Vec<(Expr, Vec<String>)>,
+    /// Hop strategies keyed by `&Hop as *const _ as usize` (the same
+    /// AST-identity keying the profiler uses).
+    strategies: FxHashMap<usize, HopStrategy>,
+}
+
+impl BlockPlan {
+    /// The strategy chosen for `hop`, if this plan covers it.
+    pub fn strategy_for(&self, hop: &Hop) -> Option<HopStrategy> {
+        self.strategies.get(&(hop as *const Hop as usize)).copied()
+    }
+}
+
+/// A lowered, optimized query plan: the renderable [`Plan`] tree plus
+/// the executable per-block plans, keyed by AST identity.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The renderable plan tree (`EXPLAIN` output).
+    pub plan: Plan,
+    /// The engine-default semantics the plan was lowered under.
+    pub semantics: PathSemantics,
+    /// The graph finalize-epoch the cost estimates were computed against
+    /// (0 = lowered without statistics). Prepared-statement plan caches
+    /// key on this: a re-finalized graph invalidates cached plans.
+    pub epoch: u64,
+    blocks: FxHashMap<usize, Arc<BlockPlan>>,
+}
+
+impl QueryPlan {
+    /// The executable plan for `block`, when this query plan covers it
+    /// (AST-identity keyed).
+    pub fn block_for(&self, block: &SelectBlock) -> Option<&Arc<BlockPlan>> {
+        self.blocks.get(&(block as *const SelectBlock as usize))
+    }
+}
+
+struct LowerState<'a, 'c> {
+    ctx: Option<&'c LowerCtx<'a>>,
+    params: &'a [Param],
+    blocks: FxHashMap<usize, Arc<BlockPlan>>,
+    block_no: usize,
+    /// Planner-visible vertex-set cardinalities (`S = SELECT ...` feeds
+    /// later blocks' scans).
+    vset_est: FxHashMap<String, f64>,
+}
+
+/// Lowers `query` into a [`QueryPlan`] under `semantics`, cost-based
+/// when `ctx` supplies graph statistics.
+pub(crate) fn lower_query(
+    query: &Query,
+    semantics: PathSemantics,
+    ctx: Option<&LowerCtx<'_>>,
+) -> QueryPlan {
+    let mut root = PlanNode::new(
+        "query",
+        format!("QUERY {} [{:?} semantics]", query.name, semantics),
+    );
+    let mut st = LowerState {
+        ctx,
+        params: &query.params,
+        blocks: FxHashMap::default(),
+        block_no: 0,
+        vset_est: FxHashMap::default(),
+    };
+    lower_stmts(&query.body, semantics, &mut st, &mut root.children);
+    QueryPlan {
+        epoch: ctx.map_or(0, |c| c.graph.stats().epoch()),
+        semantics,
+        plan: Plan { query: query.name.clone(), semantics, root },
+        blocks: st.blocks,
+    }
+}
+
+/// Lowers a single block outside a whole-query walk — the executor's
+/// fallback when the runtime semantics diverge from the static plan.
+pub(crate) fn lower_block_only(
+    block: &SelectBlock,
+    semantics: PathSemantics,
+    ctx: Option<&LowerCtx<'_>>,
+) -> BlockPlan {
+    let mut st = LowerState {
+        ctx,
+        params: &[],
+        blocks: FxHashMap::default(),
+        block_no: 0,
+        vset_est: FxHashMap::default(),
+    };
+    let (_, bp, _) = lower_block(block, semantics, 1, &mut st);
+    bp
+}
+
+fn lower_stmts(
+    stmts: &[Stmt],
+    mut semantics: PathSemantics,
+    st: &mut LowerState<'_, '_>,
+    out: &mut Vec<PlanNode>,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::UseSemantics(s) => {
+                semantics = *s;
+                out.push(PlanNode::new(
+                    "use-semantics",
+                    format!("USE SEMANTICS -> {semantics:?}"),
+                ));
+            }
+            Stmt::Select(block) => {
+                st.block_no += 1;
+                let (node, bp, _) = lower_block(block, semantics, st.block_no, st);
+                st.blocks.insert(
+                    block.as_ref() as *const SelectBlock as usize,
+                    Arc::new(bp),
+                );
+                out.push(node);
+            }
+            Stmt::VSetAssign { name, source, .. } => match source {
+                VSetSource::Select(block) => {
+                    st.block_no += 1;
+                    out.push(PlanNode::new(
+                        "vset-assign",
+                        format!("{name} = <block {}>", st.block_no),
+                    ));
+                    let (node, bp, est) = lower_block(block, semantics, st.block_no, st);
+                    st.blocks.insert(
+                        block.as_ref() as *const SelectBlock as usize,
+                        Arc::new(bp),
+                    );
+                    st.vset_est.insert(name.clone(), est);
+                    out.push(node);
+                }
+                VSetSource::Literal(entries) => {
+                    let mut node = PlanNode::new(
+                        "vset-assign",
+                        format!("{name} = scan {{{}}}", entries.join(", ")),
+                    );
+                    if st.ctx.is_some() {
+                        let est: f64 =
+                            entries.iter().map(|e| scan_est(e, None, st)).sum();
+                        st.vset_est.insert(name.clone(), est);
+                        annotate(&mut node, est, est);
+                    }
+                    out.push(node);
+                }
+                VSetSource::SetOp { op, lhs, rhs } => {
+                    let mut node = PlanNode::new(
+                        "vset-assign",
+                        format!("{name} = {lhs} {op:?} {rhs}"),
+                    );
+                    if st.ctx.is_some() {
+                        let l = scan_est(lhs, None, st);
+                        let r = scan_est(rhs, None, st);
+                        let est = match op {
+                            SetOp::Union => l + r,
+                            SetOp::Intersect => l.min(r),
+                            SetOp::Minus => l,
+                        };
+                        st.vset_est.insert(name.clone(), est);
+                        annotate(&mut node, est, l + r);
+                    }
+                    out.push(node);
+                }
+            },
+            Stmt::While { body, limit, .. } => {
+                let mut node = PlanNode::new(
+                    "while",
+                    format!(
+                        "WHILE loop{}:",
+                        if limit.is_some() { " (bounded)" } else { "" }
+                    ),
+                );
+                lower_stmts(body, semantics, st, &mut node.children);
+                out.push(node);
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                let mut node = PlanNode::new("if", "IF:");
+                lower_stmts(then_branch, semantics, st, &mut node.children);
+                out.push(node);
+                if !else_branch.is_empty() {
+                    let mut node = PlanNode::new("else", "ELSE:");
+                    lower_stmts(else_branch, semantics, st, &mut node.children);
+                    out.push(node);
+                }
+            }
+            Stmt::Foreach { var, body, .. } => {
+                let mut node = PlanNode::new("foreach", format!("FOREACH {var}:"));
+                lower_stmts(body, semantics, st, &mut node.children);
+                out.push(node);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Attaches `est_rows`/`est_cost` to a node (estimates are clamped to
+/// non-negative and rendered as rounded integers).
+fn annotate(node: &mut PlanNode, rows: f64, cost: f64) {
+    node.est_rows = Some(rows.max(0.0).round() as u64);
+    node.est_cost = Some(cost.max(0.0).round() as u64);
+}
+
+/// Estimated cardinality of scanning `name` (vertex type, vertex-set
+/// variable, parameter, or `_`/`ANY`), narrowed to 1 when the binding
+/// variable is anchored by a same-named vertex parameter (mirroring the
+/// executor's `anchor_for`).
+fn scan_est(name: &str, var: Option<&str>, st: &LowerState<'_, '_>) -> f64 {
+    let Some(ctx) = st.ctx else { return 0.0 };
+    let stats = ctx.graph.stats();
+    let est = if let Some(e) = st.vset_est.get(name) {
+        *e
+    } else if name == "_" || name.eq_ignore_ascii_case("any") {
+        stats.total_vertices() as f64
+    } else if let Some(vt) = ctx.graph.schema().vertex_type_id(name) {
+        stats.vertex_count(vt) as f64
+    } else {
+        match st.params.iter().find(|p| p.name == name).map(|p| &p.ty) {
+            Some(ParamType::Vertex(_)) => 1.0,
+            Some(ParamType::VertexSet) => VSET_PARAM_EST,
+            _ => 1.0,
+        }
+    };
+    let anchored = var.is_some_and(|v| {
+        st.params.iter().any(|p| p.name == v && matches!(p.ty, ParamType::Vertex(_)))
+    });
+    if anchored {
+        est.min(1.0)
+    } else {
+        est
+    }
+}
+
+/// Cardinality left after applying one WHERE conjunct to `card` input
+/// rows. Equality is modelled as a point lookup (clamped to
+/// [`EQ_POINT_ROWS`] — fractional selectivities diverge from reality as
+/// the graph grows); every other predicate keeps a fixed fraction.
+fn filtered_card(card: f64, e: &Expr) -> f64 {
+    match e {
+        Expr::Binary { op: BinOp::Eq, .. } => card.min(EQ_POINT_ROWS),
+        _ => card * SEL_OTHER,
+    }
+}
+
+/// Estimated adjacency fanout of one DARPE symbol: edges matched per
+/// source vertex, averaged over the population the symbol can actually
+/// start from (the edge type's schema-declared endpoint types), not the
+/// whole graph — averaging over unrelated vertex types would dilute the
+/// fanout of type-constrained edges on heterogeneous graphs.
+fn symbol_fanout(sym: &Symbol, ctx: &LowerCtx<'_>) -> f64 {
+    use pgraph::schema::VTypeId;
+    let stats = ctx.graph.stats();
+    let schema = ctx.graph.schema();
+    let total_v = stats.total_vertices().max(1) as f64;
+    // Population of the endpoint side a traversal starts from: the
+    // schema-declared endpoint types when present, otherwise the vertex
+    // types that actually carry this edge type in the loaded graph (the
+    // per-type degree tables collected at `finalize()`).
+    let side_pop = |declared: &[VTypeId], incoming: bool, et: ETypeId| -> f64 {
+        if !declared.is_empty() {
+            return declared
+                .iter()
+                .map(|vt| stats.vertex_count(*vt) as f64)
+                .sum::<f64>()
+                .max(1.0);
+        }
+        let mut pop = 0.0;
+        for i in 0..schema.vertex_type_count() {
+            let vt = VTypeId(i as u32);
+            let d = if incoming {
+                stats.avg_in_degree(vt, et)
+            } else {
+                stats.avg_out_degree(vt, et)
+            };
+            if d > 0.0 {
+                pop += stats.vertex_count(vt) as f64;
+            }
+        }
+        if pop > 0.0 { pop } else { total_v }
+    };
+    let ets: Vec<ETypeId> = match &sym.edge_type {
+        Some(name) => schema.edge_type_id(name).into_iter().collect(),
+        None => (0..schema.edge_type_count()).map(|i| ETypeId(i as u32)).collect(),
+    };
+    let mut fanout = 0.0;
+    for et in ets {
+        let def = schema.edge_type(et);
+        let e = stats.edge_count(et) as f64;
+        fanout += match (sym.dir, def.directed) {
+            // An undirected edge appears in the CSR from both endpoints;
+            // out-degree statistics include undirected incidence.
+            (DarpeDir::Undirected, false) | (DarpeDir::Any, false) => {
+                let mut vts: Vec<VTypeId> = def.from_types.clone();
+                for vt in &def.to_types {
+                    if !vts.contains(vt) {
+                        vts.push(*vt);
+                    }
+                }
+                2.0 * e / side_pop(&vts, false, et)
+            }
+            (DarpeDir::Undirected, true) => 0.0,
+            (DarpeDir::Any, true) => {
+                e / side_pop(&def.from_types, false, et)
+                    + e / side_pop(&def.to_types, true, et)
+            }
+            (DarpeDir::Forward, true) => e / side_pop(&def.from_types, false, et),
+            (DarpeDir::Reverse, true) => e / side_pop(&def.to_types, true, et),
+            (DarpeDir::Forward | DarpeDir::Reverse, false) => 0.0,
+        };
+    }
+    fanout
+}
+
+fn darpe_symbols<'d>(d: &'d Darpe, out: &mut Vec<&'d Symbol>) {
+    match d {
+        Darpe::Symbol(s) => out.push(s),
+        Darpe::Concat(xs) | Darpe::Alt(xs) => {
+            for x in xs {
+                darpe_symbols(x, out);
+            }
+        }
+        Darpe::Repeat { inner, .. } => darpe_symbols(inner, out),
+    }
+}
+
+/// Total number of CSR entries a reachability kernel over `d` may touch
+/// (the `E_sub` term of the kernel cost model): the raw matched-edge
+/// count per symbol, doubled where both CSR directions are walked.
+fn darpe_edge_total(d: &Darpe, ctx: &LowerCtx<'_>) -> f64 {
+    let mut syms = Vec::new();
+    darpe_symbols(d, &mut syms);
+    let stats = ctx.graph.stats();
+    let schema = ctx.graph.schema();
+    let mut total = 0.0;
+    for sym in syms {
+        let ets: Vec<ETypeId> = match &sym.edge_type {
+            Some(name) => schema.edge_type_id(name).into_iter().collect(),
+            None => (0..schema.edge_type_count()).map(|i| ETypeId(i as u32)).collect(),
+        };
+        for et in ets {
+            let e = stats.edge_count(et) as f64;
+            let directed = schema.edge_type(et).directed;
+            total += match (sym.dir, directed) {
+                (DarpeDir::Undirected, false) | (DarpeDir::Any, false) => 2.0 * e,
+                (DarpeDir::Undirected, true) => 0.0,
+                (DarpeDir::Any, true) => 2.0 * e,
+                (DarpeDir::Forward | DarpeDir::Reverse, true) => e,
+                (DarpeDir::Forward | DarpeDir::Reverse, false) => 0.0,
+            };
+        }
+    }
+    total
+}
+
+fn expr_label(e: &Expr) -> String {
+    match e {
+        Expr::Binary { op, lhs, rhs } => {
+            format!("{} {op:?} {}", expr_label(lhs), expr_label(rhs))
+        }
+        Expr::Ident(n) => n.clone(),
+        Expr::Attr { base, field } => format!("{base}.{field}"),
+        Expr::VAcc { var, name, .. } => format!("{var}.@{name}"),
+        Expr::GAcc(n) => format!("@@{n}"),
+        Expr::Str(s) => format!("'{s}'"),
+        Expr::Int(i) => i.to_string(),
+        Expr::Double(d) => d.to_string(),
+        Expr::Call { func, .. } => format!("{func}(..)"),
+        _ => "<expr>".to_string(),
+    }
+}
+
+fn collect_refs(e: &Expr, out: &mut Vec<String>) {
+    e.walk(&mut |sub| match sub {
+        Expr::Ident(n) => out.push(n.clone()),
+        Expr::Attr { base, .. } => out.push(base.clone()),
+        Expr::VAcc { var, .. } => out.push(var.clone()),
+        _ => {}
+    });
+}
+
+/// Splits an expression on top-level `AND` into conjuncts.
+pub(crate) fn split_conjuncts(e: &Expr, out: &mut Vec<Expr>) {
+    if let Expr::Binary { op: BinOp::And, lhs, rhs } = e {
+        split_conjuncts(lhs, out);
+        split_conjuncts(rhs, out);
+    } else {
+        out.push(e.clone());
+    }
+}
+
+/// All variables the FROM clause will bind.
+pub(crate) fn from_bound_vars(items: &[FromItem]) -> FxHashSet<String> {
+    let mut out = FxHashSet::default();
+    for item in items {
+        match item {
+            FromItem::Table { alias, .. } => {
+                out.insert(alias.clone());
+            }
+            FromItem::Pattern { start, hops, .. } => {
+                if let Some(v) = &start.var {
+                    out.insert(v.clone());
+                }
+                for h in hops {
+                    if let Some(v) = &h.edge_var {
+                        out.insert(v.clone());
+                    }
+                    if let Some(v) = &h.to.var {
+                        out.insert(v.clone());
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lowers one SELECT block: produces the renderable node, the
+/// executable [`BlockPlan`], and the estimated output cardinality.
+fn lower_block(
+    block: &SelectBlock,
+    semantics: PathSemantics,
+    no: usize,
+    st: &mut LowerState<'_, '_>,
+) -> (PlanNode, BlockPlan, f64) {
+    let mut node = PlanNode::new("block", format!("BLOCK {no}:"));
+    let with_est = st.ctx.is_some();
+
+    // Conjunct bookkeeping: split WHERE once, here — the executor reads
+    // this exact list (by index) instead of re-splitting per run.
+    let will_bind = from_bound_vars(&block.from);
+    let mut conjuncts: Vec<(Expr, Vec<String>)> = Vec::new();
+    if let Some(w) = &block.where_clause {
+        let mut parts = Vec::new();
+        split_conjuncts(w, &mut parts);
+        for c in parts {
+            let mut refs = Vec::new();
+            collect_refs(&c, &mut refs);
+            refs.retain(|r| will_bind.contains(r));
+            refs.sort();
+            refs.dedup();
+            conjuncts.push((c, refs));
+        }
+    }
+    let mut strategies: FxHashMap<usize, HopStrategy> = FxHashMap::default();
+
+    // `live` tracks which conjuncts are still pending (pushdown state
+    // machine over the binding steps, mirroring the executor).
+    let mut live: Vec<bool> = vec![true; conjuncts.len()];
+    let mut bound: FxHashSet<String> = FxHashSet::default();
+    let mut rows = 1.0f64;
+    let mut cost_total = 0.0f64;
+    // Attach every conjunct whose variables are all bound to `parent`
+    // (the binding step that made it ready) as a pushdown-filter child.
+    let emit_ready = |bound: &FxHashSet<String>,
+                      live: &mut Vec<bool>,
+                      conjuncts: &[(Expr, Vec<String>)],
+                      rows: &mut f64,
+                      parent: &mut PlanNode,
+                      with_est: bool| {
+        for (i, (c, refs)) in conjuncts.iter().enumerate() {
+            if !live[i] || refs.is_empty() || !refs.iter().all(|v| bound.contains(v)) {
+                continue;
+            }
+            live[i] = false;
+            let cost = *rows;
+            *rows = filtered_card(*rows, c);
+            let mut f = PlanNode::new(
+                "pushdown-filter",
+                format!("pushdown filter: {}", expr_label(c)),
+            );
+            if with_est {
+                annotate(&mut f, *rows, cost);
+            }
+            parent.children.push(f);
+        }
+    };
+
+    for item in &block.from {
+        match item {
+            FromItem::Table { name, alias } => {
+                let mut scan = PlanNode::new(
+                    "scan",
+                    format!("scan {name} AS {alias} (table or vertex set)"),
+                );
+                if with_est {
+                    let card = match st.ctx.and_then(|c| c.tables.get(name)) {
+                        Some(t) => t.len() as f64,
+                        None => scan_est(name, Some(alias), st),
+                    };
+                    rows *= card.max(1.0);
+                    cost_total += rows;
+                    annotate(&mut scan, rows, rows);
+                }
+                bound.insert(alias.clone());
+                emit_ready(&bound, &mut live, &conjuncts, &mut rows, &mut scan, with_est);
+                node.children.push(scan);
+            }
+            FromItem::Pattern { start, hops, .. } => {
+                let mut scan = PlanNode::new(
+                    "scan",
+                    format!(
+                        "scan {}{}",
+                        start.name,
+                        start.var.as_ref().map(|v| format!(" AS {v}")).unwrap_or_default()
+                    ),
+                );
+                if with_est {
+                    let card = scan_est(&start.name, start.var.as_deref(), st);
+                    rows *= card.max(1.0);
+                    cost_total += rows;
+                    annotate(&mut scan, rows, rows);
+                }
+                if let Some(v) = &start.var {
+                    bound.insert(v.clone());
+                }
+                emit_ready(&bound, &mut live, &conjuncts, &mut rows, &mut scan, with_est);
+                node.children.push(scan);
+                for hop in hops {
+                    let to = hop
+                        .to
+                        .var
+                        .as_ref()
+                        .map(|v| format!("{} AS {v}", hop.to.name))
+                        .unwrap_or_else(|| hop.to.name.clone());
+                    // Sargable conjuncts reference only the (not yet
+                    // bound) hop target: they narrow the candidate set
+                    // before the kernel runs.
+                    let sargable_idx: Vec<usize> = match &hop.to.var {
+                        Some(tv) if !bound.contains(tv) => conjuncts
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, (_, refs))| {
+                                live[*i] && refs.len() == 1 && refs[0] == *tv
+                            })
+                            .map(|(i, _)| i)
+                            .collect(),
+                        _ => Vec::new(),
+                    };
+                    let target_already_bound =
+                        hop.to.var.as_ref().is_some_and(|tv| bound.contains(tv));
+                    // Estimated distinct-target cardinality after
+                    // sargable narrowing and parameter anchoring;
+                    // `target_base` is the unnarrowed type population.
+                    let target_base =
+                        scan_est(&hop.to.name, hop.to.var.as_deref(), st).max(1.0);
+                    let mut target_card = target_base;
+                    for &i in &sargable_idx {
+                        target_card = filtered_card(target_card, &conjuncts[i].0);
+                    }
+                    let target_anchored = !sargable_idx.is_empty()
+                        || target_already_bound
+                        || hop.to.var.as_ref().is_some_and(|tv| {
+                            st.params.iter().any(|p| {
+                                p.name == *tv && matches!(p.ty, ParamType::Vertex(_))
+                            })
+                        });
+                    if target_already_bound {
+                        target_card = 1.0;
+                    }
+                    let strategy = if hop.darpe.as_single_symbol().is_some() {
+                        HopStrategy::Adjacency
+                    } else if !semantics.is_enumerative() {
+                        // Counting kernels may flip direction when the
+                        // target side is anchored and estimated strictly
+                        // smaller; forward is kept on ties.
+                        if target_anchored && with_est && target_card < rows {
+                            HopStrategy::CountingBackward
+                        } else {
+                            HopStrategy::CountingForward
+                        }
+                    } else if target_anchored {
+                        HopStrategy::EnumBackward
+                    } else {
+                        HopStrategy::EnumForward
+                    };
+                    strategies.insert(hop as *const Hop as usize, strategy);
+                    let mut hop_node = PlanNode::new(
+                        "hop",
+                        format!("hop -({})-> {to}: {}", hop.darpe, strategy.describe()),
+                    );
+                    if with_est {
+                        let ctx = st.ctx.unwrap();
+                        let (out_rows, cost) = match strategy {
+                            HopStrategy::Adjacency => {
+                                let sym = hop.darpe.as_single_symbol().unwrap();
+                                let fanout = symbol_fanout(sym, ctx);
+                                // Anchoring keeps only the narrowed
+                                // fraction of the target type; an
+                                // unanchored hop keeps every neighbor
+                                // (the edge type already constrains the
+                                // target type, so no further scaling).
+                                let frac = (target_card / target_base).min(1.0);
+                                (rows * fanout * frac, rows * fanout)
+                            }
+                            HopStrategy::CountingForward | HopStrategy::EnumForward => {
+                                let e_sub = darpe_edge_total(&hop.darpe, ctx);
+                                let reach =
+                                    (target_card * REACH_FRACTION).max(1.0);
+                                (rows * reach, rows * e_sub)
+                            }
+                            HopStrategy::CountingBackward | HopStrategy::EnumBackward => {
+                                let e_sub = darpe_edge_total(&hop.darpe, ctx);
+                                let reach =
+                                    (target_card * REACH_FRACTION).max(1.0);
+                                (rows * reach, target_card.max(1.0) * e_sub)
+                            }
+                        };
+                        rows = out_rows;
+                        cost_total += cost;
+                        annotate(&mut hop_node, rows, cost);
+                    }
+                    // Consume the sargable conjuncts (highest index
+                    // first so earlier indices stay valid).
+                    for &i in &sargable_idx {
+                        live[i] = false;
+                        let mut a = PlanNode::new(
+                            "sargable-anchor",
+                            format!("sargable anchor: {}", expr_label(&conjuncts[i].0)),
+                        );
+                        if with_est {
+                            annotate(&mut a, rows, 0.0);
+                        }
+                        hop_node.children.push(a);
+                    }
+                    if let Some(ev) = &hop.edge_var {
+                        bound.insert(ev.clone());
+                    }
+                    if let Some(tv) = &hop.to.var {
+                        bound.insert(tv.clone());
+                    }
+                    emit_ready(
+                        &bound, &mut live, &conjuncts, &mut rows, &mut hop_node, with_est,
+                    );
+                    node.children.push(hop_node);
+                }
+            }
+        }
+    }
+    for (i, (c, _)) in conjuncts.iter().enumerate() {
+        if !live[i] {
+            continue;
+        }
+        let mut f = PlanNode::new(
+            "residual-filter",
+            format!("residual filter: {}", expr_label(c)),
+        );
+        if with_est {
+            let cost = rows;
+            rows = filtered_card(rows, c);
+            annotate(&mut f, rows, cost);
+        }
+        node.children.push(f);
+    }
+    if !block.accum.is_empty() {
+        let mut a = PlanNode::new(
+            "accum",
+            format!("ACCUM: {} statement(s), snapshot Map/Reduce", block.accum.len()),
+        );
+        if with_est {
+            annotate(&mut a, rows, rows * block.accum.len() as f64);
+        }
+        node.children.push(a);
+    }
+    if !block.post_accum.is_empty() {
+        let mut a = PlanNode::new(
+            "post-accum",
+            format!("POST_ACCUM: {} statement(s)", block.post_accum.len()),
+        );
+        if with_est {
+            annotate(&mut a, rows, rows * block.post_accum.len() as f64);
+        }
+        node.children.push(a);
+    }
+    if let Some(g) = &block.group_by {
+        node.children.push(PlanNode::new(
+            "group-by",
+            format!("GROUP BY: {} grouping set(s)", g.sets.len()),
+        ));
+    }
+    for frag in &block.outputs {
+        let kind = if frag.items.len() == 1
+            && frag.items[0].alias.is_none()
+            && matches!(frag.items[0].expr, Expr::Ident(_))
+        {
+            "vertex set"
+        } else if frag.items.iter().any(|i| i.expr.contains_aggregate()) {
+            "aggregated table"
+        } else {
+            "projected table"
+        };
+        let mut o = PlanNode::new(
+            "output",
+            format!(
+                "output{}: {kind}",
+                frag.into.as_ref().map(|n| format!(" INTO {n}")).unwrap_or_default()
+            ),
+        );
+        if with_est {
+            annotate(&mut o, rows, rows);
+        }
+        node.children.push(o);
+    }
+    if with_est {
+        annotate(&mut node, rows, cost_total);
+    }
+    (
+        node,
+        BlockPlan { semantics, conjuncts, strategies },
+        rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::stdlib;
+    use pgraph::generators::diamond_chain;
+
+    fn ctx_tables() -> FxHashMap<String, Table> {
+        FxHashMap::default()
+    }
+
+    #[test]
+    fn statless_lowering_matches_graphless_explain_shape() {
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = lower_query(&q, PathSemantics::AllShortestPaths, None);
+        assert_eq!(plan.epoch, 0);
+        let text = plan.plan.render();
+        assert!(!text.contains("est_rows="), "{text}");
+        // Qn's single SELECT block is covered by an executable block plan.
+        assert_eq!(plan.blocks.len(), 1);
+    }
+
+    #[test]
+    fn stats_lowering_annotates_estimates() {
+        let (g, _) = diamond_chain(12);
+        let tables = ctx_tables();
+        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
+        assert_eq!(plan.epoch, g.stats().epoch());
+        let text = plan.plan.render();
+        assert!(text.contains("est_rows="), "{text}");
+        assert!(text.contains("est_cost="), "{text}");
+        // The anchored source scan estimates a handful of rows, not the
+        // whole vertex population.
+        assert!(text.contains("SDMC counting kernel"), "{text}");
+    }
+
+    #[test]
+    fn counting_kernel_flips_backward_when_target_is_cheaper() {
+        // No source filter: every vertex is a source. The sargable
+        // target anchor narrows targets to a point lookup — strictly
+        // cheaper, so the planner runs the counting kernel backward.
+        let (g, _) = diamond_chain(12);
+        let tables = ctx_tables();
+        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let q = parse_query(
+            "CREATE QUERY allpairs (STRING tgtName) {
+               SumAccum<int> @@n;
+               T = SELECT t FROM V:s -(E>*)- V:t WHERE t.name == tgtName ACCUM @@n += 1;
+               PRINT @@n;
+             }",
+        )
+        .unwrap();
+        let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
+        let text = plan.plan.render();
+        assert!(
+            text.contains("SDMC counting kernel, backward from anchored target"),
+            "{text}"
+        );
+        // Without statistics the same query keeps the forward default.
+        let plain = lower_query(&q, PathSemantics::AllShortestPaths, None);
+        assert!(
+            plain.plan.render().contains("SDMC counting kernel, forward"),
+            "{}",
+            plain.plan.render()
+        );
+    }
+
+    #[test]
+    fn anchored_qn_keeps_forward_on_tie() {
+        // Qn anchors both endpoints: one estimated source, ~one
+        // estimated target. Ties keep the forward kernel.
+        let (g, _) = diamond_chain(12);
+        let tables = ctx_tables();
+        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
+        let text = plan.plan.render();
+        assert!(text.contains("SDMC counting kernel, forward"), "{text}");
+    }
+
+    #[test]
+    fn block_plans_key_on_ast_identity_and_carry_strategies() {
+        let (g, _) = diamond_chain(12);
+        let tables = ctx_tables();
+        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = lower_query(&q, PathSemantics::NonRepeatedEdge, Some(&ctx));
+        let mut seen_backward = false;
+        for stmt in &q.body {
+            let block = match stmt {
+                Stmt::Select(b) => b,
+                Stmt::VSetAssign { source: VSetSource::Select(b), .. } => b.as_ref(),
+                _ => continue,
+            };
+            let bp = plan.block_for(block).expect("block plan present");
+            assert_eq!(bp.semantics, PathSemantics::NonRepeatedEdge);
+            for item in &block.from {
+                if let FromItem::Pattern { hops, .. } = item {
+                    for hop in hops {
+                        let s = bp.strategy_for(hop).expect("strategy chosen");
+                        if s == HopStrategy::EnumBackward {
+                            seen_backward = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(seen_backward, "qn's anchored target should enumerate backward");
+    }
+}

@@ -237,6 +237,110 @@ impl<'a> IntoIterator for &AdjView<'a> {
     }
 }
 
+/// Log₂ degree-histogram buckets: bucket `i` counts vertices whose total
+/// degree has bit length `i` (bucket 0 = isolated vertices, bucket 1 =
+/// degree 1, bucket 2 = degrees 2–3, ...). 33 buckets cover any `u32`
+/// entry count.
+pub const DEGREE_BUCKETS: usize = 33;
+
+/// Cardinality and degree statistics collected by [`Graph::finalize`],
+/// consumed by the query planner's cost model.
+///
+/// All numbers describe the finalized topology (the CSR arrays); edges
+/// added to the mutation overlay afterwards are not counted until the
+/// next finalize. Everything is deterministic: the same graph always
+/// produces the same statistics, which is what keeps cost-based plans —
+/// and therefore query results — reproducible.
+#[derive(Debug, Clone, Default)]
+pub struct GraphStats {
+    /// Identity of the finalized topology: a process-unique, monotone
+    /// token stamped by each [`Graph::finalize`] call (0 = never
+    /// finalized). Plan caches key on this to detect snapshot changes.
+    epoch: u64,
+    /// Vertex count per [`VTypeId`].
+    vertex_counts: Vec<u64>,
+    /// Edge count per [`ETypeId`].
+    edge_counts: Vec<u64>,
+    /// Out-going endpoint count per `(source vertex type, edge type)`,
+    /// flattened as `vtype * edge_type_count + etype`. Undirected edges
+    /// count toward *both* endpoints' out and in tallies (they can be
+    /// traversed either way).
+    out_by_type: Vec<u64>,
+    /// In-coming endpoint count per `(target vertex type, edge type)`.
+    in_by_type: Vec<u64>,
+    /// Number of edge types (the stride of the flattened tables).
+    etype_stride: usize,
+    /// Log₂ histogram of total vertex degree (see [`DEGREE_BUCKETS`]).
+    degree_log2: Vec<u64>,
+}
+
+impl GraphStats {
+    /// The finalize token (0 = never finalized).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Total vertices across all types.
+    pub fn total_vertices(&self) -> u64 {
+        self.vertex_counts.iter().sum()
+    }
+
+    /// Total edges across all types.
+    pub fn total_edges(&self) -> u64 {
+        self.edge_counts.iter().sum()
+    }
+
+    /// Vertices of type `vt`.
+    pub fn vertex_count(&self, vt: VTypeId) -> u64 {
+        self.vertex_counts.get(vt.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Edges of type `et`.
+    pub fn edge_count(&self, et: ETypeId) -> u64 {
+        self.edge_counts.get(et.0 as usize).copied().unwrap_or(0)
+    }
+
+    fn by_type(&self, table: &[u64], vt: VTypeId, et: ETypeId) -> u64 {
+        if self.etype_stride == 0 {
+            return 0;
+        }
+        table
+            .get(vt.0 as usize * self.etype_stride + et.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Average out-degree (directed out + undirected incident) over
+    /// type-`et` edges for a vertex of type `vt`.
+    pub fn avg_out_degree(&self, vt: VTypeId, et: ETypeId) -> f64 {
+        let n = self.vertex_count(vt);
+        if n == 0 {
+            return 0.0;
+        }
+        self.by_type(&self.out_by_type, vt, et) as f64 / n as f64
+    }
+
+    /// Average in-degree (directed in + undirected incident) over
+    /// type-`et` edges for a vertex of type `vt`.
+    pub fn avg_in_degree(&self, vt: VTypeId, et: ETypeId) -> f64 {
+        let n = self.vertex_count(vt);
+        if n == 0 {
+            return 0.0;
+        }
+        self.by_type(&self.in_by_type, vt, et) as f64 / n as f64
+    }
+
+    /// Log₂ histogram of total vertex degree; `hist[i]` counts vertices
+    /// whose degree has bit length `i`.
+    pub fn degree_histogram(&self) -> &[u64] {
+        &self.degree_log2
+    }
+}
+
+/// Process-global source of finalize tokens. Starts at 1 so epoch 0
+/// always means "never finalized".
+static FINALIZE_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 /// The property graph: schema + vertex/edge stores + CSR adjacency.
 #[derive(Debug, Clone, Default)]
 pub struct Graph {
@@ -250,6 +354,8 @@ pub struct Graph {
     overlay: Vec<Vec<AdjEntry>>,
     /// Total entries across `overlay` (0 ⇔ fully finalized).
     overlay_entries: usize,
+    /// Planner statistics from the last [`Graph::finalize`].
+    stats: GraphStats,
 }
 
 impl Graph {
@@ -264,7 +370,14 @@ impl Graph {
             csr: Csr::default(),
             overlay: Vec::new(),
             overlay_entries: 0,
+            stats: GraphStats::default(),
         }
+    }
+
+    /// Planner statistics collected by the last [`Graph::finalize`]
+    /// (default/empty if the graph was never finalized).
+    pub fn stats(&self) -> &GraphStats {
+        &self.stats
     }
 
     pub fn schema(&self) -> &Schema {
@@ -457,6 +570,51 @@ impl Graph {
         }
         self.overlay.resize(nv, Vec::new());
         self.overlay_entries = 0;
+        self.collect_stats();
+    }
+
+    /// Rebuilds [`GraphStats`] from the vertex/edge stores. One pass over
+    /// the edges plus one over the CSR offsets; called by
+    /// [`Graph::finalize`] so statistics always describe the finalized
+    /// topology.
+    fn collect_stats(&mut self) {
+        let nvt = self.schema.vertex_type_count();
+        let net = self.schema.edge_type_count();
+        let mut s = GraphStats {
+            epoch: FINALIZE_EPOCH.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            vertex_counts: self.by_type.iter().map(|v| v.len() as u64).collect(),
+            edge_counts: vec![0; net],
+            out_by_type: vec![0; nvt * net],
+            in_by_type: vec![0; nvt * net],
+            etype_stride: net,
+            degree_log2: vec![0; DEGREE_BUCKETS],
+        };
+        for e in &self.edges {
+            let et = e.etype.0 as usize;
+            s.edge_counts[et] += 1;
+            let src_t = self.vertices[e.src.0 as usize].vtype.0 as usize;
+            let dst_t = self.vertices[e.dst.0 as usize].vtype.0 as usize;
+            if self.schema.edge_type(e.etype).directed {
+                s.out_by_type[src_t * net + et] += 1;
+                s.in_by_type[dst_t * net + et] += 1;
+            } else {
+                // Undirected edges are traversable from both endpoints,
+                // so they contribute to out *and* in on both sides —
+                // matching what `outdegree`/`indegree` report.
+                s.out_by_type[src_t * net + et] += 1;
+                s.in_by_type[src_t * net + et] += 1;
+                if e.src != e.dst {
+                    s.out_by_type[dst_t * net + et] += 1;
+                    s.in_by_type[dst_t * net + et] += 1;
+                }
+            }
+        }
+        for v in 0..self.vertices.len() {
+            let deg = (self.csr.offsets[v + 1] - self.csr.offsets[v]) as u64;
+            let bucket = (64 - deg.leading_zeros() as usize).min(DEGREE_BUCKETS - 1);
+            s.degree_log2[bucket] += 1;
+        }
+        self.stats = s;
     }
 
     /// The type of vertex `v`.
@@ -980,6 +1138,44 @@ mod tests {
         assert!(g.is_finalized());
         assert_eq!(g.adjacency(v0).len(), before + 1);
         assert_eq!(g.adjacency(nv).len(), 1);
+    }
+
+    #[test]
+    fn finalize_collects_planner_stats() {
+        let mut g = scrambled_graph();
+        assert_eq!(g.stats().epoch(), 0, "unfinalized graph has no stats epoch");
+        g.finalize();
+        let first_epoch = g.stats().epoch();
+        assert!(first_epoch > 0);
+        let vt = g.schema().vertex_type_id("Person").unwrap();
+        let follows = g.schema().edge_type_id("Follows").unwrap();
+        let knows = g.schema().edge_type_id("Knows").unwrap();
+        assert_eq!(g.stats().vertex_count(vt), 6);
+        assert_eq!(g.stats().total_vertices(), 6);
+        assert_eq!(g.stats().edge_count(follows), 8);
+        assert_eq!(g.stats().edge_count(knows), 8);
+        assert_eq!(g.stats().total_edges(), 16);
+        // Directed: 8 Follows edges over 6 Persons.
+        let avg_out = g.stats().avg_out_degree(vt, follows);
+        assert!((avg_out - 8.0 / 6.0).abs() < 1e-12, "avg_out {avg_out}");
+        // Undirected Knows edges count from both endpoints.
+        let avg_und = g.stats().avg_out_degree(vt, knows);
+        assert!((avg_und - 16.0 / 6.0).abs() < 1e-12, "avg_und {avg_und}");
+        assert_eq!(avg_und, g.stats().avg_in_degree(vt, knows));
+        // Histogram sums to the vertex count and matches real degrees.
+        assert_eq!(g.stats().degree_histogram().iter().sum::<u64>(), 6);
+        let mut expect = vec![0u64; DEGREE_BUCKETS];
+        for v in g.vertices() {
+            let deg = g.degree(v) as u64;
+            expect[(64 - deg.leading_zeros() as usize).min(DEGREE_BUCKETS - 1)] += 1;
+        }
+        assert_eq!(g.stats().degree_histogram(), &expect[..]);
+        // Re-finalizing advances the epoch even if nothing changed.
+        g.finalize();
+        assert!(g.stats().epoch() > first_epoch);
+        // Unknown ids degrade to zero instead of panicking.
+        assert_eq!(g.stats().vertex_count(VTypeId(99)), 0);
+        assert_eq!(g.stats().avg_out_degree(VTypeId(99), ETypeId(99)), 0.0);
     }
 
     #[test]

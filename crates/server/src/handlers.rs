@@ -234,9 +234,14 @@ fn explain(shared: &Shared, req: &Request) -> Response {
 /// Renders the plan envelope shared by `/explain` and `EXPLAIN`-prefixed
 /// `/query` texts: the core crate's plan JSON embedded verbatim under
 /// `"plan"`, plus the indented text rendering under `"text"` (identical
-/// bytes to `gsql_shell --explain`).
+/// bytes to `gsql_shell --explain` against the same graph). The plan is
+/// lowered through [`Engine::explain`] against the current live
+/// snapshot, so it is the cost-annotated (`est_rows`/`est_cost`) plan
+/// execution would actually use.
 fn explain_response(shared: &Shared, prepared: &Arc<PreparedQuery>, cache_hit: bool) -> Response {
-    let plan = match gsql_core::explain_plan(prepared.query(), shared.cfg.semantics) {
+    let snapshot = shared.live.snapshot();
+    let engine = Engine::new(&snapshot).with_semantics(shared.cfg.semantics);
+    let plan = match engine.explain(prepared.query()) {
         Ok(p) => p,
         Err(e) => return query_error(shared, &e, false),
     };
@@ -382,7 +387,12 @@ fn prepare(shared: &Shared, req: &Request) -> Response {
     }
 }
 
-/// `POST /execute/{id}` — run a pinned prepared statement.
+/// `POST /execute/{id}` — run a pinned prepared statement with a params
+/// body (`{"params": {name: value, ...}}`; `"args"` is accepted as an
+/// alias). Bindings are type-checked against the statement's declared
+/// parameters *before* admission: a missing parameter, a type mismatch,
+/// or an undeclared name is refused with 422 and a structured
+/// `bad-param` error naming the parameter at fault.
 fn execute(shared: &Shared, req: &Request, stream: &std::net::TcpStream, id: &str) -> Response {
     let Some(prepared) = shared.plans.get_by_id(id) else {
         return error_response(
@@ -404,9 +414,34 @@ fn execute(shared: &Shared, req: &Request, stream: &std::net::TcpStream, id: &st
             Err(resp) => return *resp,
         }
     };
+    let arg_refs: Vec<(&str, Value)> = args.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
+    if let Err(e) = prepared.check_args(&arg_refs) {
+        return bind_error_response(&e);
+    }
     // Executing a resident plan is by definition a cache hit.
     count_cache(shared, true);
     run_query(shared, req, stream, &prepared, &args, true, profile_requested(req), false)
+}
+
+/// Maps a [`gsql_core::BindError`] to the 422 `bad-param` envelope:
+/// `{"ok":false,"error":{"kind":"bad-param","param","expected","got","message"}}`.
+fn bind_error_response(e: &gsql_core::BindError) -> Response {
+    let payload = Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str("bad-param".into())),
+                ("param".into(), Json::Str(e.param.clone())),
+                ("expected".into(), Json::Str(e.expected.clone())),
+                ("got".into(), Json::Str(e.got.clone())),
+                ("message".into(), Json::Str(e.to_string())),
+            ]),
+        ),
+    ]);
+    let mut body = String::new();
+    write_json(&mut body, &payload);
+    Response::json(422, body)
 }
 
 /// The shared execution path: admission gate → budget → engine run →
@@ -457,7 +492,10 @@ fn run_query(
         let _watch = shared.watchdog.watch(stream, engine.cancel_handle());
         let arg_refs: Vec<(&str, Value)> =
             args.iter().map(|(n, v)| (n.as_str(), v.clone())).collect();
-        engine.run_with(prepared.query(), &arg_refs, profiled)
+        // Lowered-plan execution: the prepared handle's plan slot caches
+        // one optimized plan per (snapshot epoch, semantics), so every
+        // binding of this statement against this snapshot reuses it.
+        engine.run_prepared_with(prepared, &arg_refs, profiled)
     };
     let elapsed = started.elapsed();
     shared.metrics.latency.record(elapsed);
@@ -665,14 +703,17 @@ fn parse_body(req: &Request) -> Result<Json, Box<Response>> {
         .map_err(|e| Box::new(error_response(400, "bad-request", &format!("invalid JSON body: {e}"), None)))
 }
 
-/// Extracts the `"args"` object into named engine arguments.
+/// Extracts the `"params"` (or legacy `"args"`) object into named
+/// engine arguments. `"params"` wins when both are present.
 fn parse_call_args(body: &Json) -> Result<Vec<(String, Value)>, Box<Response>> {
-    let Some(args) = body.get("args") else { return Ok(Vec::new()) };
+    let Some(args) = body.get("params").or_else(|| body.get("args")) else {
+        return Ok(Vec::new());
+    };
     let Some(pairs) = args.as_obj() else {
         return Err(Box::new(error_response(
             400,
             "bad-request",
-            "`args` must be an object of name -> value",
+            "`params` must be an object of name -> value",
             None,
         )));
     };

@@ -247,6 +247,41 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_edges_are_pinned() {
+        // Pins the log₂ bucket-index math at its boundaries so the
+        // /metrics histogram schema cannot silently shift: bucket `i`
+        // counts `[2^i, 2^(i+1))` µs, bucket 0 also absorbs 0 µs, and
+        // the top bucket absorbs everything beyond 2^39 µs (u64::MAX
+        // saturates there via the u128→u64 conversion).
+        let bucket_of = |micros: u64| {
+            let h = Histogram::default();
+            h.record(Duration::from_micros(micros));
+            h.buckets.iter().position(|b| b.load(Ordering::Relaxed) == 1).unwrap()
+        };
+        assert_eq!(bucket_of(0), 0, "0 µs joins the sub-µs bucket");
+        assert_eq!(bucket_of(1), 0);
+        for k in 1..(BUCKETS - 1) {
+            let p = 1u64 << k;
+            assert_eq!(bucket_of(p), k, "2^{k} µs must open bucket {k}");
+            assert_eq!(bucket_of(p - 1), k - 1, "2^{k}-1 µs stays in bucket {}", k - 1);
+            assert_eq!(bucket_of(p + 1), k, "2^{k}+1 µs stays in bucket {k}");
+        }
+        // At and beyond the top boundary everything clamps in-range.
+        assert_eq!(bucket_of(1u64 << (BUCKETS - 1)), BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let h = Histogram::default();
+        h.record(Duration::from_secs(u64::MAX)); // as_micros > u64::MAX
+        assert_eq!(h.buckets[BUCKETS - 1].load(Ordering::Relaxed), 1);
+        // Monotone: a larger sample never lands in a smaller bucket.
+        let mut prev = 0;
+        for micros in [0, 1, 2, 3, 7, 8, 1000, 1 << 20, 1 << 39, u64::MAX] {
+            let b = bucket_of(micros);
+            assert!(b >= prev, "bucket({micros}) = {b} < {prev}");
+            prev = b;
+        }
+    }
+
+    #[test]
     fn empty_histogram_is_zero() {
         let h = Histogram::default();
         assert_eq!(h.quantile_micros(0.99), 0);

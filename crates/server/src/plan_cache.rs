@@ -114,11 +114,21 @@ impl PlanCache {
     }
 
     /// `POST /execute/{id}` path: resolves a wire id from `prepare`.
+    ///
+    /// Only **pinned** entries resolve. Mode-prefix normalization means
+    /// an `EXPLAIN`/`CHECK`-prefixed `/query` text shares a fingerprint
+    /// with the bare query, so an unpinned ad-hoc entry (which never
+    /// passed the lint-on-prepare gate) must not become executable just
+    /// because its fingerprint leaked to a client — `/execute/{id}` is
+    /// exclusively for statements that went through `/prepare`.
     pub fn get_by_id(&self, id: &str) -> Option<Arc<PreparedQuery>> {
         let key = u64::from_str_radix(id, 16).ok()?;
         let now = self.tick();
         let mut inner = self.inner.lock().unwrap();
         let e = inner.map.get_mut(&key)?;
+        if !e.pinned {
+            return None;
+        }
         e.last_used = now;
         Some(e.prepared.clone())
     }
@@ -220,5 +230,20 @@ mod tests {
         let cache = PlanCache::new(8, 8);
         assert!(cache.get_by_id("not-hex").is_none());
         assert!(cache.get_by_id("00000000deadbeef").is_none());
+    }
+
+    #[test]
+    fn unpinned_entries_are_not_executable_by_id() {
+        let cache = PlanCache::new(8, 8);
+        let src = query(1);
+        // An ad-hoc /query parse caches the text but never went through
+        // /prepare: its fingerprint must not resolve for /execute/{id}.
+        let cached = cache.get_or_parse(&src).unwrap();
+        let leaked_id = format!("{:016x}", cached.prepared.fingerprint());
+        assert!(cache.get_by_id(&leaked_id).is_none(), "unpinned entry served by id");
+        // Once actually prepared, the same id resolves.
+        let (id, _) = cache.prepare(&src).unwrap();
+        assert_eq!(id, leaked_id);
+        assert!(cache.get_by_id(&id).is_some());
     }
 }

@@ -322,19 +322,29 @@ fn explain_endpoint_matches_core_plan_and_shares_the_cache() {
     let (server, addr) = start(|_| {});
     let mut c = Client::connect(addr).unwrap();
 
-    // The plan the core crate computes locally for the same text.
+    // The cost-annotated plan the core crate computes locally for the
+    // same text against the same seed graph — Engine::explain is the
+    // lowering execution itself uses.
     let src = stdlib::qn("V", "E");
     let q = gsql_core::parse_query(&src).unwrap();
-    let plan =
-        gsql_core::explain_plan(&q, gsql_core::PathSemantics::AllShortestPaths).unwrap();
+    let graph = diamond_chain(12).0;
+    let plan = Engine::new(&graph)
+        .with_semantics(gsql_core::PathSemantics::AllShortestPaths)
+        .explain(&q)
+        .unwrap();
 
     let resp = c.post_json("/explain", &[], &qn_body("v4")).unwrap();
     assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
     let j = resp.json().unwrap();
     assert_eq!(j.get("ok"), Some(&Json::Bool(true)));
     assert_eq!(j.get("query").and_then(Json::as_str), Some("Qn"));
-    // Byte-identical to `gsql_shell --explain` / Engine::explain.
+    // Byte-identical to `gsql_shell --explain` / Engine::explain, and
+    // cost-annotated from the live snapshot's statistics.
     assert_eq!(j.get("text").and_then(Json::as_str), Some(plan.render().as_str()));
+    assert!(
+        j.get("text").and_then(Json::as_str).unwrap().contains("est_rows="),
+        "server plans carry cost estimates: {j}"
+    );
     // The embedded plan JSON round-trips through the server's parser and
     // carries one op object per rendered line.
     let plan_j = j.get("plan").expect("has plan");
@@ -364,6 +374,178 @@ fn explain_endpoint_matches_core_plan_and_shares_the_cache() {
     let m = c.get("/metrics").unwrap().json().unwrap();
     assert_eq!(m.get("plan_cache_misses").and_then(Json::as_i64), Some(1));
     assert_eq!(m.get("plan_cache_hits").and_then(Json::as_i64), Some(1));
+    server.shutdown();
+}
+
+#[test]
+fn cross_mode_cache_entries_are_not_executable_by_id() {
+    // Mode-prefix normalization makes `EXPLAIN <q>`, `CHECK <q>` and
+    // `<q>` share one fingerprint. None of those ad-hoc paths pin the
+    // entry, so leaking the fingerprint as an /execute id must 404 —
+    // otherwise an explain-only or lint-rejected text becomes executable
+    // without ever passing the lint-on-prepare gate.
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect(addr).unwrap();
+
+    // Seed the cache through EXPLAIN-prefixed /query (never executed).
+    let src = stdlib::qn("V", "E");
+    let mut body = String::new();
+    write_json(&mut body, &Json::Str(format!("EXPLAIN {src}")));
+    let resp = c.post_json("/query", &[], &format!(r#"{{"query":{body}}}"#)).unwrap();
+    assert_eq!(resp.status, 200);
+    // The id /prepare would have returned for the stripped text.
+    let leaked = format!("{:016x}", gsql_core::prepared::fingerprint(&src));
+    let resp = c.post_json(&format!("/execute/{leaked}"), &[], "{}").unwrap();
+    assert_eq!(resp.status, 404, "unprepared cache entry served: {}", String::from_utf8_lossy(&resp.body));
+
+    // A lint-rejected /prepare parses (and caches) the text but must not
+    // make it executable either.
+    let bad = "CREATE QUERY q () {
+  SumAccum<int> @cnt;
+  S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@cnt = 1;
+  PRINT S[S.@cnt];
+}";
+    let mut q = String::new();
+    write_json(&mut q, &Json::Str(bad.to_string()));
+    let resp = c.post_json("/prepare", &[], &format!(r#"{{"query":{q}}}"#)).unwrap();
+    assert_eq!(resp.status, 422, "lint gate refuses the prepare");
+    let rejected = format!("{:016x}", gsql_core::prepared::fingerprint(bad));
+    let resp = c.post_json(&format!("/execute/{rejected}"), &[], "{}").unwrap();
+    assert_eq!(resp.status, 404, "lint-rejected text served: {}", String::from_utf8_lossy(&resp.body));
+
+    // An actually-prepared statement still resolves.
+    let mut qs = String::new();
+    write_json(&mut qs, &Json::Str(src.clone()));
+    let resp = c.post_json("/prepare", &[], &format!(r#"{{"query":{qs}}}"#)).unwrap();
+    assert_eq!(resp.status, 200);
+    let id = resp.json().unwrap().get("id").and_then(Json::as_str).unwrap().to_string();
+    assert_eq!(id, leaked, "prepare pins the same fingerprint id");
+    let body = r#"{"params":{"srcName":"v0","tgtName":"v4"}}"#;
+    let resp = c.post_json(&format!("/execute/{id}"), &[], body).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+    server.shutdown();
+}
+
+/// 100 distinct parameter bindings for Qn on diamond_chain(12): every
+/// real vertex name plus synthetic misses (empty results are results
+/// too — the bytes must still match).
+fn hundred_targets() -> Vec<String> {
+    let mut targets: Vec<String> = (0..=12).map(|i| format!("v{i}")).collect();
+    for i in 0..12 {
+        targets.push(format!("d{i}a"));
+        targets.push(format!("d{i}b"));
+    }
+    let mut i = 0;
+    while targets.len() < 100 {
+        targets.push(format!("none{i}"));
+        i += 1;
+    }
+    targets
+}
+
+fn parameterized_reuse_roundtrip(parallelism: usize) {
+    let (server, addr) = start(|cfg| cfg.parallelism = parallelism);
+    let mut c = Client::connect(addr).unwrap();
+
+    let mut q = String::new();
+    write_json(&mut q, &Json::Str(stdlib::qn("V", "E")));
+    let resp = c.post_json("/prepare", &[], &format!(r#"{{"query":{q}}}"#)).unwrap();
+    assert_eq!(resp.status, 200);
+    let id = resp.json().unwrap().get("id").and_then(Json::as_str).unwrap().to_string();
+
+    for tgt in hundred_targets() {
+        let body = format!(r#"{{"params":{{"srcName":"v0","tgtName":"{tgt}"}}}}"#);
+        let resp = c.post_json(&format!("/execute/{id}"), &[], &body).unwrap();
+        assert_eq!(resp.status, 200, "tgt {tgt}: {}", String::from_utf8_lossy(&resp.body));
+        let via_prepared = result_bytes(&resp);
+        // A fresh unprepared /query with the same binding must be
+        // byte-identical.
+        let resp = c.post_json("/query", &[], &qn_body(&tgt)).unwrap();
+        assert_eq!(resp.status, 200, "tgt {tgt}");
+        assert_eq!(via_prepared, result_bytes(&resp), "tgt {tgt}");
+        // ...and so must a local engine run.
+        let expected = local_result(
+            &stdlib::qn("V", "E"),
+            &[("srcName", Value::Str("v0".into())), ("tgtName", Value::Str(tgt.clone()))],
+        );
+        assert_eq!(via_prepared, expected, "tgt {tgt}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn prepared_reuse_100_bindings_byte_identical_parallelism_1() {
+    parameterized_reuse_roundtrip(1);
+}
+
+#[test]
+fn prepared_reuse_100_bindings_byte_identical_parallelism_4() {
+    parameterized_reuse_roundtrip(4);
+}
+
+#[test]
+fn bad_param_bindings_are_refused_422_with_the_param_name() {
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect(addr).unwrap();
+
+    let mut q = String::new();
+    write_json(&mut q, &Json::Str(stdlib::qn("V", "E")));
+    let resp = c.post_json("/prepare", &[], &format!(r#"{{"query":{q}}}"#)).unwrap();
+    assert_eq!(resp.status, 200);
+    let id = resp.json().unwrap().get("id").and_then(Json::as_str).unwrap().to_string();
+
+    // Missing param: tgtName unbound.
+    let resp = c
+        .post_json(&format!("/execute/{id}"), &[], r#"{"params":{"srcName":"v0"}}"#)
+        .unwrap();
+    assert_eq!(resp.status, 422, "body: {}", String::from_utf8_lossy(&resp.body));
+    let err = resp.json().unwrap();
+    let err = err.get("error").expect("error object");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("bad-param"));
+    assert_eq!(err.get("param").and_then(Json::as_str), Some("tgtName"));
+    assert_eq!(err.get("got").and_then(Json::as_str), Some("(missing)"));
+
+    // Type mismatch: srcName is STRING, Int supplied.
+    let resp = c
+        .post_json(
+            &format!("/execute/{id}"),
+            &[],
+            r#"{"params":{"srcName":7,"tgtName":"v4"}}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 422, "body: {}", String::from_utf8_lossy(&resp.body));
+    let err = resp.json().unwrap();
+    let err = err.get("error").expect("error object");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("bad-param"));
+    assert_eq!(err.get("param").and_then(Json::as_str), Some("srcName"));
+    assert_eq!(err.get("expected").and_then(Json::as_str), Some("STRING"));
+    assert_eq!(err.get("got").and_then(Json::as_str), Some("INT"));
+
+    // Unknown extra binding.
+    let resp = c
+        .post_json(
+            &format!("/execute/{id}"),
+            &[],
+            r#"{"params":{"srcName":"v0","tgtName":"v4","bogus":1}}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 422);
+    let err = resp.json().unwrap();
+    assert_eq!(
+        err.get("error").and_then(|e| e.get("param")).and_then(Json::as_str),
+        Some("bogus")
+    );
+
+    // Bad-param refusals happen before admission: nothing was admitted
+    // beyond the prepare-time lint run, and a correct binding still runs.
+    let resp = c
+        .post_json(
+            &format!("/execute/{id}"),
+            &[],
+            r#"{"params":{"srcName":"v0","tgtName":"v4"}}"#,
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200);
     server.shutdown();
 }
 

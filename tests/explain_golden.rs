@@ -4,13 +4,19 @@
 //! output — so any change to it must be deliberate and must update both
 //! the golden files under `tests/golden/` and the format document.
 //!
+//! Plans are rendered through [`gsql_core::Engine::explain`] against
+//! fixed deterministic graphs, so the goldens pin the *cost-based*
+//! plans — `est_rows`/`est_cost` annotations included — exactly as the
+//! engine executes them.
+//!
 //! To regenerate the golden files after an intentional format change:
 //!
 //! ```sh
 //! GSQL_BLESS=1 cargo test -p bench --test explain_golden
 //! ```
 
-use gsql_core::{explain_plan, parse_query, PathSemantics};
+use gsql_core::{explain_plan, parse_query, Engine, PathSemantics};
+use pgraph::graph::Graph;
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -36,15 +42,28 @@ fn assert_golden(name: &str, actual: &str) {
     );
 }
 
-fn explain_text(src: &str, semantics: PathSemantics) -> String {
+/// The paper's 91-vertex / 120-edge diamond-chain experiment graph.
+fn diamond() -> Graph {
+    pgraph::generators::diamond_chain(30).0
+}
+
+/// A small deterministic LDBC SNB graph for the ic5 plan.
+fn snb() -> Graph {
+    ldbc_snb::generate(ldbc_snb::SnbParams::new(0.01, 42))
+}
+
+fn explain_text(graph: &Graph, src: &str, semantics: PathSemantics) -> String {
     let q = parse_query(src).unwrap();
-    explain_plan(&q, semantics).unwrap().render()
+    Engine::new(graph).with_semantics(semantics).explain(&q).unwrap().render()
 }
 
 #[test]
 fn qn_diamond_counting_plan() {
     let src = gsql_core::stdlib::qn("V", "E");
-    assert_golden("qn_counting.txt", &explain_text(&src, PathSemantics::AllShortestPaths));
+    assert_golden(
+        "qn_counting.txt",
+        &explain_text(&diamond(), &src, PathSemantics::AllShortestPaths),
+    );
 }
 
 #[test]
@@ -52,44 +71,79 @@ fn qn_diamond_enumerative_plan() {
     // The same query under an enumerative semantics chooses the
     // backward enumerative kernel and flags it EXPONENTIAL.
     let src = gsql_core::stdlib::qn("V", "E");
-    assert_golden("qn_enumerate.txt", &explain_text(&src, PathSemantics::NonRepeatedVertex));
+    assert_golden(
+        "qn_enumerate.txt",
+        &explain_text(&diamond(), &src, PathSemantics::NonRepeatedVertex),
+    );
 }
 
 #[test]
 fn ic5_plan() {
     let src = ldbc_snb::queries::ic5(2);
-    assert_golden("ic5.txt", &explain_text(&src, PathSemantics::AllShortestPaths));
+    assert_golden("ic5.txt", &explain_text(&snb(), &src, PathSemantics::AllShortestPaths));
 }
 
 #[test]
 fn pagerank_plan() {
-    let src = gsql_core::stdlib::pagerank("Page", "LinkTo");
-    assert_golden("pagerank.txt", &explain_text(&src, PathSemantics::AllShortestPaths));
+    let src = gsql_core::stdlib::pagerank("V", "E");
+    assert_golden(
+        "pagerank.txt",
+        &explain_text(&diamond(), &src, PathSemantics::AllShortestPaths),
+    );
+}
+
+#[test]
+fn graphless_plan_carries_no_estimates() {
+    // The graph-less `explain_plan` entry point lowers through the same
+    // planner but without statistics: same tree shape, no est suffixes.
+    let src = gsql_core::stdlib::qn("V", "E");
+    let q = parse_query(&src).unwrap();
+    let bare = explain_plan(&q, PathSemantics::AllShortestPaths).unwrap().render();
+    assert!(!bare.contains("est_rows="), "{bare}");
+    let g = diamond();
+    let with_stats = explain_text(&g, &src, PathSemantics::AllShortestPaths);
+    assert!(with_stats.contains("est_rows="), "{with_stats}");
+    // Stripping the annotations recovers the graph-less rendering: the
+    // cost model annotates, it never reshapes the tree.
+    let stripped: String = with_stats
+        .lines()
+        .map(|l| match l.find(" [est_rows=") {
+            Some(i) => format!("{}\n", &l[..i]),
+            None => format!("{l}\n"),
+        })
+        .collect();
+    assert_eq!(stripped, bare);
 }
 
 #[test]
 fn plan_json_matches_tree() {
     // The JSON rendering carries exactly the same nodes as the text
-    // rendering: one line of text per JSON "op" object.
+    // rendering: one line of text per JSON "op" object — including the
+    // est annotations, which are scalar fields, not nodes.
     let src = ldbc_snb::queries::ic5(2);
     let q = parse_query(&src).unwrap();
-    let plan = explain_plan(&q, PathSemantics::AllShortestPaths).unwrap();
+    let g = snb();
+    let plan = Engine::new(&g).explain(&q).unwrap();
     let text_lines = plan.render().lines().count();
     let json = plan.to_json();
     let json_ops = json.matches("\"op\":").count();
     assert_eq!(text_lines, json_ops);
+    assert!(json.contains("\"est_rows\":"), "{json}");
 }
 
 #[test]
 fn explain_prefix_parses_and_matches_engine_explain() {
     // `EXPLAIN <query>` through the mode-aware parser yields the same
-    // plan as calling Engine::explain on the bare query.
+    // plan as calling Engine::explain on the bare query — the plan that
+    // actually executes, est annotations included.
     let src = gsql_core::stdlib::qn("V", "E");
     let (mode, q) = gsql_core::parse_query_with_mode(&format!("EXPLAIN {src}")).unwrap();
     assert_eq!(mode, gsql_core::QueryMode::Explain);
-    let (g, _) = pgraph::generators::diamond_chain(4);
-    let engine = gsql_core::Engine::new(&g);
-    let via_engine = engine.explain(&q).unwrap().render();
-    let direct = explain_plan(&q, PathSemantics::AllShortestPaths).unwrap().render();
-    assert_eq!(via_engine, direct);
+    let g = diamond();
+    let engine = Engine::new(&g);
+    let via_prefix = engine.explain(&q).unwrap().render();
+    let bare = parse_query(&src).unwrap();
+    let direct = engine.explain(&bare).unwrap().render();
+    assert_eq!(via_prefix, direct);
+    assert!(direct.contains("est_rows="), "{direct}");
 }

@@ -218,6 +218,35 @@ fn datetime_functions() {
 }
 
 #[test]
+fn to_datetime_rejects_out_of_range_month_and_day() {
+    let g = sales_graph();
+    let eng = Engine::new(&g);
+    // A negative Int must not wrap through the u32 narrowing — it is a
+    // structured runtime error naming the offending component.
+    for (src, needle) in [
+        ("CREATE QUERY G () { PRINT to_datetime(2011, 0 - 7, 15); }", "month out of range: -7"),
+        ("CREATE QUERY G () { PRINT to_datetime(2011, 7, 0 - 15); }", "day out of range: -15"),
+        ("CREATE QUERY G () { PRINT to_datetime(2011, 0, 15); }", "month out of range: 0"),
+        ("CREATE QUERY G () { PRINT to_datetime(2011, 13, 15); }", "month out of range: 13"),
+        ("CREATE QUERY G () { PRINT to_datetime(2011, 7, 0); }", "day out of range: 0"),
+        ("CREATE QUERY G () { PRINT to_datetime(2011, 7, 32); }", "day out of range: 32"),
+        (
+            "CREATE QUERY G () { PRINT to_datetime(2011, 4000000000, 15); }",
+            "month out of range: 4000000000",
+        ),
+    ] {
+        let e = eng.run_text(src, &[]).unwrap_err();
+        assert_eq!(e.kind(), gsql_core::ErrorKind::Runtime, "{src}: {e}");
+        assert!(e.to_string().contains(needle), "{src}: {e}");
+    }
+    // Boundary values stay accepted.
+    let out = eng
+        .run_text("CREATE QUERY G () { PRINT day(to_datetime(2011, 12, 31)) AS d; }", &[])
+        .unwrap();
+    assert_eq!(out.prints, vec!["d = 31"]);
+}
+
+#[test]
 fn vertex_methods() {
     let out = run(r#"
         CREATE QUERY G () {

@@ -1,0 +1,116 @@
+//! Misestimate guard: the planner's `est_rows` annotations are checked
+//! against the rows PROFILE actually measured, operator by operator, on
+//! the Qn (diamond-chain) and LDBC ic5 bench workloads. Any scan or hop
+//! whose estimate is off by more than 10× in either direction fails the
+//! suite — PROFILE's measured counters are the cost model's feedback
+//! loop, and this test is where that loop closes.
+
+use gsql_core::{parse_query, Engine, PathSemantics, PlanNode, Profile};
+use pgraph::graph::Graph;
+use pgraph::value::Value;
+
+/// Maximum tolerated estimate-vs-actual ratio (either direction).
+const MAX_RATIO: f64 = 10.0;
+
+/// Collects `(label, effective est_rows)` for every scan and hop of the
+/// plan, pre-order. A scan's effective estimate is its *last*
+/// pushdown-filter child (PROFILE measures scan rows after pushdown);
+/// a hop's own estimate already reflects anchor narrowing.
+fn plan_estimates(node: &PlanNode, out: &mut Vec<(String, u64)>) {
+    match node.op {
+        "scan" | "hop" => {
+            let mut est = node.est_rows.expect("cost-based plan must annotate est_rows");
+            for c in &node.children {
+                if c.op == "pushdown-filter" {
+                    est = c.est_rows.expect("pushdown-filter must annotate est_rows");
+                }
+            }
+            out.push((node.detail.clone(), est));
+        }
+        _ => {}
+    }
+    for c in &node.children {
+        plan_estimates(c, out);
+    }
+}
+
+/// Collects `(detail, rows, calls)` for every profiled scan and hop,
+/// pre-order — the same order the plan walk produces.
+fn profile_rows(p: &Profile) -> Vec<(String, u64, u64)> {
+    let mut out = Vec::new();
+    p.root.visit(&mut |n| {
+        if matches!(n.op, "scan" | "hop") {
+            out.push((n.detail.clone(), n.rows, n.calls));
+        }
+    });
+    out
+}
+
+/// Runs `src` profiled and asserts every scan/hop estimate is within
+/// `MAX_RATIO` of the measured rows. Operators executed more than once
+/// (inside WHILE/FOREACH) are skipped: their profiled rows accumulate
+/// over calls while the estimate is per-execution.
+fn assert_estimates_track_profile(graph: &Graph, src: &str, args: &[(&str, Value)]) {
+    let eng = Engine::new(graph).with_semantics(PathSemantics::AllShortestPaths);
+    let q = parse_query(src).unwrap();
+    let plan = eng.explain(&q).unwrap();
+    let mut est = Vec::new();
+    plan_estimates(&plan.root, &mut est);
+    let (_, profile) = eng.run_with(&q, args, true).unwrap();
+    let profile = profile.expect("profiled run returns a profile");
+    let actual = profile_rows(&profile);
+    assert_eq!(
+        est.len(),
+        actual.len(),
+        "plan and profile disagree on operator count:\n{}\nvs profile:\n{}",
+        plan.render(),
+        profile.render(),
+    );
+    for ((label, est_rows), (_, rows, calls)) in est.iter().zip(&actual) {
+        if *calls != 1 {
+            continue;
+        }
+        let e = (*est_rows).max(1) as f64;
+        let a = (*rows).max(1) as f64;
+        let ratio = if e > a { e / a } else { a / e };
+        assert!(
+            ratio <= MAX_RATIO,
+            "misestimate >{MAX_RATIO}x on `{label}`: est_rows={est_rows}, measured={rows}\n{}",
+            plan.render(),
+        );
+    }
+}
+
+#[test]
+fn qn_estimates_track_profile_on_diamond_chain() {
+    let (g, _) = pgraph::generators::diamond_chain(30);
+    let src = gsql_core::stdlib::qn("V", "E");
+    assert_estimates_track_profile(
+        &g,
+        &src,
+        &[("srcName", Value::Str("v0".into())), ("tgtName", Value::Str("v30".into()))],
+    );
+}
+
+#[test]
+fn qn_estimates_track_profile_on_a_near_miss_target() {
+    // A target one diamond in: far fewer paths than the full chain, the
+    // same plan — the estimate must bracket this case too.
+    let (g, _) = pgraph::generators::diamond_chain(30);
+    let src = gsql_core::stdlib::qn("V", "E");
+    assert_estimates_track_profile(
+        &g,
+        &src,
+        &[("srcName", Value::Str("v0".into())), ("tgtName", Value::Str("v1".into()))],
+    );
+}
+
+#[test]
+fn ic5_estimates_track_profile_on_snb() {
+    let g = ldbc_snb::generate(ldbc_snb::SnbParams::new(0.01, 42));
+    let src = ldbc_snb::queries::ic5(2);
+    let pt = g.schema().vertex_type_id("Person").unwrap();
+    let p = Value::Vertex(g.vertices_of_type(pt)[0]);
+    let min_date = Value::DateTime(pgraph::datetime::to_epoch(2010, 6, 1));
+    assert_estimates_track_profile(&g, &src, &[("p", p), ("minDate", min_date)]);
+}
