@@ -434,6 +434,115 @@ impl Accum {
         }
     }
 
+    /// Merges another instance of the same accumulator kind into `self` —
+    /// the Reduce step of partitioned (scatter-gather) accumulation.
+    /// `other` must have been built from [`Accum::new`] (the neutral
+    /// value, *not* a declaration-initialized prototype) and fed a subset
+    /// of the inputs; merging all partitions into the sequential store
+    /// then reproduces the sequential fold.
+    ///
+    /// For types where [`AccumType::is_exact_merge`] holds the merged
+    /// state is **bit-identical** to the sequential fold regardless of
+    /// how inputs were partitioned. The remaining types merge with their
+    /// natural semantics (float addition, list concatenation, heap
+    /// re-insertion) but may differ from the sequential fold in rounding
+    /// or tie order — callers gate on `is_exact_merge` when byte
+    /// determinism matters.
+    ///
+    /// Errors with [`AccumError::TypeMismatch`] on a kind mismatch and
+    /// refuses to merge opaque [`Accum::User`] instances.
+    #[allow(clippy::only_used_in_recursion)] // registry threads through to nested Map/GroupBy cells
+    pub fn merge(&mut self, other: Accum, registry: &UserAccumRegistry) -> Result<(), AccumError> {
+        match (self, other) {
+            (Accum::SumInt(a), Accum::SumInt(b)) => *a = a.wrapping_add(b),
+            (Accum::SumDouble(a), Accum::SumDouble(b)) => *a += b,
+            (Accum::SumStr(a), Accum::SumStr(b)) => a.push_str(&b),
+            (Accum::Min(a), Accum::Min(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().is_none_or(|cur| v < *cur) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (Accum::Max(a), Accum::Max(b)) => {
+                if let Some(v) = b {
+                    if a.as_ref().is_none_or(|cur| v > *cur) {
+                        *a = Some(v);
+                    }
+                }
+            }
+            (Accum::Avg { sum, count }, Accum::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (Accum::Or(a), Accum::Or(b)) => *a |= b,
+            (Accum::And(a), Accum::And(b)) => *a &= b,
+            (Accum::Set(items), Accum::Set(other)) => {
+                for v in other {
+                    if let Err(pos) = items.binary_search(&v) {
+                        items.insert(pos, v);
+                    }
+                }
+            }
+            (Accum::Bag(counts), Accum::Bag(other)) => {
+                for (k, c) in other {
+                    counts.entry(k).or_insert_with(BigCount::zero).add_assign(&c);
+                }
+            }
+            (Accum::List(items), Accum::List(other))
+            | (Accum::Array(items), Accum::Array(other)) => items.extend(other),
+            (
+                Accum::Map { entries, .. },
+                Accum::Map { entries: other, .. },
+            ) => {
+                for (k, nested) in other {
+                    match entries.entry(k) {
+                        std::collections::btree_map::Entry::Occupied(e) => {
+                            e.into_mut().merge(nested, registry)?;
+                        }
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            // Partition-local state moves in wholesale —
+                            // it already equals neutral ⊕ its inputs.
+                            e.insert(nested);
+                        }
+                    }
+                }
+            }
+            (
+                Accum::Heap { capacity, fields, items },
+                Accum::Heap { items: other, .. },
+            ) => {
+                for v in other {
+                    heap_insert(items, v, fields, *capacity);
+                }
+            }
+            (
+                Accum::GroupBy { groups, .. },
+                Accum::GroupBy { groups: other, .. },
+            ) => {
+                for (k, accs) in other {
+                    match groups.entry(k) {
+                        std::collections::btree_map::Entry::Occupied(e) => {
+                            for (a, b) in e.into_mut().iter_mut().zip(accs) {
+                                a.merge(b, registry)?;
+                            }
+                        }
+                        std::collections::btree_map::Entry::Vacant(e) => {
+                            e.insert(accs);
+                        }
+                    }
+                }
+            }
+            (me, other) => {
+                return Err(AccumError::TypeMismatch {
+                    expected: me.kind_name(),
+                    got: other.value(),
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// The `=` operator: overwrite the internal value.
     pub fn assign(&mut self, value: Value) -> Result<(), AccumError> {
         match self {
@@ -967,5 +1076,122 @@ mod tests {
         s.combine(Value::from("ab"), &r).unwrap();
         s.combine(Value::from("cd"), &r).unwrap();
         assert_eq!(s.value(), Value::from("abcd"));
+    }
+
+    /// Feeds `inputs` sequentially, then again split into `parts`
+    /// identity-seeded partials merged in order, and asserts the exact
+    /// types produce identical snapshots both ways.
+    fn check_partition_invariance(ty: &AccumType, inputs: &[Value], parts: usize) {
+        let r = reg();
+        let mut seq = mk(ty);
+        for v in inputs {
+            seq.combine(v.clone(), &r).unwrap();
+        }
+        let mut merged = mk(ty);
+        for chunk in inputs.chunks(inputs.len().div_ceil(parts).max(1)) {
+            let mut partial = mk(ty);
+            for v in chunk {
+                partial.combine(v.clone(), &r).unwrap();
+            }
+            merged.merge(partial, &r).unwrap();
+        }
+        assert_eq!(seq.value(), merged.value(), "{ty} over {parts} partitions");
+    }
+
+    #[test]
+    fn merge_reproduces_sequential_fold_for_exact_types() {
+        let ints: Vec<Value> = [7i64, -3, 3, 9, 7, 0, 12, -3].map(Value::Int).into();
+        let bools: Vec<Value> =
+            [true, false, true, false].map(Value::Bool).into();
+        let pairs: Vec<Value> = (0..8)
+            .map(|i| Value::Tuple(vec![Value::Int(i % 3), Value::Int(i)]))
+            .collect();
+        for parts in [1, 2, 3, 4] {
+            check_partition_invariance(&AccumType::Sum(ValueType::Int), &ints, parts);
+            check_partition_invariance(&AccumType::Min, &ints, parts);
+            check_partition_invariance(&AccumType::Max, &ints, parts);
+            check_partition_invariance(&AccumType::Or, &bools, parts);
+            check_partition_invariance(&AccumType::And, &bools, parts);
+            check_partition_invariance(&AccumType::Set, &ints, parts);
+            check_partition_invariance(&AccumType::Bag, &ints, parts);
+            check_partition_invariance(
+                &AccumType::Map(Box::new(AccumType::Sum(ValueType::Int))),
+                &pairs,
+                parts,
+            );
+            check_partition_invariance(
+                &AccumType::GroupBy {
+                    key_arity: 1,
+                    nested: vec![AccumType::Sum(ValueType::Int), AccumType::Max],
+                },
+                &(0..8)
+                    .map(|i| {
+                        Value::Tuple(vec![
+                            Value::Int(i % 2),
+                            Value::Int(i * 3),
+                            Value::Int(10 - i),
+                        ])
+                    })
+                    .collect::<Vec<_>>(),
+                parts,
+            );
+        }
+    }
+
+    #[test]
+    fn merge_identity_is_neutral() {
+        let r = reg();
+        // And's identity is `true`, Or's is `false` — merging a fresh
+        // instance must never flip an established result.
+        let mut and = mk(&AccumType::And);
+        and.combine(Value::Bool(false), &r).unwrap();
+        and.merge(mk(&AccumType::And), &r).unwrap();
+        assert_eq!(and.value(), Value::Bool(false));
+        let mut or = mk(&AccumType::Or);
+        or.combine(Value::Bool(true), &r).unwrap();
+        or.merge(mk(&AccumType::Or), &r).unwrap();
+        assert_eq!(or.value(), Value::Bool(true));
+        let mut min = mk(&AccumType::Min);
+        min.combine(Value::Int(5), &r).unwrap();
+        min.merge(mk(&AccumType::Min), &r).unwrap();
+        assert_eq!(min.value(), Value::Int(5));
+    }
+
+    #[test]
+    fn merge_rejects_kind_mismatch() {
+        let r = reg();
+        let mut s = mk(&AccumType::Sum(ValueType::Int));
+        let err = s.merge(mk(&AccumType::Min), &r);
+        assert!(matches!(err, Err(AccumError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn exact_merge_classification() {
+        let r = reg();
+        assert!(AccumType::Sum(ValueType::Int).is_exact_merge(&r));
+        assert!(AccumType::Min.is_exact_merge(&r));
+        assert!(AccumType::Max.is_exact_merge(&r));
+        assert!(AccumType::Or.is_exact_merge(&r));
+        assert!(AccumType::And.is_exact_merge(&r));
+        assert!(AccumType::Set.is_exact_merge(&r));
+        assert!(AccumType::Bag.is_exact_merge(&r));
+        assert!(AccumType::Map(Box::new(AccumType::Bag)).is_exact_merge(&r));
+        assert!(AccumType::GroupBy {
+            key_arity: 1,
+            nested: vec![AccumType::Sum(ValueType::Int), AccumType::Set],
+        }
+        .is_exact_merge(&r));
+        // Float folds, concatenators, heaps, user accums: not exact.
+        assert!(!AccumType::Sum(ValueType::Double).is_exact_merge(&r));
+        assert!(!AccumType::Sum(ValueType::Str).is_exact_merge(&r));
+        assert!(!AccumType::Avg.is_exact_merge(&r));
+        assert!(!AccumType::List.is_exact_merge(&r));
+        assert!(!AccumType::Array.is_exact_merge(&r));
+        assert!(!AccumType::Heap { capacity: 2, fields: vec![] }.is_exact_merge(&r));
+        assert!(!AccumType::User("ProductAccum".into()).is_exact_merge(&r));
+        assert!(
+            !AccumType::Map(Box::new(AccumType::Avg)).is_exact_merge(&r),
+            "exactness must recurse through containers"
+        );
     }
 }

@@ -133,6 +133,38 @@ impl AccumType {
             other => other.is_multiplicity_insensitive(registry),
         }
     }
+
+    /// Whether partitioned (per-shard) accumulation followed by
+    /// [`crate::instance::Accum::merge`] in *any* partition arrangement
+    /// produces a state **bit-identical** to sequential accumulation —
+    /// the gate the scatter-gather executor uses before splitting an
+    /// ACCUM clause across shards.
+    ///
+    /// Stricter than [`is_order_invariant`](Self::is_order_invariant):
+    /// `Avg` and `SumAccum<DOUBLE>` are order-invariant mathematically
+    /// but fold through non-associative `f64` addition, and a `Heap`
+    /// compares only its spec fields, so field-equal ties are resolved by
+    /// insertion order. Those merge *correctly* but not *identically*,
+    /// and are excluded.
+    #[allow(clippy::only_used_in_recursion)] // registry threads through to nested Map/GroupBy cells
+    pub fn is_exact_merge(&self, registry: &UserAccumRegistry) -> bool {
+        match self {
+            AccumType::Sum(ValueType::Int)
+            | AccumType::Min
+            | AccumType::Max
+            | AccumType::Or
+            | AccumType::And
+            | AccumType::Set
+            | AccumType::Bag => true,
+            AccumType::Map(v) => v.is_exact_merge(registry),
+            AccumType::GroupBy { nested, .. } => {
+                nested.iter().all(|n| n.is_exact_merge(registry))
+            }
+            // f64 folds, concatenating types, tie-truncating heaps, and
+            // opaque user accumulators: merge order would show through.
+            _ => false,
+        }
+    }
 }
 
 impl fmt::Display for AccumType {

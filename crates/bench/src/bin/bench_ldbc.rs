@@ -1,0 +1,246 @@
+//! **E12: scatter-gather throughput vs shard count** on an LDBC
+//! SF10-class graph produced by the *streaming* generator.
+//!
+//! The bench (a) streams an `sf = 10` SNB-like graph (~130k vertices,
+//! ~700k edges — an order of magnitude beyond the in-tree test graphs)
+//! through [`ldbc_snb::generate_streamed`] while asserting that the
+//! generator's auxiliary state stays constant-size (no full
+//! materialization of the vertex/edge stream outside the graph being
+//! built), then (b) runs a kernel-heavy IC query and the Appendix-B
+//! grouping-set query at shard counts 1/2/4/8, asserting the outputs
+//! are **byte-identical** across every shard count before recording
+//! throughput (edges scanned per second) and latency into
+//! `BENCH_ldbc.json`.
+//!
+//! Flags: `--smoke` (sf = 0.5, one repetition — CI-sized),
+//! `--sf <f>` (default 10), `--reps <n>` (default 3),
+//! `--parallelism <k>` (default 4).
+
+use bench::harness::{fmt_duration, timed};
+use gsql_core::{Engine, QueryOutput};
+use ldbc_snb::{generate_streamed, queries, SnbParams};
+use pgraph::datetime::to_epoch;
+use pgraph::shard::{ShardSpec, ShardedGraph};
+use pgraph::value::Value;
+use pgraph::Graph;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Peak resident set (`VmHWM`) in bytes, or 0 where unsupported.
+fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmHWM:")).and_then(|l| {
+                l.split_whitespace().nth(1).and_then(|kb| kb.parse::<u64>().ok())
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Canonical byte rendering of a query's observable output (tables,
+/// prints, return value, match statistics). Resource *timings* are
+/// excluded — only the deterministic counters take part in the identity
+/// check.
+fn canonical(out: &QueryOutput) -> String {
+    let mut s = String::new();
+    for (name, table) in &out.tables {
+        let _ = writeln!(s, "TABLE {name}\n{table}");
+    }
+    for p in &out.prints {
+        let _ = writeln!(s, "PRINT {p}");
+    }
+    let _ = writeln!(s, "RETURN {:?}", out.returned);
+    let _ = writeln!(s, "STATS {:?}", out.stats);
+    let _ = writeln!(
+        s,
+        "COUNTS rows={} paths={} accum_bytes={} while={}",
+        out.report.rows_materialized,
+        out.report.paths_enumerated,
+        out.report.peak_accum_bytes,
+        out.report.while_iterations
+    );
+    s
+}
+
+struct Workload {
+    name: &'static str,
+    text: String,
+    args: Vec<(&'static str, Value)>,
+}
+
+fn workloads(graph: &Graph) -> Vec<Workload> {
+    let pt = graph.schema().vertex_type_id("Person").expect("Person type");
+    let p = Value::Vertex(graph.vertices_of_type(pt)[0]);
+    vec![
+        Workload {
+            name: "ic5",
+            text: queries::ic5(3),
+            args: vec![("p", p), ("minDate", Value::DateTime(to_epoch(2010, 6, 1)))],
+        },
+        Workload { name: "q_acc", text: queries::q_acc(), args: vec![] },
+    ]
+}
+
+struct Cell {
+    query: &'static str,
+    shards: usize,
+    latency: Duration,
+    edges_scanned: u64,
+    vertices_touched: u64,
+}
+
+impl Cell {
+    fn throughput(&self) -> f64 {
+        self.edges_scanned as f64 / self.latency.as_secs_f64().max(1e-9)
+    }
+}
+
+fn main() {
+    let mut sf = 10.0f64;
+    let mut reps = 3usize;
+    let mut parallelism = 4usize;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {
+                sf = 0.5;
+                reps = 1;
+            }
+            "--sf" => sf = it.next().and_then(|v| v.parse().ok()).expect("--sf <float>"),
+            "--reps" => reps = it.next().and_then(|v| v.parse().ok()).expect("--reps <n>"),
+            "--parallelism" => {
+                parallelism =
+                    it.next().and_then(|v| v.parse().ok()).expect("--parallelism <k>");
+            }
+            other => {
+                eprintln!(
+                    "usage: bench_ldbc [--smoke] [--sf <f>] [--reps <n>] \
+                     [--parallelism <k>] (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // ---- streamed generation (satellite #2: bounded auxiliary state) --
+    let rss_before = peak_rss_bytes();
+    let ((graph, report), gen_wall) = timed(|| generate_streamed(SnbParams::new(sf, 31)));
+    let rss_after = peak_rss_bytes();
+    assert!(
+        report.aux_peak_bytes < 64 * 1024,
+        "streamed generator auxiliary state must stay constant-size, got {} bytes",
+        report.aux_peak_bytes
+    );
+    println!(
+        "generated sf={sf}: {} vertices, {} edges in {} \
+         ({} chunks, aux peak {} B, VmHWM {} -> {} MiB)",
+        report.vertices,
+        report.edges,
+        fmt_duration(gen_wall),
+        report.chunks,
+        report.aux_peak_bytes,
+        rss_before >> 20,
+        rss_after >> 20
+    );
+
+    // ---- shard sweep with byte-identity gate ------------------------
+    let loads = workloads(&graph);
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut baseline: Vec<Option<String>> = vec![None; loads.len()];
+    for &n in &SHARD_COUNTS {
+        let (sharded, shard_wall) = timed(|| {
+            (n > 1).then(|| ShardedGraph::build(&graph, ShardSpec::hash(n)))
+        });
+        if let Some(sh) = &sharded {
+            println!(
+                "shards={n}: built in {} (imbalance {:.3})",
+                fmt_duration(shard_wall),
+                sh.imbalance_ratio()
+            );
+        }
+        for (wi, w) in loads.iter().enumerate() {
+            let mut engine = Engine::new(&graph).with_parallelism(parallelism);
+            if let Some(sh) = &sharded {
+                engine = engine.with_sharding(sh);
+            }
+            let args: Vec<(&str, Value)> =
+                w.args.iter().map(|(k, v)| (*k, v.clone())).collect();
+            let mut best: Option<Cell> = None;
+            for _ in 0..reps {
+                let (out, wall) = timed(|| engine.run_text(&w.text, &args));
+                let out = out.unwrap_or_else(|e| panic!("{} failed: {e}", w.name));
+                let bytes = canonical(&out);
+                match &baseline[wi] {
+                    None => baseline[wi] = Some(bytes),
+                    Some(b) => assert_eq!(
+                        b, &bytes,
+                        "{} output diverged at shards={n} (must be byte-identical)",
+                        w.name
+                    ),
+                }
+                let cell = Cell {
+                    query: w.name,
+                    shards: n,
+                    latency: wall,
+                    edges_scanned: out.report.edges_scanned,
+                    vertices_touched: out.report.vertices_touched,
+                };
+                if best.as_ref().is_none_or(|b| cell.latency < b.latency) {
+                    best = Some(cell);
+                }
+            }
+            let cell = best.unwrap();
+            println!(
+                "  {:>6} shards={n}: {} ({:.1}M edges/s)",
+                cell.query,
+                fmt_duration(cell.latency),
+                cell.throughput() / 1e6
+            );
+            cells.push(cell);
+        }
+    }
+
+    // ---- BENCH_ldbc.json --------------------------------------------
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"ldbc_scatter_gather\",");
+    let _ = writeln!(json, "  \"sf\": {sf},");
+    let _ = writeln!(json, "  \"parallelism\": {parallelism},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(
+        json,
+        "  \"graph\": {{\"vertices\": {}, \"edges\": {}, \"gen_ms\": {}, \
+         \"gen_chunks\": {}, \"gen_aux_peak_bytes\": {}, \"peak_rss_bytes\": {}}},",
+        report.vertices,
+        report.edges,
+        gen_wall.as_millis(),
+        report.chunks,
+        report.aux_peak_bytes,
+        peak_rss_bytes()
+    );
+    let _ = writeln!(json, "  \"byte_identical_across_shards\": true,");
+    let _ = writeln!(json, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"query\": \"{}\", \"shards\": {}, \"latency_ms\": {:.3}, \
+             \"edges_scanned\": {}, \"vertices_touched\": {}, \
+             \"edges_per_sec\": {:.0}}}{}",
+            c.query,
+            c.shards,
+            c.latency.as_secs_f64() * 1e3,
+            c.edges_scanned,
+            c.vertices_touched,
+            c.throughput(),
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    json.push('}');
+    json.push('\n');
+    std::fs::write("BENCH_ldbc.json", &json).expect("write BENCH_ldbc.json");
+    println!("wrote BENCH_ldbc.json ({} cells)", cells.len());
+}

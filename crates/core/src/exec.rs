@@ -8,7 +8,7 @@ use crate::eval::{eval, truthy, Binding, BindingRow, Env, RowRef, VAccStore};
 use crate::governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
 use crate::plan::{BlockPlan, HopStrategy, LowerCtx, QueryPlan};
 use crate::profile::{Profile, Profiler, Span, SpanExtra};
-use crate::semantics::{reach, MatchStats, PathSemantics, ReachMap};
+use crate::semantics::{reach_on, GraphView, MatchStats, PathSemantics, ReachMap};
 use crate::table::Table;
 use crate::tractable;
 use accum::{Accum, AccumType, UserAccumRegistry};
@@ -18,6 +18,7 @@ use pgraph::fxhash::{FxHashMap, FxHashSet};
 use pgraph::graph::{Graph, VertexId};
 use pgraph::mutate::MutationOp;
 use pgraph::schema::{AttrDef, VTypeId};
+use pgraph::shard::ShardedGraph;
 use pgraph::value::{Value, ValueType};
 use std::collections::BTreeMap;
 
@@ -63,6 +64,8 @@ pub struct Engine<'g> {
     cancel: CancelHandle,
     /// Map-phase threads (1 = sequential).
     parallelism: usize,
+    /// Sharded view for scatter-gather execution ([`Engine::with_sharding`]).
+    shards: Option<&'g ShardedGraph>,
 }
 
 impl<'g> Engine<'g> {
@@ -81,6 +84,7 @@ impl<'g> Engine<'g> {
             budget: Budget::default(),
             cancel: CancelHandle::new(),
             parallelism,
+            shards: None,
         }
     }
 
@@ -125,6 +129,32 @@ impl<'g> Engine<'g> {
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
         self
+    }
+
+    /// Routes kernel execution through `shards` — the scatter-gather
+    /// path: reachability kernels are scheduled and accounted per owner
+    /// shard, ACCUM clauses with exclusively combine-merged (`+=`)
+    /// exact-merge accumulators scatter across shards and gather through
+    /// [`accum::Accum::merge`] in deterministic shard order, and the
+    /// [`ResourceReport`] carries a per-shard breakdown. Query output is
+    /// **byte-identical** to flat execution at any shard count × any
+    /// parallelism (the segments serve bit-identical adjacency and every
+    /// merge is deterministic).
+    ///
+    /// A stale sharding (one whose [`ShardedGraph::matches`] no longer
+    /// holds for this engine's graph — it mutated since the build) or a
+    /// single-shard one is silently ignored: execution falls back to the
+    /// flat path.
+    pub fn with_sharding(mut self, shards: &'g ShardedGraph) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// The sharded view execution will actually use: the configured one,
+    /// unless it is stale for this graph or trivially single-shard.
+    fn active_shards(&self) -> Option<&'g ShardedGraph> {
+        self.shards
+            .filter(|s| s.shard_count() > 1 && s.matches(self.graph))
     }
 
     /// Runs the static analyzer ([`crate::lint`]) over a parsed query
@@ -234,7 +264,10 @@ impl<'g> Engine<'g> {
         profile: bool,
         plan: &QueryPlan,
     ) -> Result<(QueryOutput, Option<Profile>)> {
-        let guard = QueryGuard::new(self.budget.clone(), self.cancel.clone());
+        let mut guard = QueryGuard::new(self.budget.clone(), self.cancel.clone());
+        if let Some(shards) = self.active_shards() {
+            guard = guard.with_shards(shards.shard_count());
+        }
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             self.run_inner(query, args, &guard, profile, plan)
         }));
@@ -254,7 +287,11 @@ impl<'g> Engine<'g> {
     /// statistics. This is the plan [`Engine::run`] runs and
     /// [`Engine::explain`] renders.
     pub fn plan(&self, query: &Query) -> std::sync::Arc<QueryPlan> {
-        let ctx = LowerCtx { graph: self.graph, tables: &self.tables };
+        let ctx = LowerCtx {
+            graph: self.graph,
+            tables: &self.tables,
+            shards: self.active_shards(),
+        };
         std::sync::Arc::new(crate::plan::lower_query(query, self.semantics, Some(&ctx)))
     }
 
@@ -309,6 +346,7 @@ impl<'g> Engine<'g> {
             vsets: FxHashMap::default(),
             vaccs: FxHashMap::default(),
             gaccs: FxHashMap::default(),
+            gacc_types: FxHashMap::default(),
             prev_vaccs: FxHashMap::default(),
             prev_gaccs: FxHashMap::default(),
             out_tables: BTreeMap::new(),
@@ -318,6 +356,8 @@ impl<'g> Engine<'g> {
             prof: profile.then(Profiler::new),
             prof_hop_cache: (0, 0),
             prof_hop_workers: Vec::new(),
+            prof_hop_shards: Vec::new(),
+            shards: self.active_shards(),
             mutations: Vec::new(),
             pending_vertices: 0,
         };
@@ -472,6 +512,10 @@ struct Runtime<'e, 'g> {
     vsets: FxHashMap<String, Vec<VertexId>>,
     vaccs: FxHashMap<String, VAccStore>,
     gaccs: FxHashMap<String, Accum>,
+    /// Declared types of the global accumulators (the instances in
+    /// `gaccs` don't retain their descriptor; the scatter-gather exact-
+    /// merge gate needs it).
+    gacc_types: FxHashMap<String, AccumType>,
     prev_vaccs: FxHashMap<String, VAccStore>,
     prev_gaccs: FxHashMap<String, Accum>,
     out_tables: BTreeMap<String, Table>,
@@ -488,6 +532,11 @@ struct Runtime<'e, 'g> {
     /// Per-worker kernel counts of the most recent parallel fan-out,
     /// collected only when profiling.
     prof_hop_workers: Vec<u64>,
+    /// Per-shard kernel counts of the most recent scatter fan-out,
+    /// collected only when profiling on the sharded path.
+    prof_hop_shards: Vec<u64>,
+    /// Validated sharded view for this execution (`None` = flat path).
+    shards: Option<&'g ShardedGraph>,
     /// Mutation ops emitted by INSERT/UPDATE/DELETE, in statement order.
     mutations: Vec<MutationOp>,
     /// Vertices inserted so far this query: `INSERT EDGE` endpoints may
@@ -562,6 +611,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     }
                     if d.global {
                         self.gaccs.insert(d.name.clone(), proto);
+                        self.gacc_types.insert(d.name.clone(), ty.clone());
                     } else {
                         self.vaccs.insert(
                             d.name.clone(),
@@ -1070,7 +1120,8 @@ impl<'e, 'g> Runtime<'e, 'g> {
             // IF-guarded USE SEMANTICS) or the block reached us outside
             // the planned query: lower it on the fly.
             _ => {
-                let ctx = LowerCtx { graph: self.graph(), tables: &self.eng.tables };
+                let ctx =
+                    LowerCtx { graph: self.graph(), tables: &self.eng.tables, shards: self.shards };
                 std::sync::Arc::new(crate::plan::lower_block_only(
                     block,
                     self.semantics,
@@ -1085,7 +1136,16 @@ impl<'e, 'g> Runtime<'e, 'g> {
         let mut rows: Vec<BindingRow> =
             vec![BindingRow { bindings: Vec::new(), mult: BigCount::one() }];
         let mut anon = 0usize;
-        for item in &block.from {
+        // Execute FROM items in the plan's cost-chosen order (empty =
+        // source order); a permutation is only ever emitted when the
+        // output-invariance gate held, so results are unchanged.
+        let exec_order: Vec<usize> = if bp.from_order.is_empty() {
+            (0..block.from.len()).collect()
+        } else {
+            bp.from_order.clone()
+        };
+        for &item_idx in &exec_order {
+            let item = &block.from[item_idx];
             match item {
                 FromItem::Table { name, alias } => {
                     let span =
@@ -1143,6 +1203,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         if span.is_some() {
                             self.prof_hop_cache = (0, 0);
                             self.prof_hop_workers.clear();
+                            self.prof_hop_shards.clear();
                         }
                         let mut to_spec = self.resolve_spec(&hop.to.name)?;
                         let to_var = hop
@@ -1175,6 +1236,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                                 cache_hits: self.prof_hop_cache.0,
                                 cache_misses: self.prof_hop_cache.1,
                                 workers: std::mem::take(&mut self.prof_hop_workers),
+                                shards: std::mem::take(&mut self.prof_hop_shards),
                                 ..SpanExtra::default()
                             };
                             self.prof_exit(span, extra);
@@ -1519,7 +1581,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         // row order, multiplicities, and output bytes are identical to
         // parallelism 1.
         let mut cache: FxHashMap<VertexId, ReachMap> = FxHashMap::default();
-        if self.eng.parallelism > 1 {
+        if self.eng.parallelism > 1 || self.shards.is_some() {
             let mut keys: Vec<VertexId> = Vec::new();
             let mut seen: FxHashSet<VertexId> = FxHashSet::default();
             'scan: for row in &rows {
@@ -1587,14 +1649,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 for t in targets {
                     if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(t) {
                         cache_misses += 1;
-                        e.insert(reach(
-                            graph,
-                            t,
-                            rev,
-                            self.semantics,
-                            self.guard,
-                            &mut self.stats,
-                        )?);
+                        e.insert(self.reach_keyed(t, rev)?);
                     } else {
                         cache_hits += 1;
                     }
@@ -1610,14 +1665,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
             // Forward kernel keyed by the source vertex.
             if let std::collections::hash_map::Entry::Vacant(e) = cache.entry(src) {
                 cache_misses += 1;
-                e.insert(reach(
-                    graph,
-                    src,
-                    &nfa,
-                    self.semantics,
-                    self.guard,
-                    &mut self.stats,
-                )?);
+                e.insert(self.reach_keyed(src, &nfa)?);
             } else {
                 cache_hits += 1;
             }
@@ -1647,6 +1695,30 @@ impl<'e, 'g> Runtime<'e, 'g> {
         Ok(next)
     }
 
+    /// Runs one reachability kernel on the main thread, routing through
+    /// the sharded view when scatter-gather is active and attributing
+    /// the kernel to the key's owner shard.
+    fn reach_keyed(&mut self, key: VertexId, nfa: &CompiledDarpe) -> Result<ReachMap> {
+        let view = match self.shards {
+            Some(sh) => GraphView::Sharded(sh),
+            None => GraphView::Flat(self.graph()),
+        };
+        let before_v = self.stats.vertices_touched;
+        let before_e = self.stats.edges_scanned;
+        let t0 = std::time::Instant::now();
+        let r = reach_on(view, key, nfa, self.semantics, self.guard, &mut self.stats);
+        if let Some(sh) = self.shards {
+            self.guard.note_shard(
+                sh.owner(key),
+                self.stats.vertices_touched - before_v,
+                self.stats.edges_scanned - before_e,
+                1,
+                t0.elapsed().as_nanos() as u64,
+            );
+        }
+        r
+    }
+
     /// Runs one reachability kernel per key across `Engine::parallelism`
     /// scoped worker threads (work-stealing over the shared key list) and
     /// returns the per-key [`ReachMap`]s.
@@ -1667,6 +1739,41 @@ impl<'e, 'g> Runtime<'e, 'g> {
         let graph = self.graph();
         let semantics = self.semantics;
         let guard = self.guard;
+        let shards = self.shards;
+        let view = match shards {
+            Some(sh) => GraphView::Sharded(sh),
+            None => GraphView::Flat(graph),
+        };
+        // Scatter schedule: indices into `keys`, grouped by owner shard
+        // and interleaved round-robin so the work-stealing counter serves
+        // every shard fairly — one hot shard cannot monopolize the
+        // worker pool's early slots.
+        let schedule: Vec<usize> = match shards {
+            Some(sh) => {
+                let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); sh.shard_count()];
+                for (i, k) in keys.iter().enumerate() {
+                    by_shard[sh.owner(*k)].push(i);
+                }
+                let mut out = Vec::with_capacity(keys.len());
+                let mut cursor = vec![0usize; by_shard.len()];
+                loop {
+                    let mut pushed = false;
+                    for (sdx, q) in by_shard.iter().enumerate() {
+                        if let Some(&i) = q.get(cursor[sdx]) {
+                            out.push(i);
+                            cursor[sdx] += 1;
+                            pushed = true;
+                        }
+                    }
+                    if !pushed {
+                        break;
+                    }
+                }
+                out
+            }
+            None => (0..keys.len()).collect(),
+        };
+        let schedule = &schedule;
         let nworkers = self.eng.parallelism.min(keys.len());
         let next_key = std::sync::atomic::AtomicUsize::new(0);
         type WorkerOut = (MatchStats, Vec<(usize, Result<ReachMap>)>);
@@ -1679,13 +1786,27 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         let mut done: Vec<(usize, Result<ReachMap>)> = Vec::new();
                         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                             || loop {
-                                let i =
+                                let si =
                                     next_key.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                                if i >= keys.len() {
+                                if si >= schedule.len() {
                                     break;
                                 }
-                                let r =
-                                    reach(graph, keys[i], nfa, semantics, guard, &mut stats);
+                                let i = schedule[si];
+                                let before_v = stats.vertices_touched;
+                                let before_e = stats.edges_scanned;
+                                let t0 = std::time::Instant::now();
+                                let r = reach_on(
+                                    view, keys[i], nfa, semantics, guard, &mut stats,
+                                );
+                                if let Some(sh) = shards {
+                                    guard.note_shard(
+                                        sh.owner(keys[i]) as usize,
+                                        stats.vertices_touched - before_v,
+                                        stats.edges_scanned - before_e,
+                                        1,
+                                        t0.elapsed().as_nanos() as u64,
+                                    );
+                                }
                                 let failed = r.is_err();
                                 done.push((i, r));
                                 if failed {
@@ -1720,6 +1841,15 @@ impl<'e, 'g> Runtime<'e, 'g> {
             // how evenly the work-stealing fan-out spread the kernels.
             self.prof_hop_workers =
                 worker_out.iter().map(|(stats, _)| stats.kernel_calls).collect();
+            if let Some(sh) = self.shards {
+                // Per-shard distribution: one kernel per key, attributed
+                // to the key's owner.
+                let mut per = vec![0u64; sh.shard_count()];
+                for k in keys {
+                    per[sh.owner(*k)] += 1;
+                }
+                self.prof_hop_shards = per;
+            }
         }
         for (stats, done) in worker_out {
             self.stats.merge(&stats);
@@ -1757,6 +1887,30 @@ impl<'e, 'g> Runtime<'e, 'g> {
     }
 
     // ---- ACCUM --------------------------------------------------------------
+
+    /// Scatter-gather gate for one ACCUM clause: every statement must
+    /// combine (`+=`) into a declared accumulator whose type merges
+    /// exactly ([`AccumType::is_exact_merge`]). Assignments, unknown
+    /// targets, and order-sensitive types force the row-order fold.
+    fn accum_scatter_exact(&self, stmts: &[AccStmt]) -> bool {
+        stmts.iter().all(|s| match s {
+            AccStmt::LocalDecl { .. } => true,
+            AccStmt::VAcc { name, combine, .. } => {
+                *combine
+                    && self
+                        .vaccs
+                        .get(name)
+                        .is_some_and(|st| st.ty.is_exact_merge(&self.eng.registry))
+            }
+            AccStmt::GAcc { name, combine, .. } => {
+                *combine
+                    && self
+                        .gacc_types
+                        .get(name)
+                        .is_some_and(|ty| ty.is_exact_merge(&self.eng.registry))
+            }
+        })
+    }
 
     fn run_accum(
         &mut self,
@@ -1821,6 +1975,190 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
             Ok(out)
         };
+
+        // Scatter-gather ACCUM: when sharding is active and every
+        // statement is a `+=` combine into an exact-merge accumulator,
+        // partition the rows by the owner shard of each row's first
+        // vertex binding, fold every partition into identity-seeded
+        // per-shard partials on scoped workers, and merge the partials
+        // into the live stores in ascending shard order. Exact-merge
+        // combiners are associative and commutative at the
+        // representation level, so the merged state is bit-identical to
+        // the sequential row-order fold at any shard count.
+        if let Some(sh) = self.shards {
+            if rows.len() >= 2 && self.accum_scatter_exact(stmts) {
+                let registry = &self.eng.registry;
+                let v_types: Vec<Option<AccumType>> =
+                    names.iter().map(|n| self.vaccs.get(*n).map(|st| st.ty.clone())).collect();
+                let g_types: Vec<Option<AccumType>> =
+                    names.iter().map(|n| self.gacc_types.get(*n).cloned()).collect();
+                let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); sh.shard_count()];
+                for (i, row) in rows.iter().enumerate() {
+                    let shard = row
+                        .bindings
+                        .iter()
+                        .find_map(|b| match b {
+                            Binding::Vertex(v) => Some(sh.owner(*v)),
+                            _ => None,
+                        })
+                        .unwrap_or(0);
+                    by_shard[shard].push(i);
+                }
+                let parts: Vec<(usize, Vec<usize>)> = by_shard
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, idxs)| !idxs.is_empty())
+                    .collect();
+                // One partial store per shard: identity-seeded cells for
+                // every (target, vertex) / target the shard touches.
+                #[derive(Default)]
+                struct Partial {
+                    g: FxHashMap<usize, Accum>,
+                    v: FxHashMap<(usize, VertexId), Accum>,
+                }
+                type ShardOut = (usize, u64, std::result::Result<Partial, (usize, Error)>);
+                let guard = self.guard;
+                let outs: Vec<ShardOut> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .map(|(shard, idxs)| {
+                            let map_row = &map_row;
+                            let v_types = &v_types;
+                            let g_types = &g_types;
+                            scope.spawn(move || -> ShardOut {
+                                let t0 = std::time::Instant::now();
+                                let caught = std::panic::catch_unwind(
+                                    std::panic::AssertUnwindSafe(
+                                        || -> std::result::Result<Partial, (usize, Error)> {
+                                            let mut part = Partial::default();
+                                            for &ri in idxs {
+                                                let ems = map_row(&rows[ri])
+                                                    .map_err(|e| (ri, e))?;
+                                                for em in ems {
+                                                    let cell = match em.target {
+                                                        EmitTarget::V { name, vertex } => part
+                                                            .v
+                                                            .entry((name, vertex))
+                                                            .or_insert_with(|| {
+                                                                Accum::new(
+                                                                    v_types[name]
+                                                                        .as_ref()
+                                                                        .expect("gated"),
+                                                                    registry,
+                                                                )
+                                                                .expect("identity")
+                                                            }),
+                                                        EmitTarget::G { name } => part
+                                                            .g
+                                                            .entry(name)
+                                                            .or_insert_with(|| {
+                                                                Accum::new(
+                                                                    g_types[name]
+                                                                        .as_ref()
+                                                                        .expect("gated"),
+                                                                    registry,
+                                                                )
+                                                                .expect("identity")
+                                                            }),
+                                                    };
+                                                    cell.combine_with_multiplicity(
+                                                        em.value, &em.mult, registry,
+                                                    )
+                                                    .map_err(|e| (ri, Error::from(e)))?;
+                                                }
+                                            }
+                                            Ok(part)
+                                        },
+                                    ),
+                                );
+                                let r = match caught {
+                                    Ok(r) => r,
+                                    Err(payload) => {
+                                        guard.poison();
+                                        Err((
+                                            usize::MAX,
+                                            guard.worker_panic_error(payload.as_ref()),
+                                        ))
+                                    }
+                                };
+                                (*shard, t0.elapsed().as_nanos() as u64, r)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|_| {
+                                (
+                                    0,
+                                    0,
+                                    Err((
+                                        usize::MAX,
+                                        Error::runtime("accum scatter thread panicked"),
+                                    )),
+                                )
+                            })
+                        })
+                        .collect()
+                });
+                // The error for the smallest original row index wins
+                // (the row the sequential fold would have failed on);
+                // a worker panic outranks ordinary errors.
+                let mut first_err: Option<(usize, Error)> = None;
+                let mut partials: Vec<(usize, Partial)> = Vec::with_capacity(outs.len());
+                for (shard, busy_ns, r) in outs {
+                    self.guard.note_shard(shard, 0, 0, 0, busy_ns);
+                    match r {
+                        Ok(p) => partials.push((shard, p)),
+                        Err((ri, e)) => {
+                            let replace = match &first_err {
+                                None => true,
+                                Some((pi, pe)) => {
+                                    if pe.kind() == crate::error::ErrorKind::WorkerPanic {
+                                        false
+                                    } else if e.kind() == crate::error::ErrorKind::WorkerPanic {
+                                        true
+                                    } else {
+                                        ri < *pi
+                                    }
+                                }
+                            };
+                            if replace {
+                                first_err = Some((ri, e));
+                            }
+                        }
+                    }
+                }
+                if let Some((_, e)) = first_err {
+                    return Err(e);
+                }
+                // Gather: merge partials in ascending shard order —
+                // globals by target index, vertex cells by (target,
+                // VertexId) — so the merge sequence is a pure function
+                // of the sharding, never of worker timing.
+                partials.sort_by_key(|(shard, _)| *shard);
+                for (_, part) in partials {
+                    let mut gs: Vec<(usize, Accum)> = part.g.into_iter().collect();
+                    gs.sort_by_key(|(i, _)| *i);
+                    for (ni, acc) in gs {
+                        let live = self.gaccs.get_mut(names[ni]).ok_or_else(|| {
+                            Error::runtime(format!("undeclared accumulator `@@{}`", names[ni]))
+                        })?;
+                        live.merge(acc, &self.eng.registry)?;
+                    }
+                    let mut vs: Vec<((usize, VertexId), Accum)> = part.v.into_iter().collect();
+                    vs.sort_by_key(|(k, _)| *k);
+                    for ((ni, vertex), acc) in vs {
+                        let store = self.vaccs.get_mut(names[ni]).ok_or_else(|| {
+                            Error::runtime(format!("undeclared accumulator `@{}`", names[ni]))
+                        })?;
+                        store.cell_mut(vertex).merge(acc, &self.eng.registry)?;
+                    }
+                }
+                self.guard.note_accum_bytes(self.accum_footprint())?;
+                return Ok(());
+            }
+        }
 
         let emissions: Vec<Emission> = if self.eng.parallelism > 1
             && rows.len() >= PARALLEL_THRESHOLD

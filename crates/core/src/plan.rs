@@ -30,18 +30,29 @@
 //! `tests/planner_estimates.rs` flags any node whose `est_rows` is more
 //! than 10x off the measured rows on the bench workloads.
 //!
-//! Determinism contract: hops execute in pattern order (the cost model
-//! annotates but never reorders them), so results stay byte-identical
-//! across plans, parallelism levels, and statistics refreshes.
+//! Determinism contract: hops within one FROM item execute in pattern
+//! order (the cost model annotates but never reorders them). Whole FROM
+//! *items* may be reordered ([`BlockPlan::from_order`]) — but only when
+//! the reorder is provably output-invariant: items bind disjoint
+//! variables, every WHERE conjunct touches at most one item (so the
+//! surviving row set is a product of per-item filters and each alias's
+//! first-occurrence order equals its own generation order), every output
+//! is a vertex fragment (table outputs are row-order sensitive), and
+//! every ACCUM statement is a combine (`+=`) into an exact-merge
+//! accumulator ([`accum::AccumType::is_exact_merge`]). Under that gate
+//! results stay byte-identical across plans, shard counts, parallelism
+//! levels, and statistics refreshes.
 
 use crate::ast::*;
 use crate::explain::{Plan, PlanNode};
 use crate::semantics::PathSemantics;
 use crate::table::Table;
 use darpe::{Darpe, DarpeDir, Symbol};
+use accum::AccumType;
 use pgraph::fxhash::{FxHashMap, FxHashSet};
 use pgraph::graph::Graph;
 use pgraph::schema::ETypeId;
+use pgraph::shard::ShardedGraph;
 use std::sync::Arc;
 
 /// Rows an equality conjunct (`x.a == c`) is assumed to keep: a point
@@ -63,6 +74,9 @@ pub(crate) struct LowerCtx<'a> {
     pub graph: &'a Graph,
     /// Registered relational input tables.
     pub tables: &'a FxHashMap<String, Table>,
+    /// Active sharded view, when the engine executes scatter-gather —
+    /// EXPLAIN then annotates kernel hops with per-shard fan-out nodes.
+    pub shards: Option<&'a ShardedGraph>,
 }
 
 /// The execution strategy the planner chose for one pattern hop.
@@ -120,6 +134,11 @@ pub struct BlockPlan {
     /// Hop strategies keyed by `&Hop as *const _ as usize` (the same
     /// AST-identity keying the profiler uses).
     strategies: FxHashMap<usize, HopStrategy>,
+    /// Execution order of the FROM items as indices into the source
+    /// list; empty = source order. Non-empty only when the cost model
+    /// found a strictly cheaper order *and* the output-invariance gate
+    /// held (see the module docs' determinism contract).
+    pub from_order: Vec<usize>,
 }
 
 impl BlockPlan {
@@ -160,6 +179,11 @@ struct LowerState<'a, 'c> {
     /// Planner-visible vertex-set cardinalities (`S = SELECT ...` feeds
     /// later blocks' scans).
     vset_est: FxHashMap<String, f64>,
+    /// Declared accumulator types (vertex and global share a namespace
+    /// here), collected from the query body — the FROM-reorder gate
+    /// checks ACCUM targets against [`AccumType::is_exact_merge`].
+    /// Empty for [`lower_block_only`], which has no query context.
+    accum_types: FxHashMap<String, AccumType>,
 }
 
 /// Lowers `query` into a [`QueryPlan`] under `semantics`, cost-based
@@ -173,12 +197,15 @@ pub(crate) fn lower_query(
         "query",
         format!("QUERY {} [{:?} semantics]", query.name, semantics),
     );
+    let mut accum_types = FxHashMap::default();
+    collect_accum_types(&query.body, &mut accum_types);
     let mut st = LowerState {
         ctx,
         params: &query.params,
         blocks: FxHashMap::default(),
         block_no: 0,
         vset_est: FxHashMap::default(),
+        accum_types,
     };
     lower_stmts(&query.body, semantics, &mut st, &mut root.children);
     QueryPlan {
@@ -202,6 +229,7 @@ pub(crate) fn lower_block_only(
         blocks: FxHashMap::default(),
         block_no: 0,
         vset_est: FxHashMap::default(),
+        accum_types: FxHashMap::default(),
     };
     let (_, bp, _) = lower_block(block, semantics, 1, &mut st);
     bp
@@ -303,6 +331,32 @@ fn lower_stmts(
                 let mut node = PlanNode::new("foreach", format!("FOREACH {var}:"));
                 lower_stmts(body, semantics, st, &mut node.children);
                 out.push(node);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Walks statements (including WHILE/IF/FOREACH bodies) collecting every
+/// accumulator declaration's type, for the FROM-reorder exactness gate.
+fn collect_accum_types(stmts: &[Stmt], out: &mut FxHashMap<String, AccumType>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::AccumDecl { ty, decls } => {
+                for d in decls {
+                    // `@x` and `@@x` are distinct namespaces: key with
+                    // the sigil so the gate never reads the wrong type.
+                    let key =
+                        if d.global { format!("@@{}", d.name) } else { format!("@{}", d.name) };
+                    out.insert(key, ty.clone());
+                }
+            }
+            Stmt::While { body, .. } | Stmt::Foreach { body, .. } => {
+                collect_accum_types(body, out);
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                collect_accum_types(then_branch, out);
+                collect_accum_types(else_branch, out);
             }
             _ => {}
         }
@@ -529,6 +583,134 @@ pub(crate) fn from_bound_vars(items: &[FromItem]) -> FxHashSet<String> {
     out
 }
 
+/// Cost of running one FROM item as the *outer* loop, independent of
+/// the other items: its scan cardinality after item-local conjunct
+/// narrowing, plus per-hop traversal terms mirroring the sequential
+/// model (adjacency fanout for single symbols, `E_sub` for kernels).
+fn standalone_item_cost(
+    item: &FromItem,
+    vars: &FxHashSet<String>,
+    conjuncts: &[(Expr, Vec<String>)],
+    st: &LowerState<'_, '_>,
+) -> f64 {
+    let ctx = st.ctx.expect("reorder gate requires statistics");
+    match item {
+        FromItem::Table { name, alias } => match ctx.tables.get(name.as_str()) {
+            Some(t) => t.len() as f64,
+            None => scan_est(name, Some(alias), st).max(1.0),
+        },
+        FromItem::Pattern { start, hops, .. } => {
+            let mut rows = scan_est(&start.name, start.var.as_deref(), st).max(1.0);
+            for (c, refs) in conjuncts {
+                if !refs.is_empty() && refs.iter().all(|r| vars.contains(r)) {
+                    rows = filtered_card(rows, c);
+                }
+            }
+            let mut cost = rows;
+            for hop in hops {
+                let per_row = match hop.darpe.as_single_symbol() {
+                    Some(sym) => symbol_fanout(sym, ctx),
+                    None => darpe_edge_total(&hop.darpe, ctx),
+                };
+                cost += rows * per_row.max(1.0);
+            }
+            cost
+        }
+    }
+}
+
+/// Decides a cost-based execution order for the FROM items (closing the
+/// reorder question PR 7 left open). Returns the permutation as indices
+/// into `block.from`, or empty when the gate fails or the cheapest order
+/// *is* the source order.
+///
+/// Output-invariance gate — every condition must hold:
+/// * statistics are present and there are at least two items;
+/// * items bind pairwise-disjoint variable sets (no correlated join);
+/// * every WHERE conjunct references variables of at most one item — a
+///   cross-item conjunct filters the *product*, and the surviving rows'
+///   first-occurrence vertex order then depends on which item is outer;
+/// * every output is a vertex set (table outputs are row-order
+///   sensitive);
+/// * there is no GROUP BY;
+/// * every ACCUM statement is a `+=` combine into an accumulator whose
+///   declared type merges exactly ([`AccumType::is_exact_merge`]) —
+///   reordering permutes combine order, which only exact-merge
+///   combiners are guaranteed not to observe bit-for-bit.
+fn choose_from_order(
+    block: &SelectBlock,
+    conjuncts: &[(Expr, Vec<String>)],
+    st: &LowerState<'_, '_>,
+) -> Vec<usize> {
+    if st.ctx.is_none() || block.from.len() < 2 || block.group_by.is_some() {
+        return Vec::new();
+    }
+    for frag in &block.outputs {
+        let vertex_set = frag.items.len() == 1
+            && frag.items[0].alias.is_none()
+            && matches!(frag.items[0].expr, Expr::Ident(_));
+        if !vertex_set {
+            return Vec::new();
+        }
+    }
+    let registry = accum::UserAccumRegistry::new();
+    for acc in &block.accum {
+        let key = match acc {
+            AccStmt::LocalDecl { .. } => continue,
+            AccStmt::VAcc { name, combine, .. } => {
+                if !combine {
+                    return Vec::new();
+                }
+                format!("@{name}")
+            }
+            AccStmt::GAcc { name, combine, .. } => {
+                if !combine {
+                    return Vec::new();
+                }
+                format!("@@{name}")
+            }
+        };
+        match st.accum_types.get(&key) {
+            Some(ty) if ty.is_exact_merge(&registry) => {}
+            _ => return Vec::new(),
+        }
+    }
+    let var_sets: Vec<FxHashSet<String>> = block
+        .from
+        .iter()
+        .map(|item| from_bound_vars(std::slice::from_ref(item)))
+        .collect();
+    for (i, a) in var_sets.iter().enumerate() {
+        for b in &var_sets[i + 1..] {
+            if a.iter().any(|v| b.contains(v)) {
+                return Vec::new();
+            }
+        }
+    }
+    for (_, refs) in conjuncts {
+        if !refs.is_empty()
+            && !var_sets.iter().any(|vs| refs.iter().all(|r| vs.contains(r)))
+        {
+            return Vec::new();
+        }
+    }
+    let costs: Vec<f64> = block
+        .from
+        .iter()
+        .enumerate()
+        .map(|(i, item)| standalone_item_cost(item, &var_sets[i], conjuncts, st))
+        .collect();
+    let mut order: Vec<usize> = (0..block.from.len()).collect();
+    // Stable ascending sort: ties keep source order, so a reorder only
+    // happens on a *strictly* cheaper anchor.
+    order.sort_by(|&a, &b| costs[a].total_cmp(&costs[b]));
+    if order.iter().enumerate().all(|(i, &x)| i == x) {
+        Vec::new()
+    } else {
+        order
+    }
+}
+
 /// Lowers one SELECT block: produces the renderable node, the
 /// executable [`BlockPlan`], and the estimated output cardinality.
 fn lower_block(
@@ -590,8 +772,24 @@ fn lower_block(
         }
     };
 
-    for item in &block.from {
-        match item {
+    let from_order = choose_from_order(block, &conjuncts, st);
+    if !from_order.is_empty() {
+        let order_str: Vec<String> = from_order.iter().map(|i| i.to_string()).collect();
+        node.children.push(PlanNode::new(
+            "from-reorder",
+            format!(
+                "from-reorder: cost-chosen item order [{}] (output-invariant)",
+                order_str.join(", ")
+            ),
+        ));
+    }
+    let exec_order: Vec<usize> = if from_order.is_empty() {
+        (0..block.from.len()).collect()
+    } else {
+        from_order.clone()
+    };
+    for &item_idx in &exec_order {
+        match &block.from[item_idx] {
             FromItem::Table { name, alias } => {
                 let mut scan = PlanNode::new(
                     "scan",
@@ -723,6 +921,34 @@ fn lower_block(
                         rows = out_rows;
                         cost_total += cost;
                         annotate(&mut hop_node, rows, cost);
+                        // Scatter-gather fan-out: kernel hops run
+                        // shard-local, so show the per-shard slice of the
+                        // estimate (proportional to owned vertices for
+                        // rows, stored adjacency entries for cost).
+                        if strategy != HopStrategy::Adjacency {
+                            if let Some(sh) = ctx.shards {
+                                let per = sh.shard_stats();
+                                let tot_v =
+                                    per.iter().map(|s| s.vertices).sum::<usize>().max(1) as f64;
+                                let tot_e =
+                                    per.iter().map(|s| s.entries).sum::<usize>().max(1) as f64;
+                                for (i, ss) in per.iter().enumerate() {
+                                    let mut f = PlanNode::new(
+                                        "shard-fanout",
+                                        format!(
+                                            "shard {i}: {} vertices, {} adj entries ({} cross-shard)",
+                                            ss.vertices, ss.entries, ss.cross_entries
+                                        ),
+                                    );
+                                    annotate(
+                                        &mut f,
+                                        rows * ss.vertices as f64 / tot_v,
+                                        cost * ss.entries as f64 / tot_e,
+                                    );
+                                    hop_node.children.push(f);
+                                }
+                            }
+                        }
                     }
                     // Consume the sargable conjuncts (highest index
                     // first so earlier indices stay valid).
@@ -820,7 +1046,7 @@ fn lower_block(
     }
     (
         node,
-        BlockPlan { semantics, conjuncts, strategies },
+        BlockPlan { semantics, conjuncts, strategies, from_order },
         rows,
     )
 }
@@ -851,7 +1077,7 @@ mod tests {
     fn stats_lowering_annotates_estimates() {
         let (g, _) = diamond_chain(12);
         let tables = ctx_tables();
-        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: None };
         let q = parse_query(&stdlib::qn("V", "E")).unwrap();
         let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
         assert_eq!(plan.epoch, g.stats().epoch());
@@ -870,7 +1096,7 @@ mod tests {
         // cheaper, so the planner runs the counting kernel backward.
         let (g, _) = diamond_chain(12);
         let tables = ctx_tables();
-        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: None };
         let q = parse_query(
             "CREATE QUERY allpairs (STRING tgtName) {
                SumAccum<int> @@n;
@@ -900,7 +1126,7 @@ mod tests {
         // estimated target. Ties keep the forward kernel.
         let (g, _) = diamond_chain(12);
         let tables = ctx_tables();
-        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: None };
         let q = parse_query(&stdlib::qn("V", "E")).unwrap();
         let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
         let text = plan.plan.render();
@@ -911,7 +1137,7 @@ mod tests {
     fn block_plans_key_on_ast_identity_and_carry_strategies() {
         let (g, _) = diamond_chain(12);
         let tables = ctx_tables();
-        let ctx = LowerCtx { graph: &g, tables: &tables };
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: None };
         let q = parse_query(&stdlib::qn("V", "E")).unwrap();
         let plan = lower_query(&q, PathSemantics::NonRepeatedEdge, Some(&ctx));
         let mut seen_backward = false;
@@ -935,5 +1161,101 @@ mod tests {
             }
         }
         assert!(seen_backward, "qn's anchored target should enumerate backward");
+    }
+
+    /// Two disjoint FROM items, both filters single-item, vertex-set
+    /// output, exact-merge ACCUM: the anchored point-lookup scan is
+    /// strictly cheaper than the kernel pattern, so it runs first.
+    #[test]
+    fn from_reorder_moves_cheaper_item_first() {
+        let (g, _) = diamond_chain(12);
+        let tables = ctx_tables();
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: None };
+        let q = parse_query(
+            "CREATE QUERY two (STRING aName) {
+               SumAccum<int> @@n;
+               S = SELECT s FROM V:s -(E>*)- V:t, V:a
+                   WHERE a.name == aName
+                   ACCUM @@n += 1;
+               PRINT @@n;
+             }",
+        )
+        .unwrap();
+        let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
+        let block = match &q.body[1] {
+            Stmt::VSetAssign { source: VSetSource::Select(b), .. } => b.as_ref(),
+            other => panic!("unexpected stmt {other:?}"),
+        };
+        let bp = plan.block_for(block).expect("block plan present");
+        assert_eq!(bp.from_order, vec![1, 0], "point-lookup scan anchors first");
+        let text = plan.plan.render();
+        assert!(text.contains("from-reorder"), "{text}");
+        // Graph-less lowering never reorders (no statistics).
+        let plain = lower_query(&q, PathSemantics::AllShortestPaths, None);
+        let bp = plain.block_for(block).expect("block plan present");
+        assert!(bp.from_order.is_empty());
+    }
+
+    /// A cross-item conjunct makes first-occurrence order depend on
+    /// which item is outer, so the gate must refuse to reorder.
+    #[test]
+    fn from_reorder_refuses_cross_item_conjuncts_and_inexact_accums() {
+        let (g, _) = diamond_chain(12);
+        let tables = ctx_tables();
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: None };
+        let cross = parse_query(
+            "CREATE QUERY two (STRING aName) {
+               SumAccum<int> @@n;
+               S = SELECT s FROM V:s -(E>*)- V:t, V:a
+                   WHERE a.name == s.name
+                   ACCUM @@n += 1;
+               PRINT @@n;
+             }",
+        )
+        .unwrap();
+        let plan = lower_query(&cross, PathSemantics::AllShortestPaths, Some(&ctx));
+        let block = match &cross.body[1] {
+            Stmt::VSetAssign { source: VSetSource::Select(b), .. } => b.as_ref(),
+            other => panic!("unexpected stmt {other:?}"),
+        };
+        assert!(plan.block_for(block).unwrap().from_order.is_empty());
+        // ListAccum is order-dependent: combine order would show through.
+        let inexact = parse_query(
+            "CREATE QUERY two (STRING aName) {
+               ListAccum<int> @@l;
+               S = SELECT s FROM V:s -(E>*)- V:t, V:a
+                   WHERE a.name == aName
+                   ACCUM @@l += 1;
+               PRINT @@l;
+             }",
+        )
+        .unwrap();
+        let plan = lower_query(&inexact, PathSemantics::AllShortestPaths, Some(&ctx));
+        let block = match &inexact.body[1] {
+            Stmt::VSetAssign { source: VSetSource::Select(b), .. } => b.as_ref(),
+            other => panic!("unexpected stmt {other:?}"),
+        };
+        assert!(plan.block_for(block).unwrap().from_order.is_empty());
+    }
+
+    /// A sharded lowering context hangs per-shard fan-out estimates off
+    /// every kernel hop.
+    #[test]
+    fn sharded_ctx_adds_fanout_nodes_under_kernel_hops() {
+        use pgraph::shard::{ShardSpec, ShardedGraph};
+        let (g, _) = diamond_chain(12);
+        let sharded = ShardedGraph::build(&g, ShardSpec::hash(4));
+        let tables = ctx_tables();
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: Some(&sharded) };
+        let q = parse_query(&stdlib::qn("V", "E")).unwrap();
+        let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
+        let text = plan.plan.render();
+        assert!(text.contains("shard 0:"), "{text}");
+        assert!(text.contains("shard 3:"), "{text}");
+        assert!(text.contains("cross-shard"), "{text}");
+        // Unsharded context: no fan-out nodes.
+        let ctx = LowerCtx { graph: &g, tables: &tables, shards: None };
+        let plan = lower_query(&q, PathSemantics::AllShortestPaths, Some(&ctx));
+        assert!(!plan.plan.render().contains("shard 0:"));
     }
 }

@@ -19,8 +19,36 @@ use crate::governor::QueryGuard;
 use darpe::{CompiledDarpe, Dfa, DfaStateId};
 use pgraph::bigcount::BigCount;
 use pgraph::fxhash::FxHashMap;
-use pgraph::graph::{EdgeId, Graph, VertexId};
+use pgraph::graph::{AdjView, EdgeId, Graph, VertexId};
+use pgraph::shard::ShardedGraph;
 use std::collections::VecDeque;
+
+/// The adjacency source a kernel traverses: the flat graph, or a
+/// [`ShardedGraph`] whose per-shard CSR segments serve each vertex's
+/// adjacency. A sharded view returns entries **bit-identical** to the
+/// flat graph it was built from (same entries, same order — see
+/// `pgraph::shard`), so kernel results are independent of the view; only
+/// scheduling and accounting differ. Traversal transparently crosses
+/// shard boundaries: "shard-local" execution means the kernel for a key
+/// vertex is *scheduled and accounted* on that vertex's owner shard, not
+/// that edges stop at the boundary.
+#[derive(Clone, Copy)]
+pub(crate) enum GraphView<'a> {
+    /// Adjacency served by [`Graph::adjacency`].
+    Flat(&'a Graph),
+    /// Adjacency served by the owner shard's segment.
+    Sharded(&'a ShardedGraph),
+}
+
+impl<'a> GraphView<'a> {
+    #[inline]
+    fn adjacency(&self, v: VertexId) -> AdjView<'a> {
+        match self {
+            GraphView::Flat(g) => g.adjacency(v),
+            GraphView::Sharded(s) => s.adjacency(v),
+        }
+    }
+}
 
 /// The pattern-match legality flavor used for Kleene (multi-edge) DARPEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -112,19 +140,33 @@ pub fn reach(
     guard: &QueryGuard,
     stats: &mut MatchStats,
 ) -> Result<ReachMap> {
+    reach_on(GraphView::Flat(graph), src, nfa, semantics, guard, stats)
+}
+
+/// [`reach`] over an explicit [`GraphView`] — the entry point the
+/// scatter-gather executor uses to route adjacency through per-shard CSR
+/// segments. Results are view-independent (see [`GraphView`]).
+pub(crate) fn reach_on(
+    view: GraphView<'_>,
+    src: VertexId,
+    nfa: &CompiledDarpe,
+    semantics: PathSemantics,
+    guard: &QueryGuard,
+    stats: &mut MatchStats,
+) -> Result<ReachMap> {
     stats.kernel_calls += 1;
     match semantics {
-        PathSemantics::AllShortestPaths => bfs_count(graph, src, nfa, false, guard, stats),
-        PathSemantics::ShortestOne => bfs_count(graph, src, nfa, true, guard, stats),
+        PathSemantics::AllShortestPaths => bfs_count(view, src, nfa, false, guard, stats),
+        PathSemantics::ShortestOne => bfs_count(view, src, nfa, true, guard, stats),
         PathSemantics::AllShortestPathsEnumerate => {
-            let targets = bfs_count(graph, src, nfa, false, guard, stats)?;
-            enumerate_shortest(graph, src, nfa, &targets, guard, stats)
+            let targets = bfs_count(view, src, nfa, false, guard, stats)?;
+            enumerate_shortest(view, src, nfa, &targets, guard, stats)
         }
         PathSemantics::NonRepeatedEdge => {
-            enumerate_simple(graph, src, nfa, false, guard, stats)
+            enumerate_simple(view, src, nfa, false, guard, stats)
         }
         PathSemantics::NonRepeatedVertex => {
-            enumerate_simple(graph, src, nfa, true, guard, stats)
+            enumerate_simple(view, src, nfa, true, guard, stats)
         }
     }
 }
@@ -134,7 +176,7 @@ pub fn reach(
 /// shortest-path counts. Because the automaton is deterministic, each
 /// graph path has exactly one run, so run counts are path counts.
 fn bfs_count(
-    graph: &Graph,
+    view: GraphView<'_>,
     src: VertexId,
     nfa: &CompiledDarpe,
     clamp_to_one: bool,
@@ -162,7 +204,7 @@ fn bfs_count(
         let (v, q) = states[i];
         let d = dist[i];
         let c = cnt[i].clone();
-        let adj = graph.adjacency(v);
+        let adj = view.adjacency(v);
         edges_scanned += adj.len() as u64;
         for a in adj {
             let Some(nq) = dfa.next(q, a.etype, a.dir) else { continue };
@@ -225,7 +267,7 @@ fn bfs_count(
 /// depth and counts arrivals that hit a target at exactly its shortest
 /// length.
 fn enumerate_shortest(
-    graph: &Graph,
+    view: GraphView<'_>,
     src: VertexId,
     nfa: &CompiledDarpe,
     targets: &ReachMap,
@@ -268,7 +310,7 @@ fn enumerate_shortest(
             stack.pop();
             continue;
         }
-        let adj = graph.adjacency(v);
+        let adj = view.adjacency(v);
         let mut advanced = false;
         let start_edge = stack.last().unwrap().next_edge;
         for (off, a) in adj.iter_from(start_edge).enumerate() {
@@ -297,7 +339,7 @@ fn enumerate_shortest(
 /// product automaton by DFS — Cypher's / Gremlin's strategy, exponential
 /// in the worst case and the baseline of Table 1.
 fn enumerate_simple(
-    graph: &Graph,
+    view: GraphView<'_>,
     src: VertexId,
     nfa: &CompiledDarpe,
     vertex_flavor: bool,
@@ -344,7 +386,7 @@ fn enumerate_simple(
                 }
             }
         }
-        let adj = graph.adjacency(v);
+        let adj = view.adjacency(v);
         let start_edge = stack.last().unwrap().next_edge;
         let mut advanced = false;
         for (off, a) in adj.iter_from(start_edge).enumerate() {

@@ -26,5 +26,5 @@ pub mod generator;
 pub mod queries;
 pub mod schema;
 
-pub use generator::{generate, SnbParams};
+pub use generator::{generate, generate_into, generate_streamed, GenReport, GraphSink, SnbParams};
 pub use schema::snb_schema;

@@ -169,6 +169,15 @@ pub type AdjIter<'a> =
     std::iter::Chain<std::slice::Iter<'a, AdjEntry>, std::slice::Iter<'a, AdjEntry>>;
 
 impl<'a> AdjView<'a> {
+    /// A view over a single contiguous slice (no overlay tail) — the
+    /// shape a [`crate::shard::ShardedGraph`] segment serves, where each
+    /// owned vertex's CSR slice and overlay tail were concatenated into
+    /// one run at build time.
+    #[inline]
+    pub fn from_slice(base: &'a [AdjEntry]) -> AdjView<'a> {
+        AdjView { base, tail: &[] }
+    }
+
     #[inline]
     pub fn len(&self) -> usize {
         self.base.len() + self.tail.len()
@@ -396,6 +405,15 @@ impl Graph {
     /// pending mutation overlay).
     pub fn is_finalized(&self) -> bool {
         self.overlay_entries == 0 && self.csr.covered() == self.vertices.len()
+    }
+
+    /// Number of adjacency entries currently living in the mutation
+    /// overlay (0 right after [`Graph::finalize`]). Together with the
+    /// stats epoch and the vertex/edge counts this fingerprints the
+    /// adjacency structure — [`crate::shard::ShardedGraph::matches`]
+    /// uses it to detect staleness.
+    pub fn overlay_entry_count(&self) -> usize {
+        self.overlay_entries
     }
 
     /// Adds a vertex of type `vt`. `attrs` must match the declared arity;

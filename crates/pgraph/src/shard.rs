@@ -1,0 +1,468 @@
+//! Vertex-partitioned sharding: per-shard CSR segments over a finalized
+//! [`Graph`].
+//!
+//! A [`ShardedGraph`] hash-partitions (or degree-aware-partitions) the
+//! vertex set into `n` shards and materializes, per shard, a compact CSR
+//! segment holding the **full adjacency of every owned vertex** — each
+//! vertex's finalized CSR slice concatenated with its mutation-overlay
+//! tail, in the exact order [`Graph::adjacency`] serves them. Routing a
+//! vertex's adjacency through its owner segment therefore yields entries
+//! that are **bit-identical** to the flat graph's view, which is what
+//! lets the scatter-gather executor in `gsql-core` promise byte-identical
+//! query output at any shard count: kernels scheduled shard-local see the
+//! same edges in the same order, and the (associative, order-invariant)
+//! accumulator combiners merge per-shard partials in deterministic shard
+//! order.
+//!
+//! Construction happens either right after [`Graph::finalize`]
+//! ([`ShardedGraph::build`], or [`ShardedGraph::build_finalized`] which
+//! finalizes for you) or by re-sharding an existing [`Arc<Graph>`]
+//! snapshot ([`ShardedGraph::from_arc`]). The build records a fingerprint
+//! of the source adjacency (stats epoch, vertex/edge counts, overlay
+//! size); [`ShardedGraph::matches`] lets consumers detect staleness after
+//! further mutation and fall back to the flat graph.
+//!
+//! Cross-shard edges are indexed at build time: per shard, the count of
+//! adjacency entries whose far endpoint lives on another shard and the
+//! sorted list of *boundary vertices* (owned vertices with at least one
+//! such entry). The executor uses the per-shard entry totals for its
+//! fan-out cost estimates and the imbalance ratio for `/metrics`.
+
+use crate::fxhash::FxHashMap;
+use crate::graph::{AdjEntry, AdjView, Graph, VertexId};
+use std::sync::Arc;
+
+/// Vertex→shard assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardPolicy {
+    /// Deterministic multiplicative hash of the vertex id. Cheap, stable
+    /// under re-sharding, oblivious to degree skew.
+    #[default]
+    Hash,
+    /// Degree-aware greedy balancing: vertices are placed
+    /// highest-degree-first onto the currently least-loaded shard (load =
+    /// adjacency entries owned), which keeps hub-heavy graphs (LDBC,
+    /// Barabási–Albert) within a small imbalance ratio. Deterministic:
+    /// ties break on vertex id, then shard index.
+    DegreeAware,
+}
+
+/// How to build a [`ShardedGraph`]: shard count plus assignment policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of shards (clamped to ≥ 1).
+    pub shards: usize,
+    /// Vertex assignment policy.
+    pub policy: ShardPolicy,
+}
+
+impl ShardSpec {
+    /// A hash-partitioned spec over `shards` shards.
+    pub fn hash(shards: usize) -> ShardSpec {
+        ShardSpec { shards: shards.max(1), policy: ShardPolicy::Hash }
+    }
+
+    /// A degree-aware spec over `shards` shards.
+    pub fn degree_aware(shards: usize) -> ShardSpec {
+        ShardSpec { shards: shards.max(1), policy: ShardPolicy::DegreeAware }
+    }
+}
+
+/// One shard's CSR segment: the owned vertices (ascending id) and their
+/// materialized adjacency runs.
+#[derive(Debug, Clone, Default)]
+struct ShardSegment {
+    /// Owned vertices, ascending. `verts[slot]` is the vertex stored at
+    /// `offsets[slot]..offsets[slot + 1]`.
+    verts: Vec<VertexId>,
+    /// Segment-local CSR offsets (length `verts.len() + 1`).
+    offsets: Vec<u32>,
+    /// Concatenated adjacency entries of every owned vertex, each run in
+    /// the exact order the flat graph serves it (CSR slice ++ overlay).
+    adj: Vec<AdjEntry>,
+    /// Owned vertices with ≥ 1 cross-shard adjacency entry, ascending —
+    /// the shard's boundary set.
+    boundary: Vec<VertexId>,
+    /// Adjacency entries whose far endpoint is owned by another shard.
+    cross_entries: u64,
+}
+
+/// A vertex-partitioned view of a [`Graph`]: per-shard CSR segments plus
+/// owner/slot routing arrays and a cross-shard edge index. See the
+/// module docs for the determinism contract.
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    policy: ShardPolicy,
+    /// `owner[v.0]` = shard owning vertex `v`.
+    owner: Vec<u32>,
+    /// `slot[v.0]` = index of `v` inside its owner segment's `verts`.
+    slot: Vec<u32>,
+    segments: Vec<ShardSegment>,
+    // Source fingerprint, for staleness detection.
+    built_epoch: u64,
+    built_vertices: usize,
+    built_edges: usize,
+    built_overlay: usize,
+}
+
+impl ShardedGraph {
+    /// Partitions `graph` per `spec` and materializes the per-shard CSR
+    /// segments. Deterministic: the same graph and spec always produce
+    /// the same partition and segment layout.
+    pub fn build(graph: &Graph, spec: ShardSpec) -> ShardedGraph {
+        let n = spec.shards.max(1);
+        let nv = graph.vertex_count();
+        let owner: Vec<u32> = match spec.policy {
+            ShardPolicy::Hash => (0..nv as u32).map(|v| hash_owner(v, n)).collect(),
+            ShardPolicy::DegreeAware => degree_aware_owners(graph, n),
+        };
+
+        let mut segments: Vec<ShardSegment> = vec![ShardSegment::default(); n];
+        let mut slot = vec![0u32; nv];
+        // First pass: owned-vertex lists (ascending by construction) and
+        // entry totals so the adjacency vectors allocate once.
+        let mut entry_totals = vec![0usize; n];
+        for v in 0..nv {
+            let s = owner[v] as usize;
+            slot[v] = segments[s].verts.len() as u32;
+            segments[s].verts.push(VertexId(v as u32));
+            entry_totals[s] += graph.adjacency(VertexId(v as u32)).len();
+        }
+        for (seg, total) in segments.iter_mut().zip(&entry_totals) {
+            seg.offsets = Vec::with_capacity(seg.verts.len() + 1);
+            seg.offsets.push(0);
+            seg.adj = Vec::with_capacity(*total);
+        }
+        // Second pass: copy each owned vertex's full adjacency (CSR slice
+        // ++ overlay tail, same entries, same order) into its segment and
+        // index the cross-shard entries.
+        for v in 0..nv {
+            let s = owner[v] as usize;
+            let seg = &mut segments[s];
+            let mut crossing = false;
+            for a in graph.adjacency(VertexId(v as u32)) {
+                if owner.get(a.other.0 as usize).copied().unwrap_or(0) != owner[v] {
+                    seg.cross_entries += 1;
+                    crossing = true;
+                }
+                seg.adj.push(*a);
+            }
+            seg.offsets.push(seg.adj.len() as u32);
+            if crossing {
+                seg.boundary.push(VertexId(v as u32));
+            }
+        }
+
+        ShardedGraph {
+            policy: spec.policy,
+            owner,
+            slot,
+            segments,
+            built_epoch: graph.stats().epoch(),
+            built_vertices: nv,
+            built_edges: graph.edge_count(),
+            built_overlay: graph.overlay_entry_count(),
+        }
+    }
+
+    /// Finalizes `graph` (folding any mutation overlay into the CSR) and
+    /// shards the result — the `finalize()`-time construction path.
+    pub fn build_finalized(graph: &mut Graph, spec: ShardSpec) -> ShardedGraph {
+        graph.finalize();
+        ShardedGraph::build(graph, spec)
+    }
+
+    /// Re-shards an existing shared snapshot (the server's per-request
+    /// `Arc<Graph>` view).
+    pub fn from_arc(graph: &Arc<Graph>, spec: ShardSpec) -> ShardedGraph {
+        ShardedGraph::build(graph, spec)
+    }
+
+    /// Whether this sharding still describes `graph`'s adjacency
+    /// structure: same stats epoch, vertex/edge counts, and overlay size
+    /// as at build time. Consumers must fall back to the flat graph when
+    /// this is `false` (the graph mutated since the build).
+    pub fn matches(&self, graph: &Graph) -> bool {
+        self.built_epoch == graph.stats().epoch()
+            && self.built_vertices == graph.vertex_count()
+            && self.built_edges == graph.edge_count()
+            && self.built_overlay == graph.overlay_entry_count()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// The assignment policy this sharding was built with.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Shard owning vertex `v` (0 for vertices unknown at build time, so
+    /// routing never panics on a stale view — though [`matches`] should
+    /// have diverted such callers already).
+    ///
+    /// [`matches`]: ShardedGraph::matches
+    #[inline]
+    pub fn owner(&self, v: VertexId) -> usize {
+        self.owner.get(v.0 as usize).copied().unwrap_or(0) as usize
+    }
+
+    /// Vertex `v`'s adjacency served from its owner shard's segment —
+    /// bit-identical entries, in the same order, as
+    /// [`Graph::adjacency`] on the source graph.
+    #[inline]
+    pub fn adjacency(&self, v: VertexId) -> AdjView<'_> {
+        let Some(&s) = self.owner.get(v.0 as usize) else {
+            return AdjView::from_slice(&[]);
+        };
+        let seg = &self.segments[s as usize];
+        let slot = self.slot[v.0 as usize] as usize;
+        let (lo, hi) = (seg.offsets[slot] as usize, seg.offsets[slot + 1] as usize);
+        AdjView::from_slice(&seg.adj[lo..hi])
+    }
+
+    /// `(owned vertices, adjacency entries)` stored by shard `s`.
+    pub fn shard_entries(&self, s: usize) -> (usize, usize) {
+        let seg = &self.segments[s];
+        (seg.verts.len(), seg.adj.len())
+    }
+
+    /// Adjacency entries of shard `s` whose far endpoint lives on
+    /// another shard.
+    pub fn shard_cross_entries(&self, s: usize) -> u64 {
+        self.segments[s].cross_entries
+    }
+
+    /// Shard `s`'s boundary vertices (owned, with ≥ 1 cross-shard entry),
+    /// ascending.
+    pub fn boundary(&self, s: usize) -> &[VertexId] {
+        &self.segments[s].boundary
+    }
+
+    /// Total cross-shard adjacency entries across all shards.
+    pub fn cross_entries(&self) -> u64 {
+        self.segments.iter().map(|s| s.cross_entries).sum()
+    }
+
+    /// Load imbalance: max shard adjacency entries ÷ mean shard
+    /// adjacency entries (1.0 = perfectly balanced; 1.0 for empty or
+    /// single-shard graphs).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let total: usize = self.segments.iter().map(|s| s.adj.len()).sum();
+        if total == 0 || self.segments.len() <= 1 {
+            return 1.0;
+        }
+        let mean = total as f64 / self.segments.len() as f64;
+        let max = self.segments.iter().map(|s| s.adj.len()).max().unwrap_or(0);
+        max as f64 / mean
+    }
+}
+
+/// Deterministic multiplicative hash (Fibonacci hashing) of a vertex id
+/// onto `n` shards.
+#[inline]
+fn hash_owner(v: u32, n: usize) -> u32 {
+    let h = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    // High bits are the well-mixed ones.
+    ((h >> 32) % n as u64) as u32
+}
+
+/// Greedy highest-degree-first placement onto the least-loaded shard.
+fn degree_aware_owners(graph: &Graph, n: usize) -> Vec<u32> {
+    let nv = graph.vertex_count();
+    let mut by_degree: Vec<(usize, u32)> = (0..nv as u32)
+        .map(|v| (graph.adjacency(VertexId(v)).len(), v))
+        .collect();
+    // Highest degree first; ties on ascending id keep the order (and
+    // thus the partition) deterministic.
+    by_degree.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut owner = vec![0u32; nv];
+    let mut load = vec![0u64; n];
+    for (deg, v) in by_degree {
+        let s = load
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, l)| (**l, *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        owner[v as usize] = s as u32;
+        // +1 so zero-degree vertices still spread across shards.
+        load[s] += deg as u64 + 1;
+    }
+    owner
+}
+
+/// Per-shard planning statistics consumed by the `gsql-core` planner for
+/// EXPLAIN shard fan-out nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStats {
+    /// Vertices owned by the shard.
+    pub vertices: usize,
+    /// Adjacency entries stored by the shard's segment.
+    pub entries: usize,
+    /// Entries whose far endpoint is on another shard.
+    pub cross_entries: u64,
+}
+
+impl ShardedGraph {
+    /// Per-shard [`ShardStats`], in shard order.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.segments
+            .iter()
+            .map(|s| ShardStats {
+                vertices: s.verts.len(),
+                entries: s.adj.len(),
+                cross_entries: s.cross_entries,
+            })
+            .collect()
+    }
+
+    /// Groups `keys` by owner shard, preserving each shard's keys in
+    /// input order, and returns `(shard, keys)` pairs for non-empty
+    /// shards in ascending shard order — the executor's scatter schedule.
+    pub fn partition_keys(&self, keys: &[VertexId]) -> Vec<(usize, Vec<VertexId>)> {
+        let mut per: FxHashMap<usize, Vec<VertexId>> = FxHashMap::default();
+        for &k in keys {
+            per.entry(self.owner(k)).or_default().push(k);
+        }
+        let mut out: Vec<(usize, Vec<VertexId>)> = per.into_iter().collect();
+        out.sort_by_key(|(s, _)| *s);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, diamond_chain, erdos_renyi};
+
+    fn graphs() -> Vec<Graph> {
+        vec![
+            diamond_chain(12).0,
+            erdos_renyi(300, 4.0 / 300.0, 7),
+            barabasi_albert(300, 4, 17),
+        ]
+    }
+
+    #[test]
+    fn segment_adjacency_is_bit_identical_to_flat() {
+        for g in graphs() {
+            for &shards in &[1usize, 2, 4, 8] {
+                for policy in [ShardPolicy::Hash, ShardPolicy::DegreeAware] {
+                    let sg = ShardedGraph::build(&g, ShardSpec { shards, policy });
+                    for v in 0..g.vertex_count() {
+                        let v = VertexId(v as u32);
+                        assert_eq!(
+                            g.adjacency(v).to_vec(),
+                            sg.adjacency(v).to_vec(),
+                            "vertex {v:?} shards={shards} policy={policy:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let g = erdos_renyi(200, 5.0 / 200.0, 3);
+        for policy in [ShardPolicy::Hash, ShardPolicy::DegreeAware] {
+            let a = ShardedGraph::build(&g, ShardSpec { shards: 4, policy });
+            let b = ShardedGraph::build(&g, ShardSpec { shards: 4, policy });
+            assert_eq!(a.owner, b.owner);
+            for s in 0..4 {
+                assert_eq!(a.shard_entries(s), b.shard_entries(s));
+                assert_eq!(a.boundary(s), b.boundary(s));
+            }
+        }
+    }
+
+    #[test]
+    fn every_vertex_owned_once_and_entry_totals_reconcile() {
+        let g = erdos_renyi(250, 6.0 / 250.0, 11);
+        let sg = ShardedGraph::build(&g, ShardSpec::hash(4));
+        let mut owned = 0usize;
+        let mut entries = 0usize;
+        for s in 0..sg.shard_count() {
+            let (v, e) = sg.shard_entries(s);
+            owned += v;
+            entries += e;
+        }
+        assert_eq!(owned, g.vertex_count());
+        let flat: usize = (0..g.vertex_count())
+            .map(|v| g.adjacency(VertexId(v as u32)).len())
+            .sum();
+        assert_eq!(entries, flat);
+    }
+
+    #[test]
+    fn degree_aware_beats_hash_on_skewed_graphs() {
+        // Barabási–Albert grows hubs; greedy placement should not be
+        // *worse* balanced than hashing, and must stay near 1.0.
+        let g = barabasi_albert(800, 4, 17);
+        let hash = ShardedGraph::build(&g, ShardSpec::hash(4));
+        let da = ShardedGraph::build(&g, ShardSpec::degree_aware(4));
+        assert!(da.imbalance_ratio() <= hash.imbalance_ratio() + 1e-9);
+        assert!(da.imbalance_ratio() < 1.2, "ratio {}", da.imbalance_ratio());
+    }
+
+    #[test]
+    fn staleness_fingerprint_detects_mutation() {
+        let (mut g, spine) = diamond_chain(6);
+        let sg = ShardedGraph::build(&g, ShardSpec::hash(2));
+        assert!(sg.matches(&g));
+        let et = g.schema().edge_type_id("E").unwrap();
+        g.add_edge(et, spine[0], spine[6], vec![]).unwrap();
+        assert!(!sg.matches(&g), "overlay mutation must invalidate the sharding");
+        g.finalize();
+        assert!(!sg.matches(&g), "finalize bumps the epoch");
+    }
+
+    #[test]
+    fn cross_shard_index_counts_only_foreign_endpoints() {
+        let (g, _) = diamond_chain(8);
+        // Single shard: nothing crosses.
+        let one = ShardedGraph::build(&g, ShardSpec::hash(1));
+        assert_eq!(one.cross_entries(), 0);
+        assert!(one.boundary(0).is_empty());
+        let sg = ShardedGraph::build(&g, ShardSpec::hash(3));
+        for s in 0..3 {
+            for &v in sg.boundary(s) {
+                assert_eq!(sg.owner(v), s);
+                let crosses =
+                    g.adjacency(v).iter().any(|a| sg.owner(a.other) != s);
+                assert!(crosses, "boundary vertex {v:?} has no cross-shard entry");
+            }
+        }
+        assert!(sg.cross_entries() > 0, "3-way split of a chain must cross");
+    }
+
+    #[test]
+    fn partition_keys_preserves_per_shard_input_order() {
+        let g = erdos_renyi(100, 3.0 / 100.0, 5);
+        let sg = ShardedGraph::build(&g, ShardSpec::hash(4));
+        let keys: Vec<VertexId> = [17u32, 3, 99, 42, 0, 63].into_iter().map(VertexId).collect();
+        let parts = sg.partition_keys(&keys);
+        let mut seen = 0usize;
+        let mut last_shard = None;
+        for (s, part) in &parts {
+            if let Some(p) = last_shard {
+                assert!(*s > p, "shards must come back ascending");
+            }
+            last_shard = Some(*s);
+            seen += part.len();
+            // Keys inside one shard keep their relative input order.
+            let order: Vec<usize> = part
+                .iter()
+                .map(|k| keys.iter().position(|x| x == k).unwrap())
+                .collect();
+            assert!(order.windows(2).all(|w| w[0] < w[1]));
+            for k in part {
+                assert_eq!(sg.owner(*k), *s);
+            }
+        }
+        assert_eq!(seen, keys.len());
+    }
+}

@@ -1,0 +1,184 @@
+//! Partitioned scatter-gather determinism: the sharded executor must be
+//! **byte-identical to unsharded execution at every shard count and
+//! every parallelism level** — same tables, prints, return values,
+//! kernel statistics and governor counters. The merge order of per-shard
+//! partial accumulators is fixed (ascending shard id, then declaration
+//! order, then vertex id), so sharding is observationally pure
+//! scheduling; see docs/SHARDING.md for the contract.
+
+use gsql_core::{stdlib, Engine, ErrorKind, QueryOutput, ResourceReport};
+use ldbc_snb::{generate, queries, SnbParams};
+use pgraph::generators::{diamond_chain, erdos_renyi};
+use pgraph::shard::{ShardSpec, ShardedGraph};
+use pgraph::value::Value;
+
+const SHARD_COUNTS: [usize; 3] = [2, 4, 8];
+const PARALLELISMS: [usize; 2] = [1, 4];
+
+/// The governor counters that must be shard-count invariant (everything
+/// except wall-clock `elapsed` and the per-shard busy breakdown).
+fn report_counts(r: &ResourceReport) -> (u64, u64, u64, u64) {
+    (r.rows_materialized, r.paths_enumerated, r.peak_accum_bytes, r.while_iterations)
+}
+
+fn assert_identical(reference: &QueryOutput, out: &QueryOutput, label: &str) {
+    assert_eq!(reference.tables, out.tables, "{label}: tables diverged");
+    assert_eq!(reference.prints, out.prints, "{label}: prints diverged");
+    assert_eq!(reference.returned, out.returned, "{label}: return diverged");
+    assert_eq!(reference.stats, out.stats, "{label}: MatchStats diverged");
+    assert_eq!(
+        report_counts(&reference.report),
+        report_counts(&out.report),
+        "{label}: governor counters diverged"
+    );
+}
+
+/// Runs `src` unsharded at parallelism 1 as the reference, then at every
+/// shard count × parallelism combination, asserting byte-identity.
+fn sweep(graph: &pgraph::graph::Graph, src: &str, args: &[(&str, Value)], label: &str) {
+    let reference = Engine::new(graph).with_parallelism(1).run_text(src, args).unwrap();
+    for &shards in &SHARD_COUNTS {
+        let sharded = ShardedGraph::build(graph, ShardSpec::hash(shards));
+        for &par in &PARALLELISMS {
+            let out = Engine::new(graph)
+                .with_parallelism(par)
+                .with_sharding(&sharded)
+                .run_text(src, args)
+                .unwrap();
+            assert_identical(&reference, &out, &format!("{label} shards={shards} par={par}"));
+        }
+    }
+}
+
+#[test]
+fn qn_counting_is_shard_count_invariant() {
+    let (g, _) = diamond_chain(30);
+    let q = stdlib::qn("V", "E");
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v30"))];
+    sweep(&g, &q, &args, "Qn counting");
+}
+
+#[test]
+fn qn_enumerative_is_shard_count_invariant() {
+    // The enumerative semantics exercises the path-materializing kernels
+    // rather than the SDMC counting kernel.
+    let (g, _) = diamond_chain(14);
+    let q = stdlib::qn("V", "E");
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v14"))];
+    let reference = Engine::new(&g)
+        .with_semantics(gsql_core::PathSemantics::AllShortestPathsEnumerate)
+        .with_parallelism(1)
+        .run_text(&q, &args)
+        .unwrap();
+    for &shards in &SHARD_COUNTS {
+        let sharded = ShardedGraph::build(&g, ShardSpec::hash(shards));
+        for &par in &PARALLELISMS {
+            let out = Engine::new(&g)
+                .with_semantics(gsql_core::PathSemantics::AllShortestPathsEnumerate)
+                .with_parallelism(par)
+                .with_sharding(&sharded)
+                .run_text(&q, &args)
+                .unwrap();
+            assert_identical(&reference, &out, &format!("Qn enum shards={shards} par={par}"));
+        }
+    }
+}
+
+#[test]
+fn ic5_is_shard_count_invariant() {
+    let g = generate(SnbParams::new(0.05, 31));
+    let pt = g.schema().vertex_type_id("Person").unwrap();
+    let p = Value::Vertex(g.vertices_of_type(pt)[0]);
+    let q = queries::ic5(3);
+    let args = [("p", p), ("minDate", Value::DateTime(0))];
+    sweep(&g, &q, &args, "ic5");
+}
+
+#[test]
+fn grouping_sets_are_shard_count_invariant() {
+    // The Appendix-B dedicated-accumulator grouping-set query: MapAccum/
+    // GroupByAccum partials merged across shards must regroup exactly.
+    let g = generate(SnbParams::new(0.05, 31));
+    sweep(&g, &queries::q_acc(), &[], "q_acc grouping sets");
+}
+
+#[test]
+fn degree_aware_partitioning_is_also_invariant() {
+    // The alternative partitioning policy must obey the same contract —
+    // the output is a function of the graph, never of the partitioning.
+    let g = erdos_renyi(400, 5.0 / 400.0, 11);
+    let q = r#"
+        CREATE QUERY Fanout () {
+          SumAccum<int> @hits;
+          SumAccum<int> @@total;
+          R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+          S = SELECT t FROM R:t WHERE t.@hits > 1 POST_ACCUM @@total += t.@hits;
+          PRINT S.size();
+          PRINT @@total;
+        }
+    "#;
+    let reference = Engine::new(&g).with_parallelism(1).run_text(q, &[]).unwrap();
+    for &shards in &SHARD_COUNTS {
+        let sharded = ShardedGraph::build(&g, ShardSpec::degree_aware(shards));
+        let out = Engine::new(&g)
+            .with_parallelism(4)
+            .with_sharding(&sharded)
+            .run_text(q, &[])
+            .unwrap();
+        assert_identical(&reference, &out, &format!("degree-aware shards={shards}"));
+    }
+}
+
+#[test]
+fn mid_scatter_cancellation_is_honored() {
+    // Cancel while the sharded kernel scatter is in flight: the run must
+    // either finish (fast machine) or fail with the structured Cancelled
+    // kind, and the engine must stay usable afterwards.
+    let g = erdos_renyi(1200, 6.0 / 1200.0, 7);
+    let q = r#"
+        CREATE QUERY Fanout () {
+          SumAccum<int> @hits;
+          R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+          PRINT R.size();
+        }
+    "#;
+    let sharded = ShardedGraph::build(&g, ShardSpec::hash(4));
+    for par in [1usize, 4] {
+        let engine = Engine::new(&g).with_parallelism(par).with_sharding(&sharded);
+        let handle = engine.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            handle.cancel();
+        });
+        let result = engine.run_text(q, &[]);
+        canceller.join().unwrap();
+        if let Err(e) = result {
+            assert_eq!(e.kind(), ErrorKind::Cancelled, "par={par}");
+        }
+        // The guard poisons per-run state, not the engine: a fresh run
+        // on the same sharded view must still be byte-correct.
+        let again = Engine::new(&g).with_parallelism(par).with_sharding(&sharded);
+        let reference = Engine::new(&g).with_parallelism(1).run_text(q, &[]).unwrap();
+        assert_identical(&reference, &again.run_text(q, &[]).unwrap(), "post-cancel rerun");
+    }
+}
+
+#[test]
+fn stale_sharding_falls_back_to_unsharded() {
+    // A sharded view fingerprints the graph it was built from; against a
+    // *different* graph the engine must silently ignore it rather than
+    // read segments that describe the wrong adjacency.
+    let (g1, _) = diamond_chain(12);
+    let (g2, _) = diamond_chain(13);
+    let stale = ShardedGraph::build(&g1, ShardSpec::hash(4));
+    let q = stdlib::qn("V", "E");
+    let args = [("srcName", Value::from("v0")), ("tgtName", Value::from("v13"))];
+    let reference = Engine::new(&g2).with_parallelism(1).run_text(&q, &args).unwrap();
+    let out = Engine::new(&g2)
+        .with_parallelism(4)
+        .with_sharding(&stale)
+        .run_text(&q, &args)
+        .unwrap();
+    assert_identical(&reference, &out, "stale sharding fallback");
+    assert!(out.report.shards.is_empty(), "stale sharding must not be scattered over");
+}
