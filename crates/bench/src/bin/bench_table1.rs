@@ -9,6 +9,11 @@
 //! Prints one JSON object for the given label; the checked-in
 //! `BENCH_table1.json` is assembled from a `before` run (pre-CSR
 //! baseline) and an `after` run on the same machine.
+//!
+//! `bench_table1 --morsel-sweep` instead runs the morsel-scaling sweep
+//! behind EXPERIMENTS.md E13: the `fanout_er1500` ACCUM workload and
+//! the Appendix-B grouping-set pair (`Q_gs` / `Q_acc`, SNB sf 0.4) at
+//! parallelism 1/2/4/8, printing the `pr9_morsel_scaling` JSON block.
 
 use bench::harness::timed;
 use darpe::CompiledDarpe;
@@ -30,6 +35,42 @@ fn best_of(runs: usize, mut f: impl FnMut()) -> f64 {
     best.as_secs_f64() * 1e3
 }
 
+/// The E13 sweep: the two morsel-heavy workloads (the ER(1500) Kleene
+/// fan-out whose ~2M-row ACCUM is now a morsel-parallel exact-merge
+/// fold, and the Appendix-B grouping-set pair whose group-key /
+/// aggregate-argument pass runs morsel-parallel) at parallelism
+/// 1/2/4/8, best of 3 each.
+fn morsel_sweep() {
+    let ger = erdos_renyi(1500, 4.0 / 1500.0, 3);
+    let fanout = r#"
+CREATE QUERY Fanout () {
+  SumAccum<int> @hits;
+  R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+  PRINT R.size();
+}
+"#;
+    let gsnb = ldbc_snb::generate(ldbc_snb::SnbParams::new(0.4, 2024));
+    let q_gs = ldbc_snb::queries::q_gs();
+    let q_acc = ldbc_snb::queries::q_acc();
+    println!("\"pr9_morsel_scaling\": {{");
+    let mut lines = Vec::new();
+    for p in [1usize, 2, 4, 8] {
+        let fan = best_of(3, || {
+            Engine::new(&ger).with_parallelism(p).run_text(fanout, &[]).unwrap();
+        });
+        let gs = best_of(3, || {
+            Engine::new(&gsnb).with_parallelism(p).run_text(&q_gs, &[]).unwrap();
+        });
+        let acc = best_of(3, || {
+            Engine::new(&gsnb).with_parallelism(p).run_text(&q_acc, &[]).unwrap();
+        });
+        lines.push(format!("  \"fanout_er1500_par{p}_ms\": {fan:.1}"));
+        lines.push(format!("  \"qgs_sf0_4_par{p}_ms\": {gs:.1}"));
+        lines.push(format!("  \"qacc_sf0_4_par{p}_ms\": {acc:.1}"));
+    }
+    println!("{}\n}}", lines.join(",\n"));
+}
+
 fn main() {
     let mut label = "before".to_string();
     let mut parallelism: usize = std::thread::available_parallelism()
@@ -46,8 +87,14 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .unwrap_or(parallelism)
             }
+            "--morsel-sweep" => {
+                morsel_sweep();
+                return;
+            }
             other => {
-                eprintln!("usage: bench_table1 [--label L] [--parallelism N] (got `{other}`)");
+                eprintln!(
+                    "usage: bench_table1 [--label L] [--parallelism N] [--morsel-sweep] (got `{other}`)"
+                );
                 std::process::exit(2);
             }
         }

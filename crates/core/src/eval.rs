@@ -19,7 +19,7 @@ use pgraph::value::Value;
 use std::cmp::Ordering;
 
 /// What a FROM-clause variable is bound to in one binding-table row.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Binding {
     /// A bound vertex.
     Vertex(VertexId),
@@ -91,13 +91,43 @@ pub struct BindingRow {
     pub mult: pgraph::bigcount::BigCount,
 }
 
+/// Where a row's bindings live: a contiguous row-major slice (single
+/// synthesized rows — PRINT projections, POST_ACCUM's per-vertex row,
+/// spec refinement) or one row of a column-major
+/// [`MorselTable`](crate::morsel::MorselTable) chunk, addressed without
+/// materializing the row. Evaluation is storage-agnostic: batch
+/// evaluation over a morsel reuses the scalar evaluator with a
+/// `Columnar` cursor per row.
+#[derive(Clone, Copy)]
+pub enum Bindings<'a> {
+    /// A contiguous slice holding one row's bindings.
+    Row(&'a [Binding]),
+    /// Row `row` across the columns of a columnar binding table.
+    Columnar {
+        /// The table's columns (all the same length).
+        cols: &'a [Vec<Binding>],
+        /// The row index this view addresses.
+        row: usize,
+    },
+}
+
+impl<'a> Bindings<'a> {
+    /// The binding at variable position `idx`, if bound.
+    pub fn get(&self, idx: usize) -> Option<&'a Binding> {
+        match self {
+            Bindings::Row(b) => b.get(idx),
+            Bindings::Columnar { cols, row } => cols.get(idx).map(|c| &c[*row]),
+        }
+    }
+}
+
 /// Borrowed view of one row during evaluation.
 #[derive(Clone, Copy)]
 pub struct RowRef<'a> {
     /// Variable name → position in `bindings`.
     pub vars: &'a FxHashMap<String, usize>,
-    /// The row's bindings.
-    pub bindings: &'a [Binding],
+    /// The row's bindings (row-major or columnar).
+    pub bindings: Bindings<'a>,
     /// FROM-clause tables referenced by `Binding::Row`.
     pub tables: &'a [&'a Table],
 }

@@ -4,8 +4,9 @@
 
 use crate::ast::*;
 use crate::error::{Error, Result};
-use crate::eval::{eval, truthy, Binding, BindingRow, Env, RowRef, VAccStore};
+use crate::eval::{eval, truthy, Binding, Bindings, Env, RowRef, VAccStore};
 use crate::governor::{Budget, CancelHandle, QueryGuard, ResourceReport};
+use crate::morsel::{dispatch, morsel_ranges, MorselBuilder, MorselTable, DEFAULT_MORSEL_SIZE};
 use crate::plan::{BlockPlan, HopStrategy, LowerCtx, QueryPlan};
 use crate::profile::{Profile, Profiler, Span, SpanExtra};
 use crate::semantics::{reach_on, GraphView, MatchStats, PathSemantics, ReachMap};
@@ -31,9 +32,24 @@ const ROW_EXPANSION_CAP: u64 = 1 << 20;
 /// more than the kernels).
 const KERNEL_PARALLEL_THRESHOLD: usize = 2;
 
-/// Threshold below which the Map phase stays sequential even when
+/// Threshold below which morsel-driven operators (ACCUM Map phase,
+/// WHERE residuals, group-by key evaluation) stay sequential even when
 /// parallelism is enabled.
 const PARALLEL_THRESHOLD: usize = 512;
+
+/// `GSQL_MORSEL_SIZE` is read once per process, like `GSQL_PARALLELISM`;
+/// [`Engine::with_morsel_size`] still wins. Primarily a test/benchmark
+/// knob for stressing morsel-boundary behavior.
+fn env_morsel_size() -> usize {
+    static ENV_MORSEL_SIZE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *ENV_MORSEL_SIZE.get_or_init(|| {
+        std::env::var("GSQL_MORSEL_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_MORSEL_SIZE)
+    })
+}
 
 /// `GSQL_PARALLELISM` is read once per process: engine construction sits
 /// on a server's per-request hot path, and the environment cannot change
@@ -64,6 +80,9 @@ pub struct Engine<'g> {
     cancel: CancelHandle,
     /// Map-phase threads (1 = sequential).
     parallelism: usize,
+    /// Rows per morsel for the vectorized operators (ACCUM/POST_ACCUM,
+    /// filters, group-by/projection evaluation).
+    morsel_size: usize,
     /// Sharded view for scatter-gather execution ([`Engine::with_sharding`]).
     shards: Option<&'g ShardedGraph>,
 }
@@ -84,6 +103,7 @@ impl<'g> Engine<'g> {
             budget: Budget::default(),
             cancel: CancelHandle::new(),
             parallelism,
+            morsel_size: env_morsel_size(),
             shards: None,
         }
     }
@@ -128,6 +148,16 @@ impl<'g> Engine<'g> {
     /// Enables parallel Map-phase execution on `n` threads.
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
+        self
+    }
+
+    /// Sets the rows-per-morsel chunk size for vectorized execution
+    /// (default [`DEFAULT_MORSEL_SIZE`], env-overridable via
+    /// `GSQL_MORSEL_SIZE`). Output is byte-identical at any morsel size;
+    /// only the work-distribution granularity — and the
+    /// `morsels_dispatched` counter — changes.
+    pub fn with_morsel_size(mut self, n: usize) -> Self {
+        self.morsel_size = n.max(1);
         self
     }
 
@@ -357,6 +387,7 @@ impl<'g> Engine<'g> {
             prof_hop_cache: (0, 0),
             prof_hop_workers: Vec::new(),
             prof_hop_shards: Vec::new(),
+            prof_op_workers: Vec::new(),
             shards: self.active_shards(),
             mutations: Vec::new(),
             pending_vertices: 0,
@@ -497,6 +528,53 @@ enum EmitTarget {
     G { name: usize },
 }
 
+/// Identity-seeded accumulator partials folded by one scatter worker
+/// (per shard or per morsel-stealing thread). Globals key by interned
+/// target index, vertex cells by `(target, VertexId)`; both merge into
+/// the live stores in a deterministic order — ascending shard / morsel,
+/// then ascending key — via [`Runtime::merge_partial`].
+#[derive(Default)]
+struct AccumPartial {
+    g: FxHashMap<usize, Accum>,
+    v: FxHashMap<(usize, VertexId), Accum>,
+}
+
+/// Fold one Map-phase emission into a worker-local partial. Only
+/// reachable under the exact-merge gate ([`Runtime::accum_scatter_exact`]),
+/// so every target is a declared accumulator of a known type and every
+/// statement combines (`+=`, never `=`).
+fn fold_into_partial(
+    part: &mut AccumPartial,
+    em: Emission,
+    v_types: &[Option<AccumType>],
+    g_types: &[Option<AccumType>],
+    registry: &UserAccumRegistry,
+) -> Result<()> {
+    use std::collections::hash_map::Entry;
+    let cell = match em.target {
+        EmitTarget::V { name, vertex } => match part.v.entry((name, vertex)) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let ty = v_types[name].as_ref().ok_or_else(|| {
+                    Error::runtime("exact-merge gate admitted an undeclared accumulator")
+                })?;
+                e.insert(Accum::new(ty, registry)?)
+            }
+        },
+        EmitTarget::G { name } => match part.g.entry(name) {
+            Entry::Occupied(e) => e.into_mut(),
+            Entry::Vacant(e) => {
+                let ty = g_types[name].as_ref().ok_or_else(|| {
+                    Error::runtime("exact-merge gate admitted an undeclared accumulator")
+                })?;
+                e.insert(Accum::new(ty, registry)?)
+            }
+        },
+    };
+    cell.combine_with_multiplicity(em.value, &em.mult, registry)?;
+    Ok(())
+}
+
 struct Runtime<'e, 'g> {
     eng: &'e Engine<'g>,
     /// Live resource-governor state for this execution.
@@ -535,6 +613,9 @@ struct Runtime<'e, 'g> {
     /// Per-shard kernel counts of the most recent scatter fan-out,
     /// collected only when profiling on the sharded path.
     prof_hop_shards: Vec<u64>,
+    /// Per-worker morsel counts of the most recent ACCUM/POST_ACCUM
+    /// dispatch, collected only when profiling.
+    prof_op_workers: Vec<u64>,
     /// Validated sharded view for this execution (`None` = flat path).
     shards: Option<&'g ShardedGraph>,
     /// Mutation ops emitted by INSERT/UPDATE/DELETE, in statement order.
@@ -547,6 +628,29 @@ struct Runtime<'e, 'g> {
 impl<'e, 'g> Runtime<'e, 'g> {
     fn graph(&self) -> &'g Graph {
         self.eng.graph
+    }
+
+    /// Worker count for a morsel dispatch over `n_rows` rows: the
+    /// engine's parallelism above [`PARALLEL_THRESHOLD`], else 1 — path
+    /// *shape* (morsel boundaries, counters, fold order) never depends
+    /// on this, only the thread count does.
+    fn workers_for(&self, n_rows: usize) -> usize {
+        if n_rows >= PARALLEL_THRESHOLD {
+            self.eng.parallelism
+        } else {
+            1
+        }
+    }
+
+    /// Accounts a morsel dispatch over `n_rows` rows and returns the
+    /// morsel ranges. The count is a pure function of the row count and
+    /// the configured morsel size — identical at any parallelism and
+    /// on the sharded path, so it is safe to compare across runs.
+    fn note_morsels(&mut self, n_rows: usize) -> Vec<std::ops::Range<usize>> {
+        let ranges = morsel_ranges(n_rows, self.eng.morsel_size);
+        self.stats.morsels_dispatched += ranges.len() as u64;
+        self.guard.note_morsels(ranges.len() as u64);
+        ranges
     }
 
     /// Opens a profiling span for operator `(op, key)` — a no-op
@@ -1016,7 +1120,11 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     for v in vs {
                         let bindings = [Binding::Vertex(v)];
                         let env = Env {
-                            row: Some(RowRef { vars: &vars, bindings: &bindings, tables: &[] }),
+                            row: Some(RowRef {
+                                vars: &vars,
+                                bindings: Bindings::Row(&bindings),
+                                tables: &[],
+                            }),
                             ..self.env()
                         };
                         let mut cells = Vec::with_capacity(items.len());
@@ -1133,8 +1241,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
 
         let mut vars: FxHashMap<String, usize> = FxHashMap::default();
         let mut table_refs: Vec<&Table> = Vec::new();
-        let mut rows: Vec<BindingRow> =
-            vec![BindingRow { bindings: Vec::new(), mult: BigCount::one() }];
+        let mut rows = MorselTable::unit();
         let mut anon = 0usize;
         // Execute FROM items in the plan's cost-chosen order (empty =
         // source order); a permutation is only ever emitted when the
@@ -1156,15 +1263,18 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         let tidx = table_refs.len();
                         table_refs.push(t);
                         let col = new_var(&mut vars, alias)?;
-                        let mut next = Vec::with_capacity(rows.len() * t.len());
-                        for row in &rows {
+                        debug_assert_eq!(col, rows.width());
+                        let mut b = MorselBuilder::new(&rows, 1);
+                        for row in 0..rows.len() {
                             for r in 0..t.len() {
-                                let mut b = row.bindings.clone();
-                                debug_assert_eq!(b.len(), col);
-                                b.push(Binding::Row { table: tidx, row: r });
-                                next.push(BindingRow { bindings: b, mult: row.mult.clone() });
+                                b.push(
+                                    row,
+                                    &[Binding::Row { table: tidx, row: r }],
+                                    rows.mult(row).clone(),
+                                );
                             }
                         }
+                        let next = b.finish();
                         self.guard.tick_rows(next.len() as u64)?;
                         rows = next;
                     } else {
@@ -1254,21 +1364,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 });
             for idx in pending.drain(..) {
                 let cond = &bp.conjuncts[idx].0;
-                let mut kept = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let env = Env {
-                        row: Some(RowRef {
-                            vars: &vars,
-                            bindings: &row.bindings,
-                            tables: &table_refs,
-                        }),
-                        ..self.env()
-                    };
-                    if truthy(&eval(&env, cond)?)? {
-                        kept.push(row);
-                    }
-                }
-                rows = kept;
+                rows = self.filter_rows(rows, cond, &vars, &table_refs)?;
             }
             let n = rows.len() as u64;
             self.prof_exit(span, SpanExtra { rows: n, ..SpanExtra::default() });
@@ -1285,9 +1381,17 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 .prof_enter("accum", block.accum.as_ptr() as usize, || {
                     format!("ACCUM: {} statement(s)", block.accum.len())
                 });
+            if span.is_some() {
+                self.prof_op_workers.clear();
+            }
             self.run_accum(&block.accum, &rows, &vars, &table_refs)?;
             let bytes = if span.is_some() { self.accum_footprint() } else { 0 };
-            self.prof_exit(span, SpanExtra { accum_bytes: bytes, ..SpanExtra::default() });
+            let extra = SpanExtra {
+                accum_bytes: bytes,
+                workers: std::mem::take(&mut self.prof_op_workers),
+                ..SpanExtra::default()
+            };
+            self.prof_exit(span, extra);
         }
 
         // 5. POST_ACCUM.
@@ -1296,9 +1400,17 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 .prof_enter("post-accum", block.post_accum.as_ptr() as usize, || {
                     format!("POST_ACCUM: {} statement(s)", block.post_accum.len())
                 });
+            if span.is_some() {
+                self.prof_op_workers.clear();
+            }
             self.run_post_accum(&block.post_accum, &rows, &vars, &table_refs)?;
             let bytes = if span.is_some() { self.accum_footprint() } else { 0 };
-            self.prof_exit(span, SpanExtra { accum_bytes: bytes, ..SpanExtra::default() });
+            let extra = SpanExtra {
+                accum_bytes: bytes,
+                workers: std::mem::take(&mut self.prof_op_workers),
+                ..SpanExtra::default()
+            };
+            self.prof_exit(span, extra);
         }
 
         // 6. Outputs.
@@ -1364,7 +1476,11 @@ impl<'e, 'g> Runtime<'e, 'g> {
         'cand: for v in spec.candidates(self.graph()) {
             let bindings = [Binding::Vertex(v)];
             let env = Env {
-                row: Some(RowRef { vars: &pvars, bindings: &bindings, tables: &[] }),
+                row: Some(RowRef {
+                    vars: &pvars,
+                    bindings: Bindings::Row(&bindings),
+                    tables: &[],
+                }),
                 ..self.env()
             };
             for c in &conds {
@@ -1380,13 +1496,13 @@ impl<'e, 'g> Runtime<'e, 'g> {
     /// Applies every pending WHERE conjunct whose FROM variables are all
     /// bound, removing it from `pending`.
     fn apply_ready_filters(
-        &self,
-        mut rows: Vec<BindingRow>,
+        &mut self,
+        mut rows: MorselTable,
         pending: &mut Vec<usize>,
         conjuncts: &[(Expr, Vec<String>)],
         vars: &FxHashMap<String, usize>,
         tables: &[&Table],
-    ) -> Result<Vec<BindingRow>> {
+    ) -> Result<MorselTable> {
         let mut i = 0;
         while i < pending.len() {
             let refs = &conjuncts[pending[i]].1;
@@ -1396,43 +1512,71 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 continue;
             }
             let cond = &conjuncts[pending.remove(i)].0;
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                let env = Env {
-                    row: Some(RowRef { vars, bindings: &row.bindings, tables }),
-                    ..self.env()
-                };
-                if truthy(&eval(&env, cond)?)? {
-                    kept.push(row);
-                }
-            }
-            rows = kept;
+            rows = self.filter_rows(rows, cond, vars, tables)?;
         }
         Ok(rows)
     }
 
+    /// Filters the binding table by one WHERE conjunct, morsel-driven:
+    /// workers evaluate the predicate over contiguous row ranges and
+    /// return keep-lists; survivors gather into the output table in
+    /// ascending morsel order, so the result (and any error — smallest
+    /// failing row wins) is byte-identical at any worker count.
+    fn filter_rows(
+        &mut self,
+        rows: MorselTable,
+        cond: &Expr,
+        vars: &FxHashMap<String, usize>,
+        tables: &[&Table],
+    ) -> Result<MorselTable> {
+        let ranges = self.note_morsels(rows.len());
+        let workers = self.workers_for(rows.len());
+        let rows_ref = &rows;
+        let run = dispatch(self.guard, workers, &ranges, |_, range| {
+            let mut keep: Vec<usize> = Vec::new();
+            for r in range {
+                let env = Env {
+                    row: Some(RowRef { vars, bindings: rows_ref.bindings_at(r), tables }),
+                    ..self.env()
+                };
+                if truthy(&eval(&env, cond)?)? {
+                    keep.push(r);
+                }
+            }
+            Ok(keep)
+        })?;
+        let mut b = MorselBuilder::new(&rows, 0);
+        for keep in &run.results {
+            for &r in keep {
+                b.push(r, &[], rows.mult(r).clone());
+            }
+        }
+        Ok(b.finish())
+    }
+
     fn bind_vertex(
         &mut self,
-        rows: Vec<BindingRow>,
+        rows: MorselTable,
         vars: &mut FxHashMap<String, usize>,
         var: &str,
         spec: &Spec,
-    ) -> Result<Vec<BindingRow>> {
+    ) -> Result<MorselTable> {
         if let Some(&col) = vars.get(var) {
-            // Join on the existing column.
-            let mut kept = Vec::with_capacity(rows.len());
-            for row in rows {
-                if let Binding::Vertex(v) = row.bindings[col] {
-                    if spec.matches(self.graph(), v) {
-                        kept.push(row);
+            // Join on the existing column: one contiguous scan.
+            let mut b = MorselBuilder::new(&rows, 0);
+            for (r, bind) in rows.col(col).iter().enumerate() {
+                if let Binding::Vertex(v) = bind {
+                    if spec.matches(self.graph(), *v) {
+                        b.push(r, &[], rows.mult(r).clone());
                     }
                 } else {
                     return Err(Error::runtime(format!("`{var}` is not a vertex variable")));
                 }
             }
-            return Ok(kept);
+            return Ok(b.finish());
         }
         let col = new_var(vars, var)?;
+        debug_assert_eq!(col, rows.width());
         let anchored = self.anchor_for(var);
         let candidates: Vec<VertexId> = match anchored {
             Some(v) => {
@@ -1444,16 +1588,14 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
             None => spec.candidates(self.graph()),
         };
-        let mut next = Vec::with_capacity(rows.len() * candidates.len().max(1));
-        for row in &rows {
+        let mut b = MorselBuilder::new(&rows, 1);
+        for row in 0..rows.len() {
             self.guard.checkpoint()?;
             for &v in &candidates {
-                let mut b = row.bindings.clone();
-                debug_assert_eq!(b.len(), col);
-                b.push(Binding::Vertex(v));
-                next.push(BindingRow { bindings: b, mult: row.mult.clone() });
+                b.push(row, &[Binding::Vertex(v)], rows.mult(row).clone());
             }
         }
+        let next = b.finish();
         self.guard.tick_rows(next.len() as u64)?;
         self.stats.vertices_touched += next.len() as u64;
         self.guard.note_visits(next.len() as u64, 0);
@@ -1470,21 +1612,21 @@ impl<'e, 'g> Runtime<'e, 'g> {
     #[allow(clippy::too_many_arguments)]
     fn extend_hop(
         &mut self,
-        rows: Vec<BindingRow>,
+        rows: MorselTable,
         vars: &mut FxHashMap<String, usize>,
         prev_col: usize,
         hop: &Hop,
         to_var: &str,
         to_spec: &Spec,
         plan_strategy: Option<HopStrategy>,
-    ) -> Result<Vec<BindingRow>> {
+    ) -> Result<MorselTable> {
         let graph = self.graph();
         let existing_to = vars.get(to_var).copied();
         let anchored_to = if existing_to.is_none() { self.anchor_for(to_var) } else { None };
 
         if let Some(sym) = hop.darpe.as_single_symbol() {
-            // Single-edge hop: enumerate adjacency, optionally binding the
-            // edge variable.
+            // Single-edge hop: scan the source column contiguously,
+            // enumerate adjacency, optionally binding the edge variable.
             let spec: SymbolSpec = resolve_symbol(sym, graph.schema())?;
             let edge_col = match &hop.edge_var {
                 Some(name) => Some(new_var(vars, name)?),
@@ -1494,11 +1636,13 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 Some(c) => c,
                 None => new_var(vars, to_var)?,
             };
-            let mut next = Vec::new();
+            let n_extra = edge_col.is_some() as usize + existing_to.is_none() as usize;
+            let mut b = MorselBuilder::new(&rows, n_extra);
+            let mut ex: Vec<Binding> = Vec::with_capacity(2);
             let mut edges_scanned = 0u64;
-            for row in rows {
-                let before = next.len();
-                let src = vertex_at(&row, prev_col, to_var)?;
+            for r in 0..rows.len() {
+                let before = b.len();
+                let src = vertex_at(&rows, r, prev_col, to_var)?;
                 let adj = graph.adjacency(src);
                 edges_scanned += adj.len() as u64;
                 for a in adj {
@@ -1514,22 +1658,22 @@ impl<'e, 'g> Runtime<'e, 'g> {
                         }
                     }
                     if let Some(c) = existing_to {
-                        if row.bindings[c] != Binding::Vertex(a.other) {
+                        if *rows.binding(r, c) != Binding::Vertex(a.other) {
                             continue;
                         }
                     }
-                    let mut b = row.bindings.clone();
-                    if let Some(ec) = edge_col {
-                        debug_assert_eq!(b.len(), ec);
-                        b.push(Binding::Edge(a.edge));
+                    ex.clear();
+                    if edge_col.is_some() {
+                        ex.push(Binding::Edge(a.edge));
                     }
                     if existing_to.is_none() {
-                        b.push(Binding::Vertex(a.other));
+                        ex.push(Binding::Vertex(a.other));
                     }
-                    next.push(BindingRow { bindings: b, mult: row.mult.clone() });
+                    b.push(r, &ex, rows.mult(r).clone());
                 }
-                self.guard.tick_rows((next.len() - before) as u64)?;
+                self.guard.tick_rows((b.len() - before) as u64)?;
             }
+            let next = b.finish();
             self.stats.vertices_touched += next.len() as u64;
             self.stats.edges_scanned += edges_scanned;
             self.guard.note_visits(next.len() as u64, edges_scanned);
@@ -1584,14 +1728,14 @@ impl<'e, 'g> Runtime<'e, 'g> {
         if self.eng.parallelism > 1 || self.shards.is_some() {
             let mut keys: Vec<VertexId> = Vec::new();
             let mut seen: FxHashSet<VertexId> = FxHashSet::default();
-            'scan: for row in &rows {
+            'scan: for r in 0..rows.len() {
                 // Any row the sequential loop would reject (non-vertex
                 // binding) ends the scan: kernels past that point are
                 // never reached sequentially, so don't compute them.
-                let Ok(src) = vertex_at(row, prev_col, to_var) else { break };
+                let Ok(src) = vertex_at(&rows, r, prev_col, to_var) else { break };
                 let bound_target = match (existing_to, anchored_to) {
-                    (Some(c), _) => match row.bindings[c] {
-                        Binding::Vertex(v) => Some(v),
+                    (Some(c), _) => match rows.binding(r, c) {
+                        Binding::Vertex(v) => Some(*v),
                         _ => break 'scan,
                     },
                     (None, a) => a,
@@ -1619,22 +1763,23 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 cache = self.parallel_kernels(&keys, rev_nfa.as_ref().unwrap_or(&nfa))?;
             }
         }
-        let mut next = Vec::new();
+        let n_extra = existing_to.is_none() as usize;
+        let mut out = MorselBuilder::new(&rows, n_extra);
         let mut cache_hits = 0u64;
         let mut cache_misses = 0u64;
-        for row in rows {
-            let before = next.len();
-            let src = vertex_at(&row, prev_col, to_var)?;
-            let extend = |t: VertexId, cnt: &BigCount, next: &mut Vec<BindingRow>| {
-                let mut b = row.bindings.clone();
+        for r in 0..rows.len() {
+            let before = out.len();
+            let src = vertex_at(&rows, r, prev_col, to_var)?;
+            let extend = |t: VertexId, cnt: &BigCount, out: &mut MorselBuilder<'_>| {
                 if existing_to.is_none() {
-                    b.push(Binding::Vertex(t));
+                    out.push(r, &[Binding::Vertex(t)], rows.mult(r).mul(cnt));
+                } else {
+                    out.push(r, &[], rows.mult(r).mul(cnt));
                 }
-                next.push(BindingRow { bindings: b, mult: row.mult.mul(cnt) });
             };
             let bound_target = match (existing_to, anchored_to) {
-                (Some(c), _) => match row.bindings[c] {
-                    Binding::Vertex(v) => Some(v),
+                (Some(c), _) => match rows.binding(r, c) {
+                    Binding::Vertex(v) => Some(*v),
                     _ => return Err(Error::runtime(format!("`{to_var}` is not a vertex"))),
                 },
                 (None, a) => a,
@@ -1655,11 +1800,11 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     }
                     if let Some((_, cnt)) = cache[&t].get(&src) {
                         if to_spec.matches(graph, t) {
-                            extend(t, cnt, &mut next);
+                            extend(t, cnt, &mut out);
                         }
                     }
                 }
-                self.guard.tick_rows((next.len() - before) as u64)?;
+                self.guard.tick_rows((out.len() - before) as u64)?;
                 continue;
             }
             // Forward kernel keyed by the source vertex.
@@ -1674,7 +1819,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 Some(t) => {
                     if let Some((_, cnt)) = m.get(&t) {
                         if to_spec.matches(graph, t) {
-                            extend(t, cnt, &mut next);
+                            extend(t, cnt, &mut out);
                         }
                     }
                 }
@@ -1684,15 +1829,15 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     targets.sort_by_key(|(v, _)| **v);
                     for (t, (_, cnt)) in targets {
                         if to_spec.matches(graph, *t) {
-                            extend(*t, cnt, &mut next);
+                            extend(*t, cnt, &mut out);
                         }
                     }
                 }
             }
-            self.guard.tick_rows((next.len() - before) as u64)?;
+            self.guard.tick_rows((out.len() - before) as u64)?;
         }
         self.prof_hop_cache = (cache_hits, cache_misses);
-        Ok(next)
+        Ok(out.finish())
     }
 
     /// Runs one reachability kernel on the main thread, routing through
@@ -1912,14 +2057,39 @@ impl<'e, 'g> Runtime<'e, 'g> {
         })
     }
 
+    /// Merge one worker's identity-seeded partial into the live stores:
+    /// globals in ascending target order, vertex cells in ascending
+    /// `(target, VertexId)` order, so the merge sequence is a pure
+    /// function of the data partitioning, never of worker timing.
+    fn merge_partial(&mut self, part: AccumPartial, names: &[&str]) -> Result<()> {
+        let mut globals: Vec<(usize, Accum)> = part.g.into_iter().collect();
+        globals.sort_by_key(|(idx, _)| *idx);
+        for (idx, acc) in globals {
+            let live = self.gaccs.get_mut(names[idx]).ok_or_else(|| {
+                Error::runtime(format!("undeclared accumulator `@@{}`", names[idx]))
+            })?;
+            live.merge(acc, &self.eng.registry)?;
+        }
+        let mut cells: Vec<((usize, VertexId), Accum)> = part.v.into_iter().collect();
+        cells.sort_by_key(|(k, _)| *k);
+        for ((idx, vertex), acc) in cells {
+            let store = self.vaccs.get_mut(names[idx]).ok_or_else(|| {
+                Error::runtime(format!("undeclared accumulator `@{}`", names[idx]))
+            })?;
+            store.cell_mut(vertex).merge(acc, &self.eng.registry)?;
+        }
+        Ok(())
+    }
+
     fn run_accum(
         &mut self,
         stmts: &[AccStmt],
-        rows: &[BindingRow],
+        rows: &MorselTable,
         vars: &FxHashMap<String, usize>,
         tables: &[&Table],
     ) -> Result<()> {
         self.stats.acc_executions += rows.len() as u64;
+        let ranges = self.note_morsels(rows.len());
         // Intern target accumulator names.
         let mut names: Vec<&str> = Vec::new();
         for s in stmts {
@@ -1935,15 +2105,17 @@ impl<'e, 'g> Runtime<'e, 'g> {
             })
         };
 
-        // Map phase.
+        // Map phase: evaluate one row's statements against the snapshot
+        // (live stores are never written during the Map, so visibility is
+        // identical at any parallelism).
         let guard = self.guard;
-        let map_row = |row: &BindingRow| -> Result<Vec<Emission>> {
+        let map_row = |r: usize| -> Result<Vec<Emission>> {
             guard.checkpoint()?;
             let mut acc_locals: FxHashMap<String, Value> = FxHashMap::default();
             let mut out = Vec::with_capacity(stmts.len());
             for stmt in stmts {
                 let env = Env {
-                    row: Some(RowRef { vars, bindings: &row.bindings, tables }),
+                    row: Some(RowRef { vars, bindings: rows.bindings_at(r), tables }),
                     acc_locals: Some(&acc_locals),
                     ..self.env()
                 };
@@ -1959,7 +2131,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                             target: EmitTarget::V { name: name_idx(name)?, vertex },
                             value,
                             combine: *combine,
-                            mult: row.mult.clone(),
+                            mult: rows.mult(r).clone(),
                         });
                     }
                     AccStmt::GAcc { name, combine, expr } => {
@@ -1968,12 +2140,23 @@ impl<'e, 'g> Runtime<'e, 'g> {
                             target: EmitTarget::G { name: name_idx(name)? },
                             value,
                             combine: *combine,
-                            mult: row.mult.clone(),
+                            mult: rows.mult(r).clone(),
                         });
                     }
                 }
             }
             Ok(out)
+        };
+        let exact = self.accum_scatter_exact(stmts);
+        let v_types: Vec<Option<AccumType>> = if exact {
+            names.iter().map(|n| self.vaccs.get(*n).map(|st| st.ty.clone())).collect()
+        } else {
+            Vec::new()
+        };
+        let g_types: Vec<Option<AccumType>> = if exact {
+            names.iter().map(|n| self.gacc_types.get(*n).cloned()).collect()
+        } else {
+            Vec::new()
         };
 
         // Scatter-gather ACCUM: when sharding is active and every
@@ -1986,18 +2169,12 @@ impl<'e, 'g> Runtime<'e, 'g> {
         // representation level, so the merged state is bit-identical to
         // the sequential row-order fold at any shard count.
         if let Some(sh) = self.shards {
-            if rows.len() >= 2 && self.accum_scatter_exact(stmts) {
+            if rows.len() >= 2 && exact {
                 let registry = &self.eng.registry;
-                let v_types: Vec<Option<AccumType>> =
-                    names.iter().map(|n| self.vaccs.get(*n).map(|st| st.ty.clone())).collect();
-                let g_types: Vec<Option<AccumType>> =
-                    names.iter().map(|n| self.gacc_types.get(*n).cloned()).collect();
                 let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); sh.shard_count()];
-                for (i, row) in rows.iter().enumerate() {
-                    let shard = row
-                        .bindings
-                        .iter()
-                        .find_map(|b| match b {
+                for i in 0..rows.len() {
+                    let shard = (0..rows.width())
+                        .find_map(|c| match rows.binding(i, c) {
                             Binding::Vertex(v) => Some(sh.owner(*v)),
                             _ => None,
                         })
@@ -2009,14 +2186,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     .enumerate()
                     .filter(|(_, idxs)| !idxs.is_empty())
                     .collect();
-                // One partial store per shard: identity-seeded cells for
-                // every (target, vertex) / target the shard touches.
-                #[derive(Default)]
-                struct Partial {
-                    g: FxHashMap<usize, Accum>,
-                    v: FxHashMap<(usize, VertexId), Accum>,
-                }
-                type ShardOut = (usize, u64, std::result::Result<Partial, (usize, Error)>);
+                type ShardOut = (usize, u64, std::result::Result<AccumPartial, (usize, Error)>);
                 let guard = self.guard;
                 let outs: Vec<ShardOut> = std::thread::scope(|scope| {
                     let handles: Vec<_> = parts
@@ -2029,42 +2199,15 @@ impl<'e, 'g> Runtime<'e, 'g> {
                                 let t0 = std::time::Instant::now();
                                 let caught = std::panic::catch_unwind(
                                     std::panic::AssertUnwindSafe(
-                                        || -> std::result::Result<Partial, (usize, Error)> {
-                                            let mut part = Partial::default();
+                                        || -> std::result::Result<AccumPartial, (usize, Error)> {
+                                            let mut part = AccumPartial::default();
                                             for &ri in idxs {
-                                                let ems = map_row(&rows[ri])
-                                                    .map_err(|e| (ri, e))?;
+                                                let ems = map_row(ri).map_err(|e| (ri, e))?;
                                                 for em in ems {
-                                                    let cell = match em.target {
-                                                        EmitTarget::V { name, vertex } => part
-                                                            .v
-                                                            .entry((name, vertex))
-                                                            .or_insert_with(|| {
-                                                                Accum::new(
-                                                                    v_types[name]
-                                                                        .as_ref()
-                                                                        .expect("gated"),
-                                                                    registry,
-                                                                )
-                                                                .expect("identity")
-                                                            }),
-                                                        EmitTarget::G { name } => part
-                                                            .g
-                                                            .entry(name)
-                                                            .or_insert_with(|| {
-                                                                Accum::new(
-                                                                    g_types[name]
-                                                                        .as_ref()
-                                                                        .expect("gated"),
-                                                                    registry,
-                                                                )
-                                                                .expect("identity")
-                                                            }),
-                                                    };
-                                                    cell.combine_with_multiplicity(
-                                                        em.value, &em.mult, registry,
+                                                    fold_into_partial(
+                                                        &mut part, em, v_types, g_types, registry,
                                                     )
-                                                    .map_err(|e| (ri, Error::from(e)))?;
+                                                    .map_err(|e| (ri, e))?;
                                                 }
                                             }
                                             Ok(part)
@@ -2105,7 +2248,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 // (the row the sequential fold would have failed on);
                 // a worker panic outranks ordinary errors.
                 let mut first_err: Option<(usize, Error)> = None;
-                let mut partials: Vec<(usize, Partial)> = Vec::with_capacity(outs.len());
+                let mut partials: Vec<(usize, AccumPartial)> = Vec::with_capacity(outs.len());
                 for (shard, busy_ns, r) in outs {
                     self.guard.note_shard(shard, 0, 0, 0, busy_ns);
                     match r {
@@ -2138,101 +2281,60 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 // of the sharding, never of worker timing.
                 partials.sort_by_key(|(shard, _)| *shard);
                 for (_, part) in partials {
-                    let mut gs: Vec<(usize, Accum)> = part.g.into_iter().collect();
-                    gs.sort_by_key(|(i, _)| *i);
-                    for (ni, acc) in gs {
-                        let live = self.gaccs.get_mut(names[ni]).ok_or_else(|| {
-                            Error::runtime(format!("undeclared accumulator `@@{}`", names[ni]))
-                        })?;
-                        live.merge(acc, &self.eng.registry)?;
-                    }
-                    let mut vs: Vec<((usize, VertexId), Accum)> = part.v.into_iter().collect();
-                    vs.sort_by_key(|(k, _)| *k);
-                    for ((ni, vertex), acc) in vs {
-                        let store = self.vaccs.get_mut(names[ni]).ok_or_else(|| {
-                            Error::runtime(format!("undeclared accumulator `@{}`", names[ni]))
-                        })?;
-                        store.cell_mut(vertex).merge(acc, &self.eng.registry)?;
-                    }
+                    self.merge_partial(part, &names)?;
                 }
                 self.guard.note_accum_bytes(self.accum_footprint())?;
                 return Ok(());
             }
         }
 
-        let emissions: Vec<Emission> = if self.eng.parallelism > 1
-            && rows.len() >= PARALLEL_THRESHOLD
-        {
-            let chunk = rows.len().div_ceil(self.eng.parallelism);
-            let chunks: Vec<&[BindingRow]> = rows.chunks(chunk).collect();
-            let results: Vec<Result<Vec<Emission>>> = std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .iter()
-                    .map(|c| {
-                        s.spawn(move || -> Result<Vec<Emission>> {
-                            // Contain panics (e.g. from a user-defined
-                            // accumulator): poison the guard so sibling
-                            // workers stop at their next checkpoint, and
-                            // surface a structured WorkerPanic error.
-                            let caught = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| -> Result<Vec<Emission>> {
-                                    let mut out = Vec::new();
-                                    for row in *c {
-                                        out.extend(map_row(row)?);
-                                    }
-                                    Ok(out)
-                                }),
-                            );
-                            match caught {
-                                Ok(r) => r,
-                                Err(payload) => {
-                                    guard.poison();
-                                    Err(guard.worker_panic_error(payload.as_ref()))
-                                }
-                            }
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| {
-                        h.join()
-                            .unwrap_or_else(|_| Err(Error::runtime("map-phase thread panicked")))
-                    })
-                    .collect()
-            });
-            let mut all = Vec::new();
-            // When one worker panics, siblings abort with Cancelled via the
-            // poison flag; report the root-cause WorkerPanic over those.
-            let mut first_err: Option<Error> = None;
-            for r in results {
-                match r {
-                    Ok(v) => all.extend(v),
-                    Err(e) => {
-                        let replace = match &first_err {
-                            None => true,
-                            Some(prev) => {
-                                prev.kind() != crate::error::ErrorKind::WorkerPanic
-                                    && e.kind() == crate::error::ErrorKind::WorkerPanic
-                            }
-                        };
-                        if replace {
-                            first_err = Some(e);
-                        }
+        let workers = self.workers_for(rows.len());
+
+        // Morsel-parallel exact-merge fold: each worker folds its morsels
+        // into identity-seeded accumulator partials; partials merge into
+        // the live stores in ascending morsel order via [`Accum::merge`].
+        // Exact-merge combiners are associative at the representation
+        // level, so the merged state is byte-identical to the sequential
+        // row-order fold at any parallelism and any morsel size.
+        if exact && !rows.is_empty() {
+            let registry = &self.eng.registry;
+            let v_types = &v_types;
+            let g_types = &g_types;
+            let run = dispatch(guard, workers, &ranges, |_, range| {
+                let mut part = AccumPartial::default();
+                for r in range {
+                    for em in map_row(r)? {
+                        fold_into_partial(&mut part, em, v_types, g_types, registry)?;
                     }
                 }
+                Ok(part)
+            })?;
+            if self.prof.is_some() {
+                self.prof_op_workers = run.per_worker.clone();
             }
-            if let Some(e) = first_err {
-                return Err(e);
+            for part in run.results {
+                self.merge_partial(part, &names)?;
             }
-            all
-        } else {
-            let mut all = Vec::new();
-            for row in rows {
-                all.extend(map_row(row)?);
+            self.guard.note_accum_bytes(self.accum_footprint())?;
+            return Ok(());
+        }
+
+        // Non-exact-merge fallback (float sums, heaps, concat,
+        // assignments): the Map phase still runs morsel-parallel — it
+        // only reads the snapshot — but the emissions concatenate in
+        // ascending morsel order (= row order) and the Reduce phase
+        // folds them sequentially, exactly as at parallelism 1.
+        let run = dispatch(guard, workers, &ranges, |_, range| {
+            let mut out = Vec::new();
+            for r in range {
+                out.extend(map_row(r)?);
             }
-            all
-        };
+            Ok(out)
+        })?;
+        if self.prof.is_some() {
+            self.prof_op_workers = run.per_worker.clone();
+        }
+        let emissions: Vec<Emission> = run.results.into_iter().flatten().collect();
 
         // Reduce phase: fold emissions into accumulators in row order.
         for e in emissions {
@@ -2287,7 +2389,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
     fn run_post_accum(
         &mut self,
         stmts: &[AccStmt],
-        rows: &[BindingRow],
+        rows: &MorselTable,
         vars: &FxHashMap<String, usize>,
         tables: &[&Table],
     ) -> Result<()> {
@@ -2297,9 +2399,10 @@ impl<'e, 'g> Runtime<'e, 'g> {
             Some(v) => {
                 let col = vars[v];
                 let mut set: Vec<VertexId> = rows
+                    .col(col)
                     .iter()
-                    .filter_map(|r| match r.bindings[col] {
-                        Binding::Vertex(x) => Some(x),
+                    .filter_map(|b| match b {
+                        Binding::Vertex(x) => Some(*x),
                         _ => None,
                     })
                     .collect();
@@ -2317,7 +2420,11 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 // the next statement), per distinct vertex.
                 let value = {
                     let env = Env {
-                        row: Some(RowRef { vars: pvars, bindings, tables: &[] }),
+                        row: Some(RowRef {
+                            vars: pvars,
+                            bindings: Bindings::Row(bindings),
+                            tables: &[],
+                        }),
                         acc_locals: Some(&acc_locals),
                         ..rt.env()
                     };
@@ -2334,7 +2441,11 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     AccStmt::VAcc { var: v, name, combine, .. } => {
                         let vertex = {
                             let env = Env {
-                                row: Some(RowRef { vars: pvars, bindings, tables: &[] }),
+                                row: Some(RowRef {
+                                    vars: pvars,
+                                    bindings: Bindings::Row(bindings),
+                                    tables: &[],
+                                }),
                                 acc_locals: Some(&acc_locals),
                                 ..rt.env()
                             };
@@ -2374,16 +2485,158 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 }
             }
             Some(v) => {
+                // Morsel accounting is a pure function of the distinct-
+                // vertex count, independent of which path runs below.
+                let ranges = self.note_morsels(vertices.len());
                 let mut pvars = FxHashMap::default();
                 pvars.insert(v.clone(), 0usize);
-                for vertex in vertices {
-                    self.guard.checkpoint()?;
-                    exec_one(self, &[Binding::Vertex(vertex)], &pvars)?;
+                let workers = self.workers_for(vertices.len());
+                if workers > 1 && self.post_accum_parallel_exact(stmts) {
+                    // Morsel-parallel POST_ACCUM: legal only when every
+                    // statement `+=`-combines into an exact-merge
+                    // accumulator AND no expression reads an accumulator
+                    // this clause targets (a live read would observe
+                    // earlier vertices' writes under the sequential
+                    // per-vertex semantics). Workers fold into identity-
+                    // seeded partials; partials merge in ascending morsel
+                    // (= ascending vertex) order, reproducing the
+                    // sequential fold byte-for-byte.
+                    let mut names: Vec<&str> = Vec::new();
+                    for s in stmts {
+                        if let AccStmt::VAcc { name, .. } | AccStmt::GAcc { name, .. } = s {
+                            if !names.contains(&name.as_str()) {
+                                names.push(name);
+                            }
+                        }
+                    }
+                    let name_idx = |n: &str| -> usize {
+                        names.iter().position(|x| *x == n).expect("name interned above")
+                    };
+                    let v_types: Vec<Option<AccumType>> =
+                        names.iter().map(|n| self.vaccs.get(*n).map(|st| st.ty.clone())).collect();
+                    let g_types: Vec<Option<AccumType>> =
+                        names.iter().map(|n| self.gacc_types.get(*n).cloned()).collect();
+                    let registry = &self.eng.registry;
+                    let guard = self.guard;
+                    let vertices = &vertices;
+                    let pvars = &pvars;
+                    let v_types_ref = &v_types;
+                    let g_types_ref = &g_types;
+                    let run = dispatch(guard, workers, &ranges, |_, range| {
+                        let mut part = AccumPartial::default();
+                        for vi in range {
+                            guard.checkpoint()?;
+                            let bindings = [Binding::Vertex(vertices[vi])];
+                            let mut acc_locals: FxHashMap<String, Value> = FxHashMap::default();
+                            for stmt in stmts {
+                                let env = Env {
+                                    row: Some(RowRef {
+                                        vars: pvars,
+                                        bindings: Bindings::Row(&bindings),
+                                        tables: &[],
+                                    }),
+                                    acc_locals: Some(&acc_locals),
+                                    ..self.env()
+                                };
+                                match stmt {
+                                    AccStmt::LocalDecl { name, expr } => {
+                                        let val = eval(&env, expr)?;
+                                        acc_locals.insert(name.clone(), val);
+                                    }
+                                    AccStmt::VAcc { var: v2, name, expr, .. } => {
+                                        let value = eval(&env, expr)?;
+                                        let target = crate::eval::resolve_vertex(&env, v2)?;
+                                        fold_into_partial(
+                                            &mut part,
+                                            Emission {
+                                                target: EmitTarget::V {
+                                                    name: name_idx(name),
+                                                    vertex: target,
+                                                },
+                                                value,
+                                                combine: true,
+                                                mult: BigCount::one(),
+                                            },
+                                            v_types_ref,
+                                            g_types_ref,
+                                            registry,
+                                        )?;
+                                    }
+                                    AccStmt::GAcc { name, expr, .. } => {
+                                        let value = eval(&env, expr)?;
+                                        fold_into_partial(
+                                            &mut part,
+                                            Emission {
+                                                target: EmitTarget::G { name: name_idx(name) },
+                                                value,
+                                                combine: true,
+                                                mult: BigCount::one(),
+                                            },
+                                            v_types_ref,
+                                            g_types_ref,
+                                            registry,
+                                        )?;
+                                    }
+                                }
+                            }
+                        }
+                        Ok(part)
+                    })?;
+                    if self.prof.is_some() {
+                        self.prof_op_workers = run.per_worker.clone();
+                    }
+                    for part in run.results {
+                        self.merge_partial(part, &names)?;
+                    }
+                } else {
+                    for vertex in vertices {
+                        self.guard.checkpoint()?;
+                        exec_one(self, &[Binding::Vertex(vertex)], &pvars)?;
+                    }
                 }
             }
         }
         self.guard.note_accum_bytes(self.accum_footprint())?;
         Ok(())
+    }
+
+    /// Parallel gate for one POST_ACCUM clause: on top of the exact-merge
+    /// scatter gate ([`Runtime::accum_scatter_exact`]), no statement
+    /// expression may read an accumulator this clause also targets — a
+    /// live read observes earlier vertices' writes under the sequential
+    /// per-vertex semantics, so iteration order would matter. Snapshot
+    /// reads (`v.@a'`) are always safe.
+    fn post_accum_parallel_exact(&self, stmts: &[AccStmt]) -> bool {
+        if !self.accum_scatter_exact(stmts) {
+            return false;
+        }
+        let mut v_targets: Vec<&str> = Vec::new();
+        let mut g_targets: Vec<&str> = Vec::new();
+        for s in stmts {
+            match s {
+                AccStmt::VAcc { name, .. } => v_targets.push(name),
+                AccStmt::GAcc { name, .. } => g_targets.push(name),
+                AccStmt::LocalDecl { .. } => {}
+            }
+        }
+        let mut ok = true;
+        for s in stmts {
+            let expr = match s {
+                AccStmt::LocalDecl { expr, .. }
+                | AccStmt::VAcc { expr, .. }
+                | AccStmt::GAcc { expr, .. } => expr,
+            };
+            expr.walk(&mut |sub| match sub {
+                Expr::VAcc { name, prev: false, .. } if v_targets.contains(&name.as_str()) => {
+                    ok = false;
+                }
+                Expr::GAcc(name) if g_targets.contains(&name.as_str()) => {
+                    ok = false;
+                }
+                _ => {}
+            });
+        }
+        ok
     }
 
     // ---- outputs ----------------------------------------------------------------
@@ -2394,14 +2647,14 @@ impl<'e, 'g> Runtime<'e, 'g> {
         frag: &OutputFragment,
         var: &str,
         vars: &FxHashMap<String, usize>,
-        rows: &[BindingRow],
+        rows: &MorselTable,
         _tables: &[&Table],
     ) -> Result<Vec<VertexId>> {
         let col = vars[var];
         let mut seen = FxHashSet::default();
         let mut vs: Vec<VertexId> = Vec::new();
-        for row in rows {
-            if let Binding::Vertex(v) = row.bindings[col] {
+        for b in rows.col(col) {
+            if let Binding::Vertex(v) = *b {
                 if seen.insert(v) {
                     vs.push(v);
                 }
@@ -2416,7 +2669,11 @@ impl<'e, 'g> Runtime<'e, 'g> {
             for v in vs {
                 let bindings = [Binding::Vertex(v)];
                 let env = Env {
-                    row: Some(RowRef { vars: &pvars, bindings: &bindings, tables: &[] }),
+                    row: Some(RowRef {
+                        vars: &pvars,
+                        bindings: Bindings::Row(&bindings),
+                        tables: &[],
+                    }),
                     ..self.env()
                 };
                 let mut keys = Vec::with_capacity(block.order_by.len());
@@ -2440,7 +2697,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         block: &SelectBlock,
         frag: &OutputFragment,
         vars: &FxHashMap<String, usize>,
-        rows: &[BindingRow],
+        rows: &MorselTable,
         tables: &[&Table],
     ) -> Result<Table> {
         let name = frag.into.clone().unwrap_or_else(|| "RESULT".to_string());
@@ -2458,24 +2715,37 @@ impl<'e, 'g> Runtime<'e, 'g> {
             self.eval_grouped(block, frag, vars, rows, tables, &mut out)?;
         } else {
             // Plain projection (bag semantics: rows carry multiplicities).
+            // Cell and ORDER-BY-key evaluation runs morsel-parallel over
+            // the columnar table; multiplicity expansion, DISTINCT, sort
+            // and LIMIT stay sequential in ascending row order.
+            let ranges = self.note_morsels(rows.len());
+            let workers = self.workers_for(rows.len());
+            let guard = self.guard;
+            let run = dispatch(guard, workers, &ranges, |_, range| {
+                let mut out: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(range.len());
+                for r in range {
+                    let env = Env {
+                        row: Some(RowRef { vars, bindings: rows.bindings_at(r), tables }),
+                        ..self.env()
+                    };
+                    let mut cells = Vec::with_capacity(frag.items.len());
+                    for it in &frag.items {
+                        cells.push(eval(&env, &it.expr)?);
+                    }
+                    let mut keys = Vec::with_capacity(block.order_by.len());
+                    for o in &block.order_by {
+                        keys.push(eval(&env, &o.expr)?);
+                    }
+                    out.push((keys, cells));
+                }
+                Ok(out)
+            })?;
             let mut keyed: Vec<(Vec<Value>, Vec<Value>)> = Vec::new();
-            for row in rows {
-                let env = Env {
-                    row: Some(RowRef { vars, bindings: &row.bindings, tables }),
-                    ..self.env()
-                };
-                let mut cells = Vec::with_capacity(frag.items.len());
-                for it in &frag.items {
-                    cells.push(eval(&env, &it.expr)?);
-                }
-                let mut keys = Vec::with_capacity(block.order_by.len());
-                for o in &block.order_by {
-                    keys.push(eval(&env, &o.expr)?);
-                }
+            for (r, (keys, cells)) in run.results.into_iter().flatten().enumerate() {
                 let copies = if frag.distinct {
                     1
                 } else {
-                    row.mult.to_u64().filter(|m| *m <= ROW_EXPANSION_CAP).ok_or_else(|| {
+                    rows.mult(r).to_u64().filter(|m| *m <= ROW_EXPANSION_CAP).ok_or_else(|| {
                         Error::runtime(
                             "non-aggregate projection over a binding with huge multiplicity; \
                              aggregate it or use an enumerative semantics",
@@ -2510,7 +2780,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         block: &SelectBlock,
         frag: &OutputFragment,
         vars: &FxHashMap<String, usize>,
-        rows: &[BindingRow],
+        rows: &MorselTable,
         tables: &[&Table],
         out: &mut Table,
     ) -> Result<()> {
@@ -2539,18 +2809,43 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
         }
 
-        // Evaluate group keys per row once.
-        let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
-        for row in rows {
-            let env = Env {
-                row: Some(RowRef { vars, bindings: &row.bindings, tables }),
-                ..self.env()
-            };
-            let mut keys = Vec::with_capacity(gb.keys.len());
-            for k in &gb.keys {
-                keys.push(eval(&env, k)?);
+        // Evaluate group keys and aggregate arguments per row once,
+        // morsel-parallel over the columnar table (both are independent
+        // of group membership: aggregate arguments see no group context,
+        // so hoisting them out of the per-group loop is value-preserving).
+        let ranges = self.note_morsels(rows.len());
+        let workers = self.workers_for(rows.len());
+        let guard = self.guard;
+        let agg_exprs_ref = &agg_exprs;
+        let run = dispatch(guard, workers, &ranges, |_, range| {
+            let mut out: Vec<(Vec<Value>, Vec<Value>)> = Vec::with_capacity(range.len());
+            for r in range {
+                let env = Env {
+                    row: Some(RowRef { vars, bindings: rows.bindings_at(r), tables }),
+                    ..self.env()
+                };
+                let mut keys = Vec::with_capacity(gb.keys.len());
+                for k in &gb.keys {
+                    keys.push(eval(&env, k)?);
+                }
+                let mut avals = Vec::with_capacity(agg_exprs_ref.len());
+                for ae in agg_exprs_ref {
+                    let Expr::Call { args, star, .. } = ae else {
+                        return Err(Error::runtime("not an aggregate expression"));
+                    };
+                    // `count(*)` reads only multiplicities; the NULL
+                    // placeholder keeps positions aligned.
+                    avals.push(if *star { Value::Null } else { eval(&env, &args[0])? });
+                }
+                out.push((keys, avals));
             }
+            Ok(out)
+        })?;
+        let mut row_keys: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        let mut agg_vals: Vec<Vec<Value>> = Vec::with_capacity(rows.len());
+        for (keys, avals) in run.results.into_iter().flatten() {
             row_keys.push(keys);
+            agg_vals.push(avals);
         }
 
         let mut result_rows: Vec<(Vec<Value>, Vec<Value>)> = Vec::new(); // (order keys, cells)
@@ -2564,8 +2859,8 @@ impl<'e, 'g> Runtime<'e, 'g> {
             for (_gkey, members) in groups {
                 // Compute aggregates over the member rows.
                 let mut agg_values: Vec<Value> = Vec::with_capacity(agg_exprs.len());
-                for ae in &agg_exprs {
-                    agg_values.push(self.eval_aggregate(ae, &members, rows, vars, tables)?);
+                for (pos, ae) in agg_exprs.iter().enumerate() {
+                    agg_values.push(self.eval_aggregate(ae, pos, &members, rows, &agg_vals)?);
                 }
                 let rep = members[0];
                 // Resolver: grouped keys → their value; ungrouped keys →
@@ -2584,7 +2879,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                     None
                 };
                 let env = Env {
-                    row: Some(RowRef { vars, bindings: &rows[rep].bindings, tables }),
+                    row: Some(RowRef { vars, bindings: rows.bindings_at(rep), tables }),
                     agg: Some(&resolver),
                     ..self.env()
                 };
@@ -2621,16 +2916,18 @@ impl<'e, 'g> Runtime<'e, 'g> {
         Ok(())
     }
 
-    /// Computes one aggregate over a group, multiplicity-weighted.
+    /// Computes one aggregate over a group, multiplicity-weighted, from
+    /// the per-row argument values pre-evaluated during the morsel pass
+    /// (`agg_vals[row][pos]`).
     fn eval_aggregate(
         &self,
         expr: &Expr,
+        pos: usize,
         members: &[usize],
-        rows: &[BindingRow],
-        vars: &FxHashMap<String, usize>,
-        tables: &[&Table],
+        rows: &MorselTable,
+        agg_vals: &[Vec<Value>],
     ) -> Result<Value> {
-        let Expr::Call { func, args, star } = expr else {
+        let Expr::Call { func, star, .. } = expr else {
             return Err(Error::runtime("not an aggregate expression"));
         };
         let f = func.to_ascii_lowercase();
@@ -2638,32 +2935,27 @@ impl<'e, 'g> Runtime<'e, 'g> {
             // count(*): sum of multiplicities.
             let mut total = BigCount::zero();
             for &i in members {
-                total.add_assign(&rows[i].mult);
+                total.add_assign(rows.mult(i));
             }
             return Ok(total
                 .to_i64()
                 .map(Value::Int)
                 .unwrap_or_else(|| Value::Str(total.to_string())));
         }
-        let arg = &args[0];
         let mut count = BigCount::zero();
         let mut sum = 0.0f64;
         let mut min: Option<Value> = None;
         let mut max: Option<Value> = None;
         for &i in members {
-            let env = Env {
-                row: Some(RowRef { vars, bindings: &rows[i].bindings, tables }),
-                ..self.env()
-            };
-            let v = eval(&env, arg)?;
+            let v = agg_vals[i][pos].clone();
             if matches!(v, Value::Null) {
                 continue;
             }
-            count.add_assign(&rows[i].mult);
+            count.add_assign(rows.mult(i));
             match f.as_str() {
                 "sum" | "avg" => {
                     let x = v.as_f64().ok_or_else(|| Error::type_error("numeric", &v))?;
-                    sum += x * rows[i].mult.to_f64();
+                    sum += x * rows.mult(i).to_f64();
                 }
                 "min"
                     if min.as_ref().is_none_or(|m| v < *m) => {
@@ -2738,9 +3030,9 @@ fn fresh_anon(counter: &mut usize) -> String {
     format!("$anon{counter}")
 }
 
-fn vertex_at(row: &BindingRow, col: usize, ctx: &str) -> Result<VertexId> {
-    match row.bindings[col] {
-        Binding::Vertex(v) => Ok(v),
+fn vertex_at(rows: &MorselTable, row: usize, col: usize, ctx: &str) -> Result<VertexId> {
+    match rows.binding(row, col) {
+        Binding::Vertex(v) => Ok(*v),
         _ => Err(Error::runtime(format!("pattern source for `{ctx}` is not a vertex"))),
     }
 }
@@ -2809,19 +3101,22 @@ fn is_aggregate_call(e: &Expr) -> bool {
 fn vertex_fragment_var(
     frag: &OutputFragment,
     vars: &FxHashMap<String, usize>,
-    rows: &[BindingRow],
+    rows: &MorselTable,
 ) -> Option<String> {
     if frag.items.len() != 1 || frag.items[0].alias.is_some() {
         return None;
     }
     let Expr::Ident(name) = &frag.items[0].expr else { return None };
     let col = *vars.get(name)?;
+    if rows.is_empty() {
+        return Some(name.clone()); // empty result set: vacuously a vertex set
+    }
+    if col >= rows.width() {
+        return None;
+    }
     // Inspect any row to confirm the column holds vertices (all rows of a
     // column share a binding kind).
-    match rows.first() {
-        Some(r) => matches!(r.bindings.get(col), Some(Binding::Vertex(_))).then(|| name.clone()),
-        None => Some(name.clone()), // empty result set: vacuously a vertex set
-    }
+    matches!(rows.col(col).first(), Some(Binding::Vertex(_))).then(|| name.clone())
 }
 
 fn column_label(e: &Expr, i: usize) -> String {

@@ -146,6 +146,11 @@ pub struct ResourceReport {
     pub peak_accum_bytes: u64,
     /// WHILE-loop iterations executed, cumulative.
     pub while_iterations: u64,
+    /// Morsels dispatched by the vectorized operators (ACCUM/POST_ACCUM,
+    /// WHERE filters, group-by/projection evaluation), cumulative. A
+    /// pure function of table sizes and the configured morsel size —
+    /// identical at any parallelism or shard count.
+    pub morsels_dispatched: u64,
     /// Wall-clock time from `Engine::run` entry to the snapshot.
     pub elapsed: Duration,
     /// Per-shard breakdown of kernel work; empty unless the query ran on
@@ -225,6 +230,7 @@ pub struct QueryGuard {
     edges: AtomicU64,
     peak_bytes: AtomicU64,
     while_iters: AtomicU64,
+    morsels: AtomicU64,
     /// One slot per shard when executing on the scatter-gather path
     /// (empty otherwise) — the per-shard sub-governors. Kernel work is
     /// charged to its shard's slot *in addition to* the global counters;
@@ -261,6 +267,7 @@ impl QueryGuard {
             edges: AtomicU64::new(0),
             peak_bytes: AtomicU64::new(0),
             while_iters: AtomicU64::new(0),
+            morsels: AtomicU64::new(0),
             shard_slots: Vec::new(),
         }
     }
@@ -299,6 +306,7 @@ impl QueryGuard {
             edges_scanned: self.edges.load(Ordering::Relaxed),
             peak_accum_bytes: self.peak_bytes.load(Ordering::Relaxed),
             while_iterations: self.while_iters.load(Ordering::Relaxed),
+            morsels_dispatched: self.morsels.load(Ordering::Relaxed),
             elapsed: self.start.elapsed(),
             shards: self
                 .shard_slots
@@ -433,6 +441,18 @@ impl QueryGuard {
             }
         }
         Ok(())
+    }
+
+    /// Accounts `n` morsels handed to the vectorized-operator dispatch
+    /// loop. Pure accounting (no budget dimension limits morsels): the
+    /// total feeds [`ResourceReport`] and server metrics, and — being a
+    /// pure function of table sizes and the configured morsel size — is
+    /// identical at any parallelism or shard count.
+    #[inline]
+    pub fn note_morsels(&self, n: u64) {
+        if n != 0 {
+            self.morsels.fetch_add(n, Ordering::Relaxed);
+        }
     }
 
     /// Accounts `vertices` vertex visits and `edges` adjacency-entry
@@ -583,6 +603,7 @@ mod tests {
             edges_scanned: 7,
             peak_accum_bytes: 64 * 1024,
             while_iterations: 0,
+            morsels_dispatched: 0,
             elapsed: Duration::from_millis(1500),
             shards: Vec::new(),
         };

@@ -63,6 +63,7 @@ pub mod explain;
 pub mod governor;
 pub mod lexer;
 pub mod lint;
+pub mod morsel;
 pub mod parser;
 pub mod plan;
 pub mod prepared;
@@ -77,6 +78,7 @@ pub use exec::{Engine, QueryOutput, ReturnValue};
 pub use explain::{explain, explain_plan, Plan, PlanNode};
 pub use governor::{Budget, CancelHandle, QueryGuard, ResourceReport, ShardReport};
 pub use lint::{lint_query, lint_query_with, Diagnostic, Severity};
+pub use morsel::{MorselTable, DEFAULT_MORSEL_SIZE};
 pub use parser::{parse_query, parse_query_with_mode, QueryMode};
 pub use plan::{BlockPlan, HopStrategy, QueryPlan};
 pub use prepared::{BindError, BindErrorKind, PreparedQuery};

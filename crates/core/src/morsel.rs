@@ -1,0 +1,380 @@
+//! Columnar morsels: the chunked binding-table representation and the
+//! work-stealing dispatch loop that drives vectorized execution.
+//!
+//! The binding table is stored **column-major** ([`MorselTable`]): one
+//! `Vec<Binding>` per FROM variable plus a parallel multiplicity vector.
+//! Operators that walk one variable (hop expansion reading the source
+//! column, WHERE residuals probing a single binding) scan a contiguous
+//! slice instead of striding across row structs, and producing a new
+//! table is a *gather*: record a selection vector of surviving source
+//! rows ([`MorselBuilder`]), then materialize each output column in one
+//! sequential pass.
+//!
+//! Parallel operators split the table into **morsels** — contiguous row
+//! ranges of [`Engine::morsel_size`](crate::Engine::with_morsel_size)
+//! rows (default [`DEFAULT_MORSEL_SIZE`]) — and feed them to
+//! `dispatch`: scoped workers steal morsel indices from a shared
+//! atomic counter, results land in a slot per morsel, and the caller
+//! consumes them in ascending morsel order. Ascending-order consumption
+//! is what keeps every merge deterministic: the sequence of
+//! accumulator-partial merges (ACCUM/POST_ACCUM) or row-result
+//! concatenations (filters, projections, group keys) is a pure function
+//! of the table, never of worker timing — the engine's byte-identical-
+//! at-any-parallelism invariant (see `docs/EXECUTION.md`).
+//!
+//! Error semantics mirror the kernel fan-out in `exec.rs`: the shared
+//! [`QueryGuard`] is checkpointed at every morsel boundary (cancellation
+//! and budget trips stay prompt mid-clause), a panicking worker poisons
+//! the guard and surfaces as a structured `WorkerPanic` that outranks
+//! ordinary errors, and otherwise the error from the smallest morsel
+//! index wins — the same failure the sequential fold would have hit
+//! first.
+
+use crate::error::{Error, Result};
+use crate::eval::Binding;
+use crate::governor::QueryGuard;
+use pgraph::bigcount::BigCount;
+use std::ops::Range;
+
+/// Default rows per morsel. Large enough that the steal counter and the
+/// per-morsel checkpoint are noise, small enough that a table split
+/// across workers load-balances (~1024 bindings, the classic
+/// morsel-driven sweet spot).
+pub const DEFAULT_MORSEL_SIZE: usize = 1024;
+
+/// Column-major binding table: `cols[c][r]` is row `r`'s binding for
+/// FROM variable `c`, and `mults[r]` is the row's multiplicity (the
+/// compressed path-count representation of Appendix A). All columns
+/// have exactly `mults.len()` entries.
+#[derive(Debug, Clone, Default)]
+pub struct MorselTable {
+    cols: Vec<Vec<Binding>>,
+    mults: Vec<BigCount>,
+}
+
+impl MorselTable {
+    /// The FROM-matching seed: one row binding nothing, multiplicity 1
+    /// (the unit of the cross-product the FROM items build up).
+    pub fn unit() -> Self {
+        MorselTable { cols: Vec::new(), mults: vec![BigCount::one()] }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.mults.len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.mults.is_empty()
+    }
+
+    /// Number of bound variables (columns).
+    pub fn width(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// One whole column as a contiguous slice — the columnar access
+    /// pattern hop expansion and single-variable filters scan.
+    pub fn col(&self, c: usize) -> &[Binding] {
+        &self.cols[c]
+    }
+
+    /// The binding of row `row` for variable column `col`.
+    pub fn binding(&self, row: usize, col: usize) -> &Binding {
+        &self.cols[col][row]
+    }
+
+    /// Row `row`'s multiplicity.
+    pub fn mult(&self, row: usize) -> &BigCount {
+        &self.mults[row]
+    }
+
+    /// A borrowed row view for expression evaluation (no row
+    /// materialization: the evaluator indexes straight into the
+    /// columns).
+    pub fn bindings_at(&self, row: usize) -> crate::eval::Bindings<'_> {
+        crate::eval::Bindings::Columnar { cols: &self.cols, row }
+    }
+}
+
+/// Builds a [`MorselTable`] derived from a source table by *gather*:
+/// callers push `(source row, appended bindings, multiplicity)` triples
+/// in output order; [`MorselBuilder::finish`] then materializes every
+/// inherited column in one pass over the selection vector. Filters push
+/// surviving rows with no extras; expansions (vertex bind, table scan,
+/// hop) push one output row per extension with the new column(s)'
+/// bindings as extras.
+pub struct MorselBuilder<'a> {
+    src: &'a MorselTable,
+    /// Selection vector: source row index per output row.
+    sel: Vec<usize>,
+    /// Data for the appended columns, one `Vec` per new column.
+    extra: Vec<Vec<Binding>>,
+    mults: Vec<BigCount>,
+}
+
+impl<'a> MorselBuilder<'a> {
+    /// A builder deriving from `src` and appending `n_extra` new
+    /// columns.
+    pub fn new(src: &'a MorselTable, n_extra: usize) -> Self {
+        MorselBuilder {
+            src,
+            sel: Vec::new(),
+            extra: (0..n_extra).map(|_| Vec::new()).collect(),
+            mults: Vec::new(),
+        }
+    }
+
+    /// Appends an output row inheriting `src_row`'s bindings, extending
+    /// it with `extras` (one binding per appended column, in column
+    /// order) at multiplicity `mult`.
+    pub fn push(&mut self, src_row: usize, extras: &[Binding], mult: BigCount) {
+        debug_assert_eq!(extras.len(), self.extra.len());
+        self.sel.push(src_row);
+        for (col, b) in self.extra.iter_mut().zip(extras) {
+            col.push(*b);
+        }
+        self.mults.push(mult);
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Gathers the inherited columns through the selection vector and
+    /// appends the new columns, yielding the output table.
+    pub fn finish(self) -> MorselTable {
+        let mut cols: Vec<Vec<Binding>> = Vec::with_capacity(self.src.width() + self.extra.len());
+        for src_col in &self.src.cols {
+            // Contiguous write per column; the read side walks the
+            // selection vector once per column, staying in one array.
+            cols.push(self.sel.iter().map(|&r| src_col[r]).collect());
+        }
+        cols.extend(self.extra);
+        MorselTable { cols, mults: self.mults }
+    }
+}
+
+/// Splits `len` rows into contiguous morsel ranges of at most `size`
+/// rows (the final morsel may be short). `len == 0` yields no morsels.
+pub fn morsel_ranges(len: usize, size: usize) -> Vec<Range<usize>> {
+    let size = size.max(1);
+    (0..len.div_ceil(size)).map(|i| (i * size)..((i + 1) * size).min(len)).collect()
+}
+
+/// The outcome of a [`dispatch`] run.
+#[derive(Debug)]
+pub(crate) struct MorselRun<T> {
+    /// One result per morsel, in ascending morsel order.
+    pub results: Vec<T>,
+    /// Morsels completed per worker (the PROFILE `workers` distribution;
+    /// varies with timing and is never consulted for results).
+    pub per_worker: Vec<u64>,
+}
+
+/// Runs `work(morsel_index, row_range)` over every morsel on up to
+/// `workers` scoped threads stealing morsel indices from a shared
+/// counter. `workers <= 1` (or a single morsel) runs inline on the
+/// caller's thread — the same loop shape, so counters and error choice
+/// are identical at any worker count.
+///
+/// The guard is checkpointed before each morsel. On failure the error
+/// for the smallest morsel index is returned (a `WorkerPanic` outranks
+/// ordinary errors and poisons the guard, stopping siblings at their
+/// next checkpoint).
+pub(crate) fn dispatch<T, F>(
+    guard: &QueryGuard,
+    workers: usize,
+    ranges: &[Range<usize>],
+    work: F,
+) -> Result<MorselRun<T>>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> Result<T> + Sync,
+{
+    let n = ranges.len();
+    if n == 0 {
+        return Ok(MorselRun { results: Vec::new(), per_worker: Vec::new() });
+    }
+    let nworkers = workers.max(1).min(n);
+    if nworkers == 1 {
+        let mut results = Vec::with_capacity(n);
+        for (i, r) in ranges.iter().enumerate() {
+            guard.checkpoint()?;
+            results.push(work(i, r.clone())?);
+        }
+        return Ok(MorselRun { results, per_worker: vec![n as u64] });
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    type Done<T> = Vec<(usize, Result<T>)>;
+    let outs: Vec<Done<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..nworkers)
+            .map(|_| {
+                let next = &next;
+                let work = &work;
+                s.spawn(move || -> Done<T> {
+                    let mut done: Done<T> = Vec::new();
+                    let caught =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let r = guard
+                                .checkpoint()
+                                .and_then(|()| work(i, ranges[i].clone()));
+                            let failed = r.is_err();
+                            done.push((i, r));
+                            if failed {
+                                break;
+                            }
+                        }));
+                    if let Err(payload) = caught {
+                        guard.poison();
+                        done.push((usize::MAX, Err(guard.worker_panic_error(payload.as_ref()))));
+                    }
+                    done
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|_| {
+                    vec![(usize::MAX, Err(Error::runtime("morsel worker panicked")))]
+                })
+            })
+            .collect()
+    });
+    let mut per_worker = vec![0u64; nworkers];
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut first_err: Option<(usize, Error)> = None;
+    for (w, done) in outs.into_iter().enumerate() {
+        for (i, r) in done {
+            match r {
+                Ok(t) => {
+                    per_worker[w] += 1;
+                    slots[i] = Some(t);
+                }
+                Err(e) => {
+                    let replace = match &first_err {
+                        None => true,
+                        Some((pi, pe)) => {
+                            if pe.kind() == crate::error::ErrorKind::WorkerPanic {
+                                false
+                            } else if e.kind() == crate::error::ErrorKind::WorkerPanic {
+                                true
+                            } else {
+                                i < *pi
+                            }
+                        }
+                    };
+                    if replace {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(MorselRun {
+        results: slots
+            .into_iter()
+            .map(|s| s.expect("morsel completed without result or error"))
+            .collect(),
+        per_worker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::governor::{Budget, CancelHandle};
+    use pgraph::graph::VertexId;
+
+    fn guard() -> QueryGuard {
+        QueryGuard::new(Budget::default(), CancelHandle::new())
+    }
+
+    #[test]
+    fn ranges_cover_exactly_once() {
+        for (len, size) in [(0usize, 4usize), (1, 4), (4, 4), (5, 4), (1023, 1024), (1025, 1024)] {
+            let rs = morsel_ranges(len, size);
+            let total: usize = rs.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len, "len={len} size={size}");
+            for w in rs.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+            }
+            if len > 0 {
+                assert_eq!(rs[0].start, 0);
+                assert_eq!(rs.last().unwrap().end, len);
+            }
+        }
+    }
+
+    #[test]
+    fn builder_gathers_columns_and_extras() {
+        let mut src = MorselTable::unit();
+        {
+            let mut b = MorselBuilder::new(&src, 1);
+            for v in 0..4u32 {
+                b.push(0, &[Binding::Vertex(VertexId(v))], BigCount::one());
+            }
+            src = b.finish();
+        }
+        assert_eq!(src.len(), 4);
+        assert_eq!(src.width(), 1);
+        // Filter to even vertices, appending a second column.
+        let mut b = MorselBuilder::new(&src, 1);
+        for r in 0..src.len() {
+            if let Binding::Vertex(v) = src.binding(r, 0) {
+                if v.0 % 2 == 0 {
+                    b.push(r, &[Binding::Vertex(VertexId(v.0 + 10))], src.mult(r).clone());
+                }
+            }
+        }
+        let out = b.finish();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.width(), 2);
+        assert_eq!(out.col(0), &[Binding::Vertex(VertexId(0)), Binding::Vertex(VertexId(2))]);
+        assert_eq!(out.col(1), &[Binding::Vertex(VertexId(10)), Binding::Vertex(VertexId(12))]);
+    }
+
+    #[test]
+    fn dispatch_results_are_in_morsel_order_at_any_worker_count() {
+        let g = guard();
+        let ranges = morsel_ranges(100, 7);
+        for workers in [1, 2, 8] {
+            let run = dispatch(&g, workers, &ranges, |i, r| Ok((i, r.len()))).unwrap();
+            let idxs: Vec<usize> = run.results.iter().map(|(i, _)| *i).collect();
+            assert_eq!(idxs, (0..ranges.len()).collect::<Vec<_>>());
+            assert_eq!(run.per_worker.iter().sum::<u64>(), ranges.len() as u64);
+        }
+    }
+
+    #[test]
+    fn dispatch_smallest_morsel_error_wins() {
+        let g = guard();
+        let ranges = morsel_ranges(64, 4);
+        for workers in [1, 4] {
+            let err = dispatch(&g, workers, &ranges, |i, _| -> Result<()> {
+                if i >= 3 {
+                    Err(Error::runtime(format!("boom at {i}")))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+            assert!(err.to_string().contains("boom at 3"), "workers={workers}: {err}");
+        }
+    }
+}

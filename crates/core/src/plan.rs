@@ -711,6 +711,71 @@ fn choose_from_order(
     }
 }
 
+/// Plan-time mirror of the runtime exact-merge scatter gate: true when
+/// every statement `+=`-combines into an accumulator whose declared
+/// type merges exactly ([`AccumType::is_exact_merge`]). Decides the
+/// ACCUM strategy annotation shown by EXPLAIN; the executor re-checks
+/// the same condition against its live stores at run time.
+fn accum_exact_merge(stmts: &[AccStmt], st: &LowerState<'_, '_>) -> bool {
+    let registry = accum::UserAccumRegistry::new();
+    stmts.iter().all(|s| {
+        let key = match s {
+            AccStmt::LocalDecl { .. } => return true,
+            AccStmt::VAcc { name, combine, .. } => {
+                if !combine {
+                    return false;
+                }
+                format!("@{name}")
+            }
+            AccStmt::GAcc { name, combine, .. } => {
+                if !combine {
+                    return false;
+                }
+                format!("@@{name}")
+            }
+        };
+        st.accum_types.get(&key).is_some_and(|ty| ty.is_exact_merge(&registry))
+    })
+}
+
+/// Plan-time mirror of the runtime POST_ACCUM parallel gate: the
+/// exact-merge condition plus no statement expression reading an
+/// accumulator the clause also targets live (snapshot reads `v.@a'`
+/// are safe — a live read would observe earlier vertices' writes under
+/// the sequential per-vertex semantics).
+fn post_accum_parallel(stmts: &[AccStmt], st: &LowerState<'_, '_>) -> bool {
+    if !accum_exact_merge(stmts, st) {
+        return false;
+    }
+    let mut v_targets: Vec<&str> = Vec::new();
+    let mut g_targets: Vec<&str> = Vec::new();
+    for s in stmts {
+        match s {
+            AccStmt::VAcc { name, .. } => v_targets.push(name),
+            AccStmt::GAcc { name, .. } => g_targets.push(name),
+            AccStmt::LocalDecl { .. } => {}
+        }
+    }
+    let mut ok = true;
+    for s in stmts {
+        let expr = match s {
+            AccStmt::LocalDecl { expr, .. }
+            | AccStmt::VAcc { expr, .. }
+            | AccStmt::GAcc { expr, .. } => expr,
+        };
+        expr.walk(&mut |sub| match sub {
+            Expr::VAcc { name, prev: false, .. } if v_targets.contains(&name.as_str()) => {
+                ok = false;
+            }
+            Expr::GAcc(name) if g_targets.contains(&name.as_str()) => {
+                ok = false;
+            }
+            _ => {}
+        });
+    }
+    ok
+}
+
 /// Lowers one SELECT block: produces the renderable node, the
 /// executable [`BlockPlan`], and the estimated output cardinality.
 fn lower_block(
@@ -993,9 +1058,17 @@ fn lower_block(
         node.children.push(f);
     }
     if !block.accum.is_empty() {
+        let strategy = if accum_exact_merge(&block.accum, st) {
+            "morsel-parallel exact-merge fold"
+        } else {
+            "sequential emission fold"
+        };
         let mut a = PlanNode::new(
             "accum",
-            format!("ACCUM: {} statement(s), snapshot Map/Reduce", block.accum.len()),
+            format!(
+                "ACCUM: {} statement(s), snapshot Map/Reduce, {strategy}",
+                block.accum.len()
+            ),
         );
         if with_est {
             annotate(&mut a, rows, rows * block.accum.len() as f64);
@@ -1003,9 +1076,14 @@ fn lower_block(
         node.children.push(a);
     }
     if !block.post_accum.is_empty() {
+        let strategy = if post_accum_parallel(&block.post_accum, st) {
+            "morsel-parallel fold"
+        } else {
+            "sequential per-vertex apply"
+        };
         let mut a = PlanNode::new(
             "post-accum",
-            format!("POST_ACCUM: {} statement(s)", block.post_accum.len()),
+            format!("POST_ACCUM: {} statement(s), {strategy}", block.post_accum.len()),
         );
         if with_est {
             annotate(&mut a, rows, rows * block.post_accum.len() as f64);

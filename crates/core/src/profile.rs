@@ -59,6 +59,10 @@ pub struct ProfileNode {
     pub paths_enumerated: u64,
     /// ACCUM-clause executions within this span.
     pub acc_executions: u64,
+    /// Morsels dispatched by vectorized operators within this span (a
+    /// pure function of table sizes and the configured morsel size —
+    /// identical at any parallelism; see `docs/EXECUTION.md`).
+    pub morsels: u64,
     /// Kleene-hop reach-cache lookups that found a precomputed entry
     /// (including entries warmed by the parallel kernel fan-out).
     pub cache_hits: u64,
@@ -192,6 +196,9 @@ fn render_into(node: &ProfileNode, depth: usize, out: &mut String) {
     if node.acc_executions > 0 {
         parts.push(format!("acc {}", node.acc_executions));
     }
+    if node.morsels > 0 {
+        parts.push(format!("morsels {}", node.morsels));
+    }
     if node.cache_hits + node.cache_misses > 0 {
         parts.push(format!("cache {}/{}", node.cache_hits, node.cache_misses));
     }
@@ -221,7 +228,7 @@ fn node_json(out: &mut String, node: &ProfileNode) {
         out,
         ",\"calls\":{},\"wall_us\":{},\"rows\":{},\"vertices_touched\":{},\
          \"edges_scanned\":{},\"kernel_calls\":{},\"paths_enumerated\":{},\
-         \"acc_executions\":{},\"cache_hits\":{},\"cache_misses\":{},\
+         \"acc_executions\":{},\"morsels\":{},\"cache_hits\":{},\"cache_misses\":{},\
          \"accum_bytes\":{}",
         node.calls,
         node.wall.as_micros(),
@@ -231,6 +238,7 @@ fn node_json(out: &mut String, node: &ProfileNode) {
         node.kernel_calls,
         node.paths_enumerated,
         node.acc_executions,
+        node.morsels,
         node.cache_hits,
         node.cache_misses,
         node.accum_bytes,
@@ -426,6 +434,7 @@ fn accumulate(into: &mut MatchStats, now: &MatchStats, base: &MatchStats) {
     into.acc_executions += now.acc_executions.saturating_sub(base.acc_executions);
     into.vertices_touched += now.vertices_touched.saturating_sub(base.vertices_touched);
     into.edges_scanned += now.edges_scanned.saturating_sub(base.edges_scanned);
+    into.morsels_dispatched += now.morsels_dispatched.saturating_sub(base.morsels_dispatched);
 }
 
 fn build(nodes: &[Collected], i: usize) -> ProfileNode {
@@ -445,6 +454,7 @@ fn build(nodes: &[Collected], i: usize) -> ProfileNode {
         kernel_calls: n.stats.kernel_calls,
         paths_enumerated: n.stats.paths_enumerated,
         acc_executions: n.stats.acc_executions,
+        morsels: n.stats.morsels_dispatched,
         cache_hits: n.extra.cache_hits,
         cache_misses: n.extra.cache_misses,
         accum_bytes: n.extra.accum_bytes,

@@ -104,6 +104,11 @@ pub struct MatchStats {
     pub vertices_touched: u64,
     /// Adjacency entries examined by scans and kernels.
     pub edges_scanned: u64,
+    /// Morsels dispatched by the vectorized operators (ACCUM/POST_ACCUM,
+    /// WHERE filters, group-by/projection evaluation). A pure function
+    /// of table sizes and the configured morsel size — identical at any
+    /// parallelism or shard count.
+    pub morsels_dispatched: u64,
 }
 
 impl MatchStats {
@@ -119,6 +124,7 @@ impl MatchStats {
         self.acc_executions += other.acc_executions;
         self.vertices_touched += other.vertices_touched;
         self.edges_scanned += other.edges_scanned;
+        self.morsels_dispatched += other.morsels_dispatched;
     }
 }
 

@@ -128,6 +128,7 @@ pub struct Metrics {
     while_total: AtomicU64,
     vertices_total: AtomicU64,
     edges_total: AtomicU64,
+    morsels_total: AtomicU64,
     peak_accum_bytes: AtomicU64,
     /// Per-operator totals folded from every profiled run (`x-gsql-profile`
     /// requests): operator name → (calls, exclusive self wall-time µs).
@@ -155,6 +156,7 @@ impl Metrics {
         self.while_total.fetch_add(r.while_iterations, Ordering::Relaxed);
         self.vertices_total.fetch_add(r.vertices_touched, Ordering::Relaxed);
         self.edges_total.fetch_add(r.edges_scanned, Ordering::Relaxed);
+        self.morsels_total.fetch_add(r.morsels_dispatched, Ordering::Relaxed);
         if let Some(hot) = r.shards.iter().map(|s| s.busy_ns).max() {
             self.hot_shard_busy_ns.fetch_add(hot, Ordering::Relaxed);
         }
@@ -220,6 +222,7 @@ impl Metrics {
                     ("while_iterations".into(), load(&self.while_total)),
                     ("vertices_touched".into(), load(&self.vertices_total)),
                     ("edges_scanned".into(), load(&self.edges_total)),
+                    ("morsels_dispatched".into(), load(&self.morsels_total)),
                     ("peak_accum_bytes".into(), load(&self.peak_accum_bytes)),
                 ]),
             ),

@@ -158,6 +158,143 @@ fn mid_kernel_cancellation_is_honored_at_any_parallelism() {
     }
 }
 
+// ---- morsel boundaries ------------------------------------------------------
+//
+// The vectorized row loop splits binding tables into fixed-size morsels
+// (`Engine::with_morsel_size`); these tests pin its edge cases. Note:
+// `morsels_dispatched` is a pure function of table sizes and the morsel
+// size, so full-stats equality (`assert_identical`) only applies between
+// runs with the SAME morsel size; across sizes we compare outputs.
+
+/// An aggregation workload whose ACCUM targets are all exact-merge
+/// (integer sums), so the morsel-parallel partial fold is active.
+fn exact_merge_workload() -> &'static str {
+    r#"
+        CREATE QUERY MorselExact () {
+          SumAccum<int> @hits;
+          SumAccum<int> @@total;
+          R = SELECT t FROM V:s -(E>)- V:t ACCUM t.@hits += 1, @@total += 1;
+          S = SELECT t FROM R:t WHERE t.@hits > 1 POST_ACCUM @@total += t.@hits;
+          PRINT S.size();
+          PRINT @@total;
+        }
+    "#
+}
+
+#[test]
+fn empty_binding_table_dispatches_no_morsels() {
+    let g = erdos_renyi(600, 3.0 / 600.0, 5);
+    let q = r#"
+        CREATE QUERY Empty () {
+          SumAccum<int> @@total;
+          R = SELECT t FROM V:s -(E>)- V:t WHERE false ACCUM @@total += 1;
+          PRINT R.size();
+          PRINT @@total;
+        }
+    "#;
+    let reference = Engine::new(&g).with_parallelism(1).run_text(q, &[]).unwrap();
+    assert_eq!(reference.prints, vec!["R.size() = 0", "@@total = 0"]);
+    for threads in [2usize, 8] {
+        let out = Engine::new(&g).with_parallelism(threads).run_text(q, &[]).unwrap();
+        assert_identical(&reference, &out, &format!("empty threads={threads}"));
+    }
+}
+
+#[test]
+fn morsel_size_one_is_output_invariant() {
+    let g = erdos_renyi(700, 4.0 / 700.0, 13);
+    let q = exact_merge_workload();
+    let reference = Engine::new(&g).with_parallelism(1).run_text(q, &[]).unwrap();
+    for threads in [1usize, 2, 8] {
+        let out = Engine::new(&g)
+            .with_parallelism(threads)
+            .with_morsel_size(1)
+            .run_text(q, &[])
+            .unwrap();
+        assert_eq!(reference.prints, out.prints, "morsel=1 threads={threads}");
+        assert_eq!(reference.tables, out.tables, "morsel=1 threads={threads}");
+    }
+}
+
+#[test]
+fn single_morsel_table_is_output_invariant() {
+    // A morsel size far above the row count puts the whole binding table
+    // in exactly one morsel: the multi-worker dispatch degenerates to one
+    // busy worker and must still match the sequential fold.
+    let g = erdos_renyi(700, 4.0 / 700.0, 13);
+    let q = exact_merge_workload();
+    let reference = Engine::new(&g).with_parallelism(1).run_text(q, &[]).unwrap();
+    for threads in [1usize, 2, 8] {
+        let out = Engine::new(&g)
+            .with_parallelism(threads)
+            .with_morsel_size(1 << 24)
+            .run_text(q, &[])
+            .unwrap();
+        assert_eq!(reference.prints, out.prints, "one-morsel threads={threads}");
+        assert_eq!(reference.tables, out.tables, "one-morsel threads={threads}");
+    }
+}
+
+#[test]
+fn non_exact_merge_fallback_is_thread_count_invariant() {
+    // Float sums do not merge exactly, so the ACCUM falls back to the
+    // sequential row-order Reduce; the Map phase still fans out over
+    // morsels. Output must be byte-identical at any thread count and any
+    // morsel size — the reduce order never changes.
+    let g = random_sales_graph(2_000, 200, 6, 9);
+    let q = r#"
+        CREATE QUERY FloatFold () {
+          SumAccum<float> @@revenue;
+          AvgAccum @@avg_qty;
+          R = SELECT c FROM Customer:c -(Bought>:b)- Product:p
+              ACCUM @@revenue += b.quantity * p.list_price * (1.0 - b.discount),
+                    @@avg_qty += b.quantity;
+          PRINT @@revenue;
+          PRINT @@avg_qty;
+        }
+    "#;
+    let reference = Engine::new(&g).with_parallelism(1).run_text(q, &[]).unwrap();
+    for (threads, morsel) in [(2usize, 7usize), (8, 64), (8, 1)] {
+        let out = Engine::new(&g)
+            .with_parallelism(threads)
+            .with_morsel_size(morsel)
+            .run_text(q, &[])
+            .unwrap();
+        assert_eq!(
+            reference.prints, out.prints,
+            "float fallback threads={threads} morsel={morsel}"
+        );
+    }
+}
+
+#[test]
+fn mid_morsel_cancellation_is_honored() {
+    // Morsel size 1 maximizes per-morsel guard checkpoints; cancel while
+    // the morsel loop is running and require a structured Cancelled error
+    // (or a legitimately fast Ok) at every thread count.
+    let g = erdos_renyi(1500, 6.0 / 1500.0, 3);
+    let q = r#"
+        CREATE QUERY Fanout () {
+          SumAccum<int> @hits;
+          R = SELECT t FROM V:s -(E>*)- V:t ACCUM t.@hits += 1;
+          PRINT R.size();
+        }
+    "#;
+    for threads in [1usize, 2, 8] {
+        let engine = Engine::new(&g).with_parallelism(threads).with_morsel_size(1);
+        let handle = engine.cancel_handle();
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            handle.cancel();
+        });
+        let result = engine.run_text(q, &[]);
+        canceller.join().unwrap();
+        if let Err(e) = result {
+            assert_eq!(e.kind(), ErrorKind::Cancelled, "threads={threads}");
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
