@@ -59,9 +59,12 @@
 //! 1.2M paths enumerated, ...`.
 
 use bench::harness::parse_duration;
-use gsql_core::lint::{has_errors, render_error_snippet, render_json, render_text};
+use gsql_core::lint::{
+    budget_findings, has_errors, lint_query_and_facts, render_error_snippet, render_json,
+    render_text, QueryFacts,
+};
 use gsql_core::{
-    lint_query, parse_query_with_mode, parser::parse_semantics, Budget, Engine, QueryMode,
+    parse_query_with_mode, parser::parse_semantics, Budget, Engine, QueryMode,
     ReturnValue, Severity,
 };
 use pgraph::graph::{Graph, VertexId};
@@ -321,6 +324,24 @@ fn load_graph(spec: &str) -> Result<Graph, String> {
     }
 }
 
+/// One-line human summary of the pass-6 abstract-interpretation facts,
+/// printed by `CHECK` in text mode (the `--json` form embeds the full
+/// schema-stable object under `facts`).
+fn facts_summary(facts: &QueryFacts) -> String {
+    let blocks = facts.blocks.len();
+    let accum = facts.blocks.iter().filter(|b| b.accum_parallel).count();
+    let post = facts.blocks.iter().filter(|b| b.post_accum_parallel).count();
+    let iters = if facts.min_while_iters == u64::MAX {
+        "unbounded".to_string()
+    } else {
+        facts.min_while_iters.to_string()
+    };
+    format!(
+        "facts: {blocks} block(s); proven parallel ACCUM {accum}/{blocks}, \
+         POST_ACCUM {post}/{blocks}; min WHILE iterations {iters}"
+    )
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut graph_spec: Option<String> = None;
@@ -423,18 +444,28 @@ fn main() -> ExitCode {
     };
     let do_check = do_check || mode == QueryMode::Check;
     if do_check {
-        let diags = lint_query(&query, semantics);
+        let (mut diags, facts) =
+            lint_query_and_facts(&query, semantics, &accum::UserAccumRegistry::new());
+        // A concrete `SET iteration_limit` makes D003 decidable: a query
+        // whose proven minimum WHILE iterations exceed it is guaranteed
+        // to trip the governor, so CHECK reports it without executing.
+        diags.extend(budget_findings(&facts, &settings.budget));
         if json {
-            println!("{}", render_json(&diags));
-        } else if diags.is_empty() {
-            println!("check: clean (0 diagnostics)");
+            println!("{{\"lint\":{},\"facts\":{}}}", render_json(&diags), facts.render_json());
         } else {
-            println!("{}", render_text(&diags, Some(&source)));
+            if diags.is_empty() {
+                println!("check: clean (0 diagnostics)");
+            } else {
+                println!("{}", render_text(&diags, Some(&source)));
+            }
+            println!("{}", facts_summary(&facts));
         }
         return if has_errors(&diags) { ExitCode::FAILURE } else { ExitCode::SUCCESS };
     }
     if settings.lint != LintMode::Off {
-        let diags = lint_query(&query, semantics);
+        let (mut diags, facts) =
+            lint_query_and_facts(&query, semantics, &accum::UserAccumRegistry::new());
+        diags.extend(budget_findings(&facts, &settings.budget));
         if !diags.is_empty() {
             // Findings go to stderr so result output stays pipeline-clean.
             eprintln!("{}", render_text(&diags, Some(&source)));

@@ -532,17 +532,25 @@ enum EmitTarget {
 /// (per shard or per morsel-stealing thread). Globals key by interned
 /// target index, vertex cells by `(target, VertexId)`; both merge into
 /// the live stores in a deterministic order — ascending shard / morsel,
-/// then ascending key — via [`Runtime::merge_partial`].
+/// then ascending key — via [`Runtime::merge_partial`]. The `bool` in
+/// each cell records whether the cell was ever written by a plain `=`
+/// assignment: such cells *replace* the live state on merge instead of
+/// combining into it (sound only under the absint-proven gates — see
+/// `lint/absint.rs`).
 #[derive(Default)]
 struct AccumPartial {
-    g: FxHashMap<usize, Accum>,
-    v: FxHashMap<(usize, VertexId), Accum>,
+    g: FxHashMap<usize, (Accum, bool)>,
+    v: FxHashMap<(usize, VertexId), (Accum, bool)>,
 }
 
 /// Fold one Map-phase emission into a worker-local partial. Only
-/// reachable under the exact-merge gate ([`Runtime::accum_scatter_exact`]),
-/// so every target is a declared accumulator of a known type and every
-/// statement combines (`+=`, never `=`).
+/// reachable under the exact-merge gate ([`Runtime::accum_scatter_exact`])
+/// or the absint-proven gate from the block plan, so every target is a
+/// declared accumulator of a known type. `+=` emissions combine into the
+/// identity-seeded cell; `=` emissions assign and mark the cell so
+/// [`Runtime::merge_partial`] replaces rather than merges the live state
+/// (legal because the proven gate guarantees either a row-invariant RHS
+/// or per-vertex suffix-replay equivalence).
 fn fold_into_partial(
     part: &mut AccumPartial,
     em: Emission,
@@ -556,22 +564,27 @@ fn fold_into_partial(
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
                 let ty = v_types[name].as_ref().ok_or_else(|| {
-                    Error::runtime("exact-merge gate admitted an undeclared accumulator")
+                    Error::runtime("parallel-fold gate admitted an undeclared accumulator")
                 })?;
-                e.insert(Accum::new(ty, registry)?)
+                e.insert((Accum::new(ty, registry)?, false))
             }
         },
         EmitTarget::G { name } => match part.g.entry(name) {
             Entry::Occupied(e) => e.into_mut(),
             Entry::Vacant(e) => {
                 let ty = g_types[name].as_ref().ok_or_else(|| {
-                    Error::runtime("exact-merge gate admitted an undeclared accumulator")
+                    Error::runtime("parallel-fold gate admitted an undeclared accumulator")
                 })?;
-                e.insert(Accum::new(ty, registry)?)
+                e.insert((Accum::new(ty, registry)?, false))
             }
         },
     };
-    cell.combine_with_multiplicity(em.value, &em.mult, registry)?;
+    if em.combine {
+        cell.0.combine_with_multiplicity(em.value, &em.mult, registry)?;
+    } else {
+        cell.0.assign(em.value)?;
+        cell.1 = true;
+    }
     Ok(())
 }
 
@@ -1252,7 +1265,10 @@ impl<'e, 'g> Runtime<'e, 'g> {
             bp.from_order.clone()
         };
         for &item_idx in &exec_order {
-            let item = &block.from[item_idx];
+            // Hop reordering: when the planner proved a reversed
+            // traversal strictly cheaper and result-equivalent, walk the
+            // rewritten item (same binding variables, same row multiset).
+            let item = bp.rewritten_from.get(&item_idx).unwrap_or(&block.from[item_idx]);
             match item {
                 FromItem::Table { name, alias } => {
                     let span =
@@ -1384,7 +1400,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
             if span.is_some() {
                 self.prof_op_workers.clear();
             }
-            self.run_accum(&block.accum, &rows, &vars, &table_refs)?;
+            self.run_accum(&block.accum, &rows, &vars, &table_refs, bp.accum_parallel_proven)?;
             let bytes = if span.is_some() { self.accum_footprint() } else { 0 };
             let extra = SpanExtra {
                 accum_bytes: bytes,
@@ -1403,7 +1419,13 @@ impl<'e, 'g> Runtime<'e, 'g> {
             if span.is_some() {
                 self.prof_op_workers.clear();
             }
-            self.run_post_accum(&block.post_accum, &rows, &vars, &table_refs)?;
+            self.run_post_accum(
+                &block.post_accum,
+                &rows,
+                &vars,
+                &table_refs,
+                bp.post_accum_parallel_proven,
+            )?;
             let bytes = if span.is_some() { self.accum_footprint() } else { 0 };
             let extra = SpanExtra {
                 accum_bytes: bytes,
@@ -2061,22 +2083,38 @@ impl<'e, 'g> Runtime<'e, 'g> {
     /// globals in ascending target order, vertex cells in ascending
     /// `(target, VertexId)` order, so the merge sequence is a pure
     /// function of the data partitioning, never of worker timing.
+    ///
+    /// Cells marked as assigned *replace* the live state wholesale:
+    /// under the proven ACCUM gate every partial assigned the same
+    /// row-invariant value, and under the proven POST_ACCUM gate the
+    /// last partial's state replays the sequential suffix exactly, so
+    /// replacement in ascending partition order reproduces the
+    /// sequential fold byte-for-byte.
     fn merge_partial(&mut self, part: AccumPartial, names: &[&str]) -> Result<()> {
-        let mut globals: Vec<(usize, Accum)> = part.g.into_iter().collect();
+        let mut globals: Vec<(usize, (Accum, bool))> = part.g.into_iter().collect();
         globals.sort_by_key(|(idx, _)| *idx);
-        for (idx, acc) in globals {
+        for (idx, (acc, assigned)) in globals {
             let live = self.gaccs.get_mut(names[idx]).ok_or_else(|| {
                 Error::runtime(format!("undeclared accumulator `@@{}`", names[idx]))
             })?;
-            live.merge(acc, &self.eng.registry)?;
+            if assigned {
+                *live = acc;
+            } else {
+                live.merge(acc, &self.eng.registry)?;
+            }
         }
-        let mut cells: Vec<((usize, VertexId), Accum)> = part.v.into_iter().collect();
+        let mut cells: Vec<((usize, VertexId), (Accum, bool))> = part.v.into_iter().collect();
         cells.sort_by_key(|(k, _)| *k);
-        for ((idx, vertex), acc) in cells {
+        for ((idx, vertex), (acc, assigned)) in cells {
             let store = self.vaccs.get_mut(names[idx]).ok_or_else(|| {
                 Error::runtime(format!("undeclared accumulator `@{}`", names[idx]))
             })?;
-            store.cell_mut(vertex).merge(acc, &self.eng.registry)?;
+            let cell = store.cell_mut(vertex);
+            if assigned {
+                *cell = acc;
+            } else {
+                cell.merge(acc, &self.eng.registry)?;
+            }
         }
         Ok(())
     }
@@ -2087,6 +2125,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         rows: &MorselTable,
         vars: &FxHashMap<String, usize>,
         tables: &[&Table],
+        proven: bool,
     ) -> Result<()> {
         self.stats.acc_executions += rows.len() as u64;
         let ranges = self.note_morsels(rows.len());
@@ -2147,29 +2186,37 @@ impl<'e, 'g> Runtime<'e, 'g> {
             }
             Ok(out)
         };
-        let exact = self.accum_scatter_exact(stmts);
-        let v_types: Vec<Option<AccumType>> = if exact {
+        // The syntactic gate (every statement `+=`-combines into an
+        // exact-merge type) or the absint-proven gate from the block plan
+        // (which additionally admits `=` assigns whose RHS is proven
+        // row-invariant) both license the partial-fold paths below.
+        let parallel = self.accum_scatter_exact(stmts) || proven;
+        let v_types: Vec<Option<AccumType>> = if parallel {
             names.iter().map(|n| self.vaccs.get(*n).map(|st| st.ty.clone())).collect()
         } else {
             Vec::new()
         };
-        let g_types: Vec<Option<AccumType>> = if exact {
+        let g_types: Vec<Option<AccumType>> = if parallel {
             names.iter().map(|n| self.gacc_types.get(*n).cloned()).collect()
         } else {
             Vec::new()
         };
 
-        // Scatter-gather ACCUM: when sharding is active and every
-        // statement is a `+=` combine into an exact-merge accumulator,
+        // Scatter-gather ACCUM: when sharding is active and the clause
+        // passes the exact-merge gate (or the absint-proven gate),
         // partition the rows by the owner shard of each row's first
         // vertex binding, fold every partition into identity-seeded
         // per-shard partials on scoped workers, and merge the partials
         // into the live stores in ascending shard order. Exact-merge
         // combiners are associative and commutative at the
-        // representation level, so the merged state is bit-identical to
-        // the sequential row-order fold at any shard count.
+        // representation level — and proven row-invariant assigns write
+        // the same value from every partition — so the merged state is
+        // bit-identical to the sequential row-order fold at any shard
+        // count (shard partitions are not contiguous row ranges, which
+        // is why the proven gate forbids mixing `=` and `+=` on one
+        // accumulator).
         if let Some(sh) = self.shards {
-            if rows.len() >= 2 && exact {
+            if rows.len() >= 2 && parallel {
                 let registry = &self.eng.registry;
                 let mut by_shard: Vec<Vec<usize>> = vec![Vec::new(); sh.shard_count()];
                 for i in 0..rows.len() {
@@ -2290,13 +2337,15 @@ impl<'e, 'g> Runtime<'e, 'g> {
 
         let workers = self.workers_for(rows.len());
 
-        // Morsel-parallel exact-merge fold: each worker folds its morsels
-        // into identity-seeded accumulator partials; partials merge into
-        // the live stores in ascending morsel order via [`Accum::merge`].
-        // Exact-merge combiners are associative at the representation
-        // level, so the merged state is byte-identical to the sequential
-        // row-order fold at any parallelism and any morsel size.
-        if exact && !rows.is_empty() {
+        // Morsel-parallel fold (exact-merge or absint-proven): each
+        // worker folds its morsels into identity-seeded accumulator
+        // partials; partials merge into the live stores in ascending
+        // morsel order via [`Accum::merge`] (combines) or wholesale
+        // replacement (proven assigns). Exact-merge combiners are
+        // associative at the representation level, so the merged state
+        // is byte-identical to the sequential row-order fold at any
+        // parallelism and any morsel size.
+        if parallel && !rows.is_empty() {
             let registry = &self.eng.registry;
             let v_types = &v_types;
             let g_types = &g_types;
@@ -2392,6 +2441,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
         rows: &MorselTable,
         vars: &FxHashMap<String, usize>,
         tables: &[&Table],
+        proven: bool,
     ) -> Result<()> {
         let var = post_accum_var(stmts, vars)?;
         let vertices: Vec<VertexId> = match &var {
@@ -2491,13 +2541,17 @@ impl<'e, 'g> Runtime<'e, 'g> {
                 let mut pvars = FxHashMap::default();
                 pvars.insert(v.clone(), 0usize);
                 let workers = self.workers_for(vertices.len());
-                if workers > 1 && self.post_accum_parallel_exact(stmts) {
-                    // Morsel-parallel POST_ACCUM: legal only when every
+                if workers > 1 && (self.post_accum_parallel_exact(stmts) || proven) {
+                    // Morsel-parallel POST_ACCUM: legal when every
                     // statement `+=`-combines into an exact-merge
                     // accumulator AND no expression reads an accumulator
                     // this clause targets (a live read would observe
                     // earlier vertices' writes under the sequential
-                    // per-vertex semantics). Workers fold into identity-
+                    // per-vertex semantics) — or when the absint pass
+                    // proved the looser gate that additionally admits
+                    // `=` assigns (vertex cells are disjoint per vertex;
+                    // global assigns replay the sequential suffix via
+                    // the last partial). Workers fold into identity-
                     // seeded partials; partials merge in ascending morsel
                     // (= ascending vertex) order, reproducing the
                     // sequential fold byte-for-byte.
@@ -2543,7 +2597,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                                         let val = eval(&env, expr)?;
                                         acc_locals.insert(name.clone(), val);
                                     }
-                                    AccStmt::VAcc { var: v2, name, expr, .. } => {
+                                    AccStmt::VAcc { var: v2, name, combine, expr } => {
                                         let value = eval(&env, expr)?;
                                         let target = crate::eval::resolve_vertex(&env, v2)?;
                                         fold_into_partial(
@@ -2554,7 +2608,7 @@ impl<'e, 'g> Runtime<'e, 'g> {
                                                     vertex: target,
                                                 },
                                                 value,
-                                                combine: true,
+                                                combine: *combine,
                                                 mult: BigCount::one(),
                                             },
                                             v_types_ref,
@@ -2562,14 +2616,14 @@ impl<'e, 'g> Runtime<'e, 'g> {
                                             registry,
                                         )?;
                                     }
-                                    AccStmt::GAcc { name, expr, .. } => {
+                                    AccStmt::GAcc { name, combine, expr } => {
                                         let value = eval(&env, expr)?;
                                         fold_into_partial(
                                             &mut part,
                                             Emission {
                                                 target: EmitTarget::G { name: name_idx(name) },
                                                 value,
-                                                combine: true,
+                                                combine: *combine,
                                                 mult: BigCount::one(),
                                             },
                                             v_types_ref,

@@ -7,11 +7,12 @@
 //! binding rows *order-dependent*, which is the central hazard this
 //! pass hunts.
 
+use super::facts::QueryFacts;
 use super::{query_exprs, unique_binding_var, Ctx, Diagnostic};
 use crate::ast::{AccStmt, Expr, Span, Stmt};
 use pgraph::fxhash::FxHashMap;
 
-pub(super) fn run(cx: &Ctx, out: &mut Vec<Diagnostic>) {
+pub(super) fn run(cx: &Ctx, facts: &QueryFacts, out: &mut Vec<Diagnostic>) {
     // ---- read/write sets over the whole query --------------------------
     let mut vacc_reads: FxHashMap<String, Span> = FxHashMap::default();
     let mut gacc_reads: FxHashMap<String, Span> = FxHashMap::default();
@@ -105,10 +106,19 @@ pub(super) fn run(cx: &Ctx, out: &mut Vec<Diagnostic>) {
     // ---- per-block rules A003/A004/A005 ---------------------------------
     for bc in &cx.blocks {
         let safe_var = unique_binding_var(bc.block);
-        for s in &bc.block.accum {
+        // Pass 6 exemption: an `=` write whose RHS is proven
+        // row-invariant assigns the same value from every binding row,
+        // so the "arbitrary last writer" is no hazard — the proven
+        // parallel gate even folds such clauses in parallel.
+        let row_invariant = |idx: usize| {
+            facts
+                .block_facts(bc.block)
+                .is_some_and(|f| f.accum_row_invariant.get(idx).copied().unwrap_or(false))
+        };
+        for (idx, s) in bc.block.accum.iter().enumerate() {
             match s {
                 AccStmt::VAcc { var, name, combine: false, .. }
-                    if safe_var != Some(var.as_str()) =>
+                    if safe_var != Some(var.as_str()) && !row_invariant(idx) =>
                 {
                     out.push(
                         Diagnostic::error(
@@ -128,7 +138,7 @@ pub(super) fn run(cx: &Ctx, out: &mut Vec<Diagnostic>) {
                         )),
                     );
                 }
-                AccStmt::GAcc { name, combine: false, .. } => {
+                AccStmt::GAcc { name, combine: false, .. } if !row_invariant(idx) => {
                     out.push(
                         Diagnostic::warn(
                             "A004",

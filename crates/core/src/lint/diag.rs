@@ -161,12 +161,17 @@ pub fn caret_snippet(src: &str, line: usize, col: usize) -> Option<String> {
         return None;
     }
     let text = src.lines().nth(line - 1)?;
+    // `col` is a 1-based *byte* column (the lexer advances it by token
+    // byte length), but the caret is padded in characters — count the
+    // characters that start before the byte offset so the caret stays
+    // under the right glyph when earlier content is multi-byte UTF-8.
+    let byte_at = col.saturating_sub(1).min(text.len());
+    let caret_at = text.char_indices().take_while(|(i, _)| *i < byte_at).count();
     // Tabs would desynchronize the caret column; render them as single
     // spaces so the offset arithmetic stays truthful.
     let text: String = text.chars().map(|c| if c == '\t' { ' ' } else { c }).collect();
     let num = line.to_string();
     let pad = " ".repeat(num.len());
-    let caret_at = col.saturating_sub(1).min(text.chars().count());
     Some(format!(
         "  {num} | {text}\n  {pad} | {}^",
         " ".repeat(caret_at)
@@ -183,5 +188,40 @@ pub fn render_error_snippet(src: &str, err: &crate::error::Error) -> String {
             None => err.to_string(),
         },
         other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_lands_under_the_named_column_for_ascii() {
+        let snip = caret_snippet("ACCUM t.@cnt = 1", 1, 7).unwrap();
+        assert_eq!(snip, "  1 | ACCUM t.@cnt = 1\n    |       ^");
+    }
+
+    #[test]
+    fn caret_counts_characters_not_bytes_after_multibyte_content() {
+        // `é` is two bytes wide but one character: byte column 14 names
+        // the `B`, which is the 13th character of the line.
+        let snip = caret_snippet("S = 'héllo' BOGUS", 1, 14).unwrap();
+        assert_eq!(snip, format!("  1 | S = 'héllo' BOGUS\n    | {}^", " ".repeat(12)));
+    }
+
+    #[test]
+    fn parse_error_caret_aligns_after_non_ascii_string_literal() {
+        // A stray `!` after a non-ASCII string literal: the lexer reports
+        // a byte column, and the rendered caret must still sit under the
+        // `!` glyph (char-aligned), not drift right by the extra bytes.
+        let src = "CREATE QUERY Q () {\n  PRINT 'héllo' !;\n}";
+        let err = crate::parse_query(src).unwrap_err();
+        let rendered = render_error_snippet(src, &err);
+        let mut lines = rendered.lines().rev();
+        let caret_line = lines.next().unwrap();
+        let text_line = lines.next().unwrap();
+        let caret_col = caret_line.chars().position(|c| c == '^').unwrap();
+        let bang_col = text_line.chars().position(|c| c == '!').unwrap();
+        assert_eq!(caret_col, bang_col, "caret misaligned:\n{rendered}");
     }
 }

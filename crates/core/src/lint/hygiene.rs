@@ -314,7 +314,7 @@ fn collect_cond_writes(stmts: &[Stmt], out: &mut Vec<String>) {
 // ---- constant folding (H003) --------------------------------------------
 
 /// Folds an expression to a boolean when every leaf is a literal.
-fn const_bool(e: &Expr) -> Option<bool> {
+pub(super) fn const_bool(e: &Expr) -> Option<bool> {
     match const_value(e)? {
         Const::Bool(b) => Some(b),
         _ => None,

@@ -8,7 +8,7 @@
 //! those invariants — plus ordinary hygiene — *before* execution and
 //! reports structured [`Diagnostic`]s with stable rule codes.
 //!
-//! Five passes (catalog with examples in `docs/LINTS.md`):
+//! Six passes (catalog with examples in `docs/LINTS.md`):
 //!
 //! | pass | codes | checks |
 //! |------|-------|--------|
@@ -17,6 +17,7 @@
 //! | tractability | `P001`–`P004` | Kleene patterns under enumerative semantics (Theorem 7.1), edge variables inside Kleene scope, multiplicity-sensitive accumulators under counting, per-hop fan-out estimates |
 //! | hygiene | `H001`–`H004` | unused vertex sets, shadowed names, constant-false WHERE, loop-invariant WHILE conditions |
 //! | mutation | `M001` | DELETE statements with no WHERE clause (full-wipe hazard) |
+//! | absint | `D001`–`D004` | abstract interpretation (pass 6): proven-false WHERE intervals, provably non-terminating WHILE, guaranteed budget trips, order-dependent ACCUM combines — and the [`QueryFacts`] proofs the planner/executor/server consume |
 //!
 //! Entry points: [`lint_query`] (default accumulator registry) and
 //! [`lint_query_with`] (engine-supplied registry, used by
@@ -24,8 +25,10 @@
 //! queries the service refuses at prepare time (nondeterministic or
 //! intractable), `Warn` are likely mistakes, `Info` is advisory.
 
+mod absint;
 mod dataflow;
 mod diag;
+pub mod facts;
 mod hygiene;
 mod mutation;
 mod tractability;
@@ -35,6 +38,7 @@ pub use diag::{
     caret_snippet, has_errors, render_error_snippet, render_json, render_text, Diagnostic,
     Severity,
 };
+pub use facts::{budget_findings, BlockFacts, LoopBound, LoopFacts, QueryFacts};
 
 use crate::ast::{
     AccStmt, AccumDecl, Expr, FromItem, PrintItem, Query, SelectBlock, Span, Stmt, VSetSource,
@@ -61,9 +65,23 @@ pub fn lint_query_with(
     ambient: PathSemantics,
     registry: &UserAccumRegistry,
 ) -> Vec<Diagnostic> {
+    lint_query_and_facts(q, ambient, registry).0
+}
+
+/// Lints a parsed query and returns the diagnostics together with the
+/// abstract-interpretation [`QueryFacts`] (pass 6) — the form consumed
+/// by the shell's `CHECK`, `POST /lint` and the server admission gate.
+pub fn lint_query_and_facts(
+    q: &Query,
+    ambient: PathSemantics,
+    registry: &UserAccumRegistry,
+) -> (Vec<Diagnostic>, QueryFacts) {
     let cx = Ctx::build(q, ambient, registry);
     let mut diags = Vec::new();
-    dataflow::run(&cx, &mut diags);
+    // Pass 6 runs first: its facts feed the dataflow pass (proven
+    // row-invariant `=` writes are exempt from the A003/A004 races).
+    let facts = absint::run(&cx, &mut diags);
+    dataflow::run(&cx, &facts, &mut diags);
     typecheck::run(&cx, &mut diags);
     tractability::run(&cx, &mut diags);
     hygiene::run(&cx, &mut diags);
@@ -72,7 +90,19 @@ pub fn lint_query_with(
     diags.sort_by(|a, b| {
         (a.span.line, a.span.col, a.code).cmp(&(b.span.line, b.span.col, b.code))
     });
-    diags
+    (diags, facts)
+}
+
+/// Computes [`QueryFacts`] alone (no diagnostics) — the planner's entry
+/// point.
+pub fn compute_facts(
+    q: &Query,
+    ambient: PathSemantics,
+    registry: &UserAccumRegistry,
+) -> QueryFacts {
+    let cx = Ctx::build(q, ambient, registry);
+    let mut diags = Vec::new();
+    absint::run(&cx, &mut diags)
 }
 
 /// One declared accumulator.

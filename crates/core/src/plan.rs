@@ -139,6 +139,23 @@ pub struct BlockPlan {
     /// found a strictly cheaper order *and* the output-invariance gate
     /// held (see the module docs' determinism contract).
     pub from_order: Vec<usize>,
+    /// Absint-proven parallel gate for the ACCUM clause (pass 6,
+    /// `lint/absint.rs`) — strictly wider than the syntactic exact-merge
+    /// gate: it additionally admits `=` assigns whose RHS is proven
+    /// row-invariant. The executor runs the partial-fold paths when
+    /// either gate holds; results stay byte-identical at every
+    /// parallelism and shard count.
+    pub accum_parallel_proven: bool,
+    /// Absint-proven parallel gate for the POST_ACCUM clause: no live
+    /// read of a clause-targeted accumulator, exact-merge combines, and
+    /// assigns admitted via per-vertex cell disjointness (vertex
+    /// accumulators) or sequential suffix-replay (globals).
+    pub post_accum_parallel_proven: bool,
+    /// Reversed whole-pattern rewrites, keyed by FROM-item index: the
+    /// cost model proved the reversed traversal strictly cheaper and
+    /// the block's outputs invariant under row reordering, so the
+    /// executor walks this item instead of the source one.
+    pub rewritten_from: FxHashMap<usize, FromItem>,
 }
 
 impl BlockPlan {
@@ -184,6 +201,11 @@ struct LowerState<'a, 'c> {
     /// checks ACCUM targets against [`AccumType::is_exact_merge`].
     /// Empty for [`lower_block_only`], which has no query context.
     accum_types: FxHashMap<String, AccumType>,
+    /// Abstract-interpretation facts for the whole query (pass 6,
+    /// `lint/absint.rs`): proven parallel gates, conjunct constancy and
+    /// WHILE bounds, keyed by AST block identity. `None` for
+    /// [`lower_block_only`], which has no query context to analyze.
+    facts: Option<crate::lint::QueryFacts>,
 }
 
 /// Lowers `query` into a [`QueryPlan`] under `semantics`, cost-based
@@ -199,6 +221,12 @@ pub(crate) fn lower_query(
     );
     let mut accum_types = FxHashMap::default();
     collect_accum_types(&query.body, &mut accum_types);
+    // Run the abstract interpreter once per lowering: its proven gates
+    // and conjunct constancy feed the strategy choices and estimates
+    // below, keyed by AST block identity (same allocation as the blocks
+    // walked here).
+    let facts =
+        crate::lint::compute_facts(query, semantics, &accum::UserAccumRegistry::new());
     let mut st = LowerState {
         ctx,
         params: &query.params,
@@ -206,6 +234,7 @@ pub(crate) fn lower_query(
         block_no: 0,
         vset_est: FxHashMap::default(),
         accum_types,
+        facts: Some(facts),
     };
     lower_stmts(&query.body, semantics, &mut st, &mut root.children);
     QueryPlan {
@@ -230,6 +259,7 @@ pub(crate) fn lower_block_only(
         block_no: 0,
         vset_est: FxHashMap::default(),
         accum_types: FxHashMap::default(),
+        facts: None,
     };
     let (_, bp, _) = lower_block(block, semantics, 1, &mut st);
     bp
@@ -776,6 +806,150 @@ fn post_accum_parallel(stmts: &[AccStmt], st: &LowerState<'_, '_>) -> bool {
     ok
 }
 
+/// Recursively reverses a DARPE: concatenation order flips and every
+/// symbol's direction adornment mirrors (`E>` ↔ `<E`, undirected and
+/// wildcard-any unchanged), so the reversed expression matches exactly
+/// the edge-wise reversals of the original's paths.
+fn reverse_darpe(d: &Darpe) -> Darpe {
+    match d {
+        Darpe::Symbol(s) => Darpe::Symbol(Symbol {
+            edge_type: s.edge_type.clone(),
+            dir: match s.dir {
+                DarpeDir::Forward => DarpeDir::Reverse,
+                DarpeDir::Reverse => DarpeDir::Forward,
+                other => other,
+            },
+        }),
+        Darpe::Concat(xs) => Darpe::Concat(xs.iter().rev().map(reverse_darpe).collect()),
+        Darpe::Alt(xs) => Darpe::Alt(xs.iter().map(reverse_darpe).collect()),
+        Darpe::Repeat { inner, min, max } => Darpe::Repeat {
+            inner: Box::new(reverse_darpe(inner)),
+            min: *min,
+            max: *max,
+        },
+    }
+}
+
+/// Builds the whole-pattern reversal of `start -(h1)- v1 ... -(hn)- end`:
+/// `end -(rev hn)- ... v1 -(rev h1)- start`. Edge variables stay with
+/// their hop (the traversed edge set is identical either way).
+fn reversed_pattern(graph: &Option<String>, start: &VSpec, hops: &[Hop]) -> FromItem {
+    let mut new_hops = Vec::with_capacity(hops.len());
+    for (i, h) in hops.iter().enumerate().rev() {
+        let to = if i == 0 { start.clone() } else { hops[i - 1].to.clone() };
+        new_hops.push(Hop {
+            darpe: reverse_darpe(&h.darpe),
+            edge_var: h.edge_var.clone(),
+            to,
+        });
+    }
+    FromItem::Pattern {
+        graph: graph.clone(),
+        start: hops[hops.len() - 1].to.clone(),
+        hops: new_hops,
+    }
+}
+
+/// True when every aggregate call in `e` folds order-invariantly —
+/// `count` (multiplicity sums are exact integers), `min`, `max`. A
+/// float `sum`/`avg` is order-sensitive at the representation level,
+/// so it blocks row-reordering rewrites.
+fn exact_aggregates_only(e: &Expr) -> bool {
+    let mut ok = true;
+    e.walk(&mut |sub| {
+        if let Expr::Call { func, args, star } = sub {
+            let f = func.to_ascii_lowercase();
+            let is_agg = *star
+                || (args.len() == 1
+                    && matches!(f.as_str(), "count" | "sum" | "avg" | "min" | "max"));
+            if is_agg && !*star && !matches!(f.as_str(), "count" | "min" | "max") {
+                ok = false;
+            }
+        }
+    });
+    ok
+}
+
+/// Estimated cardinality of one pattern endpoint, narrowed to a point
+/// lookup when an equality conjunct references only that endpoint's
+/// binding variable (mirror of the executor's sargable refinement).
+fn anchored_card(
+    spec: &VSpec,
+    conjuncts: &[(Expr, Vec<String>)],
+    st: &LowerState<'_, '_>,
+) -> f64 {
+    let est = scan_est(&spec.name, spec.var.as_deref(), st);
+    let eq_anchored = spec.var.as_ref().is_some_and(|v| {
+        conjuncts.iter().any(|(c, refs)| {
+            refs.len() == 1
+                && refs[0] == *v
+                && matches!(c, Expr::Binary { op: BinOp::Eq, .. })
+        })
+    });
+    if eq_anchored {
+        est.min(EQ_POINT_ROWS)
+    } else {
+        est
+    }
+}
+
+/// Hop-reordering gate (ROADMAP item 2): when a block's single FROM
+/// pattern is a chain of single-edge hops whose *far* endpoint is
+/// provably cheaper to anchor than its source — and every consumer of
+/// the block's rows is row-order invariant — the planner substitutes
+/// the reversed pattern. Returns the rewritten item plus the (forward,
+/// backward) endpoint estimates when the reversal is strictly cheaper.
+///
+/// Row order changes under reversal, so the gate requires: aggregate-
+/// only outputs with exact (`count`/`min`/`max`) aggregates, no GROUP
+/// BY / HAVING / ORDER BY / LIMIT, and an order-invariant ACCUM clause
+/// (syntactically exact-merge, or proven row-invariant by the absint
+/// pass). POST_ACCUM is always safe — it iterates the sorted distinct
+/// vertex set, a pure function of the row *multiset*. Vertex-set
+/// outputs are excluded (their stored order is first-occurrence row
+/// order, which PRINT and later scans observe).
+fn choose_hop_reversal(
+    block: &SelectBlock,
+    conjuncts: &[(Expr, Vec<String>)],
+    accum_order_invariant: bool,
+    st: &LowerState<'_, '_>,
+) -> Option<(FromItem, f64, f64)> {
+    if st.ctx.is_none() || block.from.len() != 1 {
+        return None;
+    }
+    let FromItem::Pattern { graph, start, hops } = &block.from[0] else {
+        return None;
+    };
+    if hops.is_empty() || hops.iter().any(|h| h.darpe.as_single_symbol().is_none()) {
+        return None;
+    }
+    if block.group_by.is_some()
+        || block.having.is_some()
+        || !block.order_by.is_empty()
+        || block.limit.is_some()
+        || !accum_order_invariant
+    {
+        return None;
+    }
+    for frag in &block.outputs {
+        let all_exact_aggregates = frag
+            .items
+            .iter()
+            .all(|i| i.expr.contains_aggregate() && exact_aggregates_only(&i.expr));
+        if !all_exact_aggregates {
+            return None;
+        }
+    }
+    let end = &hops[hops.len() - 1].to;
+    let fwd = anchored_card(start, conjuncts, st);
+    let bwd = anchored_card(end, conjuncts, st);
+    if bwd < fwd {
+        Some((reversed_pattern(graph, start, hops), fwd, bwd))
+    } else {
+        None
+    }
+}
+
 /// Lowers one SELECT block: produces the renderable node, the
 /// executable [`BlockPlan`], and the estimated output cardinality.
 fn lower_block(
@@ -786,6 +960,14 @@ fn lower_block(
 ) -> (PlanNode, BlockPlan, f64) {
     let mut node = PlanNode::new("block", format!("BLOCK {no}:"));
     let with_est = st.ctx.is_some();
+    // Absint facts for this block (AST-identity keyed; `None` under
+    // `lower_block_only`). Cloned so the closures below don't hold a
+    // borrow of `st`.
+    let bf = st.facts.as_ref().and_then(|f| f.block_facts(block)).cloned();
+    // Parallel-fold gates proven by the abstract interpreter (strictly
+    // wider than the syntactic checks; see `lint/absint.rs`).
+    let accum_proven = bf.as_ref().is_some_and(|f| f.accum_parallel);
+    let post_proven = bf.as_ref().is_some_and(|f| f.post_accum_parallel);
 
     // Conjunct bookkeeping: split WHERE once, here — the executor reads
     // this exact list (by index) instead of re-splitting per run.
@@ -811,6 +993,19 @@ fn lower_block(
     let mut bound: FxHashSet<String> = FxHashSet::default();
     let mut rows = 1.0f64;
     let mut cost_total = 0.0f64;
+    // Per-conjunct proven constancy from the interval analysis, aligned
+    // with `split_conjuncts` order (the same split used above). A proven-
+    // FALSE conjunct zeroes the estimate; a proven-TRUE one keeps every
+    // row instead of paying the default selectivity.
+    let conj_const: Vec<Option<bool>> =
+        bf.as_ref().map(|f| f.conjunct_const.clone()).unwrap_or_default();
+    let conjunct_rows = |i: usize, rows: f64, c: &Expr| -> (f64, &'static str) {
+        match conj_const.get(i).copied().flatten() {
+            Some(false) => (0.0, " [proven false: empty]"),
+            Some(true) => (rows, " [proven true: no-op]"),
+            None => (filtered_card(rows, c), ""),
+        }
+    };
     // Attach every conjunct whose variables are all bound to `parent`
     // (the binding step that made it ready) as a pushdown-filter child.
     let emit_ready = |bound: &FxHashSet<String>,
@@ -825,10 +1020,11 @@ fn lower_block(
             }
             live[i] = false;
             let cost = *rows;
-            *rows = filtered_card(*rows, c);
+            let (next, note) = conjunct_rows(i, *rows, c);
+            *rows = next;
             let mut f = PlanNode::new(
                 "pushdown-filter",
-                format!("pushdown filter: {}", expr_label(c)),
+                format!("pushdown filter: {}{note}", expr_label(c)),
             );
             if with_est {
                 annotate(&mut f, *rows, cost);
@@ -848,13 +1044,37 @@ fn lower_block(
             ),
         ));
     }
+    // Hop reordering: reverse the whole pattern when the far endpoint
+    // is the cheaper anchor and every row consumer is order-invariant.
+    // The plan walk below (and the executor, via
+    // [`BlockPlan::rewritten_from`]) then traverses the rewritten item.
+    let accum_order_invariant = block.accum.is_empty()
+        || accum_exact_merge(&block.accum, st)
+        || accum_proven;
+    let mut rewritten_from: FxHashMap<usize, FromItem> = FxHashMap::default();
+    if let Some((rev, fwd, bwd)) =
+        choose_hop_reversal(block, &conjuncts, accum_order_invariant, st)
+    {
+        node.children.push(PlanNode::new(
+            "hop-reorder",
+            format!(
+                "hop-reorder: reordered: true — reversed traversal (anchored end \
+                 est {} rows < start est {} rows; result-equivalent: exact \
+                 aggregates only)",
+                bwd.round(),
+                fwd.round()
+            ),
+        ));
+        rewritten_from.insert(0, rev);
+    }
     let exec_order: Vec<usize> = if from_order.is_empty() {
         (0..block.from.len()).collect()
     } else {
         from_order.clone()
     };
     for &item_idx in &exec_order {
-        match &block.from[item_idx] {
+        let item = rewritten_from.get(&item_idx).unwrap_or(&block.from[item_idx]);
+        match item {
             FromItem::Table { name, alias } => {
                 let mut scan = PlanNode::new(
                     "scan",
@@ -1046,20 +1266,27 @@ fn lower_block(
         if !live[i] {
             continue;
         }
+        let (next, note) = conjunct_rows(i, rows, c);
         let mut f = PlanNode::new(
             "residual-filter",
-            format!("residual filter: {}", expr_label(c)),
+            format!("residual filter: {}{note}", expr_label(c)),
         );
         if with_est {
             let cost = rows;
-            rows = filtered_card(rows, c);
+            rows = next;
             annotate(&mut f, rows, cost);
         }
         node.children.push(f);
     }
+    // Parallel-fold gates: the syntactic exact-merge check keeps its
+    // historical EXPLAIN phrasing; clauses only the abstract interpreter
+    // can prove safe get a distinct "proven" phrasing so plans show
+    // *why* they run parallel.
     if !block.accum.is_empty() {
         let strategy = if accum_exact_merge(&block.accum, st) {
             "morsel-parallel exact-merge fold"
+        } else if accum_proven {
+            "morsel-parallel proven fold (absint)"
         } else {
             "sequential emission fold"
         };
@@ -1078,6 +1305,8 @@ fn lower_block(
     if !block.post_accum.is_empty() {
         let strategy = if post_accum_parallel(&block.post_accum, st) {
             "morsel-parallel fold"
+        } else if post_proven {
+            "morsel-parallel proven apply (absint)"
         } else {
             "sequential per-vertex apply"
         };
@@ -1124,7 +1353,15 @@ fn lower_block(
     }
     (
         node,
-        BlockPlan { semantics, conjuncts, strategies, from_order },
+        BlockPlan {
+            semantics,
+            conjuncts,
+            strategies,
+            from_order,
+            accum_parallel_proven: accum_proven,
+            post_accum_parallel_proven: post_proven,
+            rewritten_from,
+        },
         rows,
     )
 }

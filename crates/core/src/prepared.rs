@@ -291,6 +291,30 @@ impl PreparedQuery {
     ) -> Vec<crate::lint::Diagnostic> {
         crate::lint::lint_query(&self.query, semantics)
     }
+
+    /// Diagnostics together with the abstract-interpretation
+    /// [`crate::lint::QueryFacts`] (pass 6) — one analysis run serving
+    /// both the lint envelope and budget-aware admission gating.
+    pub fn diagnostics_and_facts(
+        &self,
+        semantics: crate::PathSemantics,
+    ) -> (Vec<crate::lint::Diagnostic>, crate::lint::QueryFacts) {
+        crate::lint::lint_query_and_facts(
+            &self.query,
+            semantics,
+            &accum::UserAccumRegistry::new(),
+        )
+    }
+
+    /// The abstract-interpretation facts alone (no diagnostics) — the
+    /// cheap form the server's per-request pre-admission gate uses.
+    pub fn facts(&self, semantics: crate::PathSemantics) -> crate::lint::QueryFacts {
+        crate::lint::compute_facts(
+            &self.query,
+            semantics,
+            &accum::UserAccumRegistry::new(),
+        )
+    }
 }
 
 #[cfg(test)]

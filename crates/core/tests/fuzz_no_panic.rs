@@ -122,6 +122,65 @@ proptest! {
             prop_assert!(false, "pipeline panicked ({msg}) on mutated query:\n{source}");
         }
     }
+
+    /// Differential oracle for the abstract interpreter (lint pass 6):
+    /// whenever the analyzer proves a WHERE clause constant-false, the
+    /// block must produce zero rows — and it must do so identically at
+    /// parallelism 1 and 4 (the planner uses the proof to prune, the
+    /// executor must agree regardless of schedule).
+    #[test]
+    fn proven_false_filters_yield_zero_rows_at_any_parallelism(
+        a in -50i64..50,
+        b in -50i64..50,
+        op1 in 0usize..6,
+        c in -50i64..50,
+        d in -50i64..50,
+        op2 in 0usize..6,
+    ) {
+        const OPS: [&str; 6] = ["<", "<=", "==", ">", ">=", "!="];
+        let eval = |x: i64, y: i64, op: usize| match op {
+            0 => x < y,
+            1 => x <= y,
+            2 => x == y,
+            3 => x > y,
+            4 => x >= y,
+            _ => x != y,
+        };
+        let src = format!(
+            "CREATE QUERY F () {{
+               SumAccum<int> @@n;
+               S = SELECT v FROM Customer:v
+                   WHERE {a} {o1} {b} AND {c} {o2} {d}
+                   ACCUM @@n += 1;
+               PRINT @@n;
+             }}",
+            o1 = OPS[op1],
+            o2 = OPS[op2],
+        );
+        let q = gsql_core::parse_query(&src).unwrap();
+        let facts = gsql_core::lint::compute_facts(
+            &q,
+            gsql_core::PathSemantics::AllShortestPaths,
+            &accum::UserAccumRegistry::new(),
+        );
+        let truth = eval(a, b, op1) && eval(c, d, op2);
+        let proven = facts.blocks[0].where_const;
+        // Constant comparisons must be decided, and decided correctly.
+        prop_assert_eq!(proven, Some(truth), "facts disagree with ground truth:\n{}", src);
+        if proven == Some(false) {
+            let g = sales_graph();
+            let customers = g.vertices_of_type(g.schema().vertex_type_id("Customer").unwrap()).len();
+            for par in [1usize, 4] {
+                let out = Engine::new(&g).with_parallelism(par).run_text(&src, &[]).unwrap();
+                prop_assert_eq!(
+                    &out.prints,
+                    &vec!["@@n = 0".to_string()],
+                    "proven-false filter leaked rows at parallelism {} (of {} candidates):\n{}",
+                    par, customers, src
+                );
+            }
+        }
+    }
 }
 
 /// Hand-picked regression inputs that historically crash naive parsers:

@@ -291,13 +291,16 @@ fn lint(shared: &Shared, req: &Request) -> Response {
 /// `gsql_shell --check --json` prints), plus the text rendering.
 fn lint_response(shared: &Shared, prepared: &Arc<PreparedQuery>, cache_hit: bool) -> Response {
     shared.metrics.lint_checks.fetch_add(1, Ordering::Relaxed);
-    let diags = prepared.diagnostics(shared.cfg.semantics);
+    let (diags, facts) = prepared.diagnostics_and_facts(shared.cfg.semantics);
     let payload = Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         ("query".into(), Json::Str(prepared.name().to_string())),
         ("plan_cache".into(), Json::Str(cache_tag(cache_hit).into())),
         ("lint".into(), Json::Raw(gsql_core::lint::render_json(&diags))),
         ("text".into(), Json::Str(gsql_core::lint::render_text(&diags, Some(prepared.source())))),
+        // The pass-6 abstract-interpretation facts, schema-stable — the
+        // same object `gsql_shell` CHECK emits under `facts`.
+        ("facts".into(), Json::Raw(facts.render_json())),
     ]);
     let mut body = String::new();
     write_json(&mut body, &payload);
@@ -477,6 +480,16 @@ fn run_query(
         Ok(b) => b,
         Err(msg) => return error_response(400, "bad-request", &msg, None),
     };
+    // Pre-admission abstract-interpretation gate: when the analyzer
+    // proves the query's WHILE loops must exceed this request's
+    // iteration budget (`D003`), the run is *guaranteed* to trip the
+    // governor — refuse it with the proven bound before it is admitted
+    // or occupies an execution slot.
+    let facts = prepared.facts(shared.cfg.semantics);
+    if let Some(d) = gsql_core::lint::budget_findings(&facts, &budget).into_iter().next() {
+        shared.metrics.proven_rejections.fetch_add(1, Ordering::Relaxed);
+        return error_response(422, "provably-over-budget", &d.message, None);
+    }
 
     shared.metrics.admitted.fetch_add(1, Ordering::Relaxed);
     let started = Instant::now();

@@ -104,6 +104,10 @@ pub struct Metrics {
     /// Prepares refused with 422 by the lint gate (`Error`-severity
     /// diagnostics, or warnings under `x-gsql-lint: strict`).
     pub lint_rejected: AtomicU64,
+    /// Requests refused with 422 by the pre-admission abstract
+    /// interpretation gate: the analyzer proved the query would trip the
+    /// request's iteration budget (`D003`), so it was never admitted.
+    pub proven_rejections: AtomicU64,
     /// Non-empty mutation batches committed via `POST /mutate`.
     pub mutation_batches: AtomicU64,
     /// Individual mutation ops inside those batches.
@@ -195,6 +199,7 @@ impl Metrics {
                 Json::Obj(vec![
                     ("checks".into(), load(&self.lint_checks)),
                     ("rejected".into(), load(&self.lint_rejected)),
+                    ("proven_rejections".into(), load(&self.proven_rejections)),
                 ]),
             ),
             (

@@ -402,7 +402,7 @@ fn cross_mode_cache_entries_are_not_executable_by_id() {
     // make it executable either.
     let bad = "CREATE QUERY q () {
   SumAccum<int> @cnt;
-  S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@cnt = 1;
+  S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@cnt = s.rank;
   PRINT S[S.@cnt];
 }";
     let mut q = String::new();
@@ -574,7 +574,7 @@ fn lint_endpoint_and_prepare_gate() {
     // A multi-binding `=` write in ACCUM: A003 (Error) via /lint...
     let bad = "CREATE QUERY q () {
   SumAccum<int> @cnt;
-  S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@cnt = 1;
+  S = SELECT t FROM V:s -(E>)- V:t ACCUM t.@cnt = s.rank;
   PRINT S[S.@cnt];
 }";
     let mut q = String::new();
@@ -640,6 +640,54 @@ fn lint_endpoint_and_prepare_gate() {
     let lint_m = m.get("lint").expect("metrics has lint section");
     assert_eq!(lint_m.get("rejected").and_then(Json::as_i64), Some(2));
     assert!(lint_m.get("checks").and_then(Json::as_i64).unwrap() >= 4);
+    server.shutdown();
+}
+
+#[test]
+fn provably_over_budget_query_is_refused_pre_admission() {
+    let (server, addr) = start(|_| {});
+    let mut c = Client::connect(addr).unwrap();
+
+    // The abstract interpreter proves this loop runs exactly 100
+    // iterations (`WHILE true LIMIT 100`); under a request budget of 10
+    // the governor trip is guaranteed, so the request is refused with
+    // 422 *before* admission — it never occupies an execution slot.
+    let spin = "CREATE QUERY Hot () {
+  SumAccum<int> @@n;
+  WHILE true LIMIT 100 DO @@n += 1; END;
+  PRINT @@n;
+}";
+    let mut q = String::new();
+    write_json(&mut q, &Json::Str(spin.to_string()));
+    let body = format!(r#"{{"query":{q}}}"#);
+
+    let resp = c.post_json("/query", &[("x-gsql-max-while-iters", "10")], &body).unwrap();
+    assert_eq!(resp.status, 422, "body: {}", String::from_utf8_lossy(&resp.body));
+    let j = resp.json().unwrap();
+    let err = j.get("error").expect("has error");
+    assert_eq!(err.get("kind").and_then(Json::as_str), Some("provably-over-budget"));
+    let msg = err.get("message").and_then(Json::as_str).unwrap();
+    assert!(
+        msg.contains("100") && msg.contains("max_while_iters = 10"),
+        "message names the proven bound and the budget: {msg}"
+    );
+
+    // The same text under a sufficient budget is admitted and runs.
+    let resp = c.post_json("/query", &[], &body).unwrap();
+    assert_eq!(resp.status, 200, "body: {}", String::from_utf8_lossy(&resp.body));
+
+    // /lint exposes the facts the gate consulted, schema-stable.
+    let resp = c.post_json("/lint", &[], &body).unwrap();
+    assert_eq!(resp.status, 200);
+    let j = resp.json().unwrap();
+    let facts = j.get("facts").expect("lint response has facts");
+    assert_eq!(facts.get("min_while_iters").and_then(Json::as_i64), Some(100));
+
+    // The rejection is counted separately from lint-gate refusals.
+    let m = c.get("/metrics").unwrap().json().unwrap();
+    let lint_m = m.get("lint").expect("metrics has lint section");
+    assert_eq!(lint_m.get("proven_rejections").and_then(Json::as_i64), Some(1));
+    assert_eq!(lint_m.get("rejected").and_then(Json::as_i64), Some(0));
     server.shutdown();
 }
 

@@ -129,7 +129,7 @@ fn a003_assignment_race() {
         "A003",
         r#"CREATE QUERY q () {
   SumAccum<int> @cnt;
-  S = SELECT t FROM Page:s -(Link>)- Page:t ACCUM t.@cnt = 1;
+  S = SELECT t FROM Page:s -(Link>)- Page:t ACCUM t.@cnt = s.rank;
   PRINT S[S.@cnt];
 }"#,
         COUNTING,
@@ -156,7 +156,7 @@ fn a004_global_assign_race() {
         "A004",
         r#"CREATE QUERY q () {
   SumAccum<int> @@last;
-  S = SELECT p FROM Page:p ACCUM @@last = 7;
+  S = SELECT p FROM Page:p ACCUM @@last = p.rank;
   PRINT @@last;
 }"#,
         COUNTING,
@@ -600,4 +600,130 @@ fn json_rendering_is_stable() {
     assert!(json.starts_with("{\"diagnostics\":["));
     assert!(json.contains("\"code\":\"A001\""));
     assert!(json.contains("\"errors\":0"));
+}
+
+// ---- pass 6: abstract interpretation (D001-D004, docs/LINTS.md) ----------
+
+#[test]
+fn d001_unreachable_block() {
+    // The interval analysis proves `@@k > 5` false from the assignment
+    // `@@k = 3` — a non-literal proof H003 cannot see.
+    positive(
+        "d001",
+        "D001",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@k;
+  @@k = 3;
+  S = SELECT p FROM Page:p WHERE @@k > 5;
+  PRINT S;
+}"#,
+        COUNTING,
+    );
+    // A literal-false WHERE belongs to H003, not D001.
+    near_miss(
+        "d001",
+        "D001",
+        r#"CREATE QUERY q () {
+  S = SELECT p FROM Page:p WHERE 1 == 2;
+  PRINT S;
+}"#,
+        COUNTING,
+    );
+}
+
+#[test]
+fn d002_nonterminating_while() {
+    positive(
+        "d002",
+        "D002",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@n;
+  WHILE @@n < 100 DO PRINT @@n; END;
+}"#,
+        COUNTING,
+    );
+    // The body updates the condition's accumulator: termination is
+    // plausible, so no D002.
+    near_miss(
+        "d002",
+        "D002",
+        r#"CREATE QUERY q () {
+  SumAccum<int> @@n;
+  WHILE @@n < 100 DO @@n += 1; END;
+}"#,
+        COUNTING,
+    );
+}
+
+#[test]
+fn d003_guaranteed_budget_trip() {
+    use gsql_core::lint::budget_findings;
+    use gsql_core::Budget;
+    let src = r#"CREATE QUERY q () {
+  SumAccum<int> @@n;
+  WHILE true LIMIT 100 DO @@n += 1; END;
+  PRINT @@n;
+}"#;
+    let q = parse_query(src).unwrap();
+    let (mut diags, facts) = gsql_core::lint::lint_query_and_facts(
+        &q,
+        COUNTING,
+        &accum::UserAccumRegistry::new(),
+    );
+    diags.extend(budget_findings(&facts, &Budget::default().with_max_while_iters(10)));
+    assert!(diags.iter().any(|d| d.code == "D003"), "expected D003 under a 10-iteration budget");
+    assert_golden("lint_d003.txt", &(render_text(&diags, Some(src)) + "\n"));
+    // A roomy budget produces no finding.
+    assert!(budget_findings(&facts, &Budget::default().with_max_while_iters(1000)).is_empty());
+}
+
+#[test]
+fn d004_merge_order_dependence() {
+    positive(
+        "d004",
+        "D004",
+        r#"CREATE QUERY q () {
+  ListAccum<int> @@xs;
+  S = SELECT t FROM Page:s -(Link>)- Page:t ACCUM @@xs += 1;
+  PRINT @@xs;
+}"#,
+        COUNTING,
+    );
+    near_miss(
+        "d004",
+        "D004",
+        r#"CREATE QUERY q () {
+  SumAccum<double> @@x;
+  S = SELECT t FROM Page:s -(Link>)- Page:t ACCUM @@x += 0.5;
+  PRINT @@x;
+}"#,
+        COUNTING,
+    );
+}
+
+// ---- pass 6 facts JSON (schema documented in docs/LINTS.md) --------------
+
+#[test]
+fn facts_json_is_golden() {
+    // One of everything: a decidable WHERE conjunct, an undecidable one,
+    // a proven POST-ACCUM assign gate, a syntactically-exact ACCUM gate,
+    // and a bounded WHILE — pinning the full `facts` schema the shell's
+    // CHECK and the server's POST /lint emit.
+    let src = r#"CREATE QUERY q () {
+  SumAccum<int> @@n;
+  MinAccum<int> @cc;
+  S = SELECT p FROM Page:p WHERE 1 < 2 AND p.rank > 0
+      ACCUM @@n += 1
+      POST-ACCUM p.@cc = p.id();
+  WHILE true LIMIT 3 DO PRINT 1; END;
+  PRINT @@n;
+}"#;
+    let q = parse_query(src).unwrap();
+    let (_, facts) = gsql_core::lint::lint_query_and_facts(
+        &q,
+        COUNTING,
+        &accum::UserAccumRegistry::new(),
+    );
+    assert!(facts.blocks[0].post_accum_parallel, "assign gate should be proven");
+    assert_golden("lint_facts.json", &(facts.render_json() + "\n"));
 }
